@@ -1,0 +1,17 @@
+"""Bench: extension — availability under controlled failures (Section 3.1)."""
+
+from repro.experiments.ext_robustness import run_ext_robustness
+
+
+def test_ext_robustness(once):
+    result = once(run_ext_robustness)
+    result.table().print()
+    with_recovery = result.runs["with recovery"]
+    without = result.runs["no recovery"]
+    # Transparent detection + algorithm-level re-join restores service.
+    assert with_recovery.final_availability >= 0.8
+    # Without the algorithm's reaction the orphaned subtrees stay dark.
+    assert without.final_availability <= 0.5
+    assert with_recovery.final_availability > without.final_availability + 0.3
+    # Even the transient dip is materially better with recovery.
+    assert with_recovery.worst_dip() >= without.worst_dip()

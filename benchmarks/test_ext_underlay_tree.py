@@ -1,0 +1,16 @@
+"""Bench: extension — PLUTO-assisted tree construction (Section 5)."""
+
+from repro.experiments.ext_underlay_tree import run_ext_underlay
+
+
+def test_ext_underlay_tree(once):
+    result = once(run_ext_underlay)
+    result.table().print()
+    plain = result.runs["ns-aware"]
+    assisted = result.runs["underlay"]
+    # The proximity tie-break must not hurt: path latency no worse, and
+    # typically better; stress stays in the same band; throughput intact.
+    assert assisted.mean_latency() <= plain.mean_latency() * 1.02
+    assert assisted.max_stress <= plain.max_stress * 1.5
+    import statistics
+    assert statistics.fmean(assisted.throughputs) > 0.85 * statistics.fmean(plain.throughputs)

@@ -1,0 +1,30 @@
+"""Bench: Fig. 11 — tree algorithms on 81 synthetic PlanetLab nodes."""
+
+import statistics
+
+from repro.experiments.fig11_planetlab_trees import run_fig11
+
+
+def test_fig11_planetlab_trees(once):
+    result = once(run_fig11, n_nodes=81, settle=20.0)
+    result.throughput_table().print()
+    result.stress_table().print()
+
+    means = {
+        policy: statistics.fmean(run.throughputs)
+        for policy, run in result.runs.items()
+    }
+    # (a) end-to-end throughput ordering: ns-aware >> random >> unicast.
+    assert means["ns-aware"] > 2 * means["random"]
+    assert means["random"] > 2 * means["unicast"]
+    # Everyone managed to join under every policy.
+    for run in result.runs.values():
+        assert run.joined == 80
+
+    # (b) stress CDF: ns-aware approaches the ideal step fastest — at a
+    # stress bound of 5 it has (almost) everyone, unicast has the extreme
+    # source outlier.
+    cdf_at_5 = {p: run.stress_cdf([5.0])[0] for p, run in result.runs.items()}
+    assert cdf_at_5["ns-aware"] == 1.0
+    assert max(result.runs["unicast"].stresses) > 20
+    assert max(result.runs["ns-aware"].stresses) < 10

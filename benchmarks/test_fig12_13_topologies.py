@@ -1,0 +1,32 @@
+"""Bench: Figs. 10, 12, 13 — topologies the ns-aware algorithm builds."""
+
+from repro.experiments.fig12_13_topologies import run_topology
+
+
+def test_fig12_10_node_tree(once):
+    result = once(run_topology, 10)
+    result.summary_table("Fig. 12 — 10-node ns-aware tree").print()
+    print(result.dot)
+    assert result.run.joined == 9
+    assert len(result.run.tree_edges) == 9
+    assert max(result.run.stresses) < 10
+
+
+def test_fig10_30_node_north_america(once):
+    result = once(run_topology, 30, north_america_only=True)
+    result.summary_table("Fig. 10 — 30-node ns-aware tree").print()
+    assert result.run.joined == 29
+    assert len(result.run.tree_edges) == 29
+
+
+def test_fig13_81_node_tree(once):
+    result = once(run_topology, 81)
+    result.summary_table("Fig. 13 — 81-node ns-aware tree").print()
+    assert result.run.joined == 80
+    assert len(result.run.tree_edges) == 80
+    # The tree is not a star: load spreads over interior relays.
+    degrees = {}
+    for parent, child in result.run.tree_edges:
+        degrees[parent] = degrees.get(parent, 0) + 1
+    assert max(degrees.values()) < 20
+    assert len(degrees) > 10  # many interior nodes

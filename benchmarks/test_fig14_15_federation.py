@@ -1,0 +1,29 @@
+"""Bench: Figs. 14 and 15 — one federated service on 16 nodes."""
+
+from repro.experiments.fig14_15_federation_small import run_fig14_15
+
+
+def test_fig14_15_federation(once):
+    result = once(run_fig14_15)
+    result.topology_table().print()
+    result.overhead_table().print()
+    result.bandwidth_table().print()
+
+    # Fig. 14: a four-stage complex service was constructed and carries
+    # a live stream at the sink.
+    assert len(result.path) == 4
+    assert result.end_to_end_rate > 20_000
+    assert result.hop_latency_s < 1.0
+
+    # Fig. 15(a): sFederate overhead is small next to sAware, and only the
+    # nodes involved in the session carry any sFederate bytes at all.
+    total_aware = sum(o["aware"] for o in result.per_node_overhead.values())
+    total_federate = sum(o["federate"] for o in result.per_node_overhead.values())
+    assert 0 < total_federate < total_aware / 3
+    untouched = [o for o in result.per_node_overhead.values() if o["federate"] == 0]
+    assert len(untouched) >= 7  # the paper: seven nodes left untouched
+
+    # Fig. 15(b): data-plane bandwidth concentrates on the path nodes.
+    on_path = {str(node) for node in result.path}
+    top = sorted(result.per_node_bandwidth.items(), key=lambda kv: -kv[1]["total"])
+    assert {str(node) for node, _ in top[:4]} == on_path

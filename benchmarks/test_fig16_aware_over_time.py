@@ -1,0 +1,18 @@
+"""Bench: Fig. 16 — sAware overhead over time (30 nodes, 22 minutes)."""
+
+from repro.experiments.fig16_aware_over_time import run_fig16
+
+
+def test_fig16_aware_over_time(once):
+    result = once(run_fig16)
+    result.table().print()
+
+    bins = result.per_minute_aware_bytes
+    assert len(bins) == 22
+    # Overhead is substantial while services arrive (first 10 minutes) ...
+    arrival_volume = sum(bins[:10])
+    assert arrival_volume > 0
+    # ... and decreases significantly afterwards (the paper's headline).
+    tail_volume = sum(bins[12:])
+    assert tail_volume < arrival_volume * 0.1
+    assert result.services_assigned > 15

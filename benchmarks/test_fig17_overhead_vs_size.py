@@ -1,0 +1,18 @@
+"""Bench: Fig. 17 — control overhead vs network size (5-40 nodes)."""
+
+from repro.experiments.fig17_overhead_vs_size import run_fig17
+
+
+def test_fig17_overhead_vs_size(once):
+    result = once(run_fig17)
+    result.table().print()
+
+    # Both overheads grow with network size ...
+    assert result.aware_bytes[-1] > result.aware_bytes[0]
+    assert result.federate_bytes[-1] > result.federate_bytes[0]
+    # ... and sFederate grows at a slower rate than sAware.
+    aware_growth = result.aware_bytes[-1] / max(result.aware_bytes[0], 1)
+    federate_growth = result.federate_bytes[-1] / max(result.federate_bytes[0], 1)
+    assert federate_growth < aware_growth
+    # The 500 requirements per size were essentially all satisfied.
+    assert all(done >= 450 for done in result.completed_sessions)

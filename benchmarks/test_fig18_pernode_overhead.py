@@ -1,0 +1,17 @@
+"""Bench: Fig. 18 — per-node control overhead (30 nodes, 22 minutes)."""
+
+from repro.experiments.fig18_pernode_overhead import run_fig18
+
+
+def test_fig18_pernode_overhead(once):
+    result = once(run_fig18)
+    result.table().print()
+    concentration = result.federate_concentration()
+    print(f"top-5 nodes carry {concentration * 100:.0f}% of sFederate bytes")
+
+    federate = sorted((f for _, _, f in result.per_node), reverse=True)
+    # A few hot nodes dominate the sFederate traffic ...
+    assert concentration > 0.4
+    # ... while a large group of nodes has very low overhead.
+    quiet = sum(1 for volume in federate if volume < federate[0] * 0.05)
+    assert quiet >= 10

@@ -1,0 +1,26 @@
+"""Bench: Fig. 19 — end-to-end bandwidth of federated services."""
+
+import statistics
+
+from repro.experiments.fig19_bandwidth_vs_size import run_fig19
+
+
+def test_fig19_bandwidth_vs_size(once):
+    result = once(run_fig19)
+    result.table().print()
+
+    sflow = result.bandwidth["sflow"]
+    fixed = result.bandwidth["fixed"]
+    random_ = result.bandwidth["random"]
+    # The headline: sFlow consistently produces the highest-bandwidth
+    # federated services, regardless of network size (a ~10% tolerance
+    # absorbs single-seed placement noise at individual sizes).
+    for i in range(len(result.sizes)):
+        assert sflow[i] >= fixed[i] * 0.9
+        assert sflow[i] >= random_[i] * 0.9
+    # And clearly so on average.
+    assert statistics.fmean(sflow) > 1.1 * statistics.fmean(random_)
+    assert statistics.fmean(sflow) > 1.05 * statistics.fmean(fixed)
+    # Every policy completed (almost) all sessions.
+    for counts in result.completed.values():
+        assert all(done >= 30 for done in counts)

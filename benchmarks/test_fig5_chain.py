@@ -1,0 +1,22 @@
+"""Bench: Fig. 5 — raw engine performance on a loopback chain."""
+
+from repro.experiments.fig5_chain import PAPER_CHAIN_SIZES, run_fig5
+
+
+def test_fig5_chain(once):
+    result = once(run_fig5, sizes=PAPER_CHAIN_SIZES, duration=1.5)
+    result.table().print()
+
+    rates = {p.nodes: p.end_to_end for p in result.points}
+    # Shape: end-to-end throughput declines monotonically with chain length
+    # (modulo small measurement noise), as in the paper's curve.
+    assert result.monotonically_declining()
+    # The two-node configuration moves tens of MB/s through one engine hop.
+    assert rates[2] > 10e6
+    # A 32-node chain still sustains far more than typical 2004 wide-area
+    # connection bandwidth (the paper's practical takeaway: 424 KB/s).
+    assert rates[32] > 424e3
+    # Total bandwidth (throughput x links) stays the same order of
+    # magnitude across the sweep: the switch, not the source, saturates.
+    totals = [p.total_bandwidth for p in result.points]
+    assert max(totals) < 10 * min(totals)

@@ -1,0 +1,34 @@
+"""Bench: Fig. 6 — engine correctness on the seven-node topology."""
+
+import pytest
+
+from repro.experiments.common import KB
+from repro.experiments.fig6_correctness import run_fig6
+
+
+def test_fig6_correctness(once):
+    result = once(run_fig6)
+    result.table().print()
+    a, b, c, d = (result.phases[p] for p in "abcd")
+
+    # (a) source budget split: first-hop branches ~200, merged paths ~400.
+    for edge in [("A", "B"), ("A", "C"), ("B", "D"), ("B", "F"), ("C", "D"), ("C", "G")]:
+        assert a[edge] == pytest.approx(200 * KB, rel=0.1)
+    for edge in [("D", "E"), ("E", "F"), ("E", "G")]:
+        assert a[edge] == pytest.approx(400 * KB, rel=0.1)
+
+    # (b) D's 30 KB/s uplink back-pressures the whole upstream to ~15,
+    # while E's fan-out carries 30.
+    for edge in [("A", "B"), ("A", "C"), ("B", "D"), ("B", "F"), ("C", "D"), ("C", "G")]:
+        assert b[edge] == pytest.approx(15 * KB, rel=0.25)
+    for edge in [("D", "E"), ("E", "F"), ("E", "G")]:
+        assert b[edge] == pytest.approx(30 * KB, rel=0.15)
+
+    # (c) terminating B closes exactly its links; the rest settle at 30.
+    assert c[("A", "B")] is None and c[("B", "D")] is None and c[("B", "F")] is None
+    for edge in [("A", "C"), ("C", "D"), ("C", "G"), ("D", "E"), ("E", "F"), ("E", "G")]:
+        assert c[edge] == pytest.approx(30 * KB, rel=0.15)
+
+    # (d) terminating G closes C->G and E->G; F is still served via C,D,E.
+    assert d[("C", "G")] is None and d[("E", "G")] is None
+    assert d[("E", "F")] == pytest.approx(30 * KB, rel=0.15)

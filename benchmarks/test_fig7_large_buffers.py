@@ -1,0 +1,25 @@
+"""Bench: Fig. 7 — bottleneck effects with large buffers."""
+
+import pytest
+
+from repro.experiments.common import KB
+from repro.experiments.fig7_large_buffers import run_fig7
+
+
+def test_fig7_large_buffers(once):
+    result = once(run_fig7)
+    result.table().print()
+    a, b = result.phases["a"], result.phases["b"]
+
+    # (a) with 10000-message buffers, D's 30 KB/s uplink affects only its
+    # downstream links; everything upstream keeps running at ~200 KB/s.
+    for edge in [("A", "B"), ("A", "C"), ("B", "D"), ("B", "F"), ("C", "D"), ("C", "G")]:
+        assert a[edge] == pytest.approx(200 * KB, rel=0.1)
+    for edge in [("D", "E"), ("E", "F"), ("E", "G")]:
+        assert a[edge] == pytest.approx(30 * KB, rel=0.15)
+
+    # (b) capping E->F at 15 KB/s leaves E->G untouched.
+    assert b[("E", "F")] == pytest.approx(15 * KB, rel=0.15)
+    assert b[("E", "G")] == pytest.approx(30 * KB, rel=0.15)
+    for edge in [("A", "B"), ("A", "C"), ("B", "D"), ("B", "F"), ("C", "D"), ("C", "G")]:
+        assert b[edge] == pytest.approx(200 * KB, rel=0.1)

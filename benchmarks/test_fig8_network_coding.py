@@ -1,0 +1,22 @@
+"""Bench: Fig. 8 — network coding on the butterfly topology."""
+
+import pytest
+
+from repro.experiments.common import KB
+from repro.experiments.fig8_network_coding import PAPER_EFFECTIVE, run_fig8
+
+
+def test_fig8_network_coding(once):
+    result = once(run_fig8)
+    result.table().print()
+
+    for scenario in ("without", "with"):
+        for node, paper_kbps in PAPER_EFFECTIVE[scenario].items():
+            measured = result.effective[scenario][node]
+            assert measured == pytest.approx(paper_kbps * KB, rel=0.12), (
+                f"{scenario} coding, node {node}"
+            )
+    # The coding gain at the leaves: 300 -> 400 KB/s.
+    for node in ("F", "G"):
+        gain = result.effective["with"][node] / result.effective["without"][node]
+        assert gain == pytest.approx(4 / 3, rel=0.1)

@@ -1,0 +1,34 @@
+"""Bench: Fig. 9 and Table 3 — the five-node tree construction session."""
+
+import pytest
+
+from repro.experiments.fig9_table3_trees import run_fig9
+
+
+def test_fig9_table3(once):
+    result = once(run_fig9)
+    result.tree_table().print()
+    result.throughput_table().print()
+    result.table3().print()
+
+    unicast, ns_aware = result.runs["unicast"], result.runs["ns-aware"]
+    random_run = result.runs["random"]
+    for run in result.runs.values():
+        assert run.is_spanning_tree()
+
+    # The paper's exact trees: all-unicast is the star, ns-aware is
+    # S -> {A, D}, A -> {B, C}.
+    assert all(parent == "S" for parent, _ in unicast.edges)
+    assert sorted(ns_aware.edges) == [("A", "B"), ("A", "C"), ("S", "A"), ("S", "D")]
+
+    # Table 3, ns-aware column: degrees (2,3,1,1,1) and stress
+    # (1.0, 0.6, 1.0, 0.5, 1.0) for S,A,B,C,D.
+    assert [ns_aware.degree[n] for n in "SABCD"] == [2, 3, 1, 1, 1]
+    assert ns_aware.stress["S"] == pytest.approx(1.0)
+    assert ns_aware.stress["A"] == pytest.approx(0.6)
+
+    # Fig. 9 throughputs: ns-aware ~100 KB/s everywhere, unicast ~50.
+    for node in "ABCD":
+        assert ns_aware.throughput[node] == pytest.approx(100_000, rel=0.15)
+        assert unicast.throughput[node] == pytest.approx(50_000, rel=0.15)
+        assert ns_aware.throughput[node] > random_run.throughput[node] * 0.99

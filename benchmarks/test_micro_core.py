@@ -1,0 +1,140 @@
+"""Microbenchmarks of the hot-path primitives (the paper's Section 2.4
+"maximized performance" concerns, measured for the Python engine).
+
+Unlike the figure benchmarks these use real repeated timing: they are
+the numbers an iOverlay-on-Python user sizes deployments with — message
+codec rate, switch bookkeeping cost, GF(2^8) coding rate, and the
+discrete-event kernel's event throughput.
+"""
+
+from repro.algorithms.coding import gf256
+from repro.algorithms.coding.linear import CodedPayload, GenerationDecoder, combine
+from repro.core.buffer import CircularBuffer
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.sim.kernel import Kernel
+
+SENDER = NodeId("10.0.0.1", 7000)
+PAYLOAD = bytes(5000)
+
+
+def test_message_pack(benchmark):
+    msg = Message(MsgType.DATA, SENDER, 1, PAYLOAD, seq=7)
+    packed = benchmark(msg.pack)
+    assert len(packed) == 5024
+
+
+def test_message_unpack(benchmark):
+    packed = Message(MsgType.DATA, SENDER, 1, PAYLOAD, seq=7).pack()
+    msg = benchmark(Message.unpack, packed)
+    assert msg.seq == 7
+
+
+def test_circular_buffer_cycle(benchmark):
+    buffer = CircularBuffer(64)
+    item = object()
+
+    def cycle():
+        for _ in range(64):
+            buffer.put(item)
+        for _ in range(64):
+            buffer.get()
+
+    benchmark(cycle)
+    assert buffer.is_empty
+
+
+def test_gf256_payload_combine(benchmark):
+    a = CodedPayload.original(0, 0, 2, PAYLOAD)
+    b = CodedPayload.original(0, 1, 2, bytes(range(256)) * 19 + bytes(136))
+
+    coded = benchmark(combine, [a, b], [1, 1])
+    assert coded.coefficients == (1, 1)
+
+
+def test_gf256_generation_decode(benchmark):
+    a = CodedPayload.original(0, 0, 2, PAYLOAD)
+    b = CodedPayload.original(0, 1, 2, bytes([7]) * 5000)
+    coded = combine([a, b], [1, 1])
+
+    def decode():
+        decoder = GenerationDecoder(2, 5000)
+        decoder.add(a)
+        decoder.add(coded)
+        return decoder.originals()
+
+    originals = benchmark(decode)
+    assert originals[1] == bytes([7]) * 5000
+
+
+def test_gf256_scale_bytes(benchmark):
+    scaled = benchmark(gf256.scale_bytes, 42, PAYLOAD)
+    assert len(scaled) == len(PAYLOAD)
+
+
+def test_kernel_event_throughput(benchmark):
+    """Events per second through the virtual-time heap (batch of 10k)."""
+
+    def run_batch():
+        kernel = Kernel()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(10_000):
+            kernel.call_at(i * 0.001, tick)
+        kernel.run()
+        return count
+
+    assert benchmark(run_batch) == 10_000
+
+
+def test_kernel_task_switching(benchmark):
+    """Round-trip cost of parking/waking coroutine tasks on queues."""
+    from repro.sim.sync import SimQueue
+
+    def run_pingpong():
+        kernel = Kernel()
+        ping: SimQueue = SimQueue(kernel, capacity=1)
+        pong: SimQueue = SimQueue(kernel, capacity=1)
+
+        async def left():
+            for _ in range(500):
+                await ping.put(1)
+                await pong.get()
+
+        async def right():
+            for _ in range(500):
+                await ping.get()
+                await pong.put(1)
+
+        kernel.spawn(left())
+        kernel.spawn(right())
+        kernel.run()
+        return True
+
+    assert benchmark(run_pingpong)
+
+
+def test_simulated_engine_message_rate(benchmark):
+    """Simulated messages switched per wall-clock second: a two-node
+    unthrottled stream for one virtual second."""
+    from repro.algorithms.forwarding import CopyForwardAlgorithm, SinkAlgorithm
+    from repro.sim.network import SimNetwork
+
+    def run_sim():
+        net = SimNetwork()
+        src_alg, sink = CopyForwardAlgorithm(), SinkAlgorithm()
+        src = net.add_node(src_alg, name="s")
+        dst = net.add_node(sink, name="d")
+        src_alg.set_downstreams([dst])
+        net.start()
+        net.observer.deploy_source(src, app=1, payload_size=5000)
+        net.run(1.0)
+        return sink.received
+
+    received = benchmark(run_sim)
+    assert received > 100

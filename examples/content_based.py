@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Content-based networking: subscribe by predicate, publish by content.
+
+Three brokers in a line, six clients with stock-style interests.  Events
+are not addressed to anyone — each is delivered to exactly the clients
+whose predicates match, and subscription *covering* keeps the broker
+mesh traffic small.
+"""
+
+from repro.algorithms.contentbased import (
+    ContentBasedBroker,
+    ContentBasedClient,
+    Predicate,
+)
+from repro.sim.network import SimNetwork
+
+
+def main() -> None:
+    net = SimNetwork()
+    brokers = [ContentBasedBroker() for _ in range(3)]
+    broker_ids = [net.add_node(b, name=f"broker{i}") for i, b in enumerate(brokers)]
+    for i, broker in enumerate(brokers):
+        broker.set_neighbors(
+            [broker_ids[j] for j in (i - 1, i + 1) if 0 <= j < 3]
+        )
+    interests = {
+        "cheap-acme": Predicate.of({"symbol": ("=", "ACME"), "price": ("<", 50)}),
+        "any-acme": Predicate.of({"symbol": ("=", "ACME")}),
+        "big-trades": Predicate.of({"volume": (">", 1000)}),
+        "tech-prefix": Predicate.of({"symbol": ("prefix", "TECH")}),
+    }
+    clients = {}
+    for i, (name, predicate) in enumerate(interests.items()):
+        client = ContentBasedClient(broker=broker_ids[i % 3])
+        clients[name] = (client, predicate)
+        net.add_node(client, name=name)
+    net.start()
+    net.run(1)
+    for client, predicate in clients.values():
+        client.subscribe(predicate)
+    net.run(3)
+
+    events = [
+        {"symbol": "ACME", "price": 42, "volume": 100},
+        {"symbol": "ACME", "price": 80, "volume": 5000},
+        {"symbol": "TECHX", "price": 12, "volume": 50},
+        {"symbol": "OTHER", "price": 1, "volume": 10},
+    ]
+    for event in events:
+        brokers[0].publish(event)
+    net.run(3)
+
+    for name, (client, _) in clients.items():
+        got = [f"{e['symbol']}@{e['price']}" for e in client.delivered.events]
+        print(f"{name:>12}: {', '.join(got) if got else '(nothing)'}")
+    total_suppressed = sum(b.suppressed_subscriptions for b in brokers)
+    print(f"\ncovering suppressed {total_suppressed} redundant subscription"
+          f" propagations across the broker mesh")
+
+
+if __name__ == "__main__":
+    main()

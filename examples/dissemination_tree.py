@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Build data dissemination trees on a synthetic PlanetLab (Section 3.3).
+
+Deploys a 30-node wide-area overlay, lets every node join a multicast
+session under each of the three construction policies — all-unicast,
+randomized and node-stress aware — and compares the end-to-end
+throughput each receiver ends up with, plus the node-stress spread.
+"""
+
+import statistics
+
+from repro.experiments.common import KB
+from repro.experiments.fig11_planetlab_trees import run_planetlab_tree
+
+
+def main() -> None:
+    print("constructing 30-node dissemination trees (source pinned at 100 KB/s,")
+    print("last-mile bandwidth uniform in [50, 200] KB/s)\n")
+    for policy in ("unicast", "random", "ns-aware"):
+        run = run_planetlab_tree(policy, n_nodes=30, settle=20)
+        mean_rate = statistics.fmean(run.throughputs) if run.throughputs else 0.0
+        max_stress = max(run.stresses)
+        print(f"{policy:>9}: {run.joined:2d} receivers joined, "
+              f"mean throughput {mean_rate / KB:5.1f} KB/s, "
+              f"max node stress {max_stress:5.1f}")
+    print("\nthe node-stress aware trees route joins toward under-loaded,")
+    print("well-provisioned nodes: higher throughput, bounded stress.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Gossip with iAlgorithm's disseminate utility.
+
+A 40-node overlay where one node injects a rumour and every node relays
+it to its known hosts with probability p — the epidemic dissemination
+primitive the base algorithm class ships with.  Prints coverage over
+time for several gossip probabilities.
+"""
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.sim.network import SimNetwork
+
+
+def coverage(probability: float, n_nodes: int = 40, seed: int = 4) -> list[tuple[float, int]]:
+    net = SimNetwork()
+    algorithms = [
+        GossipAlgorithm(probability=probability, seed=seed + i) for i in range(n_nodes)
+    ]
+    nodes = [net.add_node(alg, name=f"g{i}") for i, alg in enumerate(algorithms)]
+    net.start()
+    net.run(12)  # several bootstrap refreshes: KnownHosts fill up
+    algorithms[0].rumour(b"the cache invalidation rumour", app=9)
+    samples = []
+    for _ in range(10):
+        net.run(1)
+        infected = sum(1 for alg in algorithms if alg.heard)
+        samples.append((net.now, infected))
+    return samples
+
+
+def main() -> None:
+    for p in (0.2, 0.5, 1.0):
+        samples = coverage(p)
+        timeline = "  ".join(f"{infected:2d}" for _, infected in samples)
+        print(f"p={p:0.1f}  infected/40 per second: {timeline}")
+    print("\nhigher gossip probability trades message volume for speed;")
+    print("even p=0.5 reaches the whole overlay within a few rounds.")
+
+
+if __name__ == "__main__":
+    main()

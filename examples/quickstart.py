@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: a four-node overlay in the simulator, in ~40 lines.
+
+Builds a diamond (S fans out to A and B, both feed C), deploys a data
+source with an emulated 200 KB/s per-node budget, and watches the link
+throughputs converge — the iOverlay workflow end to end: write an
+algorithm as a message handler, let the engine do everything else.
+"""
+
+from repro.algorithms.forwarding import CopyForwardAlgorithm, SinkAlgorithm
+from repro.core.bandwidth import BandwidthSpec
+from repro.sim.network import SimNetwork
+
+KB = 1000.0
+
+
+def main() -> None:
+    net = SimNetwork()
+
+    # Algorithms are plain message handlers; the engine owns the plumbing.
+    source_alg = CopyForwardAlgorithm()
+    relay_a, relay_b = CopyForwardAlgorithm(), CopyForwardAlgorithm()
+    sink = SinkAlgorithm()
+
+    source = net.add_node(source_alg, name="S", bandwidth=BandwidthSpec(total=200 * KB))
+    node_a = net.add_node(relay_a, name="A")
+    node_b = net.add_node(relay_b, name="B")
+    node_c = net.add_node(sink, name="C")
+
+    source_alg.set_downstreams([node_a, node_b])
+    relay_a.set_downstreams([node_c])
+    relay_b.set_downstreams([node_c])
+
+    net.start()
+    net.observer.deploy_source(source, app=1, payload_size=5000)
+
+    for _ in range(5):
+        net.run(5)
+        rates = net.rates_snapshot()
+        pretty = ", ".join(f"{src}->{dst}: {rate / KB:6.1f} KB/s"
+                           for (src, dst), rate in sorted(rates.items()))
+        print(f"t={net.now:5.1f}s   {pretty}")
+
+    print(f"\nsink received {sink.received} messages "
+          f"({sink.received_bytes / 1e6:.1f} MB) — two copies of the stream")
+
+
+if __name__ == "__main__":
+    main()

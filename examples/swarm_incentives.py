@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Rationality and self-interest: tit-for-tat exchange vs free-riding.
+
+A ten-peer swarm streams chunks from one seed.  Two peers are rational
+defectors that never upload; reciprocity relegates them to the slow
+optimistic-unchoke lane while cooperators exchange at full speed — the
+Section 3.1 "incentives" research direction, runnable.
+"""
+
+import statistics
+
+from repro.algorithms.exchange import (
+    ChunkExchangeAlgorithm,
+    ExchangeConfig,
+    FreeRiderAlgorithm,
+)
+from repro.sim.network import SimNetwork
+
+
+def main() -> None:
+    net = SimNetwork()
+    config = ExchangeConfig(chunk_size=2000, round_interval=0.5)
+    source = ChunkExchangeAlgorithm(config=config, seed=0)
+    cooperators = [ChunkExchangeAlgorithm(config=config, seed=i + 1) for i in range(7)]
+    freeriders = [FreeRiderAlgorithm(config=config, seed=100 + i) for i in range(2)]
+    swarm = [source, *cooperators, *freeriders]
+    node_ids = [net.add_node(alg, name=f"peer{i}") for i, alg in enumerate(swarm)]
+    for i, alg in enumerate(swarm):
+        alg.set_neighbors([n for j, n in enumerate(node_ids) if j != i])
+    net.start()
+
+    total = 0
+    print("streaming 120 chunks into the swarm ...")
+    for _ in range(12):
+        for index in range(total, total + 10):
+            source.seed_chunk(index)
+        total += 10
+        net.run(4)
+
+    coop = [len(a.have) for a in cooperators]
+    riders = [len(a.have) for a in freeriders]
+    print(f"cooperators hold {statistics.fmean(coop):.0f}/{total} chunks on average"
+          f" (uploaded {statistics.fmean([a.uploaded_chunks for a in cooperators]):.0f} each)")
+    print(f"free-riders hold {statistics.fmean(riders):.0f}/{total} chunks"
+          f" (uploaded 0)")
+    print("\ndefection is visible in the ledger every peer keeps from the")
+    print("middleware's throughput measurements — no extra accounting needed.")
+
+
+if __name__ == "__main__":
+    main()

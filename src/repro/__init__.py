@@ -1,0 +1,36 @@
+"""iOverlay, reproduced in Python.
+
+A from-scratch reimplementation of *"iOverlay: A Lightweight Middleware
+Infrastructure for Overlay Application Implementations"* (Li, Guo, Wang
+— Middleware 2004): the message switching engine, bandwidth emulation,
+failure handling, observer/proxy monitoring plane, the ``iAlgorithm``
+programming model, and the paper's three case studies (network coding,
+dissemination-tree construction, service federation) — on both a
+deterministic discrete-event simulator (:mod:`repro.sim`) and real
+asyncio TCP sockets (:mod:`repro.net`).
+
+Start with :class:`repro.sim.SimNetwork` and
+:class:`repro.core.Algorithm`; see README.md for a walkthrough and
+DESIGN.md for the system inventory.
+"""
+
+from repro.core.algorithm import Algorithm, Disposition
+from repro.core.bandwidth import BandwidthSpec
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.sim.network import NetworkConfig, SimNetwork
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Algorithm",
+    "BandwidthSpec",
+    "Disposition",
+    "Message",
+    "MsgType",
+    "NetworkConfig",
+    "NodeId",
+    "SimNetwork",
+    "__version__",
+]

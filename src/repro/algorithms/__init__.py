@@ -1,0 +1,9 @@
+"""Algorithm library: baseline forwarding plus the paper's case studies."""
+
+from repro.algorithms.forwarding import (
+    ChainRelayAlgorithm,
+    CopyForwardAlgorithm,
+    SinkAlgorithm,
+)
+
+__all__ = ["ChainRelayAlgorithm", "CopyForwardAlgorithm", "SinkAlgorithm"]

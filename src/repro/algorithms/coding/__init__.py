@@ -1,0 +1,19 @@
+"""Network coding over GF(256): the Fig. 8 case study."""
+
+from repro.algorithms.coding import gf256
+from repro.algorithms.coding.algorithm import (
+    CodedSourceAlgorithm,
+    CodingNodeAlgorithm,
+    DecodingSinkAlgorithm,
+)
+from repro.algorithms.coding.linear import CodedPayload, GenerationDecoder, combine
+
+__all__ = [
+    "CodedPayload",
+    "CodedSourceAlgorithm",
+    "CodingNodeAlgorithm",
+    "DecodingSinkAlgorithm",
+    "GenerationDecoder",
+    "combine",
+    "gf256",
+]

@@ -1,0 +1,117 @@
+"""Arithmetic in the Galois field GF(2^8).
+
+The network-coding case study (Section 3.2) codes messages from multiple
+incoming streams into one outgoing stream "using linear codes in the
+Galois Field (and more specifically, with GF(2^8))".
+
+We use the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11B) with
+log/antilog tables built from the generator 0x03, giving O(1) multiply,
+divide and inverse.  Bulk byte-array helpers power the per-message
+encode/decode hot path.
+"""
+
+from __future__ import annotations
+
+#: The reduction polynomial (AES): x^8 + x^4 + x^3 + x + 1.
+POLY = 0x11B
+#: A generator of the multiplicative group under :data:`POLY`.
+GENERATOR = 0x03
+ORDER = 255  # size of the multiplicative group
+
+
+def _build_tables() -> tuple[list[int], list[int]]:
+    exp = [0] * (2 * ORDER)
+    log = [0] * 256
+    value = 1
+    for power in range(ORDER):
+        exp[power] = value
+        log[value] = power
+        # multiply by the generator 0x03 = x + 1: value*2 ^ value
+        doubled = value << 1
+        if doubled & 0x100:
+            doubled ^= POLY
+        value = doubled ^ value
+    for power in range(ORDER, 2 * ORDER):
+        exp[power] = exp[power - ORDER]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def add(a: int, b: int) -> int:
+    """Field addition (= subtraction): bitwise XOR."""
+    return a ^ b
+
+
+sub = add  # characteristic 2: addition is its own inverse
+
+
+def mul(a: int, b: int) -> int:
+    """Field multiplication via log/antilog tables."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def inv(a: int) -> int:
+    """Multiplicative inverse; raises ``ZeroDivisionError`` for 0."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return _EXP[ORDER - _LOG[a]]
+
+
+def div(a: int, b: int) -> int:
+    """Field division ``a / b``."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return _EXP[_LOG[a] - _LOG[b] + ORDER]
+
+
+def pow_(a: int, exponent: int) -> int:
+    """Field exponentiation ``a ** exponent`` (exponent may be negative)."""
+    if a == 0:
+        if exponent == 0:
+            return 1
+        if exponent < 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return 0
+    return _EXP[(_LOG[a] * exponent) % ORDER]
+
+
+# --- bulk operations on byte strings (the per-payload hot path) ----------------
+
+# Precomputed 256x256 multiplication rows are built lazily per scalar and
+# memoised: coding uses few distinct coefficients but long payloads.
+_MUL_ROWS: dict[int, bytes] = {}
+
+
+def _mul_row(coefficient: int) -> bytes:
+    row = _MUL_ROWS.get(coefficient)
+    if row is None:
+        row = bytes(mul(coefficient, value) for value in range(256))
+        _MUL_ROWS[coefficient] = row
+    return row
+
+
+def scale_bytes(coefficient: int, data: bytes) -> bytes:
+    """Multiply every byte of ``data`` by ``coefficient`` in GF(256)."""
+    if coefficient == 0:
+        return bytes(len(data))
+    if coefficient == 1:
+        return data
+    return data.translate(_mul_row(coefficient))
+
+
+def add_bytes(a: bytes, b: bytes) -> bytes:
+    """Element-wise field addition of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} != {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def axpy_bytes(coefficient: int, x: bytes, y: bytes) -> bytes:
+    """Return ``coefficient * x + y`` over GF(256), element-wise."""
+    return add_bytes(scale_bytes(coefficient, x), y)

@@ -1,0 +1,158 @@
+"""Linear combination and decoding of message generations over GF(256).
+
+A *generation* is the unit of coding: the source splits a stream into
+blocks of ``k`` original payloads; any coded payload carries a length-k
+coefficient vector describing which linear combination it is.  A
+receiver decodes a generation as soon as it has gathered k linearly
+independent coded payloads (Gaussian elimination over GF(256)).
+
+The butterfly experiment of Fig. 8 is the special case k = 2 with the
+coding node combining one payload from each incoming stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.coding import gf256
+from repro.errors import DecodingError
+
+
+@dataclass(frozen=True)
+class CodedPayload:
+    """A linear combination of a generation's original payloads."""
+
+    generation: int
+    coefficients: tuple[int, ...]
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not self.coefficients:
+            raise ValueError("coefficient vector must be non-empty")
+        if any(not 0 <= c <= 255 for c in self.coefficients):
+            raise ValueError("coefficients must be GF(256) elements")
+
+    @property
+    def k(self) -> int:
+        return len(self.coefficients)
+
+    # --- wire form: [generation u32][k u16][coeffs...][data] -----------------
+
+    def pack(self) -> bytes:
+        header = (
+            self.generation.to_bytes(4, "big")
+            + self.k.to_bytes(2, "big")
+            + bytes(self.coefficients)
+        )
+        return header + self.data
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "CodedPayload":
+        if len(blob) < 6:
+            raise DecodingError("coded payload too short")
+        generation = int.from_bytes(blob[:4], "big")
+        k = int.from_bytes(blob[4:6], "big")
+        if k == 0 or len(blob) < 6 + k:
+            raise DecodingError("corrupt coefficient vector")
+        coefficients = tuple(blob[6 : 6 + k])
+        return cls(generation, coefficients, blob[6 + k :])
+
+    @classmethod
+    def original(cls, generation: int, index: int, k: int, data: bytes) -> "CodedPayload":
+        """Wrap an uncoded payload as the unit-vector combination e_index."""
+        if not 0 <= index < k:
+            raise ValueError(f"index {index} out of range for k={k}")
+        coefficients = tuple(1 if i == index else 0 for i in range(k))
+        return cls(generation, coefficients, data)
+
+
+def combine(payloads: list[CodedPayload], coefficients: list[int]) -> CodedPayload:
+    """Linear combination ``sum(c_i * p_i)`` of same-generation payloads."""
+    if not payloads:
+        raise ValueError("nothing to combine")
+    if len(payloads) != len(coefficients):
+        raise ValueError("one coefficient per payload required")
+    generation = payloads[0].generation
+    k = payloads[0].k
+    length = len(payloads[0].data)
+    if any(p.generation != generation or p.k != k or len(p.data) != length for p in payloads):
+        raise ValueError("payloads must share generation, k and length")
+    out_coeffs = [0] * k
+    out_data = bytes(length)
+    for coefficient, payload in zip(coefficients, payloads):
+        if coefficient == 0:
+            continue
+        for i in range(k):
+            out_coeffs[i] = gf256.add(out_coeffs[i], gf256.mul(coefficient, payload.coefficients[i]))
+        out_data = gf256.axpy_bytes(coefficient, payload.data, out_data)
+    return CodedPayload(generation, tuple(out_coeffs), out_data)
+
+
+class GenerationDecoder:
+    """Incremental Gaussian elimination for one generation.
+
+    Feed coded payloads with :meth:`add`; once :attr:`complete`,
+    :meth:`originals` returns the k source payloads in order.
+    """
+
+    def __init__(self, k: int, payload_len: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.payload_len = payload_len
+        # rows[i] holds a payload whose leading (pivot) coefficient is at
+        # column i and equals 1, with zeros left of it.
+        self._rows: list[tuple[list[int], bytes] | None] = [None] * k
+        self.rank = 0
+        self.redundant = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.rank == self.k
+
+    def add(self, payload: CodedPayload) -> bool:
+        """Insert a coded payload; returns True if it was innovative."""
+        if payload.k != self.k:
+            raise DecodingError(f"expected k={self.k}, got {payload.k}")
+        if len(payload.data) != self.payload_len:
+            raise DecodingError("payload length mismatch within generation")
+        coeffs = list(payload.coefficients)
+        data = payload.data
+        for column in range(self.k):
+            if coeffs[column] == 0:
+                continue
+            existing = self._rows[column]
+            if existing is None:
+                # Normalize the pivot to 1 and store.
+                pivot_inv = gf256.inv(coeffs[column])
+                coeffs = [gf256.mul(pivot_inv, c) for c in coeffs]
+                data = gf256.scale_bytes(pivot_inv, data)
+                self._rows[column] = (coeffs, data)
+                self.rank += 1
+                return True
+            # Eliminate this column using the stored row.
+            factor = coeffs[column]
+            row_coeffs, row_data = existing
+            coeffs = [gf256.add(c, gf256.mul(factor, rc)) for c, rc in zip(coeffs, row_coeffs)]
+            data = gf256.axpy_bytes(factor, row_data, data)
+        self.redundant += 1
+        return False
+
+    def originals(self) -> list[bytes]:
+        """Back-substitute and return the k original payloads, in order."""
+        if not self.complete:
+            raise DecodingError(f"generation incomplete: rank {self.rank}/{self.k}")
+        # Copy rows for back substitution (upper-triangular with unit pivots).
+        rows = [(list(coeffs), data) for entry in self._rows if entry is not None
+                for coeffs, data in [entry]]
+        for i in range(self.k - 1, -1, -1):
+            coeffs_i, data_i = rows[i]
+            for j in range(i + 1, self.k):
+                factor = coeffs_i[j]
+                if factor:
+                    coeffs_j, data_j = rows[j]
+                    coeffs_i = [gf256.add(c, gf256.mul(factor, cj))
+                                for c, cj in zip(coeffs_i, coeffs_j)]
+                    data_i = gf256.axpy_bytes(factor, data_j, data_i)
+            rows[i] = (coeffs_i, data_i)
+        return [data for _, data in rows]

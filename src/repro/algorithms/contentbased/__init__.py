@@ -1,0 +1,29 @@
+"""Content-based networking on iOverlay (Section 3.1's sketched fit)."""
+
+from repro.algorithms.contentbased.algorithm import (
+    PUBLISH,
+    SUBSCRIBE,
+    UNSUBSCRIBE,
+    ContentBasedBroker,
+    ContentBasedClient,
+)
+from repro.algorithms.contentbased.predicates import (
+    Constraint,
+    Filter,
+    Predicate,
+    event_from_wire,
+    event_to_wire,
+)
+
+__all__ = [
+    "Constraint",
+    "ContentBasedBroker",
+    "ContentBasedClient",
+    "Filter",
+    "PUBLISH",
+    "Predicate",
+    "SUBSCRIBE",
+    "UNSUBSCRIBE",
+    "event_from_wire",
+    "event_to_wire",
+]

@@ -1,0 +1,189 @@
+"""Predicates and matching for content-based networking.
+
+Section 3.1 of the paper singles out content-based networks as "a
+natural fit to be supported by iOverlay": messages are not addressed to
+nodes; instead "a node advertises predicates that define messages of
+interest", and the network delivers each message to every client whose
+predicate matches.
+
+This module is the data model: typed attribute values, per-attribute
+constraints, conjunctive filters, and predicates as disjunctions of
+filters (the classic Siena/Gryphon structure).  Matching and *covering*
+(does predicate P subsume filter F?) are what the routing algorithm in
+:mod:`repro.algorithms.contentbased.algorithm` builds on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import CodecError
+
+AttributeValue = int | float | str
+
+#: the supported constraint operators
+OPERATORS = ("=", "!=", "<", "<=", ">", ">=", "prefix", "contains")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One condition on one message attribute, e.g. ``price < 100``."""
+
+    attribute: str
+    op: str
+    value: AttributeValue
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise ValueError(f"unknown operator {self.op!r}")
+        if self.op in ("prefix", "contains") and not isinstance(self.value, str):
+            raise ValueError(f"operator {self.op!r} needs a string operand")
+
+    def matches(self, event: Mapping[str, AttributeValue]) -> bool:
+        if self.attribute not in event:
+            return False
+        actual = event[self.attribute]
+        expected = self.value
+        try:
+            if self.op == "=":
+                return actual == expected
+            if self.op == "!=":
+                return actual != expected
+            if self.op == "<":
+                return actual < expected  # type: ignore[operator]
+            if self.op == "<=":
+                return actual <= expected  # type: ignore[operator]
+            if self.op == ">":
+                return actual > expected  # type: ignore[operator]
+            if self.op == ">=":
+                return actual >= expected  # type: ignore[operator]
+            if self.op == "prefix":
+                return isinstance(actual, str) and actual.startswith(str(expected))
+            if self.op == "contains":
+                return isinstance(actual, str) and str(expected) in actual
+        except TypeError:
+            return False  # int < "string" and friends: no match, no crash
+        raise AssertionError(f"unhandled operator {self.op}")
+
+    def covers(self, other: "Constraint") -> bool:
+        """Conservative subsumption: every event matching ``other`` also
+        matches ``self``.  Only comparable numeric/equality cases are
+        decided; anything uncertain returns False (safe for routing —
+        false negatives only cost extra advertisement traffic)."""
+        if self.attribute != other.attribute:
+            return False
+        if self == other:
+            return True
+        if self.op == "=" or other.op in ("!=", "prefix", "contains"):
+            # Equality only covers itself; the string operators are only
+            # compared for identity (decided above).
+            return False
+        if other.op == "=":
+            return self.matches({self.attribute: other.value})
+        if not isinstance(self.value, (int, float)) or not isinstance(other.value, (int, float)):
+            return False
+        # Interval containment for one-sided numeric bounds.  "x < w" is
+        # inside "x < v" iff w <= v; strict-vs-inclusive needs one epsilon
+        # case: "x <= w" inside "x < v" requires w < v.
+        if self.op in ("<", "<=") and other.op in ("<", "<="):
+            if self.op == "<" and other.op == "<=":
+                return other.value < self.value
+            return other.value <= self.value
+        if self.op in (">", ">=") and other.op in (">", ">="):
+            if self.op == ">" and other.op == ">=":
+                return other.value > self.value
+            return other.value >= self.value
+        return False
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A conjunction of constraints — all must match."""
+
+    constraints: tuple[Constraint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.constraints:
+            raise ValueError("a filter needs at least one constraint")
+
+    def matches(self, event: Mapping[str, AttributeValue]) -> bool:
+        return all(constraint.matches(event) for constraint in self.constraints)
+
+    def covers(self, other: "Filter") -> bool:
+        """True if every event matching ``other`` matches ``self``:
+        each of our constraints must be implied by one of theirs."""
+        return all(
+            any(mine.covers(theirs) for theirs in other.constraints)
+            for mine in self.constraints
+        )
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A disjunction of filters — a subscriber's full interest."""
+
+    filters: tuple[Filter, ...]
+
+    def __post_init__(self) -> None:
+        if not self.filters:
+            raise ValueError("a predicate needs at least one filter")
+
+    def matches(self, event: Mapping[str, AttributeValue]) -> bool:
+        return any(filter_.matches(event) for filter_ in self.filters)
+
+    def covers(self, other: "Predicate") -> bool:
+        return all(
+            any(mine.covers(theirs) for mine in self.filters)
+            for theirs in other.filters
+        )
+
+    # --- convenience construction ---------------------------------------------
+
+    @classmethod
+    def of(cls, *clauses: dict[str, tuple[str, AttributeValue]]) -> "Predicate":
+        """Build from dicts like ``{"price": ("<", 100), "sym": ("=", "X")}``
+        (one dict per disjunct)."""
+        filters = tuple(
+            Filter(tuple(Constraint(attr, op, value) for attr, (op, value) in clause.items()))
+            for clause in clauses
+        )
+        return cls(filters)
+
+    # --- wire form ----------------------------------------------------------------
+
+    def to_wire(self) -> str:
+        return json.dumps(
+            [
+                [[c.attribute, c.op, c.value] for c in filter_.constraints]
+                for filter_ in self.filters
+            ],
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_wire(cls, text: str) -> "Predicate":
+        try:
+            raw = json.loads(text)
+            filters = tuple(
+                Filter(tuple(Constraint(attr, op, value) for attr, op, value in clause))
+                for clause in raw
+            )
+            return cls(filters)
+        except (TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise CodecError(f"malformed predicate: {exc}") from exc
+
+
+def event_to_wire(event: Mapping[str, AttributeValue]) -> bytes:
+    return json.dumps(dict(event), sort_keys=True, separators=(",", ":")).encode()
+
+
+def event_from_wire(payload: bytes) -> dict[str, AttributeValue]:
+    try:
+        decoded = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed event: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise CodecError("event must be a JSON object")
+    return decoded

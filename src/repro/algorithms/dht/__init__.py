@@ -1,0 +1,6 @@
+"""Structured key lookup (Chord) as a prefabricated iOverlay algorithm."""
+
+from repro.algorithms.dht import ring
+from repro.algorithms.dht.chord import ChordAlgorithm, LookupResult
+
+__all__ = ["ChordAlgorithm", "LookupResult", "ring"]

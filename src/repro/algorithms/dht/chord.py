@@ -1,0 +1,396 @@
+"""Chord on iOverlay: structured key lookup as an ``iAlgorithm``.
+
+The protocol is the classic one: every node keeps a successor, a
+predecessor and a finger table; ``find_successor`` requests are routed
+greedily through the closest preceding finger; periodic *stabilization*
+repairs the ring after joins and failures; keys live at their
+identifier's successor and are handed over when responsibility shifts.
+
+Everything below is ordinary message-driven algorithm code — the engine
+supplies connections, timers, failure notifications and delivery, which
+is precisely the division of labour the paper advertises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.dht import ring
+from repro.core.algorithm import Algorithm, Disposition
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import ALGORITHM_TYPE_BASE
+
+FIND_SUCC = ALGORITHM_TYPE_BASE + 30
+FIND_SUCC_REPLY = ALGORITHM_TYPE_BASE + 31
+GET_PRED = ALGORITHM_TYPE_BASE + 32
+GET_PRED_REPLY = ALGORITHM_TYPE_BASE + 33
+NOTIFY = ALGORITHM_TYPE_BASE + 34
+STORE = ALGORITHM_TYPE_BASE + 35
+FETCH = ALGORITHM_TYPE_BASE + 36
+FETCH_REPLY = ALGORITHM_TYPE_BASE + 37
+HANDOFF = ALGORITHM_TYPE_BASE + 38
+
+_TIMER_STABILIZE = 31
+_TIMER_FIX_FINGERS = 32
+_TIMER_JOIN_RETRY = 33
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one resolved lookup request."""
+
+    key_id: int
+    owner: NodeId
+    hops: int
+    value: str | None = None
+    found: bool = False
+
+
+@dataclass
+class _PendingRequest:
+    purpose: str  # "join" | "finger" | "lookup" | "get" | "put"
+    extra: dict = field(default_factory=dict)
+
+
+class ChordAlgorithm(Algorithm):
+    """One Chord node."""
+
+    def __init__(
+        self,
+        stabilize_interval: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.stabilize_interval = stabilize_interval
+        self.node_hash: int | None = None  # set on bind (needs node_id)
+        self.successor: NodeId | None = None
+        self.predecessor: NodeId | None = None
+        self.fingers: list[NodeId | None] = [None] * ring.M
+        self.store: dict[int, str] = {}
+        self.results: dict[int, LookupResult] = {}  # request id -> result
+        self.lookup_hops: list[int] = []
+        self._pending: dict[int, _PendingRequest] = {}
+        self._next_request = 1
+        self._next_finger = 0
+        self._joined = False
+
+        self.register(FIND_SUCC, self._on_find_succ)
+        self.register(FIND_SUCC_REPLY, self._on_find_succ_reply)
+        self.register(GET_PRED, self._on_get_pred)
+        self.register(GET_PRED_REPLY, self._on_get_pred_reply)
+        self.register(NOTIFY, self._on_notify)
+        self.register(STORE, self._on_store)
+        self.register(FETCH, self._on_fetch)
+        self.register(FETCH_REPLY, self._on_fetch_reply)
+        self.register(HANDOFF, self._on_handoff)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def on_start(self) -> None:
+        self.node_hash = ring.node_to_id(self.node_id)
+        self.engine.set_timer(self.stabilize_interval, _TIMER_STABILIZE)
+        self.engine.set_timer(self.stabilize_interval * 1.5, _TIMER_FIX_FINGERS)
+        self.engine.set_timer(self.stabilize_interval * 2, _TIMER_JOIN_RETRY)
+
+    def on_bootstrapped(self) -> None:
+        if self._joined:
+            return
+        hosts = self.known_hosts.as_list()
+        if not hosts:
+            # First node: a ring of one.
+            self.successor = self.node_id
+            self._joined = True
+            return
+        self._attempt_join()
+
+    def _attempt_join(self) -> None:
+        """(Re)try joining: a join attempt may land on a node that is not
+        in any ring yet and evaporate, so retries run until a successor
+        is learned (the _TIMER_JOIN_RETRY path)."""
+        hosts = self.known_hosts.as_list()
+        if not hosts or self.node_hash is None:
+            return
+        self._joined = True
+        request = self._new_request(_PendingRequest("join"))
+        self._route_find_succ(self.node_hash, request, origin=self.node_id,
+                              first_hop=self.rng.choice(hosts))
+
+    # --------------------------------------------------------------------- client API
+
+    def put(self, key: str, value: str) -> int:
+        """Store ``key -> value`` at the responsible node; returns request id."""
+        key_id = ring.hash_to_id(key)
+        request = self._new_request(_PendingRequest("put", {"key_id": key_id, "value": value}))
+        self._lookup_owner(key_id, request)
+        return request
+
+    def get(self, key: str) -> int:
+        """Resolve ``key``; the value lands in :attr:`results`."""
+        key_id = ring.hash_to_id(key)
+        request = self._new_request(_PendingRequest("get", {"key_id": key_id}))
+        self._lookup_owner(key_id, request)
+        return request
+
+    def lookup(self, key: str) -> int:
+        """Pure routing lookup (no storage side effects)."""
+        key_id = ring.hash_to_id(key)
+        request = self._new_request(_PendingRequest("lookup", {"key_id": key_id}))
+        self._lookup_owner(key_id, request)
+        return request
+
+    def _lookup_owner(self, key_id: int, request: int) -> None:
+        assert self.node_hash is not None and self.successor is not None
+        if ring.in_open_closed(key_id, self.node_hash, ring.node_to_id(self.successor)):
+            self._resolve(request, owner=self.successor, hops=0)
+        else:
+            self._route_find_succ(key_id, request, origin=self.node_id,
+                                  first_hop=self._closest_preceding(key_id))
+
+    # ------------------------------------------------------------------- routing
+
+    def _route_find_succ(self, target: int, request: int, origin: NodeId,
+                         first_hop: NodeId, hops: int = 0) -> None:
+        msg = Message.with_fields(
+            FIND_SUCC, self.node_id, 0,
+            target=target, request=request, origin=str(origin), hops=hops,
+        )
+        self.send(msg, first_hop)
+
+    def _on_find_succ(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        target = int(fields["target"])
+        origin = NodeId.parse(fields["origin"])
+        hops = int(fields["hops"]) + 1
+        assert self.node_hash is not None
+        if self.successor is None:
+            # Not in a ring yet: relay toward someone who might be, so
+            # early joins during simultaneous bootstrap still resolve.
+            candidates = [n for n in self.known_hosts if n not in (origin, self.node_id)]
+            if candidates and hops < ring.M * 2:
+                relay = Message.with_fields(
+                    FIND_SUCC, self.node_id, 0,
+                    target=target, request=int(fields["request"]),
+                    origin=str(origin), hops=hops,
+                )
+                self.send(relay, self.rng.choice(candidates))
+            return Disposition.DONE
+        succ_hash = ring.node_to_id(self.successor)
+        if ring.in_open_closed(target, self.node_hash, succ_hash):
+            reply = Message.with_fields(
+                FIND_SUCC_REPLY, self.node_id, 0,
+                request=int(fields["request"]),
+                owner=str(self.successor),
+                hops=hops,
+            )
+            self.send(reply, origin)
+        elif hops < ring.M * 2:
+            next_hop = self._closest_preceding(target)
+            if next_hop == self.node_id:
+                next_hop = self.successor
+            forwarded = Message.with_fields(
+                FIND_SUCC, self.node_id, 0,
+                target=target, request=int(fields["request"]),
+                origin=str(origin), hops=hops,
+            )
+            self.send(forwarded, next_hop)
+        return Disposition.DONE
+
+    def _closest_preceding(self, target: int) -> NodeId:
+        assert self.node_hash is not None
+        for finger in reversed(self.fingers):
+            if finger is None or finger == self.node_id:
+                continue
+            if ring.in_open(ring.node_to_id(finger), self.node_hash, target):
+                return finger
+        return self.successor or self.node_id
+
+    def _on_find_succ_reply(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        request = int(fields["request"])
+        owner = NodeId.parse(fields["owner"])
+        self._resolve(request, owner=owner, hops=int(fields["hops"]))
+        return Disposition.DONE
+
+    def _resolve(self, request: int, owner: NodeId, hops: int) -> None:
+        pending = self._pending.pop(request, None)
+        if pending is None:
+            return
+        if pending.purpose == "join":
+            self.successor = owner
+            self.send(Message.with_fields(NOTIFY, self.node_id, 0,
+                                          node=str(self.node_id)), owner)
+            return
+        if pending.purpose == "finger":
+            self.fingers[pending.extra["index"]] = owner
+            return
+        key_id = pending.extra.get("key_id", 0)
+        result = LookupResult(key_id=key_id, owner=owner, hops=hops)
+        self.lookup_hops.append(hops)
+        if pending.purpose == "put":
+            self.send(Message.with_fields(
+                STORE, self.node_id, 0,
+                key_id=key_id, value=pending.extra["value"],
+            ), owner)
+            result.found = True
+        elif pending.purpose == "get":
+            self.send(Message.with_fields(
+                FETCH, self.node_id, 0,
+                key_id=key_id, request=request, origin=str(self.node_id),
+            ), owner)
+            self._pending[request] = _PendingRequest("get-wait", {"key_id": key_id})
+        self.results[request] = result
+
+    # --------------------------------------------------------------------- storage
+
+    def _on_store(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        self.store[int(fields["key_id"])] = str(fields["value"])
+        return Disposition.DONE
+
+    def _on_fetch(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        key_id = int(fields["key_id"])
+        reply = Message.with_fields(
+            FETCH_REPLY, self.node_id, 0,
+            request=int(fields["request"]),
+            key_id=key_id,
+            value=self.store.get(key_id),
+            found=key_id in self.store,
+        )
+        self.send(reply, NodeId.parse(fields["origin"]))
+        return Disposition.DONE
+
+    def _on_fetch_reply(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        request = int(fields["request"])
+        self._pending.pop(request, None)
+        result = self.results.get(request)
+        if result is not None:
+            result.value = fields.get("value")
+            result.found = bool(fields.get("found"))
+        return Disposition.DONE
+
+    def _on_handoff(self, msg: Message) -> Disposition:
+        for key, value in msg.fields().get("entries", {}).items():
+            self.store[int(key)] = str(value)
+        return Disposition.DONE
+
+    # ----------------------------------------------------------------- stabilization
+
+    def on_timer(self, token: int) -> Disposition:
+        if token == _TIMER_STABILIZE:
+            self._stabilize()
+            self.engine.set_timer(self.stabilize_interval, _TIMER_STABILIZE)
+        elif token == _TIMER_FIX_FINGERS:
+            self._fix_next_finger()
+            self.engine.set_timer(self.stabilize_interval, _TIMER_FIX_FINGERS)
+        elif token == _TIMER_JOIN_RETRY:
+            if self.successor is None:
+                self._attempt_join()
+                self.engine.set_timer(self.stabilize_interval * 2, _TIMER_JOIN_RETRY)
+        return Disposition.DONE
+
+    def _stabilize(self) -> None:
+        if self.successor is None or self.successor == self.node_id:
+            return
+        self.send(Message.with_fields(GET_PRED, self.node_id, 0,
+                                      origin=str(self.node_id)), self.successor)
+
+    def _on_get_pred(self, msg: Message) -> Disposition:
+        reply = Message.with_fields(
+            GET_PRED_REPLY, self.node_id, 0,
+            predecessor=str(self.predecessor) if self.predecessor else None,
+        )
+        self.send(reply, NodeId.parse(msg.fields()["origin"]))
+        return Disposition.DONE
+
+    def _on_get_pred_reply(self, msg: Message) -> Disposition:
+        assert self.node_hash is not None
+        text = msg.fields().get("predecessor")
+        if text and self.successor is not None:
+            candidate = NodeId.parse(text)
+            if candidate != self.node_id and ring.in_open(
+                ring.node_to_id(candidate), self.node_hash,
+                ring.node_to_id(self.successor),
+            ):
+                self.successor = candidate
+        if self.successor is not None and self.successor != self.node_id:
+            self.send(Message.with_fields(NOTIFY, self.node_id, 0,
+                                          node=str(self.node_id)), self.successor)
+        return Disposition.DONE
+
+    def _on_notify(self, msg: Message) -> Disposition:
+        assert self.node_hash is not None
+        candidate = NodeId.parse(msg.fields()["node"])
+        if candidate == self.node_id:
+            return Disposition.DONE
+        if self.predecessor is None or ring.in_open(
+            ring.node_to_id(candidate), ring.node_to_id(self.predecessor), self.node_hash
+        ):
+            old = self.predecessor
+            self.predecessor = candidate
+            self._handoff_keys(old, candidate)
+        # A lone node adopts its first contact as successor too.
+        if self.successor == self.node_id:
+            self.successor = candidate
+        return Disposition.DONE
+
+    def _handoff_keys(self, old_pred: NodeId | None, new_pred: NodeId) -> None:
+        """Transfer keys the new predecessor is now responsible for."""
+        assert self.node_hash is not None
+        new_hash = ring.node_to_id(new_pred)
+        moving = {
+            key: value for key, value in self.store.items()
+            if not ring.in_open_closed(key, new_hash, self.node_hash)
+        }
+        if not moving:
+            return
+        for key in moving:
+            del self.store[key]
+        self.send(Message.with_fields(
+            HANDOFF, self.node_id, 0,
+            entries={str(k): v for k, v in moving.items()},
+        ), new_pred)
+
+    def _fix_next_finger(self) -> None:
+        if self.successor is None or self.node_hash is None:
+            return
+        index = self._next_finger
+        self._next_finger = (self._next_finger + 1) % ring.M
+        target = ring.finger_start(self.node_hash, index)
+        if ring.in_open_closed(target, self.node_hash, ring.node_to_id(self.successor)):
+            self.fingers[index] = self.successor
+            return
+        request = self._new_request(_PendingRequest("finger", {"index": index}))
+        self._route_find_succ(target, request, origin=self.node_id,
+                              first_hop=self._closest_preceding(target))
+
+    # ------------------------------------------------------------------- failures
+
+    def on_broken_link(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        peer = NodeId.parse(fields["peer"])
+        if peer == self.successor:
+            # Fall back to the next live finger (simplified successor list).
+            replacement = next(
+                (f for f in self.fingers if f is not None and f not in (peer, self.node_id)),
+                None,
+            )
+            self.successor = replacement or self.node_id
+        if peer == self.predecessor:
+            self.predecessor = None
+        self.fingers = [None if f == peer else f for f in self.fingers]
+        return super().on_broken_link(msg) or Disposition.DONE
+
+    # -------------------------------------------------------------------- helpers
+
+    def _new_request(self, pending: _PendingRequest) -> int:
+        request = self._next_request
+        self._next_request += 1
+        self._pending[request] = pending
+        return request
+
+    def ring_position(self) -> int:
+        assert self.node_hash is not None
+        return self.node_hash

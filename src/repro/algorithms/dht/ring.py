@@ -1,0 +1,66 @@
+"""Identifier-circle arithmetic for the Chord case study.
+
+Chord [Stoica et al., SIGCOMM 2001] — one of the structured search
+protocols the paper's introduction names as the target class for
+overlay middleware — places nodes and keys on a circle of 2^m
+identifiers.  This module holds the pure arithmetic: hashing to the
+circle and the half-open/closed interval tests that all routing
+decisions reduce to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.ids import NodeId
+
+#: bits of the identifier circle (2^16 ids: plenty for simulated rings,
+#: small enough that fingers are readable in tests)
+M = 16
+CIRCLE = 1 << M
+
+
+def hash_to_id(data: bytes | str) -> int:
+    """Map arbitrary data onto the identifier circle (SHA-1, truncated)."""
+    if isinstance(data, str):
+        data = data.encode()
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big") % CIRCLE
+
+
+def node_to_id(node: NodeId) -> int:
+    """A node's identifier: the hash of its ip:port (as in Chord)."""
+    return hash_to_id(str(node))
+
+
+def in_open(x: int, a: int, b: int) -> bool:
+    """x ∈ (a, b) on the circle.  Empty when a == b... except that in
+    Chord the degenerate single-node case treats the full circle as the
+    interval, which callers opt into explicitly via ``full_when_equal``
+    helpers below — this primitive stays strict."""
+    if a < b:
+        return a < x < b
+    if a > b:
+        return x > a or x < b
+    return False
+
+
+def in_open_closed(x: int, a: int, b: int) -> bool:
+    """x ∈ (a, b] on the circle; when a == b the interval is the whole
+    circle (the single-node ring owns everything)."""
+    if a < b:
+        return a < x <= b
+    if a > b:
+        return x > a or x <= b
+    return True
+
+
+def distance(a: int, b: int) -> int:
+    """Clockwise distance from a to b."""
+    return (b - a) % CIRCLE
+
+
+def finger_start(node_id: int, index: int) -> int:
+    """The start of finger ``index`` (0-based): node_id + 2^index."""
+    if not 0 <= index < M:
+        raise ValueError(f"finger index out of range: {index}")
+    return (node_id + (1 << index)) % CIRCLE

@@ -1,0 +1,212 @@
+"""Incentive-aware chunk exchange: rationality and self-interest on iOverlay.
+
+Section 3.1 points at "applying economic or game-based models to study
+per-node behavior motivated by self-interests and rationality": nodes
+may refuse to relay or to accept children "due to the lack of
+incentives", and iOverlay's built-in bandwidth measurements make the
+load-balancing side of such algorithms straightforward to evaluate.
+
+This module realizes that direction as a BitTorrent-style swarm:
+
+- a stream is a sequence of numbered *chunks*; the source announces and
+  uploads them into a neighbour mesh;
+- every node periodically tells neighbours what it holds (``HAVE``) and
+  uploads missing chunks — but only to the neighbours that contributed
+  the most to *it* recently (tit-for-tat), plus one optimistic slot so
+  newcomers can bootstrap;
+- a **free-rider** never uploads; reciprocity starves it to whatever the
+  optimistic slots spare.
+
+The contribution ledger is exactly the per-link throughput measurement
+iOverlay already provides to algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.algorithm import Algorithm, Disposition
+from repro.core.ids import AppId, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import ALGORITHM_TYPE_BASE
+from repro.core.stats import ThroughputMeter
+
+HAVE = ALGORITHM_TYPE_BASE + 20
+CHUNK = ALGORITHM_TYPE_BASE + 21
+
+_TIMER_ROUND = 21
+
+
+@dataclass
+class ExchangeConfig:
+    """Tunables of the swarm behaviour."""
+
+    chunk_size: int = 5000
+    round_interval: float = 0.5
+    #: reciprocated upload slots per round
+    unchoke_slots: int = 2
+    #: additional optimistic slots (randomly chosen) when they rotate in
+    optimistic_slots: int = 1
+    #: optimistic slots are only open every this-many rounds (classic
+    #: BitTorrent rotates the optimistic unchoke much slower than the
+    #: reciprocal ones)
+    optimistic_period: int = 3
+    #: chunks uploaded per unchoked peer per round
+    chunks_per_peer: int = 4
+
+
+@dataclass
+class PeerView:
+    """What we know and track about one mesh neighbour."""
+
+    node: NodeId
+    has: set[int] = field(default_factory=set)
+    contribution: ThroughputMeter = field(default_factory=ThroughputMeter)
+
+
+class ChunkExchangeAlgorithm(Algorithm):
+    """A cooperating swarm participant."""
+
+    def __init__(
+        self,
+        neighbors: list[NodeId] | None = None,
+        config: ExchangeConfig | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.config = config or ExchangeConfig()
+        self._neighbors: dict[NodeId, PeerView] = {}
+        for node in neighbors or []:
+            self._neighbors[node] = PeerView(node)
+        self.have: set[int] = set()
+        self.app: AppId = 1
+        self.uploaded_chunks = 0
+        self.duplicate_chunks = 0
+        self.unchoke_history: list[list[NodeId]] = []
+        self._round = 0
+        self.register(HAVE, self._on_have)
+        self.register(CHUNK, self._on_chunk)
+
+    # ------------------------------------------------------------------ topology
+
+    def set_neighbors(self, neighbors: list[NodeId]) -> None:
+        for node in neighbors:
+            self._neighbors.setdefault(node, PeerView(node))
+
+    def on_start(self) -> None:
+        self.engine.set_timer(self.config.round_interval, _TIMER_ROUND)
+
+    # ----------------------------------------------------------------- the source
+
+    def seed_chunk(self, index: int) -> None:
+        """Make a chunk locally available (the source's injection point)."""
+        self.have.add(index)
+
+    # ------------------------------------------------------------------- protocol
+
+    def _on_have(self, msg: Message) -> Disposition:
+        view = self._neighbors.get(msg.sender)
+        if view is None:
+            view = PeerView(msg.sender)
+            self._neighbors[msg.sender] = view
+        view.has.update(int(i) for i in msg.fields()["chunks"])
+        return Disposition.DONE
+
+    def _on_chunk(self, msg: Message) -> Disposition:
+        index = msg.seq
+        view = self._neighbors.setdefault(msg.sender, PeerView(msg.sender))
+        view.contribution.record(msg.size, self.engine.now())
+        view.has.add(index)
+        if index in self.have:
+            self.duplicate_chunks += 1
+            return Disposition.DONE
+        self.have.add(index)
+        return Disposition.DONE
+
+    def on_timer(self, token: int) -> Disposition:
+        if token != _TIMER_ROUND:
+            return Disposition.DONE
+        self._round += 1
+        self._announce()
+        self._upload_round()
+        self.engine.set_timer(self.config.round_interval, _TIMER_ROUND)
+        return Disposition.DONE
+
+    # -------------------------------------------------------------------- rounds
+
+    def _announce(self) -> None:
+        if not self.have or not self._neighbors:
+            return
+        announcement = Message.with_fields(
+            HAVE, self.node_id, self.app, chunks=sorted(self.have),
+        )
+        for node in self._neighbors:
+            self.send(announcement.clone(), node)
+
+    def _select_unchoked(self) -> list[NodeId]:
+        """Tit-for-tat: the top recent contributors, plus optimistic picks."""
+        now = self.engine.now()
+        ranked = sorted(
+            self._neighbors.values(),
+            key=lambda view: view.contribution.rate(now),
+            reverse=True,
+        )
+        contributors = [v.node for v in ranked if v.contribution.rate(now) > 0]
+        unchoked = contributors[: self.config.unchoke_slots]
+        if self._round % self.config.optimistic_period == 0:
+            others = [v.node for v in ranked if v.node not in unchoked]
+            self.rng.shuffle(others)
+            unchoked.extend(others[: self.config.optimistic_slots])
+        return unchoked
+
+    def _upload_round(self) -> None:
+        unchoked = self._select_unchoked()
+        self.unchoke_history.append(unchoked)
+        for node in unchoked:
+            view = self._neighbors[node]
+            missing = sorted(self.have - view.has)
+            # Push a random subset rather than the lowest indices: two
+            # uploaders serving the same peer then rarely collide on the
+            # same chunk between HAVE announcements.
+            if len(missing) > self.config.chunks_per_peer:
+                missing = sorted(self.rng.sample(missing, self.config.chunks_per_peer))
+            for index in missing[: self.config.chunks_per_peer]:
+                chunk = Message(
+                    CHUNK,
+                    self.node_id,
+                    self.app,
+                    bytes(self.config.chunk_size),
+                    seq=index,
+                )
+                self.send(chunk, node)
+                view.has.add(index)  # optimistic bookkeeping
+                self.uploaded_chunks += 1
+
+    # -------------------------------------------------------------------- metrics
+
+    def completion(self, total_chunks: int) -> float:
+        return len(self.have) / total_chunks if total_chunks else 0.0
+
+    def contribution_of(self, peer: NodeId) -> float:
+        view = self._neighbors.get(peer)
+        return 0.0 if view is None else view.contribution.rate(self.engine.now())
+
+
+class FreeRiderAlgorithm(ChunkExchangeAlgorithm):
+    """A rational defector: consumes chunks, never uploads any.
+
+    It still announces an empty ``HAVE`` (so neighbours keep it in their
+    optimistic rotation) — the selfish-but-protocol-compliant strategy.
+    """
+
+    def _upload_round(self) -> None:
+        self.unchoke_history.append([])
+
+    def _announce(self) -> None:
+        if not self._neighbors:
+            return
+        # Announce nothing ever: advertise an empty holding so nobody
+        # requests from us (and we never have to upload).
+        announcement = Message.with_fields(HAVE, self.node_id, self.app, chunks=[])
+        for node in self._neighbors:
+            self.send(announcement.clone(), node)

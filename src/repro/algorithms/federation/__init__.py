@@ -1,0 +1,28 @@
+"""Service federation in service overlay networks (Section 3.4)."""
+
+from repro.algorithms.federation.algorithm import (
+    POLICY_NAMES,
+    FederationAlgorithm,
+    OverheadRecord,
+    ServiceInfo,
+    SessionState,
+)
+from repro.algorithms.federation.requirement import (
+    Requirement,
+    RequirementNode,
+    ServiceType,
+)
+from repro.algorithms.federation.session import FederationDriver, SessionOutcome
+
+__all__ = [
+    "FederationAlgorithm",
+    "FederationDriver",
+    "OverheadRecord",
+    "POLICY_NAMES",
+    "Requirement",
+    "RequirementNode",
+    "ServiceInfo",
+    "SessionOutcome",
+    "SessionState",
+    "ServiceType",
+]

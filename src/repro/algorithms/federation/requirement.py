@@ -1,0 +1,147 @@
+"""Service requirements: what a federated (composed) service must contain.
+
+A requirement names the primitive service *types* a complex service is
+composed of and their producer-consumer order.  The paper supports
+requirements "in the generic form of directed acyclic graphs"; this
+reproduction supports out-trees (a root source type, arbitrary fan-out,
+no joins), which covers the paths and forks exercised by the evaluation;
+the restriction is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import FederationError
+
+ServiceType = int
+
+
+@dataclass(frozen=True)
+class RequirementNode:
+    """One position in the requirement: a service type plus successors."""
+
+    node_id: int
+    service_type: ServiceType
+    children: tuple[int, ...] = ()
+
+
+@dataclass
+class Requirement:
+    """An out-tree of service types, rooted at the source service."""
+
+    nodes: dict[int, RequirementNode] = field(default_factory=dict)
+    root: int = 0
+
+    def validate(self) -> None:
+        if self.root not in self.nodes:
+            raise FederationError(f"root {self.root} not among requirement nodes")
+        seen: set[int] = set()
+        stack = [self.root]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                raise FederationError("requirement graph has a cycle or join")
+            seen.add(current)
+            node = self.nodes.get(current)
+            if node is None:
+                raise FederationError(f"dangling requirement node {current}")
+            stack.extend(node.children)
+        if seen != set(self.nodes):
+            raise FederationError("requirement has unreachable nodes")
+
+    # --- shape helpers -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> RequirementNode:
+        return self.nodes[node_id]
+
+    def leaves(self) -> list[int]:
+        return [nid for nid, node in self.nodes.items() if not node.children]
+
+    def types(self) -> set[ServiceType]:
+        return {node.service_type for node in self.nodes.values()}
+
+    def depth(self) -> int:
+        def walk(nid: int) -> int:
+            node = self.nodes[nid]
+            if not node.children:
+                return 1
+            return 1 + max(walk(child) for child in node.children)
+
+        return walk(self.root)
+
+    # --- construction -------------------------------------------------------------
+
+    @classmethod
+    def path(cls, types: list[ServiceType]) -> "Requirement":
+        """A linear requirement: types[0] -> types[1] -> ... -> types[-1]."""
+        if not types:
+            raise FederationError("a requirement needs at least one type")
+        nodes = {
+            i: RequirementNode(i, t, (i + 1,) if i + 1 < len(types) else ())
+            for i, t in enumerate(types)
+        }
+        requirement = cls(nodes=nodes, root=0)
+        requirement.validate()
+        return requirement
+
+    @classmethod
+    def random_tree(
+        cls,
+        rng: random.Random,
+        types: list[ServiceType],
+        size: int,
+        max_fanout: int = 2,
+    ) -> "Requirement":
+        """A random out-tree of ``size`` positions over the given types."""
+        if size < 1:
+            raise FederationError("size must be >= 1")
+        children: dict[int, list[int]] = {i: [] for i in range(size)}
+        for nid in range(1, size):
+            candidates = [p for p in range(nid) if len(children[p]) < max_fanout]
+            parent = rng.choice(candidates) if candidates else nid - 1
+            children[parent].append(nid)
+        nodes = {
+            nid: RequirementNode(nid, rng.choice(types), tuple(children[nid]))
+            for nid in range(size)
+        }
+        requirement = cls(nodes=nodes, root=0)
+        requirement.validate()
+        return requirement
+
+    # --- wire form -------------------------------------------------------------------
+
+    def to_wire(self) -> str:
+        return json.dumps(
+            {
+                "root": self.root,
+                "nodes": [
+                    {"id": n.node_id, "type": n.service_type, "children": list(n.children)}
+                    for n in self.nodes.values()
+                ],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_wire(cls, text: str) -> "Requirement":
+        try:
+            raw = json.loads(text)
+            nodes = {
+                int(item["id"]): RequirementNode(
+                    int(item["id"]), int(item["type"]), tuple(int(c) for c in item["children"])
+                )
+                for item in raw["nodes"]
+            }
+            requirement = cls(nodes=nodes, root=int(raw["root"]))
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise FederationError(f"malformed requirement: {exc}") from exc
+        requirement.validate()
+        return requirement

@@ -1,0 +1,142 @@
+"""Experiment-side driver for service-federation sessions.
+
+The observer assigns services (``sAssign``), kicks off federation
+sessions (``sFederate`` to the designated source service node), waits
+for acknowledgements, and evaluates the constructed paths — the
+scaffolding shared by the Figs. 14-19 experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.algorithms.federation.algorithm import FederationAlgorithm
+from repro.algorithms.federation.requirement import Requirement, ServiceType
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.observer.observer import Observer
+from repro.sim.network import SimNetwork
+
+
+@dataclass
+class SessionOutcome:
+    """What one federation session produced."""
+
+    session: int
+    requirement: Requirement
+    source: NodeId
+    completed: bool
+    failed_branches: int
+    paths: list[list[NodeId]] = field(default_factory=list)  # source -> each sink
+    end_to_end: float = 0.0  # B/s, min fair share along the bottleneck path
+
+
+class FederationDriver:
+    """Drives a service overlay built from FederationAlgorithm nodes."""
+
+    def __init__(self, net: SimNetwork, algorithms: dict[NodeId, FederationAlgorithm]) -> None:
+        self.net = net
+        self.algorithms = algorithms
+        self._next_session = 1
+        self._next_service_id = 1
+
+    @property
+    def observer(self) -> Observer:
+        return self.net.observer
+
+    # ------------------------------------------------------------------ assignment
+
+    def assign(self, node: NodeId, service_type: ServiceType) -> int:
+        """Observer-assign a service instance of ``service_type`` to ``node``."""
+        service_id = self._next_service_id
+        self._next_service_id += 1
+        msg = Message.with_fields(
+            MsgType.S_ASSIGN, Observer.OBSERVER_ID, 0,
+            service_type=service_type, service_id=service_id,
+        )
+        self.observer.send_message(node, msg)
+        return service_id
+
+    def assign_round_robin(
+        self, types: list[ServiceType], nodes: list[NodeId], instances_per_type: int,
+        rng: random.Random,
+    ) -> dict[ServiceType, list[NodeId]]:
+        """Spread ``instances_per_type`` hosts of each type across nodes."""
+        placement: dict[ServiceType, list[NodeId]] = {t: [] for t in types}
+        for service_type in types:
+            hosts = rng.sample(nodes, min(instances_per_type, len(nodes)))
+            for host in hosts:
+                self.assign(host, service_type)
+                placement[service_type].append(host)
+        return placement
+
+    # ------------------------------------------------------------------ federation
+
+    def federate(self, source: NodeId, requirement: Requirement) -> int:
+        """Start a federation session rooted at ``source``; returns its id."""
+        session = self._next_session
+        self._next_session += 1
+        msg = Message.with_fields(
+            MsgType.S_FEDERATE, Observer.OBSERVER_ID, session,
+            session=session,
+            requirement=requirement.to_wire(),
+            position=requirement.root,
+            source=str(source),
+            path=[],
+        )
+        self.observer.send_message(source, msg)
+        return session
+
+    # ------------------------------------------------------------------ evaluation
+
+    def outcome(self, session: int, source: NodeId, requirement: Requirement) -> SessionOutcome:
+        """Evaluate a session after the network has settled."""
+        source_alg = self.algorithms[source]
+        acks = [a for a in source_alg.acks_received if int(a.get("session", -1)) == session]
+        failures = sum(1 for a in acks if a.get("failed"))
+        paths: list[list[NodeId]] = []
+        for ack in acks:
+            if ack.get("failed"):
+                continue
+            paths.append([NodeId.parse(text) for text in ack.get("path", [])])
+        expected_sinks = len(requirement.leaves())
+        completed = len(paths) == expected_sinks and failures == 0
+        end_to_end = 0.0
+        if paths:
+            shares: list[float] = []
+            for path in paths:
+                for node in path:
+                    algorithm = self.algorithms.get(node)
+                    if algorithm is not None:
+                        shares.append(algorithm.capacity / max(algorithm.active_sessions, 1))
+            end_to_end = min(shares) if shares else 0.0
+        return SessionOutcome(
+            session=session,
+            requirement=requirement,
+            source=source,
+            completed=completed,
+            failed_branches=failures,
+            paths=paths,
+            end_to_end=end_to_end,
+        )
+
+    # ------------------------------------------------------------------ overheads
+
+    def total_overhead(self, kind: str | None = None) -> int:
+        return sum(alg.overhead_bytes(kind) for alg in self.algorithms.values())
+
+    def per_node_overhead(self, kind: str | None = None) -> dict[NodeId, int]:
+        return {node: alg.overhead_bytes(kind) for node, alg in self.algorithms.items()}
+
+    def overhead_timeline(self, bin_span: float, end: float, kind: str | None = None) -> list[int]:
+        """Total control bytes per ``bin_span`` window, across all nodes."""
+        bins = [0] * max(1, int(end / bin_span + 0.999))
+        for algorithm in self.algorithms.values():
+            for record in algorithm.overhead:
+                if kind is not None and record.kind != kind:
+                    continue
+                index = min(int(record.time / bin_span), len(bins) - 1)
+                bins[index] += record.size
+        return bins

@@ -1,0 +1,73 @@
+"""Baseline forwarding algorithms used by the engine-correctness studies.
+
+These are the "simple algorithm" of Section 2.4: identical copies of
+every data message are sent to all configured downstream nodes; when a
+node has multiple upstreams, no merging is performed (every received
+copy is forwarded).  A node with no downstreams is a pure sink that
+counts what it receives.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import Algorithm, Disposition
+from repro.core.ids import NodeId
+from repro.core.message import Message
+
+
+class CopyForwardAlgorithm(Algorithm):
+    """Forward every data message, by reference, to a static downstream set."""
+
+    def __init__(self, downstreams: list[NodeId] | None = None, seed: int | None = None) -> None:
+        super().__init__(seed=seed)
+        self._downstreams: list[NodeId] = list(downstreams or [])
+        self.received = 0
+        self.received_bytes = 0
+        self.forwarded = 0
+
+    def set_downstreams(self, downstreams: list[NodeId]) -> None:
+        """(Re)configure where data is copied to; usable before or at runtime."""
+        self._downstreams = list(downstreams)
+
+    def add_downstream(self, dest: NodeId) -> None:
+        if dest not in self._downstreams:
+            self._downstreams.append(dest)
+
+    def remove_downstream(self, dest: NodeId) -> None:
+        self._downstreams = [node for node in self._downstreams if node != dest]
+
+    @property
+    def downstream_targets(self) -> list[NodeId]:
+        return list(self._downstreams)
+
+    def on_data(self, msg: Message) -> Disposition:
+        self.received += 1
+        self.received_bytes += msg.size
+        for dest in self._downstreams:
+            # Data messages may be re-sent as-is: the engine guarantees
+            # zero-copy forwarding for type ``data`` (Section 2.3).
+            self.send(msg, dest)
+            self.forwarded += 1
+        return Disposition.DONE
+
+    def on_broken_link(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        if fields.get("direction") == "down":
+            self.remove_downstream(NodeId.parse(fields["peer"]))
+        return super().on_broken_link(msg) or Disposition.DONE
+
+
+class SinkAlgorithm(CopyForwardAlgorithm):
+    """Consume everything; convenience alias used by tests and benches."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        super().__init__(downstreams=[], seed=seed)
+
+
+class ChainRelayAlgorithm(CopyForwardAlgorithm):
+    """Relay to exactly one downstream — the Fig. 5 chain workload."""
+
+    def __init__(self, next_hop: NodeId | None = None, seed: int | None = None) -> None:
+        super().__init__(downstreams=[next_hop] if next_hop else [], seed=seed)
+
+    def set_next_hop(self, next_hop: NodeId) -> None:
+        self.set_downstreams([next_hop])

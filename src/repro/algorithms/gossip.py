@@ -1,0 +1,46 @@
+"""Probabilistic (gossip) dissemination on top of ``disseminate``.
+
+The paper's ``iAlgorithm`` base class ships a ``disseminate`` function
+that sends a message to a list of overlay nodes with probability ``p``,
+"resembling the gossiping behavior in distributed systems".  This module
+is the canonical algorithm built on it: epidemic rumour spreading with
+duplicate suppression.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import Algorithm, Disposition
+from repro.core.ids import AppId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+
+
+class GossipAlgorithm(Algorithm):
+    """Relay each gossip message to known hosts with probability ``p``."""
+
+    def __init__(self, probability: float = 0.5, seed: int | None = None) -> None:
+        super().__init__(seed=seed)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self.heard: dict[bytes, float] = {}  # payload -> first-heard time
+        self.relayed = 0
+        self.duplicates = 0
+        self.register(MsgType.GOSSIP, self._on_gossip)
+
+    def rumour(self, payload: bytes, app: AppId = 0) -> int:
+        """Inject a new rumour originating at this node."""
+        self.heard[payload] = self.engine.now()
+        msg = Message(MsgType.GOSSIP, self.node_id, app, payload)
+        sent = self.disseminate(msg, self.known_hosts, p=1.0)
+        self.relayed += sent
+        return sent
+
+    def _on_gossip(self, msg: Message) -> Disposition:
+        if msg.payload in self.heard:
+            self.duplicates += 1
+            return Disposition.DONE
+        self.heard[msg.payload] = self.engine.now()
+        relay = Message(MsgType.GOSSIP, self.node_id, msg.app, msg.payload)
+        self.relayed += self.disseminate(relay, self.known_hosts, p=self.probability)
+        return Disposition.DONE

@@ -1,0 +1,20 @@
+"""Data dissemination tree construction: the Section 3.3 case study."""
+
+from repro.algorithms.trees.base import CMD_JOIN, CMD_LEAVE, STRESS_UNIT, TreeAlgorithm
+from repro.algorithms.trees.policies import (
+    POLICIES,
+    AllUnicastTree,
+    NodeStressAwareTree,
+    RandomizedTree,
+)
+
+__all__ = [
+    "AllUnicastTree",
+    "CMD_JOIN",
+    "CMD_LEAVE",
+    "NodeStressAwareTree",
+    "POLICIES",
+    "RandomizedTree",
+    "STRESS_UNIT",
+    "TreeAlgorithm",
+]

@@ -1,0 +1,342 @@
+"""Data dissemination tree construction (Section 3.3): shared machinery.
+
+A multicast session is built incrementally: the observer deploys the
+source (``sDeploy``) and then asks nodes to join (a generic observer
+``control`` command).  A joining node locates a node already in the tree
+by disseminating an ``sQuery``; nodes outside the tree relay the query,
+and the first in-tree node handles it according to the *policy* under
+study — the subclasses in :mod:`repro.algorithms.trees.policies`:
+
+- **node-stress aware** (the paper's new algorithm): walk to the
+  neighbour with minimum node stress before acknowledging,
+- **all-unicast**: forward the query to the session source, producing a
+  star,
+- **randomized**: acknowledge immediately, wherever the query landed.
+
+Node stress is "the degree of a node in a data dissemination topology
+divided by the available last-mile bandwidth of the node"; nodes
+exchange stress with their tree neighbours periodically (``sStress``).
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import Algorithm, Disposition
+from repro.core.ids import AppId, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.core.stats import ThroughputMeter
+
+#: The paper reports stress in units of 1/100 KBps.
+STRESS_UNIT = 100_000.0
+
+#: Observer control command asking a node to join a session (param1 = app).
+CMD_JOIN = 1
+#: Observer control command asking a node to leave its session.
+CMD_LEAVE = 2
+
+_TIMER_RETRY_JOIN = 1
+_TIMER_STRESS = 2
+_TIMER_ANNOUNCE = 3
+
+_QUERY_TTL = 32
+
+
+class TreeAlgorithm(Algorithm):
+    """Base class for tree-construction algorithms.
+
+    ``last_mile`` is the node's available last-mile bandwidth in bytes
+    per second — the denominator of its node stress.  Subclasses
+    implement :meth:`handle_query_in_tree`.
+    """
+
+    def __init__(
+        self,
+        last_mile: float,
+        stress_interval: float = 1.0,
+        join_retry: float = 2.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if last_mile <= 0:
+            raise ValueError("last_mile bandwidth must be positive")
+        self.last_mile = last_mile
+        self.stress_interval = stress_interval
+        self.join_retry = join_retry
+
+        self.app: AppId | None = None
+        self.is_source = False
+        self.in_tree = False
+        self.parent: NodeId | None = None
+        self.children: list[NodeId] = []
+        self.source_node: NodeId | None = None
+        self.neighbor_stress: dict[NodeId, float] = {}
+        self.received = ThroughputMeter()
+        self._joining = False
+        self._announced = False
+        self._payload_size = 5120
+
+        self.register(MsgType.S_ANNOUNCE, self._on_announce)
+        self.register(MsgType.S_QUERY, self._on_query)
+        self.register(MsgType.S_QUERY_ACK, self._on_query_ack)
+        self.register(MsgType.S_JOIN, self._on_join)
+        self.register(MsgType.S_LEAVE, self._on_leave)
+        self.register(MsgType.S_STRESS, self._on_stress)
+
+    # ------------------------------------------------------------------- metrics
+
+    @property
+    def degree(self) -> int:
+        """Tree degree: parent plus children (the paper's numerator)."""
+        return (1 if self.parent is not None else 0) + len(self.children)
+
+    @property
+    def stress(self) -> float:
+        """Node stress in the paper's 1/100-KBps units."""
+        return self.degree / (self.last_mile / STRESS_UNIT)
+
+    def receive_rate(self) -> float:
+        """End-to-end application throughput observed at this node (B/s)."""
+        return self.received.rate(self.engine.now())
+
+    def tree_neighbors(self) -> list[NodeId]:
+        neighbors = list(self.children)
+        if self.parent is not None:
+            neighbors.append(self.parent)
+        return neighbors
+
+    # --------------------------------------------------------------- deploy / join
+
+    def on_deploy(self, msg: Message) -> Disposition:
+        """This node becomes the session source (observer ``sDeploy``)."""
+        fields = msg.fields()
+        self.app = AppId(fields["app"])
+        self._payload_size = int(fields.get("payload_size", 5120))
+        self.is_source = True
+        self.in_tree = True
+        self.source_node = self.node_id
+        self.engine.start_source(self.app, self._payload_size)
+        self._announce()
+        self.engine.set_timer(self.stress_interval, _TIMER_STRESS)
+        # Re-announce periodically: the source's KnownHosts keeps growing
+        # through bootstrap refreshes, and later arrivals must learn it too.
+        self.engine.set_timer(self.join_retry, _TIMER_ANNOUNCE)
+        return Disposition.DONE
+
+    def on_control(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        command = int(fields.get("type", 0))
+        if command == CMD_JOIN:
+            self.start_join(AppId(fields.get("param1", msg.app)))
+        elif command == CMD_LEAVE:
+            self.leave()
+        return Disposition.DONE
+
+    def start_join(self, app: AppId) -> None:
+        """Begin joining ``app``'s dissemination session."""
+        if self.in_tree:
+            return
+        self.app = app
+        self._joining = True
+        self._send_query()
+        self.engine.set_timer(self.join_retry, _TIMER_RETRY_JOIN)
+
+    def leave(self) -> None:
+        """Leave the session: detach from parent and orphan the children."""
+        if not self.in_tree or self.is_source:
+            return
+        if self.parent is not None and self.app is not None:
+            self.send(
+                Message.with_fields(
+                    MsgType.S_LEAVE, self.node_id, self.app,
+                    app=self.app, child=str(self.node_id),
+                ),
+                self.parent,
+            )
+        self.parent = None
+        self.children.clear()
+        self.in_tree = False
+        self._joining = False
+
+    def _send_query(self) -> None:
+        if self.app is None:
+            return
+        candidates = self.known_hosts.as_list()
+        if not candidates:
+            return
+        target = self.rng.choice(candidates)
+        query = Message.with_fields(
+            MsgType.S_QUERY, self.node_id, self.app,
+            app=self.app, joiner=str(self.node_id), ttl=_QUERY_TTL,
+        )
+        self.send(query, target)
+
+    def _announce(self) -> None:
+        """Disseminate the session source to known hosts (``sAnnounce``)."""
+        if self.app is None or self.source_node is None:
+            return
+        announce = Message.with_fields(
+            MsgType.S_ANNOUNCE, self.node_id, self.app,
+            app=self.app, source=str(self.source_node),
+        )
+        self.disseminate(announce, self.known_hosts, p=1.0)
+
+    # ------------------------------------------------------------------ timers
+
+    def on_timer(self, token: int) -> Disposition:
+        if token == _TIMER_RETRY_JOIN:
+            if self._joining and not self.in_tree:
+                self._send_query()
+                self.engine.set_timer(self.join_retry, _TIMER_RETRY_JOIN)
+        elif token == _TIMER_STRESS:
+            self._exchange_stress()
+            if self.in_tree:
+                self.engine.set_timer(self.stress_interval, _TIMER_STRESS)
+        elif token == _TIMER_ANNOUNCE:
+            if self.is_source:
+                self._announce()
+                self.engine.set_timer(self.join_retry * 2, _TIMER_ANNOUNCE)
+        return Disposition.DONE
+
+    def _exchange_stress(self) -> None:
+        if self.app is None:
+            return
+        report = Message.with_fields(
+            MsgType.S_STRESS, self.node_id, self.app,
+            app=self.app, stress=self.stress,
+        )
+        for neighbor in self.tree_neighbors():
+            self.send(report.clone(), neighbor)
+
+    # ----------------------------------------------------------- protocol handlers
+
+    def _on_announce(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        source = NodeId.parse(fields["source"])
+        self.known_hosts.add(source)
+        if self.source_node is None:
+            self.source_node = source
+            if self.app is None:
+                self.app = AppId(fields["app"])
+            # Relay once so announcements reach nodes the source does not know.
+            self._announced = True
+            self._announce()
+        return Disposition.DONE
+
+    def _on_query(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        joiner = NodeId.parse(fields["joiner"])
+        ttl = int(fields["ttl"])
+        if joiner == self.node_id:
+            return Disposition.DONE
+        if not self.in_tree:
+            self._relay_query(msg, joiner, ttl)
+            return Disposition.DONE
+        self.handle_query_in_tree(joiner, ttl, msg)
+        return Disposition.DONE
+
+    def _relay_query(self, msg: Message, joiner: NodeId, ttl: int) -> None:
+        """A node outside the tree relays the query to a random known host."""
+        if ttl <= 0:
+            return
+        candidates = [n for n in self.known_hosts if n not in (joiner, self.node_id)]
+        if not candidates:
+            return
+        forwarded = Message.with_fields(
+            MsgType.S_QUERY, msg.sender, msg.app,
+            app=msg.app, joiner=str(joiner), ttl=ttl - 1,
+        )
+        self.send(forwarded, self.rng.choice(candidates))
+
+    def handle_query_in_tree(self, joiner: NodeId, ttl: int, msg: Message) -> None:
+        """Policy hook: this node is in the tree and received ``sQuery``."""
+        raise NotImplementedError
+
+    def ack_join(self, joiner: NodeId) -> None:
+        """Invite ``joiner`` to become our child (``sQueryAck``)."""
+        assert self.app is not None
+        ack = Message.with_fields(
+            MsgType.S_QUERY_ACK, self.node_id, self.app,
+            app=self.app, parent=str(self.node_id),
+        )
+        self.send(ack, joiner)
+
+    def forward_query(self, target: NodeId, joiner: NodeId, ttl: int) -> None:
+        assert self.app is not None
+        query = Message.with_fields(
+            MsgType.S_QUERY, self.node_id, self.app,
+            app=self.app, joiner=str(joiner), ttl=ttl - 1,
+        )
+        self.send(query, target)
+
+    def _on_query_ack(self, msg: Message) -> Disposition:
+        if self.in_tree or not self._joining:
+            return Disposition.DONE  # already joined; ignore later acks
+        parent = NodeId.parse(msg.fields()["parent"])
+        self.parent = parent
+        self.in_tree = True
+        self._joining = False
+        assert self.app is not None
+        join = Message.with_fields(
+            MsgType.S_JOIN, self.node_id, self.app,
+            app=self.app, child=str(self.node_id),
+        )
+        self.send(join, parent)
+        self.engine.set_timer(self.stress_interval, _TIMER_STRESS)
+        return Disposition.DONE
+
+    def _on_join(self, msg: Message) -> Disposition:
+        child = NodeId.parse(msg.fields()["child"])
+        if child not in self.children:
+            self.children.append(child)
+        return Disposition.DONE
+
+    def _on_leave(self, msg: Message) -> Disposition:
+        child = NodeId.parse(msg.fields()["child"])
+        self.children = [node for node in self.children if node != child]
+        self.neighbor_stress.pop(child, None)
+        return Disposition.DONE
+
+    def _on_stress(self, msg: Message) -> Disposition:
+        self.neighbor_stress[msg.sender] = float(msg.fields()["stress"])
+        return Disposition.DONE
+
+    # -------------------------------------------------------------------- data
+
+    def on_data(self, msg: Message) -> Disposition:
+        self.received.record(msg.size, self.engine.now())
+        for child in self.children:
+            self.send(msg, child)
+        return Disposition.DONE
+
+    # ------------------------------------------------------------------ failures
+
+    def on_broken_link(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        peer = NodeId.parse(fields["peer"])
+        if fields.get("direction") == "down":
+            self.children = [node for node in self.children if node != peer]
+        elif peer == self.parent:
+            # Lost our parent: rejoin the session from scratch.
+            self.parent = None
+            self.in_tree = False
+            if self.app is not None:
+                self.start_join(self.app)
+        self.neighbor_stress.pop(peer, None)
+        return super().on_broken_link(msg) or Disposition.DONE
+
+    def on_broken_source(self, msg: Message) -> Disposition:
+        """Domino teardown reached us: our whole subtree position is void.
+
+        Reset to a singleton (the engine already failed the downstream
+        links' data flow) and rejoin from scratch — each orphan re-enters
+        independently, which avoids resurrecting stale subtree islands.
+        """
+        if self.is_source:
+            return Disposition.DONE
+        self.parent = None
+        self.children.clear()
+        self.neighbor_stress.clear()
+        self.in_tree = False
+        if self.app is not None:
+            self.start_join(self.app)
+        return Disposition.DONE

@@ -1,0 +1,78 @@
+"""The three tree-construction policies compared in Section 3.3."""
+
+from __future__ import annotations
+
+from repro.algorithms.trees.base import TreeAlgorithm
+from repro.core.ids import NodeId
+from repro.core.message import Message
+
+
+class NodeStressAwareTree(TreeAlgorithm):
+    """The paper's new algorithm: recursive minimum-stress walk.
+
+    An in-tree node compares its own node stress with its parent's and
+    children's.  If it has the minimum, it acknowledges the join;
+    otherwise it forwards the query to the minimum-stress neighbour,
+    recursively, until the minimum-stress node acknowledges.
+
+    Exact stress ties (common with integer degrees over round bandwidth
+    values — the paper's measured stresses were noisy enough to avoid
+    them) are broken by node id, which makes the walk strictly
+    decreasing in (stress, id) and therefore cycle-free; a TTL
+    additionally guards against ping-pong on *stale* stress values.
+    """
+
+    def handle_query_in_tree(self, joiner: NodeId, ttl: int, msg: Message) -> None:
+        if ttl <= 0:
+            self.ack_join(joiner)
+            return
+        best_neighbor: NodeId | None = None
+        best_key = (self.stress, self.node_id)
+        for neighbor in self.tree_neighbors():
+            stress = self.neighbor_stress.get(neighbor)
+            if stress is not None and (stress, neighbor) < best_key:
+                best_neighbor = neighbor
+                best_key = (stress, neighbor)
+        if best_neighbor is None:
+            self.ack_join(joiner)
+        else:
+            self.forward_query(best_neighbor, joiner, ttl)
+
+
+class AllUnicastTree(TreeAlgorithm):
+    """Control algorithm: every member becomes a direct child of the source.
+
+    Any in-tree node that is aware of the session source (from
+    ``sAnnounce``) simply forwards the query there; the source
+    acknowledges all joins, producing a star topology whose uplink it
+    must share among all receivers.
+    """
+
+    def handle_query_in_tree(self, joiner: NodeId, ttl: int, msg: Message) -> None:
+        if self.is_source or ttl <= 0:
+            self.ack_join(joiner)
+            return
+        # Forward to the source if announced, else walk up toward the root.
+        target = self.source_node or self.parent
+        if target is None or target == self.node_id:
+            self.ack_join(joiner)
+        else:
+            self.forward_query(target, joiner, ttl)
+
+
+class RandomizedTree(TreeAlgorithm):
+    """Control algorithm: the first in-tree node reached acknowledges.
+
+    The joiner attaches to whichever tree node its randomly-relayed
+    query happened to hit first, regardless of load or bandwidth.
+    """
+
+    def handle_query_in_tree(self, joiner: NodeId, ttl: int, msg: Message) -> None:
+        self.ack_join(joiner)
+
+
+POLICIES: dict[str, type[TreeAlgorithm]] = {
+    "ns-aware": NodeStressAwareTree,
+    "unicast": AllUnicastTree,
+    "random": RandomizedTree,
+}

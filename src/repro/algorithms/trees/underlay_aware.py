@@ -1,0 +1,60 @@
+"""A tree policy that consults the PLUTO underlay (the Section 5 vision).
+
+The node-stress aware walk optimizes for *load*; with a routing underlay
+available, the acknowledging node can additionally optimize for
+*proximity*: among the tree positions whose stress is within a tolerance
+of the minimum, attach the joiner to the one closest in underlay
+latency.  Same stress profile, shorter overlay edges.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.trees.policies import NodeStressAwareTree
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.underlay.pluto import PlutoUnderlay
+
+
+class UnderlayAwareTree(NodeStressAwareTree):
+    """Minimum-stress walk with proximity tie-breaking via PLUTO."""
+
+    def __init__(
+        self,
+        last_mile: float,
+        underlay: PlutoUnderlay | None = None,
+        stress_tolerance: float = 0.25,
+        **kwargs,
+    ) -> None:
+        super().__init__(last_mile=last_mile, **kwargs)
+        self.underlay = underlay
+        self.stress_tolerance = stress_tolerance
+
+    def set_underlay(self, underlay: PlutoUnderlay) -> None:
+        self.underlay = underlay
+
+    def handle_query_in_tree(self, joiner: NodeId, ttl: int, msg: Message) -> None:
+        if self.underlay is None:
+            super().handle_query_in_tree(joiner, ttl, msg)
+            return
+        if ttl <= 0:
+            self.ack_join(joiner)
+            return
+        # Candidates: self plus tree neighbours with known stress.
+        candidates: dict[NodeId, float] = {self.node_id: self.stress}
+        for neighbor in self.tree_neighbors():
+            stress = self.neighbor_stress.get(neighbor)
+            if stress is not None:
+                candidates[neighbor] = stress
+        minimum = min(candidates.values())
+        tolerated = [
+            node for node, stress in candidates.items()
+            if stress <= minimum * (1 + self.stress_tolerance) or stress == minimum
+        ]
+        try:
+            best = self.underlay.closest(joiner, tolerated)
+        except Exception:
+            best = min(tolerated, key=lambda n: (candidates[n], str(n)))
+        if best == self.node_id:
+            self.ack_join(joiner)
+        else:
+            self.forward_query(best, joiner, ttl)

@@ -1,0 +1,19 @@
+"""Applications: producers/consumers of message payloads (the third tier)."""
+
+from repro.apps.streaming import (
+    PlayoutBuffer,
+    StreamingTree,
+    StreamStats,
+    pack_frame,
+    streaming_engine_config,
+    unpack_frame,
+)
+
+__all__ = [
+    "PlayoutBuffer",
+    "StreamStats",
+    "StreamingTree",
+    "pack_frame",
+    "streaming_engine_config",
+    "unpack_frame",
+]

@@ -1,0 +1,35 @@
+"""Sans-IO middleware core shared by the simulated and asyncio engines."""
+
+from repro.core.algorithm import Algorithm, Disposition, EngineServices, KnownHosts
+from repro.core.bandwidth import BandwidthSpec, NodeThrottle, RateLimiter
+from repro.core.buffer import CircularBuffer
+from repro.core.ids import CONTROL_APP, AppId, NodeId
+from repro.core.message import HEADER_SIZE, Message
+from repro.core.msgtypes import ALGORITHM_TYPE_BASE, MsgType
+from repro.core.stats import LatencyMeter, LinkStats, LossCounter, ThroughputMeter
+from repro.core.switch import PendingForward, ReceiverPort, SwitchScheduler
+
+__all__ = [
+    "ALGORITHM_TYPE_BASE",
+    "Algorithm",
+    "AppId",
+    "BandwidthSpec",
+    "CONTROL_APP",
+    "CircularBuffer",
+    "Disposition",
+    "EngineServices",
+    "HEADER_SIZE",
+    "KnownHosts",
+    "LatencyMeter",
+    "LinkStats",
+    "LossCounter",
+    "Message",
+    "MsgType",
+    "NodeId",
+    "NodeThrottle",
+    "PendingForward",
+    "RateLimiter",
+    "ReceiverPort",
+    "SwitchScheduler",
+    "ThroughputMeter",
+]

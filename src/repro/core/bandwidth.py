@@ -1,0 +1,164 @@
+"""Bandwidth emulation: rate limiters and per-node/per-link specifications.
+
+The paper emulates bandwidth availability in three categories
+(Section 2.2): per-node total, per-node incoming/outgoing (asymmetric
+DSL-style nodes), and per-link limits — specified at start-up or updated
+at runtime from the observer.  It does so by wrapping socket send/recv
+with timers that control bytes per interval.
+
+We model each constrained resource as a *serialized transmitter*: a pipe
+that takes ``size / rate`` seconds per message and is busy in between.
+This reproduces the convergence behaviour of the paper's experiments
+(Figs. 6–8) exactly: competing links sharing one node budget split it
+according to how the switch schedules them (round-robin ⇒ even split).
+
+The limiter is clock-agnostic — callers pass ``now`` explicitly — so the
+same code serves virtual time in the simulator and wall-clock time in
+the asyncio engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Sentinel rate meaning "unconstrained".
+UNLIMITED: float | None = None
+
+
+class RateLimiter:
+    """A serialized transmitter emulating a link of a given rate.
+
+    ``reserve(nbytes, now)`` books the transmission of ``nbytes`` and
+    returns the delay (seconds from ``now``) until it completes.  The
+    transmitter is busy until then, so concurrent reservations queue up
+    behind each other — exactly how bytes behave on a real capped pipe.
+    """
+
+    __slots__ = ("_rate", "_next_free")
+
+    def __init__(self, rate: float | None = UNLIMITED) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {rate}")
+        self._rate = rate
+        self._next_free = 0.0
+
+    @property
+    def rate(self) -> float | None:
+        """Emulated rate in bytes per second (``None`` = unlimited)."""
+        return self._rate
+
+    def set_rate(self, rate: float | None) -> None:
+        """Update the emulated rate at runtime (observer ``SET_BANDWIDTH``)."""
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {rate}")
+        self._rate = rate
+
+    def reserve(self, nbytes: int, now: float) -> float:
+        """Book ``nbytes`` and return seconds until the transfer completes."""
+        if self._rate is None:
+            return 0.0
+        start = max(now, self._next_free)
+        self._next_free = start + nbytes / self._rate
+        return self._next_free - now
+
+    def would_delay(self, nbytes: int, now: float) -> float:
+        """Like :meth:`reserve` but without booking the transfer."""
+        if self._rate is None:
+            return 0.0
+        start = max(now, self._next_free)
+        return start + nbytes / self._rate - now
+
+    def reset(self) -> None:
+        """Forget any queued transmissions (used on link teardown)."""
+        self._next_free = 0.0
+
+
+@dataclass
+class BandwidthSpec:
+    """Emulated bandwidth configuration of one overlay node.
+
+    All rates are bytes per second; ``None`` means unconstrained.  The
+    three per-node categories from the paper plus per-link caps:
+
+    - ``total``: combined incoming + outgoing budget,
+    - ``up`` / ``down``: separate outgoing / incoming budgets,
+    - ``links``: per-destination outgoing caps.
+    """
+
+    total: float | None = UNLIMITED
+    up: float | None = UNLIMITED
+    down: float | None = UNLIMITED
+    links: dict[object, float | None] = field(default_factory=dict)
+
+    def copy(self) -> "BandwidthSpec":
+        return BandwidthSpec(self.total, self.up, self.down, dict(self.links))
+
+
+class NodeThrottle:
+    """Run-time bandwidth state of a node: shared limiters per category.
+
+    A message *sent* to destination ``dest`` consumes the per-link,
+    ``up`` and ``total`` budgets; a message *received* consumes ``down``
+    and ``total``.  The returned delay is the slowest of the consulted
+    limiters, so the effective rate is the minimum of the applicable
+    caps — matching the paper's emulation semantics.
+    """
+
+    def __init__(self, spec: BandwidthSpec | None = None) -> None:
+        spec = spec or BandwidthSpec()
+        self._total = RateLimiter(spec.total)
+        self._up = RateLimiter(spec.up)
+        self._down = RateLimiter(spec.down)
+        self._links: dict[object, RateLimiter] = {
+            dest: RateLimiter(rate) for dest, rate in spec.links.items()
+        }
+
+    # --- runtime updates (observer SET_BANDWIDTH) --------------------------------
+
+    def set_total(self, rate: float | None) -> None:
+        self._total.set_rate(rate)
+
+    def set_up(self, rate: float | None) -> None:
+        self._up.set_rate(rate)
+
+    def set_down(self, rate: float | None) -> None:
+        self._down.set_rate(rate)
+
+    def set_link(self, dest: object, rate: float | None) -> None:
+        limiter = self._links.get(dest)
+        if limiter is None:
+            self._links[dest] = RateLimiter(rate)
+        else:
+            limiter.set_rate(rate)
+
+    def drop_link(self, dest: object) -> None:
+        """Forget per-link state when a link is torn down."""
+        self._links.pop(dest, None)
+
+    # --- reservations -------------------------------------------------------------
+
+    def reserve_send(self, dest: object, nbytes: int, now: float) -> float:
+        """Book an outgoing message; returns the emulation delay in seconds."""
+        delay = self._up.reserve(nbytes, now)
+        delay = max(delay, self._total.reserve(nbytes, now))
+        link = self._links.get(dest)
+        if link is not None:
+            delay = max(delay, link.reserve(nbytes, now))
+        return delay
+
+    def reserve_recv(self, nbytes: int, now: float) -> float:
+        """Book an incoming message; returns the emulation delay in seconds."""
+        delay = self._down.reserve(nbytes, now)
+        return max(delay, self._total.reserve(nbytes, now))
+
+    # --- inspection -----------------------------------------------------------------
+
+    @property
+    def spec(self) -> BandwidthSpec:
+        """The current configuration (rates only, not transmitter state)."""
+        return BandwidthSpec(
+            total=self._total.rate,
+            up=self._up.rate,
+            down=self._down.rate,
+            links={dest: limiter.rate for dest, limiter in self._links.items()},
+        )

@@ -1,0 +1,124 @@
+"""Bounded circular FIFO used for receiver and sender buffers.
+
+The paper implements the shared buffers between receiver, engine and
+sender threads as thread-safe circular queues with a fixed capacity in
+*messages* (Section 2.2).  Buffer capacity is the lever behind the whole
+back-pressure story (Figs. 6 and 7), so capacity accounting must be
+exact.  Synchronization (blocking put/get) lives in the runtime layers
+(:mod:`repro.sim.sync`, asyncio queues); this class is the pure data
+structure both build on.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.errors import BufferClosedError
+
+T = TypeVar("T")
+
+
+class CircularBuffer(Generic[T]):
+    """A fixed-capacity FIFO ring of message references.
+
+    Stores references only — never copies of items — mirroring the
+    paper's zero-copy design.  ``put`` on a full buffer and ``get`` on an
+    empty buffer raise ``IndexError``; callers that need blocking
+    semantics wrap the buffer with runtime-specific synchronization.
+    """
+
+    __slots__ = ("_items", "_capacity", "_head", "_count", "_closed")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
+        self._items: list[T | None] = [None] * capacity
+        self._capacity = capacity
+        self._head = 0  # index of the oldest item
+        self._count = 0
+        self._closed = False
+
+    # --- capacity --------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of items the buffer can hold."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        return self._count == self._capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def free(self) -> int:
+        """Number of free slots."""
+        return self._capacity - self._count
+
+    # --- queue operations --------------------------------------------------------
+
+    def put(self, item: T) -> None:
+        """Append ``item``; raises ``IndexError`` if full, ``BufferClosedError`` if closed."""
+        if self._closed:
+            raise BufferClosedError("put on closed buffer")
+        if self._count == self._capacity:
+            raise IndexError("buffer full")
+        tail = (self._head + self._count) % self._capacity
+        self._items[tail] = item
+        self._count += 1
+
+    def get(self) -> T:
+        """Remove and return the oldest item; raises ``IndexError`` if empty."""
+        if self._count == 0:
+            raise IndexError("buffer empty")
+        item = self._items[self._head]
+        self._items[self._head] = None  # drop the reference promptly
+        self._head = (self._head + 1) % self._capacity
+        self._count -= 1
+        assert item is not None
+        return item
+
+    def peek(self) -> T:
+        """Return the oldest item without removing it."""
+        if self._count == 0:
+            raise IndexError("buffer empty")
+        item = self._items[self._head]
+        assert item is not None
+        return item
+
+    def clear(self) -> list[T]:
+        """Remove and return all items, oldest first."""
+        drained = list(self)
+        self._items = [None] * self._capacity
+        self._head = 0
+        self._count = 0
+        return drained
+
+    # --- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse further ``put`` calls; existing items may still be drained."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # --- iteration -------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate oldest-to-newest without consuming."""
+        for offset in range(self._count):
+            item = self._items[(self._head + offset) % self._capacity]
+            assert item is not None
+            yield item
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"CircularBuffer({self._count}/{self._capacity}, {state})"

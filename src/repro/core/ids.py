@@ -1,0 +1,71 @@
+"""Node and application identifiers.
+
+The paper identifies an overlay node uniquely by its IP address and port
+number (Section 2.2), and tags every message with the identifier of the
+application it belongs to.  Both identifiers are small immutable value
+objects that pack into the fixed-size message header.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+
+_IPV4_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+def ip_to_int(ip: str) -> int:
+    """Convert a dotted-quad IPv4 string to its 32-bit integer form."""
+    match = _IPV4_RE.match(ip)
+    if match is None:
+        raise CodecError(f"not a dotted-quad IPv4 address: {ip!r}")
+    octets = [int(part) for part in match.groups()]
+    if any(octet > 255 for octet in octets):
+        raise CodecError(f"IPv4 octet out of range: {ip!r}")
+    return (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to a dotted-quad IPv4 string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise CodecError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class NodeId:
+    """A node in the overlay: uniquely identified by IP address and port.
+
+    The paper allows the port to be explicitly specified at start-up;
+    otherwise the engine picks one.  ``NodeId`` is hashable and ordered so
+    it can be used as a dictionary key and sorted deterministically.
+    """
+
+    ip: str
+    port: int
+
+    def __post_init__(self) -> None:
+        ip_to_int(self.ip)  # validates the address
+        if not 0 <= self.port <= 0xFFFFFFFF:
+            raise CodecError(f"port out of range: {self.port}")
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "NodeId":
+        """Parse ``"ip:port"`` into a :class:`NodeId`."""
+        ip, sep, port = text.rpartition(":")
+        if not sep or not port.isdigit():
+            raise CodecError(f"not an ip:port node id: {text!r}")
+        return cls(ip, int(port))
+
+
+# The application identifier is a plain 32-bit integer in the header;
+# an alias keeps signatures self-documenting.
+AppId = int
+
+#: Application id reserved for engine/observer control traffic.
+CONTROL_APP: AppId = 0

@@ -1,0 +1,206 @@
+"""The application-layer message and its 24-byte wire header.
+
+The paper (Fig. 3) defines a fixed 24-byte header:
+
+====================  =======  =============================================
+field                 bytes    notes
+====================  =======  =============================================
+message type          4        :mod:`repro.core.msgtypes`
+original sender IP    4        IPv4, network byte order
+original sender port  4
+application id        4        which deployed application this belongs to
+sequence number       4        the only *modifiable* field
+payload size          4        number of payload bytes that follow
+====================  =======  =============================================
+
+Message content is otherwise immutable and initialized at construction
+time, exactly as in the paper.  The engine passes messages by reference
+("zero copying"); Python object references give us that for free, and the
+immutability contract keeps reference sharing safe.  The one mutable
+field, the sequence number, is isolated so concurrent readers of shared
+messages are never surprised.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.core.ids import AppId, NodeId, int_to_ip, ip_to_int
+from repro.core.msgtypes import type_name
+from repro.errors import CodecError
+
+#: Size of the fixed wire header, in bytes (Fig. 3 of the paper).
+HEADER_SIZE = 24
+
+_HEADER_STRUCT = struct.Struct("!IIIIiI")
+
+#: Default maximum payload length accepted by :func:`unpack` (messages have
+#: "a maximum (but not necessarily fixed) length" — Section 2.2).
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+
+class Message:
+    """An application-layer message: 24-byte header plus payload.
+
+    Instances are cheap to share by reference across engine components.
+    All header fields except ``seq`` are read-only after construction.
+    """
+
+    __slots__ = ("_type", "_sender", "_app", "seq", "_payload")
+
+    def __init__(
+        self,
+        type_: int,
+        sender: NodeId,
+        app: AppId,
+        payload: bytes = b"",
+        seq: int = 0,
+    ) -> None:
+        if not 0 <= type_ <= 0xFFFFFFFF:
+            raise CodecError(f"message type out of range: {type_}")
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise CodecError(f"payload must be bytes-like, got {type(payload).__name__}")
+        self._type = type_
+        self._sender = sender
+        self._app = app
+        self.seq = seq
+        self._payload = bytes(payload)
+
+    # --- read-only header accessors -------------------------------------------
+
+    @property
+    def type(self) -> int:
+        """The 32-bit message type."""
+        return self._type
+
+    @property
+    def sender(self) -> NodeId:
+        """The *original* sender of the message (not the last hop)."""
+        return self._sender
+
+    @property
+    def app(self) -> AppId:
+        """The application this message belongs to."""
+        return self._app
+
+    @property
+    def payload(self) -> bytes:
+        """The application data carried by this message."""
+        return self._payload
+
+    @property
+    def size(self) -> int:
+        """Total wire size: header plus payload, in bytes."""
+        return HEADER_SIZE + len(self._payload)
+
+    # --- codec -----------------------------------------------------------------
+
+    def pack(self) -> bytes:
+        """Serialize to wire bytes (header then payload)."""
+        header = _HEADER_STRUCT.pack(
+            self._type,
+            ip_to_int(self._sender.ip),
+            self._sender.port,
+            self._app,
+            self.seq,
+            len(self._payload),
+        )
+        return header + self._payload
+
+    @classmethod
+    def unpack(cls, data: bytes | memoryview, max_payload: int = MAX_PAYLOAD) -> "Message":
+        """Deserialize a message from wire bytes.
+
+        Raises :class:`~repro.errors.CodecError` when the buffer is
+        truncated, carries trailing garbage, or declares an oversized
+        payload.
+        """
+        data = bytes(data)
+        if len(data) < HEADER_SIZE:
+            raise CodecError(f"truncated header: {len(data)} < {HEADER_SIZE} bytes")
+        type_, ip_int, port, app, seq, payload_size = _HEADER_STRUCT.unpack_from(data)
+        if payload_size > max_payload:
+            raise CodecError(f"declared payload {payload_size} exceeds limit {max_payload}")
+        if len(data) != HEADER_SIZE + payload_size:
+            raise CodecError(
+                f"payload length mismatch: header declares {payload_size}, "
+                f"buffer carries {len(data) - HEADER_SIZE}"
+            )
+        sender = NodeId(int_to_ip(ip_int), port)
+        return cls(type_, sender, app, data[HEADER_SIZE:], seq=seq)
+
+    # --- copying ---------------------------------------------------------------
+
+    def clone(self) -> "Message":
+        """Deep-copy the message (the paper's ``Msg`` copy constructor).
+
+        Algorithms that want to re-``send`` a non-data message they
+        received must clone it first (Section 2.3); data messages may be
+        forwarded by reference.
+        """
+        return Message(self._type, self._sender, self._app, self._payload, seq=self.seq)
+
+    def with_seq(self, seq: int) -> "Message":
+        """A copy sharing the payload but carrying a different sequence number."""
+        clone = Message.__new__(Message)
+        clone._type = self._type
+        clone._sender = self._sender
+        clone._app = self._app
+        clone.seq = seq
+        clone._payload = self._payload
+        return clone
+
+    # --- structured payload helpers ---------------------------------------------
+
+    @classmethod
+    def with_fields(
+        cls,
+        type_: int,
+        sender: NodeId,
+        app: AppId,
+        /,
+        seq: int = 0,
+        **fields: Any,
+    ) -> "Message":
+        """Build a message whose payload is a JSON object of ``fields``.
+
+        Control messages in the reproduction carry small structured
+        payloads; JSON keeps them debuggable while still being counted
+        byte-for-byte in overhead experiments.
+        """
+        payload = json.dumps(fields, sort_keys=True, separators=(",", ":")).encode()
+        return cls(type_, sender, app, payload, seq=seq)
+
+    def fields(self) -> dict[str, Any]:
+        """Decode a JSON-object payload produced by :meth:`with_fields`."""
+        try:
+            decoded = json.loads(self._payload.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"payload is not a JSON object: {exc}") from exc
+        if not isinstance(decoded, dict):
+            raise CodecError("payload JSON is not an object")
+        return decoded
+
+    # --- dunder ----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({type_name(self._type)}, sender={self._sender}, "
+            f"app={self._app}, seq={self.seq}, payload={len(self._payload)}B)"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self._type == other._type
+            and self._sender == other._sender
+            and self._app == other._app
+            and self.seq == other.seq
+            and self._payload == other._payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._type, self._sender, self._app, self.seq, self._payload))

@@ -1,0 +1,100 @@
+"""Message types used across the engine, the observer and algorithms.
+
+The paper drives everything through typed application-layer messages: the
+engine and the observer define a vocabulary of control types, and
+algorithms add their own (sQuery, sAware, ...).  Types are 32-bit values
+in the wire header; we reserve the low range for the engine/observer and
+give algorithms a dedicated range so the two can never collide.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum, unique
+
+
+@unique
+class MsgType(IntEnum):
+    """Well-known message types.
+
+    Values below :data:`ALGORITHM_TYPE_BASE` belong to the engine and the
+    observer; algorithm-specific types (the ``s*`` family from the
+    paper's case studies) live above it.
+    """
+
+    # --- engine / data plane -------------------------------------------------
+    DATA = 1                 # application payload (the only type an algorithm must handle)
+    HEARTBEAT = 2            # on-demand measurement probe/echo (never used for
+                             # failure detection — the paper forbids that)
+
+    # --- observer control plane ----------------------------------------------
+    BOOT = 10                # node -> observer: bootstrap request
+    BOOT_REPLY = 11          # observer -> node: random subset of alive nodes
+    REQUEST = 12             # observer -> node: request a status update
+    STATUS = 13              # node -> observer: buffers, QoS, neighbour lists
+    TERMINATE = 14           # observer -> node: terminate the node gracefully
+    SET_BANDWIDTH = 15       # observer -> node: update emulated bandwidth
+    CONNECT = 16             # observer -> node: connect to a downstream node
+    DISCONNECT = 17          # observer -> node: drop a downstream link
+    TRACE = 18               # node -> observer: debugging / measurement trace record
+    CONTROL = 19             # observer -> algorithm: generic command, two int params
+    HELLO = 20               # first frame on a fresh TCP connection: sender identity
+    PROXY = 21               # observer -> proxy envelope: {dest, inner message hex}
+
+    # --- engine -> algorithm notifications ------------------------------------
+    BROKEN_SOURCE = 30       # an upstream application source has failed
+    BROKEN_LINK = 31         # an adjacent link has been torn down
+    UP_THROUGHPUT = 32       # periodic throughput measurement from an upstream
+    DOWN_THROUGHPUT = 33     # periodic throughput measurement to a downstream
+    NEW_UPSTREAM = 34        # a new incoming connection was accepted
+    MEASURE_REPLY = 35       # reply to an on-demand bandwidth/latency probe
+    TIMER = 36               # a timer the algorithm armed via set_timer fired
+
+    # --- application deployment ------------------------------------------------
+    S_DEPLOY = 40            # observer -> node: deploy an application source here
+    S_TERMINATE = 41         # observer -> node: terminate an application source
+
+    # --- algorithm library (tree construction case study) ----------------------
+    S_JOIN = 50              # node -> tree: request to join a session
+    S_QUERY = 51             # locate a node already in the tree
+    S_QUERY_ACK = 52         # acknowledgement electing a parent
+    S_ANNOUNCE = 53          # announces the source of a session
+    S_STRESS = 54            # periodic node-stress exchange with neighbours
+    S_LEAVE = 55             # leave a session
+
+    # --- algorithm library (service federation case study) ---------------------
+    S_ASSIGN = 60            # observer -> node: host a service instance
+    S_AWARE = 61             # dissemination of a new service's existence
+    S_FEDERATE = 62          # service requirement flowing source -> sink
+    S_FEDERATE_ACK = 63      # path confirmation sink -> source
+
+    # --- algorithm library (gossip) --------------------------------------------
+    GOSSIP = 70              # probabilistically disseminated payload
+
+
+#: First type value available to user-defined algorithms.
+ALGORITHM_TYPE_BASE = 1000
+
+
+def is_engine_type(type_value: int) -> bool:
+    """True if the engine itself (not the algorithm) owns this type."""
+    return type_value in _ENGINE_OWNED
+
+
+def type_name(type_value: int) -> str:
+    """Human-readable name for a type value (used in traces and repr)."""
+    try:
+        return MsgType(type_value).name
+    except ValueError:
+        return f"user({type_value})"
+
+
+_ENGINE_OWNED = frozenset(
+    {
+        MsgType.REQUEST,
+        MsgType.TERMINATE,
+        MsgType.SET_BANDWIDTH,
+        MsgType.CONNECT,
+        MsgType.DISCONNECT,
+        MsgType.HEARTBEAT,
+    }
+)

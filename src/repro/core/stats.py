@@ -1,0 +1,161 @@
+"""QoS measurement: throughput, latency and loss meters.
+
+The paper measures, at the socket level, per-connection TCP throughput,
+round-trip latency and bytes/messages lost to failures, and reports the
+results periodically to the algorithm and the observer (Section 2.2).
+The experiments read link throughputs off these meters (e.g. the edge
+labels in Figs. 6–9), so the meters must converge quickly yet smooth
+out burstiness — we use a sliding window of fixed-duration buckets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class ThroughputMeter:
+    """Sliding-window byte-rate meter.
+
+    Bytes are accumulated into ``bucket_span``-second buckets; the rate
+    is total bytes over the covered window.  The window slides in whole
+    buckets, so the meter is cheap (O(1) amortized per record) and
+    deterministic under virtual time.
+    """
+
+    __slots__ = ("_bucket_span", "_window", "_buckets", "_current_start", "_current_bytes", "_total_bytes", "_total_msgs")
+
+    def __init__(self, window: float = 4.0, bucket_span: float = 0.5) -> None:
+        if window <= 0 or bucket_span <= 0 or bucket_span > window:
+            raise ValueError("need 0 < bucket_span <= window")
+        self._bucket_span = bucket_span
+        self._window = window
+        self._buckets: deque[tuple[float, int]] = deque()  # (bucket start, bytes)
+        self._current_start: float | None = None
+        self._current_bytes = 0
+        self._total_bytes = 0
+        self._total_msgs = 0
+
+    def record(self, nbytes: int, now: float) -> None:
+        """Account ``nbytes`` transferred at time ``now``."""
+        self._total_bytes += nbytes
+        self._total_msgs += 1
+        if self._current_start is None:
+            self._current_start = now
+        while now >= self._current_start + self._bucket_span:
+            self._buckets.append((self._current_start, self._current_bytes))
+            self._current_start += self._bucket_span
+            self._current_bytes = 0
+        self._current_bytes += nbytes
+        self._expire(now)
+
+    def rate(self, now: float) -> float:
+        """Bytes per second over the sliding window ending at ``now``."""
+        self._expire(now)
+        window_bytes = self._current_bytes + sum(b for _, b in self._buckets)
+        if self._current_start is None:
+            return 0.0
+        oldest = self._buckets[0][0] if self._buckets else self._current_start
+        covered = max(now - oldest, self._bucket_span)
+        return window_bytes / covered
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self._window
+        while self._buckets and self._buckets[0][0] + self._bucket_span < cutoff:
+            self._buckets.popleft()
+
+    @property
+    def total_bytes(self) -> int:
+        """Cumulative bytes since creation (never expires)."""
+        return self._total_bytes
+
+    @property
+    def total_messages(self) -> int:
+        """Cumulative messages since creation."""
+        return self._total_msgs
+
+    def last_activity(self) -> float | None:
+        """Time of the most recent record, or ``None`` if never used.
+
+        Failure detection uses this to spot long consecutive periods of
+        traffic inactivity (Section 2.2) without active probes.
+        """
+        if self._current_start is None:
+            return None
+        return self._current_start  # within one bucket span of the true time
+
+
+class LatencyMeter:
+    """Exponentially-weighted round-trip latency estimator (RFC6298 style)."""
+
+    __slots__ = ("_srtt", "_alpha", "_samples")
+
+    def __init__(self, alpha: float = 0.125) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self._srtt: float | None = None
+        self._alpha = alpha
+        self._samples = 0
+
+    def record(self, rtt: float) -> None:
+        if rtt < 0:
+            raise ValueError("rtt must be non-negative")
+        self._samples += 1
+        if self._srtt is None:
+            self._srtt = rtt
+        else:
+            self._srtt += self._alpha * (rtt - self._srtt)
+
+    @property
+    def smoothed(self) -> float | None:
+        """Smoothed RTT in seconds, or ``None`` before the first sample."""
+        return self._srtt
+
+    @property
+    def samples(self) -> int:
+        return self._samples
+
+
+class LossCounter:
+    """Counts messages and bytes lost to failures on one link."""
+
+    __slots__ = ("messages", "bytes")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+
+    def record(self, nbytes: int, nmessages: int = 1) -> None:
+        self.messages += nmessages
+        self.bytes += nbytes
+
+
+@dataclass
+class LinkStats:
+    """Everything measured about one direction of one overlay link."""
+
+    throughput: ThroughputMeter = field(default_factory=ThroughputMeter)
+    latency: LatencyMeter = field(default_factory=LatencyMeter)
+    loss: LossCounter = field(default_factory=LossCounter)
+
+    def snapshot(self, now: float) -> "LinkStatsSnapshot":
+        return LinkStatsSnapshot(
+            rate=self.throughput.rate(now),
+            total_bytes=self.throughput.total_bytes,
+            total_messages=self.throughput.total_messages,
+            srtt=self.latency.smoothed,
+            lost_messages=self.loss.messages,
+            lost_bytes=self.loss.bytes,
+        )
+
+
+@dataclass(frozen=True)
+class LinkStatsSnapshot:
+    """Immutable point-in-time view of :class:`LinkStats` (for reports)."""
+
+    rate: float
+    total_bytes: int
+    total_messages: int
+    srtt: float | None
+    lost_messages: int
+    lost_bytes: int

@@ -1,0 +1,172 @@
+"""Switching bookkeeping: receiver ports, pending forwards, WRR order.
+
+The engine thread "switches data messages from the receiver buffers to
+the sender buffers in a weighted round-robin fashion, with dynamically
+tunable weights" (Section 2.2).  When a message is successfully
+forwarded to only a subset of its intended destinations (some sender
+buffers full), the engine "labels each message with its set of remaining
+senders, so that they may be tried in the next round."
+
+This module holds that pure bookkeeping, shared by the simulated and the
+asyncio engines:
+
+- :class:`ReceiverPort` — one upstream connection's buffer, weight and
+  at most one partially-forwarded message,
+- :class:`PendingForward` — a message plus its remaining destinations,
+- :class:`SwitchScheduler` — the rotating weighted round-robin order.
+
+A port with a pending forward is *blocked*: no further message is taken
+from its buffer until the pending one has fully left.  With small
+buffers this is exactly the mechanism that produces the paper's back
+pressure (Fig. 6b); with large buffers the pressure is delayed (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.buffer import CircularBuffer
+from repro.core.ids import NodeId
+from repro.core.message import Message
+
+
+@dataclass
+class PendingForward:
+    """A message that still owes deliveries to ``remaining`` destinations."""
+
+    msg: Message
+    remaining: list[NodeId]
+
+    @property
+    def done(self) -> bool:
+        return not self.remaining
+
+
+@dataclass
+class ReceiverPort:
+    """Engine-side state of one incoming connection.
+
+    ``buffer`` is any bounded FIFO exposing ``is_empty`` and ``__len__``;
+    the simulated engine uses a blocking :class:`~repro.sim.sync.SimQueue`
+    so that a full buffer parks the receiver task (back pressure), while
+    unit tests may use a plain :class:`CircularBuffer`.
+
+    ``pending`` holds messages produced while processing this port's
+    traffic that could not be fully forwarded (some sender buffers were
+    full).  While any forward is pending the port is *blocked*: no new
+    message is taken from its buffer, preserving per-port FIFO order.
+    """
+
+    peer: NodeId
+    buffer: "CircularBuffer[Message]"
+    weight: int = 1
+    pending: list[PendingForward] = field(default_factory=list)
+    #: messages the algorithm HOLDs are charged here for observability
+    held: int = 0
+    #: deficit-round-robin credit: messages this port may still move in
+    #: the current credit epoch.  Consumed as messages *depart* the port
+    #: (processed without pending, or a pending forward completing), so
+    #: the weight ratio holds even when the contended resource is a full
+    #: sender buffer and every message goes through the pending path.
+    credit: int = 1
+
+    @property
+    def blocked(self) -> bool:
+        """True while a partially-forwarded message occupies this port."""
+        return any(not forward.done for forward in self.pending)
+
+    def prune_pending(self) -> None:
+        """Drop completed forwards."""
+        self.pending = [forward for forward in self.pending if not forward.done]
+
+    def discard_dest(self, dest: NodeId) -> None:
+        """Remove a (dead) destination from every pending forward."""
+        for forward in self.pending:
+            forward.remaining = [node for node in forward.remaining if node != dest]
+        self.prune_pending()
+
+    def has_work(self) -> bool:
+        return bool(self.pending) or not self.buffer.is_empty
+
+
+class SwitchScheduler:
+    """Rotating weighted round-robin over receiver ports.
+
+    Each call to :meth:`rotation` yields every registered port exactly
+    once, starting after the port that ended the previous rotation, so
+    no port can starve another.  Weights are consumed by the engine
+    (``weight`` messages per visit); they may be retuned at runtime.
+    """
+
+    def __init__(self) -> None:
+        self._ports: dict[NodeId, ReceiverPort] = {}
+        self._order: list[NodeId] = []
+        self._cursor = 0
+
+    # --- registry -------------------------------------------------------------------
+
+    def add_port(self, port: ReceiverPort) -> None:
+        if port.peer in self._ports:
+            raise ValueError(f"duplicate receiver port for {port.peer}")
+        port.credit = port.weight
+        self._ports[port.peer] = port
+        self._order.append(port.peer)
+
+    def remove_port(self, peer: NodeId) -> ReceiverPort | None:
+        port = self._ports.pop(peer, None)
+        if port is not None:
+            index = self._order.index(peer)
+            self._order.pop(index)
+            if index < self._cursor:
+                self._cursor -= 1
+            if self._order:
+                self._cursor %= len(self._order)
+            else:
+                self._cursor = 0
+        return port
+
+    def get_port(self, peer: NodeId) -> ReceiverPort | None:
+        return self._ports.get(peer)
+
+    def set_weight(self, peer: NodeId, weight: int) -> None:
+        """Dynamically retune a port's round-robin weight."""
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        port = self._ports.get(peer)
+        if port is None:
+            raise KeyError(f"no receiver port for {peer}")
+        port.weight = weight
+        port.credit = min(port.credit, weight)
+
+    def replenish_credits(self) -> None:
+        """Start a new deficit-round-robin epoch: credit = weight."""
+        for port in self._ports.values():
+            port.credit = port.weight
+
+    @property
+    def ports(self) -> list[ReceiverPort]:
+        return [self._ports[peer] for peer in self._order]
+
+    def __len__(self) -> int:
+        return len(self._ports)
+
+    # --- scheduling -------------------------------------------------------------------
+
+    def rotation(self) -> list[ReceiverPort]:
+        """One full round-robin pass, resuming after the previous pass."""
+        if not self._order:
+            return []
+        ordered = [
+            self._ports[self._order[(self._cursor + offset) % len(self._order)]]
+            for offset in range(len(self._order))
+        ]
+        self._cursor = (self._cursor + 1) % len(self._order)
+        return ordered
+
+    def has_work(self) -> bool:
+        """True if any port has buffered or pending messages."""
+        return any(port.has_work() for port in self._ports.values())
+
+    def total_buffered(self) -> int:
+        """Total messages waiting across all receiver buffers."""
+        return sum(len(port.buffer) for port in self._ports.values())

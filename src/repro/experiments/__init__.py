@@ -1,0 +1,9 @@
+"""Experiment harnesses: one module per table/figure, plus extensions.
+
+Each module exposes ``run_*`` returning structured results and a
+``main()`` printing the paper-style rows; benchmarks assert the shapes.
+"""
+
+from repro.experiments.common import KB, Table, fmt_rate, kbps
+
+__all__ = ["KB", "Table", "fmt_rate", "kbps"]

@@ -1,0 +1,74 @@
+"""Shared machinery for the experiment harnesses.
+
+Every ``fig*`` module exposes a ``run_*`` function returning a structured
+result object plus a ``main()`` that prints the same rows/series the
+paper reports, so benchmarks, examples and EXPERIMENTS.md all read off
+one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+KB = 1000.0  # the paper reports KBytes per second
+
+
+def kbps(rate_bytes_per_s: float) -> float:
+    """Bytes/s -> KB/s as the paper's tables use."""
+    return rate_bytes_per_s / KB
+
+
+def fmt_rate(rate_bytes_per_s: float | None) -> str:
+    if rate_bytes_per_s is None:
+        return "[closed]"
+    return f"{kbps(rate_bytes_per_s):.1f}"
+
+
+@dataclass
+class Table:
+    """A printable result table (one per figure/table of the paper)."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[str(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()
+
+
+def series_table(title: str, x_name: str, series: dict[str, Iterable[float]],
+                 xs: Iterable[Any]) -> Table:
+    """Build a table from one x-column and several named y-series."""
+    names = list(series)
+    table = Table(title, [x_name, *names])
+    columns = [list(series[name]) for name in names]
+    for i, x in enumerate(xs):
+        table.add_row(x, *(f"{col[i]:.1f}" for col in columns))
+    return table

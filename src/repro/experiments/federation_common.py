@@ -1,0 +1,114 @@
+"""Shared scaffolding for the service-federation experiments (Figs. 14-19)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.algorithms.federation import (
+    FederationAlgorithm,
+    FederationDriver,
+    Requirement,
+    SessionOutcome,
+)
+from repro.algorithms.federation.requirement import ServiceType
+from repro.core.ids import NodeId
+from repro.testbed.planetlab import PlanetLabTestbed
+
+
+@dataclass
+class ServiceOverlay:
+    """A deployed wide-area service overlay ready for federation."""
+
+    testbed: PlanetLabTestbed
+    driver: FederationDriver
+    algorithms: dict[NodeId, FederationAlgorithm]
+    placement: dict[ServiceType, list[NodeId]]
+    types: list[ServiceType]
+    rng: random.Random
+
+    @property
+    def net(self):
+        return self.testbed.net
+
+    def source_candidates(self) -> list[NodeId]:
+        """Hosts of the root service type (requirement sources)."""
+        return list(self.placement[self.types[0]])
+
+    def random_requirement(self, min_len: int = 3, max_len: int | None = None) -> Requirement:
+        """A random path requirement starting at the root type."""
+        max_len = max_len or len(self.types)
+        length = self.rng.randint(min_len, max_len)
+        return Requirement.path(self.types[:length])
+
+    def federate_and_measure(
+        self, settle: float = 1.5, source_bias: float = 0.0, hot_sources: int = 2
+    ) -> SessionOutcome:
+        """One full requirement cycle: pick source, federate, evaluate.
+
+        ``source_bias`` is the probability of picking the requirement's
+        source among the first ``hot_sources`` root-type hosts — the
+        paper's observer sends "most of the service requirements" to a
+        few designated source nodes (visible as the Fig. 18 hot spots).
+        """
+        requirement = self.random_requirement()
+        candidates = self.source_candidates()
+        if source_bias > 0 and self.rng.random() < source_bias:
+            source = self.rng.choice(candidates[: max(1, hot_sources)])
+        else:
+            source = self.rng.choice(candidates)
+        session = self.driver.federate(source, requirement)
+        self.net.run(settle)
+        return self.driver.outcome(session, source, requirement)
+
+
+def build_service_overlay(
+    n_nodes: int,
+    policy: str = "sflow",
+    n_types: int = 4,
+    instances_per_type: int | None = None,
+    seed: int = 0,
+    warmup: float = 20.0,
+    refresh_interval: float = 15.0,
+    session_duration: float = 60.0,
+    last_mile_range: tuple[float, float] = (50_000.0, 200_000.0),
+) -> ServiceOverlay:
+    """Deploy ``n_nodes`` federation nodes and place services on them.
+
+    Per-node capacity is the last-mile draw of the synthetic PlanetLab
+    (uniform 50-200 KB/s).  ``instances_per_type`` defaults to roughly a
+    quarter of the nodes, at least two.
+    """
+    algorithms_by_index: dict[int, FederationAlgorithm] = {}
+
+    def factory(index: int, last_mile: float) -> FederationAlgorithm:
+        algorithm = FederationAlgorithm(
+            capacity=last_mile,
+            policy=policy,
+            refresh_interval=refresh_interval,
+            session_duration=session_duration,
+            seed=seed * 1000 + index,
+        )
+        algorithms_by_index[index] = algorithm
+        return algorithm
+
+    testbed = PlanetLabTestbed(
+        n_nodes, factory, seed=seed,
+        last_mile_range=last_mile_range,
+        source_last_mile=sum(last_mile_range) / 2,
+    )
+    testbed.deploy()
+    testbed.run(2.0)
+
+    algorithms = {node.node_id: algorithms_by_index[node.index] for node in testbed.nodes}
+    driver = FederationDriver(testbed.net, algorithms)
+    rng = random.Random(seed + 77)
+    types: list[ServiceType] = list(range(1, n_types + 1))
+    per_type = instances_per_type or max(2, n_nodes // 4)
+    node_ids = [node.node_id for node in testbed.nodes]
+    placement = driver.assign_round_robin(types, node_ids, per_type, rng)
+    testbed.run(warmup)  # let sAware dissemination settle
+    return ServiceOverlay(
+        testbed=testbed, driver=driver, algorithms=algorithms,
+        placement=placement, types=types, rng=rng,
+    )

@@ -1,0 +1,69 @@
+"""Figs. 10, 12 and 13 — topologies produced by the ns-aware algorithm.
+
+The paper renders the trees the node-stress aware algorithm builds on
+PlanetLab: a 30-node join-in-progress view on the North-American map
+(Fig. 10), a 10-node tree (Fig. 12), and the full 81-node tree
+(Fig. 13).  Headless, we emit the same information as edge lists / DOT
+and check the structural properties the figures demonstrate: a single
+spanning tree whose interior vertices are the high-bandwidth nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig11_planetlab_trees import PlanetLabTreeRun, run_planetlab_tree
+from repro.experiments.common import Table
+from repro.testbed.sites import SITES, north_american_sites
+
+
+@dataclass
+class TopologyResult:
+    n_nodes: int
+    run: PlanetLabTreeRun
+    dot: str
+
+    def summary_table(self, title: str) -> Table:
+        table = Table(title, ["metric", "value"])
+        table.add_row("nodes joined", self.run.joined + 1)
+        table.add_row("tree edges", len(self.run.tree_edges))
+        degrees: dict[int, int] = {}
+        for parent, child in self.run.tree_edges:
+            degrees[parent] = degrees.get(parent, 0) + 1
+            degrees[child] = degrees.get(child, 0) + 1
+        table.add_row("max degree", max(degrees.values()) if degrees else 0)
+        interior = sum(1 for d in degrees.values() if d > 1)
+        table.add_row("interior nodes", interior)
+        table.add_row("max node stress", f"{max(self.run.stresses):.2f}")
+        return table
+
+
+def _edges_to_dot(run: PlanetLabTreeRun) -> str:
+    lines = ["digraph nsaware_tree {"]
+    for parent, child in run.tree_edges:
+        lines.append(f'  "n{parent}" -> "n{child}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def run_topology(n_nodes: int, seed: int = 0, settle: float = 20.0,
+                 north_america_only: bool = False) -> TopologyResult:
+    sites = north_american_sites() if north_america_only else SITES
+    run = run_planetlab_tree("ns-aware", n_nodes=n_nodes, seed=seed, settle=settle)
+    del sites  # site restriction affects geography only, not tree shape
+    return TopologyResult(n_nodes=n_nodes, run=run, dot=_edges_to_dot(run))
+
+
+def main() -> None:
+    ten = run_topology(10)
+    ten.summary_table("Fig. 12 — 10-node ns-aware tree").print()
+    print(ten.dot)
+    print()
+    thirty = run_topology(30, north_america_only=True)
+    thirty.summary_table("Fig. 10 — 30-node ns-aware tree (join in progress)").print()
+    full = run_topology(81)
+    full.summary_table("Fig. 13 — 81-node ns-aware tree").print()
+
+
+if __name__ == "__main__":
+    main()

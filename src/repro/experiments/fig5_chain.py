@@ -1,0 +1,139 @@
+"""Fig. 5 — raw message switching performance of the engine.
+
+The paper's stress test: virtualized nodes in a chain on one physical
+machine, a source pushing back-to-back 5 KB messages from one end, and
+two curves over chain length n ∈ {2..32}:
+
+- end-to-end throughput measured at the last node,
+- total bandwidth = end-to-end throughput x number of links (the volume
+  of messages actually switched network-wide).
+
+We run the *live asyncio engine* over loopback TCP (this experiment is
+about a real kernel/socket path, not the simulator).  Absolute numbers
+are far below the paper's C++/pthreads engine on 2001 hardware measured
+in MB/s; the shape to match is the monotonic decline of end-to-end
+throughput with chain length while per-hop overhead stays small for
+short chains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.algorithms.forwarding import ChainRelayAlgorithm, SinkAlgorithm
+from repro.core.ids import NodeId
+from repro.experiments.common import Table
+from repro.net.engine import AsyncioEngine, NetEngineConfig
+
+#: the chain lengths the paper annotates in Fig. 5
+PAPER_CHAIN_SIZES = [2, 3, 4, 5, 6, 8, 12, 16, 32]
+
+#: the paper's end-to-end throughput readings, in bytes/second
+PAPER_END_TO_END = {
+    2: 48.4e6, 3: 23.4e6, 4: 14.5e6, 5: 10.1e6, 6: 7.7e6,
+    8: 5.0e6, 12: 2.5e6, 16: 1.6e6, 32: 424e3,
+}
+
+@dataclass
+class ChainPoint:
+    nodes: int
+    end_to_end: float  # B/s at the sink
+    total_bandwidth: float  # end_to_end * links
+
+
+@dataclass
+class Fig5Result:
+    points: list[ChainPoint]
+
+    def table(self) -> Table:
+        table = Table(
+            "Fig. 5 — raw engine performance on a loopback chain",
+            ["nodes", "end-to-end (MB/s)", "total bandwidth (MB/s)",
+             "paper end-to-end (MB/s)"],
+        )
+        for point in self.points:
+            paper = PAPER_END_TO_END.get(point.nodes)
+            table.add_row(
+                point.nodes,
+                f"{point.end_to_end / 1e6:.2f}",
+                f"{point.total_bandwidth / 1e6:.2f}",
+                f"{paper / 1e6:.2f}" if paper else "-",
+            )
+        table.note("asyncio/Python vs the paper's C++/pthreads engine: absolute"
+                   " numbers differ; the declining shape with chain length is the"
+                   " reproduction target")
+        return table
+
+    def monotonically_declining(self, slack: float = 0.8, allowed_inversions: int = 1) -> bool:
+        """The paper's declining shape, robust to wall-clock noise.
+
+        Loopback throughput over short windows wobbles with scheduler
+        load, so we accept ``allowed_inversions`` adjacent increases
+        beyond the ``slack`` factor as long as the endpoints anchor the
+        trend (the longest chain is far below the shortest).
+        """
+        rates = [p.end_to_end for p in self.points]
+        if len(rates) < 2:
+            return True
+        inversions = sum(
+            1 for i in range(len(rates) - 1) if rates[i] < rates[i + 1] * slack
+        )
+        endpoints_decline = rates[0] > 2.5 * rates[-1]
+        return inversions <= allowed_inversions and endpoints_decline
+
+
+async def _run_chain(n_nodes: int, duration: float, payload_size: int,
+                     buffer_capacity: int) -> ChainPoint:
+    relays = [ChainRelayAlgorithm() for _ in range(n_nodes - 1)]
+
+    class CountingSink(SinkAlgorithm):
+        pass
+
+    sink = CountingSink()
+    config = NetEngineConfig(buffer_capacity=buffer_capacity)
+    engines: list[AsyncioEngine] = []
+    for algorithm in [*relays, sink]:
+        # Port 0: the engine picks a free port, so repeated runs never
+        # collide with lingering sockets from earlier measurements.
+        engine = AsyncioEngine(NodeId("127.0.0.1", 0), algorithm, config=config)
+        await engine.start()
+        engines.append(engine)
+    for i, relay in enumerate(relays):
+        relay.set_next_hop(engines[i + 1].node_id)
+
+    # Warm up connections, then measure over the steady window.
+    engines[0].start_source(app=1, payload_size=payload_size)
+    await asyncio.sleep(duration * 0.25)
+    start_bytes = sink.received_bytes
+    await asyncio.sleep(duration)
+    end_to_end = (sink.received_bytes - start_bytes) / duration
+    for engine in engines:
+        await engine.stop()
+    links = n_nodes - 1
+    return ChainPoint(nodes=n_nodes, end_to_end=end_to_end,
+                      total_bandwidth=end_to_end * links)
+
+
+def run_fig5(
+    sizes: list[int] | None = None,
+    duration: float = 2.0,
+    payload_size: int = 5000,
+    buffer_capacity: int = 10,
+) -> Fig5Result:
+    """Measure the loopback chain at each size (5 KB messages, buffers of
+    10 messages — the paper's footprint configuration)."""
+    sizes = sizes or PAPER_CHAIN_SIZES
+    points = [
+        asyncio.run(_run_chain(n, duration, payload_size, buffer_capacity))
+        for n in sizes
+    ]
+    return Fig5Result(points=points)
+
+
+def main() -> None:
+    run_fig5().table().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Fig. 6 — engine correctness on the seven-node topology (small buffers).
+
+Four phases, exactly as the paper runs them:
+
+(a) deploy a source at A with per-node total bandwidth 400 KB/s and
+    buffers of 5 messages: every first-hop branch carries ~200 KB/s and
+    D's merge link D->E ~400 KB/s;
+(b) set D's uplink to 30 KB/s at runtime: back pressure from the full
+    5-message buffers drags **all** links except E->F/E->G down to
+    ~15 KB/s (D's two incoming links split its 30 KB/s uplink), while
+    E's fan-out carries 30 KB/s;
+(c) terminate node B: A->B, B->D, B->F close, the rest converge to
+    ~30 KB/s, other nodes undisturbed;
+(d) terminate node G: C->G and E->G close, F keeps receiving via
+    C, D, E.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import KB, Table, fmt_rate
+from repro.experiments.topologies import SEVEN_NODE_EDGES, SevenNodeNet, build_seven_node_copy
+
+PhaseRates = dict[tuple[str, str], float | None]
+
+#: The paper's reported per-link KB/s, for side-by-side comparison.
+PAPER_RATES: dict[str, dict[tuple[str, str], float | None]] = {
+    "a": {("A", "B"): 200.0, ("A", "C"): 200.0, ("B", "D"): 200.0, ("B", "F"): 200.0,
+          ("C", "D"): 200.0, ("C", "G"): 200.0, ("D", "E"): 400.0, ("E", "F"): 400.0,
+          ("E", "G"): 400.0},
+    "b": {("A", "B"): 15.0, ("A", "C"): 15.0, ("B", "D"): 15.0, ("B", "F"): 15.0,
+          ("C", "D"): 15.0, ("C", "G"): 15.0, ("D", "E"): 30.0, ("E", "F"): 30.0,
+          ("E", "G"): 30.0},
+    "c": {("A", "B"): None, ("A", "C"): 30.0, ("B", "D"): None, ("B", "F"): None,
+          ("C", "D"): 30.0, ("C", "G"): 30.0, ("D", "E"): 30.0, ("E", "F"): 30.0,
+          ("E", "G"): 30.0},
+    "d": {("A", "B"): None, ("A", "C"): 30.0, ("B", "D"): None, ("B", "F"): None,
+          ("C", "D"): 30.0, ("C", "G"): None, ("D", "E"): 30.0, ("E", "F"): 30.0,
+          ("E", "G"): None},
+}
+
+
+@dataclass
+class Fig6Result:
+    phases: dict[str, PhaseRates]
+
+    def table(self) -> Table:
+        table = Table(
+            "Fig. 6 — engine correctness, seven-node topology (KB/s per link)",
+            ["link", "(a) meas", "(a) paper", "(b) meas", "(b) paper",
+             "(c) meas", "(c) paper", "(d) meas", "(d) paper"],
+        )
+        for edge in SEVEN_NODE_EDGES:
+            row: list[str] = [f"{edge[0]}->{edge[1]}"]
+            for phase in "abcd":
+                measured = self.phases[phase][edge]
+                paper = PAPER_RATES[phase][edge]
+                row.append(fmt_rate(measured))
+                row.append(fmt_rate(paper * KB if paper is not None else None))
+            table.add_row(*row)
+        table.note("buffers: 5 messages; (b) sets D uplink to 30 KB/s at runtime;"
+                   " (c) terminates B; (d) terminates G")
+        return table
+
+
+def run_fig6(
+    buffer_capacity: int = 5,
+    settle: float = 30.0,
+    payload_size: int = 5000,
+    seed: int = 0,
+) -> Fig6Result:
+    """Run all four phases and return per-link rates after each."""
+    deployment: SevenNodeNet = build_seven_node_copy(
+        buffer_capacity=buffer_capacity, source_total=400 * KB, seed=seed
+    )
+    net = deployment.net
+    nodes = deployment.nodes
+    phases: dict[str, PhaseRates] = {}
+
+    net.observer.deploy_source(nodes["A"], app=1, payload_size=payload_size)
+    net.run(settle)
+    phases["a"] = deployment.link_rates()
+
+    net.observer.set_node_bandwidth(nodes["D"], "up", 30 * KB)
+    net.run(settle * 2)  # draining full buffers takes a while at 30 KB/s
+    phases["b"] = deployment.link_rates()
+
+    net.observer.terminate_node(nodes["B"])
+    net.run(settle)
+    phases["c"] = deployment.link_rates()
+
+    net.observer.terminate_node(nodes["G"])
+    net.run(settle)
+    phases["d"] = deployment.link_rates()
+
+    return Fig6Result(phases=phases)
+
+
+def main() -> None:
+    run_fig6().table().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Fig. 7 — bottleneck effects with large buffers (10000 messages).
+
+Same seven-node topology and bandwidth emulation as Fig. 6(b), but node
+buffers hold 10000 messages of 5 KB:
+
+(a) D's 30 KB/s uplink only affects its *downstream* links (D->E, E->F,
+    E->G at ~30 KB/s); everything upstream of D keeps running at
+    ~200 KB/s because the huge sender buffers absorb the excess;
+(b) setting the per-link bandwidth of E->F to 15 KB/s throttles only
+    E->F — E->G is unaffected because throttling effects on other, more
+    capable downstreams are significantly delayed by the large buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import KB, Table, fmt_rate
+from repro.experiments.fig6_correctness import PhaseRates
+from repro.experiments.topologies import SEVEN_NODE_EDGES, build_seven_node_copy
+
+PAPER_RATES: dict[str, dict[tuple[str, str], float]] = {
+    "a": {("A", "B"): 200.0, ("A", "C"): 200.0, ("B", "D"): 200.0, ("B", "F"): 200.0,
+          ("C", "D"): 200.0, ("C", "G"): 200.0, ("D", "E"): 30.0, ("E", "F"): 30.0,
+          ("E", "G"): 30.0},
+    "b": {("A", "B"): 200.0, ("A", "C"): 200.0, ("B", "D"): 200.0, ("B", "F"): 200.0,
+          ("C", "D"): 200.0, ("C", "G"): 200.0, ("D", "E"): 30.0, ("E", "F"): 15.0,
+          ("E", "G"): 30.0},
+}
+
+
+@dataclass
+class Fig7Result:
+    phases: dict[str, PhaseRates]
+
+    def table(self) -> Table:
+        table = Table(
+            "Fig. 7 — bottlenecks with large buffers (KB/s per link)",
+            ["link", "(a) meas", "(a) paper", "(b) meas", "(b) paper"],
+        )
+        for edge in SEVEN_NODE_EDGES:
+            row: list[str] = [f"{edge[0]}->{edge[1]}"]
+            for phase in "ab":
+                row.append(fmt_rate(self.phases[phase][edge]))
+                row.append(fmt_rate(PAPER_RATES[phase][edge] * KB))
+            table.add_row(*row)
+        table.note("buffers: 10000 messages of 5 KB; (a) D uplink 30 KB/s;"
+                   " (b) additionally E->F capped at 15 KB/s")
+        return table
+
+
+def run_fig7(
+    buffer_capacity: int = 10000,
+    settle: float = 30.0,
+    payload_size: int = 5000,
+    seed: int = 0,
+) -> Fig7Result:
+    deployment = build_seven_node_copy(
+        buffer_capacity=buffer_capacity, source_total=400 * KB, seed=seed
+    )
+    net = deployment.net
+    nodes = deployment.nodes
+    phases: dict[str, PhaseRates] = {}
+
+    net.observer.deploy_source(nodes["A"], app=1, payload_size=payload_size)
+    net.observer.set_node_bandwidth(nodes["D"], "up", 30 * KB)
+    net.run(settle)
+    phases["a"] = deployment.link_rates()
+
+    net.observer.set_link_bandwidth(nodes["E"], nodes["F"], 15 * KB)
+    net.run(settle)
+    phases["b"] = deployment.link_rates()
+
+    return Fig7Result(phases=phases)
+
+
+def main() -> None:
+    run_fig7().table().print()
+
+
+if __name__ == "__main__":
+    main()

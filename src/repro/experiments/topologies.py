@@ -1,0 +1,169 @@
+"""Topology builders for the engine-correctness experiments.
+
+The seven-node graph used by Figs. 6, 7 and 8 of the paper::
+
+        A
+       / \\
+      B   C
+      |\\ /|
+      | D |
+      |/ \\|     (B->F, C->G are the direct edges;
+      F   G      D->E then E->F, E->G)
+       \\ /
+        E
+
+    Directed edges: A->B, A->C, B->D, B->F, C->D, C->G, D->E, E->F, E->G.
+
+Fig. 6/7 copy every message on every branch; Fig. 8 splits the source
+stream into sub-streams *a* (via B) and *b* (via C) and lets D merge
+them, with and without GF(2^8) coding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.coding import (
+    CodedSourceAlgorithm,
+    CodingNodeAlgorithm,
+    DecodingSinkAlgorithm,
+)
+from repro.algorithms.forwarding import CopyForwardAlgorithm
+from repro.core.algorithm import Algorithm
+from repro.core.bandwidth import BandwidthSpec
+from repro.core.ids import NodeId
+from repro.experiments.common import KB
+from repro.sim.engine import EngineConfig
+from repro.sim.network import NetworkConfig, SimNetwork
+
+#: The nine directed overlay edges of the seven-node graph.
+SEVEN_NODE_EDGES: list[tuple[str, str]] = [
+    ("A", "B"), ("A", "C"),
+    ("B", "D"), ("B", "F"),
+    ("C", "D"), ("C", "G"),
+    ("D", "E"),
+    ("E", "F"), ("E", "G"),
+]
+
+NODE_NAMES = "ABCDEFG"
+
+
+@dataclass
+class SevenNodeNet:
+    """A built seven-node network plus handles the experiments poke at."""
+
+    net: SimNetwork
+    nodes: dict[str, NodeId]
+    algorithms: dict[str, Algorithm]
+
+    def link_rates(self) -> dict[tuple[str, str], float | None]:
+        """Measured rate per topology edge; ``None`` when the link is closed."""
+        rates: dict[tuple[str, str], float | None] = {}
+        for src, dst in SEVEN_NODE_EDGES:
+            src_engine = self.net.engines[self.nodes[src]]
+            if not src_engine.running or self.nodes[dst] not in src_engine.downstreams():
+                rates[(src, dst)] = None
+            else:
+                rates[(src, dst)] = src_engine.send_rate(self.nodes[dst])
+        return rates
+
+
+def build_seven_node_copy(
+    buffer_capacity: int = 5,
+    source_total: float = 400 * KB,
+    latency: float = 0.005,
+    seed: int = 0,
+) -> SevenNodeNet:
+    """The Figs. 6/7 deployment: copy-forwarding on the seven-node graph."""
+    net = SimNetwork(NetworkConfig(
+        default_latency=latency,
+        engine=EngineConfig(buffer_capacity=buffer_capacity),
+        seed=seed,
+    ))
+    algorithms: dict[str, Algorithm] = {name: CopyForwardAlgorithm() for name in NODE_NAMES}
+    nodes: dict[str, NodeId] = {}
+    for name in NODE_NAMES:
+        bandwidth = BandwidthSpec(total=source_total) if name == "A" else None
+        nodes[name] = net.add_node(algorithms[name], name=name, bandwidth=bandwidth)
+    for src, dst in SEVEN_NODE_EDGES:
+        algorithms[src].add_downstream(nodes[dst])  # type: ignore[attr-defined]
+    net.start()
+    return SevenNodeNet(net=net, nodes=nodes, algorithms=algorithms)
+
+
+@dataclass
+class ButterflyNet:
+    """The Fig. 8 deployment, with measurement handles on D, E, F, G."""
+
+    net: SimNetwork
+    nodes: dict[str, NodeId]
+    source: CodedSourceAlgorithm
+    node_d: CodingNodeAlgorithm | DecodingSinkAlgorithm
+    node_e: DecodingSinkAlgorithm
+    node_f: DecodingSinkAlgorithm
+    node_g: DecodingSinkAlgorithm
+
+    def effective_rates(self) -> dict[str, float]:
+        """Effective (innovative) receive throughput at D, E, F and G."""
+        return {
+            "D": self.node_d.effective_rate(),
+            "E": self.node_e.effective_rate(),
+            "F": self.node_f.effective_rate(),
+            "G": self.node_g.effective_rate(),
+        }
+
+
+def build_butterfly(
+    coding: bool,
+    source_total: float = 400 * KB,
+    d_uplink: float = 200 * KB,
+    buffer_capacity: int = 10000,
+    latency: float = 0.005,
+    seed: int = 0,
+) -> ButterflyNet:
+    """The Fig. 8 topology: stream *a* via B, stream *b* via C, merge at D.
+
+    With ``coding=False`` D forwards both sub-streams verbatim (capped by
+    its uplink); with ``coding=True`` D sends the GF(2^8) combination
+    ``a + b`` and the leaves decode.  Large buffers keep D's inputs at
+    full rate over the measurement window, as in the paper's run.
+    """
+    net = SimNetwork(NetworkConfig(
+        default_latency=latency,
+        engine=EngineConfig(buffer_capacity=buffer_capacity),
+        seed=seed,
+    ))
+    source = CodedSourceAlgorithm()
+    b_alg = CopyForwardAlgorithm()
+    c_alg = CopyForwardAlgorithm()
+    node_d: CodingNodeAlgorithm | DecodingSinkAlgorithm
+    if coding:
+        node_d = CodingNodeAlgorithm(k=2, coefficients=None)  # a + b
+    else:
+        node_d = DecodingSinkAlgorithm(k=2)  # forwards raw, measures innovative
+    node_e = DecodingSinkAlgorithm(k=2)
+    node_f = DecodingSinkAlgorithm(k=2)
+    node_g = DecodingSinkAlgorithm(k=2)
+
+    nodes = {
+        "A": net.add_node(source, name="A", bandwidth=BandwidthSpec(total=source_total)),
+        "B": net.add_node(b_alg, name="B"),
+        "C": net.add_node(c_alg, name="C"),
+        "D": net.add_node(node_d, name="D", bandwidth=BandwidthSpec(up=d_uplink)),
+        "E": net.add_node(node_e, name="E"),
+        "F": net.add_node(node_f, name="F"),
+        "G": net.add_node(node_g, name="G"),
+    }
+    source.set_downstreams([nodes["B"], nodes["C"]])  # stream a -> B, stream b -> C
+    b_alg.set_downstreams([nodes["D"], nodes["F"]])
+    c_alg.set_downstreams([nodes["D"], nodes["G"]])
+    if coding:
+        node_d.set_downstreams([nodes["E"]])
+    else:
+        node_d.set_forward_to([nodes["E"]])
+    node_e.set_forward_to([nodes["F"], nodes["G"]])
+    net.start()
+    return ButterflyNet(
+        net=net, nodes=nodes, source=source,
+        node_d=node_d, node_e=node_e, node_f=node_f, node_g=node_g,
+    )

@@ -1,0 +1,14 @@
+"""The live asyncio engine: real TCP sockets on localhost or wide-area."""
+
+from repro.net.engine import AsyncioEngine, NetEngineConfig
+from repro.net.observer_server import ObserverServer
+from repro.net.proxy import ObserverProxy
+from repro.net.queues import AsyncBoundedQueue
+
+__all__ = [
+    "AsyncBoundedQueue",
+    "AsyncioEngine",
+    "NetEngineConfig",
+    "ObserverProxy",
+    "ObserverServer",
+]

@@ -1,0 +1,622 @@
+"""The asyncio message switching engine: real sockets, same architecture.
+
+This is the live counterpart of :class:`repro.sim.engine.SimEngine` —
+one receiver task per inbound peer, one sender task per outbound peer,
+one engine task switching data in weighted round-robin order, a single
+``send`` entry point for algorithms, bounded buffers with back pressure,
+bandwidth emulation wrapped around the socket path, and passive failure
+detection through socket errors.
+
+Because asyncio is single-threaded, the paper's headline guarantee holds
+natively: the algorithm runs without any thread-safe data structures.
+Connections are persistent and full-duplex: one TCP connection carries
+both directions of traffic between two nodes, whatever application the
+messages belong to.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.core.algorithm import Algorithm, Disposition
+from repro.core.bandwidth import BandwidthSpec, NodeThrottle
+from repro.core.ids import CONTROL_APP, AppId, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType, is_engine_type
+from repro.core.stats import LinkStats, LinkStatsSnapshot
+from repro.core.switch import PendingForward, ReceiverPort, SwitchScheduler
+from repro.errors import BufferClosedError
+from repro.net.framing import (
+    expect_hello,
+    open_identified,
+    read_message,
+    write_message,
+)
+from repro.net.queues import AsyncBoundedQueue
+
+
+@dataclass
+class NetEngineConfig:
+    """Tunables of one asyncio engine."""
+
+    buffer_capacity: int = 64
+    report_interval: float = 1.0
+    connect_timeout: float = 5.0
+    bandwidth: BandwidthSpec = dataclass_field(default_factory=BandwidthSpec)
+
+
+@dataclass
+class _Peer:
+    """One persistent, full-duplex connection to another overlay node."""
+
+    node: NodeId
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    send_queue: AsyncBoundedQueue
+    port: ReceiverPort
+    stats_out: LinkStats
+    stats_in: LinkStats
+    sender_task: asyncio.Task | None = None
+    receiver_task: asyncio.Task | None = None
+
+
+class AsyncioEngine:
+    """One live overlay node (engine + algorithm) on real TCP sockets."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        algorithm: Algorithm,
+        observer_addr: NodeId | None = None,
+        config: NetEngineConfig | None = None,
+    ) -> None:
+        self._node_id = node_id
+        self.algorithm = algorithm
+        self.config = config or NetEngineConfig()
+        self._observer_addr = observer_addr
+        self.throttle = NodeThrottle(self.config.bandwidth)
+
+        self._peers: dict[NodeId, _Peer] = {}
+        self._scheduler = SwitchScheduler()
+        self._control: AsyncBoundedQueue[Message] = AsyncBoundedQueue()
+        self._wake = asyncio.Event()
+        self._send_space = asyncio.Event()
+        self._running = False
+        self._server: asyncio.AbstractServer | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._sources: dict[AppId, asyncio.Task] = {}
+        self._local_apps: set[AppId] = set()
+        self._current_port: ReceiverPort | None = None
+        self._source_pending: list[PendingForward] | None = None
+        self._observer_writer: asyncio.StreamWriter | None = None
+
+    # ------------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Start the TCP server, connect the observer, spawn the engine."""
+        if self._running:
+            raise RuntimeError("engine already started")
+        self._running = True
+        self.algorithm.bind(self)
+        self._server = await asyncio.start_server(
+            self._accept, host=self._node_id.ip, port=self._node_id.port
+        )
+        if self._node_id.port == 0:
+            # "The port number may be explicitly specified at start-up time;
+            # otherwise, the engine chooses one of the available ports."
+            actual = self._server.sockets[0].getsockname()[1]
+            self._node_id = NodeId(self._node_id.ip, actual)
+        if self._observer_addr is not None:
+            await self._connect_observer()
+        self._tasks.append(asyncio.ensure_future(self._engine_loop()))
+        self._tasks.append(asyncio.ensure_future(self._report_loop()))
+
+    async def stop(self) -> None:
+        """Graceful termination: close all sockets, cancel all tasks."""
+        if not self._running:
+            return
+        self._running = False
+        self.algorithm.on_stop()
+        for task in self._sources.values():
+            task.cancel()
+        self._sources.clear()
+        for peer in list(self._peers.values()):
+            self._close_peer(peer)
+        self._peers.clear()
+        if self._observer_writer is not None:
+            self._observer_writer.close()
+            self._observer_writer = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._wake.set()
+        self._send_space.set()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    @property
+    def running(self) -> bool:
+        """True between start() and stop()."""
+        return self._running
+
+    # ------------------------------------------------------------- EngineServices
+
+    @property
+    def node_id(self) -> NodeId:
+        """This node's publicized identity (ip:port of its server)."""
+        return self._node_id
+
+    def now(self) -> float:
+        """Wall-clock seconds (monotonic)."""
+        return time.monotonic()
+
+    def send(self, msg: Message, dest: NodeId) -> None:
+        """The single engine call available to algorithms (non-blocking)."""
+        if not self._running:
+            return
+        if dest == self._node_id:
+            self._control.put_force(msg)
+            self._wake.set()
+            return
+        peer = self._peers.get(dest)
+        if peer is None:
+            # Connection establishment is asynchronous; buffer the message
+            # with the connect task so send() itself never blocks.
+            self._tasks.append(asyncio.ensure_future(self._connect_and_send(dest, msg)))
+            return
+        self._enqueue_to_peer(peer, msg)
+
+    def _enqueue_to_peer(self, peer: _Peer, msg: Message) -> None:
+        if peer.send_queue.closed:
+            return
+        if msg.type == MsgType.DATA:
+            if peer.send_queue.put_nowait(msg):
+                return
+            self._defer_data(msg, peer.node)
+        else:
+            peer.send_queue.put_force(msg)
+
+    async def _connect_and_send(self, dest: NodeId, msg: Message) -> None:
+        peer = await self._ensure_peer(dest)
+        if peer is None:
+            self._notify_broken_link(dest, direction="down")
+            return
+        self._enqueue_to_peer(peer, msg)
+
+    def send_to_observer(self, msg: Message) -> None:
+        """Queue a message on the persistent observer connection."""
+        writer = self._observer_writer
+        if writer is None or writer.is_closing():
+            return
+        write_message(writer, msg)
+
+    def upstreams(self) -> list[NodeId]:
+        """Peers with a receiver port on this node."""
+        return [port.peer for port in self._scheduler.ports]
+
+    def downstreams(self) -> list[NodeId]:
+        """Peers this node holds a persistent connection to."""
+        return list(self._peers)
+
+    def link_stats(self, peer_id: NodeId) -> LinkStatsSnapshot | None:
+        """Outgoing QoS snapshot for the link to ``peer_id``."""
+        peer = self._peers.get(peer_id)
+        if peer is None:
+            return None
+        return peer.stats_out.snapshot(self.now())
+
+    def start_source(self, app: AppId, payload_size: int) -> None:
+        """Deploy a back-to-back application data source here."""
+        if app in self._sources or not self._running:
+            return
+        self._local_apps.add(app)
+        self._sources[app] = asyncio.ensure_future(self._source_loop(app, payload_size))
+
+    def stop_source(self, app: AppId) -> None:
+        """Terminate a deployed source."""
+        task = self._sources.pop(app, None)
+        self._local_apps.discard(app)
+        if task is not None:
+            task.cancel()
+
+    def set_timer(self, delay: float, token: int = 0) -> None:
+        """Deliver a TIMER message to the algorithm after ``delay``."""
+        msg = Message.with_fields(MsgType.TIMER, self._node_id, CONTROL_APP, token=token)
+        asyncio.get_running_loop().call_later(delay, self._enqueue_notification, msg)
+
+    def set_port_weight(self, peer: NodeId, weight: int) -> None:
+        """Dynamically retune a receiver port's round-robin weight."""
+        self._scheduler.set_weight(peer, weight)
+        self._wake.set()
+
+    def measure(self, peer: NodeId) -> None:
+        """Probe RTT to ``peer``; the algorithm receives MEASURE_REPLY."""
+        probe = Message.with_fields(
+            MsgType.HEARTBEAT, self._node_id, CONTROL_APP,
+            probe="req", t0=self.now(), origin=str(self._node_id),
+        )
+        self.send(probe, peer)
+
+    # ----------------------------------------------------------------- connections
+
+    async def connect(self, dest: NodeId) -> bool:
+        """Ensure a persistent connection to ``dest`` exists."""
+        return await self._ensure_peer(dest) is not None
+
+    async def _ensure_peer(self, dest: NodeId) -> _Peer | None:
+        peer = self._peers.get(dest)
+        if peer is not None:
+            return peer
+        try:
+            reader, writer = await open_identified(
+                dest, self._node_id, timeout=self.config.connect_timeout
+            )
+        except (OSError, asyncio.TimeoutError):
+            return None
+        if dest in self._peers:  # raced with an inbound connection
+            writer.close()
+            return self._peers[dest]
+        return self._register_peer(dest, reader, writer)
+
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            peer_id = await expect_hello(reader)
+        except asyncio.CancelledError:
+            writer.close()
+            return
+        except Exception:
+            writer.close()
+            return
+        if not self._running or peer_id in self._peers:
+            writer.close()
+            return
+        self._register_peer(peer_id, reader, writer)
+        self._enqueue_notification(
+            Message.with_fields(MsgType.NEW_UPSTREAM, self._node_id, CONTROL_APP, peer=str(peer_id))
+        )
+
+    def _register_peer(
+        self, node: NodeId, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> _Peer:
+        buffer: AsyncBoundedQueue[Message] = AsyncBoundedQueue(self.config.buffer_capacity)
+        port = ReceiverPort(peer=node, buffer=buffer)  # type: ignore[arg-type]
+        peer = _Peer(
+            node=node,
+            reader=reader,
+            writer=writer,
+            send_queue=AsyncBoundedQueue(self.config.buffer_capacity),
+            port=port,
+            stats_out=LinkStats(),
+            stats_in=LinkStats(),
+        )
+        self._peers[node] = peer
+        self._scheduler.add_port(port)
+        peer.sender_task = asyncio.ensure_future(self._sender_loop(peer))
+        peer.receiver_task = asyncio.ensure_future(self._receiver_loop(peer))
+        self._tasks.extend([peer.sender_task, peer.receiver_task])
+        return peer
+
+    def _close_peer(self, peer: _Peer) -> None:
+        peer.send_queue.close()
+        peer.writer.close()
+        if peer.sender_task is not None:
+            peer.sender_task.cancel()
+        if peer.receiver_task is not None:
+            peer.receiver_task.cancel()
+        self._scheduler.remove_port(peer.node)
+
+    def _peer_failed(self, peer: _Peer) -> None:
+        if self._peers.get(peer.node) is not peer:
+            return
+        del self._peers[peer.node]
+        lost = peer.send_queue.drain()
+        for msg in lost:
+            peer.stats_out.loss.record(msg.size)
+        self._close_peer(peer)
+        self.throttle.drop_link(peer.node)
+        for port in self._scheduler.ports:
+            port.discard_dest(peer.node)
+        if self._source_pending is not None:
+            for forward in self._source_pending:
+                forward.remaining = [d for d in forward.remaining if d != peer.node]
+        self._notify_broken_link(peer.node, direction="both")
+        self._send_space.set()
+        self._wake.set()
+
+    async def _connect_observer(self) -> None:
+        assert self._observer_addr is not None
+        reader, writer = await open_identified(
+            self._observer_addr, self._node_id, timeout=self.config.connect_timeout
+        )
+        self._observer_writer = writer
+        self._tasks.append(asyncio.ensure_future(self._observer_reader(reader)))
+        self.send_to_observer(
+            Message.with_fields(MsgType.BOOT, self._node_id, CONTROL_APP, node=str(self._node_id))
+        )
+
+    async def _observer_reader(self, reader: asyncio.StreamReader) -> None:
+        """Control messages from the observer arrive on the persistent link."""
+        while self._running:
+            try:
+                msg = await read_message(reader)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            self._control.put_force(msg)
+            self._wake.set()
+
+    # --------------------------------------------------------------------- engine
+
+    async def _engine_loop(self) -> None:
+        self.algorithm.on_start()
+        while self._running:
+            progressed = self._drain_control()
+            progressed = self._switch_round() or progressed
+            if progressed:
+                await asyncio.sleep(0)  # let IO tasks breathe under load
+            else:
+                self._wake.clear()
+                await self._wake.wait()
+
+    def _drain_control(self) -> bool:
+        progressed = False
+        while self._running and not self._control.is_empty:
+            msg = self._control.get_nowait()
+            progressed = True
+            if is_engine_type(msg.type):
+                self._engine_process(msg)
+            else:
+                self.algorithm.process(msg)
+        return progressed
+
+    def _engine_process(self, msg: Message) -> None:
+        if msg.type == MsgType.TERMINATE:
+            asyncio.ensure_future(self.stop())
+        elif msg.type == MsgType.SET_BANDWIDTH:
+            self._apply_bandwidth(msg)
+        elif msg.type == MsgType.CONNECT:
+            self._tasks.append(
+                asyncio.ensure_future(self.connect(NodeId.parse(msg.fields()["dest"])))
+            )
+        elif msg.type == MsgType.DISCONNECT:
+            peer = self._peers.get(NodeId.parse(msg.fields()["dest"]))
+            if peer is not None:
+                self._peer_failed(peer)
+        elif msg.type == MsgType.REQUEST:
+            self.send_to_observer(self._status_report())
+            self.algorithm.process(msg)
+        elif msg.type == MsgType.HEARTBEAT:
+            self._handle_probe(msg)
+
+    def _handle_probe(self, msg: Message) -> None:
+        fields = msg.fields()
+        origin = NodeId.parse(fields["origin"])
+        if fields.get("probe") == "req":
+            echo = Message.with_fields(
+                MsgType.HEARTBEAT, self._node_id, CONTROL_APP,
+                probe="resp", t0=fields["t0"], origin=fields["origin"],
+            )
+            self.send(echo, origin)
+        elif fields.get("probe") == "resp":
+            peer = msg.sender
+            rtt = self.now() - float(fields["t0"])
+            self._enqueue_notification(Message.with_fields(
+                MsgType.MEASURE_REPLY, self._node_id, CONTROL_APP,
+                peer=str(peer), rtt=rtt, send_rate=self.send_rate(peer),
+            ))
+
+    def _apply_bandwidth(self, msg: Message) -> None:
+        fields = msg.fields()
+        category, rate = fields["category"], fields["rate"]
+        if category == "total":
+            self.throttle.set_total(rate)
+        elif category == "up":
+            self.throttle.set_up(rate)
+        elif category == "down":
+            self.throttle.set_down(rate)
+        elif category == "link":
+            self.throttle.set_link(NodeId.parse(fields["peer"]), rate)
+
+    def _status_report(self) -> Message:
+        now = self.now()
+        return Message.with_fields(
+            MsgType.STATUS, self._node_id, CONTROL_APP,
+            node=str(self._node_id),
+            upstreams=[str(p) for p in self.upstreams()],
+            downstreams=[str(d) for d in self.downstreams()],
+            recv_buffers={str(p.peer): len(p.buffer) for p in self._scheduler.ports},
+            send_buffers={str(n): len(p.send_queue) for n, p in self._peers.items()},
+            recv_rates={str(n): p.stats_in.throughput.rate(now) for n, p in self._peers.items()},
+            send_rates={str(n): p.stats_out.throughput.rate(now) for n, p in self._peers.items()},
+            apps=sorted(self._local_apps),
+        )
+
+    def _switch_round(self) -> bool:
+        """Deficit weighted round robin (see SimEngine._switch_round)."""
+        progressed = False
+        for port in self._scheduler.rotation():
+            if not port.has_work() or port.credit <= 0:
+                continue
+            if port.pending:
+                before = len(port.pending)
+                self._retry_pending(port)
+                completed = before - len(port.pending)
+                if completed:
+                    port.credit -= completed
+                    progressed = True
+                if port.blocked or port.credit <= 0:
+                    continue
+            while port.credit > 0 and not port.blocked and not port.buffer.is_empty:
+                msg = port.buffer.get_nowait()  # type: ignore[attr-defined]
+                self._current_port = port
+                try:
+                    disposition = self.algorithm.process(msg)
+                finally:
+                    self._current_port = None
+                if disposition is Disposition.HOLD:
+                    port.held += 1
+                progressed = True
+                if not port.blocked:
+                    port.credit -= 1
+        backlog = [port for port in self._scheduler.ports if port.has_work()]
+        if backlog and all(port.credit <= 0 for port in backlog):
+            self._scheduler.replenish_credits()
+            progressed = True
+        return progressed
+
+    def _retry_pending(self, port: ReceiverPort) -> bool:
+        progressed = False
+        for forward in port.pending:
+            progressed = self._try_forward(forward) or progressed
+        port.prune_pending()
+        return progressed
+
+    def _try_forward(self, forward: PendingForward) -> bool:
+        placed_any = False
+        still_remaining: list[NodeId] = []
+        for dest in forward.remaining:
+            peer = self._peers.get(dest)
+            if peer is None or peer.send_queue.closed:
+                placed_any = True
+                continue
+            if peer.send_queue.put_nowait(forward.msg):
+                placed_any = True
+            else:
+                still_remaining.append(dest)
+        forward.remaining = still_remaining
+        return placed_any
+
+    def _defer_data(self, msg: Message, dest: NodeId) -> None:
+        if self._current_port is not None:
+            pending = self._current_port.pending
+            if pending and pending[-1].msg is msg:
+                pending[-1].remaining.append(dest)
+            else:
+                pending.append(PendingForward(msg, [dest]))
+        elif self._source_pending is not None:
+            if self._source_pending and self._source_pending[-1].msg is msg:
+                self._source_pending[-1].remaining.append(dest)
+            else:
+                self._source_pending.append(PendingForward(msg, [dest]))
+        else:
+            peer = self._peers.get(dest)
+            if peer is not None and not peer.send_queue.closed:
+                peer.send_queue.put_force(msg)
+
+    # --------------------------------------------------------------------- source
+
+    async def _source_loop(self, app: AppId, payload_size: int) -> None:
+        seq = 0
+        while self._running and app in self._local_apps:
+            payload = self.algorithm.produce_payload(app, seq, payload_size)
+            msg = Message(MsgType.DATA, self._node_id, app, payload, seq=seq)
+            seq += 1
+            self._source_pending = []
+            try:
+                self.algorithm.process(msg)
+                while any(f.remaining for f in self._source_pending) and self._running:
+                    self._send_space.clear()
+                    await self._send_space.wait()
+                    for forward in self._source_pending:
+                        self._try_forward(forward)
+                    self._source_pending = [f for f in self._source_pending if f.remaining]
+            finally:
+                self._source_pending = None
+            if self._peers:
+                await asyncio.sleep(0)
+            else:
+                await asyncio.sleep(0.01)  # nobody to talk to; do not spin
+
+    # ------------------------------------------------------------------ I/O tasks
+
+    async def _sender_loop(self, peer: _Peer) -> None:
+        try:
+            while self._running:
+                try:
+                    msg = await peer.send_queue.get()
+                except BufferClosedError:
+                    return
+                delay = self.throttle.reserve_send(peer.node, msg.size, self.now())
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                try:
+                    write_message(peer.writer, msg)
+                    await peer.writer.drain()
+                except (ConnectionError, OSError):
+                    if self._running:
+                        peer.stats_out.loss.record(msg.size)
+                        self._peer_failed(peer)
+                    return
+                peer.stats_out.throughput.record(msg.size, self.now())
+                self._send_space.set()
+                self._wake.set()
+        except asyncio.CancelledError:
+            raise
+
+    async def _receiver_loop(self, peer: _Peer) -> None:
+        try:
+            while self._running:
+                try:
+                    msg = await read_message(peer.reader)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    if self._running:
+                        self._peer_failed(peer)
+                    return
+                delay = self.throttle.reserve_recv(msg.size, self.now())
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                peer.stats_in.throughput.record(msg.size, self.now())
+                if msg.type == MsgType.DATA:
+                    try:
+                        await peer.port.buffer.put(msg)  # type: ignore[attr-defined]
+                    except BufferClosedError:
+                        return
+                else:
+                    self._control.put_force(msg)
+                self._wake.set()
+        except asyncio.CancelledError:
+            raise
+
+    async def _report_loop(self) -> None:
+        while self._running:
+            await asyncio.sleep(self.config.report_interval)
+            if not self._running:
+                return
+            now = self.now()
+            for node, peer in list(self._peers.items()):
+                self._enqueue_notification(Message.with_fields(
+                    MsgType.UP_THROUGHPUT, self._node_id, CONTROL_APP,
+                    peer=str(node), rate=peer.stats_in.throughput.rate(now),
+                ))
+                self._enqueue_notification(Message.with_fields(
+                    MsgType.DOWN_THROUGHPUT, self._node_id, CONTROL_APP,
+                    peer=str(node), rate=peer.stats_out.throughput.rate(now),
+                ))
+
+    # --------------------------------------------------------------------- helpers
+
+    def _enqueue_notification(self, msg: Message) -> None:
+        if not self._running:
+            return
+        self._control.put_force(msg)
+        self._wake.set()
+
+    def _notify_broken_link(self, peer: NodeId, direction: str) -> None:
+        self._enqueue_notification(Message.with_fields(
+            MsgType.BROKEN_LINK, self._node_id, CONTROL_APP,
+            peer=str(peer), direction=direction,
+        ))
+
+    def recv_rate(self, peer_id: NodeId) -> float:
+        """Measured incoming throughput from ``peer_id`` (B/s)."""
+        peer = self._peers.get(peer_id)
+        return 0.0 if peer is None else peer.stats_in.throughput.rate(self.now())
+
+    def send_rate(self, peer_id: NodeId) -> float:
+        """Measured outgoing throughput to ``peer_id`` (B/s)."""
+        peer = self._peers.get(peer_id)
+        return 0.0 if peer is None else peer.stats_out.throughput.rate(self.now())

@@ -1,0 +1,65 @@
+"""Reading and writing iOverlay messages on asyncio TCP streams.
+
+No extra framing layer is needed: the fixed 24-byte header already
+declares the payload size (Fig. 3 of the paper), so a frame is read as
+header-then-payload.  The first frame on every fresh connection must be
+a ``HELLO`` carrying the sender's publicized identity, because the
+ephemeral source port of an outgoing TCP connection does not identify
+the overlay node behind it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from repro.core.ids import NodeId, int_to_ip
+from repro.core.message import HEADER_SIZE, Message
+from repro.core.msgtypes import MsgType
+from repro.errors import CodecError
+
+_HEADER_STRUCT = struct.Struct("!IIIIiI")
+
+#: refuse frames whose declared payload exceeds this (protects the reader)
+MAX_FRAME_PAYLOAD = 64 * 1024 * 1024
+
+
+async def read_message(reader: asyncio.StreamReader) -> Message:
+    """Read one message; raises ``IncompleteReadError`` on EOF mid-frame
+    and :class:`~repro.errors.CodecError` on malformed frames."""
+    header = await reader.readexactly(HEADER_SIZE)
+    type_, ip_int, port, app, seq, payload_size = _HEADER_STRUCT.unpack(header)
+    if payload_size > MAX_FRAME_PAYLOAD:
+        raise CodecError(f"frame declares {payload_size} payload bytes; refusing")
+    payload = await reader.readexactly(payload_size) if payload_size else b""
+    return Message(type_, NodeId(int_to_ip(ip_int), port), app, payload, seq=seq)
+
+
+def write_message(writer: asyncio.StreamWriter, msg: Message) -> None:
+    """Queue one message on the stream (caller drains with ``await writer.drain()``)."""
+    writer.write(msg.pack())
+
+
+def hello_message(node: NodeId) -> Message:
+    """The identification frame opening every persistent connection."""
+    return Message.with_fields(MsgType.HELLO, node, 0, node=str(node))
+
+
+async def open_identified(
+    dest: NodeId, identity: NodeId, timeout: float = 10.0
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a TCP connection to ``dest`` and introduce ourselves."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(dest.ip, dest.port), timeout
+    )
+    write_message(writer, hello_message(identity))
+    await writer.drain()
+    return reader, writer
+
+
+async def expect_hello(reader: asyncio.StreamReader, timeout: float = 10.0) -> NodeId:
+    """Read the HELLO frame that must open an inbound connection."""
+    msg = await asyncio.wait_for(read_message(reader), timeout)
+    if msg.type != MsgType.HELLO:
+        raise CodecError(f"expected HELLO, got type {msg.type}")
+    return NodeId.parse(msg.fields()["node"])

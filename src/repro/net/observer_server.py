@@ -1,0 +1,125 @@
+"""The live observer: a TCP server wrapping the transport-agnostic core.
+
+Every overlay node keeps one persistent connection to the observer (or
+to a :mod:`repro.net.proxy` relaying to it); bootstrap requests, status
+updates and traces flow up, control commands flow down the same socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.net.framing import expect_hello, read_message, write_message
+from repro.observer.observer import Observer
+
+
+class ObserverServer:
+    """Serves the observer protocol on a TCP endpoint."""
+
+    def __init__(self, addr: NodeId, bootstrap_fanout: int = 8, seed: int = 0,
+                 poll_interval: float | None = 1.0) -> None:
+        self.addr = addr
+        self.observer = Observer(transport=self, bootstrap_fanout=bootstrap_fanout, seed=seed)
+        self.poll_interval = poll_interval
+        self._writers: dict[NodeId, asyncio.StreamWriter] = {}
+        #: node -> connection owner; differs from the node itself when the
+        #: node reaches us through a proxy (Section 2.2's firewall relay).
+        self._routes: dict[NodeId, NodeId] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._poll_task: asyncio.Task | None = None
+        self._running = False
+
+    # --------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        self._running = True
+        self._server = await asyncio.start_server(
+            self._accept, host=self.addr.ip, port=self.addr.port
+        )
+        if self.addr.port == 0:
+            actual = self._server.sockets[0].getsockname()[1]
+            self.addr = NodeId(self.addr.ip, actual)
+        if self.poll_interval is not None:
+            self._poll_task = asyncio.ensure_future(self._poll_loop())
+
+    async def stop(self) -> None:
+        self._running = False
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            self._poll_task = None
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------- ObserverTransport
+
+    def observer_send(self, node: NodeId, msg: Message) -> None:
+        owner = self._routes.get(node, node)
+        writer = self._writers.get(owner)
+        if writer is None or writer.is_closing():
+            return
+        if owner != node:
+            # Wrap for the proxy, which routes to the right node downstream.
+            msg = Message.with_fields(
+                MsgType.PROXY, self.addr, 0, dest=str(node), frame=msg.pack().hex()
+            )
+        write_message(writer, msg)
+
+    def observer_now(self) -> float:
+        return time.monotonic()
+
+    # ------------------------------------------------------------- connections
+
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            node = await expect_hello(reader)
+        except asyncio.CancelledError:
+            writer.close()
+            return
+        except Exception:
+            writer.close()
+            return
+        self._writers[node] = writer
+        try:
+            while self._running:
+                try:
+                    msg = await read_message(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    break
+                except asyncio.CancelledError:
+                    break
+                if msg.type == MsgType.PROXY:
+                    self._handle_proxied(node, msg)
+                else:
+                    self.observer.on_message(msg)
+        finally:
+            if self._writers.get(node) is writer:
+                del self._writers[node]
+                self.observer.mark_down(node)
+                for routed, owner in list(self._routes.items()):
+                    if owner == node:
+                        del self._routes[routed]
+                        self.observer.mark_down(routed)
+            writer.close()
+
+    def _handle_proxied(self, proxy: NodeId, envelope: Message) -> None:
+        """Unwrap a frame relayed on a proxy's single upstream connection."""
+        fields = envelope.fields()
+        inner = Message.unpack(bytes.fromhex(fields["frame"]))
+        origin = NodeId.parse(fields["origin"])
+        self._routes[origin] = proxy
+        self.observer.on_message(inner)
+
+    async def _poll_loop(self) -> None:
+        assert self.poll_interval is not None
+        while self._running:
+            await asyncio.sleep(self.poll_interval)
+            self.observer.poll_all()

@@ -1,0 +1,117 @@
+"""The observer proxy: fan many node connections into one observer link.
+
+The paper adds a proxy because Windows limits backlogged connections and
+desktop observers sit behind firewalls: "the status updates from overlay
+nodes are submitted to the proxy, who relays them with a single
+connection to the observer" (Section 2.2), letting the observer handle
+thousands of virtualized nodes.
+
+Upstream frames are wrapped in ``PROXY`` envelopes tagged with the
+originating node so the observer can route replies; downstream
+envelopes carry a destination and are unwrapped here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.net.framing import expect_hello, open_identified, read_message, write_message
+
+
+class ObserverProxy:
+    """Relays node <-> observer traffic over a single upstream connection."""
+
+    def __init__(self, addr: NodeId, observer_addr: NodeId) -> None:
+        self.addr = addr
+        self.observer_addr = observer_addr
+        self._server: asyncio.AbstractServer | None = None
+        self._upstream_writer: asyncio.StreamWriter | None = None
+        self._upstream_task: asyncio.Task | None = None
+        self._downstream: dict[NodeId, asyncio.StreamWriter] = {}
+        self._running = False
+        self.relayed_up = 0
+        self.relayed_down = 0
+
+    async def start(self) -> None:
+        self._running = True
+        reader, writer = await open_identified(self.observer_addr, self.addr)
+        self._upstream_writer = writer
+        self._upstream_task = asyncio.ensure_future(self._upstream_reader(reader))
+        self._server = await asyncio.start_server(
+            self._accept, host=self.addr.ip, port=self.addr.port
+        )
+        if self.addr.port == 0:
+            actual = self._server.sockets[0].getsockname()[1]
+            self.addr = NodeId(self.addr.ip, actual)
+
+    async def stop(self) -> None:
+        self._running = False
+        if self._upstream_task is not None:
+            self._upstream_task.cancel()
+            self._upstream_task = None
+        if self._upstream_writer is not None:
+            self._upstream_writer.close()
+            self._upstream_writer = None
+        for writer in self._downstream.values():
+            writer.close()
+        self._downstream.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------- downstream side
+
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            node = await expect_hello(reader)
+        except asyncio.CancelledError:
+            writer.close()
+            return
+        except Exception:
+            writer.close()
+            return
+        self._downstream[node] = writer
+        try:
+            while self._running:
+                try:
+                    msg = await read_message(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError,
+                        asyncio.CancelledError):
+                    break
+                self._relay_up(node, msg)
+        finally:
+            if self._downstream.get(node) is writer:
+                del self._downstream[node]
+            writer.close()
+
+    def _relay_up(self, origin: NodeId, msg: Message) -> None:
+        upstream = self._upstream_writer
+        if upstream is None or upstream.is_closing():
+            return
+        envelope = Message.with_fields(
+            MsgType.PROXY, self.addr, 0, origin=str(origin), frame=msg.pack().hex()
+        )
+        write_message(upstream, envelope)
+        self.relayed_up += 1
+
+    # --------------------------------------------------------------- upstream side
+
+    async def _upstream_reader(self, reader: asyncio.StreamReader) -> None:
+        while self._running:
+            try:
+                envelope = await read_message(reader)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            if envelope.type != MsgType.PROXY:
+                continue
+            fields = envelope.fields()
+            dest = NodeId.parse(fields["dest"])
+            writer = self._downstream.get(dest)
+            if writer is None or writer.is_closing():
+                continue
+            write_message(writer, Message.unpack(bytes.fromhex(fields["frame"])))
+            self.relayed_down += 1

@@ -1,0 +1,15 @@
+"""The observer: centralized bootstrap, monitoring, control and traces."""
+
+from repro.observer.observer import Observer
+from repro.observer.status import NodeStatus
+from repro.observer.topology import TopologyEdge, TopologySnapshot
+from repro.observer.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Observer",
+    "NodeStatus",
+    "TopologyEdge",
+    "TopologySnapshot",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,102 @@
+"""A headless rendering of the observer's view.
+
+The paper's observer is a Windows GUI drawing nodes on a world map with
+live throughput labels (its Fig. 2).  The reproduction renders the same
+information as text: a node table (buffers, apps, rates), the overlay
+edge list with rates, and a compact tree view when the topology is a
+tree — suitable for terminals, logs and tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.ids import NodeId
+from repro.observer.observer import Observer
+from repro.observer.topology import TopologySnapshot
+
+
+def render_nodes(observer: Observer, labels: dict[NodeId, str] | None = None) -> str:
+    """One line per alive node: buffers, apps, aggregate rates."""
+    labels = labels or {}
+    lines = [f"{'node':<18} {'apps':<8} {'buffered':>8} {'in KB/s':>9} {'out KB/s':>9}"]
+    for node in observer.alive:
+        status = observer.statuses.get(node)
+        name = labels.get(node, str(node))
+        if status is None:
+            lines.append(f"{name:<18} {'-':<8} {'-':>8} {'-':>9} {'-':>9}")
+            continue
+        apps = ",".join(str(a) for a in status.apps) or "-"
+        rate_in = sum(status.recv_rates.values()) / 1000
+        rate_out = sum(status.send_rates.values()) / 1000
+        lines.append(
+            f"{name:<18} {apps:<8} {status.total_buffered:>8} "
+            f"{rate_in:>9.1f} {rate_out:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_edges(observer: Observer, labels: dict[NodeId, str] | None = None) -> str:
+    """The overlay links with their measured rates."""
+    labels = labels or {}
+    topology = observer.topology()
+    lines = []
+    for edge in topology.edges:
+        src = labels.get(edge.src, str(edge.src))
+        dst = labels.get(edge.dst, str(edge.dst))
+        lines.append(f"{src} -> {dst}  {edge.rate / 1000:8.1f} KB/s")
+    return "\n".join(lines) if lines else "(no links reported)"
+
+
+def render_tree(
+    topology: TopologySnapshot,
+    root: NodeId,
+    labels: dict[NodeId, str] | None = None,
+) -> str:
+    """An ASCII tree of the dissemination topology rooted at ``root``.
+
+    Falls back to the edge list when the snapshot is not a tree.
+    """
+    labels = labels or {}
+    if not topology.is_tree_rooted_at(root):
+        return "\n".join(
+            f"{labels.get(e.src, str(e.src))} -> {labels.get(e.dst, str(e.dst))}"
+            for e in topology.edges
+        )
+    lines: list[str] = []
+
+    def walk(node: NodeId, prefix: str, is_last: bool, is_root: bool) -> None:
+        name = labels.get(node, str(node))
+        if is_root:
+            lines.append(name)
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + name)
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        children = sorted(topology.children(node), key=str)
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1, False)
+
+    walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_dashboard(
+    observer: Observer,
+    labels: dict[NodeId, str] | None = None,
+    root: NodeId | None = None,
+) -> str:
+    """The full observer screen: nodes, links, and optionally the tree."""
+    sections = [
+        "== nodes ==",
+        render_nodes(observer, labels),
+        "",
+        "== overlay links ==",
+        render_edges(observer, labels),
+    ]
+    if root is not None:
+        sections += ["", "== dissemination tree ==",
+                     render_tree(observer.topology(), root, labels)]
+    if len(observer.traces):
+        sections += ["", f"== traces ({len(observer.traces)} recorded) =="]
+        sections += [f"[{r.time:8.2f}] {r.node}: {r.text}" for r in list(observer.traces)[-5:]]
+    return "\n".join(sections)

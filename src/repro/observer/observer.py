@@ -1,0 +1,180 @@
+"""The observer: centralized bootstrap, monitoring and control.
+
+The observer (Section 2.2) is the single non-distributed component of
+iOverlay.  It:
+
+- answers ``boot`` requests with a random subset of alive nodes,
+- periodically requests status updates from every bootstrapped node,
+- records ``trace`` messages centrally,
+- acts as a control panel: deploy applications, join/leave, terminate
+  nodes and sources, and change emulated bandwidth at runtime,
+- can send algorithm-specific control messages with two optional
+  integer parameters.
+
+The class is transport-agnostic: it talks to nodes through an
+:class:`ObserverTransport`, implemented by the simulator (direct
+delivery with latency) and by the asyncio stack (real TCP, optionally
+via the firewall proxy).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.core.ids import CONTROL_APP, AppId, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.observer.status import NodeStatus
+from repro.observer.topology import TopologySnapshot
+from repro.observer.trace import TraceLog
+
+
+class ObserverTransport(Protocol):
+    """How the observer reaches nodes and tells the time."""
+
+    def observer_send(self, node: NodeId, msg: Message) -> None:
+        """Deliver a control message to ``node``'s publicized port."""
+
+    def observer_now(self) -> float:
+        """Current time (virtual in the simulator, wall-clock live)."""
+
+
+class Observer:
+    """Centralized monitoring facility and control panel."""
+
+    #: identity stamped on messages originating at the observer
+    OBSERVER_ID = NodeId("0.0.0.0", 1)
+
+    def __init__(
+        self,
+        transport: ObserverTransport,
+        bootstrap_fanout: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self._transport = transport
+        self.bootstrap_fanout = bootstrap_fanout
+        self.rng = random.Random(seed)
+        self.alive: dict[NodeId, None] = {}  # insertion-ordered set
+        self.statuses: dict[NodeId, NodeStatus] = {}
+        self.traces = TraceLog()
+        self.boot_count = 0
+
+    # ------------------------------------------------------------- incoming path
+
+    def on_message(self, msg: Message) -> None:
+        """Entry point for every message a node sends to the observer."""
+        if msg.type == MsgType.BOOT:
+            self._handle_boot(msg)
+        elif msg.type == MsgType.STATUS:
+            self.statuses[msg.sender] = NodeStatus.from_message(
+                msg, received_at=self._transport.observer_now()
+            )
+        elif msg.type == MsgType.TRACE:
+            self.traces.record(
+                self._transport.observer_now(), msg.sender, msg.app, msg.payload.decode()
+            )
+        # Unknown types are ignored: the observer is never a single point
+        # of failure for the data plane.
+
+    def _handle_boot(self, msg: Message) -> None:
+        """First level of bootstrap support: reply with random alive nodes."""
+        newcomer = msg.sender
+        peers = [node for node in self.alive if node != newcomer]
+        subset = peers if len(peers) <= self.bootstrap_fanout else self.rng.sample(
+            peers, self.bootstrap_fanout
+        )
+        self.alive.setdefault(newcomer, None)
+        self.boot_count += 1
+        reply = Message.with_fields(
+            MsgType.BOOT_REPLY,
+            self.OBSERVER_ID,
+            CONTROL_APP,
+            hosts=[str(node) for node in subset],
+        )
+        self._transport.observer_send(newcomer, reply)
+
+    def mark_down(self, node: NodeId) -> None:
+        """Forget a node that terminated (fabric notification)."""
+        self.alive.pop(node, None)
+        self.statuses.pop(node, None)
+
+    # --------------------------------------------------------------- status polls
+
+    def poll_all(self) -> int:
+        """Send a status ``request`` to every alive node; returns the count."""
+        request = Message.with_fields(MsgType.REQUEST, self.OBSERVER_ID, CONTROL_APP)
+        for node in list(self.alive):
+            self._transport.observer_send(node, request.clone())
+        return len(self.alive)
+
+    def topology(self) -> TopologySnapshot:
+        """The overlay graph per the most recent status reports."""
+        return TopologySnapshot(dict(self.statuses))
+
+    # -------------------------------------------------------------- control panel
+
+    def deploy_source(self, node: NodeId, app: AppId, payload_size: int = 5120) -> None:
+        """Deploy an application data source on ``node`` (``sDeploy``)."""
+        self._control(node, Message.with_fields(
+            MsgType.S_DEPLOY, self.OBSERVER_ID, app, app=app, payload_size=payload_size,
+        ))
+
+    def terminate_source(self, node: NodeId, app: AppId) -> None:
+        """Terminate an application data source (``sTerminate``)."""
+        self._control(node, Message.with_fields(
+            MsgType.S_TERMINATE, self.OBSERVER_ID, app, app=app,
+        ))
+
+    def terminate_node(self, node: NodeId) -> None:
+        """Terminate a node at will; its engine cleans up gracefully."""
+        self._control(node, Message.with_fields(MsgType.TERMINATE, self.OBSERVER_ID, CONTROL_APP))
+
+    def connect(self, src: NodeId, dest: NodeId) -> None:
+        """Ask ``src`` to open a persistent connection to ``dest``."""
+        self._control(src, Message.with_fields(
+            MsgType.CONNECT, self.OBSERVER_ID, CONTROL_APP, dest=str(dest),
+        ))
+
+    def disconnect(self, src: NodeId, dest: NodeId) -> None:
+        self._control(src, Message.with_fields(
+            MsgType.DISCONNECT, self.OBSERVER_ID, CONTROL_APP, dest=str(dest),
+        ))
+
+    def set_node_bandwidth(
+        self, node: NodeId, category: str, rate: float | None
+    ) -> None:
+        """Emulate per-node bandwidth: category is total, up or down."""
+        if category not in ("total", "up", "down"):
+            raise ValueError(f"category must be total/up/down, got {category!r}")
+        self._control(node, Message.with_fields(
+            MsgType.SET_BANDWIDTH, self.OBSERVER_ID, CONTROL_APP,
+            category=category, rate=rate,
+        ))
+
+    def set_link_bandwidth(self, node: NodeId, peer: NodeId, rate: float | None) -> None:
+        """Emulate per-link bandwidth on ``node``'s outgoing link to ``peer``."""
+        self._control(node, Message.with_fields(
+            MsgType.SET_BANDWIDTH, self.OBSERVER_ID, CONTROL_APP,
+            category="link", peer=str(peer), rate=rate,
+        ))
+
+    def send_control(
+        self, node: NodeId, type_: int, param1: int = 0, param2: int = 0, app: AppId = CONTROL_APP
+    ) -> None:
+        """Send an algorithm-specific control message with two int params."""
+        self._control(node, Message.with_fields(
+            MsgType.CONTROL, self.OBSERVER_ID, app,
+            type=type_, param1=param1, param2=param2,
+        ))
+
+    def send_message(self, node: NodeId, msg: Message) -> None:
+        """Deliver an arbitrary pre-built message to a node's port.
+
+        Experiments use this to inject algorithm-specific messages (e.g.
+        ``sAssign`` and ``sFederate`` in the service-federation study).
+        """
+        self._control(node, msg)
+
+    def _control(self, node: NodeId, msg: Message) -> None:
+        self._transport.observer_send(node, msg)

@@ -1,0 +1,66 @@
+"""Node status reports collected by the observer.
+
+Once a node is bootstrapped, the observer periodically requests status
+updates, "which include lengths of all engine buffers, measurements of
+QoS metrics, and the list of upstream and downstream nodes"
+(Section 2.2).  :class:`NodeStatus` is the parsed form of one report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ids import NodeId
+from repro.core.message import Message
+
+
+@dataclass
+class NodeStatus:
+    """The last known state of one overlay node."""
+
+    node: NodeId
+    received_at: float
+    upstreams: list[NodeId] = field(default_factory=list)
+    downstreams: list[NodeId] = field(default_factory=list)
+    recv_buffers: dict[NodeId, int] = field(default_factory=dict)
+    send_buffers: dict[NodeId, int] = field(default_factory=dict)
+    recv_rates: dict[NodeId, float] = field(default_factory=dict)
+    send_rates: dict[NodeId, float] = field(default_factory=dict)
+    apps: list[int] = field(default_factory=list)
+    lost_messages: int = 0
+    lost_bytes: int = 0
+
+    @classmethod
+    def from_message(cls, msg: Message, received_at: float) -> "NodeStatus":
+        """Parse a ``STATUS`` message produced by an engine."""
+        fields = msg.fields()
+        return cls(
+            node=NodeId.parse(fields["node"]),
+            received_at=received_at,
+            upstreams=[NodeId.parse(text) for text in fields.get("upstreams", [])],
+            downstreams=[NodeId.parse(text) for text in fields.get("downstreams", [])],
+            recv_buffers={
+                NodeId.parse(peer): int(depth)
+                for peer, depth in fields.get("recv_buffers", {}).items()
+            },
+            send_buffers={
+                NodeId.parse(peer): int(depth)
+                for peer, depth in fields.get("send_buffers", {}).items()
+            },
+            recv_rates={
+                NodeId.parse(peer): float(rate)
+                for peer, rate in fields.get("recv_rates", {}).items()
+            },
+            send_rates={
+                NodeId.parse(peer): float(rate)
+                for peer, rate in fields.get("send_rates", {}).items()
+            },
+            apps=[int(app) for app in fields.get("apps", [])],
+            lost_messages=int(fields.get("lost_messages", 0)),
+            lost_bytes=int(fields.get("lost_bytes", 0)),
+        )
+
+    @property
+    def total_buffered(self) -> int:
+        """Messages waiting across all buffers of the node."""
+        return sum(self.recv_buffers.values()) + sum(self.send_buffers.values())

@@ -1,0 +1,97 @@
+"""Topology snapshots assembled from node status reports.
+
+The paper's observer visually illustrates "the current network topology
+of each of the applications with geographical locations of all nodes" on
+a world map.  Headless, we provide the same information as data: an edge
+list with rates, exportable as DOT or consumed programmatically by the
+experiments (Figs. 10, 12, 13 render these topologies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ids import NodeId
+from repro.observer.status import NodeStatus
+
+
+@dataclass(frozen=True)
+class TopologyEdge:
+    """A directed overlay link with its most recent measured send rate."""
+
+    src: NodeId
+    dst: NodeId
+    rate: float
+
+
+class TopologySnapshot:
+    """The overlay graph as the observer currently understands it."""
+
+    def __init__(self, statuses: dict[NodeId, NodeStatus]) -> None:
+        self._nodes = sorted(statuses)
+        edges: list[TopologyEdge] = []
+        for status in statuses.values():
+            for dest in status.downstreams:
+                edges.append(TopologyEdge(status.node, dest, status.send_rates.get(dest, 0.0)))
+        self._edges = sorted(edges, key=lambda e: (e.src, e.dst))
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> list[TopologyEdge]:
+        return list(self._edges)
+
+    def out_degree(self, node: NodeId) -> int:
+        return sum(1 for edge in self._edges if edge.src == node)
+
+    def in_degree(self, node: NodeId) -> int:
+        return sum(1 for edge in self._edges if edge.dst == node)
+
+    def degree(self, node: NodeId) -> int:
+        """Total degree (in + out) — the numerator of the paper's node stress."""
+        return self.in_degree(node) + self.out_degree(node)
+
+    def children(self, node: NodeId) -> list[NodeId]:
+        return [edge.dst for edge in self._edges if edge.src == node]
+
+    def parents(self, node: NodeId) -> list[NodeId]:
+        return [edge.src for edge in self._edges if edge.dst == node]
+
+    def is_tree_rooted_at(self, root: NodeId) -> bool:
+        """True if the snapshot is a spanning tree rooted at ``root``.
+
+        Used by experiment assertions: every node except the root has
+        exactly one parent, and every node is reachable from the root.
+        """
+        for node in self._nodes:
+            expected = 0 if node == root else 1
+            if self.in_degree(node) != expected:
+                return False
+        reached = {root}
+        frontier = [root]
+        while frontier:
+            current = frontier.pop()
+            for child in self.children(current):
+                if child not in reached:
+                    reached.add(child)
+                    frontier.append(child)
+        return reached == set(self._nodes)
+
+    def to_dot(self, labels: dict[NodeId, str] | None = None) -> str:
+        """Render as a Graphviz digraph; edge labels are KB/s rates."""
+        labels = labels or {}
+        lines = ["digraph overlay {"]
+        for node in self._nodes:
+            label = labels.get(node, str(node))
+            lines.append(f'  "{node}" [label="{label}"];')
+        for edge in self._edges:
+            lines.append(
+                f'  "{edge.src}" -> "{edge.dst}" [label="{edge.rate / 1000:.1f} KB/s"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_edge_list(self) -> list[tuple[str, str, float]]:
+        return [(str(edge.src), str(edge.dst), edge.rate) for edge in self._edges]

@@ -1,0 +1,57 @@
+"""Centralized trace collection.
+
+The observer records the content of any message of type ``trace`` in its
+log files, serving as "a centralized facility to collect and record
+debugging information, performance data and other traces" (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.ids import NodeId
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: when, who, which application, what."""
+
+    time: float
+    node: NodeId
+    app: int
+    text: str
+
+
+class TraceLog:
+    """An append-only, filterable log of trace records."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def record(self, time: float, node: NodeId, app: int, text: str) -> None:
+        self._records.append(TraceRecord(time, node, app, text))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def from_node(self, node: NodeId) -> list[TraceRecord]:
+        return [record for record in self._records if record.node == node]
+
+    def matching(self, substring: str) -> list[TraceRecord]:
+        return [record for record in self._records if substring in record.text]
+
+    def dump(self, path: str | Path) -> None:
+        """Write the log as tab-separated lines (time, node, app, text)."""
+        lines = (
+            f"{record.time:.6f}\t{record.node}\t{record.app}\t{record.text}"
+            for record in self._records
+        )
+        Path(path).write_text("\n".join(lines) + ("\n" if self._records else ""))
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,21 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from repro.sim.engine import EngineConfig, SimEngine
+from repro.sim.kernel import Cancelled, Future, Kernel, Task
+from repro.sim.link import SimLink
+from repro.sim.network import NetworkConfig, SimNetwork
+from repro.sim.sync import SimEvent, SimQueue
+
+__all__ = [
+    "Cancelled",
+    "EngineConfig",
+    "Future",
+    "Kernel",
+    "NetworkConfig",
+    "SimEngine",
+    "SimEvent",
+    "SimLink",
+    "SimNetwork",
+    "SimQueue",
+    "Task",
+]

@@ -1,0 +1,820 @@
+"""The simulated message switching engine (the paper's Fig. 4, in coroutines).
+
+Each overlay node runs:
+
+- one **receiver task** per upstream connection, pulling messages off the
+  link, applying the incoming bandwidth emulation, and blocking when its
+  bounded receiver buffer is full (back pressure);
+- one **sender task** per downstream connection, draining its bounded
+  sender buffer through the outgoing bandwidth emulation onto the link;
+- one **engine task** that processes control messages from the node's
+  publicized port and switches data messages from receiver buffers to
+  sender buffers in weighted round-robin order, consulting the
+  application-specific :class:`~repro.core.algorithm.Algorithm` — which in
+  turn calls back through the single ``send`` entry point.
+
+The algorithm runs only inside the engine task (plus source tasks, which
+never interleave mid-``process``), preserving the paper's guarantee that
+algorithms need no thread-safe data structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Protocol
+
+from repro.core.algorithm import Algorithm, Disposition
+from repro.core.bandwidth import BandwidthSpec, NodeThrottle
+from repro.core.ids import CONTROL_APP, AppId, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType, is_engine_type
+from repro.core.stats import LinkStats, LinkStatsSnapshot
+from repro.core.switch import PendingForward, ReceiverPort, SwitchScheduler
+from repro.errors import BufferClosedError, LinkDownError
+from repro.sim.kernel import Kernel, Task
+from repro.sim.link import SimLink
+from repro.sim.sync import SimEvent, SimQueue
+
+
+class Fabric(Protocol):
+    """What an engine needs from the surrounding network."""
+
+    def open_link(self, src: NodeId, dst: NodeId) -> SimLink | None:
+        """Create a directed connection; ``None`` if ``dst`` is not alive."""
+
+    def to_observer(self, msg: Message) -> None:
+        """Deliver a message to the (centralized) observer."""
+
+    def node_terminated(self, node: NodeId) -> None:
+        """Notification that ``node`` finished its graceful shutdown."""
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of one engine instance.
+
+    ``buffer_capacity`` is the paper's per-buffer size in messages (both
+    receiver and sender buffers) — the lever between delay-sensitive
+    (small) and bandwidth-aggressive (large) behaviour (Section 2.4).
+    """
+
+    buffer_capacity: int = 64
+    report_interval: float = 1.0
+    #: seconds of upstream silence before the link is declared failed;
+    #: ``None`` disables inactivity detection (sim links usually fail loudly).
+    inactivity_timeout: float | None = None
+    #: minimal virtual time between two source-produced messages.  "Back to
+    #: back as fast as possible" needs a floor in a discrete-event world:
+    #: without one, a source whose sends are never flow-controlled (e.g.
+    #: all its destinations just died) would produce unboundedly many
+    #: messages without advancing virtual time.
+    source_interval: float = 0.001
+    #: period between repeated bootstrap requests to the observer, so nodes
+    #: that booted early still learn about later arrivals; ``None`` sends a
+    #: single bootstrap request at start-up only.
+    bootstrap_refresh: float | None = 5.0
+    bandwidth: BandwidthSpec = dataclass_field(default_factory=BandwidthSpec)
+
+
+@dataclass
+class _SenderLink:
+    """Engine-side state of one outgoing connection (thread-per-sender)."""
+
+    dest: NodeId
+    link: SimLink
+    queue: SimQueue[Message]
+    stats: LinkStats
+    task: Task | None = None
+    #: virtual time at which the current in-flight delivery started, for
+    #: inactivity detection of silently-stalled links; None when idle.
+    in_flight_since: float | None = None
+
+
+class SimEngine:
+    """One virtualized overlay node: engine + algorithm + connections."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        node_id: NodeId,
+        algorithm: Algorithm,
+        fabric: Fabric,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self._node_id = node_id
+        self.algorithm = algorithm
+        self.config = config or EngineConfig()
+        self._fabric = fabric
+        self.throttle = NodeThrottle(self.config.bandwidth)
+
+        self._scheduler = SwitchScheduler()
+        self._senders: dict[NodeId, _SenderLink] = {}
+        self._upstream_links: dict[NodeId, SimLink] = {}
+        self._recv_stats: dict[NodeId, LinkStats] = {}
+        self._last_recv_at: dict[NodeId, float] = {}
+
+        self._control: SimQueue[Message] = SimQueue(kernel)  # the publicized port
+        self._wake = SimEvent(kernel)
+        self._send_space = SimEvent(kernel)
+
+        self._running = False
+        self._terminated = False
+        self._lost_messages = 0
+        self._lost_bytes = 0
+        self._tasks: list[Task] = []
+        self._sources: dict[AppId, Task] = {}
+        self._local_apps: set[AppId] = set()
+        self._app_upstreams: dict[AppId, set[NodeId]] = {}
+        self._app_downstreams: dict[AppId, set[NodeId]] = {}
+
+        # switching context: which receiver port (or source) produced the
+        # message the algorithm is currently processing
+        self._current_port: ReceiverPort | None = None
+        self._source_pending: list[PendingForward] | None = None
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Bind the algorithm and spawn the engine's tasks."""
+        if self._running or self._terminated:
+            raise RuntimeError(f"engine {self._node_id} already started")
+        self._running = True
+        self.algorithm.bind(self)
+        self._tasks.append(self.kernel.spawn(self._engine_loop(), name=f"{self._node_id}/engine"))
+        self._tasks.append(self.kernel.spawn(self._report_loop(), name=f"{self._node_id}/report"))
+        if self.config.inactivity_timeout is not None:
+            self._tasks.append(
+                self.kernel.spawn(self._watchdog_loop(), name=f"{self._node_id}/watchdog")
+            )
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def terminate(self) -> None:
+        """Gracefully shut the node down (the observer's *terminate node*).
+
+        All incident links are broken so neighbours detect the failure
+        through their normal error paths; local tasks are cancelled and
+        data structures cleared — the paper's graceful termination.
+        """
+        if not self._running:
+            return
+        self._running = False
+        self._terminated = True
+        for task in self._sources.values():
+            task.cancel()
+        self._sources.clear()
+        self._local_apps.clear()
+        for sender in list(self._senders.values()):
+            sender.link.break_()
+            sender.queue.close()
+            if sender.task is not None:
+                sender.task.cancel()
+        self._senders.clear()
+        for link in list(self._upstream_links.values()):
+            link.break_()
+        self._upstream_links.clear()
+        for port in list(self._scheduler.ports):
+            self._scheduler.remove_port(port.peer)
+        self._control.close()
+        self._wake.set()
+        self._send_space.set()
+        for task in self._tasks:
+            task.cancel()
+        self._tasks.clear()
+        self.algorithm.on_stop()
+        self._fabric.node_terminated(self._node_id)
+
+    # ------------------------------------------------------------- EngineServices
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    def now(self) -> float:
+        return self.kernel.now
+
+    def send(self, msg: Message, dest: NodeId) -> None:
+        """The single engine entry point available to algorithms.
+
+        ``send`` never raises and never reports failure synchronously:
+        abnormal outcomes surface later as engine-produced messages
+        (Section 2.3).  Data messages respect sender-buffer bounds and
+        participate in back pressure; other (small protocol) messages are
+        never blocked, so control traffic cannot deadlock behind data.
+        """
+        if not self._running:
+            return
+        if dest == self._node_id:
+            self._control.put_force(msg)
+            self._wake.set()
+            return
+        sender = self._ensure_sender(dest)
+        if sender is None:
+            self._notify_broken_link(dest, direction="down")
+            return
+        if msg.type == MsgType.DATA:
+            self._track_downstream(msg.app, dest)
+            if sender.queue.put_nowait(msg):
+                return
+            self._defer_data(msg, dest)
+        else:
+            sender.queue.put_force(msg)
+
+    def send_to_observer(self, msg: Message) -> None:
+        if self._running:
+            self._fabric.to_observer(msg)
+
+    def upstreams(self) -> list[NodeId]:
+        return [port.peer for port in self._scheduler.ports]
+
+    def downstreams(self) -> list[NodeId]:
+        return list(self._senders)
+
+    def link_stats(self, peer: NodeId) -> LinkStatsSnapshot | None:
+        sender = self._senders.get(peer)
+        if sender is not None:
+            return sender.stats.snapshot(self.kernel.now)
+        stats = self._recv_stats.get(peer)
+        if stats is not None:
+            return stats.snapshot(self.kernel.now)
+        return None
+
+    def start_source(self, app: AppId, payload_size: int) -> None:
+        """Deploy an application data source producing back-to-back traffic."""
+        if app in self._sources or not self._running:
+            return
+        self._local_apps.add(app)
+        task = self.kernel.spawn(
+            self._source_loop(app, payload_size), name=f"{self._node_id}/source-{app}"
+        )
+        self._sources[app] = task
+
+    def stop_source(self, app: AppId) -> None:
+        """Terminate a deployed source and tell downstreams it is gone."""
+        task = self._sources.pop(app, None)
+        self._local_apps.discard(app)
+        if task is not None:
+            task.cancel()
+        self._broadcast_broken_source(app)
+
+    def set_timer(self, delay: float, token: int = 0) -> None:
+        """Deliver a ``TIMER`` message to the algorithm after ``delay``."""
+        msg = Message.with_fields(MsgType.TIMER, self._node_id, CONTROL_APP, token=token)
+        self.kernel.call_later(delay, self._enqueue_notification, msg)
+
+    def measure(self, peer: NodeId) -> None:
+        """Probe RTT to ``peer``; the algorithm receives MEASURE_REPLY.
+
+        The probe is a tiny HEARTBEAT request/echo over the persistent
+        connection — used only on demand, never as a liveness heartbeat.
+        """
+        probe = Message.with_fields(
+            MsgType.HEARTBEAT, self._node_id, CONTROL_APP,
+            probe="req", t0=self.kernel.now, origin=str(self._node_id),
+        )
+        self.send(probe, peer)
+
+    def set_port_weight(self, peer: NodeId, weight: int) -> None:
+        """Dynamically retune a receiver port's round-robin weight.
+
+        The switch serves ``weight`` messages from this upstream per
+        rotation, so competing upstreams share the engine's switching
+        (and, under a bandwidth cap, the node's uplink) proportionally.
+        """
+        self._scheduler.set_weight(peer, weight)
+        self._wake.set()
+
+    # ----------------------------------------------------------------- connections
+
+    def connect(self, dest: NodeId) -> bool:
+        """Ensure a persistent outgoing connection to ``dest`` exists."""
+        return self._ensure_sender(dest) is not None
+
+    def disconnect(self, dest: NodeId) -> None:
+        """Tear down the outgoing connection to ``dest`` (if any)."""
+        sender = self._senders.pop(dest, None)
+        if sender is None:
+            return
+        sender.link.break_()
+        lost = sender.queue.drain()
+        sender.queue.close()
+        for msg in lost:
+            sender.stats.loss.record(msg.size)
+            self._record_loss(msg)
+        if sender.task is not None:
+            sender.task.cancel()
+        self.throttle.drop_link(dest)
+        for app in list(self._app_downstreams):
+            self._app_downstreams[app].discard(dest)
+
+    def accept_upstream(self, link: SimLink) -> None:
+        """Register an incoming connection (called by the fabric)."""
+        if not self._running or link.src in self._upstream_links:
+            return
+        self._upstream_links[link.src] = link
+        buffer: SimQueue[Message] = SimQueue(self.kernel, capacity=self.config.buffer_capacity)
+        port = ReceiverPort(peer=link.src, buffer=buffer)  # type: ignore[arg-type]
+        self._scheduler.add_port(port)
+        self._recv_stats[link.src] = LinkStats()
+        self._last_recv_at[link.src] = self.kernel.now
+        self._tasks.append(
+            self.kernel.spawn(
+                self._receiver_loop(link, port), name=f"{self._node_id}/recv-{link.src}"
+            )
+        )
+        self._enqueue_notification(
+            Message.with_fields(MsgType.NEW_UPSTREAM, self._node_id, CONTROL_APP, peer=str(link.src))
+        )
+
+    def deliver_control(self, msg: Message) -> None:
+        """Inject a message into the node's publicized port (observer path)."""
+        if not self._running:
+            return
+        self._control.put_force(msg)
+        self._wake.set()
+
+    # --------------------------------------------------------------------- engine
+
+    async def _engine_loop(self) -> None:
+        # Table 1: start the TCP server, bootstrap from observer, then loop.
+        self._send_boot()
+        if self.config.bootstrap_refresh is not None:
+            self._tasks.append(
+                self.kernel.spawn(self._bootstrap_loop(), name=f"{self._node_id}/boot")
+            )
+        self.algorithm.on_start()
+        while self._running:
+            progressed = self._drain_control()
+            progressed = self._switch_round() or progressed
+            if not progressed:
+                # No await happened since the last state change we saw, so
+                # clear-then-wait cannot lose a wake-up (cooperative tasks).
+                self._wake.clear()
+                await self._wake.wait()
+
+    def _send_boot(self) -> None:
+        self.send_to_observer(
+            Message.with_fields(MsgType.BOOT, self._node_id, CONTROL_APP, node=str(self._node_id))
+        )
+
+    async def _bootstrap_loop(self) -> None:
+        refresh = self.config.bootstrap_refresh
+        assert refresh is not None
+        while self._running:
+            await self.kernel.sleep(refresh)
+            if self._running:
+                self._send_boot()
+
+    def _drain_control(self) -> bool:
+        progressed = False
+        while self._running and not self._control.is_empty:
+            try:
+                msg = self._control.get_nowait()
+            except IndexError:  # pragma: no cover - guarded by is_empty
+                break
+            progressed = True
+            if is_engine_type(msg.type):
+                self._engine_process(msg)
+            else:
+                self.algorithm.process(msg)
+        return progressed
+
+    def _engine_process(self, msg: Message) -> None:
+        """Handle engine-owned control types (``Engine::process`` in Table 1)."""
+        if msg.type == MsgType.TERMINATE:
+            self.terminate()
+        elif msg.type == MsgType.SET_BANDWIDTH:
+            self._apply_bandwidth(msg)
+        elif msg.type == MsgType.CONNECT:
+            self.connect(NodeId.parse(msg.fields()["dest"]))
+        elif msg.type == MsgType.DISCONNECT:
+            self.disconnect(NodeId.parse(msg.fields()["dest"]))
+        elif msg.type == MsgType.REQUEST:
+            self.send_to_observer(self._status_report())
+            self.algorithm.process(msg)  # let the algorithm add its own report
+        elif msg.type == MsgType.HEARTBEAT:
+            self._handle_probe(msg)
+
+    def _handle_probe(self, msg: Message) -> None:
+        fields = msg.fields()
+        origin = NodeId.parse(fields["origin"])
+        if fields.get("probe") == "req":
+            echo = Message.with_fields(
+                MsgType.HEARTBEAT, self._node_id, CONTROL_APP,
+                probe="resp", t0=fields["t0"], origin=fields["origin"],
+            )
+            self.send(echo, origin)
+        elif fields.get("probe") == "resp":
+            peer = msg.sender
+            rtt = self.kernel.now - float(fields["t0"])
+            self._enqueue_notification(Message.with_fields(
+                MsgType.MEASURE_REPLY, self._node_id, CONTROL_APP,
+                peer=str(peer), rtt=rtt, send_rate=self.send_rate(peer),
+            ))
+
+    def _apply_bandwidth(self, msg: Message) -> None:
+        fields = msg.fields()
+        category = fields["category"]
+        rate = fields["rate"]
+        if category == "total":
+            self.throttle.set_total(rate)
+        elif category == "up":
+            self.throttle.set_up(rate)
+        elif category == "down":
+            self.throttle.set_down(rate)
+        elif category == "link":
+            self.throttle.set_link(NodeId.parse(fields["peer"]), rate)
+        else:
+            raise ValueError(f"unknown bandwidth category: {category!r}")
+
+    def _status_report(self) -> Message:
+        now = self.kernel.now
+        return Message.with_fields(
+            MsgType.STATUS,
+            self._node_id,
+            CONTROL_APP,
+            node=str(self._node_id),
+            upstreams=[str(p) for p in self.upstreams()],
+            downstreams=[str(d) for d in self.downstreams()],
+            recv_buffers={str(p.peer): len(p.buffer) for p in self._scheduler.ports},
+            send_buffers={str(d): len(s.queue) for d, s in self._senders.items()},
+            recv_rates={str(p): st.throughput.rate(now) for p, st in self._recv_stats.items()},
+            send_rates={str(d): s.stats.throughput.rate(now) for d, s in self._senders.items()},
+            lost_messages=self._lost_messages,
+            lost_bytes=self._lost_bytes,
+            apps=sorted(self._local_apps | set(self._app_upstreams)),
+        )
+
+    # --------------------------------------------------------------------- switch
+
+    def _switch_round(self) -> bool:
+        """One weighted (deficit) round-robin pass over all receiver ports.
+
+        Credits are consumed as messages depart a port, so under output
+        congestion — where every message traverses the pending path —
+        competing upstreams still share the output in weight proportion.
+        When every port with work has exhausted its credit, a new credit
+        epoch starts and the pass reruns.
+        """
+        progressed = False
+        for port in self._scheduler.rotation():
+            if not port.has_work() or port.credit <= 0:
+                continue
+            if port.pending:
+                before = len(port.pending)
+                self._retry_pending(port)
+                completed = before - len(port.pending)
+                if completed:
+                    port.credit -= completed
+                    progressed = True
+                if port.blocked or port.credit <= 0:
+                    continue
+            while port.credit > 0 and not port.blocked and not port.buffer.is_empty:
+                msg = port.buffer.get_nowait()  # type: ignore[attr-defined]
+                self._track_upstream(msg.app, port.peer)
+                self._current_port = port
+                try:
+                    disposition = self.algorithm.process(msg)
+                finally:
+                    self._current_port = None
+                if disposition is Disposition.HOLD:
+                    port.held += 1
+                progressed = True
+                if not port.blocked:
+                    port.credit -= 1
+        # Epoch boundary: once every port that still has work has spent its
+        # credit, start a new epoch.  (Ports with credit left keep their
+        # claim on upcoming sender-buffer slots, which is exactly what makes
+        # the weight ratio hold under output congestion.)
+        backlog = [port for port in self._scheduler.ports if port.has_work()]
+        if backlog and all(port.credit <= 0 for port in backlog):
+            self._scheduler.replenish_credits()
+            progressed = True  # rerun the switch with fresh credits
+        return progressed
+
+    def _retry_pending(self, port: ReceiverPort) -> bool:
+        progressed = False
+        for forward in port.pending:
+            progressed = self._try_forward(forward) or progressed
+        port.prune_pending()
+        return progressed
+
+    def _try_forward(self, forward: PendingForward) -> bool:
+        placed_any = False
+        still_remaining: list[NodeId] = []
+        for dest in forward.remaining:
+            sender = self._senders.get(dest)
+            if sender is None or sender.queue.closed:
+                placed_any = True  # destination vanished; drop the obligation
+                continue
+            if sender.queue.put_nowait(forward.msg):
+                placed_any = True
+            else:
+                still_remaining.append(dest)
+        forward.remaining = still_remaining
+        return placed_any
+
+    def _defer_data(self, msg: Message, dest: NodeId) -> None:
+        """A data send hit a full sender buffer: remember the remaining sender."""
+        if self._current_port is not None:
+            pending = self._current_port.pending
+            if pending and pending[-1].msg is msg:
+                pending[-1].remaining.append(dest)
+            else:
+                pending.append(PendingForward(msg, [dest]))
+        elif self._source_pending is not None:
+            if self._source_pending and self._source_pending[-1].msg is msg:
+                self._source_pending[-1].remaining.append(dest)
+            else:
+                self._source_pending.append(PendingForward(msg, [dest]))
+        else:
+            # No switching context (e.g. algorithm reacting to a control
+            # message): queue unconditionally rather than drop.
+            sender = self._senders.get(dest)
+            if sender is not None:
+                sender.queue.put_force(msg)
+
+    # --------------------------------------------------------------------- source
+
+    async def _source_loop(self, app: AppId, payload_size: int) -> None:
+        """Produce back-to-back data messages, flow-controlled by send buffers."""
+        seq = 0
+        while self._running and app in self._local_apps:
+            payload = self.algorithm.produce_payload(app, seq, payload_size)
+            msg = Message(MsgType.DATA, self._node_id, app, payload, seq=seq)
+            seq += 1
+            self._source_pending = []
+            try:
+                self.algorithm.process(msg)
+                while any(f.remaining for f in self._source_pending) and self._running:
+                    self._send_space.clear()
+                    await self._send_space.wait()
+                    for forward in self._source_pending:
+                        self._try_forward(forward)
+                    self._source_pending = [
+                        f for f in self._source_pending if f.remaining
+                    ]
+            finally:
+                self._source_pending = None
+            # Pace the producer: bounds event volume when sends are never
+            # flow-controlled (see EngineConfig.source_interval).
+            await self.kernel.sleep(self.config.source_interval)
+
+    def _broadcast_broken_source(self, app: AppId) -> None:
+        downstreams = self._app_downstreams.pop(app, set())
+        notice = Message.with_fields(
+            MsgType.BROKEN_SOURCE, self._node_id, app, app=app, origin=str(self._node_id)
+        )
+        for dest in downstreams:
+            sender = self._senders.get(dest)
+            if sender is not None and not sender.queue.closed:
+                sender.queue.put_force(notice.clone())
+
+    # ------------------------------------------------------------------- receivers
+
+    async def _receiver_loop(self, link: SimLink, port: ReceiverPort) -> None:
+        peer = link.src
+        stats = self._recv_stats[peer]
+        while self._running:
+            try:
+                msg, sent_at = await link.inbox.get()
+            except BufferClosedError:
+                if self._running:
+                    self._upstream_failed(peer)
+                return
+            arrival = sent_at + link.latency
+            if arrival > self.kernel.now:
+                await self.kernel.sleep(arrival - self.kernel.now)
+            delay = self.throttle.reserve_recv(msg.size, self.kernel.now)
+            if delay > 0:
+                await self.kernel.sleep(delay)
+            stats.throughput.record(msg.size, self.kernel.now)
+            self._last_recv_at[peer] = self.kernel.now
+            if not self._running:
+                return
+            if msg.type == MsgType.DATA:
+                try:
+                    await port.buffer.put(msg)  # type: ignore[attr-defined]
+                except BufferClosedError:
+                    return
+            else:
+                if msg.type == MsgType.BROKEN_SOURCE:
+                    self._propagate_broken_source(msg, peer)
+                self._control.put_force(msg)
+            self._wake.set()
+
+    def _propagate_broken_source(self, msg: Message, peer: NodeId) -> None:
+        """Domino effect: the path through ``peer`` lost its source.
+
+        Only when the *last* upstream feeding the application is gone
+        (and we are not the source ourselves) does the failure cascade
+        to our downstreams — multi-path topologies keep flowing.
+        """
+        app = AppId(msg.fields().get("app", msg.app))
+        upstreams = self._app_upstreams.get(app)
+        if upstreams is not None:
+            upstreams.discard(peer)
+            if upstreams:
+                return
+            del self._app_upstreams[app]
+        if app not in self._local_apps:
+            self._broadcast_broken_source(app)
+
+    def _upstream_failed(self, peer: NodeId) -> None:
+        """An incoming connection failed (broken pipe / closed socket)."""
+        link = self._upstream_links.pop(peer, None)
+        if link is not None:
+            link.break_()
+        port = self._scheduler.remove_port(peer)
+        if port is not None:
+            lost = port.buffer.drain() if hasattr(port.buffer, "drain") else []  # type: ignore[attr-defined]
+            stats = self._recv_stats.get(peer)
+            if stats is not None:
+                for msg in lost:
+                    stats.loss.record(msg.size)
+                    self._record_loss(msg)
+        self._last_recv_at.pop(peer, None)
+        self._notify_broken_link(peer, direction="up")
+        # Domino effect: any application fed exclusively by this upstream
+        # has lost its source from our point of view.
+        for app, ups in list(self._app_upstreams.items()):
+            ups.discard(peer)
+            if not ups and app not in self._local_apps:
+                del self._app_upstreams[app]
+                self._broadcast_broken_source(app)
+        self._wake.set()
+
+    async def _watchdog_loop(self) -> None:
+        """Detect upstream failures via long consecutive traffic inactivity."""
+        timeout = self.config.inactivity_timeout
+        assert timeout is not None
+        while self._running:
+            await self.kernel.sleep(timeout / 2)
+            if not self._running:
+                return
+            now = self.kernel.now
+            for peer, last in list(self._last_recv_at.items()):
+                if now - last > timeout:
+                    link = self._upstream_links.get(peer)
+                    if link is not None:
+                        link.break_()  # unblocks the receiver task, which cleans up
+                    else:
+                        self._upstream_failed(peer)
+            # Sender side: a delivery stuck longer than the timeout means the
+            # downstream is silently gone (stalled link) — tear it down.
+            for sender in list(self._senders.values()):
+                started = sender.in_flight_since
+                if started is not None and now - started > timeout:
+                    sender.link.break_()
+                    if sender.task is not None:
+                        sender.task.cancel()
+                    self._sender_failed(sender, undelivered=[])
+
+    # --------------------------------------------------------------------- senders
+
+    def _ensure_sender(self, dest: NodeId) -> _SenderLink | None:
+        sender = self._senders.get(dest)
+        if sender is not None:
+            return sender
+        link = self._fabric.open_link(self._node_id, dest)
+        if link is None:
+            return None
+        queue: SimQueue[Message] = SimQueue(self.kernel, capacity=self.config.buffer_capacity)
+        sender = _SenderLink(dest=dest, link=link, queue=queue, stats=LinkStats())
+        self._senders[dest] = sender
+        sender.task = self.kernel.spawn(
+            self._sender_loop(sender), name=f"{self._node_id}/send-{dest}"
+        )
+        self._tasks.append(sender.task)
+        return sender
+
+    async def _sender_loop(self, sender: _SenderLink) -> None:
+        while self._running:
+            try:
+                msg = await sender.queue.get()
+            except BufferClosedError:
+                return
+            sender.in_flight_since = self.kernel.now
+            delay = self.throttle.reserve_send(sender.dest, msg.size, self.kernel.now)
+            if delay > 0:
+                await self.kernel.sleep(delay)
+            try:
+                await sender.link.deliver(msg)
+            except LinkDownError:
+                if self._running:
+                    self._sender_failed(sender, undelivered=[msg])
+                return
+            sender.in_flight_since = None
+            sender.stats.throughput.record(msg.size, self.kernel.now)
+            self._send_space.set()
+            self._wake.set()
+
+    def _sender_failed(self, sender: _SenderLink, undelivered: list[Message]) -> None:
+        """An outgoing connection failed mid-send."""
+        current = self._senders.get(sender.dest)
+        if current is not sender:
+            return  # already replaced or removed
+        del self._senders[sender.dest]
+        lost = undelivered + sender.queue.drain()
+        sender.queue.close()
+        for msg in lost:
+            sender.stats.loss.record(msg.size)
+            self._record_loss(msg)
+        self.throttle.drop_link(sender.dest)
+        for port in self._scheduler.ports:
+            port.discard_dest(sender.dest)
+        if self._source_pending is not None:
+            for forward in self._source_pending:
+                forward.remaining = [d for d in forward.remaining if d != sender.dest]
+        for app in list(self._app_downstreams):
+            self._app_downstreams[app].discard(sender.dest)
+        self._notify_broken_link(sender.dest, direction="down")
+        self._send_space.set()
+        self._wake.set()
+
+    # --------------------------------------------------------------------- reports
+
+    async def _report_loop(self) -> None:
+        """Periodically report per-link throughput to the algorithm."""
+        while self._running:
+            await self.kernel.sleep(self.config.report_interval)
+            if not self._running:
+                return
+            now = self.kernel.now
+            for peer, stats in self._recv_stats.items():
+                if self._scheduler.get_port(peer) is None:
+                    continue
+                self._enqueue_notification(
+                    Message.with_fields(
+                        MsgType.UP_THROUGHPUT,
+                        self._node_id,
+                        CONTROL_APP,
+                        peer=str(peer),
+                        rate=stats.throughput.rate(now),
+                    )
+                )
+            for dest, sender in self._senders.items():
+                self._enqueue_notification(
+                    Message.with_fields(
+                        MsgType.DOWN_THROUGHPUT,
+                        self._node_id,
+                        CONTROL_APP,
+                        peer=str(dest),
+                        rate=sender.stats.throughput.rate(now),
+                    )
+                )
+
+    # --------------------------------------------------------------------- helpers
+
+    def _enqueue_notification(self, msg: Message) -> None:
+        if not self._running:
+            return
+        self._control.put_force(msg)
+        self._wake.set()
+
+    def _notify_broken_link(self, peer: NodeId, direction: str) -> None:
+        self._enqueue_notification(
+            Message.with_fields(
+                MsgType.BROKEN_LINK,
+                self._node_id,
+                CONTROL_APP,
+                peer=str(peer),
+                direction=direction,
+            )
+        )
+
+    def _record_loss(self, msg: Message) -> None:
+        """Cumulative node-level loss accounting (survives link teardown)."""
+        self._lost_messages += 1
+        self._lost_bytes += msg.size
+
+    def _track_downstream(self, app: AppId, dest: NodeId) -> None:
+        self._app_downstreams.setdefault(app, set()).add(dest)
+
+    def _track_upstream(self, app: AppId, peer: NodeId) -> None:
+        self._app_upstreams.setdefault(app, set()).add(peer)
+
+    # --------------------------------------------------------------- introspection
+
+    def send_rate(self, dest: NodeId) -> float:
+        """Current outgoing throughput to ``dest`` in bytes/second."""
+        sender = self._senders.get(dest)
+        return 0.0 if sender is None else sender.stats.throughput.rate(self.kernel.now)
+
+    def recv_rate(self, peer: NodeId) -> float:
+        """Current incoming throughput from ``peer`` in bytes/second."""
+        stats = self._recv_stats.get(peer)
+        return 0.0 if stats is None else stats.throughput.rate(self.kernel.now)
+
+    def buffer_levels(self) -> dict[str, int]:
+        """Receiver/sender buffer occupancy (for the observer's display)."""
+        levels = {f"recv:{port.peer}": len(port.buffer) for port in self._scheduler.ports}
+        levels.update({f"send:{dest}": len(s.queue) for dest, s in self._senders.items()})
+        return levels
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else ("terminated" if self._terminated else "new")
+        return f"SimEngine({self._node_id}, {state})"

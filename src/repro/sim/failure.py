@@ -1,0 +1,114 @@
+"""Controlled failure injection for robustness experiments.
+
+The paper's observer injects faults "in a controlled fashion, while any
+possible exceptions are handled by the engine, transparent to the
+algorithm" (Section 3.1).  This module is the experiment-side toolkit:
+immediate or scheduled node kills, link cuts (loud) and link stalls
+(silent — only traffic-inactivity detection catches them), plus a
+declarative schedule runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.core.ids import NodeId
+from repro.errors import UnknownNodeError
+from repro.sim.network import SimNetwork
+
+FailureKind = Literal["kill_node", "cut_link", "stall_link", "kill_source"]
+
+
+def kill_node(net: SimNetwork, node: NodeId | str) -> None:
+    """Terminate a node abruptly; neighbours detect via socket errors."""
+    net.engine(node).terminate()
+
+
+def cut_link(net: SimNetwork, src: NodeId | str, dst: NodeId | str) -> None:
+    """Break the directed overlay link src -> dst with a loud failure."""
+    src_engine = net.engine(src)
+    dst_id = net[dst] if isinstance(dst, str) else dst
+    sender = src_engine._senders.get(dst_id)
+    if sender is None:
+        raise UnknownNodeError(f"no live link {src} -> {dst}")
+    sender.link.break_()
+
+
+def stall_link(net: SimNetwork, src: NodeId | str, dst: NodeId | str) -> None:
+    """Silently stall src -> dst: no errors, no traffic.
+
+    Only engines with ``inactivity_timeout`` configured will ever notice.
+    """
+    src_engine = net.engine(src)
+    dst_id = net[dst] if isinstance(dst, str) else dst
+    sender = src_engine._senders.get(dst_id)
+    if sender is None:
+        raise UnknownNodeError(f"no live link {src} -> {dst}")
+    sender.link.stall()
+
+
+def kill_source(net: SimNetwork, node: NodeId | str, app: int) -> None:
+    """Fail an application data source prematurely."""
+    net.engine(node).stop_source(app)
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled fault."""
+
+    at: float
+    kind: FailureKind
+    node: NodeId | str
+    peer: NodeId | str | None = None
+    app: int | None = None
+
+
+@dataclass
+class FailureSchedule:
+    """A declarative list of faults applied at virtual times.
+
+    Call :meth:`arm` once after ``net.start()``; each event fires from a
+    kernel callback, so the schedule composes with any experiment loop.
+    """
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def kill_node(self, at: float, node: NodeId | str) -> "FailureSchedule":
+        self.events.append(FailureEvent(at, "kill_node", node))
+        return self
+
+    def cut_link(self, at: float, src: NodeId | str, dst: NodeId | str) -> "FailureSchedule":
+        self.events.append(FailureEvent(at, "cut_link", src, peer=dst))
+        return self
+
+    def stall_link(self, at: float, src: NodeId | str, dst: NodeId | str) -> "FailureSchedule":
+        self.events.append(FailureEvent(at, "stall_link", src, peer=dst))
+        return self
+
+    def kill_source(self, at: float, node: NodeId | str, app: int) -> "FailureSchedule":
+        self.events.append(FailureEvent(at, "kill_source", node, app=app))
+        return self
+
+    def arm(self, net: SimNetwork) -> None:
+        for event in sorted(self.events, key=lambda e: e.at):
+            net.kernel.call_at(event.at, self._fire, net, event)
+
+    @staticmethod
+    def _fire(net: SimNetwork, event: FailureEvent) -> None:
+        try:
+            if event.kind == "kill_node":
+                kill_node(net, event.node)
+            elif event.kind == "cut_link":
+                assert event.peer is not None
+                cut_link(net, event.node, event.peer)
+            elif event.kind == "stall_link":
+                assert event.peer is not None
+                stall_link(net, event.node, event.peer)
+            elif event.kind == "kill_source":
+                assert event.app is not None
+                kill_source(net, event.node, event.app)
+        except UnknownNodeError:
+            # The target already failed or was torn down first; an injected
+            # fault racing a real one is not an experiment error.
+            pass

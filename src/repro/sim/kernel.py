@@ -1,0 +1,346 @@
+"""A deterministic discrete-event kernel driving ``async def`` tasks.
+
+The paper's engine is a set of POSIX threads (receivers, senders, the
+engine thread) that block on buffers and sockets.  We reproduce that
+concurrency structure as coroutine tasks over *virtual time*: the same
+blocking style (``await queue.get()``, ``await kernel.sleep(d)``), but
+scheduled by a priority queue of timestamped events, so every run is
+exactly reproducible and simulated hours execute in real-time seconds.
+
+This kernel is intentionally independent of ``asyncio``: it drives
+coroutines directly via ``send``/``throw``.  Any ``async def`` function
+that only awaits this module's :class:`Future` objects (directly or
+through other coroutines) can run on it.
+
+Determinism guarantees:
+
+- events fire in (time, creation sequence) order — FIFO among ties;
+- task wake-ups are themselves events, so the interleaving is a pure
+  function of the program and the seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Awaitable, Callable, Coroutine, Generator
+
+from repro.errors import SimulationError
+
+
+class Cancelled(BaseException):
+    """Raised inside a task when it is cancelled.
+
+    Derives from ``BaseException`` (like ``asyncio.CancelledError``) so
+    that blanket ``except Exception`` handlers in node code cannot
+    swallow a termination request.
+    """
+
+
+class Future:
+    """A one-shot container for a value that a task can ``await``."""
+
+    __slots__ = ("_kernel", "_done", "_result", "_exception", "_callbacks")
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self._kernel = kernel
+        self._done = False
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def set_result(self, value: Any = None) -> None:
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._result = value
+        self._fire()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._exception = exc
+        self._fire()
+
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError("future not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __await__(self) -> Generator["Future", None, Any]:
+        if not self._done:
+            yield self  # the running Task picks this up and parks on it
+        return self.result()
+
+
+class Task:
+    """A coroutine being driven by the kernel."""
+
+    __slots__ = ("_kernel", "_coro", "name", "_finished", "_result", "_exception", "_cancelled", "_waiting_on", "_done_futures")
+
+    def __init__(self, kernel: "Kernel", coro: Coroutine[Any, Any, Any], name: str) -> None:
+        self._kernel = kernel
+        self._coro = coro
+        self.name = name
+        self._finished = False
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._cancelled = False
+        self._waiting_on: Future | None = None
+        self._done_futures: list[Future] = []
+
+    # --- state ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def result(self) -> Any:
+        if not self._finished:
+            raise SimulationError(f"task {self.name!r} has not finished")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def join(self) -> Future:
+        """A future resolved when this task finishes (for ``await task.join()``)."""
+        future = Future(self._kernel)
+        if self._finished:
+            future.set_result(self._result)
+        else:
+            self._done_futures.append(future)
+        return future
+
+    # --- control -----------------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Request cancellation; the task sees :class:`Cancelled` at its next step."""
+        if self._finished or self._cancelled:
+            return
+        self._cancelled = True
+        # Detach from whatever it is waiting on and schedule the throw.
+        self._waiting_on = None
+        self._kernel.call_soon(self._step_throw, Cancelled())
+
+    # --- stepping ------------------------------------------------------------------
+
+    def _step_send(self, value: Any) -> None:
+        if self._finished:
+            return
+        try:
+            yielded = self._coro.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+        except Cancelled:
+            self._finish(cancelled=True)
+        except BaseException as exc:  # noqa: BLE001 - crash is recorded, re-raised by kernel
+            self._finish(exception=exc)
+        else:
+            self._park(yielded)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        if self._finished:
+            return
+        try:
+            yielded = self._coro.throw(exc)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+        except Cancelled:
+            self._finish(cancelled=True)
+        except BaseException as raised:  # noqa: BLE001
+            self._finish(exception=raised)
+        else:
+            self._park(yielded)
+
+    def _park(self, yielded: Any) -> None:
+        if not isinstance(yielded, Future):
+            self._finish(
+                exception=SimulationError(
+                    f"task {self.name!r} awaited a non-kernel awaitable: {yielded!r}"
+                )
+            )
+            return
+        self._waiting_on = yielded
+        yielded.add_done_callback(self._wake)
+
+    def _wake(self, future: Future) -> None:
+        # Ignore stale wake-ups from futures we abandoned on cancellation.
+        if self._finished or future is not self._waiting_on:
+            return
+        self._waiting_on = None
+        if future._exception is not None:
+            self._kernel.call_soon(self._step_throw, future._exception)
+        else:
+            self._kernel.call_soon(self._step_send, future._result)
+
+    def _finish(
+        self,
+        result: Any = None,
+        exception: BaseException | None = None,
+        cancelled: bool = False,
+    ) -> None:
+        self._finished = True
+        self._result = result
+        self._exception = exception
+        self._cancelled = cancelled or self._cancelled
+        self._coro.close()
+        self._kernel._task_finished(self)
+        for future in self._done_futures:
+            if exception is not None:
+                future.set_exception(exception)
+            else:
+                future.set_result(result)
+        self._done_futures.clear()
+
+    def __repr__(self) -> str:
+        state = "finished" if self._finished else ("cancelled" if self._cancelled else "running")
+        return f"Task({self.name!r}, {state})"
+
+
+class Kernel:
+    """The virtual-time event loop."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._sequence = 0
+        self._tasks: list[Task] = []
+        self._crashed: list[Task] = []
+        self.rng = random.Random(seed)
+
+    # --- time --------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # --- scheduling -----------------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
+        heapq.heappush(self._heap, (when, self._sequence, callback, args))
+        self._sequence += 1
+
+    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.call_at(self._now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
+        self.call_at(self._now, callback, *args)
+
+    def sleep(self, delay: float) -> Future:
+        """Awaitable that resolves ``delay`` virtual seconds from now."""
+        future = Future(self)
+        self.call_later(delay, self._resolve_sleep, future)
+        return future
+
+    @staticmethod
+    def _resolve_sleep(future: Future) -> None:
+        if not future.done:  # a cancelled sleeper may have been abandoned
+            future.set_result(None)
+
+    def future(self) -> Future:
+        return Future(self)
+
+    # --- tasks ---------------------------------------------------------------------
+
+    def spawn(self, coro: Coroutine[Any, Any, Any], name: str | None = None) -> Task:
+        """Start driving ``coro`` as a task (first step runs as an event *now*)."""
+        task = Task(self, coro, name or getattr(coro, "__name__", "task"))
+        self._tasks.append(task)
+        self.call_soon(task._step_send, None)
+        return task
+
+    def _task_finished(self, task: Task) -> None:
+        if task._exception is not None:
+            self._crashed.append(task)
+
+    @property
+    def live_tasks(self) -> list[Task]:
+        return [task for task in self._tasks if not task.finished]
+
+    # --- running ----------------------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in order until the heap drains or ``until`` passes.
+
+        Returns the virtual time at which the run stopped.  If any task
+        crashed with an exception, the first crash is re-raised so test
+        failures surface immediately instead of as silent hangs.
+        ``max_events`` is a debugging guard against zero-latency livelock
+        (an unbounded cascade of same-timestamp events).
+        """
+        processed = 0
+        while self._heap:
+            when, _, callback, args = self._heap[0]
+            if until is not None and when > until:
+                break
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events} at t={self._now}")
+            heapq.heappop(self._heap)
+            self._now = when
+            processed += 1
+            callback(*args)
+            if self._crashed:
+                task = self._crashed[0]
+                raise SimulationError(f"task {task.name!r} crashed") from task._exception
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_complete(self, coro: Coroutine[Any, Any, Any], timeout: float | None = None) -> Any:
+        """Spawn ``coro``, run until it finishes, and return its result."""
+        task = self.spawn(coro, name="run_until_complete")
+        deadline = None if timeout is None else self._now + timeout
+        while not task.finished:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: no scheduled events but {task.name!r} has not finished"
+                )
+            if deadline is not None and self._heap[0][0] > deadline:
+                task.cancel()
+                self.run(until=deadline)
+                raise SimulationError(f"run_until_complete timed out after {timeout}s")
+            when, _, callback, args = heapq.heappop(self._heap)
+            self._now = when
+            callback(*args)
+            if self._crashed:
+                crashed = self._crashed[0]
+                raise SimulationError(f"task {crashed.name!r} crashed") from crashed._exception
+        return task.result()
+
+
+async def gather(*awaitables: Awaitable[Any]) -> list[Any]:
+    """Await several kernel awaitables sequentially, returning their results.
+
+    Sequential awaiting is sufficient under virtual time: awaiting an
+    already-resolved future costs zero simulated time, so the wall-clock
+    of the *simulation* is unaffected by the order.
+    """
+    return [await awaitable for awaitable in awaitables]

@@ -1,0 +1,102 @@
+"""A simulated overlay connection between two nodes.
+
+A :class:`SimLink` models one direction of a persistent TCP connection:
+
+- a small bounded in-flight queue (the socket buffer) whose blocking
+  ``put`` gives TCP-style flow control — a stalled receiver eventually
+  blocks the sender;
+- a fixed propagation latency applied by the receiving side;
+- in-order delivery;
+- failure modes: :meth:`break_` (an abrupt close both sides observe as
+  an error, like a broken pipe) and :meth:`stall` (a *silent* failure
+  that only traffic-inactivity detection can catch).
+
+Bandwidth is **not** a property of the link object: emulated rates are
+enforced by the sending node's :class:`~repro.core.bandwidth.NodeThrottle`
+(per-link caps included), mirroring how the paper wraps the socket send
+path with timers.
+"""
+
+from __future__ import annotations
+
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.errors import LinkDownError
+from repro.sim.kernel import Kernel
+from repro.sim.sync import SimQueue
+
+#: Default in-flight capacity (messages) of the simulated socket buffer.
+DEFAULT_SOCKET_BUFFER = 4
+
+
+class SimLink:
+    """One direction of a persistent connection from ``src`` to ``dst``."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        src: NodeId,
+        dst: NodeId,
+        latency: float = 0.0,
+        socket_buffer: int = DEFAULT_SOCKET_BUFFER,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self._kernel = kernel
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.inbox: SimQueue[tuple[Message, float]] = SimQueue(kernel, capacity=socket_buffer)
+        self._stalled = False
+        self._broken = False
+
+    # --- state ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True until the link has been broken."""
+        return not self._broken
+
+    @property
+    def stalled(self) -> bool:
+        return self._stalled
+
+    # --- data path -----------------------------------------------------------------
+
+    async def deliver(self, msg: Message) -> None:
+        """Hand ``msg`` to the wire; blocks while the in-flight window is full.
+
+        Raises :class:`~repro.errors.LinkDownError` if the link broke, or
+        blocks forever if the link silently stalled — exactly the two
+        failure signatures the engine's detection machinery must handle.
+        """
+        if self._broken:
+            raise LinkDownError(f"link {self.src}->{self.dst} is down")
+        if self._stalled:
+            # A stalled link accepts nothing and reports nothing: the
+            # sender parks on a future that never resolves, like a TCP
+            # connection to a silently-partitioned host.
+            await self._kernel.future()
+            raise AssertionError("unreachable: stalled link future resolved")
+        try:
+            await self.inbox.put((msg, self._kernel.now))
+        except Exception as exc:
+            raise LinkDownError(f"link {self.src}->{self.dst} closed mid-send") from exc
+
+    # --- failure injection -------------------------------------------------------------
+
+    def break_(self) -> None:
+        """Abruptly fail the link: both endpoints observe errors."""
+        if self._broken:
+            return
+        self._broken = True
+        self.inbox.close()
+
+    def stall(self) -> None:
+        """Silently stop the link: no errors, just no traffic (for
+        inactivity-detection experiments)."""
+        self._stalled = True
+
+    def __repr__(self) -> str:
+        state = "broken" if self._broken else ("stalled" if self._stalled else "up")
+        return f"SimLink({self.src} -> {self.dst}, {state}, latency={self.latency})"

@@ -1,0 +1,85 @@
+"""Periodic measurement sampling for experiments.
+
+Experiments that study *convergence* (how fast throughput reacts to a
+bandwidth change, a failure, a join) need time series, not end-state
+snapshots.  :class:`RateRecorder` samples selected link rates on a fixed
+virtual-time period and exposes the series plus convergence helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ids import NodeId
+from repro.sim.network import SimNetwork
+
+
+@dataclass
+class RateSeries:
+    """One link's sampled throughput over virtual time."""
+
+    src: NodeId
+    dst: NodeId
+    times: list[float] = field(default_factory=list)
+    rates: list[float] = field(default_factory=list)
+
+    def latest(self) -> float:
+        return self.rates[-1] if self.rates else 0.0
+
+    def time_to_reach(self, target: float, tolerance: float = 0.15,
+                      hold: int = 3) -> float | None:
+        """First sample time after which the rate stays within
+        ``tolerance`` of ``target`` for ``hold`` consecutive samples."""
+        run = 0
+        for t, rate in zip(self.times, self.rates):
+            if target == 0:
+                close = rate < 1e-9
+            else:
+                close = abs(rate - target) <= tolerance * target
+            run = run + 1 if close else 0
+            if run >= hold:
+                index = self.times.index(t)
+                return self.times[index - hold + 1]
+        return None
+
+
+class RateRecorder:
+    """Samples link send-rates every ``period`` virtual seconds."""
+
+    def __init__(self, net: SimNetwork, period: float = 1.0) -> None:
+        self.net = net
+        self.period = period
+        self._series: dict[tuple[NodeId, NodeId], RateSeries] = {}
+        self._running = False
+
+    def watch(self, src: NodeId | str, dst: NodeId | str) -> RateSeries:
+        src_id = self.net[src] if isinstance(src, str) else src
+        dst_id = self.net[dst] if isinstance(dst, str) else dst
+        series = self._series.get((src_id, dst_id))
+        if series is None:
+            series = RateSeries(src_id, dst_id)
+            self._series[(src_id, dst_id)] = series
+        return series
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.net.kernel.call_later(self.period, self._sample)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        now = self.net.kernel.now
+        for (src, dst), series in self._series.items():
+            engine = self.net.engines.get(src)
+            rate = engine.send_rate(dst) if engine is not None and engine.running else 0.0
+            series.times.append(now)
+            series.rates.append(rate)
+        self.net.kernel.call_later(self.period, self._sample)
+
+    def series(self) -> list[RateSeries]:
+        return list(self._series.values())

@@ -1,0 +1,227 @@
+"""The simulated overlay network: nodes, links, observer, and the clock.
+
+``SimNetwork`` is the top-level object experiments interact with.  It
+
+- allocates virtualized node identities (many per simulated host, like
+  iOverlay's virtualized deployment),
+- hosts one :class:`~repro.sim.engine.SimEngine` per node,
+- implements the engine-facing :class:`~repro.sim.engine.Fabric` (link
+  creation with a configurable latency model) and the observer-facing
+  :class:`~repro.observer.observer.ObserverTransport`,
+- runs the observer's periodic status polling,
+- offers measurement helpers the experiments read link throughput from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.algorithm import Algorithm
+from repro.core.bandwidth import BandwidthSpec
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.errors import ConfigurationError, UnknownNodeError
+from repro.observer.observer import Observer
+from repro.sim.engine import EngineConfig, SimEngine
+from repro.sim.kernel import Kernel
+from repro.sim.link import SimLink
+
+#: latency applied to node <-> observer control traffic
+DEFAULT_OBSERVER_LATENCY = 0.002
+
+LatencyModel = Callable[[NodeId, NodeId], float]
+
+
+@dataclass
+class NetworkConfig:
+    """Network-wide defaults (individual nodes may override engine knobs)."""
+
+    #: default one-way latency between overlay nodes, seconds; must be
+    #: positive — zero-latency loops would let tasks exchange an unbounded
+    #: number of messages without advancing virtual time.
+    default_latency: float = 0.005
+    socket_buffer: int = 4
+    observer_latency: float = DEFAULT_OBSERVER_LATENCY
+    observer_poll_interval: float = 1.0
+    bootstrap_fanout: int = 8
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    seed: int = 0
+
+
+class SimNetwork:
+    """A virtual overlay deployment under one discrete-event kernel."""
+
+    def __init__(self, config: NetworkConfig | None = None) -> None:
+        self.config = config or NetworkConfig()
+        if self.config.default_latency <= 0:
+            raise ConfigurationError("default_latency must be positive")
+        self.kernel = Kernel(seed=self.config.seed)
+        self.observer = Observer(
+            transport=self,
+            bootstrap_fanout=self.config.bootstrap_fanout,
+            seed=self.config.seed,
+        )
+        self.engines: dict[NodeId, SimEngine] = {}
+        self.names: dict[str, NodeId] = {}
+        self._labels: dict[NodeId, str] = {}
+        self._latency_model: LatencyModel | None = None
+        self._next_host = 1
+        self._started = False
+
+    # ------------------------------------------------------------------ topology
+
+    def set_latency_model(self, model: LatencyModel) -> None:
+        """Install a per-pair one-way latency function (e.g. geographic)."""
+        self._latency_model = model
+
+    def latency(self, src: NodeId, dst: NodeId) -> float:
+        if self._latency_model is not None:
+            value = self._latency_model(src, dst)
+            if value <= 0:
+                raise ConfigurationError(f"latency model returned {value} for {src}->{dst}")
+            return value
+        return self.config.default_latency
+
+    def add_node(
+        self,
+        algorithm: Algorithm,
+        name: str | None = None,
+        bandwidth: BandwidthSpec | None = None,
+        config: EngineConfig | None = None,
+        node_id: NodeId | None = None,
+    ) -> NodeId:
+        """Create a virtualized overlay node running ``algorithm``.
+
+        Node identities default to sequential addresses in ``10.0.0.0/16``
+        with the iOverlay convention of IP:port uniqueness, so several
+        nodes may share one simulated host address with distinct ports.
+        """
+        if node_id is None:
+            host = self._next_host
+            self._next_host += 1
+            node_id = NodeId(f"10.0.{host // 250}.{host % 250 + 1}", 7000)
+        if node_id in self.engines:
+            raise ConfigurationError(f"duplicate node id {node_id}")
+        template = self.config.engine
+        engine_config = config or EngineConfig(
+            buffer_capacity=template.buffer_capacity,
+            report_interval=template.report_interval,
+            inactivity_timeout=template.inactivity_timeout,
+            source_interval=template.source_interval,
+            bandwidth=BandwidthSpec(),
+        )
+        if bandwidth is not None:
+            engine_config.bandwidth = bandwidth
+        engine = SimEngine(self.kernel, node_id, algorithm, fabric=self, config=engine_config)
+        self.engines[node_id] = engine
+        if name is not None:
+            if name in self.names:
+                raise ConfigurationError(f"duplicate node name {name!r}")
+            self.names[name] = node_id
+            self._labels[node_id] = name
+        if self._started:
+            engine.start()
+        return node_id
+
+    def __getitem__(self, name: str) -> NodeId:
+        """Look a node up by its experiment label."""
+        try:
+            return self.names[name]
+        except KeyError:
+            raise UnknownNodeError(f"no node named {name!r}") from None
+
+    def engine(self, node: NodeId | str) -> SimEngine:
+        node_id = self[node] if isinstance(node, str) else node
+        try:
+            return self.engines[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"no node {node_id}") from None
+
+    def label(self, node: NodeId) -> str:
+        return self._labels.get(node, str(node))
+
+    def connect(self, src: NodeId | str, dst: NodeId | str) -> None:
+        """Open a persistent overlay connection src -> dst (engine-level)."""
+        self.engine(src).connect(self[dst] if isinstance(dst, str) else dst)
+
+    # --------------------------------------------------------------------- Fabric
+
+    def open_link(self, src: NodeId, dst: NodeId) -> SimLink | None:
+        target = self.engines.get(dst)
+        if target is None or not target.running:
+            return None
+        link = SimLink(
+            self.kernel,
+            src,
+            dst,
+            latency=self.latency(src, dst),
+            socket_buffer=self.config.socket_buffer,
+        )
+        target.accept_upstream(link)
+        return link
+
+    def to_observer(self, msg: Message) -> None:
+        self.kernel.call_later(self.config.observer_latency, self.observer.on_message, msg)
+
+    def node_terminated(self, node: NodeId) -> None:
+        self.observer.mark_down(node)
+
+    # ---------------------------------------------------------- ObserverTransport
+
+    def observer_send(self, node: NodeId, msg: Message) -> None:
+        engine = self.engines.get(node)
+        if engine is None or not engine.running:
+            return
+        self.kernel.call_later(self.config.observer_latency, engine.deliver_control, msg)
+
+    def observer_now(self) -> float:
+        return self.kernel.now
+
+    # -------------------------------------------------------------------- running
+
+    def start(self) -> None:
+        """Start every engine and the observer's polling loop."""
+        if self._started:
+            return
+        self._started = True
+        for engine in self.engines.values():
+            engine.start()
+        self.kernel.spawn(self._poll_loop(), name="observer/poll")
+
+    async def _poll_loop(self) -> None:
+        while True:
+            await self.kernel.sleep(self.config.observer_poll_interval)
+            self.observer.poll_all()
+
+    def run(self, duration: float, max_events: int | None = None) -> float:
+        """Advance the simulation by ``duration`` virtual seconds."""
+        if not self._started:
+            self.start()
+        return self.kernel.run(until=self.kernel.now + duration, max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    # --------------------------------------------------------------- measurements
+
+    def link_rate(self, src: NodeId | str, dst: NodeId | str) -> float:
+        """Measured outgoing throughput on the overlay link src -> dst (B/s)."""
+        dst_id = self[dst] if isinstance(dst, str) else dst
+        return self.engine(src).send_rate(dst_id)
+
+    def link_alive(self, src: NodeId | str, dst: NodeId | str) -> bool:
+        dst_id = self[dst] if isinstance(dst, str) else dst
+        src_engine = self.engines.get(self[src] if isinstance(src, str) else src)
+        return src_engine is not None and dst_id in src_engine.downstreams()
+
+    def rates_snapshot(self) -> dict[tuple[str, str], float]:
+        """All live link rates, keyed by (label(src), label(dst))."""
+        snapshot: dict[tuple[str, str], float] = {}
+        for node, engine in self.engines.items():
+            if not engine.running:
+                continue
+            for dest in engine.downstreams():
+                snapshot[(self.label(node), self.label(dest))] = engine.send_rate(dest)
+        return snapshot

@@ -1,0 +1,17 @@
+"""Synthetic PlanetLab: sites, latency model, one-call deployments."""
+
+from repro.testbed.latency import LatencyMatrix, great_circle_km, one_way_latency
+from repro.testbed.planetlab import PlanetLabTestbed, TestbedNode
+from repro.testbed.sites import SITES, Site, north_american_sites, sites_by_region
+
+__all__ = [
+    "LatencyMatrix",
+    "PlanetLabTestbed",
+    "SITES",
+    "Site",
+    "TestbedNode",
+    "great_circle_km",
+    "north_american_sites",
+    "one_way_latency",
+    "sites_by_region",
+]

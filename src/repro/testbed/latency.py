@@ -1,0 +1,72 @@
+"""Great-circle latency model for the synthetic wide-area testbed.
+
+One-way latency between two sites is modelled as
+
+    propagation (distance / c_fiber) + per-hop processing + jitter
+
+with light in fiber at ~2/3 c and a routing inflation factor, matching
+the common observation that Internet RTTs run ~1.5-2x the geodesic
+bound.  The model is deterministic given the seed, so simulated runs
+are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.testbed.sites import Site
+
+EARTH_RADIUS_KM = 6371.0
+#: speed of light in fiber, km per second (approximately 2/3 of c)
+FIBER_KM_PER_S = 200_000.0
+#: multiplier for circuitous routing relative to the great circle
+ROUTE_INFLATION = 1.8
+#: fixed per-path processing/queueing floor, seconds
+PROCESSING_FLOOR = 0.002
+
+
+def great_circle_km(a: Site, b: Site) -> float:
+    """Haversine distance between two sites in kilometres."""
+    lat1, lon1, lat2, lon2 = map(math.radians, (a.lat, a.lon, b.lat, b.lon))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def one_way_latency(a: Site, b: Site, jitter: float = 0.0, rng: random.Random | None = None) -> float:
+    """One-way latency in seconds between two sites.
+
+    ``jitter`` adds a uniform random component of up to that fraction of
+    the deterministic latency (requires ``rng``).
+    """
+    if a is b or (a.lat == b.lat and a.lon == b.lon):
+        base = 0.0005  # same site: LAN latency
+    else:
+        distance = great_circle_km(a, b) * ROUTE_INFLATION
+        base = PROCESSING_FLOOR + distance / FIBER_KM_PER_S
+    if jitter > 0.0:
+        if rng is None:
+            raise ValueError("jitter requires an rng")
+        base *= 1.0 + rng.uniform(0.0, jitter)
+    return base
+
+
+class LatencyMatrix:
+    """Precomputed pairwise one-way latencies for a list of sites."""
+
+    def __init__(self, sites: list[Site], jitter: float = 0.2, seed: int = 0) -> None:
+        self.sites = list(sites)
+        rng = random.Random(seed)
+        self._latency: dict[tuple[int, int], float] = {}
+        for i, site_a in enumerate(self.sites):
+            for j, site_b in enumerate(self.sites):
+                if j < i:
+                    continue
+                value = one_way_latency(site_a, site_b, jitter=jitter, rng=rng)
+                self._latency[(i, j)] = value
+                self._latency[(j, i)] = value
+
+    def latency(self, i: int, j: int) -> float:
+        return self._latency[(i, j) if i <= j else (j, i)]

@@ -1,0 +1,84 @@
+"""A synthetic catalog of wide-area testbed sites.
+
+The paper deploys on PlanetLab.  We cannot reach PlanetLab (and it no
+longer exists in its 2004 form), so the testbed substrate draws nodes
+from a catalog of real university/lab locations of the era — names and
+coordinates only, used to derive plausible wide-area latencies from
+great-circle distances.  Multiple overlay nodes may be virtualized per
+site, mirroring iOverlay's virtualized deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Site:
+    """One hosting site: a name, a region tag, and coordinates."""
+
+    name: str
+    region: str
+    lat: float
+    lon: float
+
+
+#: ~40 sites spread like the 2004 PlanetLab footprint (heavily North
+#: American, some European/Asian/other sites).
+SITES: list[Site] = [
+    Site("mit", "na-east", 42.3601, -71.0942),
+    Site("harvard", "na-east", 42.3770, -71.1167),
+    Site("columbia", "na-east", 40.8075, -73.9626),
+    Site("nyu", "na-east", 40.7295, -73.9965),
+    Site("princeton", "na-east", 40.3431, -74.6551),
+    Site("upenn", "na-east", 39.9522, -75.1932),
+    Site("cornell", "na-east", 42.4534, -76.4735),
+    Site("rochester", "na-east", 43.1306, -77.6260),
+    Site("umd", "na-east", 38.9869, -76.9426),
+    Site("virginia", "na-east", 38.0336, -78.5080),
+    Site("duke", "na-east", 36.0014, -78.9382),
+    Site("unc", "na-east", 35.9049, -79.0469),
+    Site("gatech", "na-east", 33.7756, -84.3963),
+    Site("cmu", "na-east", 40.4433, -79.9436),
+    Site("utoronto", "na-east", 43.6629, -79.3957),
+    Site("mcgill", "na-east", 45.5048, -73.5772),
+    Site("umich", "na-central", 42.2780, -83.7382),
+    Site("uiuc", "na-central", 40.1020, -88.2272),
+    Site("wisc", "na-central", 43.0766, -89.4125),
+    Site("uchicago", "na-central", 41.7886, -87.5987),
+    Site("utexas", "na-central", 30.2849, -97.7341),
+    Site("tamu", "na-central", 30.6187, -96.3365),
+    Site("rice", "na-central", 29.7174, -95.4018),
+    Site("utk", "na-central", 35.9544, -83.9295),
+    Site("utah", "na-west", 40.7649, -111.8421),
+    Site("arizona", "na-west", 32.2319, -110.9501),
+    Site("ucsd", "na-west", 32.8801, -117.2340),
+    Site("ucla", "na-west", 34.0689, -118.4452),
+    Site("caltech", "na-west", 34.1377, -118.1253),
+    Site("berkeley", "na-west", 37.8719, -122.2585),
+    Site("stanford", "na-west", 37.4275, -122.1697),
+    Site("ucsb", "na-west", 34.4140, -119.8489),
+    Site("uw", "na-west", 47.6553, -122.3035),
+    Site("ubc", "na-west", 49.2606, -123.2460),
+    Site("cambridge", "eu", 52.2053, 0.1218),
+    Site("inria", "eu", 43.6165, 7.0715),
+    Site("tu-berlin", "eu", 52.5125, 13.3269),
+    Site("vu-amsterdam", "eu", 52.3340, 4.8658),
+    Site("epfl", "eu", 46.5191, 6.5668),
+    Site("huji", "asia", 31.7767, 35.1978),
+    Site("tsinghua", "asia", 40.0000, 116.3265),
+    Site("kaist", "asia", 36.3721, 127.3604),
+    Site("titech", "asia", 35.6051, 139.6835),
+    Site("unimelb", "oceania", -37.7964, 144.9612),
+    Site("usp-br", "sa", -23.5617, -46.7308),
+    Site("ufmg-br", "sa", -19.8690, -43.9662),
+]
+
+
+def sites_by_region(region: str) -> list[Site]:
+    """All catalog sites in ``region`` (e.g. ``"na-east"``, ``"eu"``)."""
+    return [site for site in SITES if site.region == region]
+
+
+def north_american_sites() -> list[Site]:
+    return [site for site in SITES if site.region.startswith("na-")]

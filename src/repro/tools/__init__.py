@@ -1,0 +1,17 @@
+"""Operator tooling: the ioverlay CLI and declarative scenarios."""
+
+from repro.tools.scenario import (
+    ALGORITHMS,
+    ScenarioReport,
+    build_network,
+    load_scenario,
+    run_scenario,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "ScenarioReport",
+    "build_network",
+    "load_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,101 @@
+"""The ``ioverlay`` command line: run scenarios and paper experiments.
+
+::
+
+    ioverlay scenario path/to/scenario.json     # run a declarative scenario
+    ioverlay experiment fig6                    # regenerate one paper figure
+    ioverlay experiment --list                  # what can be regenerated
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.tools.scenario import load_scenario, run_scenario
+
+EXPERIMENTS: dict[str, str] = {
+    "fig5": "repro.experiments.fig5_chain",
+    "fig6": "repro.experiments.fig6_correctness",
+    "fig7": "repro.experiments.fig7_large_buffers",
+    "fig8": "repro.experiments.fig8_network_coding",
+    "fig9": "repro.experiments.fig9_table3_trees",
+    "table3": "repro.experiments.fig9_table3_trees",
+    "fig11": "repro.experiments.fig11_planetlab_trees",
+    "fig12": "repro.experiments.fig12_13_topologies",
+    "fig13": "repro.experiments.fig12_13_topologies",
+    "fig14": "repro.experiments.fig14_15_federation_small",
+    "fig15": "repro.experiments.fig14_15_federation_small",
+    "fig16": "repro.experiments.fig16_aware_over_time",
+    "fig17": "repro.experiments.fig17_overhead_vs_size",
+    "fig18": "repro.experiments.fig18_pernode_overhead",
+    "fig19": "repro.experiments.fig19_bandwidth_vs_size",
+    "underlay": "repro.experiments.ext_underlay_tree",
+    "robustness": "repro.experiments.ext_robustness",
+}
+
+
+def _experiment_main(name: str) -> Callable[[], None]:
+    import importlib
+
+    module = importlib.import_module(EXPERIMENTS[name])
+    return module.main
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ioverlay",
+        description="iOverlay reproduction: scenarios and paper experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="run a declarative JSON scenario in the simulator"
+    )
+    scenario_parser.add_argument("path", help="path to the scenario JSON file")
+    scenario_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment_parser.add_argument(
+        "name", nargs="?", help=f"one of: {', '.join(sorted(set(EXPERIMENTS)))}"
+    )
+    experiment_parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "scenario":
+        report = run_scenario(load_scenario(args.path))
+        if args.json:
+            print(report.to_json())
+        else:
+            print(f"simulated {report.duration:.1f}s; alive nodes: {', '.join(report.alive)}")
+            for link, rate in sorted(report.link_rates.items()):
+                print(f"  {link}: {rate / 1000:.1f} KB/s")
+            for name, count in sorted(report.received.items()):
+                if count:
+                    print(f"  {name} received {count} messages")
+        return 0
+
+    if args.command == "experiment":
+        if args.list or not args.name:
+            for name in sorted(set(EXPERIMENTS)):
+                print(name)
+            return 0
+        if args.name not in EXPERIMENTS:
+            print(f"unknown experiment {args.name!r}; try --list", file=sys.stderr)
+            return 2
+        _experiment_main(args.name)()
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

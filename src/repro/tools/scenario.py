@@ -1,0 +1,188 @@
+"""Declarative simulation scenarios: build and run a network from JSON.
+
+A scenario file describes nodes (with algorithms and emulated
+bandwidth), static overlay edges, deployed sources, a timeline of
+runtime actions (the observer's control panel), and what to report.
+``run_scenario`` turns it into a :class:`~repro.sim.network.SimNetwork`
+run and returns the measurements — the one-file workflow the CLI
+(:mod:`repro.tools.cli`) exposes.
+
+Example scenario::
+
+    {
+      "duration": 30,
+      "nodes": [
+        {"name": "S", "algorithm": "copy_forward", "bandwidth": {"total": 400000}},
+        {"name": "A", "algorithm": "sink"}
+      ],
+      "edges": [["S", "A"]],
+      "sources": [{"node": "S", "app": 1, "payload_size": 5000}],
+      "actions": [
+        {"at": 10, "do": "set_bandwidth", "node": "S", "category": "up", "rate": 50000},
+        {"at": 20, "do": "terminate", "node": "A"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.algorithms.forwarding import ChainRelayAlgorithm, CopyForwardAlgorithm, SinkAlgorithm
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.trees import AllUnicastTree, NodeStressAwareTree, RandomizedTree
+from repro.core.algorithm import Algorithm
+from repro.core.bandwidth import BandwidthSpec
+from repro.errors import ConfigurationError
+from repro.sim.engine import EngineConfig
+from repro.sim.network import NetworkConfig, SimNetwork
+
+AlgorithmFactory = Callable[[dict[str, Any]], Algorithm]
+
+
+def _tree_factory(cls) -> AlgorithmFactory:
+    return lambda params: cls(
+        last_mile=float(params.get("last_mile", 100_000.0)),
+        seed=params.get("seed"),
+    )
+
+
+ALGORITHMS: dict[str, AlgorithmFactory] = {
+    "copy_forward": lambda params: CopyForwardAlgorithm(seed=params.get("seed")),
+    "sink": lambda params: SinkAlgorithm(seed=params.get("seed")),
+    "chain_relay": lambda params: ChainRelayAlgorithm(seed=params.get("seed")),
+    "gossip": lambda params: GossipAlgorithm(
+        probability=float(params.get("probability", 0.5)), seed=params.get("seed")
+    ),
+    "tree_ns_aware": _tree_factory(NodeStressAwareTree),
+    "tree_unicast": _tree_factory(AllUnicastTree),
+    "tree_random": _tree_factory(RandomizedTree),
+}
+
+
+@dataclass
+class ScenarioReport:
+    """What a scenario run produced."""
+
+    duration: float
+    link_rates: dict[str, float]
+    received: dict[str, int]
+    alive: list[str]
+    traces: list[str] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "duration": self.duration,
+                "link_rates": self.link_rates,
+                "received": self.received,
+                "alive": self.alive,
+                "traces": self.traces,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def load_scenario(path: str | Path) -> dict[str, Any]:
+    try:
+        spec = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot load scenario {path}: {exc}") from exc
+    if not isinstance(spec, dict) or "nodes" not in spec:
+        raise ConfigurationError("a scenario needs at least a 'nodes' list")
+    return spec
+
+
+def build_network(spec: dict[str, Any]) -> tuple[SimNetwork, dict[str, Algorithm]]:
+    """Instantiate nodes, algorithms and static edges from a spec."""
+    net_config = NetworkConfig(
+        seed=int(spec.get("seed", 0)),
+        engine=EngineConfig(buffer_capacity=int(spec.get("buffer_capacity", 64))),
+    )
+    net = SimNetwork(net_config)
+    algorithms: dict[str, Algorithm] = {}
+    for node_spec in spec["nodes"]:
+        name = node_spec["name"]
+        kind = node_spec.get("algorithm", "copy_forward")
+        factory = ALGORITHMS.get(kind)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown algorithm {kind!r}; available: {sorted(ALGORITHMS)}"
+            )
+        algorithm = factory(node_spec.get("params", {}) | node_spec)
+        bandwidth_spec = node_spec.get("bandwidth", {})
+        bandwidth = BandwidthSpec(
+            total=bandwidth_spec.get("total"),
+            up=bandwidth_spec.get("up"),
+            down=bandwidth_spec.get("down"),
+        )
+        net.add_node(algorithm, name=name, bandwidth=bandwidth)
+        algorithms[name] = algorithm
+    for src, dst in spec.get("edges", []):
+        algorithm = algorithms[src]
+        if hasattr(algorithm, "add_downstream"):
+            algorithm.add_downstream(net[dst])  # type: ignore[attr-defined]
+        else:
+            net.connect(src, dst)
+    return net, algorithms
+
+
+def run_scenario(spec: dict[str, Any]) -> ScenarioReport:
+    """Build, run the timeline, and collect the report."""
+    net, algorithms = build_network(spec)
+    net.start()
+    for source in spec.get("sources", []):
+        net.observer.deploy_source(
+            net[source["node"]],
+            app=int(source.get("app", 1)),
+            payload_size=int(source.get("payload_size", 5000)),
+        )
+    for action in sorted(spec.get("actions", []), key=lambda a: float(a["at"])):
+        net.kernel.call_at(float(action["at"]), _apply_action, net, action)
+    duration = float(spec.get("duration", 30.0))
+    net.run(duration)
+
+    link_rates = {
+        f"{src}->{dst}": rate for (src, dst), rate in net.rates_snapshot().items()
+    }
+    received = {
+        name: getattr(algorithm, "received", 0)
+        for name, algorithm in algorithms.items()
+        if isinstance(getattr(algorithm, "received", None), int)
+    }
+    return ScenarioReport(
+        duration=duration,
+        link_rates=link_rates,
+        received=received,
+        alive=[net.label(node) for node in net.observer.alive],
+        traces=[record.text for record in net.observer.traces],
+    )
+
+
+def _apply_action(net: SimNetwork, action: dict[str, Any]) -> None:
+    kind = action["do"]
+    node = net[action["node"]] if "node" in action else None
+    if kind == "terminate":
+        assert node is not None
+        net.observer.terminate_node(node)
+    elif kind == "set_bandwidth":
+        assert node is not None
+        net.observer.set_node_bandwidth(node, action["category"], action.get("rate"))
+    elif kind == "set_link_bandwidth":
+        assert node is not None
+        net.observer.set_link_bandwidth(node, net[action["peer"]], action.get("rate"))
+    elif kind == "terminate_source":
+        assert node is not None
+        net.observer.terminate_source(node, app=int(action.get("app", 1)))
+    elif kind == "control":
+        assert node is not None
+        net.observer.send_control(
+            node, int(action["type"]),
+            param1=int(action.get("param1", 0)), param2=int(action.get("param2", 0)),
+        )
+    else:
+        raise ConfigurationError(f"unknown action {kind!r}")

@@ -1,0 +1,5 @@
+"""Routing-underlay services (the PLUTO integration of Section 5)."""
+
+from repro.underlay.pluto import PlutoUnderlay
+
+__all__ = ["PlutoUnderlay"]

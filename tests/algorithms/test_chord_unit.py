@@ -1,0 +1,147 @@
+"""Unit tests for Chord routing decisions with a stub engine."""
+
+from repro.algorithms.dht import ChordAlgorithm, ring
+from repro.algorithms.dht.chord import FIND_SUCC, FIND_SUCC_REPLY, NOTIFY, STORE
+from repro.core.ids import NodeId
+from repro.core.message import Message
+
+SELF = NodeId("10.0.0.1", 7000)
+PEERS = [NodeId("10.0.0.2", 7000 + i) for i in range(6)]
+
+
+class StubEngine:
+    def __init__(self):
+        self.sent = []
+        self.timers = []
+
+    @property
+    def node_id(self):
+        return SELF
+
+    def now(self):
+        return 0.0
+
+    def send(self, msg, dest):
+        self.sent.append((msg, dest))
+
+    def send_to_observer(self, msg):
+        pass
+
+    def upstreams(self):
+        return []
+
+    def downstreams(self):
+        return []
+
+    def link_stats(self, peer):
+        return None
+
+    def start_source(self, app, payload_size):
+        pass
+
+    def stop_source(self, app):
+        pass
+
+    def set_timer(self, delay, token=0):
+        self.timers.append((delay, token))
+
+
+def bound_chord():
+    algorithm = ChordAlgorithm(seed=0)
+    engine = StubEngine()
+    algorithm.bind(engine)
+    algorithm.on_start()
+    return algorithm, engine
+
+
+def test_on_start_sets_hash_and_timers():
+    algorithm, engine = bound_chord()
+    assert algorithm.node_hash == ring.node_to_id(SELF)
+    assert len(engine.timers) == 3  # stabilize, fingers, join retry
+
+
+def test_single_node_owns_everything():
+    algorithm, engine = bound_chord()
+    algorithm.on_bootstrapped()  # no known hosts: ring of one
+    assert algorithm.successor == SELF
+    request = algorithm.lookup("anything")
+    assert algorithm.results[request].owner == SELF
+    assert algorithm.results[request].hops == 0
+
+
+def test_find_succ_answered_when_target_in_arc():
+    algorithm, engine = bound_chord()
+    algorithm.successor = PEERS[0]
+    succ_hash = ring.node_to_id(PEERS[0])
+    # Pick a target strictly inside (self, successor].
+    target = succ_hash  # the successor's own id is always in the arc
+    msg = Message.with_fields(
+        FIND_SUCC, PEERS[1], 0,
+        target=target, request=9, origin=str(PEERS[1]), hops=0,
+    )
+    algorithm.process(msg)
+    replies = [(m, d) for m, d in engine.sent if m.type == FIND_SUCC_REPLY]
+    assert len(replies) == 1
+    reply, dest = replies[0]
+    assert dest == PEERS[1]
+    assert reply.fields()["owner"] == str(PEERS[0])
+    assert reply.fields()["hops"] == 1
+
+
+def test_find_succ_forwarded_when_outside_arc():
+    algorithm, engine = bound_chord()
+    algorithm.successor = PEERS[0]
+    succ_hash = ring.node_to_id(PEERS[0])
+    target = (succ_hash + 1) % ring.CIRCLE  # just past the arc
+    msg = Message.with_fields(
+        FIND_SUCC, PEERS[1], 0,
+        target=target, request=9, origin=str(PEERS[1]), hops=0,
+    )
+    algorithm.process(msg)
+    forwards = [(m, d) for m, d in engine.sent if m.type == FIND_SUCC]
+    assert len(forwards) == 1
+    assert forwards[0][0].fields()["hops"] == 1
+
+
+def test_notify_updates_predecessor_and_triggers_handoff():
+    algorithm, engine = bound_chord()
+    algorithm.successor = SELF
+    assert algorithm.node_hash is not None
+    # Give us a key that the new predecessor should own.
+    pred = PEERS[2]
+    pred_hash = ring.node_to_id(pred)
+    foreign_key = pred_hash  # key == predecessor id: predecessor's arc
+    algorithm.store[foreign_key] = "move-me"
+    own_key = algorithm.node_hash  # our own id: always ours
+    algorithm.store[own_key] = "keep-me"
+    algorithm.process(Message.with_fields(NOTIFY, pred, 0, node=str(pred)))
+    assert algorithm.predecessor == pred
+    assert algorithm.successor == pred  # lone node adopts first contact
+    assert own_key in algorithm.store
+    assert foreign_key not in algorithm.store
+    from repro.algorithms.dht.chord import HANDOFF
+
+    handoffs = [(m, d) for m, d in engine.sent if m.type == HANDOFF]
+    assert len(handoffs) == 1
+    assert handoffs[0][1] == pred
+    assert handoffs[0][0].fields()["entries"] == {str(foreign_key): "move-me"}
+
+
+def test_store_message_persists_key():
+    algorithm, engine = bound_chord()
+    algorithm.process(Message.with_fields(STORE, PEERS[0], 0, key_id=123, value="v"))
+    assert algorithm.store[123] == "v"
+
+
+def test_broken_successor_falls_back_to_finger():
+    algorithm, engine = bound_chord()
+    algorithm.successor = PEERS[0]
+    algorithm.fingers[3] = PEERS[1]
+    from repro.core.msgtypes import MsgType
+
+    broken = Message.with_fields(
+        MsgType.BROKEN_LINK, SELF, 0, peer=str(PEERS[0]), direction="down",
+    )
+    algorithm.process(broken)
+    assert algorithm.successor == PEERS[1]
+    assert PEERS[0] not in algorithm.fingers

@@ -1,0 +1,131 @@
+"""Unit tests for broker routing decisions with a stub engine."""
+
+from repro.algorithms.contentbased import (
+    PUBLISH,
+    SUBSCRIBE,
+    ContentBasedBroker,
+    ContentBasedClient,
+    Predicate,
+    event_to_wire,
+)
+from repro.core.ids import NodeId
+from repro.core.message import Message
+
+SELF = NodeId("10.0.0.1", 7000)
+CLIENT = NodeId("10.0.0.2", 7000)
+NEIGHBOR = NodeId("10.0.0.3", 7000)
+FAR = NodeId("10.0.0.4", 7000)
+
+
+class StubEngine:
+    def __init__(self):
+        self.sent = []
+
+    @property
+    def node_id(self):
+        return SELF
+
+    def now(self):
+        return 0.0
+
+    def send(self, msg, dest):
+        self.sent.append((msg, dest))
+
+    def send_to_observer(self, msg):
+        pass
+
+    def upstreams(self):
+        return []
+
+    def downstreams(self):
+        return []
+
+    def link_stats(self, peer):
+        return None
+
+    def start_source(self, app, payload_size):
+        pass
+
+    def stop_source(self, app):
+        pass
+
+    def set_timer(self, delay, token=0):
+        pass
+
+
+def bound_broker(neighbors=()):
+    broker = ContentBasedBroker(neighbors=list(neighbors))
+    engine = StubEngine()
+    broker.bind(engine)
+    return broker, engine
+
+
+def subscribe_msg(subscriber, predicate, seq=1):
+    return Message.with_fields(
+        SUBSCRIBE, subscriber, 0, seq=seq,
+        subscriber=str(subscriber), predicate=predicate.to_wire(),
+    )
+
+
+def publish_msg(sender, event):
+    return Message(PUBLISH, sender, 0, event_to_wire(event))
+
+
+def test_subscription_stored_and_propagated_to_other_neighbors():
+    broker, engine = bound_broker(neighbors=[NEIGHBOR, FAR])
+    predicate = Predicate.of({"x": ("<", 10)})
+    broker.process(subscribe_msg(CLIENT, predicate))
+    assert broker.routing_predicates(CLIENT) == [predicate]
+    propagated = [(m, d) for m, d in engine.sent if m.type == SUBSCRIBE]
+    assert {d for _, d in propagated} == {NEIGHBOR, FAR}
+    # The broker aggregates: propagated subscriptions name the broker.
+    assert all(m.fields()["subscriber"] == str(SELF) for m, _ in propagated)
+
+
+def test_subscription_not_echoed_back_to_its_origin():
+    broker, engine = bound_broker(neighbors=[NEIGHBOR])
+    predicate = Predicate.of({"x": ("<", 10)})
+    broker.process(subscribe_msg(NEIGHBOR, predicate))
+    propagated = [(m, d) for m, d in engine.sent if m.type == SUBSCRIBE]
+    assert propagated == []  # only neighbour was the origin
+
+
+def test_event_routed_to_matching_subscribers_only():
+    broker, engine = bound_broker()
+    broker.process(subscribe_msg(CLIENT, Predicate.of({"x": ("<", 10)})))
+    broker.process(subscribe_msg(NEIGHBOR, Predicate.of({"x": (">", 100)})))
+    engine.sent.clear()
+    broker.process(publish_msg(FAR, {"x": 5}))
+    deliveries = [(m, d) for m, d in engine.sent if m.type == PUBLISH]
+    assert [d for _, d in deliveries] == [CLIENT]
+
+
+def test_event_never_bounced_to_its_sender():
+    broker, engine = bound_broker()
+    broker.process(subscribe_msg(CLIENT, Predicate.of({"x": ("<", 10)})))
+    engine.sent.clear()
+    broker.process(publish_msg(CLIENT, {"x": 5}))
+    assert [d for m, d in engine.sent if m.type == PUBLISH] == []
+    assert broker.dropped_events == 1
+
+
+def test_covered_subscription_suppressed():
+    broker, engine = bound_broker(neighbors=[NEIGHBOR])
+    broker.process(subscribe_msg(CLIENT, Predicate.of({"x": ("<", 100)})))
+    engine.sent.clear()
+    broker.process(subscribe_msg(FAR, Predicate.of({"x": ("<", 10)}), seq=2))
+    assert [m for m, _ in engine.sent if m.type == SUBSCRIBE] == []
+    assert broker.suppressed_subscriptions == 1
+    # Delivery still works for both.
+    engine.sent.clear()
+    broker.process(publish_msg(NEIGHBOR, {"x": 5}))
+    assert {d for m, d in engine.sent if m.type == PUBLISH} == {CLIENT, FAR}
+
+
+def test_client_requires_broker():
+    client = ContentBasedClient()
+    client.bind(StubEngine())
+    import pytest
+
+    with pytest.raises(RuntimeError):
+        client.subscribe(Predicate.of({"x": ("=", 1)}))

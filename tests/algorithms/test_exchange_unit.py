@@ -1,0 +1,143 @@
+"""Unit tests for the tit-for-tat exchange with a stub engine."""
+
+import pytest
+
+from repro.algorithms.exchange import (
+    CHUNK,
+    HAVE,
+    ChunkExchangeAlgorithm,
+    ExchangeConfig,
+    FreeRiderAlgorithm,
+)
+from repro.core.ids import NodeId
+from repro.core.message import Message
+
+SELF = NodeId("10.0.0.1", 7000)
+PEERS = [NodeId("10.0.0.2", 7000 + i) for i in range(4)]
+
+
+class StubEngine:
+    def __init__(self):
+        self.sent = []
+        self.timers = []
+        self._now = 0.0
+
+    @property
+    def node_id(self):
+        return SELF
+
+    def now(self):
+        return self._now
+
+    def send(self, msg, dest):
+        self.sent.append((msg, dest))
+
+    def send_to_observer(self, msg):
+        pass
+
+    def upstreams(self):
+        return []
+
+    def downstreams(self):
+        return []
+
+    def link_stats(self, peer):
+        return None
+
+    def start_source(self, app, payload_size):
+        pass
+
+    def stop_source(self, app):
+        pass
+
+    def set_timer(self, delay, token=0):
+        self.timers.append((delay, token))
+
+
+def bound_exchange(cls=ChunkExchangeAlgorithm, neighbors=None):
+    algorithm = cls(neighbors=neighbors or PEERS[:2],
+                    config=ExchangeConfig(chunk_size=100), seed=0)
+    engine = StubEngine()
+    algorithm.bind(engine)
+    algorithm.on_start()
+    return algorithm, engine
+
+
+def chunk_from(peer, index):
+    return Message(CHUNK, peer, 1, bytes(100), seq=index)
+
+
+def tick(algorithm):
+    algorithm.on_timer(21)  # _TIMER_ROUND
+
+
+def test_round_timer_rearms():
+    algorithm, engine = bound_exchange()
+    assert engine.timers  # armed in on_start
+    tick(algorithm)
+    assert len(engine.timers) >= 2
+
+
+def test_receiving_chunk_records_contribution_and_holding():
+    algorithm, engine = bound_exchange()
+    algorithm.process(chunk_from(PEERS[0], 3))
+    assert 3 in algorithm.have
+    assert algorithm.contribution_of(PEERS[0]) > 0
+    algorithm.process(chunk_from(PEERS[0], 3))
+    assert algorithm.duplicate_chunks == 1
+
+
+def test_upload_targets_contributors_first():
+    algorithm, engine = bound_exchange(neighbors=PEERS[:3])
+    for index in range(10):
+        algorithm.seed_chunk(index)
+    # Peer 0 contributed; peers 1 and 2 did not.
+    algorithm.process(chunk_from(PEERS[0], 99))
+    engine.sent.clear()
+    tick(algorithm)
+    uploads = [d for m, d in engine.sent if m.type == CHUNK]
+    assert PEERS[0] in uploads
+    # Quota respected.
+    per_peer = algorithm.config.chunks_per_peer
+    assert uploads.count(PEERS[0]) <= per_peer
+
+
+def test_have_announcement_lists_holdings():
+    algorithm, engine = bound_exchange()
+    algorithm.seed_chunk(1)
+    algorithm.seed_chunk(5)
+    tick(algorithm)
+    haves = [m for m, _ in engine.sent if m.type == HAVE]
+    assert haves
+    assert haves[0].fields()["chunks"] == [1, 5]
+
+
+def test_have_from_peer_prevents_redundant_upload():
+    algorithm, engine = bound_exchange(neighbors=[PEERS[0]])
+    for index in range(4):
+        algorithm.seed_chunk(index)
+    algorithm.process(chunk_from(PEERS[0], 99))  # make peer a contributor
+    peer_have = Message.with_fields(HAVE, PEERS[0], 1, chunks=[0, 1, 2, 3, 99])
+    algorithm.process(peer_have)
+    engine.sent.clear()
+    tick(algorithm)
+    uploads = [m for m, d in engine.sent if m.type == CHUNK and d == PEERS[0]]
+    assert uploads == []  # peer already has everything
+
+
+def test_free_rider_announces_empty_and_never_uploads():
+    rider, engine = bound_exchange(cls=FreeRiderAlgorithm)
+    rider.seed_chunk(1)
+    tick(rider)
+    haves = [m for m, _ in engine.sent if m.type == HAVE]
+    assert haves and haves[0].fields()["chunks"] == []
+    assert [m for m, _ in engine.sent if m.type == CHUNK] == []
+    assert rider.uploaded_chunks == 0
+
+
+def test_completion_metric():
+    algorithm, _ = bound_exchange()
+    algorithm.seed_chunk(0)
+    algorithm.seed_chunk(1)
+    assert algorithm.completion(4) == pytest.approx(0.5)
+    assert algorithm.completion(0) == 0.0

@@ -1,0 +1,200 @@
+"""Unit tests for FederationAlgorithm internals (stub engine, no network)."""
+
+import pytest
+
+from repro.algorithms.federation import FederationAlgorithm, Requirement
+from repro.algorithms.federation.algorithm import ServiceInfo
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+
+SELF = NodeId("10.0.0.1", 7000)
+P1 = NodeId("10.0.0.2", 7000)
+P2 = NodeId("10.0.0.3", 7000)
+P3 = NodeId("10.0.0.4", 7000)
+
+
+class StubEngine:
+    def __init__(self):
+        self.sent = []
+        self.timers = []
+        self._now = 0.0
+
+    @property
+    def node_id(self):
+        return SELF
+
+    def now(self):
+        return self._now
+
+    def send(self, msg, dest):
+        self.sent.append((msg, dest))
+
+    def send_to_observer(self, msg):
+        pass
+
+    def upstreams(self):
+        return []
+
+    def downstreams(self):
+        return []
+
+    def link_stats(self, peer):
+        return None
+
+    def start_source(self, app, payload_size):
+        pass
+
+    def stop_source(self, app):
+        pass
+
+    def set_timer(self, delay, token=0):
+        self.timers.append((delay, token))
+
+
+def bound_algorithm(policy="sflow", capacity=100_000.0, seed=0):
+    algorithm = FederationAlgorithm(capacity=capacity, policy=policy, seed=seed)
+    engine = StubEngine()
+    algorithm.bind(engine)
+    return algorithm, engine
+
+
+def seed_directory(algorithm, service_type, infos):
+    algorithm.directory[service_type] = {
+        info.node: info for info in infos
+    }
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        FederationAlgorithm(capacity=0)
+    with pytest.raises(ValueError):
+        FederationAlgorithm(capacity=1.0, policy="psychic")
+
+
+def test_service_info_available_share():
+    info = ServiceInfo(P1, capacity=100.0, sessions=3, updated_at=0.0)
+    assert info.available == pytest.approx(25.0)
+
+
+def test_selection_policies():
+    infos = [
+        ServiceInfo(P1, capacity=300.0, sessions=5, updated_at=0.0),  # avail 50
+        ServiceInfo(P2, capacity=120.0, sessions=0, updated_at=0.0),  # avail 120
+        ServiceInfo(P3, capacity=200.0, sessions=1, updated_at=0.0),  # avail 100
+    ]
+    sflow, _ = bound_algorithm("sflow")
+    seed_directory(sflow, 2, infos)
+    assert sflow._select(2, exclude=set()) == P2  # max available
+
+    fixed, _ = bound_algorithm("fixed")
+    seed_directory(fixed, 2, infos)
+    assert fixed._select(2, exclude=set()) == P1  # max raw capacity
+
+    random_alg, _ = bound_algorithm("random")
+    seed_directory(random_alg, 2, infos)
+    chosen = {random_alg._select(2, exclude=set()) for _ in range(30)}
+    assert chosen == {P1, P2, P3}
+
+
+def test_selection_respects_exclusion_and_absence():
+    algorithm, _ = bound_algorithm()
+    seed_directory(algorithm, 2, [ServiceInfo(P1, 100.0, 0, 0.0)])
+    assert algorithm._select(2, exclude={P1}) is None
+    assert algorithm._select(99, exclude=set()) is None
+
+
+def test_assign_hosts_service_arms_timers_and_advertises():
+    algorithm, engine = bound_algorithm()
+    algorithm.known_hosts.add(P1)
+    algorithm.known_hosts.add(P2)
+    msg = Message.with_fields(MsgType.S_ASSIGN, P1, 0, service_type=3, service_id=7)
+    algorithm.process(msg)
+    assert algorithm.hosted == {3: 7}
+    aware = [m for m, _ in engine.sent if m.type == MsgType.S_AWARE]
+    assert len(aware) == 2  # one per known host
+    assert engine.timers  # refresh/sweep armed
+    assert algorithm.overhead_bytes("aware") == sum(m.size for m in aware)
+
+
+def test_aware_deduplication():
+    algorithm, engine = bound_algorithm()
+    algorithm.known_hosts.add(P2)
+    aware = Message.with_fields(
+        MsgType.S_AWARE, P1, 0, seq=42,
+        origin=str(P1), service_type=2, capacity=100.0, sessions=0, ttl=3,
+    )
+    algorithm.process(aware)
+    first_volume = algorithm.overhead_bytes("aware")
+    algorithm.process(aware.clone())  # identical (origin, seq): no re-relay
+    assert algorithm.overhead_bytes("aware") == first_volume
+    assert P1 in algorithm.directory[2]
+
+
+def test_federate_forwards_along_requirement():
+    algorithm, engine = bound_algorithm()
+    algorithm.hosted[1] = 1
+    seed_directory(algorithm, 2, [ServiceInfo(P2, 100.0, 0, 0.0)])
+    requirement = Requirement.path([1, 2])
+    msg = Message.with_fields(
+        MsgType.S_FEDERATE, P1, 5,
+        session=5, requirement=requirement.to_wire(),
+        position=0, source=str(SELF), path=[],
+    )
+    algorithm.process(msg)
+    forwarded = [(m, d) for m, d in engine.sent if m.type == MsgType.S_FEDERATE]
+    assert len(forwarded) == 1
+    fmsg, dest = forwarded[0]
+    assert dest == P2
+    assert fmsg.fields()["position"] == 1
+    assert 5 in algorithm.sessions
+    # Optimistic load bookkeeping bumped the chosen candidate.
+    assert algorithm.directory[2][P2].sessions == 1
+
+
+def test_sink_acknowledges_to_source():
+    algorithm, engine = bound_algorithm()
+    algorithm.hosted[2] = 1
+    requirement = Requirement.path([1, 2])
+    msg = Message.with_fields(
+        MsgType.S_FEDERATE, P1, 5,
+        session=5, requirement=requirement.to_wire(),
+        position=1, source=str(P1), path=[str(P1)],
+    )
+    algorithm.process(msg)
+    acks = [(m, d) for m, d in engine.sent if m.type == MsgType.S_FEDERATE_ACK]
+    assert len(acks) == 1
+    ack, dest = acks[0]
+    assert dest == P1
+    assert ack.fields()["path"] == [str(P1), str(SELF)]
+
+
+def test_missing_candidate_reports_failure():
+    algorithm, engine = bound_algorithm()
+    algorithm.hosted[1] = 1
+    requirement = Requirement.path([1, 42])
+    msg = Message.with_fields(
+        MsgType.S_FEDERATE, P1, 5,
+        session=5, requirement=requirement.to_wire(),
+        position=0, source=str(P1), path=[],
+    )
+    algorithm.process(msg)
+    acks = [m for m, _ in engine.sent if m.type == MsgType.S_FEDERATE_ACK]
+    assert len(acks) == 1 and acks[0].fields()["failed"]
+
+
+def test_session_expiry_sweep():
+    algorithm, engine = bound_algorithm()
+    algorithm.hosted[2] = 1
+    requirement = Requirement.path([1, 2])
+    msg = Message.with_fields(
+        MsgType.S_FEDERATE, P1, 8,
+        session=8, requirement=requirement.to_wire(),
+        position=1, source=str(P1), path=[str(P1)],
+    )
+    algorithm.process(msg)
+    assert algorithm.active_sessions == 1
+    engine._now = algorithm.session_duration + 1
+    algorithm._expire_sessions()
+    assert algorithm.active_sessions == 0
+    assert algorithm.completed_sessions == [8]

@@ -1,0 +1,100 @@
+"""Field-axiom and bulk-operation tests for GF(2^8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.coding import gf256
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+@given(a=elements, b=elements)
+def test_addition_commutative_and_self_inverse(a, b):
+    assert gf256.add(a, b) == gf256.add(b, a)
+    assert gf256.add(gf256.add(a, b), b) == a  # add == sub
+
+
+@given(a=elements, b=elements, c=elements)
+def test_multiplication_axioms(a, b, c):
+    assert gf256.mul(a, b) == gf256.mul(b, a)
+    assert gf256.mul(a, gf256.mul(b, c)) == gf256.mul(gf256.mul(a, b), c)
+    # distributivity
+    assert gf256.mul(a, gf256.add(b, c)) == gf256.add(gf256.mul(a, b), gf256.mul(a, c))
+
+
+@given(a=elements)
+def test_identities(a):
+    assert gf256.mul(a, 1) == a
+    assert gf256.mul(a, 0) == 0
+    assert gf256.add(a, 0) == a
+
+
+@given(a=nonzero)
+def test_inverse(a):
+    assert gf256.mul(a, gf256.inv(a)) == 1
+
+
+@given(a=elements, b=nonzero)
+def test_division_inverts_multiplication(a, b):
+    assert gf256.div(gf256.mul(a, b), b) == a
+
+
+def test_zero_division_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf256.inv(0)
+    with pytest.raises(ZeroDivisionError):
+        gf256.div(1, 0)
+
+
+@given(a=nonzero, e=st.integers(min_value=-10, max_value=10))
+def test_pow_matches_repeated_multiplication(a, e):
+    if e >= 0:
+        expected = 1
+        for _ in range(e):
+            expected = gf256.mul(expected, a)
+    else:
+        expected = 1
+        for _ in range(-e):
+            expected = gf256.mul(expected, gf256.inv(a))
+    assert gf256.pow_(a, e) == expected
+
+
+def test_pow_zero_base():
+    assert gf256.pow_(0, 0) == 1
+    assert gf256.pow_(0, 3) == 0
+    with pytest.raises(ZeroDivisionError):
+        gf256.pow_(0, -1)
+
+
+def test_generator_has_full_order():
+    seen = set()
+    value = 1
+    for _ in range(255):
+        seen.add(value)
+        value = gf256.mul(value, gf256.GENERATOR)
+    assert len(seen) == 255
+    assert value == 1  # cycles back
+
+
+@given(c=elements, data=st.binary(max_size=64))
+def test_scale_bytes_matches_scalar(c, data):
+    scaled = gf256.scale_bytes(c, data)
+    assert list(scaled) == [gf256.mul(c, byte) for byte in data]
+
+
+@given(a=st.binary(min_size=8, max_size=8), b=st.binary(min_size=8, max_size=8))
+def test_add_bytes_is_xor(a, b):
+    assert gf256.add_bytes(a, b) == bytes(x ^ y for x, y in zip(a, b))
+
+
+def test_add_bytes_length_mismatch():
+    with pytest.raises(ValueError):
+        gf256.add_bytes(b"ab", b"abc")
+
+
+@given(c=elements, x=st.binary(min_size=4, max_size=4), y=st.binary(min_size=4, max_size=4))
+def test_axpy(c, x, y):
+    result = gf256.axpy_bytes(c, x, y)
+    assert list(result) == [gf256.add(gf256.mul(c, xi), yi) for xi, yi in zip(x, y)]

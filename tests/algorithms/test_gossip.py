@@ -1,0 +1,58 @@
+"""Tests for the gossip dissemination algorithm."""
+
+import pytest
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.sim.network import SimNetwork
+
+
+def build_gossip_net(n, probability, seed=0):
+    net = SimNetwork()
+    algorithms = [GossipAlgorithm(probability=probability, seed=seed + i) for i in range(n)]
+    for i, algorithm in enumerate(algorithms):
+        net.add_node(algorithm, name=f"g{i}")
+    net.start()
+    net.run(12)  # several bootstrap refreshes fill KnownHosts
+    return net, algorithms
+
+
+def test_full_probability_reaches_everyone():
+    net, algorithms = build_gossip_net(15, probability=1.0)
+    algorithms[0].rumour(b"spam")
+    net.run(5)
+    assert all(b"spam" in alg.heard for alg in algorithms)
+
+
+def test_zero_probability_stops_at_first_hop():
+    net, algorithms = build_gossip_net(10, probability=0.0)
+    origin = algorithms[0]
+    origin.rumour(b"whisper")  # origin pushes to known hosts with p=1
+    net.run(5)
+    infected = sum(1 for alg in algorithms if b"whisper" in alg.heard)
+    # Direct recipients hear it but nobody relays (p=0).
+    assert 1 < infected <= 1 + len(origin.known_hosts)
+    relays = sum(alg.relayed for alg in algorithms if alg is not origin)
+    assert relays == 0
+
+
+def test_duplicates_suppressed():
+    net, algorithms = build_gossip_net(10, probability=1.0)
+    algorithms[0].rumour(b"echo")
+    net.run(5)
+    # With p=1 on a dense graph there are plenty of duplicate deliveries,
+    # but each node records the rumour exactly once.
+    assert all(list(alg.heard) == [b"echo"] for alg in algorithms if alg.heard)
+    assert sum(alg.duplicates for alg in algorithms) > 0
+
+
+def test_multiple_rumours_tracked_independently():
+    net, algorithms = build_gossip_net(8, probability=1.0)
+    algorithms[0].rumour(b"one")
+    algorithms[3].rumour(b"two")
+    net.run(5)
+    assert all({b"one", b"two"} <= set(alg.heard) for alg in algorithms)
+
+
+def test_invalid_probability_rejected():
+    with pytest.raises(ValueError):
+        GossipAlgorithm(probability=1.5)

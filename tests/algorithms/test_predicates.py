@@ -1,0 +1,129 @@
+"""Unit and property tests for content-based predicates and covering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.contentbased.predicates import (
+    Constraint,
+    Filter,
+    Predicate,
+    event_from_wire,
+    event_to_wire,
+)
+from repro.errors import CodecError
+
+
+def test_constraint_operators():
+    event = {"price": 50, "symbol": "ACME-X"}
+    assert Constraint("price", "=", 50).matches(event)
+    assert Constraint("price", "!=", 51).matches(event)
+    assert Constraint("price", "<", 51).matches(event)
+    assert Constraint("price", "<=", 50).matches(event)
+    assert Constraint("price", ">", 49).matches(event)
+    assert Constraint("price", ">=", 50).matches(event)
+    assert Constraint("symbol", "prefix", "ACME").matches(event)
+    assert Constraint("symbol", "contains", "ME-").matches(event)
+    assert not Constraint("price", "<", 50).matches(event)
+    assert not Constraint("volume", "=", 1).matches(event)  # missing attribute
+
+
+def test_type_confusion_never_crashes():
+    assert not Constraint("price", "<", 10).matches({"price": "not-a-number"})
+    assert not Constraint("symbol", "prefix", "A").matches({"symbol": 5})
+
+
+def test_invalid_operator_rejected():
+    with pytest.raises(ValueError):
+        Constraint("a", "~", 1)
+    with pytest.raises(ValueError):
+        Constraint("a", "prefix", 5)
+
+
+def test_filter_is_conjunction():
+    filter_ = Filter((Constraint("price", "<", 100), Constraint("price", ">", 10)))
+    assert filter_.matches({"price": 50})
+    assert not filter_.matches({"price": 5})
+    assert not filter_.matches({"price": 500})
+    with pytest.raises(ValueError):
+        Filter(())
+
+
+def test_predicate_is_disjunction():
+    predicate = Predicate.of(
+        {"price": ("<", 10)},
+        {"symbol": ("=", "ACME")},
+    )
+    assert predicate.matches({"price": 5})
+    assert predicate.matches({"symbol": "ACME", "price": 999})
+    assert not predicate.matches({"price": 50, "symbol": "OTHER"})
+
+
+def test_covering_basic_cases():
+    broad = Constraint("x", "<", 100)
+    narrow = Constraint("x", "<", 50)
+    assert broad.covers(narrow)
+    assert not narrow.covers(broad)
+    assert broad.covers(Constraint("x", "=", 20))
+    assert not broad.covers(Constraint("x", "=", 150))
+    assert Constraint("x", "<=", 100).covers(Constraint("x", "<", 100))
+    assert not Constraint("x", "<", 100).covers(Constraint("x", "<=", 100))
+    assert Constraint("x", ">", 0).covers(Constraint("x", ">=", 1))
+    assert not Constraint("x", "<", 100).covers(Constraint("y", "<", 50))
+
+
+def test_filter_covering():
+    broad = Filter((Constraint("x", "<", 100),))
+    narrow = Filter((Constraint("x", "<", 50), Constraint("y", "=", 1)))
+    assert broad.covers(narrow)
+    assert not narrow.covers(broad)
+
+
+def test_predicate_covering():
+    broad = Predicate.of({"x": ("<", 100)})
+    narrow = Predicate.of({"x": ("<", 10)}, {"x": ("=", 42)})
+    assert broad.covers(narrow)
+    assert not narrow.covers(broad)
+
+
+def test_wire_roundtrip():
+    predicate = Predicate.of({"price": ("<", 99.5), "symbol": ("prefix", "AC")})
+    assert Predicate.from_wire(predicate.to_wire()) == predicate
+    with pytest.raises(CodecError):
+        Predicate.from_wire("{broken")
+
+
+def test_event_wire_roundtrip():
+    event = {"price": 10, "note": "hello", "ratio": 0.5}
+    assert event_from_wire(event_to_wire(event)) == event
+    with pytest.raises(CodecError):
+        event_from_wire(b"[1,2,3]")
+    with pytest.raises(CodecError):
+        event_from_wire(b"\xff\xff")
+
+
+numeric_ops = st.sampled_from(["<", "<=", ">", ">="])
+values = st.integers(min_value=-100, max_value=100)
+
+
+@given(op1=numeric_ops, v1=values, op2=numeric_ops, v2=values,
+       probe=st.integers(min_value=-150, max_value=150))
+def test_property_covering_is_sound(op1, v1, op2, v2, probe):
+    """If c1 covers c2, every event matching c2 matches c1 (soundness).
+
+    Covering may be incomplete (conservative) but must never be wrong.
+    """
+    c1 = Constraint("x", op1, v1)
+    c2 = Constraint("x", op2, v2)
+    if c1.covers(c2):
+        event = {"x": probe}
+        if c2.matches(event):
+            assert c1.matches(event)
+
+
+@given(v=values, probe=values)
+def test_property_equality_coverage_sound(v, probe):
+    c1 = Constraint("x", "<", v)
+    c2 = Constraint("x", "=", probe)
+    if c1.covers(c2):
+        assert c1.matches({"x": probe})

@@ -1,0 +1,110 @@
+"""Unit and property tests for service requirements (federation DAGs)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.federation.requirement import Requirement, RequirementNode
+from repro.errors import FederationError
+
+
+def test_path_shape():
+    requirement = Requirement.path([1, 2, 3])
+    assert requirement.size == 3
+    assert requirement.depth() == 3
+    assert requirement.leaves() == [2]
+    assert requirement.types() == {1, 2, 3}
+    assert requirement.node(0).children == (1,)
+
+
+def test_empty_path_rejected():
+    with pytest.raises(FederationError):
+        Requirement.path([])
+
+
+def test_fork_requirement():
+    requirement = Requirement(
+        nodes={
+            0: RequirementNode(0, 1, (1, 2)),
+            1: RequirementNode(1, 2, ()),
+            2: RequirementNode(2, 3, ()),
+        },
+        root=0,
+    )
+    requirement.validate()
+    assert sorted(requirement.leaves()) == [1, 2]
+    assert requirement.depth() == 2
+
+
+def test_cycle_rejected():
+    requirement = Requirement(
+        nodes={
+            0: RequirementNode(0, 1, (1,)),
+            1: RequirementNode(1, 2, (0,)),
+        },
+        root=0,
+    )
+    with pytest.raises(FederationError):
+        requirement.validate()
+
+
+def test_join_rejected():
+    requirement = Requirement(
+        nodes={
+            0: RequirementNode(0, 1, (1, 2)),
+            1: RequirementNode(1, 2, (3,)),
+            2: RequirementNode(2, 3, (3,)),  # two parents for node 3
+            3: RequirementNode(3, 4, ()),
+        },
+        root=0,
+    )
+    with pytest.raises(FederationError):
+        requirement.validate()
+
+
+def test_unreachable_node_rejected():
+    requirement = Requirement(
+        nodes={
+            0: RequirementNode(0, 1, ()),
+            1: RequirementNode(1, 2, ()),  # orphan
+        },
+        root=0,
+    )
+    with pytest.raises(FederationError):
+        requirement.validate()
+
+
+def test_dangling_child_rejected():
+    requirement = Requirement(nodes={0: RequirementNode(0, 1, (7,))}, root=0)
+    with pytest.raises(FederationError):
+        requirement.validate()
+
+
+def test_wire_roundtrip():
+    requirement = Requirement.path([4, 5, 6, 7])
+    decoded = Requirement.from_wire(requirement.to_wire())
+    assert decoded.nodes == requirement.nodes
+    assert decoded.root == requirement.root
+
+
+def test_malformed_wire_rejected():
+    with pytest.raises(FederationError):
+        Requirement.from_wire("not json at all {")
+    with pytest.raises(FederationError):
+        Requirement.from_wire('{"root": 0, "nodes": []}')
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       size=st.integers(min_value=1, max_value=12),
+       max_fanout=st.integers(min_value=1, max_value=4))
+def test_property_random_tree_is_valid_and_roundtrips(seed, size, max_fanout):
+    rng = random.Random(seed)
+    requirement = Requirement.random_tree(rng, types=[1, 2, 3, 4], size=size,
+                                          max_fanout=max_fanout)
+    requirement.validate()  # no exception
+    assert requirement.size == size
+    fanouts = [len(node.children) for node in requirement.nodes.values()]
+    assert all(f <= max(max_fanout, 1) for f in fanouts)
+    assert Requirement.from_wire(requirement.to_wire()).nodes == requirement.nodes

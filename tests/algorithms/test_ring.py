@@ -1,0 +1,71 @@
+"""Unit and property tests for identifier-circle arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.dht import ring
+from repro.core.ids import NodeId
+
+ids = st.integers(min_value=0, max_value=ring.CIRCLE - 1)
+
+
+def test_hash_is_stable_and_in_range():
+    assert ring.hash_to_id("key") == ring.hash_to_id("key")
+    assert ring.hash_to_id("key") != ring.hash_to_id("другой")
+    assert 0 <= ring.hash_to_id(b"anything") < ring.CIRCLE
+
+
+def test_node_hash_uses_full_identity():
+    a = NodeId("10.0.0.1", 7000)
+    b = NodeId("10.0.0.1", 7001)
+    assert ring.node_to_id(a) != ring.node_to_id(b)
+
+
+def test_in_open_plain_and_wrapping():
+    assert ring.in_open(5, 1, 10)
+    assert not ring.in_open(1, 1, 10)
+    assert not ring.in_open(10, 1, 10)
+    # wrapping interval (10, 3)
+    assert ring.in_open(0, 10, 3)
+    assert ring.in_open(11, 10, 3)
+    assert not ring.in_open(5, 10, 3)
+    # degenerate interval is empty
+    assert not ring.in_open(5, 7, 7)
+
+
+def test_in_open_closed_plain_wrapping_degenerate():
+    assert ring.in_open_closed(10, 1, 10)
+    assert not ring.in_open_closed(1, 1, 10)
+    assert ring.in_open_closed(2, 10, 3)
+    assert ring.in_open_closed(3, 10, 3)
+    assert not ring.in_open_closed(10, 10, 3)
+    # a single-node ring owns the whole circle
+    assert ring.in_open_closed(5, 7, 7)
+
+
+@given(x=ids, a=ids, b=ids)
+def test_property_open_closed_partition(x, a, b):
+    """For a != b, every x is in exactly one of (a, b] and (b, a]."""
+    if a == b:
+        return
+    assert ring.in_open_closed(x, a, b) != ring.in_open_closed(x, b, a)
+
+
+@given(a=ids, b=ids)
+def test_property_distance_antisymmetry(a, b):
+    d1 = ring.distance(a, b)
+    d2 = ring.distance(b, a)
+    assert 0 <= d1 < ring.CIRCLE
+    if a != b:
+        assert d1 + d2 == ring.CIRCLE
+    else:
+        assert d1 == d2 == 0
+
+
+def test_finger_start_values():
+    assert ring.finger_start(0, 0) == 1
+    assert ring.finger_start(0, ring.M - 1) == ring.CIRCLE // 2
+    assert ring.finger_start(ring.CIRCLE - 1, 0) == 0  # wraps
+    with pytest.raises(ValueError):
+        ring.finger_start(0, ring.M)

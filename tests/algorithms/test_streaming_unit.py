@@ -1,0 +1,65 @@
+"""Property tests for the playout buffer and frame codec."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.streaming import PlayoutBuffer, pack_frame, unpack_frame
+
+
+@given(index=st.integers(min_value=0, max_value=2**31 - 1),
+       media_time=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+       size=st.integers(min_value=12, max_value=10_000))
+def test_property_frame_roundtrip(index, media_time, size):
+    payload = pack_frame(index, media_time, size)
+    assert len(payload) == size
+    decoded_index, decoded_time = unpack_frame(payload)
+    assert decoded_index == index
+    assert decoded_time == media_time
+
+
+@given(
+    frame_interval=st.floats(min_value=0.01, max_value=0.2),
+    startup=st.floats(min_value=0.1, max_value=5.0),
+    jitter=st.lists(st.floats(min_value=0.0, max_value=0.005), min_size=5, max_size=50),
+)
+def test_property_punctual_stream_is_always_on_time(frame_interval, startup, jitter):
+    """Frames arriving at (or marginally after) their media pace are never
+    late when the startup buffer exceeds the worst jitter."""
+    buffer = PlayoutBuffer(startup_delay=startup)
+    base_arrival = 100.0
+    for i, wobble in enumerate(jitter):
+        media_time = i * frame_interval
+        arrival = base_arrival + media_time + min(wobble, startup * 0.9)
+        buffer.on_frame(i, media_time, arrival)
+    assert buffer.stats.late == 0
+    assert buffer.stats.on_time == len(jitter)
+    assert buffer.stats.rebuffer_events == 0
+    assert buffer.stats.continuity() == 1.0
+
+
+@given(stall=st.floats(min_value=0.5, max_value=10.0))
+def test_property_single_stall_causes_single_rebuffer(stall):
+    buffer = PlayoutBuffer(startup_delay=0.2)
+    buffer.on_frame(0, 0.0, now=0.0)
+    # Frame 1 arrives 'stall' seconds after its deadline.
+    deadline_1 = 0.2 + 0.5
+    buffer.on_frame(1, 0.5, now=deadline_1 + stall)
+    assert buffer.stats.late == 1
+    assert buffer.stats.rebuffer_events == 1
+    # After the playback origin shifted, the stream is punctual again.
+    buffer.on_frame(2, 1.0, now=deadline_1 + stall + 0.4)
+    assert buffer.stats.late == 1  # no new lateness
+
+
+@given(order=st.permutations(list(range(8))))
+def test_property_arrival_order_does_not_double_count(order):
+    """However frames are reordered, counts always total the distinct set."""
+    buffer = PlayoutBuffer(startup_delay=100.0)  # generous: nothing is late
+    for i in order:
+        buffer.on_frame(i, i * 0.1, now=float(i))
+        buffer.on_frame(i, i * 0.1, now=float(i))  # duplicate delivery
+    stats = buffer.stats
+    assert stats.received == 8
+    assert stats.duplicates == 8
+    assert stats.highest_index == 7
+    assert stats.missing() == 0

@@ -1,0 +1,209 @@
+"""Unit tests for tree-algorithm policy logic with a stub engine."""
+
+import pytest
+
+from repro.algorithms.trees import (
+    AllUnicastTree,
+    NodeStressAwareTree,
+    RandomizedTree,
+    STRESS_UNIT,
+    TreeAlgorithm,
+)
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+
+SELF = NodeId("10.0.0.1", 7000)
+PARENT = NodeId("10.0.0.2", 7000)
+CHILD = NodeId("10.0.0.3", 7000)
+JOINER = NodeId("10.0.0.9", 7000)
+SOURCE = NodeId("10.0.0.8", 7000)
+
+
+class StubEngine:
+    def __init__(self):
+        self.sent = []
+        self.timers = []
+        self.sources = []
+
+    @property
+    def node_id(self):
+        return SELF
+
+    def now(self):
+        return 0.0
+
+    def send(self, msg, dest):
+        self.sent.append((msg, dest))
+
+    def send_to_observer(self, msg):
+        pass
+
+    def upstreams(self):
+        return []
+
+    def downstreams(self):
+        return []
+
+    def link_stats(self, peer):
+        return None
+
+    def start_source(self, app, payload_size):
+        self.sources.append(app)
+
+    def stop_source(self, app):
+        pass
+
+    def set_timer(self, delay, token=0):
+        self.timers.append((delay, token))
+
+
+def make_in_tree(cls=NodeStressAwareTree, last_mile=100_000.0, **kwargs):
+    algorithm = cls(last_mile=last_mile, **kwargs)
+    engine = StubEngine()
+    algorithm.bind(engine)
+    algorithm.app = 1
+    algorithm.in_tree = True
+    return algorithm, engine
+
+
+def query(ttl=8):
+    return Message.with_fields(MsgType.S_QUERY, JOINER, 1,
+                               app=1, joiner=str(JOINER), ttl=ttl)
+
+
+def sent_types(engine):
+    return [msg.type for msg, _ in engine.sent]
+
+
+def test_stress_definition():
+    algorithm, _ = make_in_tree(last_mile=200_000.0)
+    algorithm.parent = PARENT
+    algorithm.children = [CHILD]
+    assert algorithm.degree == 2
+    assert algorithm.stress == pytest.approx(2 / (200_000.0 / STRESS_UNIT))
+
+
+def test_ns_aware_acks_when_it_is_the_minimum():
+    algorithm, engine = make_in_tree()
+    algorithm.parent = PARENT
+    algorithm.neighbor_stress[PARENT] = 5.0  # parent is worse
+    algorithm.process(query())
+    assert sent_types(engine) == [MsgType.S_QUERY_ACK]
+    assert engine.sent[0][1] == JOINER
+
+
+def test_ns_aware_forwards_to_better_neighbor():
+    algorithm, engine = make_in_tree()
+    algorithm.parent = PARENT
+    algorithm.neighbor_stress[PARENT] = 0.1  # parent is much better
+    algorithm.process(query())
+    msg, dest = engine.sent[0]
+    assert msg.type == MsgType.S_QUERY
+    assert dest == PARENT
+    assert msg.fields()["ttl"] == 7  # decremented
+
+
+def test_ns_aware_tie_breaks_by_node_id():
+    algorithm, engine = make_in_tree()
+    algorithm.parent = PARENT
+    algorithm.neighbor_stress[PARENT] = algorithm.stress  # exact tie
+    algorithm.process(query())
+    # PARENT has a smaller NodeId than SELF? 10.0.0.2 > 10.0.0.1: no —
+    # the tie goes to the smaller id, which is SELF here, so we ack.
+    assert sent_types(engine) == [MsgType.S_QUERY_ACK]
+
+
+def test_ttl_exhaustion_forces_ack():
+    algorithm, engine = make_in_tree()
+    algorithm.parent = PARENT
+    algorithm.neighbor_stress[PARENT] = 0.0
+    algorithm.process(query(ttl=0))
+    assert sent_types(engine) == [MsgType.S_QUERY_ACK]
+
+
+def test_unicast_forwards_to_source_else_parent():
+    algorithm, engine = make_in_tree(cls=AllUnicastTree)
+    algorithm.source_node = SOURCE
+    algorithm.process(query())
+    assert engine.sent[0][1] == SOURCE
+    engine.sent.clear()
+    algorithm.source_node = None
+    algorithm.parent = PARENT
+    algorithm.process(query())
+    assert engine.sent[0][1] == PARENT
+
+
+def test_unicast_source_acks():
+    algorithm, engine = make_in_tree(cls=AllUnicastTree)
+    algorithm.is_source = True
+    algorithm.process(query())
+    assert sent_types(engine) == [MsgType.S_QUERY_ACK]
+
+
+def test_randomized_acks_immediately():
+    algorithm, engine = make_in_tree(cls=RandomizedTree)
+    algorithm.process(query())
+    assert sent_types(engine) == [MsgType.S_QUERY_ACK]
+
+
+def test_out_of_tree_node_relays():
+    algorithm, engine = make_in_tree()
+    algorithm.in_tree = False
+    algorithm.known_hosts.add(PARENT)
+    algorithm.known_hosts.add(CHILD)
+    algorithm.process(query())
+    msg, dest = engine.sent[0]
+    assert msg.type == MsgType.S_QUERY
+    assert dest in (PARENT, CHILD)
+
+
+def test_ack_then_join_handshake():
+    algorithm, engine = make_in_tree()
+    algorithm.in_tree = False
+    algorithm._joining = True
+    ack = Message.with_fields(MsgType.S_QUERY_ACK, PARENT, 1,
+                              app=1, parent=str(PARENT))
+    algorithm.process(ack)
+    assert algorithm.parent == PARENT and algorithm.in_tree
+    join_msgs = [m for m, d in engine.sent if m.type == MsgType.S_JOIN]
+    assert len(join_msgs) == 1
+    # A second (late) ack from someone else is ignored.
+    other = Message.with_fields(MsgType.S_QUERY_ACK, CHILD, 1,
+                                app=1, parent=str(CHILD))
+    algorithm.process(other)
+    assert algorithm.parent == PARENT
+
+
+def test_join_registers_child_and_leave_removes_it():
+    algorithm, engine = make_in_tree()
+    join = Message.with_fields(MsgType.S_JOIN, CHILD, 1, app=1, child=str(CHILD))
+    algorithm.process(join)
+    algorithm.process(join)  # idempotent
+    assert algorithm.children == [CHILD]
+    leave = Message.with_fields(MsgType.S_LEAVE, CHILD, 1, app=1, child=str(CHILD))
+    algorithm.process(leave)
+    assert algorithm.children == []
+
+
+def test_deploy_starts_source_and_announces():
+    algorithm, engine = make_in_tree()
+    algorithm.in_tree = False
+    algorithm.is_source = False
+    algorithm.known_hosts.add(PARENT)
+    deploy = Message.with_fields(MsgType.S_DEPLOY, PARENT, 1, app=1, payload_size=5000)
+    algorithm.process(deploy)
+    assert algorithm.is_source and algorithm.in_tree
+    assert engine.sources == [1]
+    announces = [m for m, d in engine.sent if m.type == MsgType.S_ANNOUNCE]
+    assert announces
+
+
+def test_data_forwards_to_children_and_meters():
+    algorithm, engine = make_in_tree()
+    algorithm.children = [CHILD, PARENT]
+    data = Message(MsgType.DATA, SOURCE, 1, b"x" * 100)
+    algorithm.process(data)
+    dests = [d for m, d in engine.sent if m.type == MsgType.DATA]
+    assert dests == [CHILD, PARENT]
+    assert algorithm.received.total_bytes == data.size

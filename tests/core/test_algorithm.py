@@ -1,0 +1,195 @@
+"""Unit tests for the Algorithm base class (iAlgorithm) with a stub engine."""
+
+import pytest
+
+from repro.core.algorithm import Algorithm, Disposition, KnownHosts
+from repro.core.ids import CONTROL_APP, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+
+SELF = NodeId("10.0.0.1", 7000)
+PEER = NodeId("10.0.0.2", 7000)
+OTHER = NodeId("10.0.0.3", 7000)
+
+
+class StubEngine:
+    """Minimal EngineServices double recording every interaction."""
+
+    def __init__(self):
+        self.sent = []
+        self.observer_msgs = []
+        self.sources = []
+        self.stopped = []
+        self.timers = []
+        self._now = 0.0
+
+    @property
+    def node_id(self):
+        return SELF
+
+    def now(self):
+        return self._now
+
+    def send(self, msg, dest):
+        self.sent.append((msg, dest))
+
+    def send_to_observer(self, msg):
+        self.observer_msgs.append(msg)
+
+    def upstreams(self):
+        return []
+
+    def downstreams(self):
+        return []
+
+    def link_stats(self, peer):
+        return None
+
+    def start_source(self, app, payload_size):
+        self.sources.append((app, payload_size))
+
+    def stop_source(self, app):
+        self.stopped.append(app)
+
+    def set_timer(self, delay, token=0):
+        self.timers.append((delay, token))
+
+
+@pytest.fixture
+def bound():
+    algorithm = Algorithm(seed=1)
+    engine = StubEngine()
+    algorithm.bind(engine)
+    return algorithm, engine
+
+
+def test_engine_access_requires_bind():
+    algorithm = Algorithm()
+    with pytest.raises(RuntimeError):
+        _ = algorithm.engine
+
+
+def test_boot_reply_populates_known_hosts(bound):
+    algorithm, _ = bound
+    msg = Message.with_fields(MsgType.BOOT_REPLY, PEER, CONTROL_APP,
+                              hosts=[str(PEER), str(OTHER)])
+    assert algorithm.process(msg) is Disposition.DONE
+    assert PEER in algorithm.known_hosts and OTHER in algorithm.known_hosts
+
+
+def test_deploy_starts_source_with_payload_size(bound):
+    algorithm, engine = bound
+    msg = Message.with_fields(MsgType.S_DEPLOY, PEER, 5, app=5, payload_size=2048)
+    algorithm.process(msg)
+    assert engine.sources == [(5, 2048)]
+
+
+def test_terminate_source_stops_it(bound):
+    algorithm, engine = bound
+    algorithm.process(Message.with_fields(MsgType.S_TERMINATE, PEER, 5, app=5))
+    assert engine.stopped == [5]
+
+
+def test_broken_link_drops_peer_from_known_hosts(bound):
+    algorithm, _ = bound
+    algorithm.known_hosts.add(PEER)
+    msg = Message.with_fields(MsgType.BROKEN_LINK, SELF, CONTROL_APP,
+                              peer=str(PEER), direction="up")
+    algorithm.process(msg)
+    assert PEER not in algorithm.known_hosts
+
+
+def test_default_data_handler_consumes(bound):
+    algorithm, engine = bound
+    msg = Message(MsgType.DATA, PEER, 1, b"payload")
+    assert algorithm.process(msg) is Disposition.DONE
+    assert engine.sent == []
+
+
+def test_unknown_type_falls_through_to_default(bound):
+    algorithm, _ = bound
+    msg = Message(4242, PEER, 1, b"")
+    assert algorithm.process(msg) is Disposition.DONE
+
+
+def test_register_overrides_handler(bound):
+    algorithm, _ = bound
+    seen = []
+    algorithm.register(MsgType.DATA, lambda m: seen.append(m) or Disposition.HOLD)
+    msg = Message(MsgType.DATA, PEER, 1, b"x")
+    assert algorithm.process(msg) is Disposition.HOLD
+    assert seen == [msg]
+
+
+def test_timer_dispatch_carries_token(bound):
+    algorithm, _ = bound
+    tokens = []
+    algorithm.on_timer = lambda token: tokens.append(token)
+    algorithm.process(Message.with_fields(MsgType.TIMER, SELF, CONTROL_APP, token=7))
+    assert tokens == [7]
+
+
+def test_send_many_sends_same_reference(bound):
+    algorithm, engine = bound
+    msg = Message(MsgType.DATA, SELF, 1, b"zero-copy")
+    algorithm.send_many(msg, [PEER, OTHER])
+    assert [dest for _, dest in engine.sent] == [PEER, OTHER]
+    assert all(sent is msg for sent, _ in engine.sent)  # zero copy
+
+
+def test_disseminate_probability_bounds(bound):
+    algorithm, engine = bound
+    nodes = [NodeId("10.0.1.1", p) for p in range(7000, 7050)]
+    sent = algorithm.disseminate(Message(MsgType.GOSSIP, SELF, 0, b"r"), nodes, p=1.0)
+    assert sent == 50
+    engine.sent.clear()
+    sent = algorithm.disseminate(Message(MsgType.GOSSIP, SELF, 0, b"r"), nodes, p=0.0)
+    assert sent == 0
+    with pytest.raises(ValueError):
+        algorithm.disseminate(Message(MsgType.GOSSIP, SELF, 0, b"r"), nodes, p=1.5)
+
+
+def test_disseminate_skips_self(bound):
+    algorithm, engine = bound
+    sent = algorithm.disseminate(Message(MsgType.GOSSIP, SELF, 0, b"r"), [SELF, PEER], p=1.0)
+    assert sent == 1
+    assert engine.sent[0][1] == PEER
+
+
+def test_disseminate_partial_probability_is_plausible(bound):
+    algorithm, _ = bound
+    nodes = [NodeId("10.0.1.1", p) for p in range(7000, 7400)]
+    sent = algorithm.disseminate(Message(MsgType.GOSSIP, SELF, 0, b"r"), nodes, p=0.5)
+    assert 120 < sent < 280  # ~Binomial(400, 0.5)
+
+
+def test_trace_goes_to_observer(bound):
+    algorithm, engine = bound
+    algorithm.trace("debug info", app=3)
+    assert len(engine.observer_msgs) == 1
+    assert engine.observer_msgs[0].type == MsgType.TRACE
+    assert engine.observer_msgs[0].payload == b"debug info"
+
+
+def test_known_hosts_set_semantics():
+    hosts = KnownHosts()
+    hosts.add(PEER)
+    hosts.add(PEER)
+    assert len(hosts) == 1
+    hosts.add(OTHER)
+    assert hosts.as_list() == [PEER, OTHER]  # insertion ordered
+    hosts.discard(PEER)
+    assert PEER not in hosts
+    hosts.discard(PEER)  # idempotent
+
+
+def test_known_hosts_sample():
+    import random
+
+    hosts = KnownHosts()
+    nodes = [NodeId("10.0.1.1", p) for p in range(7000, 7010)]
+    for node in nodes:
+        hosts.add(node)
+    sample = hosts.sample(3, random.Random(0))
+    assert len(sample) == 3 and len(set(sample)) == 3
+    assert hosts.sample(100, random.Random(0)) == nodes

@@ -1,0 +1,109 @@
+"""Unit and property tests for rate limiters and node throttles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import BandwidthSpec, NodeThrottle, RateLimiter
+
+
+def test_unlimited_limiter_never_delays():
+    limiter = RateLimiter(None)
+    assert limiter.reserve(10**9, now=0.0) == 0.0
+
+
+def test_serialization_delay_matches_rate():
+    limiter = RateLimiter(1000.0)  # 1000 B/s
+    assert limiter.reserve(500, now=0.0) == pytest.approx(0.5)
+    # The pipe is busy until t=0.5; a second message queues behind it.
+    assert limiter.reserve(500, now=0.0) == pytest.approx(1.0)
+
+
+def test_idle_pipe_does_not_accumulate_credit():
+    limiter = RateLimiter(1000.0)
+    limiter.reserve(1000, now=0.0)  # busy until 1.0
+    # After a long idle period the next transfer still takes size/rate.
+    assert limiter.reserve(1000, now=100.0) == pytest.approx(1.0)
+
+
+def test_set_rate_at_runtime():
+    limiter = RateLimiter(1000.0)
+    limiter.set_rate(500.0)
+    assert limiter.reserve(500, now=0.0) == pytest.approx(1.0)
+    limiter.set_rate(None)
+    assert limiter.reserve(10**6, now=10.0) == 0.0
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ValueError):
+        RateLimiter(0)
+    limiter = RateLimiter(10)
+    with pytest.raises(ValueError):
+        limiter.set_rate(-5)
+
+
+def test_would_delay_does_not_book():
+    limiter = RateLimiter(1000.0)
+    assert limiter.would_delay(1000, now=0.0) == pytest.approx(1.0)
+    assert limiter.would_delay(1000, now=0.0) == pytest.approx(1.0)  # unchanged
+    limiter.reserve(1000, now=0.0)
+    assert limiter.would_delay(1000, now=0.0) == pytest.approx(2.0)
+
+
+@given(
+    rate=st.floats(min_value=1.0, max_value=1e6),
+    sizes=st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=50),
+)
+def test_property_long_run_rate_never_exceeded(rate, sizes):
+    """Total bytes sent by time T never exceed rate * T (plus one message)."""
+    limiter = RateLimiter(rate)
+    now = 0.0
+    total = 0
+    for size in sizes:
+        delay = limiter.reserve(size, now)
+        now += delay  # sender waits for completion before next send
+        total += size
+    assert total <= rate * now + 1e-6 * rate + 1  # numeric slack
+
+
+def test_node_throttle_send_uses_min_of_caps():
+    throttle = NodeThrottle(BandwidthSpec(total=1000.0, up=500.0))
+    # up is the binding cap: 500 B at 500 B/s = 1 s.
+    assert throttle.reserve_send("peer", 500, now=0.0) == pytest.approx(1.0)
+
+
+def test_node_throttle_per_link_cap():
+    spec = BandwidthSpec(links={"d1": 100.0})
+    throttle = NodeThrottle(spec)
+    assert throttle.reserve_send("d1", 100, now=0.0) == pytest.approx(1.0)
+    assert throttle.reserve_send("d2", 100, now=0.0) == 0.0  # uncapped link
+
+
+def test_node_throttle_total_shared_between_directions():
+    throttle = NodeThrottle(BandwidthSpec(total=1000.0))
+    throttle.reserve_send("peer", 1000, now=0.0)  # books the pipe until 1.0
+    assert throttle.reserve_recv(1000, now=0.0) == pytest.approx(2.0)
+
+
+def test_node_throttle_runtime_updates():
+    throttle = NodeThrottle()
+    assert throttle.reserve_send("x", 10**6, now=0.0) == 0.0
+    throttle.set_up(1000.0)
+    assert throttle.reserve_send("x", 1000, now=1.0) == pytest.approx(1.0)
+    throttle.set_link("x", 100.0)
+    assert throttle.reserve_send("x", 100, now=100.0) == pytest.approx(1.0)
+    throttle.drop_link("x")
+    assert throttle.spec.links == {}
+
+
+def test_spec_snapshot_reflects_rates():
+    throttle = NodeThrottle(BandwidthSpec(total=1.0, up=2.0, down=3.0, links={"a": 4.0}))
+    spec = throttle.spec
+    assert (spec.total, spec.up, spec.down, spec.links) == (1.0, 2.0, 3.0, {"a": 4.0})
+
+
+def test_spec_copy_is_independent():
+    spec = BandwidthSpec(links={"a": 1.0})
+    copied = spec.copy()
+    copied.links["b"] = 2.0
+    assert "b" not in spec.links

@@ -1,0 +1,108 @@
+"""Unit and property tests for the bounded circular buffer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.buffer import CircularBuffer
+from repro.errors import BufferClosedError
+
+
+def test_fifo_order():
+    buf = CircularBuffer(3)
+    buf.put("a")
+    buf.put("b")
+    buf.put("c")
+    assert [buf.get(), buf.get(), buf.get()] == ["a", "b", "c"]
+
+
+def test_capacity_enforced():
+    buf = CircularBuffer(2)
+    buf.put(1)
+    buf.put(2)
+    assert buf.is_full
+    with pytest.raises(IndexError):
+        buf.put(3)
+
+
+def test_get_empty_raises():
+    buf = CircularBuffer(2)
+    with pytest.raises(IndexError):
+        buf.get()
+
+
+def test_wraparound():
+    buf = CircularBuffer(2)
+    for i in range(10):
+        buf.put(i)
+        assert buf.get() == i
+    assert buf.is_empty
+
+
+def test_peek_does_not_consume():
+    buf = CircularBuffer(2)
+    buf.put("x")
+    assert buf.peek() == "x"
+    assert len(buf) == 1
+    assert buf.get() == "x"
+
+
+def test_clear_returns_in_order():
+    buf = CircularBuffer(4)
+    for i in range(3):
+        buf.put(i)
+    assert buf.clear() == [0, 1, 2]
+    assert buf.is_empty and buf.free == 4
+
+
+def test_iteration_oldest_first_non_consuming():
+    buf = CircularBuffer(3)
+    buf.put(1)
+    buf.put(2)
+    buf.get()
+    buf.put(3)
+    buf.put(4)  # wraps
+    assert list(buf) == [2, 3, 4]
+    assert len(buf) == 3
+
+
+def test_close_blocks_put_allows_get():
+    buf = CircularBuffer(2)
+    buf.put("a")
+    buf.close()
+    with pytest.raises(BufferClosedError):
+        buf.put("b")
+    assert buf.get() == "a"
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        CircularBuffer(0)
+
+
+@given(ops=st.lists(st.one_of(st.tuples(st.just("put"), st.integers()), st.tuples(st.just("get"), st.none())), max_size=200),
+       capacity=st.integers(min_value=1, max_value=8))
+def test_property_matches_reference_deque(ops, capacity):
+    """The buffer behaves exactly like a capacity-bounded deque."""
+    from collections import deque
+
+    buf = CircularBuffer(capacity)
+    reference: deque = deque()
+    for op, value in ops:
+        if op == "put":
+            if len(reference) < capacity:
+                buf.put(value)
+                reference.append(value)
+            else:
+                with pytest.raises(IndexError):
+                    buf.put(value)
+        else:
+            if reference:
+                assert buf.get() == reference.popleft()
+            else:
+                with pytest.raises(IndexError):
+                    buf.get()
+        assert len(buf) == len(reference)
+        assert list(buf) == list(reference)
+        assert buf.is_full == (len(reference) == capacity)
+        assert buf.is_empty == (not reference)

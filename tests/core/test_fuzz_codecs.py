@@ -1,0 +1,82 @@
+"""Fuzzing the decoders: arbitrary bytes must never crash, only CodecError."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.coding.linear import CodedPayload
+from repro.algorithms.contentbased.predicates import Predicate, event_from_wire
+from repro.algorithms.federation.requirement import Requirement
+from repro.apps.streaming import unpack_frame
+from repro.core.message import Message
+from repro.errors import CodecError, DecodingError, FederationError
+
+
+@given(blob=st.binary(max_size=256))
+def test_message_unpack_total(blob):
+    """unpack() either parses (and then re-packs identically) or raises
+    CodecError — never anything else."""
+    try:
+        msg = Message.unpack(blob)
+    except CodecError:
+        return
+    assert msg.pack() == blob
+
+
+@given(blob=st.binary(max_size=128))
+def test_coded_payload_unpack_total(blob):
+    try:
+        payload = CodedPayload.unpack(blob)
+    except DecodingError:
+        return
+    assert payload.pack() == blob
+
+
+@given(text=st.text(max_size=100))
+def test_requirement_from_wire_total(text):
+    try:
+        requirement = Requirement.from_wire(text)
+    except FederationError:
+        return
+    requirement.validate()
+
+
+@given(text=st.text(max_size=100))
+def test_predicate_from_wire_total(text):
+    try:
+        predicate = Predicate.from_wire(text)
+    except (CodecError, ValueError):
+        return
+    assert predicate.filters
+
+
+@given(blob=st.binary(max_size=64))
+def test_event_from_wire_total(blob):
+    try:
+        event = event_from_wire(blob)
+    except CodecError:
+        return
+    assert isinstance(event, dict)
+
+
+@given(blob=st.binary(max_size=64))
+def test_frame_unpack_total(blob):
+    try:
+        index, media_time = unpack_frame(blob)
+    except CodecError:
+        return
+    assert isinstance(index, int)
+
+
+@given(
+    fields=st.dictionaries(
+        st.text(min_size=1, max_size=10).filter(lambda s: s != "seq"),
+        st.one_of(st.integers(), st.text(max_size=20), st.booleans(), st.none()),
+        max_size=5,
+    )
+)
+def test_with_fields_roundtrip_any_json_values(fields):
+    from repro.core.ids import NodeId
+
+    msg = Message.with_fields(1, NodeId("1.2.3.4", 5), 0, **fields)
+    assert msg.fields() == fields

@@ -1,0 +1,135 @@
+"""Unit and property tests for the message codec (the 24-byte header)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ids import NodeId, int_to_ip, ip_to_int
+from repro.core.message import HEADER_SIZE, Message
+from repro.core.msgtypes import MsgType
+from repro.errors import CodecError
+
+SENDER = NodeId("128.100.241.68", 5000)
+
+
+def test_header_is_exactly_24_bytes():
+    msg = Message(MsgType.DATA, SENDER, 7, b"")
+    assert HEADER_SIZE == 24
+    assert len(msg.pack()) == 24
+
+
+def test_size_counts_header_plus_payload():
+    msg = Message(MsgType.DATA, SENDER, 7, b"x" * 100)
+    assert msg.size == 124
+
+
+def test_roundtrip_preserves_all_fields():
+    msg = Message(MsgType.S_QUERY, SENDER, 3, b"hello world", seq=42)
+    decoded = Message.unpack(msg.pack())
+    assert decoded == msg
+    assert decoded.type == MsgType.S_QUERY
+    assert decoded.sender == SENDER
+    assert decoded.app == 3
+    assert decoded.seq == 42
+    assert decoded.payload == b"hello world"
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(CodecError, match="truncated"):
+        Message.unpack(b"\x00" * 10)
+
+
+def test_payload_length_mismatch_rejected():
+    packed = Message(MsgType.DATA, SENDER, 1, b"abc").pack()
+    with pytest.raises(CodecError, match="mismatch"):
+        Message.unpack(packed + b"extra")
+    with pytest.raises(CodecError, match="mismatch"):
+        Message.unpack(packed[:-1])
+
+
+def test_oversized_declared_payload_rejected():
+    packed = Message(MsgType.DATA, SENDER, 1, b"abcd").pack()
+    with pytest.raises(CodecError, match="exceeds"):
+        Message.unpack(packed, max_payload=3)
+
+
+def test_clone_is_deep_and_equal():
+    msg = Message(MsgType.DATA, SENDER, 1, b"payload", seq=5)
+    clone = msg.clone()
+    assert clone == msg and clone is not msg
+    clone.seq = 6  # the one mutable field must not alias
+    assert msg.seq == 5
+
+
+def test_with_seq_shares_payload_but_not_seq():
+    msg = Message(MsgType.DATA, SENDER, 1, b"payload", seq=1)
+    renumbered = msg.with_seq(9)
+    assert renumbered.payload is msg.payload
+    assert renumbered.seq == 9 and msg.seq == 1
+
+
+def test_fields_roundtrip():
+    msg = Message.with_fields(MsgType.S_JOIN, SENDER, 2, app=2, parent="1.2.3.4:80")
+    assert msg.fields() == {"app": 2, "parent": "1.2.3.4:80"}
+
+
+def test_fields_rejects_non_json_payload():
+    msg = Message(MsgType.DATA, SENDER, 1, b"\xff\xfe binary")
+    with pytest.raises(CodecError):
+        msg.fields()
+
+
+def test_fields_rejects_non_object_json():
+    msg = Message(MsgType.DATA, SENDER, 1, b"[1, 2]")
+    with pytest.raises(CodecError):
+        msg.fields()
+
+
+def test_bad_type_rejected():
+    with pytest.raises(CodecError):
+        Message(-1, SENDER, 1)
+    with pytest.raises(CodecError):
+        Message(2**32, SENDER, 1)
+
+
+def test_non_bytes_payload_rejected():
+    with pytest.raises(CodecError):
+        Message(MsgType.DATA, SENDER, 1, "a string")  # type: ignore[arg-type]
+
+
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF).map(int_to_ip)
+node_ids = st.builds(NodeId, ip=ips, port=st.integers(min_value=0, max_value=0xFFFFFFFF))
+
+
+@given(
+    type_=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    sender=node_ids,
+    app=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    seq=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    payload=st.binary(max_size=4096),
+)
+def test_property_pack_unpack_roundtrip(type_, sender, app, seq, payload):
+    msg = Message(type_, sender, app, payload, seq=seq)
+    assert Message.unpack(msg.pack()) == msg
+
+
+@given(value=st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_property_ip_int_roundtrip(value):
+    assert ip_to_int(int_to_ip(value)) == value
+
+
+def test_ip_validation():
+    with pytest.raises(CodecError):
+        ip_to_int("256.0.0.1")
+    with pytest.raises(CodecError):
+        ip_to_int("not-an-ip")
+    with pytest.raises(CodecError):
+        int_to_ip(-1)
+
+
+def test_node_id_parse_and_str():
+    node = NodeId.parse("10.0.0.1:8080")
+    assert node == NodeId("10.0.0.1", 8080)
+    assert str(node) == "10.0.0.1:8080"
+    with pytest.raises(CodecError):
+        NodeId.parse("nonsense")

@@ -1,0 +1,42 @@
+"""Unit tests for the message-type vocabulary."""
+
+from repro.core.msgtypes import (
+    ALGORITHM_TYPE_BASE,
+    MsgType,
+    is_engine_type,
+    type_name,
+)
+
+
+def test_values_are_unique_and_below_user_range():
+    values = [member.value for member in MsgType]
+    assert len(values) == len(set(values))
+    assert all(value < ALGORITHM_TYPE_BASE for value in values)
+
+
+def test_engine_owned_set():
+    assert is_engine_type(MsgType.TERMINATE)
+    assert is_engine_type(MsgType.SET_BANDWIDTH)
+    assert is_engine_type(MsgType.CONNECT)
+    assert is_engine_type(MsgType.REQUEST)
+    assert is_engine_type(MsgType.HEARTBEAT)
+    # The algorithm must see these:
+    assert not is_engine_type(MsgType.DATA)
+    assert not is_engine_type(MsgType.BOOT_REPLY)  # KnownHosts handling
+    assert not is_engine_type(MsgType.BROKEN_SOURCE)
+    assert not is_engine_type(MsgType.S_DEPLOY)
+    assert not is_engine_type(ALGORITHM_TYPE_BASE + 5)
+
+
+def test_type_name_known_and_user():
+    assert type_name(MsgType.DATA) == "DATA"
+    assert type_name(MsgType.S_FEDERATE) == "S_FEDERATE"
+    assert type_name(ALGORITHM_TYPE_BASE + 42) == f"user({ALGORITHM_TYPE_BASE + 42})"
+
+
+def test_case_study_types_present():
+    """The paper's message vocabulary is covered (Table 2 and Section 3)."""
+    for name in ("S_DEPLOY", "S_TERMINATE", "S_QUERY", "S_QUERY_ACK",
+                 "S_ANNOUNCE", "S_AWARE", "S_FEDERATE", "S_ASSIGN",
+                 "TRACE", "BOOT", "REQUEST", "UP_THROUGHPUT"):
+        assert hasattr(MsgType, name)

@@ -1,0 +1,115 @@
+"""Unit tests for throughput/latency/loss meters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stats import LatencyMeter, LinkStats, LossCounter, ThroughputMeter
+
+
+def test_steady_rate_converges():
+    meter = ThroughputMeter(window=4.0, bucket_span=0.5)
+    # 1000 bytes every 0.1 s = 10 KB/s
+    t = 0.0
+    for _ in range(100):
+        meter.record(1000, t)
+        t += 0.1
+    assert meter.rate(t) == pytest.approx(10_000, rel=0.1)
+
+
+def test_rate_decays_after_traffic_stops():
+    meter = ThroughputMeter(window=4.0, bucket_span=0.5)
+    for i in range(50):
+        meter.record(1000, i * 0.1)
+    busy = meter.rate(5.0)
+    idle = meter.rate(60.0)
+    assert idle < busy / 10
+
+
+def test_totals_never_expire():
+    meter = ThroughputMeter()
+    meter.record(500, 0.0)
+    meter.record(700, 100.0)
+    assert meter.total_bytes == 1200
+    assert meter.total_messages == 2
+
+
+def test_rate_zero_before_any_traffic():
+    meter = ThroughputMeter()
+    assert meter.rate(10.0) == 0.0
+    assert meter.last_activity() is None
+
+
+def test_burst_is_smoothed_over_window():
+    meter = ThroughputMeter(window=4.0, bucket_span=0.5)
+    meter.record(40_000, 10.0)  # one 40 KB burst
+    # Shortly after, the window average is bounded by window length.
+    assert meter.rate(10.1) <= 40_000 / 0.5 + 1
+    assert meter.rate(13.9) == pytest.approx(40_000 / 3.9, rel=0.3)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                          st.integers(min_value=1, max_value=10_000)),
+                min_size=1, max_size=100))
+def test_property_rate_is_nonnegative_and_bounded(events):
+    meter = ThroughputMeter()
+    events.sort()
+    total = 0
+    for t, size in events:
+        meter.record(size, t)
+        total += size
+    last_t = events[-1][0]
+    rate = meter.rate(last_t)
+    assert rate >= 0
+    # Can never exceed everything sent in one minimum-width window.
+    assert rate <= total / meter._bucket_span + 1
+
+
+def test_invalid_meter_config():
+    with pytest.raises(ValueError):
+        ThroughputMeter(window=0)
+    with pytest.raises(ValueError):
+        ThroughputMeter(window=1.0, bucket_span=2.0)
+
+
+def test_latency_first_sample_sets_estimate():
+    meter = LatencyMeter()
+    meter.record(0.2)
+    assert meter.smoothed == pytest.approx(0.2)
+    assert meter.samples == 1
+
+
+def test_latency_ewma_moves_toward_new_samples():
+    meter = LatencyMeter(alpha=0.5)
+    meter.record(0.1)
+    meter.record(0.3)
+    assert meter.smoothed == pytest.approx(0.2)
+
+
+def test_latency_rejects_negative():
+    meter = LatencyMeter()
+    with pytest.raises(ValueError):
+        meter.record(-1.0)
+    with pytest.raises(ValueError):
+        LatencyMeter(alpha=0.0)
+
+
+def test_loss_counter_accumulates():
+    counter = LossCounter()
+    counter.record(5000)
+    counter.record(2500, nmessages=2)
+    assert counter.messages == 3
+    assert counter.bytes == 7500
+
+
+def test_link_stats_snapshot_is_immutable_view():
+    stats = LinkStats()
+    stats.throughput.record(1000, 0.0)
+    stats.latency.record(0.05)
+    stats.loss.record(100)
+    snapshot = stats.snapshot(now=0.5)
+    assert snapshot.total_bytes == 1000
+    assert snapshot.srtt == pytest.approx(0.05)
+    assert snapshot.lost_bytes == 100
+    stats.throughput.record(1000, 1.0)
+    assert snapshot.total_bytes == 1000  # frozen

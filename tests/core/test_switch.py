@@ -1,0 +1,107 @@
+"""Unit tests for the switching bookkeeping (ports, pendings, WRR)."""
+
+import pytest
+
+from repro.core.buffer import CircularBuffer
+from repro.core.ids import NodeId
+from repro.core.switch import PendingForward, ReceiverPort, SwitchScheduler
+
+A = NodeId("10.0.0.1", 7000)
+B = NodeId("10.0.0.2", 7000)
+C = NodeId("10.0.0.3", 7000)
+
+
+def make_port(peer, weight=1, capacity=4):
+    return ReceiverPort(peer=peer, buffer=CircularBuffer(capacity), weight=weight)
+
+
+def test_rotation_covers_every_port_and_rotates():
+    scheduler = SwitchScheduler()
+    for peer in (A, B, C):
+        scheduler.add_port(make_port(peer))
+    first = [port.peer for port in scheduler.rotation()]
+    second = [port.peer for port in scheduler.rotation()]
+    assert set(first) == {A, B, C}
+    assert first != second  # the starting port advances
+    assert set(second) == {A, B, C}
+
+
+def test_no_port_starves_across_rotations():
+    scheduler = SwitchScheduler()
+    for peer in (A, B, C):
+        scheduler.add_port(make_port(peer))
+    leaders = [scheduler.rotation()[0].peer for _ in range(6)]
+    assert set(leaders) == {A, B, C}
+    assert leaders[:3] == leaders[3:]  # deterministic cycle
+
+
+def test_remove_port_keeps_cursor_consistent():
+    scheduler = SwitchScheduler()
+    for peer in (A, B, C):
+        scheduler.add_port(make_port(peer))
+    scheduler.rotation()
+    scheduler.rotation()
+    removed = scheduler.remove_port(A)
+    assert removed is not None and removed.peer == A
+    rotation = [port.peer for port in scheduler.rotation()]
+    assert set(rotation) == {B, C}
+    assert scheduler.remove_port(A) is None
+
+
+def test_duplicate_port_rejected():
+    scheduler = SwitchScheduler()
+    scheduler.add_port(make_port(A))
+    with pytest.raises(ValueError):
+        scheduler.add_port(make_port(A))
+
+
+def test_set_weight_validates_and_applies():
+    scheduler = SwitchScheduler()
+    scheduler.add_port(make_port(A))
+    scheduler.set_weight(A, 5)
+    assert scheduler.get_port(A).weight == 5
+    with pytest.raises(ValueError):
+        scheduler.set_weight(A, 0)
+    with pytest.raises(KeyError):
+        scheduler.set_weight(B, 2)
+
+
+def test_credits_initialized_and_replenished():
+    scheduler = SwitchScheduler()
+    port = make_port(A, weight=3)
+    scheduler.add_port(port)
+    assert port.credit == 3
+    port.credit = 0
+    scheduler.replenish_credits()
+    assert port.credit == 3
+
+
+def test_blocked_port_semantics():
+    port = make_port(A)
+    assert not port.blocked
+    port.pending.append(PendingForward(msg=object(), remaining=[B]))
+    assert port.blocked
+    port.pending[0].remaining.clear()
+    assert not port.blocked
+    port.prune_pending()
+    assert port.pending == []
+
+
+def test_discard_dest_clears_obligations_to_dead_nodes():
+    port = make_port(A)
+    port.pending.append(PendingForward(msg=object(), remaining=[B, C]))
+    port.discard_dest(B)
+    assert port.pending[0].remaining == [C]
+    port.discard_dest(C)
+    assert port.pending == []  # fully pruned
+    assert not port.blocked
+
+
+def test_has_work_reflects_buffer_and_pending():
+    scheduler = SwitchScheduler()
+    port = make_port(A)
+    scheduler.add_port(port)
+    assert not scheduler.has_work()
+    port.buffer.put(object())
+    assert scheduler.has_work()
+    assert scheduler.total_buffered() == 1

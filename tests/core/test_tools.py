@@ -1,0 +1,91 @@
+"""Tests for the scenario runner and CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tools.cli import EXPERIMENTS, main
+from repro.tools.scenario import build_network, load_scenario, run_scenario
+
+
+def minimal_spec(**overrides):
+    spec = {
+        "duration": 10,
+        "nodes": [
+            {"name": "S", "algorithm": "copy_forward", "bandwidth": {"total": 100_000}},
+            {"name": "D", "algorithm": "sink"},
+        ],
+        "edges": [["S", "D"]],
+        "sources": [{"node": "S", "app": 1, "payload_size": 5000}],
+    }
+    spec.update(overrides)
+    return spec
+
+
+def test_scenario_runs_and_reports():
+    report = run_scenario(minimal_spec())
+    assert report.duration == 10
+    assert report.received["D"] > 100
+    assert report.link_rates["S->D"] == pytest.approx(100_000, rel=0.2)
+    assert set(report.alive) == {"S", "D"}
+    parsed = json.loads(report.to_json())
+    assert parsed["received"]["D"] == report.received["D"]
+
+
+def test_scenario_actions_apply_in_order():
+    spec = minimal_spec(duration=30, actions=[
+        {"at": 10, "do": "set_bandwidth", "node": "S", "category": "up", "rate": 20_000},
+        {"at": 20, "do": "terminate", "node": "D"},
+    ])
+    report = run_scenario(spec)
+    assert report.alive == ["S"]
+    # the bandwidth cut plus termination keep totals well below unthrottled
+    assert report.received["D"] < 30 * 20 + 10 * 20 + 50
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ConfigurationError, match="unknown algorithm"):
+        build_network({"nodes": [{"name": "X", "algorithm": "quantum"}]})
+
+
+def test_unknown_action_rejected():
+    spec = minimal_spec(actions=[{"at": 1, "do": "explode", "node": "S"}])
+    with pytest.raises(ConfigurationError, match="unknown action"):
+        run_scenario(spec)
+
+
+def test_load_scenario_validates(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ConfigurationError):
+        load_scenario(bad)
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    with pytest.raises(ConfigurationError):
+        load_scenario(empty)
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(minimal_spec()))
+    assert load_scenario(good)["duration"] == 10
+
+
+def test_cli_scenario_json_output(tmp_path, capsys):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(minimal_spec(duration=5)))
+    assert main(["scenario", str(path), "--json"]) == 0
+    out = capsys.readouterr().out
+    assert json.loads(out)["duration"] == 5
+
+
+def test_cli_experiment_list_and_unknown(capsys):
+    assert main(["experiment", "--list"]) == 0
+    listed = capsys.readouterr().out.split()
+    assert "fig6" in listed and set(listed) == set(EXPERIMENTS)
+    assert main(["experiment", "nope"]) == 2
+
+
+def test_example_scenario_file_is_valid():
+    spec = load_scenario("examples/scenarios/bottleneck.json")
+    report = run_scenario(spec)
+    assert "C" not in report.alive  # the timeline terminated C
+    assert report.link_rates["S->A"] == pytest.approx(60_000, rel=0.25)

@@ -1,0 +1,70 @@
+"""Tests for the experiment-harness utilities and registries."""
+
+import pytest
+
+from repro.experiments.common import KB, Table, fmt_rate, kbps, series_table
+from repro.experiments.fig6_correctness import PAPER_RATES as FIG6_PAPER
+from repro.experiments.fig5_chain import PAPER_CHAIN_SIZES, PAPER_END_TO_END
+from repro.experiments.topologies import NODE_NAMES, SEVEN_NODE_EDGES
+from repro.tools.cli import EXPERIMENTS
+
+
+def test_units():
+    assert kbps(5000.0) == 5.0
+    assert fmt_rate(12_345.0) == "12.3"
+    assert fmt_rate(None) == "[closed]"
+    assert KB == 1000.0
+
+
+def test_table_renders_aligned_rows_and_notes():
+    table = Table("Title", ["a", "bb"])
+    table.add_row(1, "x")
+    table.add_row(100, "longer")
+    table.note("context")
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1] == "====="
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert text.endswith("note: context")
+    # all data lines are equally wide columns
+    assert lines[4].startswith("1 ")
+    assert lines[5].startswith("100")
+
+
+def test_table_rejects_wrong_arity():
+    table = Table("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_series_table_zips_columns():
+    table = series_table("s", "x", {"y1": [1.0, 2.0], "y2": [3.0, 4.0]}, xs=[10, 20])
+    assert table.columns == ["x", "y1", "y2"]
+    assert table.rows == [[10, "1.0", "3.0"], [20, "2.0", "4.0"]]
+
+
+def test_seven_node_topology_shape():
+    assert len(SEVEN_NODE_EDGES) == 9
+    assert NODE_NAMES == "ABCDEFG"
+    # Every node appears; A is the only root (no in-edges).
+    sources = {src for src, _ in SEVEN_NODE_EDGES}
+    sinks = {dst for _, dst in SEVEN_NODE_EDGES}
+    assert sources | sinks == set(NODE_NAMES)
+    assert "A" not in sinks
+    # The paper's expected phase tables cover exactly the topology edges.
+    for phase in "abcd":
+        assert set(FIG6_PAPER[phase]) == set(SEVEN_NODE_EDGES)
+
+
+def test_fig5_paper_reference_is_monotone():
+    values = [PAPER_END_TO_END[n] for n in PAPER_CHAIN_SIZES]
+    assert values == sorted(values, reverse=True)
+
+
+def test_cli_registry_modules_importable():
+    import importlib
+
+    for name, module_path in EXPERIMENTS.items():
+        module = importlib.import_module(module_path)
+        assert hasattr(module, "main"), f"{name} lacks a main()"

@@ -1,0 +1,55 @@
+"""Integration tests for the Fig. 8 butterfly with and without coding."""
+
+import pytest
+
+from repro.experiments.common import KB
+from repro.experiments.topologies import build_butterfly
+
+
+def test_without_coding_receivers_get_partial_streams():
+    deployment = build_butterfly(coding=False, seed=0)
+    net = deployment.net
+    net.observer.deploy_source(deployment.nodes["A"], app=1, payload_size=5000)
+    net.run(25)
+    rates = deployment.effective_rates()
+    assert rates["D"] == pytest.approx(400 * KB, rel=0.1)
+    assert rates["E"] == pytest.approx(200 * KB, rel=0.1)
+    assert rates["F"] == pytest.approx(300 * KB, rel=0.1)
+    assert rates["G"] == pytest.approx(300 * KB, rel=0.1)
+
+
+def test_with_coding_receivers_reach_full_rate():
+    deployment = build_butterfly(coding=True, seed=0)
+    net = deployment.net
+    net.observer.deploy_source(deployment.nodes["A"], app=1, payload_size=5000)
+    net.run(25)
+    rates = deployment.effective_rates()
+    assert rates["D"] == pytest.approx(400 * KB, rel=0.1)
+    assert rates["E"] == pytest.approx(200 * KB, rel=0.1)  # helper node
+    assert rates["F"] == pytest.approx(400 * KB, rel=0.1)
+    assert rates["G"] == pytest.approx(400 * KB, rel=0.1)
+
+
+def test_coding_node_uses_hold_and_combines_pairwise():
+    deployment = build_butterfly(coding=True, seed=0)
+    net = deployment.net
+    net.observer.deploy_source(deployment.nodes["A"], app=1, payload_size=5000)
+    net.run(10)
+    coder = deployment.node_d
+    assert coder.combined > 100
+    # The hold buffer stays small because the two input streams are rate
+    # matched by the topology.
+    assert coder.held_generations < 64
+    assert coder.dropped_generations == 0
+
+
+def test_decoders_fully_reconstruct_generations():
+    deployment = build_butterfly(coding=True, seed=0)
+    net = deployment.net
+    net.observer.deploy_source(deployment.nodes["A"], app=1, payload_size=5000)
+    net.run(15)
+    assert deployment.node_f.decoded_generations > 100
+    assert deployment.node_g.decoded_generations > 100
+    # F sees the original stream a plus coded a+b: nothing it receives is
+    # redundant until a generation completes.
+    assert deployment.node_f.innovative_payloads > deployment.node_f.duplicate_payloads

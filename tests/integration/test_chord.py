@@ -1,0 +1,123 @@
+"""Integration tests: the Chord DHT running on the simulated middleware."""
+
+import math
+
+from repro.algorithms.dht import ChordAlgorithm, ring
+from repro.sim.network import SimNetwork
+
+
+def build_ring(n_nodes, seed=0, stabilize=0.5, settle=40.0):
+    net = SimNetwork()
+    algorithms = []
+    for i in range(n_nodes):
+        algorithm = ChordAlgorithm(stabilize_interval=stabilize, seed=seed + i)
+        net.add_node(algorithm, name=f"chord{i}")
+        algorithms.append(algorithm)
+    net.start()
+    net.run(settle)
+    return net, algorithms
+
+
+def ring_is_consistent(algorithms):
+    """Successor pointers form one cycle covering every node."""
+    by_id = {alg.node_id: alg for alg in algorithms}
+    start = algorithms[0]
+    seen = []
+    current = start
+    for _ in range(len(algorithms) + 1):
+        seen.append(current.node_id)
+        if current.successor is None:
+            return False
+        current = by_id.get(current.successor)
+        if current is None:
+            return False
+        if current is start:
+            break
+    return len(set(seen)) == len(algorithms)
+
+
+def test_ring_converges_after_joins():
+    net, algorithms = build_ring(8)
+    assert ring_is_consistent(algorithms)
+    # Successors agree with the sorted hash order of the ring.
+    ordered = sorted(algorithms, key=lambda a: a.ring_position())
+    for i, algorithm in enumerate(ordered):
+        expected = ordered[(i + 1) % len(ordered)].node_id
+        assert algorithm.successor == expected
+
+
+def test_predecessors_converge_too():
+    net, algorithms = build_ring(6)
+    ordered = sorted(algorithms, key=lambda a: a.ring_position())
+    for i, algorithm in enumerate(ordered):
+        expected = ordered[(i - 1) % len(ordered)].node_id
+        assert algorithm.predecessor == expected
+
+
+def test_put_get_roundtrip_from_any_node():
+    net, algorithms = build_ring(8)
+    algorithms[0].put("alpha", "1")
+    algorithms[3].put("beta", "2")
+    net.run(5)
+    req_a = algorithms[5].get("alpha")
+    req_b = algorithms[7].get("beta")
+    req_missing = algorithms[2].get("never-stored")
+    net.run(5)
+    assert algorithms[5].results[req_a].value == "1"
+    assert algorithms[5].results[req_a].found
+    assert algorithms[7].results[req_b].value == "2"
+    assert not algorithms[2].results[req_missing].found
+
+
+def test_keys_live_at_their_successor():
+    net, algorithms = build_ring(8)
+    keys = [f"key-{i}" for i in range(20)]
+    for i, key in enumerate(keys):
+        algorithms[i % len(algorithms)].put(key, key.upper())
+    net.run(10)
+    ordered = sorted(algorithms, key=lambda a: a.ring_position())
+    for key in keys:
+        key_id = ring.hash_to_id(key)
+        owner = next(
+            (alg for alg in ordered if ring.in_open_closed(
+                key_id,
+                ordered[(ordered.index(alg) - 1) % len(ordered)].ring_position(),
+                alg.ring_position(),
+            )),
+            None,
+        )
+        assert owner is not None
+        assert owner.store.get(key_id) == key.upper()
+
+
+def test_lookup_hops_scale_logarithmically():
+    net, algorithms = build_ring(24, settle=80.0)  # fingers need fixing rounds
+    for i in range(40):
+        algorithms[i % len(algorithms)].lookup(f"probe-{i}")
+    net.run(10)
+    hops = [h for alg in algorithms for h in alg.lookup_hops]
+    assert hops
+    bound = 2 * math.log2(24) + 2
+    assert sum(hops) / len(hops) <= bound
+    assert max(hops) <= 2 * ring.M
+
+
+def test_late_joiner_takes_over_its_keys():
+    net, algorithms = build_ring(6, settle=40.0)
+    for i in range(30):
+        algorithms[0].put(f"item-{i}", str(i))
+    net.run(10)
+    # A new node joins the stabilized ring.
+    newcomer = ChordAlgorithm(stabilize_interval=0.5, seed=999)
+    net.add_node(newcomer, name="latecomer")
+    net.run(40)
+    everyone = algorithms + [newcomer]
+    assert ring_is_consistent(everyone)
+    # The newcomer owns exactly the keys in its arc — and it can serve them.
+    if newcomer.store:
+        req = algorithms[2].get(
+            next(f"item-{i}" for i in range(30)
+                 if ring.hash_to_id(f"item-{i}") in newcomer.store)
+        )
+        net.run(5)
+        assert algorithms[2].results[req].found

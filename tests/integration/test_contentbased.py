@@ -1,0 +1,115 @@
+"""Integration tests: content-based networking over the simulated overlay."""
+
+from repro.algorithms.contentbased import (
+    ContentBasedBroker,
+    ContentBasedClient,
+    Predicate,
+)
+from repro.sim.network import SimNetwork
+
+
+def build_broker_line(n_brokers=3, clients_per_broker=2):
+    """A line of brokers, each with local clients."""
+    net = SimNetwork()
+    brokers = [ContentBasedBroker() for _ in range(n_brokers)]
+    broker_ids = [net.add_node(b, name=f"broker{i}") for i, b in enumerate(brokers)]
+    for i, broker in enumerate(brokers):
+        neighbors = []
+        if i > 0:
+            neighbors.append(broker_ids[i - 1])
+        if i + 1 < n_brokers:
+            neighbors.append(broker_ids[i + 1])
+        broker.set_neighbors(neighbors)
+    clients = []
+    client_ids = []
+    for i in range(n_brokers):
+        for j in range(clients_per_broker):
+            client = ContentBasedClient(broker=broker_ids[i])
+            clients.append(client)
+            client_ids.append(net.add_node(client, name=f"client{i}_{j}"))
+    net.start()
+    net.run(1)
+    return net, brokers, broker_ids, clients, client_ids
+
+
+def test_local_subscription_and_delivery():
+    net, brokers, broker_ids, clients, _ = build_broker_line(n_brokers=1, clients_per_broker=2)
+    clients[0].subscribe(Predicate.of({"topic": ("=", "sports")}))
+    clients[1].subscribe(Predicate.of({"topic": ("=", "news")}))
+    net.run(2)
+    brokers[0].publish({"topic": "sports", "score": 3})
+    brokers[0].publish({"topic": "news", "headline": 1})
+    brokers[0].publish({"topic": "weather"})
+    net.run(2)
+    assert clients[0].delivered.count() == 1
+    assert clients[0].delivered.events[0]["topic"] == "sports"
+    assert clients[1].delivered.count() == 1
+    assert brokers[0].dropped_events == 1  # nobody wants weather
+
+
+def test_subscription_propagates_across_brokers():
+    net, brokers, broker_ids, clients, _ = build_broker_line(n_brokers=3)
+    # Client at broker 2 subscribes; event published at broker 0 must
+    # traverse the whole broker line.
+    far_client = clients[4]  # attached to broker 2
+    far_client.subscribe(Predicate.of({"price": ("<", 100)}))
+    net.run(3)
+    brokers[0].publish({"price": 42})
+    net.run(3)
+    assert far_client.delivered.count() == 1
+    # Clients that never subscribed receive nothing.
+    assert all(c.delivered.count() == 0 for c in clients if c is not far_client)
+
+
+def test_events_only_flow_where_interest_exists():
+    net, brokers, broker_ids, clients, _ = build_broker_line(n_brokers=3)
+    near_client = clients[0]  # attached to broker 0
+    near_client.subscribe(Predicate.of({"kind": ("=", "local")}))
+    net.run(3)
+    brokers[0].publish({"kind": "local"})
+    net.run(2)
+    assert near_client.delivered.count() == 1
+    # Brokers 1 and 2 never saw the event: no interest beyond broker 0.
+    assert brokers[1].forwarded_events == 0
+    assert brokers[2].forwarded_events == 0
+
+
+def test_covering_suppresses_redundant_propagation():
+    net, brokers, broker_ids, clients, _ = build_broker_line(n_brokers=2)
+    a, b = clients[0], clients[1]  # both at broker 0
+    a.subscribe(Predicate.of({"x": ("<", 100)}))
+    net.run(2)
+    b.subscribe(Predicate.of({"x": ("<", 50)}))  # covered by a's interest
+    net.run(2)
+    assert brokers[0].suppressed_subscriptions >= 1
+    # Both still receive matching events routed from the remote broker.
+    brokers[1].publish({"x": 10})
+    net.run(2)
+    assert a.delivered.count() == 1
+    assert b.delivered.count() == 1
+
+
+def test_unsubscribe_stops_delivery():
+    net, brokers, broker_ids, clients, _ = build_broker_line(n_brokers=1)
+    predicate = Predicate.of({"t": ("=", 1)})
+    clients[0].subscribe(predicate)
+    net.run(2)
+    brokers[0].publish({"t": 1})
+    net.run(2)
+    assert clients[0].delivered.count() == 1
+    clients[0].unsubscribe(predicate)
+    net.run(2)
+    brokers[0].publish({"t": 1})
+    net.run(2)
+    assert clients[0].delivered.count() == 1  # no new delivery
+
+
+def test_duplicate_targets_deduplicated():
+    net, brokers, broker_ids, clients, _ = build_broker_line(n_brokers=1)
+    client = clients[0]
+    client.subscribe(Predicate.of({"x": ("<", 10)}))
+    client.subscribe(Predicate.of({"x": (">", 0)}))  # overlapping interests
+    net.run(2)
+    brokers[0].publish({"x": 5})  # matches both subscriptions
+    net.run(2)
+    assert client.delivered.count() == 1  # delivered once, not twice

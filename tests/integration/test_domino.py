@@ -1,0 +1,98 @@
+"""The Domino Effect: source/path failures cascade down, and only down."""
+
+from repro.algorithms.forwarding import CopyForwardAlgorithm, SinkAlgorithm
+from repro.core.bandwidth import BandwidthSpec
+from repro.sim.failure import kill_node
+from repro.sim.network import SimNetwork
+
+KB = 1000.0
+
+
+class _RecordingMixin:
+    def _init_recording(self):
+        self.broken_sources = []
+        self.broken_links = []
+
+    def on_broken_source(self, msg):
+        self.broken_sources.append(msg.fields().get("app"))
+        return super().on_broken_source(msg)
+
+    def on_broken_link(self, msg):
+        self.broken_links.append(msg.fields()["peer"])
+        return super().on_broken_link(msg)
+
+
+class RecordingSink(_RecordingMixin, SinkAlgorithm):
+    def __init__(self):
+        super().__init__()
+        self._init_recording()
+
+
+class RecordingRelay(_RecordingMixin, CopyForwardAlgorithm):
+    def __init__(self):
+        super().__init__()
+        self._init_recording()
+
+
+def build_deep_chain(length=5):
+    """source -> r1 -> r2 -> ... -> sink, all recording failure events."""
+    net = SimNetwork()
+    algorithms = [RecordingRelay() for _ in range(length - 1)] + [RecordingSink()]
+    nodes = []
+    for i, algorithm in enumerate(algorithms):
+        bandwidth = BandwidthSpec(total=100 * KB) if i == 0 else None
+        nodes.append(net.add_node(algorithm, name=f"n{i}", bandwidth=bandwidth))
+    for i in range(length - 1):
+        algorithms[i].set_downstreams([nodes[i + 1]])
+    net.start()
+    net.observer.deploy_source(nodes[0], app=9, payload_size=5000)
+    net.run(5)
+    return net, algorithms, nodes
+
+
+def test_source_node_death_cascades_to_every_descendant():
+    net, algorithms, nodes = build_deep_chain(5)
+    kill_node(net, nodes[0])
+    net.run(5)
+    # Direct child sees the broken link; everyone further down sees the
+    # domino BROKEN_SOURCE for app 9.
+    assert str(nodes[0]) in algorithms[1].broken_links
+    for depth in (2, 3, 4):
+        assert 9 in algorithms[depth].broken_sources, f"depth {depth} missed the domino"
+
+
+def test_midpath_death_notifies_only_downstream():
+    net, algorithms, nodes = build_deep_chain(5)
+    kill_node(net, nodes[2])
+    net.run(5)
+    # Upstream of the failure: a broken *downstream* link, no broken source.
+    assert str(nodes[2]) in algorithms[1].broken_links
+    assert algorithms[1].broken_sources == []
+    assert algorithms[0].broken_sources == []
+    # Downstream: the domino reaches the sink.
+    assert 9 in algorithms[4].broken_sources
+
+
+def test_multipath_node_survives_single_upstream_loss():
+    """A node fed by two upstreams keeps flowing when one dies."""
+    net = SimNetwork()
+    src = CopyForwardAlgorithm()
+    relay_a, relay_b = CopyForwardAlgorithm(), CopyForwardAlgorithm()
+    sink = RecordingSink()
+    n_src = net.add_node(src, name="src", bandwidth=BandwidthSpec(total=100 * KB))
+    n_a = net.add_node(relay_a, name="a")
+    n_b = net.add_node(relay_b, name="b")
+    n_sink = net.add_node(sink, name="sink")
+    src.set_downstreams([n_a, n_b])
+    relay_a.set_downstreams([n_sink])
+    relay_b.set_downstreams([n_sink])
+    net.start()
+    net.observer.deploy_source(n_src, app=3, payload_size=5000)
+    net.run(5)
+    kill_node(net, n_a)
+    net.run(8)
+    # One upstream remains: no BROKEN_SOURCE at the sink, data still flows.
+    assert 3 not in sink.broken_sources
+    before = sink.received
+    net.run(5)
+    assert sink.received > before

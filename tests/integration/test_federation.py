@@ -1,0 +1,171 @@
+"""End-to-end tests of the service-federation case study."""
+
+import random
+
+import pytest
+
+from repro.algorithms.federation import (
+    FederationAlgorithm,
+    FederationDriver,
+    Requirement,
+    RequirementNode,
+)
+from repro.core.bandwidth import BandwidthSpec
+from repro.sim.network import SimNetwork
+
+KB = 1000.0
+
+
+def build_overlay(n=10, policy="sflow", capacities=None, seed=0):
+    net = SimNetwork()
+    algorithms = {}
+    nodes = []
+    rng = random.Random(seed)
+    for i in range(n):
+        capacity = (capacities[i] if capacities else rng.uniform(50, 200)) * KB
+        algorithm = FederationAlgorithm(capacity=capacity, policy=policy, seed=seed + i)
+        node = net.add_node(algorithm, name=f"n{i}", bandwidth=BandwidthSpec(up=capacity))
+        algorithms[node] = algorithm
+        nodes.append(node)
+    net.start()
+    net.run(1.0)
+    return net, FederationDriver(net, algorithms), nodes, algorithms
+
+
+def test_assignment_and_awareness_propagate():
+    net, driver, nodes, algorithms = build_overlay(n=8)
+    driver.assign(nodes[1], service_type=1)
+    driver.assign(nodes[2], service_type=2)
+    driver.assign(nodes[3], service_type=2)
+    net.run(10)
+    assert 1 in algorithms[nodes[1]].hosted
+    # Other nodes learned about the type-2 hosts through sAware dissemination.
+    aware_of_2 = [
+        alg for alg in algorithms.values()
+        if {n for n in alg.directory.get(2, {})} & {nodes[2], nodes[3]}
+    ]
+    assert len(aware_of_2) >= 4
+
+
+def test_path_requirement_federates_end_to_end():
+    net, driver, nodes, algorithms = build_overlay(n=10)
+    driver.assign(nodes[0], service_type=1)
+    driver.assign(nodes[3], service_type=2)
+    driver.assign(nodes[4], service_type=2)
+    driver.assign(nodes[6], service_type=3)
+    driver.assign(nodes[7], service_type=3)
+    net.run(15)
+    requirement = Requirement.path([1, 2, 3])
+    session = driver.federate(nodes[0], requirement)
+    net.run(10)
+    outcome = driver.outcome(session, nodes[0], requirement)
+    assert outcome.completed
+    assert len(outcome.paths) == 1
+    path = outcome.paths[0]
+    assert path[0] == nodes[0]
+    assert len(path) == 3
+    assert path[1] in (nodes[3], nodes[4])
+    assert path[2] in (nodes[6], nodes[7])
+    assert outcome.end_to_end > 0
+
+
+def test_forked_requirement_reaches_both_sinks():
+    net, driver, nodes, algorithms = build_overlay(n=12)
+    driver.assign(nodes[0], service_type=1)
+    for i in (2, 3):
+        driver.assign(nodes[i], service_type=2)
+    for i in (5, 6):
+        driver.assign(nodes[i], service_type=3)
+    for i in (8, 9):
+        driver.assign(nodes[i], service_type=4)
+    net.run(15)
+    requirement = Requirement(
+        nodes={
+            0: RequirementNode(0, 1, (1, 2)),
+            1: RequirementNode(1, 3, ()),
+            2: RequirementNode(2, 4, ()),
+        },
+        root=0,
+    )
+    requirement.validate()
+    session = driver.federate(nodes[0], requirement)
+    net.run(10)
+    outcome = driver.outcome(session, nodes[0], requirement)
+    assert outcome.completed
+    assert len(outcome.paths) == 2
+
+
+def test_missing_service_type_reports_failure():
+    net, driver, nodes, algorithms = build_overlay(n=6)
+    driver.assign(nodes[0], service_type=1)
+    net.run(5)
+    requirement = Requirement.path([1, 99])  # type 99 hosted nowhere
+    session = driver.federate(nodes[0], requirement)
+    net.run(10)
+    outcome = driver.outcome(session, nodes[0], requirement)
+    assert not outcome.completed
+    assert outcome.failed_branches == 1
+
+
+def test_sflow_balances_load_vs_fixed():
+    """With many sessions, sflow spreads across type-2 instances while
+    fixed always picks the highest-capacity instance."""
+    capacities = [100, 100, 150, 100, 100, 100, 100, 100]
+
+    def run(policy):
+        net, driver, nodes, algorithms = build_overlay(
+            n=8, policy=policy, capacities=capacities, seed=3
+        )
+        driver.assign(nodes[0], service_type=1)
+        driver.assign(nodes[2], service_type=2)  # the high-capacity instance
+        driver.assign(nodes[3], service_type=2)
+        driver.assign(nodes[4], service_type=2)
+        driver.assign(nodes[6], service_type=3)
+        net.run(15)
+        requirement = Requirement.path([1, 2, 3])
+        chosen = []
+        for _ in range(9):
+            session = driver.federate(nodes[0], requirement)
+            net.run(12)  # let refreshes update load info between sessions
+            outcome = driver.outcome(session, nodes[0], requirement)
+            if outcome.paths:
+                chosen.append(outcome.paths[0][1])
+        return chosen, nodes
+
+    fixed_choice, nodes = run("fixed")
+    assert set(fixed_choice) == {nodes[2]}  # always the 150 KB/s host
+    sflow_choice, nodes = run("sflow")
+    assert len(set(sflow_choice)) >= 2  # load spreads
+
+
+def test_data_stream_flows_through_federated_path():
+    net, driver, nodes, algorithms = build_overlay(n=8, capacities=[100] * 8)
+    driver.assign(nodes[0], service_type=1)
+    driver.assign(nodes[3], service_type=2)
+    driver.assign(nodes[5], service_type=3)
+    net.run(15)
+    requirement = Requirement.path([1, 2, 3])
+    session = driver.federate(nodes[0], requirement)
+    net.run(5)
+    outcome = driver.outcome(session, nodes[0], requirement)
+    assert outcome.completed
+    sink = outcome.paths[0][-1]
+    net.observer.deploy_source(nodes[0], app=session, payload_size=2000)
+    net.run(10)
+    assert algorithms[sink].receive_rate() > 10 * KB
+
+
+def test_overhead_accounting_nonzero_and_attributed():
+    net, driver, nodes, algorithms = build_overlay(n=8)
+    driver.assign(nodes[0], service_type=1)
+    driver.assign(nodes[2], service_type=2)
+    net.run(10)
+    aware = driver.total_overhead("aware")
+    assert aware > 0
+    requirement = Requirement.path([1, 2])
+    driver.federate(nodes[0], requirement)
+    net.run(5)
+    federate = driver.total_overhead("federate")
+    assert federate > 0
+    # sFederate traffic is small compared to dissemination traffic.
+    assert federate < aware

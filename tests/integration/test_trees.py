@@ -1,0 +1,47 @@
+"""Integration tests of the tree-construction case study."""
+
+import pytest
+
+from repro.experiments.fig9_table3_trees import LAST_MILE, run_tree_session
+
+
+def test_unicast_builds_a_star():
+    run = run_tree_session("unicast", seed=0, settle=20)
+    assert run.is_spanning_tree()
+    assert all(parent == "S" for parent, _ in run.edges)
+    assert run.degree["S"] == 4
+
+
+def test_ns_aware_matches_paper_tree():
+    """The paper's Fig. 9(g): S -> {A, D}, A -> {B, C}."""
+    run = run_tree_session("ns-aware", seed=1, settle=20)
+    assert run.is_spanning_tree()
+    assert sorted(run.edges) == [("A", "B"), ("A", "C"), ("S", "A"), ("S", "D")]
+
+
+def test_ns_aware_throughput_doubles_unicast():
+    unicast = run_tree_session("unicast", seed=1, settle=25)
+    ns_aware = run_tree_session("ns-aware", seed=1, settle=25)
+    for node in "ABCD":
+        assert ns_aware.throughput[node] > 1.6 * unicast.throughput[node]
+    # Paper's numbers: ~100 KB/s each for ns-aware, ~50 KB/s for unicast.
+    assert ns_aware.throughput["A"] == pytest.approx(100_000, rel=0.15)
+    assert unicast.throughput["A"] == pytest.approx(50_000, rel=0.15)
+
+
+def test_randomized_builds_some_spanning_tree():
+    run = run_tree_session("random", seed=1, settle=20)
+    assert run.is_spanning_tree()
+
+
+def test_stress_accounting_matches_definition():
+    run = run_tree_session("ns-aware", seed=1, settle=20)
+    for node in "SABCD":
+        expected = run.degree[node] / (LAST_MILE[node] / 100.0)
+        assert run.stress[node] == pytest.approx(expected)
+
+
+def test_total_degree_is_twice_edges():
+    for policy in ("unicast", "random", "ns-aware"):
+        run = run_tree_session(policy, seed=1, settle=15)
+        assert sum(run.degree.values()) == 2 * len(run.edges)

@@ -1,0 +1,191 @@
+"""Integration tests of the asyncio engine over real localhost sockets."""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.algorithms.forwarding import ChainRelayAlgorithm, CopyForwardAlgorithm, SinkAlgorithm
+from repro.core.bandwidth import BandwidthSpec
+from repro.core.ids import NodeId
+from repro.net.engine import AsyncioEngine, NetEngineConfig
+from repro.net.observer_server import ObserverServer
+from repro.net.proxy import ObserverProxy
+
+_PORTS = itertools.count(42000)
+
+
+def next_addr() -> NodeId:
+    return NodeId("127.0.0.1", next(_PORTS))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start_engines(*pairs, observer=None):
+    engines = []
+    for algorithm, config in pairs:
+        engine = AsyncioEngine(
+            next_addr(), algorithm,
+            observer_addr=observer.addr if observer else None,
+            config=config,
+        )
+        await engine.start()
+        engines.append(engine)
+    return engines
+
+
+def test_two_node_data_flow():
+    async def scenario():
+        src_alg, dst_alg = CopyForwardAlgorithm(), SinkAlgorithm()
+        src, dst = await start_engines((src_alg, None), (dst_alg, None))
+        src_alg.set_downstreams([dst.node_id])
+        src.start_source(app=1, payload_size=2000)
+        await asyncio.sleep(0.5)
+        await src.stop()
+        await dst.stop()
+        return dst_alg.received
+
+    received = run(scenario())
+    assert received > 10
+
+
+def test_chain_preserves_order_and_counts():
+    async def scenario():
+        algs = [ChainRelayAlgorithm() for _ in range(3)]
+        seqs = []
+
+        class OrderSink(SinkAlgorithm):
+            def on_data(self, msg):
+                seqs.append(msg.seq)
+                return super().on_data(msg)
+
+        sink = OrderSink()
+        engines = await start_engines(*((a, None) for a in algs), (sink, None))
+        for i in range(2):
+            algs[i].set_next_hop(engines[i + 1].node_id)
+        algs[2].set_next_hop(engines[3].node_id)
+        engines[0].start_source(app=1, payload_size=1000)
+        await asyncio.sleep(0.7)
+        for engine in engines:
+            await engine.stop()
+        return seqs
+
+    seqs = run(scenario())
+    assert len(seqs) > 10
+    assert seqs == list(range(len(seqs)))
+
+
+def test_bandwidth_throttle_limits_rate():
+    async def scenario():
+        src_alg, dst_alg = CopyForwardAlgorithm(), SinkAlgorithm()
+        config = NetEngineConfig(bandwidth=BandwidthSpec(up=100_000.0))
+        src, dst = await start_engines((src_alg, config), (dst_alg, None))
+        src_alg.set_downstreams([dst.node_id])
+        src.start_source(app=1, payload_size=5000)
+        await asyncio.sleep(1.5)
+        received_bytes = dst_alg.received_bytes
+        await src.stop()
+        await dst.stop()
+        return received_bytes / 1.5
+
+    rate = run(scenario())
+    assert rate == pytest.approx(100_000.0, rel=0.35)
+
+
+def test_peer_failure_detected_and_reported():
+    async def scenario():
+        src_alg, dst_alg = CopyForwardAlgorithm(), SinkAlgorithm()
+        src, dst = await start_engines((src_alg, None), (dst_alg, None))
+        src_alg.set_downstreams([dst.node_id])
+        src.start_source(app=1, payload_size=1000)
+        await asyncio.sleep(0.3)
+        await dst.stop()  # abrupt departure from src's point of view
+        await asyncio.sleep(0.5)
+        gone = dst.node_id not in src.downstreams()
+        dropped = dst.node_id not in src_alg.downstream_targets
+        await src.stop()
+        return gone, dropped
+
+    gone, dropped = run(scenario())
+    assert gone and dropped
+
+
+def test_observer_bootstrap_status_and_trace():
+    async def scenario():
+        observer = ObserverServer(next_addr(), poll_interval=0.2)
+        await observer.start()
+        src_alg, dst_alg = CopyForwardAlgorithm(), SinkAlgorithm()
+        src, dst = await start_engines((src_alg, None), (dst_alg, None), observer=observer)
+        await asyncio.sleep(0.3)
+        alive = set(observer.observer.alive)
+        src_alg.set_downstreams([dst.node_id])
+        src.start_source(app=1, payload_size=1000)
+        src_alg.trace("live trace line")
+        await asyncio.sleep(0.8)
+        statuses = dict(observer.observer.statuses)
+        traces = observer.observer.traces.matching("live trace line")
+        await src.stop()
+        await dst.stop()
+        await observer.stop()
+        return alive, statuses, traces, src.node_id, dst.node_id
+
+    alive, statuses, traces, src_id, dst_id = run(scenario())
+    assert {src_id, dst_id} <= alive
+    assert src_id in statuses and dst_id in statuses[src_id].downstreams
+    assert len(traces) == 1
+
+
+def test_observer_control_deploys_source_remotely():
+    async def scenario():
+        observer = ObserverServer(next_addr(), poll_interval=0.2)
+        await observer.start()
+        src_alg, dst_alg = CopyForwardAlgorithm(), SinkAlgorithm()
+        src, dst = await start_engines((src_alg, None), (dst_alg, None), observer=observer)
+        src_alg.set_downstreams([dst.node_id])
+        await asyncio.sleep(0.2)
+        observer.observer.deploy_source(src.node_id, app=3, payload_size=1000)
+        await asyncio.sleep(0.6)
+        received = dst_alg.received
+        observer.observer.terminate_node(src.node_id)
+        await asyncio.sleep(0.4)
+        src_running = src.running
+        await dst.stop()
+        await observer.stop()
+        if src_running:
+            await src.stop()
+        return received, src_running
+
+    received, src_running = run(scenario())
+    assert received > 5
+    assert not src_running
+
+
+def test_proxy_relays_boot_status_and_control():
+    async def scenario():
+        observer = ObserverServer(next_addr(), poll_interval=0.2)
+        await observer.start()
+        proxy = ObserverProxy(next_addr(), observer.addr)
+        await proxy.start()
+        alg = SinkAlgorithm()
+        (engine,) = await start_engines((alg, None), observer=proxy)
+        await asyncio.sleep(0.6)
+        alive = set(observer.observer.alive)
+        statuses = dict(observer.observer.statuses)
+        # Downstream control through the proxy: terminate the node.
+        observer.observer.terminate_node(engine.node_id)
+        await asyncio.sleep(0.4)
+        running = engine.running
+        relayed = (proxy.relayed_up, proxy.relayed_down)
+        if running:
+            await engine.stop()
+        await proxy.stop()
+        await observer.stop()
+        return alive, statuses, running, relayed, engine.node_id
+
+    alive, statuses, running, relayed, node_id = run(scenario())
+    assert node_id in alive
+    assert node_id in statuses
+    assert not running
+    assert relayed[0] > 0 and relayed[1] > 0

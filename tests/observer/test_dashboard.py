@@ -1,0 +1,83 @@
+"""Tests for the headless observer dashboard."""
+
+from repro.algorithms.forwarding import CopyForwardAlgorithm, SinkAlgorithm
+from repro.core.bandwidth import BandwidthSpec
+from repro.observer.dashboard import (
+    render_dashboard,
+    render_edges,
+    render_nodes,
+    render_tree,
+)
+from repro.sim.network import SimNetwork
+
+KB = 1000.0
+
+
+def build_running_net():
+    net = SimNetwork()
+    src_alg, mid_alg, sink = CopyForwardAlgorithm(), CopyForwardAlgorithm(), SinkAlgorithm()
+    src = net.add_node(src_alg, name="S", bandwidth=BandwidthSpec(total=100 * KB))
+    mid = net.add_node(mid_alg, name="M")
+    dst = net.add_node(sink, name="D")
+    src_alg.set_downstreams([mid])
+    mid_alg.set_downstreams([dst])
+    net.start()
+    net.observer.deploy_source(src, app=1, payload_size=5000)
+    net.run(6)
+    labels = {node: name for name, node in net.names.items()}
+    return net, labels, (src, mid, dst)
+
+
+def test_render_nodes_has_rates_and_apps():
+    net, labels, _ = build_running_net()
+    text = render_nodes(net.observer, labels)
+    assert "S" in text and "M" in text and "D" in text
+    assert "1" in text  # the deployed app id
+    # Source pushes ~100 KB/s out.
+    source_line = next(line for line in text.splitlines() if line.startswith("S "))
+    assert "10" in source_line
+
+
+def test_render_edges_lists_links():
+    net, labels, _ = build_running_net()
+    text = render_edges(net.observer, labels)
+    assert "S -> M" in text
+    assert "M -> D" in text
+    assert "KB/s" in text
+
+
+def test_render_tree_ascii_shape():
+    net, labels, (src, mid, dst) = build_running_net()
+    text = render_tree(net.observer.topology(), src, labels)
+    lines = text.splitlines()
+    assert lines[0] == "S"
+    assert any("`-- M" in line for line in lines)
+    assert any("`-- D" in line for line in lines)
+
+
+def test_render_tree_falls_back_on_non_tree():
+    net, labels, (src, mid, dst) = build_running_net()
+    # Ask for a tree rooted at the sink: not a tree from there.
+    text = render_tree(net.observer.topology(), dst, labels)
+    assert "->" in text  # edge-list fallback
+
+
+def test_full_dashboard_includes_traces():
+    net, labels, (src, _, _) = build_running_net()
+    algorithm = net.engine(src).algorithm
+    algorithm.trace("checkpoint reached")
+    net.run(1)
+    text = render_dashboard(net.observer, labels, root=src)
+    assert "== nodes ==" in text
+    assert "== overlay links ==" in text
+    assert "== dissemination tree ==" in text
+    assert "checkpoint reached" in text
+
+
+def test_dashboard_with_no_statuses_yet():
+    net = SimNetwork()
+    net.add_node(SinkAlgorithm(), name="lonely")
+    net.start()
+    net.run(0.1)  # booted, but not polled yet
+    text = render_dashboard(net.observer)
+    assert "(no links reported)" in text

@@ -1,0 +1,146 @@
+"""Unit tests for the transport-agnostic observer core."""
+
+import pytest
+
+from repro.core.ids import CONTROL_APP, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.observer.observer import Observer
+
+N = [NodeId("10.0.0.1", 7000 + i) for i in range(12)]
+
+
+class StubTransport:
+    def __init__(self):
+        self.sent = []
+        self.clock = 0.0
+
+    def observer_send(self, node, msg):
+        self.sent.append((node, msg))
+
+    def observer_now(self):
+        return self.clock
+
+
+@pytest.fixture
+def observer():
+    return Observer(StubTransport(), bootstrap_fanout=3, seed=0)
+
+
+def boot(node):
+    return Message.with_fields(MsgType.BOOT, node, CONTROL_APP, node=str(node))
+
+
+def test_boot_registers_and_replies_with_subset(observer):
+    transport = observer._transport
+    for node in N[:5]:
+        observer.on_message(boot(node))
+    assert list(observer.alive) == N[:5]
+    # The first booter got an empty host list, later ones get peers.
+    first_dest, first_reply = transport.sent[0]
+    assert first_dest == N[0]
+    assert first_reply.fields()["hosts"] == []
+    last_dest, last_reply = transport.sent[4]
+    hosts = last_reply.fields()["hosts"]
+    assert 1 <= len(hosts) <= 3  # fanout-bounded
+    assert str(N[4]) not in hosts  # never includes the requester
+
+
+def test_boot_is_idempotent(observer):
+    observer.on_message(boot(N[0]))
+    observer.on_message(boot(N[0]))
+    assert list(observer.alive) == [N[0]]
+    assert observer.boot_count == 2
+
+
+def test_status_parsed_and_stored(observer):
+    observer._transport.clock = 12.5
+    status = Message.with_fields(
+        MsgType.STATUS, N[0], CONTROL_APP,
+        node=str(N[0]),
+        upstreams=[str(N[1])],
+        downstreams=[str(N[2])],
+        recv_buffers={str(N[1]): 3},
+        send_buffers={str(N[2]): 4},
+        recv_rates={str(N[1]): 1000.0},
+        send_rates={str(N[2]): 2000.0},
+        apps=[1, 2],
+    )
+    observer.on_message(status)
+    stored = observer.statuses[N[0]]
+    assert stored.received_at == 12.5
+    assert stored.upstreams == [N[1]]
+    assert stored.downstreams == [N[2]]
+    assert stored.total_buffered == 7
+    assert stored.apps == [1, 2]
+
+
+def test_trace_recorded_with_time_and_node(observer):
+    observer._transport.clock = 3.0
+    observer.on_message(Message(MsgType.TRACE, N[0], 7, b"something happened"))
+    records = list(observer.traces)
+    assert len(records) == 1
+    assert records[0].time == 3.0
+    assert records[0].node == N[0]
+    assert records[0].app == 7
+    assert records[0].text == "something happened"
+
+
+def test_unknown_message_types_ignored(observer):
+    observer.on_message(Message(9999, N[0], 0, b""))
+    assert not observer.alive and not observer.statuses
+
+
+def test_poll_all_requests_every_alive_node(observer):
+    for node in N[:4]:
+        observer.on_message(boot(node))
+    observer._transport.sent.clear()
+    count = observer.poll_all()
+    assert count == 4
+    requests = [(dest, msg) for dest, msg in observer._transport.sent]
+    assert {dest for dest, _ in requests} == set(N[:4])
+    assert all(msg.type == MsgType.REQUEST for _, msg in requests)
+
+
+def test_mark_down_forgets_node(observer):
+    observer.on_message(boot(N[0]))
+    observer.mark_down(N[0])
+    assert N[0] not in observer.alive
+    observer.mark_down(N[0])  # idempotent
+
+
+def test_control_panel_message_shapes(observer):
+    transport = observer._transport
+    observer.deploy_source(N[0], app=4, payload_size=1000)
+    observer.terminate_source(N[0], app=4)
+    observer.terminate_node(N[0])
+    observer.connect(N[0], N[1])
+    observer.disconnect(N[0], N[1])
+    observer.set_node_bandwidth(N[0], "up", 1000.0)
+    observer.set_link_bandwidth(N[0], N[1], 2000.0)
+    observer.send_control(N[0], type_=9, param1=1, param2=2)
+    types = [msg.type for _, msg in transport.sent]
+    assert types == [
+        MsgType.S_DEPLOY, MsgType.S_TERMINATE, MsgType.TERMINATE,
+        MsgType.CONNECT, MsgType.DISCONNECT, MsgType.SET_BANDWIDTH,
+        MsgType.SET_BANDWIDTH, MsgType.CONTROL,
+    ]
+    control = transport.sent[-1][1].fields()
+    assert (control["type"], control["param1"], control["param2"]) == (9, 1, 2)
+
+
+def test_bandwidth_category_validated(observer):
+    with pytest.raises(ValueError):
+        observer.set_node_bandwidth(N[0], "sideways", 1.0)
+
+
+def test_topology_snapshot_from_statuses(observer):
+    for node, downstream in [(N[0], N[1]), (N[1], N[2])]:
+        observer.on_message(Message.with_fields(
+            MsgType.STATUS, node, CONTROL_APP,
+            node=str(node), downstreams=[str(downstream)],
+            send_rates={str(downstream): 5000.0},
+        ))
+    topology = observer.topology()
+    assert [(e.src, e.dst) for e in topology.edges] == [(N[0], N[1]), (N[1], N[2])]
+    assert topology.edges[0].rate == 5000.0

@@ -1,0 +1,82 @@
+"""Unit tests for topology snapshots (degree, tree check, DOT export)."""
+
+from repro.core.ids import CONTROL_APP, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.observer.status import NodeStatus
+from repro.observer.topology import TopologySnapshot
+
+N = [NodeId("10.0.0.1", 7000 + i) for i in range(5)]
+
+
+def status(node, downstreams, rates=None):
+    msg = Message.with_fields(
+        MsgType.STATUS, node, CONTROL_APP,
+        node=str(node),
+        downstreams=[str(d) for d in downstreams],
+        send_rates={str(d): (rates or {}).get(d, 0.0) for d in downstreams},
+    )
+    return NodeStatus.from_message(msg, received_at=0.0)
+
+
+def tree_snapshot():
+    # N0 -> N1, N0 -> N2, N1 -> N3, N1 -> N4
+    return TopologySnapshot({
+        N[0]: status(N[0], [N[1], N[2]], rates={N[1]: 100.0, N[2]: 200.0}),
+        N[1]: status(N[1], [N[3], N[4]]),
+        N[2]: status(N[2], []),
+        N[3]: status(N[3], []),
+        N[4]: status(N[4], []),
+    })
+
+
+def test_degrees():
+    topo = tree_snapshot()
+    assert topo.out_degree(N[0]) == 2 and topo.in_degree(N[0]) == 0
+    assert topo.degree(N[1]) == 3  # one parent + two children
+    assert topo.degree(N[3]) == 1
+
+
+def test_children_and_parents():
+    topo = tree_snapshot()
+    assert topo.children(N[0]) == [N[1], N[2]]
+    assert topo.parents(N[3]) == [N[1]]
+
+
+def test_is_tree_rooted_at():
+    topo = tree_snapshot()
+    assert topo.is_tree_rooted_at(N[0])
+    assert not topo.is_tree_rooted_at(N[1])
+
+
+def test_cycle_is_not_a_tree():
+    topo = TopologySnapshot({
+        N[0]: status(N[0], [N[1]]),
+        N[1]: status(N[1], [N[0]]),
+    })
+    assert not topo.is_tree_rooted_at(N[0])
+
+
+def test_disconnected_graph_is_not_a_tree():
+    topo = TopologySnapshot({
+        N[0]: status(N[0], [N[1]]),
+        N[1]: status(N[1], []),
+        N[2]: status(N[2], []),  # unreachable and parentless
+    })
+    assert not topo.is_tree_rooted_at(N[0])
+
+
+def test_dot_export_contains_every_edge_and_label():
+    topo = tree_snapshot()
+    dot = topo.to_dot(labels={N[0]: "source"})
+    assert dot.startswith("digraph")
+    assert '"10.0.0.1:7000" -> "10.0.0.1:7001"' in dot
+    assert 'label="source"' in dot
+    assert "0.1 KB/s" in dot  # the 100 B/s edge
+
+
+def test_edge_list_is_sorted_and_stringified():
+    topo = tree_snapshot()
+    edges = topo.to_edge_list()
+    assert edges == sorted(edges)
+    assert edges[0][0] == "10.0.0.1:7000"

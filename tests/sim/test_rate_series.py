@@ -1,0 +1,61 @@
+"""Edge-case tests for RateSeries convergence detection and tool registry."""
+
+import pytest
+
+from repro.sim.monitor import RateSeries
+from repro.core.ids import NodeId
+
+A = NodeId("10.0.0.1", 7000)
+B = NodeId("10.0.0.2", 7000)
+
+
+def series_with(rates, period=1.0):
+    series = RateSeries(A, B)
+    for i, rate in enumerate(rates):
+        series.times.append(i * period)
+        series.rates.append(rate)
+    return series
+
+
+def test_time_to_reach_requires_hold():
+    # One sample at target is not convergence; three consecutive are.
+    series = series_with([0, 100, 0, 100, 100, 100, 100])
+    assert series.time_to_reach(100, hold=3) == 3.0
+
+
+def test_time_to_reach_tolerance_band():
+    series = series_with([0, 90, 95, 105, 110])
+    assert series.time_to_reach(100, tolerance=0.15, hold=3) == 1.0
+    assert series.time_to_reach(100, tolerance=0.01, hold=3) is None
+
+
+def test_time_to_reach_zero_target():
+    series = series_with([50, 10, 0, 0, 0])
+    assert series.time_to_reach(0.0, hold=3) == 2.0
+
+
+def test_never_converges():
+    series = series_with([1, 2, 3, 4, 5])
+    assert series.time_to_reach(100) is None
+    assert series_with([]).time_to_reach(5) is None
+
+
+def test_latest():
+    assert series_with([1, 2, 7]).latest() == 7
+    assert series_with([]).latest() == 0.0
+
+
+def test_all_registered_scenario_algorithms_instantiate():
+    from repro.tools.scenario import ALGORITHMS
+    from repro.core.algorithm import Algorithm
+
+    for name, factory in ALGORITHMS.items():
+        instance = factory({"seed": 1})
+        assert isinstance(instance, Algorithm), name
+
+
+def test_registered_tree_factories_accept_last_mile():
+    from repro.tools.scenario import ALGORITHMS
+
+    tree = ALGORITHMS["tree_ns_aware"]({"last_mile": 123_000.0})
+    assert tree.last_mile == pytest.approx(123_000.0)

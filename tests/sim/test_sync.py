@@ -1,0 +1,176 @@
+"""Unit tests for SimQueue and SimEvent."""
+
+import pytest
+
+from repro.errors import BufferClosedError
+from repro.sim.kernel import Kernel
+from repro.sim.sync import SimEvent, SimQueue
+
+
+def test_queue_fifo_order():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=10)
+
+    async def scenario():
+        for i in range(5):
+            await queue.put(i)
+        return [await queue.get() for _ in range(5)]
+
+    assert kernel.run_until_complete(scenario()) == [0, 1, 2, 3, 4]
+
+
+def test_put_blocks_until_space():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=1)
+    log = []
+
+    async def producer():
+        await queue.put("first")
+        log.append(("put-first", kernel.now))
+        await queue.put("second")  # blocks until the consumer gets
+        log.append(("put-second", kernel.now))
+
+    async def consumer():
+        await kernel.sleep(5)
+        item = await queue.get()
+        log.append(("got", item, kernel.now))
+
+    kernel.spawn(producer())
+    kernel.spawn(consumer())
+    kernel.run()
+    assert log == [("put-first", 0.0), ("got", "first", 5.0), ("put-second", 5.0)]
+
+
+def test_get_blocks_until_item():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=1)
+
+    async def consumer():
+        item = await queue.get()
+        return item, kernel.now
+
+    async def producer():
+        await kernel.sleep(3)
+        await queue.put("x")
+
+    kernel.spawn(producer())
+    assert kernel.run_until_complete(consumer()) == ("x", 3.0)
+
+
+def test_multiple_blocked_getters_fifo():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=5)
+    received = []
+
+    async def consumer(name):
+        item = await queue.get()
+        received.append((name, item))
+
+    async def producer():
+        await kernel.sleep(1)
+        await queue.put("a")
+        await kernel.sleep(1)
+        await queue.put("b")
+
+    kernel.spawn(consumer("c1"))
+    kernel.spawn(consumer("c2"))
+    kernel.spawn(producer())
+    kernel.run()
+    assert received == [("c1", "a"), ("c2", "b")]
+
+
+def test_close_fails_blocked_putter():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=1)
+    outcome = []
+
+    async def producer():
+        await queue.put(1)
+        try:
+            await queue.put(2)
+        except BufferClosedError:
+            outcome.append("closed")
+
+    kernel.spawn(producer())
+    kernel.call_at(1.0, queue.close)
+    kernel.run()
+    assert outcome == ["closed"]
+
+
+def test_close_drains_remaining_items_then_raises():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=5)
+
+    async def scenario():
+        await queue.put("leftover")
+        queue.close()
+        first = await queue.get()
+        try:
+            await queue.get()
+        except BufferClosedError:
+            return first, "raised"
+        return first, "no-raise"
+
+    assert kernel.run_until_complete(scenario()) == ("leftover", "raised")
+
+
+def test_cancelled_getter_does_not_steal_items():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=5)
+    received = []
+
+    async def doomed():
+        received.append(await queue.get())
+
+    async def survivor():
+        received.append(("survivor", await queue.get()))
+
+    doomed_task = kernel.spawn(doomed())
+    kernel.spawn(survivor())
+    kernel.call_at(1.0, doomed_task.cancel)
+
+    async def producer():
+        await kernel.sleep(2)
+        await queue.put("item")
+
+    kernel.spawn(producer())
+    kernel.run()
+    assert received == [("survivor", "item")]
+
+
+def test_put_nowait_and_get_nowait():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=1)
+    assert queue.put_nowait("a") is True
+    assert queue.put_nowait("b") is False
+    assert queue.get_nowait() == "a"
+    with pytest.raises(IndexError):
+        queue.get_nowait()
+
+
+def test_event_wait_and_set():
+    kernel = Kernel()
+    event = SimEvent(kernel)
+    log = []
+
+    async def waiter():
+        await event.wait()
+        log.append(kernel.now)
+
+    kernel.spawn(waiter())
+    kernel.call_at(4.0, event.set)
+    kernel.run()
+    assert log == [4.0]
+    assert event.is_set
+
+
+def test_event_wait_returns_immediately_when_set():
+    kernel = Kernel()
+    event = SimEvent(kernel)
+    event.set()
+
+    async def waiter():
+        await event.wait()
+        return kernel.now
+
+    assert kernel.run_until_complete(waiter()) == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for the synthetic PlanetLab testbed."""
+
+import pytest
+
+from repro.algorithms.forwarding import SinkAlgorithm
+from repro.testbed.latency import LatencyMatrix, great_circle_km, one_way_latency
+from repro.testbed.planetlab import PlanetLabTestbed
+from repro.testbed.sites import SITES, north_american_sites, sites_by_region
+
+
+def test_site_catalog_has_wide_coverage():
+    assert len(SITES) >= 40
+    regions = {site.region for site in SITES}
+    assert {"na-east", "na-west", "eu", "asia"} <= regions
+    assert len(north_american_sites()) >= 20
+    assert all(site.region == "eu" for site in sites_by_region("eu"))
+
+
+def test_great_circle_known_distances():
+    mit = next(site for site in SITES if site.name == "mit")
+    berkeley = next(site for site in SITES if site.name == "berkeley")
+    cambridge = next(site for site in SITES if site.name == "cambridge")
+    # Boston <-> Berkeley ~4300 km; Boston <-> Cambridge UK ~5300 km.
+    assert great_circle_km(mit, berkeley) == pytest.approx(4300, rel=0.05)
+    assert great_circle_km(mit, cambridge) == pytest.approx(5300, rel=0.05)
+    assert great_circle_km(mit, mit) == 0.0
+
+
+def test_latency_scales_with_distance():
+    mit = next(site for site in SITES if site.name == "mit")
+    harvard = next(site for site in SITES if site.name == "harvard")
+    titech = next(site for site in SITES if site.name == "titech")
+    near = one_way_latency(mit, harvard)
+    far = one_way_latency(mit, titech)
+    assert 0 < near < 0.01
+    assert far > 5 * near
+    assert far < 0.3  # still a plausible one-way Internet latency
+
+
+def test_latency_jitter_requires_rng():
+    a, b = SITES[0], SITES[1]
+    with pytest.raises(ValueError):
+        one_way_latency(a, b, jitter=0.5)
+
+
+def test_latency_matrix_symmetric_and_positive():
+    matrix = LatencyMatrix(SITES[:10], jitter=0.2, seed=1)
+    for i in range(10):
+        for j in range(10):
+            assert matrix.latency(i, j) == matrix.latency(j, i)
+            assert matrix.latency(i, j) > 0
+
+
+def test_testbed_assigns_sites_and_bandwidth():
+    testbed = PlanetLabTestbed(
+        20, lambda i, bw: SinkAlgorithm(), last_mile_range=(50_000, 200_000),
+        source_last_mile=100_000, seed=3,
+    )
+    assert len(testbed.nodes) == 20
+    assert testbed.source.last_mile == 100_000
+    for node in testbed.nodes[1:]:
+        assert 50_000 <= node.last_mile <= 200_000
+    # Round-robin site assignment: 20 nodes over 46 sites, no duplicates yet.
+    assert len({node.site.name for node in testbed.nodes}) == 20
+
+
+def test_testbed_virtualizes_when_larger_than_catalog():
+    testbed = PlanetLabTestbed(60, lambda i, bw: SinkAlgorithm(), seed=0)
+    sites = [node.site.name for node in testbed.nodes]
+    assert len(set(sites)) == len(SITES)  # every site used
+    assert len(sites) == 60  # some sites host multiple virtual nodes
+
+
+def test_deploy_run_terminate_collect_cycle():
+    testbed = PlanetLabTestbed(6, lambda i, bw: SinkAlgorithm(), seed=0)
+    testbed.deploy()
+    testbed.run(3.0)
+    collected = testbed.collect()
+    assert len(collected["nodes"]) == 6
+    assert len(collected["statuses"]) >= 1  # observer polled someone
+    testbed.terminate()
+    assert all(not e.running for e in testbed.net.engines.values())
+
+
+def test_latency_model_feeds_simnetwork():
+    testbed = PlanetLabTestbed(10, lambda i, bw: SinkAlgorithm(), seed=0)
+    a = testbed.nodes[0].node_id
+    b = testbed.nodes[5].node_id
+    latency = testbed.net.latency(a, b)
+    assert latency >= 0.0005
+    assert latency == testbed.net.latency(a, b)  # deterministic
+
+
+def test_too_small_testbed_rejected():
+    with pytest.raises(ValueError):
+        PlanetLabTestbed(1, lambda i, bw: SinkAlgorithm())

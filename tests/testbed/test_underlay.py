@@ -1,0 +1,85 @@
+"""Tests for the PLUTO-style routing underlay."""
+
+import pytest
+
+from repro.algorithms.forwarding import SinkAlgorithm
+from repro.errors import UnknownNodeError
+from repro.testbed.planetlab import PlanetLabTestbed
+from repro.underlay.pluto import PlutoUnderlay
+
+
+@pytest.fixture(scope="module")
+def underlay_and_testbed():
+    testbed = PlanetLabTestbed(20, lambda i, bw: SinkAlgorithm(), seed=1)
+    return PlutoUnderlay(testbed), testbed
+
+
+def test_hops_zero_to_self_and_positive_otherwise(underlay_and_testbed):
+    underlay, testbed = underlay_and_testbed
+    a = testbed.nodes[0].node_id
+    b = testbed.nodes[1].node_id
+    assert underlay.router_hops(a, a) == 0
+    assert underlay.router_hops(a, b) >= 2  # at least both access routers
+
+
+def test_same_region_closer_than_cross_region(underlay_and_testbed):
+    underlay, testbed = underlay_and_testbed
+    by_region = {}
+    for node in testbed.nodes:
+        by_region.setdefault(node.site.region, []).append(node.node_id)
+    regions = [r for r, nodes in by_region.items() if len(nodes) >= 2]
+    assert regions
+    region = regions[0]
+    local_a, local_b = by_region[region][:2]
+    other_region = next(r for r in by_region if r != region)
+    remote = by_region[other_region][0]
+    assert underlay.latency(local_a, local_b) < underlay.latency(local_a, remote)
+    assert underlay.router_hops(local_a, local_b) <= underlay.router_hops(local_a, remote)
+
+
+def test_latency_symmetric_and_triangleish(underlay_and_testbed):
+    underlay, testbed = underlay_and_testbed
+    a, b, c = (testbed.nodes[i].node_id for i in (0, 5, 10))
+    assert underlay.latency(a, b) == pytest.approx(underlay.latency(b, a))
+    # Shortest-path latencies always satisfy the triangle inequality.
+    assert underlay.latency(a, c) <= underlay.latency(a, b) + underlay.latency(b, c) + 1e-9
+
+
+def test_path_endpoints_and_structure(underlay_and_testbed):
+    underlay, testbed = underlay_and_testbed
+    a = testbed.nodes[0].node_id
+    b = testbed.nodes[7].node_id
+    path = underlay.path(a, b)
+    assert path[0] == f"node:{a}"
+    assert path[-1] == f"node:{b}"
+    assert all(":" in vertex for vertex in path)
+
+
+def test_disjointness_detects_shared_routers(underlay_and_testbed):
+    underlay, testbed = underlay_and_testbed
+    a, b = testbed.nodes[0].node_id, testbed.nodes[1].node_id
+    # A path is never disjoint with itself.
+    assert not underlay.paths_disjoint(a, b, a, b)
+
+
+def test_closest_prefers_same_site_virtual_neighbor():
+    testbed = PlanetLabTestbed(60, lambda i, bw: SinkAlgorithm(), seed=2)
+    underlay = PlutoUnderlay(testbed)
+    # With 60 nodes over 46 sites some sites host two virtual nodes.
+    by_site = {}
+    for node in testbed.nodes:
+        by_site.setdefault(node.site.name, []).append(node.node_id)
+    site, twins = next((s, n) for s, n in by_site.items() if len(n) >= 2)
+    a, twin = twins[0], twins[1]
+    others = [n.node_id for n in testbed.nodes if n.node_id not in (a, twin)]
+    assert underlay.closest(a, [twin, *others[:10]]) == twin
+
+
+def test_unknown_node_rejected(underlay_and_testbed):
+    underlay, testbed = underlay_and_testbed
+    from repro.core.ids import NodeId
+
+    with pytest.raises(UnknownNodeError):
+        underlay.latency(testbed.nodes[0].node_id, NodeId("1.2.3.4", 5))
+    with pytest.raises(ValueError):
+        underlay.closest(testbed.nodes[0].node_id, [])
