@@ -1,0 +1,236 @@
+"""Telemetry overhead guards on the fig5-style loopback chain.
+
+The telemetry layer is designed for an O(1), allocation-free hot path
+(docs/observability.md): per-event recording is a shadow-counter
+increment plus, when tracing, slot stores into a preallocated ring.
+Two kinds of guards keep that property from regressing:
+
+1. **A wall-clock guard** on the Fig. 5 asyncio relay chain comparing
+   uninstrumented throughput against the always-on production profile
+   (metrics + 1/8 head-sampled tracing).  Loopback throughput on a
+   shared host wobbles by tens of percent between runs, so the guard
+   interleaves baseline/instrumented pairs and accepts the *most
+   favourable* of two robust estimators — the median of pairwise ratios
+   and the ratio of per-configuration bests — retrying once before
+   failing.  A real regression (2x hook cost) fails both estimators in
+   both attempts; scheduler noise does not.
+
+2. **Deterministic structural guards** that do not depend on timing at
+   all: the per-message trace-event budget on a deterministic simulated
+   chain, the collect-on-scrape invariant (the hot path never touches
+   the registry), zero GC churn from the trace ring, and a generous
+   tight-loop bound on the per-event append cost.  These catch the
+   regressions the wall-clock guard is too noisy to see.
+"""
+
+import asyncio
+import gc
+import time
+
+import pytest
+
+from repro.algorithms.forwarding import (
+    ChainRelayAlgorithm,
+    CopyForwardAlgorithm,
+    SinkAlgorithm,
+)
+from repro.core.ids import AppId, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.experiments.common import Table
+from repro.net.engine import AsyncioEngine, NetEngineConfig
+from repro.sim.network import NetworkConfig, SimNetwork
+from repro.telemetry import Telemetry
+from repro.telemetry.tracing import EventType
+
+CHAIN_NODES = 4
+PAYLOAD = 5000
+DURATION = 1.2
+PAIRS = 4
+MAX_OVERHEAD = 0.10
+#: the always-on production profile the wall-clock guard measures:
+#: full metrics plus head-sampled lifecycle tracing (sampled messages
+#: carry their complete source->sink path; see docs/observability.md)
+PRODUCTION_SAMPLE = 8
+
+
+async def _chain_throughput(telemetry: Telemetry | None) -> float:
+    """End-to-end B/s at the sink of a loopback relay chain."""
+    relays = [ChainRelayAlgorithm() for _ in range(CHAIN_NODES - 1)]
+    sink = SinkAlgorithm()
+    config = NetEngineConfig(buffer_capacity=10, telemetry=telemetry)
+    engines: list[AsyncioEngine] = []
+    for algorithm in [*relays, sink]:
+        engine = AsyncioEngine(NodeId("127.0.0.1", 0), algorithm, config=config)
+        await engine.start()
+        engines.append(engine)
+    for i, relay in enumerate(relays):
+        relay.set_next_hop(engines[i + 1].node_id)
+    engines[0].start_source(app=1, payload_size=PAYLOAD)
+    await asyncio.sleep(DURATION * 0.25)  # warm up connections
+    start = sink.received_bytes
+    await asyncio.sleep(DURATION)
+    rate = (sink.received_bytes - start) / DURATION
+    for engine in engines:
+        await engine.stop()
+    return rate
+
+
+def _measure_overhead() -> tuple[float, list[float], list[float]]:
+    """Interleaved paired runs; returns (overhead, baselines, instrumented).
+
+    The overhead estimate is the most favourable of two noise-robust
+    statistics: the median of pairwise ratios (pairs run back-to-back,
+    alternating order, so slow phases of the host hit both
+    configurations) and the ratio of the best run of each configuration
+    (capability vs capability).
+    """
+    baselines: list[float] = []
+    instrumented: list[float] = []
+    for pair in range(PAIRS):
+        first_baseline = pair % 2 == 0
+        for is_baseline in (first_baseline, not first_baseline):
+            telemetry = (
+                None if is_baseline
+                else Telemetry(trace_sample=PRODUCTION_SAMPLE)
+            )
+            rate = asyncio.run(_chain_throughput(telemetry))
+            (baselines if is_baseline else instrumented).append(rate)
+    ratios = sorted(i / b for b, i in zip(baselines, instrumented))
+    median_ratio = ratios[len(ratios) // 2]
+    best_ratio = max(instrumented) / max(baselines)
+    overhead = 1 - max(median_ratio, best_ratio)
+    return overhead, baselines, instrumented
+
+
+def test_telemetry_overhead_under_ten_percent():
+    overhead, baselines, instrumented = _measure_overhead()
+    if overhead >= MAX_OVERHEAD:  # one retry: loopback noise, not cost
+        overhead, baselines, instrumented = _measure_overhead()
+
+    table = Table(
+        "Telemetry overhead — fig5-style loopback chain "
+        f"({CHAIN_NODES} nodes, {PAYLOAD} B payloads)",
+        ["configuration", "best (MB/s)", "runs (MB/s)"],
+    )
+    table.add_row("telemetry off", f"{max(baselines) / 1e6:.2f}",
+                  " ".join(f"{r / 1e6:.1f}" for r in baselines))
+    table.add_row(f"metrics + 1/{PRODUCTION_SAMPLE} traces",
+                  f"{max(instrumented) / 1e6:.2f}",
+                  " ".join(f"{r / 1e6:.1f}" for r in instrumented))
+    table.note(f"guard: production-profile overhead < {MAX_OVERHEAD:.0%}"
+               f" ({PAIRS} interleaved pairs, robust estimate"
+               f" {overhead:+.1%})")
+    table.print()
+
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
+        "(median-of-pairs and best-of-runs estimators both agree)"
+    )
+
+
+# --------------------------------------------------------- structural guards
+
+
+def _sim_chain(telemetry: Telemetry | None, duration: float = 2.0):
+    """Deterministic fig5-style chain on the virtual-time simulator."""
+    net = SimNetwork(NetworkConfig(telemetry=telemetry))
+    algorithms = [CopyForwardAlgorithm() for _ in range(CHAIN_NODES - 1)]
+    algorithms.append(SinkAlgorithm())
+    ids = [net.add_node(alg, name=f"n{i}") for i, alg in enumerate(algorithms)]
+    for upstream, downstream in zip(algorithms, ids[1:]):
+        upstream.set_downstreams([downstream])
+    net.start()
+    net.observer.deploy_source(ids[0], app=1, payload_size=PAYLOAD)
+    net.run(duration)
+    return net, algorithms[-1]
+
+
+def test_trace_event_budget_per_message():
+    """Full tracing stays within a fixed event budget per delivered message.
+
+    The budget is the chain's lifecycle arithmetic: source-emit + one
+    forward at the head, enqueue + switch-pick + forward at each relay,
+    enqueue + switch-pick + deliver at the sink, plus a small allowance
+    for port-level credit events (one per port per credit epoch).  A
+    hook accidentally recording per switch round or per port visit blows
+    the budget immediately.
+    """
+    telemetry = Telemetry()
+    _net, sink = _sim_chain(telemetry)
+    delivered = sink.received_bytes / (PAYLOAD + 24)
+    assert delivered > 100
+    per_message = telemetry.tracer.recorded / delivered
+    assert per_message <= 16, (
+        f"{per_message:.1f} trace events per delivered message "
+        "(budget 16: lifecycle steps + credit-epoch allowance)"
+    )
+
+
+def test_hot_path_never_touches_registry():
+    """Collect-on-scrape: registry children stay zero until a snapshot."""
+    telemetry = Telemetry()
+    _net, sink = _sim_chain(telemetry, duration=1.0)
+    assert sink.received_bytes > 0
+    switched = telemetry.registry.counter(
+        "ioverlay_engine_switched_messages_total",
+        labelnames=("node", "peer"),
+    )
+    # Traffic flowed, but no collect ran yet: every bound child is 0.
+    assert all(child.value == 0 for _, child in switched.series())
+    snap = telemetry.snapshot()  # collect folds the shadows in
+    values = [s["value"]
+              for s in snap["ioverlay_engine_switched_messages_total"]["series"]]
+    assert sum(values) > 0
+
+
+def test_trace_ring_causes_no_gc_churn():
+    """Steady-state tracing must not drive garbage collections.
+
+    The ring stores into preallocated parallel lists, so recording
+    allocates no GC-tracked containers: the gen0 allocation counter
+    stays balanced and an instrumented run triggers no more collections
+    than a baseline run (a tuple-per-event ring regresses this to
+    dozens of collections per second).
+    """
+    gc.collect()
+    before = [s["collections"] for s in gc.get_stats()]
+    telemetry = Telemetry()
+    _net, sink = _sim_chain(telemetry)
+    after = [s["collections"] for s in gc.get_stats()]
+    assert sink.received_bytes > 0
+    assert telemetry.tracer.recorded > 1000
+    collections = sum(a - b for a, b in zip(after, before))
+    assert collections <= 2, (
+        f"{collections} garbage collections during an instrumented run: "
+        "the trace hot path is allocating GC-tracked objects"
+    )
+
+
+def test_trace_append_tight_loop_cost():
+    """A generous absolute bound on the per-event append cost.
+
+    The tight-loop cost of ``trace_msg`` is ~0.4 us on unloaded
+    hardware; the bound of 4 us catches order-of-magnitude regressions
+    (unmemoized trace ids, per-event dict allocation, registry writes)
+    while staying insensitive to host load.
+    """
+    telemetry = Telemetry()
+    ins = telemetry.instruments_for("10.0.0.1:9000")
+    msg = Message(MsgType.DATA, NodeId("10.0.0.1", 9000), AppId(1),
+                  b"x" * 64, seq=3)
+    iterations = 50_000
+    best = float("inf")
+    for _attempt in range(3):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            ins.trace_msg(1.0, EventType.FORWARD, msg, "10.0.0.2:9000")
+        best = min(best, time.perf_counter() - start)
+    per_event = best / iterations
+    assert per_event < 4e-6, (
+        f"trace_msg costs {per_event * 1e9:.0f} ns per event in a tight loop"
+    )
+
+
+if __name__ == "__main__":  # manual run: python benchmarks/test_telemetry_overhead.py
+    raise SystemExit(pytest.main([__file__, "-v", "-s"]))

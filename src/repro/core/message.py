@@ -48,7 +48,7 @@ class Message:
     All header fields except ``seq`` are read-only after construction.
     """
 
-    __slots__ = ("_type", "_sender", "_app", "seq", "_payload")
+    __slots__ = ("_type", "_sender", "_app", "seq", "_payload", "_trace_id")
 
     def __init__(
         self,
@@ -67,6 +67,10 @@ class Message:
         self._app = app
         self.seq = seq
         self._payload = bytes(payload)
+        # Lazy cache for the telemetry trace id ("sender/app#seq"); the
+        # id is derived from immutable header fields, so once built it
+        # stays valid wherever the message travels.
+        self._trace_id: str | None = None
 
     # --- read-only header accessors -------------------------------------------
 
@@ -150,6 +154,7 @@ class Message:
         clone._app = self._app
         clone.seq = seq
         clone._payload = self._payload
+        clone._trace_id = None
         return clone
 
     # --- structured payload helpers ---------------------------------------------

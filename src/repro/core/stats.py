@@ -23,7 +23,7 @@ class ThroughputMeter:
     deterministic under virtual time.
     """
 
-    __slots__ = ("_bucket_span", "_window", "_buckets", "_current_start", "_current_bytes", "_total_bytes", "_total_msgs")
+    __slots__ = ("_bucket_span", "_window", "_buckets", "_current_start", "_current_bytes", "_total_bytes", "_total_msgs", "_last_record")
 
     def __init__(self, window: float = 4.0, bucket_span: float = 0.5) -> None:
         if window <= 0 or bucket_span <= 0 or bucket_span > window:
@@ -35,11 +35,13 @@ class ThroughputMeter:
         self._current_bytes = 0
         self._total_bytes = 0
         self._total_msgs = 0
+        self._last_record: float | None = None
 
     def record(self, nbytes: int, now: float) -> None:
         """Account ``nbytes`` transferred at time ``now``."""
         self._total_bytes += nbytes
         self._total_msgs += 1
+        self._last_record = now
         if self._current_start is None:
             self._current_start = now
         while now >= self._current_start + self._bucket_span:
@@ -78,11 +80,12 @@ class ThroughputMeter:
         """Time of the most recent record, or ``None`` if never used.
 
         Failure detection uses this to spot long consecutive periods of
-        traffic inactivity (Section 2.2) without active probes.
+        traffic inactivity (Section 2.2) without active probes.  This is
+        the exact record time, not the current bucket's start — the
+        bucket start lags the true time by up to one bucket span, which
+        would inflate inactivity windows.
         """
-        if self._current_start is None:
-            return None
-        return self._current_start  # within one bucket span of the true time
+        return self._last_record
 
 
 class LatencyMeter:

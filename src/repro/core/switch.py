@@ -23,6 +23,7 @@ pressure (Fig. 6b); with large buffers the pressure is delayed (Fig. 7).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.buffer import CircularBuffer
@@ -63,12 +64,30 @@ class ReceiverPort:
     pending: list[PendingForward] = field(default_factory=list)
     #: messages the algorithm HOLDs are charged here for observability
     held: int = 0
+    #: cumulative messages taken off this port by switch rounds
+    switched: int = 0
+    #: cumulative sends from this port deferred on a full sender buffer
+    deferred: int = 0
     #: deficit-round-robin credit: messages this port may still move in
     #: the current credit epoch.  Consumed as messages *depart* the port
     #: (processed without pending, or a pending forward completing), so
     #: the weight ratio holds even when the contended resource is a full
     #: sender buffer and every message goes through the pending path.
     credit: int = 1
+    #: cached ``str(peer)``: telemetry labels this port without paying
+    #: NodeId formatting/hashing per message
+    label: str = field(init=False, default="")
+    #: enqueue timestamps of buffered data messages, FIFO-parallel to
+    #: ``buffer`` — feeds the telemetry queue-wait histogram (engines
+    #: only touch it when telemetry is enabled)
+    wait_times: deque = field(init=False, default_factory=deque)
+    #: last credit epoch for which a CREDIT_EXHAUSTED trace event was
+    #: emitted — the trace carries one event per port per epoch (the
+    #: metric still counts every skipped visit)
+    stall_epoch: int = field(init=False, default=-1)
+
+    def __post_init__(self) -> None:
+        self.label = str(self.peer)
 
     @property
     def blocked(self) -> bool:
@@ -102,6 +121,10 @@ class SwitchScheduler:
         self._ports: dict[NodeId, ReceiverPort] = {}
         self._order: list[NodeId] = []
         self._cursor = 0
+        #: cumulative round-robin passes handed out (telemetry reads this)
+        self.rotations = 0
+        #: cumulative credit epochs started (telemetry reads this)
+        self.epochs = 0
 
     # --- registry -------------------------------------------------------------------
 
@@ -140,6 +163,7 @@ class SwitchScheduler:
 
     def replenish_credits(self) -> None:
         """Start a new deficit-round-robin epoch: credit = weight."""
+        self.epochs += 1
         for port in self._ports.values():
             port.credit = port.weight
 
@@ -156,6 +180,7 @@ class SwitchScheduler:
         """One full round-robin pass, resuming after the previous pass."""
         if not self._order:
             return []
+        self.rotations += 1
         ordered = [
             self._ports[self._order[(self._cursor + offset) % len(self._order)]]
             for offset in range(len(self._order))

@@ -35,6 +35,7 @@ from repro.core.ids import NodeId
 from repro.experiments.common import KB
 from repro.sim.engine import EngineConfig
 from repro.sim.network import NetworkConfig, SimNetwork
+from repro.telemetry import Telemetry
 
 #: The nine directed overlay edges of the seven-node graph.
 SEVEN_NODE_EDGES: list[tuple[str, str]] = [
@@ -73,12 +74,14 @@ def build_seven_node_copy(
     source_total: float = 400 * KB,
     latency: float = 0.005,
     seed: int = 0,
+    telemetry: "Telemetry | None" = None,
 ) -> SevenNodeNet:
     """The Figs. 6/7 deployment: copy-forwarding on the seven-node graph."""
     net = SimNetwork(NetworkConfig(
         default_latency=latency,
         engine=EngineConfig(buffer_capacity=buffer_capacity),
         seed=seed,
+        telemetry=telemetry,
     ))
     algorithms: dict[str, Algorithm] = {name: CopyForwardAlgorithm() for name in NODE_NAMES}
     nodes: dict[str, NodeId] = {}

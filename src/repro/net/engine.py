@@ -35,6 +35,8 @@ from repro.net.framing import (
     write_message,
 )
 from repro.net.queues import AsyncBoundedQueue
+from repro.telemetry import Telemetry
+from repro.telemetry.tracing import EventType
 
 
 @dataclass
@@ -45,6 +47,9 @@ class NetEngineConfig:
     report_interval: float = 1.0
     connect_timeout: float = 5.0
     bandwidth: BandwidthSpec = dataclass_field(default_factory=BandwidthSpec)
+    #: opt-in telemetry (metrics + lifecycle tracing); live nodes own one
+    #: instance each and the observer aggregates their snapshots.
+    telemetry: Telemetry | None = None
 
 
 @dataclass
@@ -92,6 +97,12 @@ class AsyncioEngine:
         self._source_pending: list[PendingForward] | None = None
         self._observer_writer: asyncio.StreamWriter | None = None
 
+        # Instruments bind in start(): with port 0 the node's identity is
+        # only final once the server socket is bound.
+        self._ins = None
+        self._peer_strs: dict[NodeId, str] = {}
+        self._data_sends = 0
+
     # ------------------------------------------------------------------ lifecycle
 
     async def start(self) -> None:
@@ -108,6 +119,8 @@ class AsyncioEngine:
             # otherwise, the engine chooses one of the available ports."
             actual = self._server.sockets[0].getsockname()[1]
             self._node_id = NodeId(self._node_id.ip, actual)
+        if self.config.telemetry is not None:
+            self._ins = self.config.telemetry.instruments_for(self._node_id)
         if self._observer_addr is not None:
             await self._connect_observer()
         self._tasks.append(asyncio.ensure_future(self._engine_loop()))
@@ -163,6 +176,8 @@ class AsyncioEngine:
             self._control.put_force(msg)
             self._wake.set()
             return
+        if self._ins is not None and msg.type == MsgType.DATA:
+            self._data_sends += 1
         peer = self._peers.get(dest)
         if peer is None:
             # Connection establishment is asynchronous; buffer the message
@@ -317,6 +332,11 @@ class AsyncioEngine:
         lost = peer.send_queue.drain()
         for msg in lost:
             peer.stats_out.loss.record(msg.size)
+            if self._ins is not None:
+                self._ins.n_drops += 1
+                self._ins.n_dropped_bytes += msg.size
+                if self._ins.tracer.enabled:
+                    self._ins.trace_msg(self.now(), EventType.DROP, msg)
         self._close_peer(peer)
         self.throttle.drop_link(peer.node)
         for port in self._scheduler.ports:
@@ -423,8 +443,7 @@ class AsyncioEngine:
 
     def _status_report(self) -> Message:
         now = self.now()
-        return Message.with_fields(
-            MsgType.STATUS, self._node_id, CONTROL_APP,
+        fields = dict(
             node=str(self._node_id),
             upstreams=[str(p) for p in self.upstreams()],
             downstreams=[str(d) for d in self.downstreams()],
@@ -434,12 +453,34 @@ class AsyncioEngine:
             send_rates={str(n): p.stats_out.throughput.rate(now) for n, p in self._peers.items()},
             apps=sorted(self._local_apps),
         )
+        if self.config.telemetry is not None:
+            self._refresh_buffer_gauges()
+            fields["metrics"] = self.config.telemetry.snapshot(node=str(self._node_id))
+        return Message.with_fields(MsgType.STATUS, self._node_id, CONTROL_APP, **fields)
+
+    def _refresh_buffer_gauges(self) -> None:
+        if self._ins is None:
+            return
+        self._ins.set_buffer_gauges(
+            recv={str(p.peer): len(p.buffer) for p in self._scheduler.ports},
+            send={str(n): len(p.send_queue) for n, p in self._peers.items()},
+        )
 
     def _switch_round(self) -> bool:
         """Deficit weighted round robin (see SimEngine._switch_round)."""
         progressed = False
+        ins = self._ins
+        moved = 0
         for port in self._scheduler.rotation():
-            if not port.has_work() or port.credit <= 0:
+            if not port.has_work():
+                continue
+            if port.credit <= 0:
+                if ins is not None:
+                    ins.credit_stalls[port.label] += 1
+                    epoch = self._scheduler.epochs
+                    if ins.tracer.enabled and port.stall_epoch != epoch:
+                        port.stall_epoch = epoch
+                        ins.trace_port(self.now(), EventType.CREDIT_EXHAUSTED, port.label)
                 continue
             if port.pending:
                 before = len(port.pending)
@@ -452,26 +493,66 @@ class AsyncioEngine:
                     continue
             while port.credit > 0 and not port.blocked and not port.buffer.is_empty:
                 msg = port.buffer.get_nowait()  # type: ignore[attr-defined]
+                port.switched += 1
+                moved += 1
+                if ins is not None:
+                    self._record_pick(port, msg)
                 self._current_port = port
+                sends_before = self._data_sends
                 try:
                     disposition = self.algorithm.process(msg)
                 finally:
                     self._current_port = None
                 if disposition is Disposition.HOLD:
                     port.held += 1
+                elif ins is not None and self._data_sends == sends_before:
+                    ins.n_delivers += 1
+                    if ins.tracer.enabled:
+                        ins.trace_msg(self.now(), EventType.DELIVER, msg)
                 progressed = True
                 if not port.blocked:
                     port.credit -= 1
+        if ins is not None:
+            ins.n_switch_rounds += 1
+            if moved:
+                ins.observe_batch(float(moved))
         backlog = [port for port in self._scheduler.ports if port.has_work()]
         if backlog and all(port.credit <= 0 for port in backlog):
             self._scheduler.replenish_credits()
+            if ins is not None:
+                ins.n_credit_epochs += 1
             progressed = True
         return progressed
 
+    def _peer_str(self, node: NodeId) -> str:
+        """Cached ``str(node)`` for telemetry labels (NodeId.__str__ formats)."""
+        label = self._peer_strs.get(node)
+        if label is None:
+            label = self._peer_strs[node] = str(node)
+        return label
+
+    def _record_pick(self, port: ReceiverPort, msg: Message) -> None:
+        """Telemetry for one switched message (queue wait + pick event)."""
+        ins = self._ins
+        now = self.now()
+        ins.switched[port.label] += 1
+        times = port.wait_times
+        if times:
+            ins.observe_wait(now - times.popleft())
+        if ins.tracer.enabled:
+            ins.trace_msg(now, EventType.SWITCH_PICK, msg, port.label)
+
     def _retry_pending(self, port: ReceiverPort) -> bool:
         progressed = False
+        ins = self._ins
         for forward in port.pending:
             progressed = self._try_forward(forward) or progressed
+            if ins is not None:
+                ins.n_retries += 1
+                if forward.done:
+                    ins.n_retry_completions += 1
+                if ins.tracer.enabled:
+                    ins.trace_retry(self.now(), forward.msg, forward.done)
         port.prune_pending()
         return progressed
 
@@ -491,7 +572,14 @@ class AsyncioEngine:
         return placed_any
 
     def _defer_data(self, msg: Message, dest: NodeId) -> None:
+        ins = self._ins
+        if ins is not None:
+            label = self._peer_str(dest)
+            ins.defers[label] += 1
+            if ins.tracer.enabled:
+                ins.trace_msg(self.now(), EventType.DEFER, msg, label)
         if self._current_port is not None:
+            self._current_port.deferred += 1
             pending = self._current_port.pending
             if pending and pending[-1].msg is msg:
                 pending[-1].remaining.append(dest)
@@ -515,6 +603,10 @@ class AsyncioEngine:
             payload = self.algorithm.produce_payload(app, seq, payload_size)
             msg = Message(MsgType.DATA, self._node_id, app, payload, seq=seq)
             seq += 1
+            if self._ins is not None:
+                self._ins.n_source += 1
+                if self._ins.tracer.enabled:
+                    self._ins.trace_msg(self.now(), EventType.SOURCE_EMIT, msg)
             self._source_pending = []
             try:
                 self.algorithm.process(msg)
@@ -542,6 +634,8 @@ class AsyncioEngine:
                     return
                 delay = self.throttle.reserve_send(peer.node, msg.size, self.now())
                 if delay > 0:
+                    if self._ins is not None:
+                        self._ins.on_throttle_stall("up", delay)
                     await asyncio.sleep(delay)
                 try:
                     write_message(peer.writer, msg)
@@ -551,7 +645,14 @@ class AsyncioEngine:
                         peer.stats_out.loss.record(msg.size)
                         self._peer_failed(peer)
                     return
-                peer.stats_out.throughput.record(msg.size, self.now())
+                now = self.now()
+                peer.stats_out.throughput.record(msg.size, now)
+                ins = self._ins
+                if ins is not None and msg.type == MsgType.DATA:
+                    label = peer.port.label
+                    ins.forwarded[label] += 1
+                    if ins.tracer.enabled:
+                        ins.trace_msg(now, EventType.FORWARD, msg, label)
                 self._send_space.set()
                 self._wake.set()
         except asyncio.CancelledError:
@@ -568,6 +669,8 @@ class AsyncioEngine:
                     return
                 delay = self.throttle.reserve_recv(msg.size, self.now())
                 if delay > 0:
+                    if self._ins is not None:
+                        self._ins.on_throttle_stall("down", delay)
                     await asyncio.sleep(delay)
                 peer.stats_in.throughput.record(msg.size, self.now())
                 if msg.type == MsgType.DATA:
@@ -575,6 +678,14 @@ class AsyncioEngine:
                         await peer.port.buffer.put(msg)  # type: ignore[attr-defined]
                     except BufferClosedError:
                         return
+                    ins = self._ins
+                    if ins is not None:
+                        now = self.now()
+                        label = peer.port.label
+                        ins.enqueued[label] += 1
+                        peer.port.wait_times.append(now)
+                        if ins.tracer.enabled:
+                            ins.trace_msg(now, EventType.ENQUEUE, msg, label)
                 else:
                     self._control.put_force(msg)
                 self._wake.set()
@@ -587,6 +698,7 @@ class AsyncioEngine:
             if not self._running:
                 return
             now = self.now()
+            self._refresh_buffer_gauges()
             for node, peer in list(self._peers.items()):
                 self._enqueue_notification(Message.with_fields(
                     MsgType.UP_THROUGHPUT, self._node_id, CONTROL_APP,
@@ -606,6 +718,8 @@ class AsyncioEngine:
         self._wake.set()
 
     def _notify_broken_link(self, peer: NodeId, direction: str) -> None:
+        if self._ins is not None:
+            self._ins.on_broken_link(direction)
         self._enqueue_notification(Message.with_fields(
             MsgType.BROKEN_LINK, self._node_id, CONTROL_APP,
             peer=str(peer), direction=direction,

@@ -80,12 +80,38 @@ def render_tree(
     return "\n".join(lines)
 
 
+def render_metrics(observer: Observer, limit: int | None = None) -> str:
+    """The cluster-wide telemetry aggregate, one line per metric family.
+
+    Counters and histograms show their sum across all label sets; gauges
+    show the sum of the freshest samples (total occupancy).  Empty when
+    no node reports metrics (telemetry disabled).
+    """
+    aggregate = observer.cluster_metrics()
+    if not aggregate:
+        return "(no metrics reported)"
+    lines = [f"{'metric':<48} {'kind':<10} {'series':>6} {'total':>14}"]
+    names = sorted(aggregate)
+    if limit is not None:
+        names = names[:limit]
+    for name in names:
+        metric = aggregate[name]
+        series = metric.get("series", [])
+        if metric.get("kind") == "histogram":
+            total = sum(s.get("count", 0) for s in series)
+        else:
+            total = sum(s.get("value", 0) for s in series)
+        text = f"{total:.0f}" if float(total) == int(total) else f"{total:.3f}"
+        lines.append(f"{name:<48} {metric.get('kind', '?'):<10} {len(series):>6} {text:>14}")
+    return "\n".join(lines)
+
+
 def render_dashboard(
     observer: Observer,
     labels: dict[NodeId, str] | None = None,
     root: NodeId | None = None,
 ) -> str:
-    """The full observer screen: nodes, links, and optionally the tree."""
+    """The full observer screen: nodes, links, metrics, optionally the tree."""
     sections = [
         "== nodes ==",
         render_nodes(observer, labels),
@@ -96,6 +122,8 @@ def render_dashboard(
     if root is not None:
         sections += ["", "== dissemination tree ==",
                      render_tree(observer.topology(), root, labels)]
+    if observer.cluster_metrics():
+        sections += ["", "== metrics ==", render_metrics(observer)]
     if len(observer.traces):
         sections += ["", f"== traces ({len(observer.traces)} recorded) =="]
         sections += [f"[{r.time:8.2f}] {r.node}: {r.text}" for r in list(observer.traces)[-5:]]

@@ -112,6 +112,29 @@ class Observer:
         """The overlay graph per the most recent status reports."""
         return TopologySnapshot(dict(self.statuses))
 
+    # ------------------------------------------------------------ cluster metrics
+
+    def cluster_metrics(self) -> dict:
+        """Merge the per-node telemetry snapshots into one aggregate.
+
+        Each status report carries the reporting node's registry snapshot
+        (when telemetry is enabled); counters and histograms sum across
+        nodes while gauges keep the freshest sample.  Returns ``{}`` when
+        no node has reported metrics.
+        """
+        from repro.telemetry.metrics import merge_snapshots
+
+        snapshots = [
+            status.metrics for status in self.statuses.values() if status.metrics
+        ]
+        return merge_snapshots(snapshots) if snapshots else {}
+
+    def prometheus(self) -> str:
+        """The cluster-wide aggregate in Prometheus text exposition format."""
+        from repro.telemetry.exporters import to_prometheus
+
+        return to_prometheus(self.cluster_metrics())
+
     # -------------------------------------------------------------- control panel
 
     def deploy_source(self, node: NodeId, app: AppId, payload_size: int = 5120) -> None:

@@ -29,6 +29,10 @@ class NodeStatus:
     apps: list[int] = field(default_factory=list)
     lost_messages: int = 0
     lost_bytes: int = 0
+    #: telemetry snapshot (registry JSON form) when the node runs with
+    #: telemetry enabled; empty otherwise.  The observer merges these
+    #: into a cluster-wide aggregate.
+    metrics: dict = field(default_factory=dict)
 
     @classmethod
     def from_message(cls, msg: Message, received_at: float) -> "NodeStatus":
@@ -58,6 +62,7 @@ class NodeStatus:
             apps=[int(app) for app in fields.get("apps", [])],
             lost_messages=int(fields.get("lost_messages", 0)),
             lost_bytes=int(fields.get("lost_bytes", 0)),
+            metrics=fields.get("metrics", {}),
         )
 
     @property

@@ -7,6 +7,8 @@ debugging information, performance data and other traces" (Section 2.2).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -29,6 +31,8 @@ class TraceLog:
 
     def __init__(self) -> None:
         self._records: list[TraceRecord] = []
+        #: per-path count of records already written by dump_jsonl
+        self._dumped: dict[str, int] = {}
 
     def record(self, time: float, node: NodeId, app: int, text: str) -> None:
         self._records.append(TraceRecord(time, node, app, text))
@@ -46,12 +50,49 @@ class TraceLog:
         return [record for record in self._records if substring in record.text]
 
     def dump(self, path: str | Path) -> None:
-        """Write the log as tab-separated lines (time, node, app, text)."""
+        """Write the log as tab-separated lines (time, node, app, text).
+
+        The write is atomic (temp file + rename): a crash mid-dump or a
+        concurrent reader never observes a truncated log.
+        """
         lines = (
             f"{record.time:.6f}\t{record.node}\t{record.app}\t{record.text}"
             for record in self._records
         )
-        Path(path).write_text("\n".join(lines) + ("\n" if self._records else ""))
+        text = "\n".join(lines) + ("\n" if self._records else "")
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, target)
+
+    def dump_jsonl(self, path: str | Path, append: bool = True) -> int:
+        """Write the log as JSON lines; returns records written.
+
+        With ``append=True`` (the default) only records added since the
+        last ``dump_jsonl`` to the same path are appended, so a periodic
+        dump loop costs O(new records), not O(log).  With ``append=False``
+        the whole log is rewritten atomically.
+        """
+        key = str(Path(path))
+        start = self._dumped.get(key, 0) if append else 0
+        fresh = self._records[start:]
+        lines = "".join(
+            json.dumps(
+                {"time": r.time, "node": str(r.node), "app": r.app, "text": r.text}
+            ) + "\n"
+            for r in fresh
+        )
+        if append:
+            with open(key, "a", encoding="utf-8") as handle:
+                handle.write(lines)
+        else:
+            tmp = key + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(lines)
+            os.replace(tmp, key)
+        self._dumped[key] = len(self._records)
+        return len(fresh)
 
     def clear(self) -> None:
         self._records.clear()
+        self._dumped.clear()

@@ -34,6 +34,8 @@ from repro.errors import BufferClosedError, LinkDownError
 from repro.sim.kernel import Kernel, Task
 from repro.sim.link import SimLink
 from repro.sim.sync import SimEvent, SimQueue
+from repro.telemetry import Telemetry
+from repro.telemetry.tracing import EventType
 
 
 class Fabric(Protocol):
@@ -74,6 +76,9 @@ class EngineConfig:
     #: single bootstrap request at start-up only.
     bootstrap_refresh: float | None = 5.0
     bandwidth: BandwidthSpec = dataclass_field(default_factory=BandwidthSpec)
+    #: opt-in telemetry (metrics + lifecycle tracing); ``None`` keeps the
+    #: data path entirely uninstrumented (the default).
+    telemetry: Telemetry | None = None
 
 
 @dataclass
@@ -88,6 +93,11 @@ class _SenderLink:
     #: virtual time at which the current in-flight delivery started, for
     #: inactivity detection of silently-stalled links; None when idle.
     in_flight_since: float | None = None
+    #: cached ``str(dest)`` for telemetry labels
+    label: str = dataclass_field(init=False, default="")
+
+    def __post_init__(self) -> None:
+        self.label = str(self.dest)
 
 
 class SimEngine:
@@ -132,6 +142,16 @@ class SimEngine:
         # message the algorithm is currently processing
         self._current_port: ReceiverPort | None = None
         self._source_pending: list[PendingForward] | None = None
+
+        # opt-in telemetry; when off, every hot-path hook is one `is None`
+        tel = self.config.telemetry
+        self._ins = tel.instruments_for(node_id) if tel is not None else None
+        #: cached str(NodeId) renderings for telemetry labels at sites
+        #: that have no port/sender structure in hand (e.g. defers)
+        self._peer_strs: dict[NodeId, str] = {}
+        #: data-message send() calls observed while the algorithm runs,
+        #: used to recognize local delivery (processed without re-sending)
+        self._data_sends = 0
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -216,6 +236,8 @@ class SimEngine:
             self._notify_broken_link(dest, direction="down")
             return
         if msg.type == MsgType.DATA:
+            if self._ins is not None:
+                self._data_sends += 1
             self._track_downstream(msg.app, dest)
             if sender.queue.put_nowait(msg):
                 return
@@ -432,10 +454,7 @@ class SimEngine:
 
     def _status_report(self) -> Message:
         now = self.kernel.now
-        return Message.with_fields(
-            MsgType.STATUS,
-            self._node_id,
-            CONTROL_APP,
+        fields = dict(
             node=str(self._node_id),
             upstreams=[str(p) for p in self.upstreams()],
             downstreams=[str(d) for d in self.downstreams()],
@@ -446,6 +465,18 @@ class SimEngine:
             lost_messages=self._lost_messages,
             lost_bytes=self._lost_bytes,
             apps=sorted(self._local_apps | set(self._app_upstreams)),
+        )
+        tel = self.config.telemetry
+        if tel is not None:
+            self._refresh_buffer_gauges()
+            fields["metrics"] = tel.snapshot(node=str(self._node_id))
+        return Message.with_fields(MsgType.STATUS, self._node_id, CONTROL_APP, **fields)
+
+    def _refresh_buffer_gauges(self) -> None:
+        assert self._ins is not None
+        self._ins.set_buffer_gauges(
+            {str(p.peer): len(p.buffer) for p in self._scheduler.ports},
+            {str(d): len(s.queue) for d, s in self._senders.items()},
         )
 
     # --------------------------------------------------------------------- switch
@@ -460,8 +491,18 @@ class SimEngine:
         epoch starts and the pass reruns.
         """
         progressed = False
+        ins = self._ins
+        moved = 0
         for port in self._scheduler.rotation():
-            if not port.has_work() or port.credit <= 0:
+            if not port.has_work():
+                continue
+            if port.credit <= 0:
+                if ins is not None:
+                    ins.credit_stalls[port.label] += 1
+                    epoch = self._scheduler.epochs
+                    if ins.tracer.enabled and port.stall_epoch != epoch:
+                        port.stall_epoch = epoch
+                        ins.trace_port(self.kernel.now, EventType.CREDIT_EXHAUSTED, port.label)
                 continue
             if port.pending:
                 before = len(port.pending)
@@ -474,17 +515,30 @@ class SimEngine:
                     continue
             while port.credit > 0 and not port.blocked and not port.buffer.is_empty:
                 msg = port.buffer.get_nowait()  # type: ignore[attr-defined]
+                port.switched += 1
+                moved += 1
+                if ins is not None:
+                    self._record_pick(port, msg)
                 self._track_upstream(msg.app, port.peer)
                 self._current_port = port
+                sends_before = self._data_sends
                 try:
                     disposition = self.algorithm.process(msg)
                 finally:
                     self._current_port = None
                 if disposition is Disposition.HOLD:
                     port.held += 1
+                elif ins is not None and self._data_sends == sends_before:
+                    ins.n_delivers += 1
+                    if ins.tracer.enabled:
+                        ins.trace_msg(self.kernel.now, EventType.DELIVER, msg)
                 progressed = True
                 if not port.blocked:
                     port.credit -= 1
+        if ins is not None:
+            ins.n_switch_rounds += 1
+            if moved:
+                ins.observe_batch(float(moved))
         # Epoch boundary: once every port that still has work has spent its
         # credit, start a new epoch.  (Ports with credit left keep their
         # claim on upcoming sender-buffer slots, which is exactly what makes
@@ -492,13 +546,40 @@ class SimEngine:
         backlog = [port for port in self._scheduler.ports if port.has_work()]
         if backlog and all(port.credit <= 0 for port in backlog):
             self._scheduler.replenish_credits()
+            if ins is not None:
+                ins.n_credit_epochs += 1
             progressed = True  # rerun the switch with fresh credits
         return progressed
 
+    def _peer_str(self, node: NodeId) -> str:
+        """Cached ``str(node)`` for telemetry labels (NodeId.__str__ formats)."""
+        label = self._peer_strs.get(node)
+        if label is None:
+            label = self._peer_strs[node] = str(node)
+        return label
+
+    def _record_pick(self, port: ReceiverPort, msg: Message) -> None:
+        """Telemetry for one switched message (queue wait + pick event)."""
+        ins = self._ins
+        now = self.kernel.now
+        ins.switched[port.label] += 1
+        times = port.wait_times
+        if times:
+            ins.observe_wait(now - times.popleft())
+        if ins.tracer.enabled:
+            ins.trace_msg(now, EventType.SWITCH_PICK, msg, port.label)
+
     def _retry_pending(self, port: ReceiverPort) -> bool:
         progressed = False
+        ins = self._ins
         for forward in port.pending:
             progressed = self._try_forward(forward) or progressed
+            if ins is not None:
+                ins.n_retries += 1
+                if forward.done:
+                    ins.n_retry_completions += 1
+                if ins.tracer.enabled:
+                    ins.trace_retry(self.kernel.now, forward.msg, forward.done)
         port.prune_pending()
         return progressed
 
@@ -519,7 +600,14 @@ class SimEngine:
 
     def _defer_data(self, msg: Message, dest: NodeId) -> None:
         """A data send hit a full sender buffer: remember the remaining sender."""
+        ins = self._ins
+        if ins is not None:
+            label = self._peer_str(dest)
+            ins.defers[label] += 1
+            if ins.tracer.enabled:
+                ins.trace_msg(self.kernel.now, EventType.DEFER, msg, label)
         if self._current_port is not None:
+            self._current_port.deferred += 1
             pending = self._current_port.pending
             if pending and pending[-1].msg is msg:
                 pending[-1].remaining.append(dest)
@@ -546,6 +634,10 @@ class SimEngine:
             payload = self.algorithm.produce_payload(app, seq, payload_size)
             msg = Message(MsgType.DATA, self._node_id, app, payload, seq=seq)
             seq += 1
+            if self._ins is not None:
+                self._ins.n_source += 1
+                if self._ins.tracer.enabled:
+                    self._ins.trace_msg(self.kernel.now, EventType.SOURCE_EMIT, msg)
             self._source_pending = []
             try:
                 self.algorithm.process(msg)
@@ -565,6 +657,8 @@ class SimEngine:
 
     def _broadcast_broken_source(self, app: AppId) -> None:
         downstreams = self._app_downstreams.pop(app, set())
+        if self._ins is not None and downstreams:
+            self._ins.n_domino += 1
         notice = Message.with_fields(
             MsgType.BROKEN_SOURCE, self._node_id, app, app=app, origin=str(self._node_id)
         )
@@ -590,6 +684,8 @@ class SimEngine:
                 await self.kernel.sleep(arrival - self.kernel.now)
             delay = self.throttle.reserve_recv(msg.size, self.kernel.now)
             if delay > 0:
+                if self._ins is not None:
+                    self._ins.on_throttle_stall("down", delay)
                 await self.kernel.sleep(delay)
             stats.throughput.record(msg.size, self.kernel.now)
             self._last_recv_at[peer] = self.kernel.now
@@ -600,6 +696,14 @@ class SimEngine:
                     await port.buffer.put(msg)  # type: ignore[attr-defined]
                 except BufferClosedError:
                     return
+                ins = self._ins
+                if ins is not None:
+                    now = self.kernel.now
+                    label = port.label
+                    ins.enqueued[label] += 1
+                    port.wait_times.append(now)
+                    if ins.tracer.enabled:
+                        ins.trace_msg(now, EventType.ENQUEUE, msg, label)
             else:
                 if msg.type == MsgType.BROKEN_SOURCE:
                     self._propagate_broken_source(msg, peer)
@@ -700,7 +804,11 @@ class SimEngine:
             sender.in_flight_since = self.kernel.now
             delay = self.throttle.reserve_send(sender.dest, msg.size, self.kernel.now)
             if delay > 0:
+                if self._ins is not None:
+                    self._ins.on_throttle_stall("up", delay)
                 await self.kernel.sleep(delay)
+            if self._ins is not None and sender.link.inbox.is_full:
+                self._ins.backpressure[sender.label] += 1
             try:
                 await sender.link.deliver(msg)
             except LinkDownError:
@@ -709,6 +817,12 @@ class SimEngine:
                 return
             sender.in_flight_since = None
             sender.stats.throughput.record(msg.size, self.kernel.now)
+            ins = self._ins
+            if ins is not None and msg.type == MsgType.DATA:
+                label = sender.label
+                ins.forwarded[label] += 1
+                if ins.tracer.enabled:
+                    ins.trace_msg(self.kernel.now, EventType.FORWARD, msg, label)
             self._send_space.set()
             self._wake.set()
 
@@ -743,6 +857,8 @@ class SimEngine:
             await self.kernel.sleep(self.config.report_interval)
             if not self._running:
                 return
+            if self._ins is not None:
+                self._refresh_buffer_gauges()
             now = self.kernel.now
             for peer, stats in self._recv_stats.items():
                 if self._scheduler.get_port(peer) is None:
@@ -776,6 +892,8 @@ class SimEngine:
         self._wake.set()
 
     def _notify_broken_link(self, peer: NodeId, direction: str) -> None:
+        if self._ins is not None:
+            self._ins.on_broken_link(direction)
         self._enqueue_notification(
             Message.with_fields(
                 MsgType.BROKEN_LINK,
@@ -790,6 +908,11 @@ class SimEngine:
         """Cumulative node-level loss accounting (survives link teardown)."""
         self._lost_messages += 1
         self._lost_bytes += msg.size
+        if self._ins is not None:
+            self._ins.n_drops += 1
+            self._ins.n_dropped_bytes += msg.size
+            if self._ins.tracer.enabled:
+                self._ins.trace_msg(self.kernel.now, EventType.DROP, msg)
 
     def _track_downstream(self, app: AppId, dest: NodeId) -> None:
         self._app_downstreams.setdefault(app, set()).add(dest)

@@ -49,6 +49,12 @@ class SimLink:
         self.inbox: SimQueue[tuple[Message, float]] = SimQueue(kernel, capacity=socket_buffer)
         self._stalled = False
         self._broken = False
+        #: cumulative messages/bytes that crossed this link
+        self.delivered_messages = 0
+        self.delivered_bytes = 0
+        #: deliveries that found the in-flight window full and had to block
+        #: (TCP-style flow control pushing back on the sender task)
+        self.backpressure_events = 0
 
     # --- state ------------------------------------------------------------------
 
@@ -78,10 +84,14 @@ class SimLink:
             # connection to a silently-partitioned host.
             await self._kernel.future()
             raise AssertionError("unreachable: stalled link future resolved")
+        if self.inbox.is_full:
+            self.backpressure_events += 1
         try:
             await self.inbox.put((msg, self._kernel.now))
         except Exception as exc:
             raise LinkDownError(f"link {self.src}->{self.dst} closed mid-send") from exc
+        self.delivered_messages += 1
+        self.delivered_bytes += msg.size
 
     # --- failure injection -------------------------------------------------------------
 

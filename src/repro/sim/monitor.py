@@ -31,14 +31,16 @@ class RateSeries:
         """First sample time after which the rate stays within
         ``tolerance`` of ``target`` for ``hold`` consecutive samples."""
         run = 0
-        for t, rate in zip(self.times, self.rates):
+        for index, rate in enumerate(self.rates):
             if target == 0:
                 close = rate < 1e-9
             else:
                 close = abs(rate - target) <= tolerance * target
             run = run + 1 if close else 0
             if run >= hold:
-                index = self.times.index(t)
+                # Index arithmetic, not times.index(t): sampled times may
+                # repeat (e.g. several samples at one virtual instant) and
+                # index() would then land on the first occurrence.
                 return self.times[index - hold + 1]
         return None
 

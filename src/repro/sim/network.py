@@ -26,6 +26,7 @@ from repro.observer.observer import Observer
 from repro.sim.engine import EngineConfig, SimEngine
 from repro.sim.kernel import Kernel
 from repro.sim.link import SimLink
+from repro.telemetry import Telemetry
 
 #: latency applied to node <-> observer control traffic
 DEFAULT_OBSERVER_LATENCY = 0.002
@@ -47,6 +48,11 @@ class NetworkConfig:
     bootstrap_fanout: int = 8
     engine: EngineConfig = field(default_factory=EngineConfig)
     seed: int = 0
+    #: one shared telemetry unit for the whole simulated cluster; ``None``
+    #: (the default) leaves every engine uninstrumented.  Series are
+    #: distinguished by their ``node`` label, and the tracer observes
+    #: message lifecycles across all nodes under one virtual clock.
+    telemetry: Telemetry | None = None
 
 
 class SimNetwork:
@@ -110,9 +116,12 @@ class SimNetwork:
             inactivity_timeout=template.inactivity_timeout,
             source_interval=template.source_interval,
             bandwidth=BandwidthSpec(),
+            telemetry=template.telemetry,
         )
         if bandwidth is not None:
             engine_config.bandwidth = bandwidth
+        if engine_config.telemetry is None and self.config.telemetry is not None:
+            engine_config.telemetry = self.config.telemetry
         engine = SimEngine(self.kernel, node_id, algorithm, fabric=self, config=engine_config)
         self.engines[node_id] = engine
         if name is not None:
@@ -203,6 +212,11 @@ class SimNetwork:
     @property
     def now(self) -> float:
         return self.kernel.now
+
+    @property
+    def telemetry(self) -> Telemetry | None:
+        """The cluster-wide telemetry unit, when enabled."""
+        return self.config.telemetry
 
     # --------------------------------------------------------------- measurements
 

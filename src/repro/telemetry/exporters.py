@@ -1,0 +1,182 @@
+"""Render metrics and traces for external tooling.
+
+Three output formats:
+
+- **Prometheus text exposition** (:func:`to_prometheus`) — scrapeable /
+  diff-able counters, gauges and histograms;
+- **JSON snapshots** (:func:`to_json`) — the interchange form that
+  travels in ``STATUS`` messages and that the observer merges into a
+  cluster-wide aggregate;
+- **Chrome trace-event JSON** (:func:`chrome_trace_events`,
+  :func:`dump_chrome_trace`) — load the file in ``chrome://tracing`` or
+  https://ui.perfetto.dev to see every node as a process row with
+  instant events, plus one async track per message reconstructing its
+  path source → sink.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import TraceEvent
+
+__all__ = [
+    "to_prometheus",
+    "to_json",
+    "write_prometheus",
+    "chrome_trace_events",
+    "dump_chrome_trace",
+]
+
+Snapshot = Mapping[str, Any]
+
+
+def _as_snapshot(source: MetricsRegistry | Snapshot) -> Snapshot:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+# ----------------------------------------------------------------- Prometheus
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, str], extra: Mapping[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(source: MetricsRegistry | Snapshot) -> str:
+    """The Prometheus text exposition format (version 0.0.4)."""
+    snapshot = _as_snapshot(source)
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        metric = snapshot[name]
+        kind = metric["kind"]
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(metric['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in metric["series"]:
+            labels = entry["labels"]
+            if kind == "histogram":
+                running = 0
+                for bound, count in zip(entry["buckets"], entry["counts"]):
+                    running += count
+                    le = _format_labels(labels, {"le": _format_value(bound)})
+                    lines.append(f"{name}_bucket{le} {running}")
+                running += entry["counts"][-1]
+                le = _format_labels(labels, {"le": "+Inf"})
+                lines.append(f"{name}_bucket{le} {running}")
+                lines.append(f"{name}_sum{_format_labels(labels)} {_format_value(entry['sum'])}")
+                lines.append(f"{name}_count{_format_labels(labels)} {entry['count']}")
+            else:
+                lines.append(f"{name}{_format_labels(labels)} {_format_value(entry['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(source: MetricsRegistry | Snapshot, path: str | Path) -> None:
+    """Atomically write the Prometheus text dump to ``path``."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(to_prometheus(source))
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------- JSON
+
+def to_json(source: MetricsRegistry | Snapshot, indent: int | None = None) -> str:
+    """The snapshot as a JSON document."""
+    return json.dumps(_as_snapshot(source), sort_keys=True, indent=indent)
+
+
+# ----------------------------------------------------------- Chrome trace JSON
+
+def chrome_trace_events(events: Iterable[TraceEvent]) -> list[dict[str, Any]]:
+    """Convert lifecycle events to the Chrome trace-event array format.
+
+    Each overlay node becomes a *process* row (named via a metadata
+    event) carrying thread-scoped instant events; each message id
+    additionally becomes an async span ("b"/"n"/"e" events sharing the
+    id), so selecting one message shows its hop-by-hop path.
+    """
+    events = sorted(events, key=lambda event: (event.time, event.node))
+    pids: dict[str, int] = {}
+    out: list[dict[str, Any]] = []
+
+    def pid_for(node: str) -> int:
+        pid = pids.get(node)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[node] = pid
+            out.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": node},
+            })
+        return pid
+
+    spans: dict[str, list[TraceEvent]] = {}
+    for event in events:
+        args: dict[str, Any] = {"trace_id": event.trace_id, "app": event.app}
+        args.update(event.detail)
+        out.append({
+            "name": event.event,
+            "cat": "lifecycle",
+            "ph": "i",
+            "s": "t",
+            "ts": event.time * 1e6,
+            "pid": pid_for(event.node),
+            "tid": 0,
+            "args": args,
+        })
+        if event.trace_id:
+            spans.setdefault(event.trace_id, []).append(event)
+
+    for tid, span in spans.items():
+        first, last = span[0], span[-1]
+        common = {"cat": "message", "name": tid, "id": tid}
+        out.append({**common, "ph": "b", "ts": first.time * 1e6,
+                    "pid": pid_for(first.node), "tid": 0,
+                    "args": {"node": first.node, "event": first.event}})
+        for event in span[1:-1]:
+            out.append({**common, "ph": "n", "ts": event.time * 1e6,
+                        "pid": pid_for(event.node), "tid": 0,
+                        "args": {"node": event.node, "event": event.event}})
+        out.append({**common, "ph": "e", "ts": last.time * 1e6,
+                    "pid": pid_for(last.node), "tid": 0,
+                    "args": {"node": last.node, "event": last.event}})
+    return out
+
+
+def dump_chrome_trace(events: Iterable[TraceEvent], path: str | Path) -> int:
+    """Atomically write a ``chrome://tracing``-loadable JSON file.
+
+    Returns the number of trace-event records written.
+    """
+    records = chrome_trace_events(events)
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps({"traceEvents": records, "displayTimeUnit": "ms"}))
+    os.replace(tmp, path)
+    return len(records)

@@ -5,6 +5,7 @@
     ioverlay scenario path/to/scenario.json     # run a declarative scenario
     ioverlay experiment fig6                    # regenerate one paper figure
     ioverlay experiment --list                  # what can be regenerated
+    ioverlay metrics --out telemetry/           # instrumented run + exports
 """
 
 from __future__ import annotations
@@ -68,6 +69,32 @@ def main(argv: list[str] | None = None) -> int:
         "--list", action="store_true", help="list available experiments"
     )
 
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="run an instrumented fig6-style simulation and export telemetry",
+    )
+    metrics_parser.add_argument(
+        "--duration", type=float, default=20.0,
+        help="total simulated seconds (default 20)",
+    )
+    metrics_parser.add_argument(
+        "--buffer", type=int, default=5,
+        help="engine buffer capacity in messages (default 5)",
+    )
+    metrics_parser.add_argument(
+        "--out", default=".",
+        help="directory for metrics.prom / metrics.json / trace.json",
+    )
+    metrics_parser.add_argument(
+        "--no-tracing", action="store_true",
+        help="collect metrics only, skip the lifecycle tracer",
+    )
+    metrics_parser.add_argument(
+        "--trace-capacity", type=int, default=65536,
+        help="lifecycle-event ring buffer size (default 65536)",
+    )
+    metrics_parser.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
 
     if args.command == "scenario":
@@ -92,6 +119,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown experiment {args.name!r}; try --list", file=sys.stderr)
             return 2
         _experiment_main(args.name)()
+        return 0
+
+    if args.command == "metrics":
+        from repro.tools.metrics_cmd import run_metrics
+
+        run_metrics(
+            duration=args.duration,
+            buffer_capacity=args.buffer,
+            out_dir=args.out,
+            tracing=not args.no_tracing,
+            trace_capacity=args.trace_capacity,
+            seed=args.seed,
+        )
         return 0
 
     return 2  # pragma: no cover - argparse enforces the subcommands

@@ -40,6 +40,18 @@ def test_rate_zero_before_any_traffic():
     assert meter.last_activity() is None
 
 
+def test_last_activity_is_exact_record_time():
+    meter = ThroughputMeter(window=4.0, bucket_span=0.5)
+    meter.record(100, 10.0)
+    # Mid-bucket records must not be rounded down to the bucket start:
+    # inactivity detection would otherwise see up to bucket_span of
+    # phantom idle time.
+    meter.record(100, 10.3)
+    assert meter.last_activity() == 10.3
+    meter.record(100, 17.25)
+    assert meter.last_activity() == 17.25
+
+
 def test_burst_is_smoothed_over_window():
     meter = ThroughputMeter(window=4.0, bucket_span=0.5)
     meter.record(40_000, 10.0)  # one 40 KB burst

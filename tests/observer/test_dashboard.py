@@ -5,10 +5,12 @@ from repro.core.bandwidth import BandwidthSpec
 from repro.observer.dashboard import (
     render_dashboard,
     render_edges,
+    render_metrics,
     render_nodes,
     render_tree,
 )
-from repro.sim.network import SimNetwork
+from repro.sim.network import NetworkConfig, SimNetwork
+from repro.telemetry import Telemetry
 
 KB = 1000.0
 
@@ -81,3 +83,47 @@ def test_dashboard_with_no_statuses_yet():
     net.run(0.1)  # booted, but not polled yet
     text = render_dashboard(net.observer)
     assert "(no links reported)" in text
+
+
+def test_render_nodes_dead_node_placeholder_row():
+    net, labels, _ = build_running_net()
+    # A node that booted but never reported status renders a dash row.
+    from repro.core.ids import NodeId
+
+    ghost = NodeId("10.9.9.9", 7000)
+    net.observer.alive.setdefault(ghost, None)
+    labels = dict(labels)
+    labels[ghost] = "ghost"
+    text = render_nodes(net.observer, labels)
+    ghost_line = next(line for line in text.splitlines() if line.startswith("ghost"))
+    assert ghost_line.split()[1:] == ["-", "-", "-", "-"]
+
+
+def test_render_tree_handles_dead_subtree():
+    net, labels, (src, mid, dst) = build_running_net()
+    # Terminate the sink: it must vanish from the rendering, whether the
+    # remaining graph still qualifies as a tree or falls back to edges.
+    net.observer.terminate_node(dst)
+    net.run(3)
+    text = render_tree(net.observer.topology(), src, labels)
+    assert "D" not in text
+    assert "S" in text and "M" in text
+
+
+def test_render_metrics_panel_totals():
+    telemetry = Telemetry()
+    net = SimNetwork(NetworkConfig(telemetry=telemetry))
+    src_alg, sink = CopyForwardAlgorithm(), SinkAlgorithm()
+    src = net.add_node(src_alg, name="S", bandwidth=BandwidthSpec(total=100 * KB))
+    dst = net.add_node(sink, name="D")
+    src_alg.set_downstreams([dst])
+    net.start()
+    net.observer.deploy_source(src, app=1, payload_size=5000)
+    net.run(6)
+    text = render_metrics(net.observer)
+    header, *rows = text.splitlines()
+    assert "metric" in header and "total" in header
+    rounds = next(r for r in rows if "switch_rounds_total" in r)
+    assert int(rounds.split()[-1]) > 0
+    # limit trims the table deterministically (sorted by name).
+    assert len(render_metrics(net.observer, limit=2).splitlines()) == 3

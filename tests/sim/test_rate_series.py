@@ -34,6 +34,24 @@ def test_time_to_reach_zero_target():
     assert series.time_to_reach(0.0, hold=3) == 2.0
 
 
+def test_time_to_reach_with_repeated_sample_times():
+    # Two samples can land on the same virtual instant; convergence must
+    # be located by position, not by the first occurrence of the time.
+    series = RateSeries(A, B)
+    series.times = [0.0, 1.0, 1.0, 2.0, 2.0, 3.0]
+    series.rates = [0, 100, 0, 100, 100, 100]
+    # The hold=3 run is positions 3..5, starting at time 2.0 (position 3),
+    # not at the *first* sample stamped 2.0 being misread via .index().
+    assert series.time_to_reach(100, hold=3) == 2.0
+
+
+def test_time_to_reach_all_times_identical():
+    series = RateSeries(A, B)
+    series.times = [5.0, 5.0, 5.0, 5.0]
+    series.rates = [0, 100, 100, 100]
+    assert series.time_to_reach(100, hold=3) == 5.0
+
+
 def test_never_converges():
     series = series_with([1, 2, 3, 4, 5])
     assert series.time_to_reach(100) is None

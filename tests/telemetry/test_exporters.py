@@ -1,0 +1,118 @@
+"""Unit tests for the Prometheus / JSON / Chrome-trace exporters."""
+
+import json
+
+from repro.telemetry.exporters import (
+    chrome_trace_events,
+    dump_chrome_trace,
+    to_json,
+    to_prometheus,
+    write_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import EventType, TraceEvent
+
+
+def build_registry():
+    reg = MetricsRegistry()
+    reg.counter("msgs_total", "messages seen", ("node", "peer")).labels(
+        node="a", peer="b"
+    ).inc(3)
+    reg.gauge("depth", "buffer depth", ("node",)).labels(node="a").set(2)
+    hist = reg.histogram("wait_seconds", "queue wait", ("node",), buckets=(0.1, 1.0))
+    child = hist.labels(node="a")
+    child.observe(0.05)
+    child.observe(0.5)
+    child.observe(5.0)
+    return reg
+
+
+# ------------------------------------------------------------------ Prometheus
+
+def test_prometheus_counter_and_gauge_lines():
+    text = to_prometheus(build_registry())
+    assert "# HELP msgs_total messages seen" in text
+    assert "# TYPE msgs_total counter" in text
+    assert 'msgs_total{node="a",peer="b"} 3' in text
+    assert "# TYPE depth gauge" in text
+    assert 'depth{node="a"} 2' in text
+
+
+def test_prometheus_histogram_rendering():
+    text = to_prometheus(build_registry())
+    assert 'wait_seconds_bucket{le="0.1",node="a"} 1' in text
+    assert 'wait_seconds_bucket{le="1",node="a"} 2' in text
+    assert 'wait_seconds_bucket{le="+Inf",node="a"} 3' in text
+    assert 'wait_seconds_sum{node="a"} 5.55' in text
+    assert 'wait_seconds_count{node="a"} 3' in text
+
+
+def test_prometheus_accepts_snapshot_and_escapes_labels():
+    reg = MetricsRegistry()
+    reg.counter("c", 'with "quotes"\nand newline', ("tag",)).labels(
+        tag='va"lue'
+    ).inc()
+    text = to_prometheus(reg.snapshot())
+    assert '# HELP c with "quotes"\\nand newline' in text
+    assert 'c{tag="va\\"lue"} 1' in text
+
+
+def test_prometheus_empty_registry_is_empty_string():
+    assert to_prometheus(MetricsRegistry()) == ""
+
+
+def test_write_prometheus_atomic(tmp_path):
+    target = tmp_path / "metrics.prom"
+    write_prometheus(build_registry(), target)
+    assert "msgs_total" in target.read_text()
+    assert not (tmp_path / "metrics.prom.tmp").exists()
+
+
+# ------------------------------------------------------------------------ JSON
+
+def test_to_json_round_trips():
+    reg = build_registry()
+    parsed = json.loads(to_json(reg))
+    assert parsed == reg.snapshot()
+
+
+# ---------------------------------------------------------------- Chrome trace
+
+def sample_events():
+    return [
+        TraceEvent(1.0, "node-a", EventType.SOURCE_EMIT, "m1", 1),
+        TraceEvent(1.5, "node-b", EventType.ENQUEUE, "m1", 1, {"peer": "node-a"}),
+        TraceEvent(2.0, "node-b", EventType.DELIVER, "m1", 1),
+        TraceEvent(1.2, "node-a", EventType.CREDIT_EXHAUSTED, "", 0, {"peer": "x"}),
+    ]
+
+
+def test_chrome_trace_process_metadata_and_instants():
+    records = chrome_trace_events(sample_events())
+    meta = [r for r in records if r["ph"] == "M"]
+    assert {m["args"]["name"] for m in meta} == {"node-a", "node-b"}
+    instants = [r for r in records if r["ph"] == "i"]
+    assert len(instants) == 4
+    emit = next(r for r in instants if r["name"] == EventType.SOURCE_EMIT)
+    assert emit["ts"] == 1.0e6  # microseconds
+    assert emit["args"]["trace_id"] == "m1"
+
+
+def test_chrome_trace_async_span_reconstructs_path():
+    records = chrome_trace_events(sample_events())
+    span = [r for r in records if r.get("cat") == "message" and r["id"] == "m1"]
+    assert [r["ph"] for r in span] == ["b", "n", "e"]
+    assert span[0]["args"]["node"] == "node-a"
+    assert span[-1]["args"]["node"] == "node-b"
+    assert span[-1]["args"]["event"] == EventType.DELIVER
+    # Untraced events (empty id) get no span.
+    assert all(r["id"] for r in records if r.get("cat") == "message")
+
+
+def test_dump_chrome_trace_loadable_json(tmp_path):
+    target = tmp_path / "trace.json"
+    count = dump_chrome_trace(sample_events(), target)
+    doc = json.loads(target.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert len(doc["traceEvents"]) == count
+    assert not (tmp_path / "trace.json.tmp").exists()

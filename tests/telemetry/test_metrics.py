@@ -1,0 +1,205 @@
+"""Unit tests for the label-aware metrics registry."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+# --------------------------------------------------------------------- counter
+
+def test_counter_inc_and_labels():
+    counter = Counter("requests_total", "total requests", ("node",))
+    counter.labels(node="a").inc()
+    counter.labels(node="a").inc(2.5)
+    counter.labels(node="b").inc()
+    values = {labels["node"]: child.value for labels, child in counter.series()}
+    assert values == {"a": 3.5, "b": 1.0}
+
+
+def test_counter_child_is_cached():
+    counter = Counter("c_total", labelnames=("node",))
+    assert counter.labels(node="x") is counter.labels(node="x")
+
+
+def test_counter_rejects_negative():
+    counter = Counter("c_total")
+    with pytest.raises(ValueError):
+        counter.labels().inc(-1)
+
+
+def test_labels_must_match_declaration():
+    counter = Counter("c_total", labelnames=("node", "peer"))
+    with pytest.raises(ValueError):
+        counter.labels(node="a")
+    with pytest.raises(ValueError):
+        counter.labels(node="a", peer="b", extra="c")
+
+
+# ----------------------------------------------------------------------- gauge
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge("depth", labelnames=("node",))
+    child = gauge.labels(node="a")
+    child.set(5)
+    child.inc(2)
+    child.dec()
+    assert child.value == 6
+
+
+# ------------------------------------------------------------------- histogram
+
+def test_histogram_buckets_and_sum():
+    hist = Histogram("wait_seconds", buckets=(0.01, 0.1, 1.0))
+    child = hist.labels()
+    for value in (0.005, 0.05, 0.5, 5.0):
+        child.observe(value)
+    assert child.counts == [1, 1, 1, 1]  # one per bucket + one in +Inf
+    assert child.cumulative() == [1, 2, 3, 4]
+    assert child.count == 4
+    assert child.sum == pytest.approx(5.555)
+
+
+def test_histogram_boundary_lands_in_bucket():
+    # Prometheus buckets are `le`: a value equal to the bound counts in it.
+    hist = Histogram("h", buckets=(1.0, 2.0))
+    child = hist.labels()
+    child.observe(1.0)
+    assert child.counts == [1, 0, 0]
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, 1.0))
+
+
+# -------------------------------------------------------------------- registry
+
+def test_registry_get_or_create_returns_same_metric():
+    reg = MetricsRegistry()
+    first = reg.counter("c_total", "help", ("node",))
+    second = reg.counter("c_total", "other help", ("node",))
+    assert first is second
+    assert len(reg) == 1
+
+
+def test_registry_rejects_kind_and_label_mismatch():
+    reg = MetricsRegistry()
+    reg.counter("m", labelnames=("node",))
+    with pytest.raises(ValueError):
+        reg.gauge("m", labelnames=("node",))
+    with pytest.raises(ValueError):
+        reg.counter("m", labelnames=("node", "peer"))
+
+
+def test_registry_rejects_histogram_bucket_mismatch():
+    reg = MetricsRegistry()
+    reg.histogram("h", buckets=(1.0, 2.0))
+    assert reg.histogram("h", buckets=(2.0, 1.0)) is reg.get("h")  # order-insensitive
+    with pytest.raises(ValueError):
+        reg.histogram("h", buckets=(1.0, 3.0))
+
+
+def test_invalid_metric_names():
+    reg = MetricsRegistry()
+    for bad in ("", "1abc", "has space", "has-dash"):
+        with pytest.raises(ValueError):
+            reg.counter(bad)
+    reg.counter("ok_name:subsystem")  # colon and underscore are legal
+
+
+def test_default_buckets_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+# -------------------------------------------------------------------- snapshot
+
+def build_registry():
+    reg = MetricsRegistry()
+    reg.counter("msgs_total", "messages", ("node",)).labels(node="a").inc(3)
+    reg.counter("msgs_total", "messages", ("node",)).labels(node="b").inc(4)
+    reg.gauge("depth", "buffer depth", ("node",)).labels(node="a").set(7)
+    reg.histogram("wait", "queue wait", ("node",), buckets=(0.1, 1.0)).labels(
+        node="a"
+    ).observe(0.05)
+    return reg
+
+
+def test_snapshot_shape():
+    snap = build_registry().snapshot()
+    assert set(snap) == {"msgs_total", "depth", "wait"}
+    assert snap["msgs_total"]["kind"] == "counter"
+    assert len(snap["msgs_total"]["series"]) == 2
+    hist = snap["wait"]["series"][0]
+    assert hist["buckets"] == [0.1, 1.0]
+    assert hist["counts"] == [1, 0, 0]
+    assert hist["count"] == 1
+
+
+def test_snapshot_label_filter():
+    snap = build_registry().snapshot(node="a")
+    assert len(snap["msgs_total"]["series"]) == 1
+    assert snap["msgs_total"]["series"][0]["labels"] == {"node": "a"}
+    # every metric retains only node=a series; none dropped entirely here
+    assert set(snap) == {"msgs_total", "depth", "wait"}
+    empty = build_registry().snapshot(node="nope")
+    assert empty == {}
+
+
+def test_snapshot_is_json_serializable():
+    import json
+
+    json.dumps(build_registry().snapshot())
+
+
+# ----------------------------------------------------------------------- merge
+
+def test_merge_sums_counters_and_histograms():
+    a, b = build_registry().snapshot(), build_registry().snapshot()
+    merged = merge_snapshots([a, b])
+    values = {
+        tuple(s["labels"].items()): s["value"]
+        for s in merged["msgs_total"]["series"]
+    }
+    assert values[(("node", "a"),)] == 6
+    assert values[(("node", "b"),)] == 8
+    hist = merged["wait"]["series"][0]
+    assert hist["counts"] == [2, 0, 0]
+    assert hist["count"] == 2
+
+
+def test_merge_gauge_last_writer_wins():
+    a = build_registry().snapshot()
+    reg_b = build_registry()
+    reg_b.gauge("depth", "buffer depth", ("node",)).labels(node="a").set(99)
+    merged = merge_snapshots([a, reg_b.snapshot()])
+    assert merged["depth"]["series"][0]["value"] == 99
+
+
+def test_merge_disjoint_series_and_does_not_mutate_inputs():
+    reg_a = MetricsRegistry()
+    reg_a.counter("c", labelnames=("node",)).labels(node="a").inc()
+    reg_b = MetricsRegistry()
+    reg_b.counter("c", labelnames=("node",)).labels(node="b").inc(5)
+    snap_a, snap_b = reg_a.snapshot(), reg_b.snapshot()
+    merged = merge_snapshots([snap_a, snap_b])
+    assert len(merged["c"]["series"]) == 2
+    merged["c"]["series"][0]["value"] = 1234
+    assert snap_a["c"]["series"][0]["value"] == 1
+
+
+def test_merge_kind_mismatch_is_error():
+    reg_a = MetricsRegistry()
+    reg_a.counter("m").labels().inc()
+    reg_b = MetricsRegistry()
+    reg_b.gauge("m").labels().set(1)
+    with pytest.raises(ValueError):
+        merge_snapshots([reg_a.snapshot(), reg_b.snapshot()])

@@ -1,0 +1,108 @@
+"""Unit tests for the message-lifecycle tracer."""
+
+import json
+
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.telemetry.tracing import EventType, Tracer, trace_id
+
+A = NodeId("10.0.0.1", 7000)
+
+
+def test_trace_id_is_deterministic_and_wire_stable():
+    msg = Message(MsgType.DATA, A, 1, b"payload", seq=42)
+    assert trace_id(msg) == "10.0.0.1:7000/1#42"
+    # A re-decoded copy (same header) carries the same id.
+    copy = Message(MsgType.DATA, A, 1, b"payload", seq=42)
+    assert trace_id(copy) == trace_id(msg)
+
+
+def test_record_and_events_for_sorted_by_time():
+    tracer = Tracer()
+    tracer.record(2.0, "b", EventType.ENQUEUE, "m1", app=1, peer="a")
+    tracer.record(1.0, "a", EventType.SOURCE_EMIT, "m1", app=1)
+    tracer.record(3.0, "b", EventType.DELIVER, "m1", app=1)
+    tracer.record(1.5, "a", EventType.FORWARD, "m2", app=1)
+    events = tracer.events_for("m1")
+    assert [e.event for e in events] == [
+        EventType.SOURCE_EMIT, EventType.ENQUEUE, EventType.DELIVER
+    ]
+    assert events[0].time == 1.0
+    assert tracer.trace_ids() == ["m1", "m2"]
+
+
+def test_path_dedups_adjacent_nodes():
+    tracer = Tracer()
+    tracer.record(1.0, "a", EventType.SOURCE_EMIT, "m")
+    tracer.record(2.0, "b", EventType.ENQUEUE, "m")
+    tracer.record(2.5, "b", EventType.SWITCH_PICK, "m")
+    tracer.record(3.0, "c", EventType.DELIVER, "m")
+    assert tracer.path("m") == ["a", "b", "c"]
+
+
+def test_ring_buffer_drops_oldest():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.record(float(i), "n", EventType.ENQUEUE, f"m{i}")
+    assert len(tracer) == 3
+    assert tracer.recorded == 5
+    assert tracer.dropped == 2
+    assert tracer.trace_ids() == ["m2", "m3", "m4"]
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.record(1.0, "n", EventType.ENQUEUE, "m")
+    assert len(tracer) == 0 and tracer.recorded == 0
+
+
+def test_clear_resets_all_counters():
+    tracer = Tracer()
+    tracer.record(1.0, "n", EventType.ENQUEUE, "m")
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.recorded == 0 and tracer.dropped == 0
+
+
+# ----------------------------------------------------------------- persistence
+
+def test_dump_jsonl_incremental_append(tmp_path):
+    tracer = Tracer()
+    path = tmp_path / "events.jsonl"
+    tracer.record(1.0, "a", EventType.SOURCE_EMIT, "m1")
+    assert tracer.dump_jsonl(path) == 1
+    tracer.record(2.0, "b", EventType.DELIVER, "m1", app=2)
+    assert tracer.dump_jsonl(path) == 1  # only the new event
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    second = json.loads(lines[1])
+    assert second["event"] == EventType.DELIVER
+    assert second["app"] == 2
+    # Nothing new: nothing written.
+    assert tracer.dump_jsonl(path) == 0
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_dump_jsonl_append_skips_ring_dropped_events(tmp_path):
+    tracer = Tracer(capacity=2)
+    path = tmp_path / "events.jsonl"
+    tracer.record(1.0, "a", EventType.ENQUEUE, "m1")
+    tracer.dump_jsonl(path)
+    for i in range(4):
+        tracer.record(2.0 + i, "a", EventType.ENQUEUE, f"m{i + 2}")
+    # Events m2..m3 rotated out before this dump; only the survivors land.
+    written = tracer.dump_jsonl(path)
+    assert written == 2
+    ids = [json.loads(line)["trace_id"] for line in path.read_text().splitlines()]
+    assert ids == ["m1", "m4", "m5"]
+
+
+def test_dump_jsonl_full_rewrite_is_atomic(tmp_path):
+    tracer = Tracer()
+    path = tmp_path / "events.jsonl"
+    tracer.record(1.0, "a", EventType.ENQUEUE, "m1")
+    tracer.record(2.0, "a", EventType.DELIVER, "m1")
+    assert tracer.dump_jsonl(path, append=False) == 2
+    assert tracer.dump_jsonl(path, append=False) == 2  # idempotent rewrite
+    assert len(path.read_text().splitlines()) == 2
+    assert not (tmp_path / "events.jsonl.tmp").exists()
