@@ -1,0 +1,271 @@
+"""Persistent core-performance suite: the numbers behind ``BENCH_core.json``.
+
+Unlike the figure benchmarks (which reproduce the paper's tables) and
+``test_micro_core.py`` (pytest-benchmark statistics), this suite tracks
+the repo's own hot paths over time with plain ``time.perf_counter``
+loops and **writes its measurements to ``BENCH_core.json`` at the repo
+root**, appending one history entry per run label.  Later PRs read that
+file to see the performance trajectory; CI reruns the suite and fails
+when a metric regresses by more than :data:`GUARD_TOLERANCE` against
+the committed baseline (set ``PERF_GUARD=1``).
+
+Four metrics, chosen to cover the layers of the fast path:
+
+- ``kernel_events_per_sec`` — raw event dispatch through the
+  virtual-time kernel (a ``call_soon`` chain: the ready-queue path);
+- ``kernel_task_wakeups_per_sec`` — coroutine park/wake round-trips
+  (``SimQueue`` ping-pong: Future/Task overhead);
+- ``gf256_coded_bytes_per_sec`` — network-coding encode+decode rate
+  (``combine`` + ``GenerationDecoder`` over full generations);
+- ``switch_passes_per_sec`` — switch bookkeeping per engine iteration
+  (rotation + has_work + total_buffered over 16 ports);
+- ``fig5_sim_chain_msgs_per_sec`` — end-to-end: simulated messages
+  switched per wall-clock second on a fig5-style 8-node chain.
+
+Every metric is "higher is better".  Measurements use the best of
+several repetitions so a GC pause or scheduler blip cannot fail CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_FILE = REPO_ROOT / "BENCH_core.json"
+
+#: CI fails when a guarded metric drops below (1 - 0.25) x baseline.
+GUARD_TOLERANCE = 0.25
+
+#: label for the history entry this run appends/replaces
+RUN_LABEL = os.environ.get("PERF_LABEL", "local")
+
+RESULTS: dict[str, float] = {}
+
+
+def _best_of(func, repeats: int = 3) -> float:
+    """Run ``func`` ``repeats`` times; return the best (max) rate."""
+    return max(func() for _ in range(repeats))
+
+
+# --------------------------------------------------------------------- kernel
+
+
+def test_kernel_event_dispatch_rate():
+    """Events/sec through the kernel's scheduling core (call_soon chain)."""
+    from repro.sim.kernel import Kernel
+
+    n = 50_000
+
+    def run() -> float:
+        kernel = Kernel()
+        remaining = [n]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0]:
+                kernel.call_soon(tick)
+
+        kernel.call_soon(tick)
+        start = time.perf_counter()
+        kernel.run()
+        elapsed = time.perf_counter() - start
+        assert remaining[0] == 0
+        return n / elapsed
+
+    RESULTS["kernel_events_per_sec"] = _best_of(run)
+    assert RESULTS["kernel_events_per_sec"] > 0
+
+
+def test_kernel_task_wakeup_rate():
+    """Task park/wake round-trips per second (queue ping-pong)."""
+    from repro.sim.kernel import Kernel
+    from repro.sim.sync import SimQueue
+
+    rounds = 5_000
+
+    def run() -> float:
+        kernel = Kernel()
+        ping: SimQueue = SimQueue(kernel, capacity=1)
+        pong: SimQueue = SimQueue(kernel, capacity=1)
+
+        async def left() -> None:
+            for _ in range(rounds):
+                await ping.put(1)
+                await pong.get()
+
+        async def right() -> None:
+            for _ in range(rounds):
+                await ping.get()
+                await pong.put(1)
+
+        kernel.spawn(left())
+        kernel.spawn(right())
+        start = time.perf_counter()
+        kernel.run()
+        elapsed = time.perf_counter() - start
+        # one round = 2 puts + 2 gets = 4 park/wake pairs at capacity 1
+        return rounds / elapsed
+
+    RESULTS["kernel_task_wakeups_per_sec"] = _best_of(run)
+    assert RESULTS["kernel_task_wakeups_per_sec"] > 0
+
+
+# --------------------------------------------------------------------- coding
+
+
+def test_gf256_bulk_coding_rate():
+    """Coded payload bytes processed per second (encode + full decode)."""
+    from repro.algorithms.coding.linear import CodedPayload, GenerationDecoder, combine
+
+    k = 4
+    payload_len = 8192
+    originals = [
+        CodedPayload.original(0, i, k, bytes([(i * 31 + j) % 256 for j in range(payload_len)]))
+        for i in range(k)
+    ]
+    # a full-rank set of coefficient vectors (Vandermonde-ish, all nonzero)
+    coeff_sets = [[(i + 2) ** j % 255 + 1 for j in range(k)] for i in range(k)]
+
+    def run() -> float:
+        generations = 6
+        start = time.perf_counter()
+        for _ in range(generations):
+            coded = [combine(originals, coeffs) for coeffs in coeff_sets]
+            decoder = GenerationDecoder(k, payload_len)
+            for payload in coded:
+                decoder.add(payload)
+            assert decoder.complete
+            decoded = decoder.originals()
+        elapsed = time.perf_counter() - start
+        assert decoded[0] == originals[0].data
+        # bytes coded (k payloads combined per coded payload) + decoded
+        processed = generations * (k * k + k) * payload_len
+        return processed / elapsed
+
+    RESULTS["gf256_coded_bytes_per_sec"] = _best_of(run)
+    assert RESULTS["gf256_coded_bytes_per_sec"] > 0
+
+
+# --------------------------------------------------------------------- switch
+
+
+def test_switch_pass_rate():
+    """Scheduler bookkeeping passes per second over 16 occupied ports."""
+    from repro.core.buffer import CircularBuffer
+    from repro.core.ids import NodeId
+    from repro.core.message import Message
+    from repro.core.msgtypes import MsgType
+    from repro.core.switch import ReceiverPort, SwitchScheduler
+
+    scheduler = SwitchScheduler()
+    for i in range(16):
+        buffer: CircularBuffer = CircularBuffer(8)
+        port = ReceiverPort(peer=NodeId(f"10.0.0.{i + 1}", 7000), buffer=buffer)
+        scheduler.add_port(port)
+        msg = Message(MsgType.DATA, port.peer, 1, b"x" * 64)
+        for _ in range(4):
+            buffer.put(msg)
+
+    passes = 20_000
+
+    def run() -> float:
+        start = time.perf_counter()
+        total = 0
+        for _ in range(passes):
+            for port in scheduler.rotation():
+                if not port.has_work():
+                    continue
+            if scheduler.has_work():
+                total += scheduler.total_buffered()
+        elapsed = time.perf_counter() - start
+        assert total == passes * 64
+        return passes / elapsed
+
+    RESULTS["switch_passes_per_sec"] = _best_of(run)
+    assert RESULTS["switch_passes_per_sec"] > 0
+
+
+# ----------------------------------------------------------------- end-to-end
+
+
+def test_fig5_sim_chain_rate():
+    """Simulated messages delivered per wall-clock second on an 8-node
+    fig5-style chain (5 KB payloads, paper's small-buffer configuration)."""
+    from repro.algorithms.forwarding import CopyForwardAlgorithm, SinkAlgorithm
+    from repro.sim.network import NetworkConfig, SimNetwork
+    from repro.sim.engine import EngineConfig
+
+    n_nodes = 8
+
+    def run() -> float:
+        net = SimNetwork(NetworkConfig(engine=EngineConfig(buffer_capacity=10), seed=0))
+        relays = [CopyForwardAlgorithm() for _ in range(n_nodes - 1)]
+        sink = SinkAlgorithm()
+        ids = [net.add_node(algorithm, name=f"n{i}")
+               for i, algorithm in enumerate([*relays, sink])]
+        for i, relay in enumerate(relays):
+            relay.set_downstreams([ids[i + 1]])
+        net.start()
+        net.observer.deploy_source(ids[0], app=1, payload_size=5000)
+        start = time.perf_counter()
+        net.run(2.0)
+        elapsed = time.perf_counter() - start
+        assert sink.received > 50
+        return sink.received / elapsed
+
+    RESULTS["fig5_sim_chain_msgs_per_sec"] = _best_of(run, repeats=2)
+    assert RESULTS["fig5_sim_chain_msgs_per_sec"] > 0
+
+
+# ------------------------------------------------------------------- persist
+
+
+def test_zz_write_bench_json_and_guard():
+    """Persist this run into BENCH_core.json and guard against regression.
+
+    Runs last (name-ordered within the module's natural order).  With
+    ``PERF_GUARD=1`` the fresh numbers are compared against the *last
+    committed* history entry and the test fails on a >25% drop in any
+    metric; without it the file is just rewritten with the new entry.
+    """
+    assert len(RESULTS) == 5, f"expected all metrics collected, got {sorted(RESULTS)}"
+
+    history: list[dict] = []
+    if BENCH_FILE.exists():
+        document = json.loads(BENCH_FILE.read_text())
+        history = document.get("history", [])
+
+    # Prefer a baseline measured under the same label (same machine
+    # class — CI compares against committed CI numbers); otherwise
+    # guard against the newest committed entry.
+    same_label = [item for item in history if item["label"] == RUN_LABEL]
+    baseline = same_label[-1] if same_label else (history[-1] if history else None)
+    if baseline is not None and os.environ.get("PERF_GUARD"):
+        failures = []
+        for name, value in RESULTS.items():
+            reference = baseline["results"].get(name)
+            if reference and value < reference * (1.0 - GUARD_TOLERANCE):
+                failures.append(
+                    f"{name}: {value:,.0f} < {(1 - GUARD_TOLERANCE):.0%} of "
+                    f"baseline {reference:,.0f} ({baseline['label']!r})"
+                )
+        assert not failures, "performance regression(s):\n" + "\n".join(failures)
+
+    entry = {
+        "label": RUN_LABEL,
+        "python": platform.python_version(),
+        "results": {name: round(value, 1) for name, value in sorted(RESULTS.items())},
+    }
+    # One entry per label: re-running a label updates it in place, so CI
+    # reruns don't grow the history unboundedly.
+    history = [item for item in history if item["label"] != RUN_LABEL] + [entry]
+    BENCH_FILE.write_text(json.dumps({
+        "schema": 1,
+        "note": "all metrics are higher-is-better rates; see docs/performance.md",
+        "guard_tolerance": GUARD_TOLERANCE,
+        "history": history,
+    }, indent=2) + "\n")

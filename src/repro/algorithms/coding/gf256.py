@@ -83,17 +83,25 @@ def pow_(a: int, exponent: int) -> int:
 
 # --- bulk operations on byte strings (the per-payload hot path) ----------------
 
-# Precomputed 256x256 multiplication rows are built lazily per scalar and
-# memoised: coding uses few distinct coefficients but long payloads.
-_MUL_ROWS: dict[int, bytes] = {}
+
+def _build_mul_table() -> list[bytes]:
+    """The full 256x256 multiplication table, one 256-byte row per scalar.
+
+    Row ``c`` is the translation table mapping byte ``v`` to ``c * v``,
+    so scaling a payload is a single C-speed ``bytes.translate`` pass.
+    Built once at import (64 KiB) from the log/antilog tables.
+    """
+    rows = [bytes(256)]  # row 0: everything maps to 0
+    exp, log = _EXP, _LOG
+    for coefficient in range(1, 256):
+        log_c = log[coefficient]
+        rows.append(bytes(
+            exp[log_c + log[value]] if value else 0 for value in range(256)
+        ))
+    return rows
 
 
-def _mul_row(coefficient: int) -> bytes:
-    row = _MUL_ROWS.get(coefficient)
-    if row is None:
-        row = bytes(mul(coefficient, value) for value in range(256))
-        _MUL_ROWS[coefficient] = row
-    return row
+_MUL_TABLE = _build_mul_table()
 
 
 def scale_bytes(coefficient: int, data: bytes) -> bytes:
@@ -102,16 +110,27 @@ def scale_bytes(coefficient: int, data: bytes) -> bytes:
         return bytes(len(data))
     if coefficient == 1:
         return data
-    return data.translate(_mul_row(coefficient))
+    return data.translate(_MUL_TABLE[coefficient])
 
 
 def add_bytes(a: bytes, b: bytes) -> bytes:
-    """Element-wise field addition of two equal-length byte strings."""
-    if len(a) != len(b):
-        raise ValueError(f"length mismatch: {len(a)} != {len(b)}")
-    return bytes(x ^ y for x, y in zip(a, b))
+    """Element-wise field addition of two equal-length byte strings.
+
+    XOR of the whole strings as big integers: one C-level pass instead
+    of a Python loop per byte.
+    """
+    length = len(a)
+    if length != len(b):
+        raise ValueError(f"length mismatch: {length} != {len(b)}")
+    return (
+        int.from_bytes(a, "little") ^ int.from_bytes(b, "little")
+    ).to_bytes(length, "little")
 
 
 def axpy_bytes(coefficient: int, x: bytes, y: bytes) -> bytes:
     """Return ``coefficient * x + y`` over GF(256), element-wise."""
+    if coefficient == 0:
+        if len(x) != len(y):
+            raise ValueError(f"length mismatch: {len(x)} != {len(y)}")
+        return y
     return add_bytes(scale_bytes(coefficient, x), y)

@@ -29,8 +29,12 @@ class CodedPayload:
     def __post_init__(self) -> None:
         if not self.coefficients:
             raise ValueError("coefficient vector must be non-empty")
-        if any(not 0 <= c <= 255 for c in self.coefficients):
-            raise ValueError("coefficients must be GF(256) elements")
+        # One bytes() round-trip validates every element is in 0..255 at
+        # C speed (no per-element Python loop).
+        try:
+            bytes(self.coefficients)
+        except (ValueError, TypeError) as exc:
+            raise ValueError("coefficients must be GF(256) elements") from exc
 
     @property
     def k(self) -> int:
@@ -77,15 +81,20 @@ def combine(payloads: list[CodedPayload], coefficients: list[int]) -> CodedPaylo
     length = len(payloads[0].data)
     if any(p.generation != generation or p.k != k or len(p.data) != length for p in payloads):
         raise ValueError("payloads must share generation, k and length")
-    out_coeffs = [0] * k
-    out_data = bytes(length)
+    # Accumulate both the coefficient vector and the payload as integers:
+    # scale via one translate pass each, then XOR whole strings at once.
+    acc_coeffs = 0
+    acc_data = 0
     for coefficient, payload in zip(coefficients, payloads):
         if coefficient == 0:
             continue
-        for i in range(k):
-            out_coeffs[i] = gf256.add(out_coeffs[i], gf256.mul(coefficient, payload.coefficients[i]))
-        out_data = gf256.axpy_bytes(coefficient, payload.data, out_data)
-    return CodedPayload(generation, tuple(out_coeffs), out_data)
+        acc_coeffs ^= int.from_bytes(
+            gf256.scale_bytes(coefficient, bytes(payload.coefficients)), "little"
+        )
+        acc_data ^= int.from_bytes(gf256.scale_bytes(coefficient, payload.data), "little")
+    out_coeffs = tuple(acc_coeffs.to_bytes(k, "little"))
+    out_data = acc_data.to_bytes(length, "little")
+    return CodedPayload(generation, out_coeffs, out_data)
 
 
 class GenerationDecoder:
@@ -101,8 +110,9 @@ class GenerationDecoder:
         self.k = k
         self.payload_len = payload_len
         # rows[i] holds a payload whose leading (pivot) coefficient is at
-        # column i and equals 1, with zeros left of it.
-        self._rows: list[tuple[list[int], bytes] | None] = [None] * k
+        # column i and equals 1, with zeros left of it.  Coefficient
+        # vectors are kept as bytes so elimination is translate + XOR.
+        self._rows: list[tuple[bytes, bytes] | None] = [None] * k
         self.rank = 0
         self.redundant = 0
 
@@ -116,24 +126,24 @@ class GenerationDecoder:
             raise DecodingError(f"expected k={self.k}, got {payload.k}")
         if len(payload.data) != self.payload_len:
             raise DecodingError("payload length mismatch within generation")
-        coeffs = list(payload.coefficients)
+        coeffs = bytes(payload.coefficients)
         data = payload.data
         for column in range(self.k):
-            if coeffs[column] == 0:
+            factor = coeffs[column]
+            if factor == 0:
                 continue
             existing = self._rows[column]
             if existing is None:
                 # Normalize the pivot to 1 and store.
-                pivot_inv = gf256.inv(coeffs[column])
-                coeffs = [gf256.mul(pivot_inv, c) for c in coeffs]
+                pivot_inv = gf256.inv(factor)
+                coeffs = gf256.scale_bytes(pivot_inv, coeffs)
                 data = gf256.scale_bytes(pivot_inv, data)
                 self._rows[column] = (coeffs, data)
                 self.rank += 1
                 return True
-            # Eliminate this column using the stored row.
-            factor = coeffs[column]
+            # Eliminate this column using the stored row (translate + XOR).
             row_coeffs, row_data = existing
-            coeffs = [gf256.add(c, gf256.mul(factor, rc)) for c, rc in zip(coeffs, row_coeffs)]
+            coeffs = gf256.axpy_bytes(factor, row_coeffs, coeffs)
             data = gf256.axpy_bytes(factor, row_data, data)
         self.redundant += 1
         return False
@@ -143,16 +153,14 @@ class GenerationDecoder:
         if not self.complete:
             raise DecodingError(f"generation incomplete: rank {self.rank}/{self.k}")
         # Copy rows for back substitution (upper-triangular with unit pivots).
-        rows = [(list(coeffs), data) for entry in self._rows if entry is not None
-                for coeffs, data in [entry]]
+        rows = [entry for entry in self._rows if entry is not None]
         for i in range(self.k - 1, -1, -1):
             coeffs_i, data_i = rows[i]
             for j in range(i + 1, self.k):
                 factor = coeffs_i[j]
                 if factor:
                     coeffs_j, data_j = rows[j]
-                    coeffs_i = [gf256.add(c, gf256.mul(factor, cj))
-                                for c, cj in zip(coeffs_i, coeffs_j)]
+                    coeffs_i = gf256.axpy_bytes(factor, coeffs_j, coeffs_i)
                     data_i = gf256.axpy_bytes(factor, data_j, data_i)
             rows[i] = (coeffs_i, data_i)
         return [data for _, data in rows]

@@ -27,7 +27,7 @@ class CircularBuffer(Generic[T]):
     semantics wrap the buffer with runtime-specific synchronization.
     """
 
-    __slots__ = ("_items", "_capacity", "_head", "_count", "_closed")
+    __slots__ = ("_items", "_capacity", "_head", "_count", "_closed", "on_size_change")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -37,6 +37,10 @@ class CircularBuffer(Generic[T]):
         self._head = 0  # index of the oldest item
         self._count = 0
         self._closed = False
+        #: optional listener called with the size delta after every
+        #: mutation; lets aggregators (e.g. SwitchScheduler) maintain
+        #: totals incrementally instead of re-summing buffers
+        self.on_size_change = None
 
     # --- capacity --------------------------------------------------------------
 
@@ -72,6 +76,8 @@ class CircularBuffer(Generic[T]):
         tail = (self._head + self._count) % self._capacity
         self._items[tail] = item
         self._count += 1
+        if self.on_size_change is not None:
+            self.on_size_change(1)
 
     def get(self) -> T:
         """Remove and return the oldest item; raises ``IndexError`` if empty."""
@@ -81,6 +87,8 @@ class CircularBuffer(Generic[T]):
         self._items[self._head] = None  # drop the reference promptly
         self._head = (self._head + 1) % self._capacity
         self._count -= 1
+        if self.on_size_change is not None:
+            self.on_size_change(-1)
         assert item is not None
         return item
 
@@ -98,6 +106,8 @@ class CircularBuffer(Generic[T]):
         self._items = [None] * self._capacity
         self._head = 0
         self._count = 0
+        if drained and self.on_size_change is not None:
+            self.on_size_change(-len(drained))
         return drained
 
     # --- lifecycle -----------------------------------------------------------------

@@ -113,27 +113,56 @@ class Message:
         )
         return header + self._payload
 
+    def header_bytes(self) -> bytes:
+        """The packed 24-byte header alone.
+
+        Writers that can emit header and payload as separate buffers
+        (e.g. :func:`repro.net.framing.write_message`) avoid copying the
+        payload into a concatenated frame — the payload bytes object is
+        handed to the transport by reference.
+        """
+        return _HEADER_STRUCT.pack(
+            self._type,
+            ip_to_int(self._sender.ip),
+            self._sender.port,
+            self._app,
+            self.seq,
+            len(self._payload),
+        )
+
     @classmethod
-    def unpack(cls, data: bytes | memoryview, max_payload: int = MAX_PAYLOAD) -> "Message":
+    def unpack(cls, data: bytes | bytearray | memoryview, max_payload: int = MAX_PAYLOAD) -> "Message":
         """Deserialize a message from wire bytes.
 
-        Raises :class:`~repro.errors.CodecError` when the buffer is
-        truncated, carries trailing garbage, or declares an oversized
-        payload.
+        The header is parsed in place (``unpack_from`` on a memoryview —
+        no copy of the receive buffer), and only the payload bytes are
+        materialized.  Raises :class:`~repro.errors.CodecError` when the
+        buffer is truncated, carries trailing garbage, or declares an
+        oversized payload.
         """
-        data = bytes(data)
-        if len(data) < HEADER_SIZE:
-            raise CodecError(f"truncated header: {len(data)} < {HEADER_SIZE} bytes")
-        type_, ip_int, port, app, seq, payload_size = _HEADER_STRUCT.unpack_from(data)
+        view = memoryview(data)
+        total = view.nbytes
+        if total < HEADER_SIZE:
+            raise CodecError(f"truncated header: {total} < {HEADER_SIZE} bytes")
+        type_, ip_int, port, app, seq, payload_size = _HEADER_STRUCT.unpack_from(view)
         if payload_size > max_payload:
             raise CodecError(f"declared payload {payload_size} exceeds limit {max_payload}")
-        if len(data) != HEADER_SIZE + payload_size:
+        if total != HEADER_SIZE + payload_size:
             raise CodecError(
                 f"payload length mismatch: header declares {payload_size}, "
-                f"buffer carries {len(data) - HEADER_SIZE}"
+                f"buffer carries {total - HEADER_SIZE}"
             )
         sender = NodeId(int_to_ip(ip_int), port)
-        return cls(type_, sender, app, data[HEADER_SIZE:], seq=seq)
+        # Fast path past __init__'s re-validation: every field was either
+        # range-checked above or is structurally valid by construction.
+        msg = cls.__new__(cls)
+        msg._type = type_
+        msg._sender = sender
+        msg._app = app
+        msg.seq = seq
+        msg._payload = view[HEADER_SIZE:].tobytes() if payload_size else b""
+        msg._trace_id = None
+        return msg
 
     # --- copying ---------------------------------------------------------------
 

@@ -62,6 +62,12 @@ class ReceiverPort:
     buffer: "CircularBuffer[Message]"
     weight: int = 1
     pending: list[PendingForward] = field(default_factory=list)
+    #: back-reference set by :meth:`SwitchScheduler.add_port`; lets the
+    #: scheduler maintain its incremental work counters
+    scheduler: "SwitchScheduler | None" = field(init=False, default=None, repr=False)
+    #: whether this port is currently counted in the scheduler's
+    #: pending-ports tally (kept exact by add_pending/prune_pending)
+    _pending_counted: bool = field(init=False, default=False, repr=False)
     #: messages the algorithm HOLDs are charged here for observability
     held: int = 0
     #: cumulative messages taken off this port by switch rounds
@@ -94,9 +100,23 @@ class ReceiverPort:
         """True while a partially-forwarded message occupies this port."""
         return any(not forward.done for forward in self.pending)
 
+    def add_pending(self, forward: PendingForward) -> None:
+        """Register a partially-forwarded message (keeps counters exact)."""
+        self.pending.append(forward)
+        if not self._pending_counted and self.scheduler is not None:
+            self._pending_counted = True
+            self.scheduler._pending_ports += 1
+
     def prune_pending(self) -> None:
         """Drop completed forwards."""
-        self.pending = [forward for forward in self.pending if not forward.done]
+        if self.pending:
+            self.pending = [forward for forward in self.pending if not forward.done]
+        # Resync the scheduler's pending-ports tally with reality; this
+        # also repairs counts for tests that append to ``pending``
+        # directly instead of via add_pending.
+        if self.scheduler is not None and self._pending_counted != bool(self.pending):
+            self._pending_counted = bool(self.pending)
+            self.scheduler._pending_ports += 1 if self._pending_counted else -1
 
     def discard_dest(self, dest: NodeId) -> None:
         """Remove a (dead) destination from every pending forward."""
@@ -120,7 +140,25 @@ class SwitchScheduler:
     def __init__(self) -> None:
         self._ports: dict[NodeId, ReceiverPort] = {}
         self._order: list[NodeId] = []
+        #: ports in registration order, parallel to ``_order`` — the
+        #: rotation source, kept so a pass never rebuilds dict lookups
+        self._seq: list[ReceiverPort] = []
+        #: reused output list handed out by :meth:`rotation`; valid until
+        #: the next call (engines consume each pass before requesting
+        #: another, so aliasing is safe)
+        self._pass: list[ReceiverPort] = []
         self._cursor = 0
+        # Incrementally maintained work counters: total messages sitting
+        # in receiver buffers (fed by buffer size listeners) and number
+        # of ports with a non-empty pending list (fed by ReceiverPort).
+        self._buffered = 0
+        self._pending_ports = 0
+        #: ports whose buffer lacks the size-listener hook; while > 0 the
+        #: aggregate queries fall back to scanning
+        self._unhooked = 0
+        # Bind the listener once so attach/detach identity checks work
+        # (each attribute access would otherwise build a fresh bound method).
+        self._buffer_listener = self._on_buffer_delta
         #: cumulative round-robin passes handed out (telemetry reads this)
         self.rotations = 0
         #: cumulative credit epochs started (telemetry reads this)
@@ -128,18 +166,46 @@ class SwitchScheduler:
 
     # --- registry -------------------------------------------------------------------
 
+    def _on_buffer_delta(self, delta: int) -> None:
+        self._buffered += delta
+
     def add_port(self, port: ReceiverPort) -> None:
         if port.peer in self._ports:
             raise ValueError(f"duplicate receiver port for {port.peer}")
         port.credit = port.weight
+        port.scheduler = self
         self._ports[port.peer] = port
         self._order.append(port.peer)
+        self._seq.append(port)
+        self._buffered += len(port.buffer)
+        if port.pending:
+            port._pending_counted = True
+            self._pending_ports += 1
+        else:
+            port._pending_counted = False
+        # Bounded FIFOs in this repo (CircularBuffer, SimQueue,
+        # AsyncBoundedQueue) expose an on_size_change hook; anything else
+        # (e.g. a bare deque in a unit test) falls back to lazy counting.
+        if hasattr(port.buffer, "on_size_change"):
+            port.buffer.on_size_change = self._buffer_listener
+        else:
+            self._unhooked += 1
 
     def remove_port(self, peer: NodeId) -> ReceiverPort | None:
         port = self._ports.pop(peer, None)
         if port is not None:
             index = self._order.index(peer)
             self._order.pop(index)
+            self._seq.pop(index)
+            self._buffered -= len(port.buffer)
+            if port._pending_counted:
+                self._pending_ports -= 1
+                port._pending_counted = False
+            port.scheduler = None
+            if getattr(port.buffer, "on_size_change", None) is self._buffer_listener:
+                port.buffer.on_size_change = None
+            elif not hasattr(port.buffer, "on_size_change"):
+                self._unhooked -= 1
             if index < self._cursor:
                 self._cursor -= 1
             if self._order:
@@ -164,12 +230,20 @@ class SwitchScheduler:
     def replenish_credits(self) -> None:
         """Start a new deficit-round-robin epoch: credit = weight."""
         self.epochs += 1
-        for port in self._ports.values():
+        for port in self._seq:
             port.credit = port.weight
 
     @property
     def ports(self) -> list[ReceiverPort]:
-        return [self._ports[peer] for peer in self._order]
+        return list(self._seq)
+
+    def ports_view(self) -> list[ReceiverPort]:
+        """The live registration-order port list (do not mutate).
+
+        Engines iterate this per round; unlike :attr:`ports` it does not
+        allocate a copy.
+        """
+        return self._seq
 
     def __len__(self) -> int:
         return len(self._ports)
@@ -177,21 +251,37 @@ class SwitchScheduler:
     # --- scheduling -------------------------------------------------------------------
 
     def rotation(self) -> list[ReceiverPort]:
-        """One full round-robin pass, resuming after the previous pass."""
-        if not self._order:
+        """One full round-robin pass, resuming after the previous pass.
+
+        The returned list is reused across calls (one allocation per
+        scheduler, not per engine pass); callers must finish with a pass
+        before requesting the next.
+        """
+        seq = self._seq
+        count = len(seq)
+        if not count:
             return []
         self.rotations += 1
-        ordered = [
-            self._ports[self._order[(self._cursor + offset) % len(self._order)]]
-            for offset in range(len(self._order))
-        ]
-        self._cursor = (self._cursor + 1) % len(self._order)
+        cursor = self._cursor
+        ordered = self._pass
+        if len(ordered) != count:
+            ordered = self._pass = [None] * count  # type: ignore[list-item]
+        split = count - cursor
+        ordered[:split] = seq[cursor:]
+        ordered[split:] = seq[:cursor]
+        self._cursor = cursor + 1 if cursor + 1 < count else 0
         return ordered
 
     def has_work(self) -> bool:
-        """True if any port has buffered or pending messages."""
-        return any(port.has_work() for port in self._ports.values())
+        """True if any port has buffered or pending messages (O(1))."""
+        if self._buffered > 0 or self._pending_ports > 0:
+            return True
+        if self._unhooked:
+            return any(port.has_work() for port in self._seq)
+        return False
 
     def total_buffered(self) -> int:
-        """Total messages waiting across all receiver buffers."""
-        return sum(len(port.buffer) for port in self._ports.values())
+        """Total messages waiting across all receiver buffers (O(1))."""
+        if self._unhooked:
+            return sum(len(port.buffer) for port in self._seq)
+        return self._buffered

@@ -123,6 +123,7 @@ def build_butterfly(
     buffer_capacity: int = 10000,
     latency: float = 0.005,
     seed: int = 0,
+    telemetry: "Telemetry | None" = None,
 ) -> ButterflyNet:
     """The Fig. 8 topology: stream *a* via B, stream *b* via C, merge at D.
 
@@ -135,6 +136,7 @@ def build_butterfly(
         default_latency=latency,
         engine=EngineConfig(buffer_capacity=buffer_capacity),
         seed=seed,
+        telemetry=telemetry,
     ))
     source = CodedSourceAlgorithm()
     b_alg = CopyForwardAlgorithm()

@@ -36,8 +36,16 @@ async def read_message(reader: asyncio.StreamReader) -> Message:
 
 
 def write_message(writer: asyncio.StreamWriter, msg: Message) -> None:
-    """Queue one message on the stream (caller drains with ``await writer.drain()``)."""
-    writer.write(msg.pack())
+    """Queue one message on the stream (caller drains with ``await writer.drain()``).
+
+    Header and payload are written as separate buffers: the payload
+    bytes object reaches the transport by reference instead of being
+    copied into a concatenated frame first (zero-copy on the data path).
+    """
+    writer.write(msg.header_bytes())
+    payload = msg.payload
+    if payload:
+        writer.write(payload)
 
 
 def hello_message(node: NodeId) -> Message:

@@ -28,6 +28,9 @@ class AsyncBoundedQueue(Generic[T]):
         self._closed = False
         self._getters: deque[asyncio.Future] = deque()
         self._putters: deque[asyncio.Future] = deque()
+        #: optional listener called with the size delta after every
+        #: mutation (see :class:`repro.core.buffer.CircularBuffer`)
+        self.on_size_change = None
 
     # --- introspection --------------------------------------------------------------
 
@@ -63,6 +66,8 @@ class AsyncBoundedQueue(Generic[T]):
                 raise BufferClosedError("put on closed queue")
             if not self.is_full:
                 self._items.append(item)
+                if self.on_size_change is not None:
+                    self.on_size_change(1)
                 self._wake(self._getters)
                 return
             waiter = asyncio.get_running_loop().create_future()
@@ -81,6 +86,8 @@ class AsyncBoundedQueue(Generic[T]):
         if self.is_full:
             return False
         self._items.append(item)
+        if self.on_size_change is not None:
+            self.on_size_change(1)
         self._wake(self._getters)
         return True
 
@@ -89,6 +96,8 @@ class AsyncBoundedQueue(Generic[T]):
         if self._closed:
             raise BufferClosedError("put on closed queue")
         self._items.append(item)
+        if self.on_size_change is not None:
+            self.on_size_change(1)
         self._wake(self._getters)
 
     async def get(self) -> T:
@@ -96,6 +105,8 @@ class AsyncBoundedQueue(Generic[T]):
         while True:
             if self._items:
                 item = self._items.popleft()
+                if self.on_size_change is not None:
+                    self.on_size_change(-1)
                 self._wake(self._putters)
                 return item
             if self._closed:
@@ -114,6 +125,8 @@ class AsyncBoundedQueue(Generic[T]):
         if not self._items:
             raise IndexError("queue empty")
         item = self._items.popleft()
+        if self.on_size_change is not None:
+            self.on_size_change(-1)
         self._wake(self._putters)
         return item
 
@@ -121,6 +134,8 @@ class AsyncBoundedQueue(Generic[T]):
         """Remove and return everything queued, oldest first."""
         items = list(self._items)
         self._items.clear()
+        if items and self.on_size_change is not None:
+            self.on_size_change(-len(items))
         self._wake(self._putters)
         return items
 

@@ -543,9 +543,11 @@ class SimEngine:
         # credit, start a new epoch.  (Ports with credit left keep their
         # claim on upcoming sender-buffer slots, which is exactly what makes
         # the weight ratio hold under output congestion.)
-        backlog = [port for port in self._scheduler.ports if port.has_work()]
-        if backlog and all(port.credit <= 0 for port in backlog):
-            self._scheduler.replenish_credits()
+        scheduler = self._scheduler
+        if scheduler.has_work() and all(
+            port.credit <= 0 for port in scheduler.ports_view() if port.has_work()
+        ):
+            scheduler.replenish_credits()
             if ins is not None:
                 ins.n_credit_epochs += 1
             progressed = True  # rerun the switch with fresh credits
@@ -612,7 +614,7 @@ class SimEngine:
             if pending and pending[-1].msg is msg:
                 pending[-1].remaining.append(dest)
             else:
-                pending.append(PendingForward(msg, [dest]))
+                self._current_port.add_pending(PendingForward(msg, [dest]))
         elif self._source_pending is not None:
             if self._source_pending and self._source_pending[-1].msg is msg:
                 self._source_pending[-1].remaining.append(dest)

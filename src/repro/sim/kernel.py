@@ -4,8 +4,8 @@ The paper's engine is a set of POSIX threads (receivers, senders, the
 engine thread) that block on buffers and sockets.  We reproduce that
 concurrency structure as coroutine tasks over *virtual time*: the same
 blocking style (``await queue.get()``, ``await kernel.sleep(d)``), but
-scheduled by a priority queue of timestamped events, so every run is
-exactly reproducible and simulated hours execute in real-time seconds.
+scheduled by timestamped events, so every run is exactly reproducible
+and simulated hours execute in real-time seconds.
 
 This kernel is intentionally independent of ``asyncio``: it drives
 coroutines directly via ``send``/``throw``.  Any ``async def`` function
@@ -17,15 +17,40 @@ Determinism guarantees:
 - events fire in (time, creation sequence) order — FIFO among ties;
 - task wake-ups are themselves events, so the interleaving is a pure
   function of the program and the seed.
+
+Two event stores back those guarantees.  Timed events (``call_at``,
+``call_later``, ``sleep``) live in a binary heap; *immediate* events
+(``call_soon``, task wake-ups — the overwhelming majority in a message
+switching workload) live in a FIFO ready deque and never touch the
+heap.  Both carry the same global creation sequence, so draining them
+in (time, sequence) order reproduces exactly the schedule a single
+heap would have produced.
+
+Timers are cancellable: ``call_at``/``call_later`` return a
+:class:`TimerHandle`, and cancelling a task whose ``sleep`` is pending
+retires the underlying timer immediately instead of leaving a dead
+entry in the heap until its deadline.  Dead entries that do arise are
+skipped on pop and compacted away when they outnumber the live ones,
+so the heap stays bounded under arbitrary spawn/cancel churn.
 """
 
 from __future__ import annotations
 
 import heapq
-import random
+from collections import deque
+from random import Random
 from typing import Any, Awaitable, Callable, Coroutine, Generator
 
 from repro.errors import SimulationError
+
+# A scheduled event is a mutable 4-slot list [when, seq, callback, args].
+# Lists (not tuples) so cancellation can null the callback in place; the
+# unique ``seq`` guarantees heap comparisons never reach the callback.
+_WHEN, _SEQ, _CALLBACK, _ARGS = 0, 1, 2, 3
+
+#: lazy heap compaction threshold: rebuild once dead timers both exceed
+#: this floor and outnumber live entries (amortized O(1) per cancel)
+_COMPACT_FLOOR = 64
 
 
 class Cancelled(BaseException):
@@ -37,17 +62,64 @@ class Cancelled(BaseException):
     """
 
 
-class Future:
-    """A one-shot container for a value that a task can ``await``."""
+class TimerHandle:
+    """A cancellable reference to one timed event.
 
-    __slots__ = ("_kernel", "_done", "_result", "_exception", "_callbacks")
+    Returned by :meth:`Kernel.call_at` and :meth:`Kernel.call_later`.
+    ``cancel()`` is idempotent and O(1): the heap entry is retired in
+    place and skipped (or compacted away) by the run loop.
+    """
+
+    __slots__ = ("_entry", "_kernel")
+
+    def __init__(self, entry: list, kernel: "Kernel") -> None:
+        self._entry = entry
+        self._kernel = kernel
+
+    @property
+    def when(self) -> float:
+        """The virtual time this timer fires (even after cancellation)."""
+        return self._entry[_WHEN]
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled (or already fired — the entry is spent)."""
+        return self._entry[_CALLBACK] is None
+
+    def cancel(self) -> None:
+        """Retire the timer; a no-op if it already fired or was cancelled."""
+        entry = self._entry
+        if entry[_CALLBACK] is not None:
+            entry[_CALLBACK] = None
+            entry[_ARGS] = None
+            self._kernel._timer_died()
+
+    def __repr__(self) -> str:
+        state = "cancelled/spent" if self.cancelled else f"at {self.when}"
+        return f"TimerHandle({state})"
+
+
+class Future:
+    """A one-shot container for a value that a task can ``await``.
+
+    The common case — exactly one waiter (the awaiting task) — is kept
+    allocation-free: the first callback lands in a dedicated slot and
+    only additional waiters grow a list.
+    """
+
+    __slots__ = ("_kernel", "_done", "_result", "_exception",
+                 "_callback", "_callbacks", "_timer")
 
     def __init__(self, kernel: "Kernel") -> None:
         self._kernel = kernel
         self._done = False
         self._result: Any = None
         self._exception: BaseException | None = None
-        self._callbacks: list[Callable[["Future"], None]] = []
+        self._callback: Callable[["Future"], None] | None = None
+        self._callbacks: list[Callable[["Future"], None]] | None = None
+        # The heap entry resolving this future, when it is a sleep; lets
+        # task cancellation retire the timer instead of abandoning it.
+        self._timer: list | None = None
 
     @property
     def done(self) -> bool:
@@ -77,13 +149,22 @@ class Future:
     def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
         if self._done:
             callback(self)
+        elif self._callback is None:
+            self._callback = callback
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
     def _fire(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
+        callback = self._callback
+        if callback is not None:
+            self._callback = None
             callback(self)
+        if self._callbacks is not None:
+            callbacks, self._callbacks = self._callbacks, None
+            for callback in callbacks:
+                callback(self)
 
     def __await__(self) -> Generator["Future", None, Any]:
         if not self._done:
@@ -94,7 +175,8 @@ class Future:
 class Task:
     """A coroutine being driven by the kernel."""
 
-    __slots__ = ("_kernel", "_coro", "name", "_finished", "_result", "_exception", "_cancelled", "_waiting_on", "_done_futures")
+    __slots__ = ("_kernel", "_coro", "name", "_finished", "_result",
+                 "_exception", "_cancelled", "_waiting_on", "_done_futures")
 
     def __init__(self, kernel: "Kernel", coro: Coroutine[Any, Any, Any], name: str) -> None:
         self._kernel = kernel
@@ -105,7 +187,7 @@ class Task:
         self._exception: BaseException | None = None
         self._cancelled = False
         self._waiting_on: Future | None = None
-        self._done_futures: list[Future] = []
+        self._done_futures: list[Future] | None = None
 
     # --- state ------------------------------------------------------------------
 
@@ -130,6 +212,8 @@ class Task:
         if self._finished:
             future.set_result(self._result)
         else:
+            if self._done_futures is None:
+                self._done_futures = []
             self._done_futures.append(future)
         return future
 
@@ -140,8 +224,16 @@ class Task:
         if self._finished or self._cancelled:
             return
         self._cancelled = True
-        # Detach from whatever it is waiting on and schedule the throw.
-        self._waiting_on = None
+        # Detach from whatever it is waiting on; a pending sleep's timer
+        # is retired immediately so it never lingers in the heap.
+        waiting = self._waiting_on
+        if waiting is not None:
+            self._waiting_on = None
+            timer = waiting._timer
+            if timer is not None and timer[_CALLBACK] is not None:
+                timer[_CALLBACK] = None
+                timer[_ARGS] = None
+                self._kernel._timer_died()
         self._kernel.call_soon(self._step_throw, Cancelled())
 
     # --- stepping ------------------------------------------------------------------
@@ -175,7 +267,7 @@ class Task:
             self._park(yielded)
 
     def _park(self, yielded: Any) -> None:
-        if not isinstance(yielded, Future):
+        if type(yielded) is not Future and not isinstance(yielded, Future):
             self._finish(
                 exception=SimulationError(
                     f"task {self.name!r} awaited a non-kernel awaitable: {yielded!r}"
@@ -190,10 +282,14 @@ class Task:
         if self._finished or future is not self._waiting_on:
             return
         self._waiting_on = None
-        if future._exception is not None:
-            self._kernel.call_soon(self._step_throw, future._exception)
+        kernel = self._kernel
+        seq = kernel._sequence
+        kernel._sequence = seq + 1
+        exc = future._exception
+        if exc is not None:
+            kernel._ready.append((seq, self._step_throw, (exc,)))
         else:
-            self._kernel.call_soon(self._step_send, future._result)
+            kernel._ready.append((seq, self._step_send, (future._result,)))
 
     def _finish(
         self,
@@ -207,12 +303,13 @@ class Task:
         self._cancelled = cancelled or self._cancelled
         self._coro.close()
         self._kernel._task_finished(self)
-        for future in self._done_futures:
-            if exception is not None:
-                future.set_exception(exception)
-            else:
-                future.set_result(result)
-        self._done_futures.clear()
+        if self._done_futures is not None:
+            for future in self._done_futures:
+                if exception is not None:
+                    future.set_exception(exception)
+                else:
+                    future.set_result(result)
+            self._done_futures = None
 
     def __repr__(self) -> str:
         state = "finished" if self._finished else ("cancelled" if self._cancelled else "running")
@@ -222,13 +319,22 @@ class Task:
 class Kernel:
     """The virtual-time event loop."""
 
+    __slots__ = ("_now", "_heap", "_ready", "_sequence", "_live",
+                 "_crashed", "_dead_timers", "rng")
+
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        #: timed events: a heap of [when, seq, callback, args] lists
+        self._heap: list[list] = []
+        #: immediate events: (seq, callback, args) in FIFO order
+        self._ready: deque[tuple[int, Callable[..., None], tuple]] = deque()
         self._sequence = 0
-        self._tasks: list[Task] = []
+        #: insertion-ordered set of unfinished tasks
+        self._live: dict[Task, None] = {}
         self._crashed: list[Task] = []
-        self.rng = random.Random(seed)
+        #: cancelled timers still sitting in the heap (compacted lazily)
+        self._dead_timers = 0
+        self.rng = Random(seed)
 
     # --- time --------------------------------------------------------------------
 
@@ -239,56 +345,93 @@ class Kernel:
 
     # --- scheduling -----------------------------------------------------------------
 
-    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
-        """Schedule ``callback(*args)`` at virtual time ``when``."""
+    def _next_seq(self) -> int:
+        seq = self._sequence
+        self._sequence = seq + 1
+        return seq
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> TimerHandle:
+        """Schedule ``callback(*args)`` at virtual time ``when``.
+
+        Returns a :class:`TimerHandle` whose ``cancel()`` retires the
+        event without waiting for its deadline.
+        """
         if when < self._now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
-        heapq.heappush(self._heap, (when, self._sequence, callback, args))
-        self._sequence += 1
+        entry = [when, self._next_seq(), callback, args]
+        heapq.heappush(self._heap, entry)
+        return TimerHandle(entry, self)
 
-    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> TimerHandle:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self.call_at(self._now + delay, callback, *args)
+        return self.call_at(self._now + delay, callback, *args)
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
-        self.call_at(self._now, callback, *args)
+        """Schedule ``callback(*args)`` at the current virtual time.
+
+        The fast path: lands in the FIFO ready deque, never the heap.
+        """
+        seq = self._sequence
+        self._sequence = seq + 1
+        self._ready.append((seq, callback, args))
 
     def sleep(self, delay: float) -> Future:
         """Awaitable that resolves ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
         future = Future(self)
-        self.call_later(delay, self._resolve_sleep, future)
+        entry = [self._now + delay, self._next_seq(), self._resolve_sleep, (future,)]
+        heapq.heappush(self._heap, entry)
+        future._timer = entry
         return future
 
     @staticmethod
     def _resolve_sleep(future: Future) -> None:
-        if not future.done:  # a cancelled sleeper may have been abandoned
+        if not future.done:  # an abandoned sleeper's future resolves into the void
             future.set_result(None)
 
     def future(self) -> Future:
         return Future(self)
+
+    # --- timer bookkeeping ------------------------------------------------------
+
+    def _timer_died(self) -> None:
+        """Account one cancelled heap entry; compact when they dominate."""
+        self._dead_timers = dead = self._dead_timers + 1
+        if dead > _COMPACT_FLOOR and dead * 2 > len(self._heap):
+            self._heap = [entry for entry in self._heap if entry[_CALLBACK] is not None]
+            heapq.heapify(self._heap)
+            self._dead_timers = 0
+
+    @property
+    def pending_timers(self) -> int:
+        """Live (non-cancelled) entries currently in the timer heap."""
+        return len(self._heap) - self._dead_timers
 
     # --- tasks ---------------------------------------------------------------------
 
     def spawn(self, coro: Coroutine[Any, Any, Any], name: str | None = None) -> Task:
         """Start driving ``coro`` as a task (first step runs as an event *now*)."""
         task = Task(self, coro, name or getattr(coro, "__name__", "task"))
-        self._tasks.append(task)
-        self.call_soon(task._step_send, None)
+        self._live[task] = None
+        self._ready.append((self._next_seq(), task._step_send, (None,)))
         return task
 
     def _task_finished(self, task: Task) -> None:
+        self._live.pop(task, None)
         if task._exception is not None:
             self._crashed.append(task)
 
     @property
     def live_tasks(self) -> list[Task]:
-        return [task for task in self._tasks if not task.finished]
+        """Unfinished tasks, in spawn order (no scan over finished ones)."""
+        return list(self._live)
 
     # --- running ----------------------------------------------------------------------
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
-        """Process events in order until the heap drains or ``until`` passes.
+        """Process events in order until both stores drain or ``until`` passes.
 
         Returns the virtual time at which the run stopped.  If any task
         crashed with an exception, the first crash is re-raised so test
@@ -296,43 +439,114 @@ class Kernel:
         ``max_events`` is a debugging guard against zero-latency livelock
         (an unbounded cascade of same-timestamp events).
         """
-        processed = 0
-        while self._heap:
-            when, _, callback, args = self._heap[0]
-            if until is not None and when > until:
+        if until is not None and until < self._now:
+            return self._now
+        heap = self._heap
+        ready = self._ready
+        ready_pop = ready.popleft
+        heappop = heapq.heappop
+        crashed = self._crashed
+        budget = -1 if max_events is None else max_events
+        while True:
+            if ready:
+                # A timed event at the *current* timestamp created earlier
+                # than the ready head must fire first (global FIFO order);
+                # cancelled timers at the head are retired on the way.
+                if heap:
+                    head = heap[0]
+                    while head[_CALLBACK] is None:
+                        heappop(heap)
+                        self._dead_timers -= 1
+                        if not heap:
+                            head = None
+                            break
+                        head = heap[0]
+                    if head is not None and head[_WHEN] <= self._now and head[_SEQ] < ready[0][0]:
+                        heappop(heap)
+                        callback, args = head[_CALLBACK], head[_ARGS]
+                        head[_CALLBACK] = head[_ARGS] = None  # mark spent
+                    else:
+                        _, callback, args = ready_pop()
+                else:
+                    _, callback, args = ready_pop()
+            elif heap:
+                head = heap[0]
+                if head[_CALLBACK] is None:  # retired timer: skip, no event
+                    heappop(heap)
+                    self._dead_timers -= 1
+                    continue
+                when = head[_WHEN]
+                if until is not None and when > until:
+                    break
+                heappop(heap)
+                self._now = when
+                callback, args = head[_CALLBACK], head[_ARGS]
+                head[_CALLBACK] = head[_ARGS] = None  # mark spent
+            else:
                 break
-            if max_events is not None and processed >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events} at t={self._now}")
-            heapq.heappop(self._heap)
-            self._now = when
-            processed += 1
-            callback(*args)
-            if self._crashed:
-                task = self._crashed[0]
+            if budget >= 0:
+                if budget == 0:
+                    raise SimulationError(f"exceeded max_events={max_events} at t={self._now}")
+                budget -= 1
+            if args:
+                callback(*args)
+            else:
+                callback()
+            if crashed:
+                task = crashed[0]
                 raise SimulationError(f"task {task.name!r} crashed") from task._exception
         if until is not None and self._now < until:
             self._now = until
         return self._now
 
     def run_until_complete(self, coro: Coroutine[Any, Any, Any], timeout: float | None = None) -> Any:
-        """Spawn ``coro``, run until it finishes, and return its result."""
+        """Spawn ``coro``, run until it finishes, and return its result.
+
+        The loop mirrors :meth:`run` exactly — same two event stores,
+        same dead-timer pruning — so the deadline decision is always
+        made against the next *live* event.  On timeout the task is
+        cancelled, events up to the deadline (including the cancellation
+        throw itself) are drained, and :class:`SimulationError` is
+        raised with virtual time resting exactly at the deadline.
+        """
         task = self.spawn(coro, name="run_until_complete")
         deadline = None if timeout is None else self._now + timeout
+        heap = self._heap
+        ready = self._ready
+        crashed = self._crashed
         while not task.finished:
-            if not self._heap:
+            while heap and heap[0][_CALLBACK] is None:
+                heapq.heappop(heap)
+                self._dead_timers -= 1
+            if ready:
+                callback = None
+                if heap:
+                    head = heap[0]
+                    if head[_WHEN] <= self._now and head[_SEQ] < ready[0][0]:
+                        heapq.heappop(heap)
+                        callback, args = head[_CALLBACK], head[_ARGS]
+                        head[_CALLBACK] = head[_ARGS] = None
+                if callback is None:
+                    _, callback, args = ready.popleft()
+            elif heap:
+                head = heap[0]
+                when = head[_WHEN]
+                if deadline is not None and when > deadline:
+                    task.cancel()
+                    self.run(until=deadline)
+                    raise SimulationError(f"run_until_complete timed out after {timeout}s")
+                heapq.heappop(heap)
+                self._now = when
+                callback, args = head[_CALLBACK], head[_ARGS]
+                head[_CALLBACK] = head[_ARGS] = None
+            else:
                 raise SimulationError(
                     f"deadlock: no scheduled events but {task.name!r} has not finished"
                 )
-            if deadline is not None and self._heap[0][0] > deadline:
-                task.cancel()
-                self.run(until=deadline)
-                raise SimulationError(f"run_until_complete timed out after {timeout}s")
-            when, _, callback, args = heapq.heappop(self._heap)
-            self._now = when
             callback(*args)
-            if self._crashed:
-                crashed = self._crashed[0]
-                raise SimulationError(f"task {crashed.name!r} crashed") from crashed._exception
+            if crashed:
+                failed = crashed[0]
+                raise SimulationError(f"task {failed.name!r} crashed") from failed._exception
         return task.result()
 
 

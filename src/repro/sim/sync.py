@@ -35,6 +35,9 @@ class SimQueue(Generic[T]):
         self._getters: deque[Future] = deque()
         self._putters: deque[Future] = deque()
         self._closed = False
+        #: optional listener called with the size delta after every
+        #: mutation (see :class:`repro.core.buffer.CircularBuffer`)
+        self.on_size_change = None
 
     # --- introspection --------------------------------------------------------------
 
@@ -66,6 +69,8 @@ class SimQueue(Generic[T]):
                 raise BufferClosedError("put on closed queue")
             if not self.is_full:
                 self._items.append(item)
+                if self.on_size_change is not None:
+                    self.on_size_change(1)
                 self._wake(self._getters)
                 return
             waiter = self._kernel.future()
@@ -79,6 +84,8 @@ class SimQueue(Generic[T]):
         if self.is_full:
             return False
         self._items.append(item)
+        if self.on_size_change is not None:
+            self.on_size_change(1)
         self._wake(self._getters)
         return True
 
@@ -94,6 +101,8 @@ class SimQueue(Generic[T]):
         if self._closed:
             raise BufferClosedError("put on closed queue")
         self._items.append(item)
+        if self.on_size_change is not None:
+            self.on_size_change(1)
         self._wake(self._getters)
 
     async def get(self) -> T:
@@ -106,6 +115,8 @@ class SimQueue(Generic[T]):
         while True:
             if self._items:
                 item = self._items.popleft()
+                if self.on_size_change is not None:
+                    self.on_size_change(-1)
                 self._wake(self._putters)
                 return item
             if self._closed:
@@ -119,6 +130,8 @@ class SimQueue(Generic[T]):
         if not self._items:
             raise IndexError("queue empty")
         item = self._items.popleft()
+        if self.on_size_change is not None:
+            self.on_size_change(-1)
         self._wake(self._putters)
         return item
 
@@ -126,6 +139,8 @@ class SimQueue(Generic[T]):
         """Remove and return all queued items."""
         items = list(self._items)
         self._items.clear()
+        if items and self.on_size_change is not None:
+            self.on_size_change(-len(items))
         self._wake(self._putters)
         return items
 

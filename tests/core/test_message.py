@@ -1,7 +1,7 @@
 """Unit and property tests for the message codec (the 24-byte header)."""
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.ids import NodeId, int_to_ip, ip_to_int
@@ -101,6 +101,7 @@ ips = st.integers(min_value=0, max_value=0xFFFFFFFF).map(int_to_ip)
 node_ids = st.builds(NodeId, ip=ips, port=st.integers(min_value=0, max_value=0xFFFFFFFF))
 
 
+@settings(deadline=None)  # per-example wall-clock is load-sensitive in CI
 @given(
     type_=st.integers(min_value=0, max_value=0xFFFFFFFF),
     sender=node_ids,

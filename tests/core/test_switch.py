@@ -105,3 +105,100 @@ def test_has_work_reflects_buffer_and_pending():
     port.buffer.put(object())
     assert scheduler.has_work()
     assert scheduler.total_buffered() == 1
+
+
+# --- incremental work counters (O(1) has_work / total_buffered) -----------------
+
+
+def test_total_buffered_tracks_put_get_and_clear():
+    scheduler = SwitchScheduler()
+    pa, pb = make_port(A), make_port(B)
+    scheduler.add_port(pa)
+    scheduler.add_port(pb)
+    for _ in range(3):
+        pa.buffer.put(object())
+    pb.buffer.put(object())
+    assert scheduler.total_buffered() == 4
+    pa.buffer.get()
+    assert scheduler.total_buffered() == 3
+    pa.buffer.clear()
+    assert scheduler.total_buffered() == 1
+    pb.buffer.get()
+    assert scheduler.total_buffered() == 0
+    assert not scheduler.has_work()
+
+
+def test_counters_adopt_prefilled_buffer_on_add():
+    scheduler = SwitchScheduler()
+    port = make_port(A)
+    port.buffer.put(object())
+    port.buffer.put(object())
+    scheduler.add_port(port)
+    assert scheduler.total_buffered() == 2
+    assert scheduler.has_work()
+
+
+def test_remove_port_releases_its_buffered_count():
+    scheduler = SwitchScheduler()
+    pa, pb = make_port(A), make_port(B)
+    scheduler.add_port(pa)
+    scheduler.add_port(pb)
+    pa.buffer.put(object())
+    pb.buffer.put(object())
+    scheduler.remove_port(A)
+    assert scheduler.total_buffered() == 1
+    # The detached buffer no longer feeds the scheduler's counter.
+    pa.buffer.get()
+    assert scheduler.total_buffered() == 1
+    scheduler.remove_port(B)
+    assert scheduler.total_buffered() == 0
+    assert not scheduler.has_work()
+
+
+def test_has_work_tracks_pending_transitions():
+    scheduler = SwitchScheduler()
+    port = make_port(A)
+    scheduler.add_port(port)
+    assert not scheduler.has_work()
+    port.add_pending(PendingForward(msg=object(), remaining=[B]))
+    assert scheduler.has_work()
+    assert scheduler.total_buffered() == 0  # pending is not buffered
+    port.pending[0].remaining.clear()
+    port.prune_pending()
+    assert not scheduler.has_work()
+
+
+def test_prune_resyncs_counters_after_direct_pending_append():
+    scheduler = SwitchScheduler()
+    port = make_port(A)
+    scheduler.add_port(port)
+    # Bypass add_pending (as legacy callers might); prune repairs the tally.
+    port.pending.append(PendingForward(msg=object(), remaining=[B]))
+    port.prune_pending()
+    assert scheduler.has_work()
+    port.pending[0].remaining.clear()
+    port.prune_pending()
+    assert not scheduler.has_work()
+
+
+def test_rotation_reuses_output_list_with_stable_contents():
+    scheduler = SwitchScheduler()
+    for peer in (A, B, C):
+        scheduler.add_port(make_port(peer))
+    first = scheduler.rotation()
+    first_snapshot = [port.peer for port in first]
+    second = scheduler.rotation()
+    assert first is second  # one allocation per scheduler, not per pass
+    assert [port.peer for port in second] != first_snapshot
+    assert {port.peer for port in second} == {A, B, C}
+
+
+def test_rotation_list_resizes_when_ports_change():
+    scheduler = SwitchScheduler()
+    scheduler.add_port(make_port(A))
+    scheduler.add_port(make_port(B))
+    assert len(scheduler.rotation()) == 2
+    scheduler.add_port(make_port(C))
+    assert {port.peer for port in scheduler.rotation()} == {A, B, C}
+    scheduler.remove_port(B)
+    assert {port.peer for port in scheduler.rotation()} == {A, C}

@@ -1,0 +1,92 @@
+"""Determinism guard: the same seed must yield byte-identical traces.
+
+The kernel's fast paths (ready deque, cancellable timers, reused
+rotation lists) are pure optimizations — they must not perturb event
+order.  These tests run the fig5-style chain and the fig8 butterfly
+twice with identical seeds and require the *serialized* observer traces
+and metric snapshots to match byte for byte.  Any scheduling or
+iteration-order change in the hot path fails here before it can
+silently alter experiment results.
+"""
+
+import json
+
+from repro.algorithms.forwarding import CopyForwardAlgorithm, SinkAlgorithm
+from repro.core.bandwidth import BandwidthSpec
+from repro.experiments.common import KB
+from repro.experiments.topologies import build_butterfly
+from repro.sim.engine import EngineConfig
+from repro.sim.network import NetworkConfig, SimNetwork
+from repro.telemetry import Telemetry
+from repro.telemetry.exporters import chrome_trace_events
+
+
+def _serialize(telemetry: Telemetry) -> str:
+    """Canonical byte form of a run: full message trace + metric values."""
+    trace = chrome_trace_events(telemetry.tracer.events())
+    return json.dumps(
+        {"trace": trace, "metrics": telemetry.snapshot()}, sort_keys=True
+    )
+
+
+def _run_fig5_chain(seed: int) -> str:
+    """An instrumented fig5-style copy chain under back pressure."""
+    telemetry = Telemetry()
+    net = SimNetwork(NetworkConfig(
+        engine=EngineConfig(buffer_capacity=10),
+        seed=seed,
+        telemetry=telemetry,
+    ))
+    algorithms = [CopyForwardAlgorithm() for _ in range(4)] + [SinkAlgorithm()]
+    ids = [
+        net.add_node(
+            algorithm,
+            name=f"n{i}",
+            bandwidth=BandwidthSpec(total=100 * KB) if i == 0 else None,
+        )
+        for i, algorithm in enumerate(algorithms)
+    ]
+    for upstream, downstream in zip(algorithms, ids[1:]):
+        upstream.set_downstreams([downstream])
+    net.start()
+    net.observer.deploy_source(ids[0], app=1, payload_size=5000)
+    net.run(4.0)
+    return _serialize(telemetry)
+
+
+def _run_fig8_butterfly(seed: int) -> str:
+    """The instrumented Fig. 8 butterfly with network coding at D."""
+    telemetry = Telemetry()
+    deployment = build_butterfly(coding=True, seed=seed, telemetry=telemetry)
+    net = deployment.net
+    net.observer.deploy_source(deployment.nodes["A"], app=1, payload_size=5000)
+    net.run(8.0)
+    document = json.loads(_serialize(telemetry))
+    document["rates"] = deployment.effective_rates()
+    document["decoded"] = {
+        "F": deployment.node_f.decoded_generations,
+        "G": deployment.node_g.decoded_generations,
+    }
+    return json.dumps(document, sort_keys=True)
+
+
+def test_fig5_chain_trace_is_deterministic():
+    first = _run_fig5_chain(seed=7)
+    second = _run_fig5_chain(seed=7)
+    assert first == second
+    assert json.loads(first)["trace"]  # guard is vacuous on an empty trace
+
+
+def test_fig8_butterfly_trace_is_deterministic():
+    first = _run_fig8_butterfly(seed=3)
+    second = _run_fig8_butterfly(seed=3)
+    assert first == second
+    assert json.loads(first)["decoded"]["F"] > 0
+
+
+def test_different_seeds_may_diverge_but_never_crash():
+    # Sanity: the harness itself is sensitive enough to register runs
+    # (not comparing constants); different seeds still complete cleanly.
+    a = _run_fig5_chain(seed=1)
+    b = _run_fig5_chain(seed=2)
+    assert json.loads(a)["trace"] and json.loads(b)["trace"]

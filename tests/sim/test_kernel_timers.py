@@ -1,0 +1,197 @@
+"""Timer cancellation, heap hygiene and timeout-path regression tests.
+
+The kernel keeps cancelled timers in the heap as dead entries and
+compacts lazily; these tests pin the observable contract: cancelled
+work never fires, the heap stays bounded under churn, and
+``run_until_complete``'s timeout path stops exactly at the deadline.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Cancelled, Kernel, gather
+
+
+# --- TimerHandle ---------------------------------------------------------------
+
+
+def test_cancelled_timer_never_fires():
+    kernel = Kernel()
+    fired = []
+    handle = kernel.call_at(1.0, fired.append, "x")
+    assert handle.when == 1.0
+    assert not handle.cancelled
+    handle.cancel()
+    assert handle.cancelled
+    kernel.run()
+    assert fired == []
+    assert kernel.pending_timers == 0
+
+
+def test_cancel_is_idempotent_and_safe_after_firing():
+    kernel = Kernel()
+    fired = []
+    handle = kernel.call_at(1.0, fired.append, "x")
+    kernel.run()
+    assert fired == ["x"]
+    # Cancelling a timer that already fired must not corrupt the
+    # dead-entry accounting (the entry is spent, not pending).
+    handle.cancel()
+    handle.cancel()
+    assert kernel.pending_timers == 0
+    kernel.call_at(2.0, fired.append, "y")
+    kernel.run()
+    assert fired == ["x", "y"]
+
+
+def test_cancelling_one_of_many_timers_preserves_order():
+    kernel = Kernel()
+    order = []
+    kernel.call_at(1.0, order.append, "a")
+    doomed = kernel.call_at(2.0, order.append, "dead")
+    kernel.call_at(2.0, order.append, "b")
+    kernel.call_at(3.0, order.append, "c")
+    doomed.cancel()
+    kernel.run()
+    assert order == ["a", "b", "c"]
+
+
+# --- cancelled sleeps ----------------------------------------------------------
+
+
+def test_cancelled_sleep_retires_its_timer():
+    kernel = Kernel()
+    progress = []
+
+    async def sleeper():
+        progress.append("start")
+        try:
+            await kernel.sleep(100.0)
+        except Cancelled:
+            progress.append("cancelled")
+            raise
+        progress.append("never")
+
+    task = kernel.spawn(sleeper())
+    kernel.call_at(1.0, task.cancel)
+    kernel.run()
+    assert progress == ["start", "cancelled"]
+    # The abandoned sleep's heap entry was retired in place: nothing
+    # forces the clock out to t=100.
+    assert kernel.now == 1.0
+    assert kernel.pending_timers == 0
+
+
+def test_heap_stays_bounded_under_spawn_cancel_churn():
+    kernel = Kernel()
+
+    async def long_sleep():
+        await kernel.sleep(10_000.0)
+
+    for _ in range(2_000):
+        task = kernel.spawn(long_sleep())
+        kernel.run(until=kernel.now)  # let the task park on its sleep
+        task.cancel()
+        kernel.run(until=kernel.now)
+    assert kernel.pending_timers == 0
+    assert kernel.live_tasks == []
+    # Lazy compaction keeps dead entries from accumulating: 2000
+    # cancelled sleeps must not leave 2000 heap entries behind.
+    assert len(kernel._heap) < 256
+
+
+def test_live_tasks_tracks_only_unfinished_tasks():
+    kernel = Kernel()
+
+    async def quick():
+        await kernel.sleep(1.0)
+
+    tasks = [kernel.spawn(quick()) for _ in range(50)]
+    assert len(kernel.live_tasks) == 50
+    kernel.run()
+    assert kernel.live_tasks == []
+    assert all(task.finished for task in tasks)
+
+
+# --- gather over mixed futures -------------------------------------------------
+
+
+def test_gather_mixed_resolved_and_pending_futures():
+    kernel = Kernel()
+    resolved = kernel.future()
+    resolved.set_result("early")
+    pending = kernel.future()
+    kernel.call_at(2.0, pending.set_result, "late")
+    results = []
+
+    async def collector():
+        results.append(await gather(resolved, pending))
+
+    kernel.spawn(collector())
+    kernel.run()
+    assert results == [["early", "late"]]
+    assert kernel.now == 2.0
+
+
+# --- run_until_complete timeout path -------------------------------------------
+
+
+def test_run_until_complete_times_out_at_deadline():
+    kernel = Kernel()
+    progress = []
+
+    async def stuck():
+        progress.append("start")
+        await kernel.sleep(1_000.0)
+        progress.append("never")
+
+    with pytest.raises(SimulationError, match="timed out"):
+        kernel.run_until_complete(stuck(), timeout=5.0)
+    assert progress == ["start"]
+    # The clock rests exactly at the deadline, like run(until=...).
+    assert kernel.now == 5.0
+    # The timed-out task was cancelled, not leaked.
+    assert kernel.live_tasks == []
+    assert kernel.pending_timers == 0
+
+
+def test_run_until_complete_timeout_spares_earlier_completion():
+    kernel = Kernel()
+
+    async def quick():
+        await kernel.sleep(1.0)
+        return "done"
+
+    assert kernel.run_until_complete(quick(), timeout=5.0) == "done"
+    assert kernel.now == 1.0
+
+
+def test_run_until_complete_usable_after_timeout():
+    kernel = Kernel()
+
+    async def stuck():
+        await kernel.sleep(100.0)
+
+    with pytest.raises(SimulationError):
+        kernel.run_until_complete(stuck(), timeout=1.0)
+
+    async def next_one():
+        await kernel.sleep(2.0)
+        return kernel.now
+
+    assert kernel.run_until_complete(next_one()) == 3.0
+
+
+def test_run_until_complete_timeout_cleanup_runs_finally_blocks():
+    kernel = Kernel()
+    cleaned = []
+
+    async def careful():
+        try:
+            await kernel.sleep(50.0)
+        finally:
+            cleaned.append(True)
+
+    with pytest.raises(SimulationError):
+        kernel.run_until_complete(careful(), timeout=2.0)
+    assert cleaned == [True]
