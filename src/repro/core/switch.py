@@ -101,9 +101,14 @@ class ReceiverPort:
         return any(not forward.done for forward in self.pending)
 
     def add_pending(self, forward: PendingForward) -> None:
-        """Register a partially-forwarded message (keeps counters exact)."""
+        """Register a partially-forwarded message (keeps counters exact).
+
+        Only forwards that still owe deliveries count toward the
+        scheduler's pending-ports tally — a done forward is pruning
+        debt, not work.
+        """
         self.pending.append(forward)
-        if not self._pending_counted and self.scheduler is not None:
+        if not forward.done and not self._pending_counted and self.scheduler is not None:
             self._pending_counted = True
             self.scheduler._pending_ports += 1
 
@@ -125,7 +130,18 @@ class ReceiverPort:
         self.prune_pending()
 
     def has_work(self) -> bool:
-        return bool(self.pending) or not self.buffer.is_empty
+        """True if the buffer holds messages or a forward owes deliveries.
+
+        Forwards already completed in place (``remaining`` emptied) but
+        not yet pruned are *not* work — this keeps the engines' credit
+        epoch check aligned with what a switch pass can actually move.
+        """
+        if not self.buffer.is_empty:
+            return True
+        for forward in self.pending:
+            if not forward.done:
+                return True
+        return False
 
 
 class SwitchScheduler:
@@ -177,17 +193,20 @@ class SwitchScheduler:
         self._ports[port.peer] = port
         self._order.append(port.peer)
         self._seq.append(port)
-        self._buffered += len(port.buffer)
-        if port.pending:
+        if port.blocked:
             port._pending_counted = True
             self._pending_ports += 1
         else:
             port._pending_counted = False
         # Bounded FIFOs in this repo (CircularBuffer, SimQueue,
         # AsyncBoundedQueue) expose an on_size_change hook; anything else
-        # (e.g. a bare deque in a unit test) falls back to lazy counting.
+        # (e.g. a bare queue stub in a unit test) falls back to lazy
+        # counting.  Only hooked buffers feed ``_buffered`` — an unhooked
+        # buffer's mutations are invisible to the counter, so folding its
+        # current length in would leave a stale residue behind.
         if hasattr(port.buffer, "on_size_change"):
             port.buffer.on_size_change = self._buffer_listener
+            self._buffered += len(port.buffer)
         else:
             self._unhooked += 1
 
@@ -197,15 +216,21 @@ class SwitchScheduler:
             index = self._order.index(peer)
             self._order.pop(index)
             self._seq.pop(index)
-            self._buffered -= len(port.buffer)
             if port._pending_counted:
                 self._pending_ports -= 1
                 port._pending_counted = False
             port.scheduler = None
+            # Mirror add_port: only a buffer still wired to our listener
+            # contributed to ``_buffered`` (and its current length is
+            # exact, since every mutation flowed through the hook).
             if getattr(port.buffer, "on_size_change", None) is self._buffer_listener:
                 port.buffer.on_size_change = None
+                self._buffered -= len(port.buffer)
             elif not hasattr(port.buffer, "on_size_change"):
                 self._unhooked -= 1
+            # Drop the reused rotation list's references to the removed
+            # port so a caller-held pass cannot see it after removal.
+            self._pass.clear()
             if index < self._cursor:
                 self._cursor -= 1
             if self._order:
@@ -253,9 +278,12 @@ class SwitchScheduler:
     def rotation(self) -> list[ReceiverPort]:
         """One full round-robin pass, resuming after the previous pass.
 
-        The returned list is reused across calls (one allocation per
-        scheduler, not per engine pass); callers must finish with a pass
-        before requesting the next.
+        The returned list ALIASES internal state: it is reused across
+        calls (one allocation per scheduler, not per engine pass), so
+        each call overwrites the list handed out by the previous one.
+        Callers must finish with a pass before requesting the next and
+        must not hold the result across calls; :meth:`remove_port`
+        clears it so a stale alias can never resurrect a removed port.
         """
         seq = self._seq
         count = len(seq)

@@ -516,10 +516,20 @@ class AsyncioEngine:
             ins.n_switch_rounds += 1
             if moved:
                 ins.observe_batch(float(moved))
+        # Epoch boundary; the backlog must be explicitly non-empty so a
+        # momentarily-stale O(1) has_work() cannot fire a vacuous epoch.
         scheduler = self._scheduler
-        if scheduler.has_work() and all(
-            port.credit <= 0 for port in scheduler.ports_view() if port.has_work()
-        ):
+        has_backlog = False
+        if scheduler.has_work():  # O(1) pre-filter; may be stale-positive
+            all_spent = True
+            for port in scheduler.ports_view():
+                if port.has_work():
+                    has_backlog = True
+                    if port.credit > 0:
+                        all_spent = False
+                        break
+            has_backlog = has_backlog and all_spent
+        if has_backlog:
             scheduler.replenish_credits()
             if ins is not None:
                 ins.n_credit_epochs += 1

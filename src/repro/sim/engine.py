@@ -542,11 +542,22 @@ class SimEngine:
         # Epoch boundary: once every port that still has work has spent its
         # credit, start a new epoch.  (Ports with credit left keep their
         # claim on upcoming sender-buffer slots, which is exactly what makes
-        # the weight ratio hold under output congestion.)
+        # the weight ratio hold under output congestion.)  The backlog must
+        # be explicitly non-empty: the scheduler's O(1) has_work() can read
+        # momentarily-stale counters, and a vacuous all() over zero backlog
+        # ports would fire a spurious epoch with progressed=True.
         scheduler = self._scheduler
-        if scheduler.has_work() and all(
-            port.credit <= 0 for port in scheduler.ports_view() if port.has_work()
-        ):
+        has_backlog = False
+        if scheduler.has_work():  # O(1) pre-filter; may be stale-positive
+            all_spent = True
+            for port in scheduler.ports_view():
+                if port.has_work():
+                    has_backlog = True
+                    if port.credit > 0:
+                        all_spent = False
+                        break
+            has_backlog = has_backlog and all_spent
+        if has_backlog:
             scheduler.replenish_credits()
             if ins is not None:
                 ins.n_credit_epochs += 1

@@ -397,10 +397,16 @@ class Kernel:
     # --- timer bookkeeping ------------------------------------------------------
 
     def _timer_died(self) -> None:
-        """Account one cancelled heap entry; compact when they dominate."""
+        """Account one cancelled heap entry; compact when they dominate.
+
+        Compaction mutates the heap *in place* (slice assignment): the
+        run loops hold a local alias to ``self._heap``, and rebinding to
+        a fresh list here would strand them on the stale one whenever a
+        callback cancels enough timers mid-run.
+        """
         self._dead_timers = dead = self._dead_timers + 1
         if dead > _COMPACT_FLOOR and dead * 2 > len(self._heap):
-            self._heap = [entry for entry in self._heap if entry[_CALLBACK] is not None]
+            self._heap[:] = [entry for entry in self._heap if entry[_CALLBACK] is not None]
             heapq.heapify(self._heap)
             self._dead_timers = 0
 

@@ -181,6 +181,75 @@ def test_prune_resyncs_counters_after_direct_pending_append():
     assert not scheduler.has_work()
 
 
+class PlainBuffer:
+    """A FIFO without the on_size_change hook (the unhooked fallback)."""
+
+    def __init__(self):
+        self._items = []
+
+    def put(self, item):
+        self._items.append(item)
+
+    def get(self):
+        return self._items.pop(0)
+
+    @property
+    def is_empty(self):
+        return not self._items
+
+    def __len__(self):
+        return len(self._items)
+
+
+def test_unhooked_buffer_mutations_leave_no_residue_after_removal():
+    # Regression: an unhooked buffer's length was seeded into _buffered
+    # on add and its *current* length subtracted on remove, so any size
+    # change in between left permanent ghost work (or a negative count).
+    scheduler = SwitchScheduler()
+    port = ReceiverPort(peer=A, buffer=PlainBuffer())
+    port.buffer.put(object())
+    port.buffer.put(object())
+    scheduler.add_port(port)
+    assert scheduler.total_buffered() == 2  # scan fallback sees them
+    port.buffer.get()
+    port.buffer.get()  # drained while registered: no listener updates
+    assert scheduler.total_buffered() == 0
+    scheduler.remove_port(A)
+    assert scheduler.total_buffered() == 0
+    assert not scheduler.has_work()
+
+
+def test_unhooked_buffer_growth_cannot_go_negative_on_removal():
+    scheduler = SwitchScheduler()
+    hooked = make_port(A)
+    raw = ReceiverPort(peer=B, buffer=PlainBuffer())
+    scheduler.add_port(hooked)
+    scheduler.add_port(raw)
+    raw.buffer.put(object())  # grew while registered
+    scheduler.remove_port(B)
+    hooked.buffer.put(object())
+    # Back on the O(1) path: the hooked port's message must be visible.
+    assert scheduler.total_buffered() == 1
+    assert scheduler.has_work()
+
+
+def test_completed_forward_owes_no_work():
+    port = make_port(A)
+    forward = PendingForward(msg=object(), remaining=[B])
+    port.add_pending(forward)
+    assert port.has_work()
+    forward.remaining.clear()  # completed in place, not yet pruned
+    assert not port.has_work()  # done forwards are pruning debt, not work
+
+
+def test_add_port_ignores_done_forwards_in_pending_tally():
+    scheduler = SwitchScheduler()
+    port = make_port(A)
+    port.pending.append(PendingForward(msg=object(), remaining=[]))
+    scheduler.add_port(port)
+    assert not scheduler.has_work()
+
+
 def test_rotation_reuses_output_list_with_stable_contents():
     scheduler = SwitchScheduler()
     for peer in (A, B, C):
@@ -201,4 +270,16 @@ def test_rotation_list_resizes_when_ports_change():
     scheduler.add_port(make_port(C))
     assert {port.peer for port in scheduler.rotation()} == {A, B, C}
     scheduler.remove_port(B)
+    assert {port.peer for port in scheduler.rotation()} == {A, C}
+
+
+def test_remove_port_clears_stale_rotation_aliases():
+    scheduler = SwitchScheduler()
+    for peer in (A, B, C):
+        scheduler.add_port(make_port(peer))
+    held = scheduler.rotation()  # a caller wrongly holding the pass
+    scheduler.remove_port(B)
+    # The shared list was cleared: the removed port cannot leak through
+    # a stale alias, and the next pass rebuilds from live ports only.
+    assert all(port.peer != B for port in held)
     assert {port.peer for port in scheduler.rotation()} == {A, C}

@@ -100,6 +100,43 @@ def test_heap_stays_bounded_under_spawn_cancel_churn():
     assert len(kernel._heap) < 256
 
 
+def test_mass_cancel_inside_run_loop_keeps_later_timers_firing():
+    # Regression: compaction used to rebind the heap to a new list while
+    # run() kept draining a stale local alias, so anything scheduled
+    # after a mid-run compaction silently never fired.
+    kernel = Kernel()
+    done = []
+
+    async def churner():
+        handles = [kernel.call_at(kernel.now + 1_000.0, done.append, "never")
+                   for _ in range(100)]
+        for handle in handles:
+            handle.cancel()  # >64 dead, outnumbering live -> compaction
+        await kernel.sleep(5.0)
+        done.append("resumed")
+
+    kernel.spawn(churner())
+    kernel.run()
+    assert done == ["resumed"]
+    assert kernel.now == 5.0
+    assert kernel.pending_timers == 0
+
+
+def test_mass_cancel_inside_run_until_complete_does_not_deadlock():
+    kernel = Kernel()
+
+    async def churner():
+        handles = [kernel.call_later(1_000.0, lambda: None) for _ in range(100)]
+        for handle in handles:
+            handle.cancel()
+        await kernel.sleep(5.0)
+        return "ok"
+
+    assert kernel.run_until_complete(churner()) == "ok"
+    assert kernel.now == 5.0
+    assert kernel.pending_timers == 0
+
+
 def test_live_tasks_tracks_only_unfinished_tasks():
     kernel = Kernel()
 
