@@ -23,8 +23,10 @@ class MsgType(IntEnum):
 
     # --- engine / data plane -------------------------------------------------
     DATA = 1                 # application payload (the only type an algorithm must handle)
-    HEARTBEAT = 2            # on-demand measurement probe/echo (never used for
-                             # failure detection — the paper forbids that)
+    HEARTBEAT = 2            # on-demand probe/echo: RTT measurement, and the
+                             # reactive liveness probe a watchdog sends only
+                             # AFTER inactivity raises suspicion (never a
+                             # periodic heartbeat — the paper forbids those)
 
     # --- observer control plane ----------------------------------------------
     BOOT = 10                # node -> observer: bootstrap request

@@ -20,7 +20,10 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
+from repro.algorithms.forwarding import CopyForwardAlgorithm, SinkAlgorithm
 from repro.algorithms.trees import CMD_JOIN, NodeStressAwareTree, TreeAlgorithm
+from repro.core.algorithm import Disposition
+from repro.core.ids import NodeId
 from repro.core.message import Message
 from repro.experiments.common import Table
 from repro.testbed.planetlab import PlanetLabTestbed
@@ -154,8 +157,184 @@ def run_ext_robustness(seed: int = 0) -> ExtRobustnessResult:
     })
 
 
+# --------------------------------------------------------- detection parity
+#
+# The same declarative FailureSchedule drives the simulator (virtual
+# time) and a chaos-wrapped asyncio cluster (real sockets, wall time).
+# Both backends face an identical silent stall on one fan-out link and
+# must converge to the same availability through the same detection
+# ladder (traffic inactivity -> probe -> teardown), proving the live
+# resilience layer is a faithful twin of the sim's stall handling.
+
+#: seconds of silence before suspicion (both backends), and how long the
+#: asyncio ladder waits for an unanswered probe before confirming death
+PARITY_INACTIVITY = 0.25
+PARITY_PROBE = 0.25
+#: the schedule: one silent stall on the source's link to the first sink
+PARITY_STALL_AT = 0.6
+#: run time after arming — covers warm-up, the stall, and the full ladder
+PARITY_HORIZON = 2.5
+#: post-horizon window over which availability is measured
+PARITY_WINDOW = 1.2
+PARITY_SINKS = 3
+PARITY_PAYLOAD = 2000
+
+
+class _ParitySource(CopyForwardAlgorithm):
+    """Copy-forward that abandons a downstream on *any* broken link.
+
+    The sim reports directed teardowns ("down") while the asyncio engine
+    reports the whole bidirectional peer ("both"); dropping the peer in
+    either case gives both backends the same post-detection topology, so
+    availability is comparable.
+    """
+
+    def on_broken_link(self, msg: Message) -> Disposition:
+        self.remove_downstream(NodeId.parse(msg.fields()["peer"]))
+        return Disposition.DONE
+
+
+class _ParitySink(SinkAlgorithm):
+    """Sink that records which upstreams were confirmed dead."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.broken_peers: list[str] = []
+
+    def on_broken_link(self, msg: Message) -> Disposition:
+        self.broken_peers.append(msg.fields()["peer"])
+        return Disposition.DONE
+
+
+@dataclass
+class ParityRun:
+    backend: str
+    availability: float          # fraction of sinks still served, 0..1
+    torn_down: bool              # source abandoned the stalled downstream
+    detections: int              # sinks whose engine confirmed a dead upstream
+
+
+@dataclass
+class DetectionParityResult:
+    runs: dict[str, ParityRun]
+
+    def agrees(self) -> bool:
+        values = list(self.runs.values())
+        return all(
+            run.torn_down == values[0].torn_down
+            and run.detections == values[0].detections
+            and abs(run.availability - values[0].availability) < 1e-9
+            for run in values
+        )
+
+    def table(self) -> Table:
+        table = Table(
+            "Extension — stall-detection parity across backends",
+            ["backend", "availability", "stalled link torn down", "detections"],
+        )
+        for name, run in self.runs.items():
+            table.add_row(
+                name,
+                f"{run.availability * 100:.0f}%",
+                "yes" if run.torn_down else "no",
+                run.detections,
+            )
+        table.note("one FailureSchedule, two backends: a silent stall on one"
+                   " fan-out link is confirmed via traffic inactivity on sim"
+                   " and via the inactivity -> probe ladder on asyncio")
+        return table
+
+
+def _parity_schedule():
+    from repro.sim.failure import FailureSchedule
+
+    # Armed at t=0 on both backends, so the sim's absolute virtual times
+    # and the cluster's arm-relative wall times coincide.
+    return FailureSchedule().stall_link(PARITY_STALL_AT, "src", "sink0")
+
+
+def _parity_run(backend: str, sinks: list[_ParitySink],
+                src_alg: _ParitySource, stalled, served: list[bool]) -> ParityRun:
+    return ParityRun(
+        backend=backend,
+        availability=sum(served) / len(served),
+        torn_down=stalled not in src_alg.downstream_targets,
+        detections=sum(1 for alg in sinks if alg.broken_peers),
+    )
+
+
+def _run_parity_sim(seed: int) -> ParityRun:
+    from repro.sim.engine import EngineConfig
+    from repro.sim.network import NetworkConfig, SimNetwork
+
+    net = SimNetwork(NetworkConfig(
+        seed=seed,
+        engine=EngineConfig(inactivity_timeout=PARITY_INACTIVITY),
+    ))
+    src_alg = _ParitySource()
+    sinks = [_ParitySink() for _ in range(PARITY_SINKS)]
+    src = net.add_node(src_alg, name="src")
+    sink_ids = [net.add_node(alg, name=f"sink{i}") for i, alg in enumerate(sinks)]
+    src_alg.set_downstreams(sink_ids)
+    net.start()
+    _parity_schedule().arm(net)
+    net.observer.deploy_source(src, app=1, payload_size=PARITY_PAYLOAD)
+    net.run(PARITY_HORIZON)
+    before = [alg.received for alg in sinks]
+    net.run(PARITY_WINDOW)
+    served = [alg.received > count + 5 for alg, count in zip(sinks, before)]
+    return _parity_run("sim", sinks, src_alg, sink_ids[0], served)
+
+
+def _run_parity_net(seed: int) -> ParityRun:
+    import asyncio
+
+    from repro.net.chaos import ChaosCluster, ChaosController
+    from repro.net.engine import NetEngineConfig
+    from repro.net.resilience import ResilienceConfig
+
+    def config() -> NetEngineConfig:
+        return NetEngineConfig(resilience=ResilienceConfig(
+            seed=seed,
+            inactivity_timeout=PARITY_INACTIVITY,
+            probe_timeout=PARITY_PROBE,
+        ))
+
+    async def scenario() -> ParityRun:
+        cluster = ChaosCluster(ChaosController(seed=seed))
+        src_alg = _ParitySource()
+        sinks = [_ParitySink() for _ in range(PARITY_SINKS)]
+        src = await cluster.add_node(src_alg, "src", config())
+        engines = [
+            await cluster.add_node(alg, f"sink{i}", config())
+            for i, alg in enumerate(sinks)
+        ]
+        src_alg.set_downstreams([engine.node_id for engine in engines])
+        cluster.arm(_parity_schedule())
+        src.start_source(app=1, payload_size=PARITY_PAYLOAD)
+        await asyncio.sleep(PARITY_HORIZON)
+        before = [alg.received for alg in sinks]
+        await asyncio.sleep(PARITY_WINDOW)
+        served = [alg.received > count + 5 for alg, count in zip(sinks, before)]
+        run = _parity_run("asyncio+chaos", sinks, src_alg,
+                          engines[0].node_id, served)
+        await cluster.stop()
+        return run
+
+    return asyncio.run(scenario())
+
+
+def run_detection_parity(seed: int = 0) -> DetectionParityResult:
+    """One FailureSchedule, both backends; returns per-backend outcomes."""
+    return DetectionParityResult(runs={
+        "sim": _run_parity_sim(seed),
+        "asyncio+chaos": _run_parity_net(seed),
+    })
+
+
 def main() -> None:
     run_ext_robustness().table().print()
+    run_detection_parity().table().print()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,371 @@
+"""Deterministic fault injection for the asyncio transport.
+
+The simulator's :mod:`repro.sim.failure` toolkit can stall or cut a
+:class:`~repro.sim.link.SimLink` directly; real sockets offer no such
+handle.  This module closes that gap: a :class:`ChaosController` holds
+seedable fault policies, and engines created with ``config.chaos`` route
+every peer connection through thin stream wrappers that consult it.
+The supported faults mirror (and extend) the sim toolkit:
+
+- **connection refusal** — dialing a refused destination raises
+  ``ConnectionRefusedError`` before any socket is opened (also
+  probabilistically via ``refusal_rate``);
+- **mid-stream reset** (:meth:`ChaosController.cut_link`) — both
+  directions of the TCP connection fail loudly on the next IO and the
+  underlying transport is aborted;
+- **byte-level stall** (:meth:`ChaosController.stall_link`) — writes on
+  the directed flow are silently swallowed and reads park, with *no*
+  error on either side: only the inactivity -> probe ladder can notice;
+- **delayed accept** — inbound connections are held for a configurable
+  time before the HELLO is processed;
+- **message truncation** (:meth:`ChaosController.truncate_next`) — the
+  next frame leaves half-written and the connection resets, exercising
+  the receiver's mid-frame EOF path.
+
+Faults are **one-shot against the connections live at injection time**,
+exactly like the simulator's link faults: once a faulted link is torn
+down, a supervised redial creates a clean connection and traffic may
+resume.  Convergence after a fault therefore means *reconnected or torn
+down*, never a permanent churn loop.
+
+:class:`ChaosCluster` builds a localhost fleet of
+:class:`~repro.net.engine.AsyncioEngine` nodes sharing one controller
+and can arm a :class:`~repro.sim.failure.FailureSchedule` against it —
+the same declarative schedule object that drives the simulator, so
+robustness experiments run unchanged on either backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.core.algorithm import Algorithm
+from repro.core.ids import NodeId
+from repro.errors import UnknownNodeError
+from repro.net.engine import AsyncioEngine, NetEngineConfig
+from repro.sim.failure import FailureEvent, FailureSchedule
+
+__all__ = [
+    "ChaosController",
+    "ChaosCluster",
+    "FailureSchedule",  # re-export: the schedule is backend-agnostic
+]
+
+
+class _LinkChaos:
+    """Mutable fault state of one directed flow ``src -> dst``."""
+
+    __slots__ = ("mode", "truncate_armed", "swallowed_bytes", "_event")
+
+    OK = "ok"
+    STALL = "stall"
+    RESET = "reset"
+
+    def __init__(self) -> None:
+        self.mode = self.OK
+        self.truncate_armed = False
+        self.swallowed_bytes = 0
+        self._event: asyncio.Event = asyncio.Event()
+
+    def set_mode(self, mode: str) -> None:
+        self.mode = mode
+        # Wake current waiters; later waiters park on a fresh event.
+        event, self._event = self._event, asyncio.Event()
+        event.set()
+
+    async def wait_change(self) -> None:
+        await self._event.wait()
+
+
+class _ChaosReader:
+    """StreamReader proxy that parks or fails per the link's fault state."""
+
+    def __init__(self, state: _LinkChaos, reader: asyncio.StreamReader) -> None:
+        self._state = state
+        self._reader = reader
+
+    async def _gate(self) -> None:
+        state = self._state
+        while state.mode == _LinkChaos.STALL:
+            await state.wait_change()
+        if state.mode == _LinkChaos.RESET:
+            raise ConnectionResetError("chaos: link reset")
+
+    async def readexactly(self, n: int) -> bytes:
+        await self._gate()
+        return await self._reader.readexactly(n)
+
+    async def read(self, n: int = -1) -> bytes:
+        await self._gate()
+        return await self._reader.read(n)
+
+    def at_eof(self) -> bool:
+        return self._reader.at_eof()
+
+
+class _ChaosWriter:
+    """StreamWriter proxy that swallows, truncates or resets writes."""
+
+    def __init__(self, state: _LinkChaos, writer: asyncio.StreamWriter) -> None:
+        self._state = state
+        self._writer = writer
+
+    def write(self, data) -> None:
+        state = self._state
+        if state.mode == _LinkChaos.RESET:
+            raise ConnectionResetError("chaos: link reset")
+        if state.mode == _LinkChaos.STALL:
+            state.swallowed_bytes += len(data)
+            return
+        if state.truncate_armed and len(data) > 1:
+            state.truncate_armed = False
+            self._writer.write(bytes(data)[: len(data) // 2])
+            state.set_mode(_LinkChaos.RESET)
+            _abort_writer(self._writer)
+            return
+        self._writer.write(data)
+
+    async def drain(self) -> None:
+        state = self._state
+        if state.mode == _LinkChaos.RESET:
+            raise ConnectionResetError("chaos: link reset")
+        if state.mode == _LinkChaos.STALL:
+            return
+        await self._writer.drain()
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def is_closing(self) -> bool:
+        return self._writer.is_closing()
+
+    async def wait_closed(self) -> None:
+        await self._writer.wait_closed()
+
+    def get_extra_info(self, name, default=None):
+        return self._writer.get_extra_info(name, default)
+
+
+def _abort_writer(writer) -> None:
+    """Hard-kill a transport so the remote side sees a loud failure."""
+    while isinstance(writer, _ChaosWriter):  # unwrap nesting, defensively
+        writer = writer._writer
+    transport = getattr(writer, "transport", None)
+    if transport is not None:
+        transport.abort()
+    else:  # pragma: no cover - non-socket writer in tests
+        writer.close()
+
+
+class ChaosController:
+    """Seedable fault policies shared by every wrapped engine.
+
+    All randomness (probabilistic refusals, jittered accept delays)
+    comes from one ``random.Random(seed)``, so a chaos scenario replays
+    identically under a fixed seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        #: probability that any single dial attempt is refused
+        self.refusal_rate = 0.0
+        #: uniform delay applied to every inbound accept (seconds)
+        self.accept_delay = 0.0
+        self._refused: set[NodeId] = set()
+        self._accept_delays: dict[NodeId, float] = {}
+        self._links: dict[tuple[NodeId, NodeId], _LinkChaos] = {}
+        self._writers: dict[tuple[NodeId, NodeId], list] = {}
+        # injection counters (what chaos *did*, for assertions/reports)
+        self.n_refusals = 0
+        self.n_stalls = 0
+        self.n_resets = 0
+        self.n_truncations = 0
+
+    # ------------------------------------------------------------ engine hooks
+
+    def link(self, src: NodeId, dst: NodeId) -> _LinkChaos:
+        """The fault state of the directed flow ``src -> dst``."""
+        state = self._links.get((src, dst))
+        if state is None:
+            state = self._links[(src, dst)] = _LinkChaos()
+        return state
+
+    def check_connect(self, src: NodeId, dst: NodeId) -> None:
+        """Raise ``ConnectionRefusedError`` if this dial must fail."""
+        if dst in self._refused or (
+            self.refusal_rate and self.rng.random() < self.refusal_rate
+        ):
+            self.n_refusals += 1
+            raise ConnectionRefusedError(f"chaos: connect {src} -> {dst} refused")
+
+    def accept_delay_for(self, node: NodeId) -> float:
+        """Seconds an inbound accept on ``node`` is held before HELLO."""
+        return self._accept_delays.get(node, self.accept_delay)
+
+    def wrap(self, local: NodeId, remote: NodeId, reader, writer):
+        """Wrap one peer connection's streams on ``local``'s side.
+
+        Outgoing bytes ride the ``local -> remote`` flow; incoming bytes
+        the ``remote -> local`` flow.  Both sides of a connection wrap
+        against the *same* two :class:`_LinkChaos` states, so a fault
+        injected on a directed flow applies wherever the bytes would
+        cross it.
+        """
+        registered = self._writers.setdefault((local, remote), [])
+        registered[:] = [w for w in registered if not w.is_closing()]
+        registered.append(writer)
+        # A fresh connection starts clean: faults are one-shot against the
+        # links live at injection time (mirroring the sim, where a redial
+        # creates a new, unfaulted SimLink).  Without this, a supervisor
+        # redial after a confirmed death would inherit the old fault and
+        # the pair would churn teardown/reconnect forever.
+        out_state, in_state = self.link(local, remote), self.link(remote, local)
+        out_state.set_mode(_LinkChaos.OK)
+        in_state.set_mode(_LinkChaos.OK)
+        return _ChaosReader(in_state, reader), _ChaosWriter(out_state, writer)
+
+    # ------------------------------------------------------------- fault verbs
+
+    def refuse_connect(self, dst: NodeId) -> None:
+        """All future dials to ``dst`` fail with ``ConnectionRefusedError``."""
+        self._refused.add(dst)
+
+    def allow_connect(self, dst: NodeId) -> None:
+        self._refused.discard(dst)
+
+    def set_accept_delay(self, node: NodeId, seconds: float) -> None:
+        self._accept_delays[node] = seconds
+
+    def stall_link(self, src: NodeId, dst: NodeId) -> None:
+        """Silently stall ``src -> dst``: writes swallowed, reads parked.
+
+        No socket error fires on either side — only engines with
+        ``resilience.inactivity_timeout`` configured will ever notice.
+        """
+        self.n_stalls += 1
+        self.link(src, dst).set_mode(_LinkChaos.STALL)
+
+    def unstall_link(self, src: NodeId, dst: NodeId) -> None:
+        self.link(src, dst).set_mode(_LinkChaos.OK)
+
+    def cut_link(self, src: NodeId, dst: NodeId) -> None:
+        """Reset the connection between ``src`` and ``dst`` mid-stream.
+
+        A TCP reset is loud in both directions; raises
+        :class:`~repro.errors.UnknownNodeError` when no wrapped
+        connection between the two endpoints ever existed (mirroring the
+        sim's ``cut_link``).
+        """
+        writers = self._writers.get((src, dst), []) + self._writers.get((dst, src), [])
+        if not writers:
+            raise UnknownNodeError(f"no live link {src} -> {dst}")
+        self.n_resets += 1
+        self.link(src, dst).set_mode(_LinkChaos.RESET)
+        self.link(dst, src).set_mode(_LinkChaos.RESET)
+        for writer in writers:
+            _abort_writer(writer)
+
+    def truncate_next(self, src: NodeId, dst: NodeId) -> None:
+        """Truncate the next frame written on ``src -> dst``, then reset."""
+        self.n_truncations += 1
+        self.link(src, dst).truncate_armed = True
+
+
+class ChaosCluster:
+    """A localhost fleet of asyncio engines wired through one controller.
+
+    Provides just enough of :class:`~repro.sim.network.SimNetwork`'s
+    surface (``engine()``, ``net[name]``, schedule arming) that failure
+    experiments written against the simulator run on real sockets too.
+    """
+
+    def __init__(
+        self,
+        chaos: ChaosController | None = None,
+        observer_addr: NodeId | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.chaos = chaos if chaos is not None else ChaosController()
+        self.observer_addr = observer_addr
+        self.host = host
+        self._engines: dict[str, AsyncioEngine] = {}
+        self._names: dict[NodeId, str] = {}
+        self._handles: list[asyncio.TimerHandle] = []
+        self._t0: float | None = None
+
+    # ---------------------------------------------------------------- topology
+
+    async def add_node(
+        self,
+        algorithm: Algorithm,
+        name: str | None = None,
+        config: NetEngineConfig | None = None,
+    ) -> AsyncioEngine:
+        config = config if config is not None else NetEngineConfig()
+        config.chaos = self.chaos
+        engine = AsyncioEngine(
+            NodeId(self.host, 0),
+            algorithm,
+            observer_addr=self.observer_addr,
+            config=config,
+        )
+        await engine.start()
+        if name is None:
+            name = f"n{len(self._engines)}"
+        self._engines[name] = engine
+        self._names[engine.node_id] = name
+        return engine
+
+    def engine(self, node: NodeId | str) -> AsyncioEngine:
+        name = node if isinstance(node, str) else self._names.get(node)
+        engine = self._engines.get(name) if name is not None else None
+        if engine is None:
+            raise UnknownNodeError(f"no node {node!r} in cluster")
+        return engine
+
+    def __getitem__(self, name: NodeId | str) -> NodeId:
+        return name if isinstance(name, NodeId) else self.engine(name).node_id
+
+    def engines(self) -> list[AsyncioEngine]:
+        return list(self._engines.values())
+
+    async def stop(self) -> None:
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+        for engine in self._engines.values():
+            await engine.stop()
+
+    # --------------------------------------------------------------- schedules
+
+    def arm(self, schedule: FailureSchedule) -> None:
+        """Fire the schedule's events at wall-clock offsets from *now*.
+
+        The same :class:`FailureSchedule` object arms against a
+        :class:`~repro.sim.network.SimNetwork` (virtual time) or against
+        this cluster (wall time): event semantics map one to one, with
+        the chaos controller standing in for direct link handles.
+        """
+        loop = asyncio.get_running_loop()
+        self._t0 = loop.time()
+        for event in sorted(schedule.events, key=lambda e: e.at):
+            self._handles.append(loop.call_later(event.at, self._fire, event))
+
+    def _fire(self, event: FailureEvent) -> None:
+        try:
+            if event.kind == "kill_node":
+                asyncio.ensure_future(self.engine(event.node).stop())
+            elif event.kind == "cut_link":
+                assert event.peer is not None
+                self.chaos.cut_link(self[event.node], self[event.peer])
+            elif event.kind == "stall_link":
+                assert event.peer is not None
+                self.chaos.stall_link(self[event.node], self[event.peer])
+            elif event.kind == "kill_source":
+                assert event.app is not None
+                self.engine(event.node).stop_source(event.app)
+        except UnknownNodeError:
+            # The target already failed or was torn down first; an
+            # injected fault racing a real one is not an experiment error.
+            pass

@@ -7,6 +7,16 @@ one engine task switching data in weighted round-robin order, a single
 bandwidth emulation wrapped around the socket path, and passive failure
 detection through socket errors.
 
+On top of the passive core sits a resilience layer
+(:mod:`repro.net.resilience`): peer dials retry with bounded, jittered
+exponential backoff; a watchdog walks every peer link through the
+``LIVE -> SUSPECT -> PROBING -> DEAD`` ladder so silently stalled links
+are confirmed dead and torn down through the very same ``_peer_failed``
+domino as loud socket errors; and the observer link is supervised — a
+bounded outbox buffers status/trace messages across observer reconnects
+(drop-oldest on overflow, every drop counted).  Fault injection for all
+of this lives in :mod:`repro.net.chaos`.
+
 Because asyncio is single-threaded, the paper's headline guarantee holds
 natively: the algorithm runs without any thread-safe data structures.
 Connections are persistent and full-duplex: one TCP connection carries
@@ -17,8 +27,10 @@ messages belong to.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass, field as dataclass_field
+from typing import TYPE_CHECKING
 
 from repro.core.algorithm import Algorithm, Disposition
 from repro.core.bandwidth import BandwidthSpec, NodeThrottle
@@ -35,8 +47,17 @@ from repro.net.framing import (
     write_message,
 )
 from repro.net.queues import AsyncBoundedQueue
+from repro.net.resilience import (
+    BackoffPolicy,
+    LinkHealth,
+    ObserverOutbox,
+    ResilienceConfig,
+)
 from repro.telemetry import Telemetry
 from repro.telemetry.tracing import EventType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.chaos import ChaosController
 
 
 @dataclass
@@ -50,6 +71,14 @@ class NetEngineConfig:
     #: opt-in telemetry (metrics + lifecycle tracing); live nodes own one
     #: instance each and the observer aggregates their snapshots.
     telemetry: Telemetry | None = None
+    #: connection supervision: dial backoff/retry budget, the
+    #: inactivity -> probe failure-detection ladder, observer-link
+    #: durability.  The defaults keep historical behaviour except that
+    #: failed dials now retry and a lost observer link reconnects.
+    resilience: ResilienceConfig = dataclass_field(default_factory=ResilienceConfig)
+    #: opt-in fault injection; every peer connection is wrapped through
+    #: the controller's policies (see :mod:`repro.net.chaos`).
+    chaos: "ChaosController | None" = None
 
 
 @dataclass
@@ -65,6 +94,16 @@ class _Peer:
     stats_in: LinkStats
     sender_task: asyncio.Task | None = None
     receiver_task: asyncio.Task | None = None
+    #: wall time of the last frame received on this link (watchdog input)
+    last_recv_at: float = 0.0
+    #: failure-detection ladder state (:class:`LinkHealth`)
+    health: str = LinkHealth.LIVE
+    #: when a pending liveness probe is declared unanswered
+    probe_deadline: float | None = None
+    #: bumped when the transport is swapped (simultaneous-connect
+    #: tie-break); IO loops from an older transport must not tear the
+    #: peer down on their way out
+    epoch: int = 0
 
 
 class AsyncioEngine:
@@ -97,6 +136,16 @@ class AsyncioEngine:
         self._source_pending: list[PendingForward] | None = None
         self._observer_writer: asyncio.StreamWriter | None = None
 
+        # resilience: coalesced in-flight dials, seeded backoff policies,
+        # and the bounded observer outbox (drop-oldest on overflow).
+        res = self.config.resilience
+        self._dialing: dict[NodeId, asyncio.Task] = {}
+        rng = random.Random(res.seed ^ hash((node_id.ip, node_id.port)))
+        self._peer_backoff = BackoffPolicy.for_peers(res, rng)
+        self._observer_backoff = BackoffPolicy.for_observer(res, rng)
+        self._observer_outbox = ObserverOutbox(res.observer_outbox)
+        self._outbox_event = asyncio.Event()
+
         # Instruments bind in start(): with port 0 the node's identity is
         # only final once the server socket is bound.
         self._ins = None
@@ -125,6 +174,8 @@ class AsyncioEngine:
             await self._connect_observer()
         self._tasks.append(asyncio.ensure_future(self._engine_loop()))
         self._tasks.append(asyncio.ensure_future(self._report_loop()))
+        if self.config.resilience.inactivity_timeout is not None:
+            self._tasks.append(asyncio.ensure_future(self._watchdog_loop()))
 
     async def stop(self) -> None:
         """Graceful termination: close all sockets, cancel all tasks."""
@@ -147,10 +198,12 @@ class AsyncioEngine:
             self._server = None
         self._wake.set()
         self._send_space.set()
+        self._outbox_event.set()
         for task in self._tasks:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks.clear()
+        self._dialing.clear()
 
     @property
     def running(self) -> bool:
@@ -204,11 +257,19 @@ class AsyncioEngine:
         self._enqueue_to_peer(peer, msg)
 
     def send_to_observer(self, msg: Message) -> None:
-        """Queue a message on the persistent observer connection."""
-        writer = self._observer_writer
-        if writer is None or writer.is_closing():
+        """Queue a message for the observer via the reconnect outbox.
+
+        The outbox survives observer restarts: messages queued while the
+        link is down are flushed once the supervisor redials.  Overflow
+        evicts the oldest entry and the drop is counted — a status
+        report can be lost under sustained outage, but never silently.
+        """
+        if self._observer_addr is None or not self._running:
             return
-        write_message(writer, msg)
+        dropped = self._observer_outbox.push(msg)
+        if dropped is not None and self._ins is not None:
+            self._ins.n_observer_drops += 1
+        self._outbox_event.set()
 
     def upstreams(self) -> list[NodeId]:
         """Peers with a receiver port on this node."""
@@ -267,19 +328,74 @@ class AsyncioEngine:
         peer = self._peers.get(dest)
         if peer is not None:
             return peer
+        # Coalesce concurrent dials to one supervised attempt sequence:
+        # shield() keeps the dial alive if an individual caller is
+        # cancelled (stop() cancels the task itself).
+        task = self._dialing.get(dest)
+        if task is None or task.done():
+            task = asyncio.ensure_future(self._dial(dest))
+            self._dialing[dest] = task
+            self._tasks.append(task)
+        return await asyncio.shield(task)
+
+    async def _dial(self, dest: NodeId) -> _Peer | None:
+        """One supervised connect: bounded retries with jittered backoff."""
+        res = self.config.resilience
+        attempts = max(1, res.connect_retries)
         try:
-            reader, writer = await open_identified(
-                dest, self._node_id, timeout=self.config.connect_timeout
-            )
-        except (OSError, asyncio.TimeoutError):
+            for attempt in range(attempts):
+                if attempt:
+                    await asyncio.sleep(self._peer_backoff.delay(attempt - 1))
+                if not self._running:
+                    return None
+                existing = self._peers.get(dest)
+                if existing is not None:  # an inbound connection won meanwhile
+                    return existing
+                try:
+                    reader, writer = await self._open_connection(dest)
+                except (OSError, asyncio.TimeoutError):
+                    if self._ins is not None:
+                        self._ins.n_connect_failures += 1
+                    continue
+                if not self._running:  # stopped while the dial was in flight
+                    writer.close()
+                    return None
+                existing = self._peers.get(dest)
+                if existing is not None:
+                    # Simultaneous connect: both sides dialed each other.
+                    # Deterministic tie-break — the connection dialed by
+                    # the lower NodeId is canonical on both ends.
+                    if self._node_id < dest:
+                        self._adopt_connection(existing, reader, writer)
+                    else:
+                        writer.close()
+                    return existing
+                return self._register_peer(dest, reader, writer)
             return None
-        if dest in self._peers:  # raced with an inbound connection
-            writer.close()
-            return self._peers[dest]
-        return self._register_peer(dest, reader, writer)
+        finally:
+            if self._dialing.get(dest) is asyncio.current_task():
+                del self._dialing[dest]
+
+    async def _open_connection(
+        self, dest: NodeId
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        chaos = self.config.chaos
+        if chaos is not None:
+            chaos.check_connect(self._node_id, dest)
+        reader, writer = await open_identified(
+            dest, self._node_id, timeout=self.config.connect_timeout
+        )
+        if chaos is not None:
+            reader, writer = chaos.wrap(self._node_id, dest, reader, writer)
+        return reader, writer
 
     async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         try:
+            chaos = self.config.chaos
+            if chaos is not None:
+                delay = chaos.accept_delay_for(self._node_id)
+                if delay > 0:
+                    await asyncio.sleep(delay)
             peer_id = await expect_hello(reader)
         except asyncio.CancelledError:
             writer.close()
@@ -287,8 +403,19 @@ class AsyncioEngine:
         except Exception:
             writer.close()
             return
-        if not self._running or peer_id in self._peers:
+        if not self._running:
             writer.close()
+            return
+        if self.config.chaos is not None:
+            reader, writer = self.config.chaos.wrap(self._node_id, peer_id, reader, writer)
+        existing = self._peers.get(peer_id)
+        if existing is not None:
+            # Simultaneous connect resolved deterministically: keep the
+            # connection dialed by the lower NodeId, on both ends.
+            if peer_id < self._node_id:
+                self._adopt_connection(existing, reader, writer)
+            else:
+                writer.close()
             return
         self._register_peer(peer_id, reader, writer)
         self._enqueue_notification(
@@ -308,13 +435,40 @@ class AsyncioEngine:
             port=port,
             stats_out=LinkStats(),
             stats_in=LinkStats(),
+            last_recv_at=self.now(),
         )
         self._peers[node] = peer
         self._scheduler.add_port(port)
-        peer.sender_task = asyncio.ensure_future(self._sender_loop(peer))
-        peer.receiver_task = asyncio.ensure_future(self._receiver_loop(peer))
+        peer.sender_task = asyncio.ensure_future(self._sender_loop(peer, peer.epoch))
+        peer.receiver_task = asyncio.ensure_future(self._receiver_loop(peer, peer.epoch))
         self._tasks.extend([peer.sender_task, peer.receiver_task])
         return peer
+
+    def _adopt_connection(
+        self, peer: _Peer, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Swap ``peer``'s transport for the canonical connection.
+
+        Used by the simultaneous-connect tie-break: the losing socket is
+        closed and replaced in place — queues, receiver port, stats and
+        pending forwards all survive, and no BROKEN_LINK is signalled.
+        The epoch bump keeps the old transport's IO loops (already
+        cancelled, but possibly holding a just-raised socket error) from
+        tearing down the adopted link on their way out.
+        """
+        peer.epoch += 1
+        for task in (peer.sender_task, peer.receiver_task):
+            if task is not None:
+                task.cancel()
+        peer.writer.close()
+        peer.reader = reader
+        peer.writer = writer
+        peer.last_recv_at = self.now()
+        peer.health = LinkHealth.LIVE
+        peer.probe_deadline = None
+        peer.sender_task = asyncio.ensure_future(self._sender_loop(peer, peer.epoch))
+        peer.receiver_task = asyncio.ensure_future(self._receiver_loop(peer, peer.epoch))
+        self._tasks.extend([peer.sender_task, peer.receiver_task])
 
     def _close_peer(self, peer: _Peer) -> None:
         peer.send_queue.close()
@@ -348,26 +502,108 @@ class AsyncioEngine:
         self._send_space.set()
         self._wake.set()
 
+    def _boot_message(self) -> Message:
+        return Message.with_fields(
+            MsgType.BOOT, self._node_id, CONTROL_APP, node=str(self._node_id)
+        )
+
     async def _connect_observer(self) -> None:
+        """Open the initial observer link (failures propagate to start())
+        and hand it to the supervisor, which flushes the outbox and
+        redials with backoff whenever the link drops."""
         assert self._observer_addr is not None
         reader, writer = await open_identified(
             self._observer_addr, self._node_id, timeout=self.config.connect_timeout
         )
         self._observer_writer = writer
-        self._tasks.append(asyncio.ensure_future(self._observer_reader(reader)))
-        self.send_to_observer(
-            Message.with_fields(MsgType.BOOT, self._node_id, CONTROL_APP, node=str(self._node_id))
-        )
+        self._tasks.append(asyncio.ensure_future(self._observer_reader(reader, writer)))
+        self.send_to_observer(self._boot_message())
+        self._tasks.append(asyncio.ensure_future(self._observer_loop()))
 
-    async def _observer_reader(self, reader: asyncio.StreamReader) -> None:
+    def _drop_observer_writer(self, writer: asyncio.StreamWriter) -> None:
+        """Forget a failed observer link and wake the supervisor."""
+        if self._observer_writer is not writer:
+            return
+        writer.close()
+        self._observer_writer = None
+        self._outbox_event.set()
+
+    async def _observer_reader(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         """Control messages from the observer arrive on the persistent link."""
         while self._running:
             try:
                 msg = await read_message(reader)
             except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                if self._running:
+                    self._drop_observer_writer(writer)
                 return
             self._control.put_force(msg)
             self._wake.set()
+
+    async def _observer_loop(self) -> None:
+        """Observer-link supervisor: flush the outbox, redial on loss.
+
+        One task owns all observer writes, so frames never interleave.
+        A send failure parks the head message in the outbox (at-least-
+        once across reconnects); redials use bounded exponential backoff
+        and re-introduce the node with a fresh BOOT so the observer's
+        lease is renewed after a restart or partition.
+        """
+        res = self.config.resilience
+        attempt = 0
+        while self._running:
+            writer = self._observer_writer
+            if writer is None or writer.is_closing():
+                if not res.observer_reconnect:
+                    return
+                if (
+                    res.observer_retry_budget is not None
+                    and attempt >= res.observer_retry_budget
+                ):
+                    return
+                await asyncio.sleep(self._observer_backoff.delay(attempt))
+                attempt += 1
+                if not self._running:
+                    return
+                try:
+                    reader, writer = await open_identified(
+                        self._observer_addr, self._node_id,
+                        timeout=self.config.connect_timeout,
+                    )
+                except (OSError, asyncio.TimeoutError):
+                    continue
+                attempt = 0
+                self._observer_writer = writer
+                self._tasks.append(
+                    asyncio.ensure_future(self._observer_reader(reader, writer))
+                )
+                if self._ins is not None:
+                    self._ins.n_observer_reconnects += 1
+                try:
+                    write_message(writer, self._boot_message())
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    self._drop_observer_writer(writer)
+                    continue
+            while self._running and self._observer_outbox:
+                writer = self._observer_writer
+                if writer is None or writer.is_closing():
+                    break
+                msg = self._observer_outbox.head()
+                try:
+                    write_message(writer, msg)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    self._drop_observer_writer(writer)
+                    break
+                self._observer_outbox.pop_head(msg)
+            writer = self._observer_writer
+            if writer is not None and not writer.is_closing():
+                self._outbox_event.clear()
+                if not self._observer_outbox and self._running:
+                    await self._outbox_event.wait()
 
     # --------------------------------------------------------------------- engine
 
@@ -419,9 +655,14 @@ class AsyncioEngine:
             echo = Message.with_fields(
                 MsgType.HEARTBEAT, self._node_id, CONTROL_APP,
                 probe="resp", t0=fields["t0"], origin=fields["origin"],
+                liveness=fields.get("liveness", 0),
             )
             self.send(echo, origin)
         elif fields.get("probe") == "resp":
+            if fields.get("liveness"):
+                # Watchdog traffic: receiving the frame already reset the
+                # peer's inactivity clock; the algorithm never sees it.
+                return
             peer = msg.sender
             rtt = self.now() - float(fields["t0"])
             self._enqueue_notification(Message.with_fields(
@@ -637,7 +878,7 @@ class AsyncioEngine:
 
     # ------------------------------------------------------------------ I/O tasks
 
-    async def _sender_loop(self, peer: _Peer) -> None:
+    async def _sender_loop(self, peer: _Peer, epoch: int = 0) -> None:
         try:
             while self._running:
                 try:
@@ -653,7 +894,7 @@ class AsyncioEngine:
                     write_message(peer.writer, msg)
                     await peer.writer.drain()
                 except (ConnectionError, OSError):
-                    if self._running:
+                    if self._running and peer.epoch == epoch:
                         peer.stats_out.loss.record(msg.size)
                         self._peer_failed(peer)
                     return
@@ -670,15 +911,21 @@ class AsyncioEngine:
         except asyncio.CancelledError:
             raise
 
-    async def _receiver_loop(self, peer: _Peer) -> None:
+    async def _receiver_loop(self, peer: _Peer, epoch: int = 0) -> None:
         try:
             while self._running:
                 try:
                     msg = await read_message(peer.reader)
                 except (asyncio.IncompleteReadError, ConnectionError, OSError):
-                    if self._running:
+                    if self._running and peer.epoch == epoch:
                         self._peer_failed(peer)
                     return
+                # Any inbound frame proves the link alive: reset the
+                # failure-detection ladder before anything can block.
+                peer.last_recv_at = self.now()
+                if peer.health != LinkHealth.LIVE:
+                    peer.health = LinkHealth.LIVE
+                    peer.probe_deadline = None
                 delay = self.throttle.reserve_recv(msg.size, self.now())
                 if delay > 0:
                     if self._ins is not None:
@@ -720,6 +967,68 @@ class AsyncioEngine:
                     MsgType.DOWN_THROUGHPUT, self._node_id, CONTROL_APP,
                     peer=str(node), rate=peer.stats_out.throughput.rate(now),
                 ))
+
+    # ------------------------------------------------------------------ watchdog
+
+    async def _watchdog_loop(self) -> None:
+        """Confirm silent link failures: inactivity -> probe -> teardown.
+
+        A peer that has sent nothing for ``inactivity_timeout`` becomes
+        SUSPECT and is probed (a tiny HEARTBEAT request the remote
+        engine echoes — on demand only, never a periodic heartbeat).
+        Any return traffic resets the ladder; an unanswered probe past
+        ``probe_timeout`` confirms the link DEAD and fires the same
+        ``_peer_failed`` domino teardown as a loud socket error.
+        """
+        res = self.config.resilience
+        timeout = res.inactivity_timeout
+        assert timeout is not None
+        interval = res.watchdog_interval()
+        while self._running:
+            await asyncio.sleep(interval)
+            if not self._running:
+                return
+            now = self.now()
+            ins = self._ins
+            for peer in list(self._peers.values()):
+                if self._peers.get(peer.node) is not peer:
+                    continue  # torn down while we iterated
+                if now - peer.last_recv_at <= timeout:
+                    continue  # the receiver loop resets health on traffic
+                if peer.health == LinkHealth.LIVE:
+                    peer.health = LinkHealth.SUSPECT
+                    if ins is not None:
+                        ins.n_suspects += 1
+                        if ins.tracer.enabled:
+                            ins.trace_port(now, EventType.LINK_SUSPECT, peer.port.label)
+                    self._send_liveness_probe(peer, now)
+                elif (
+                    peer.health == LinkHealth.PROBING
+                    and peer.probe_deadline is not None
+                    and now >= peer.probe_deadline
+                ):
+                    peer.health = LinkHealth.DEAD
+                    if ins is not None:
+                        ins.n_inactivity_deaths += 1
+                        if ins.tracer.enabled:
+                            ins.trace_port(now, EventType.LINK_DEAD, peer.port.label)
+                    self._peer_failed(peer)
+
+    def _send_liveness_probe(self, peer: _Peer, now: float) -> None:
+        """SUSPECT -> PROBING: one probe, one deadline."""
+        if peer.send_queue.closed:
+            return
+        probe = Message.with_fields(
+            MsgType.HEARTBEAT, self._node_id, CONTROL_APP,
+            probe="req", t0=now, origin=str(self._node_id), liveness=1,
+        )
+        peer.send_queue.put_force(probe)
+        peer.health = LinkHealth.PROBING
+        peer.probe_deadline = now + self.config.resilience.probe_timeout
+        if self._ins is not None:
+            self._ins.n_probes += 1
+            if self._ins.tracer.enabled:
+                self._ins.trace_port(now, EventType.LINK_PROBE, peer.port.label)
 
     # --------------------------------------------------------------------- helpers
 

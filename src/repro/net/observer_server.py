@@ -21,9 +21,13 @@ class ObserverServer:
     """Serves the observer protocol on a TCP endpoint."""
 
     def __init__(self, addr: NodeId, bootstrap_fanout: int = 8, seed: int = 0,
-                 poll_interval: float | None = 1.0) -> None:
+                 poll_interval: float | None = 1.0,
+                 lease_timeout: float | None = None) -> None:
         self.addr = addr
-        self.observer = Observer(transport=self, bootstrap_fanout=bootstrap_fanout, seed=seed)
+        self.observer = Observer(
+            transport=self, bootstrap_fanout=bootstrap_fanout, seed=seed,
+            lease_timeout=lease_timeout,
+        )
         self.poll_interval = poll_interval
         self._writers: dict[NodeId, asyncio.StreamWriter] = {}
         #: node -> connection owner; differs from the node itself when the
@@ -123,3 +127,10 @@ class ObserverServer:
         while self._running:
             await asyncio.sleep(self.poll_interval)
             self.observer.poll_all()
+            # Lease sweep: a node silent past its lease (partitioned, or
+            # dead without the TCP close ever reaching us) is torn down
+            # here instead of lingering in the bootstrap view forever.
+            for node in self.observer.expire_leases():
+                writer = self._writers.pop(node, None)
+                if writer is not None:
+                    writer.close()

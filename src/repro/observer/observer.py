@@ -51,6 +51,7 @@ class Observer:
         transport: ObserverTransport,
         bootstrap_fanout: int = 8,
         seed: int = 0,
+        lease_timeout: float | None = None,
     ) -> None:
         self._transport = transport
         self.bootstrap_fanout = bootstrap_fanout
@@ -59,11 +60,20 @@ class Observer:
         self.statuses: dict[NodeId, NodeStatus] = {}
         self.traces = TraceLog()
         self.boot_count = 0
+        #: seconds of observer-side silence before a node's lease expires
+        #: (``None`` disables lease tracking entirely)
+        self.lease_timeout = lease_timeout
+        #: when each alive node was last heard from (any message type)
+        self.last_seen: dict[NodeId, float] = {}
+        #: total leases ever expired by :meth:`expire_leases`
+        self.lease_expiries = 0
 
     # ------------------------------------------------------------- incoming path
 
     def on_message(self, msg: Message) -> None:
         """Entry point for every message a node sends to the observer."""
+        if self.lease_timeout is not None:
+            self.last_seen[msg.sender] = self._transport.observer_now()
         if msg.type == MsgType.BOOT:
             self._handle_boot(msg)
         elif msg.type == MsgType.STATUS:
@@ -98,6 +108,38 @@ class Observer:
         """Forget a node that terminated (fabric notification)."""
         self.alive.pop(node, None)
         self.statuses.pop(node, None)
+        self.last_seen.pop(node, None)
+
+    # -------------------------------------------------------------------- leases
+
+    def expire_leases(self, now: float | None = None) -> list[NodeId]:
+        """Tear down nodes whose heartbeat lease has lapsed.
+
+        A node's lease is renewed by *any* message it sends (status
+        reply, trace, boot); a node silent for longer than
+        ``lease_timeout`` is presumed dead or partitioned, trace-logged
+        and marked down so the bootstrap view stops handing it out.
+        Returns the nodes expired on this sweep.  No-op when lease
+        tracking is disabled.
+        """
+        if self.lease_timeout is None:
+            return []
+        if now is None:
+            now = self._transport.observer_now()
+        expired = [
+            node
+            for node, seen in self.last_seen.items()
+            if now - seen > self.lease_timeout
+        ]
+        for node in expired:
+            self.lease_expiries += 1
+            silent = now - self.last_seen[node]
+            self.traces.record(
+                now, node, CONTROL_APP,
+                f"lease-expired silent={silent:.3f}s timeout={self.lease_timeout}s",
+            )
+            self.mark_down(node)
+        return expired
 
     # --------------------------------------------------------------- status polls
 

@@ -753,6 +753,9 @@ class SimEngine:
                 for msg in lost:
                     stats.loss.record(msg.size)
                     self._record_loss(msg)
+        # Drop the stats entry with the port: a dead upstream must not
+        # linger in status-report recv_rates (stale-NodeId leak).
+        self._recv_stats.pop(peer, None)
         self._last_recv_at.pop(peer, None)
         self._notify_broken_link(peer, direction="up")
         # Domino effect: any application fed exclusively by this upstream

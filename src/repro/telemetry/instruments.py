@@ -72,6 +72,13 @@ class EngineInstruments:
         self.n_domino = 0
         self.n_source = 0
         self.n_delivers = 0
+        # resilience layer (repro.net.resilience / net engine supervisor)
+        self.n_suspects = 0
+        self.n_probes = 0
+        self.n_inactivity_deaths = 0
+        self.n_connect_failures = 0
+        self.n_observer_drops = 0
+        self.n_observer_reconnects = 0
 
         self._switched_metric = reg.counter(
             "ioverlay_engine_switched_messages_total",
@@ -167,6 +174,36 @@ class EngineInstruments:
         self._c_delivers: CounterChild = reg.counter(
             "ioverlay_engine_delivered_messages_total",
             "Data messages consumed by the local algorithm (not re-sent)",
+            ("node",),
+        ).labels(node=node)
+        self._c_suspects: CounterChild = reg.counter(
+            "ioverlay_engine_link_suspects_total",
+            "Peer links suspected after receive silence past the timeout",
+            ("node",),
+        ).labels(node=node)
+        self._c_probes: CounterChild = reg.counter(
+            "ioverlay_engine_liveness_probes_total",
+            "Reactive liveness probes dispatched to suspect peers",
+            ("node",),
+        ).labels(node=node)
+        self._c_inactivity_deaths: CounterChild = reg.counter(
+            "ioverlay_engine_inactivity_deaths_total",
+            "Links confirmed dead by an unanswered liveness probe",
+            ("node",),
+        ).labels(node=node)
+        self._c_connect_failures: CounterChild = reg.counter(
+            "ioverlay_engine_connect_failures_total",
+            "Failed peer connect attempts (retried under backoff)",
+            ("node",),
+        ).labels(node=node)
+        self._c_observer_drops: CounterChild = reg.counter(
+            "ioverlay_engine_observer_drops_total",
+            "Observer-bound messages dropped (outbox overflow or shutdown)",
+            ("node",),
+        ).labels(node=node)
+        self._c_observer_reconnects: CounterChild = reg.counter(
+            "ioverlay_engine_observer_reconnects_total",
+            "Successful observer-link reconnections",
             ("node",),
         ).labels(node=node)
 
@@ -333,6 +370,12 @@ class EngineInstruments:
             (self.n_domino, self._c_domino),
             (self.n_source, self._c_source),
             (self.n_delivers, self._c_delivers),
+            (self.n_suspects, self._c_suspects),
+            (self.n_probes, self._c_probes),
+            (self.n_inactivity_deaths, self._c_inactivity_deaths),
+            (self.n_connect_failures, self._c_connect_failures),
+            (self.n_observer_drops, self._c_observer_drops),
+            (self.n_observer_reconnects, self._c_observer_reconnects),
         ):
             if value > child.value:
                 child.inc(value - child.value)

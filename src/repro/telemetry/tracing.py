@@ -42,8 +42,16 @@ class EventType:
     DROP = "drop"                        # lost to a failure or teardown
     DELIVER = "deliver"                  # consumed by the local algorithm
 
+    # Port-level link-health events (not tied to one message): the
+    # LIVE -> SUSPECT -> PROBING -> DEAD detection ladder of the
+    # resilience layer (repro.net.resilience).
+    LINK_SUSPECT = "link-suspect"        # receive silence past the timeout
+    LINK_PROBE = "link-probe"            # reactive liveness probe dispatched
+    LINK_DEAD = "link-dead"              # probe unanswered; teardown fires
+
     ALL = (SOURCE_EMIT, ENQUEUE, SWITCH_PICK, CREDIT_EXHAUSTED,
-           DEFER, RETRY, FORWARD, DROP, DELIVER)
+           DEFER, RETRY, FORWARD, DROP, DELIVER,
+           LINK_SUSPECT, LINK_PROBE, LINK_DEAD)
 
 
 def trace_id(msg: Message) -> str:

@@ -1,0 +1,19 @@
+"""The robustness extension's backend-parity run.
+
+One declarative FailureSchedule, executed on the discrete-event sim and
+on a chaos-wrapped asyncio cluster: both must confirm the silent stall
+through inactivity detection and report the same availability.
+"""
+
+from repro.experiments.ext_robustness import run_detection_parity
+
+
+def test_stall_detection_parity_across_backends():
+    result = run_detection_parity(seed=0)
+    assert result.agrees()
+    for run in result.runs.values():
+        assert run.torn_down, run
+        assert run.detections == 1, run
+        assert abs(run.availability - 2 / 3) < 1e-9, run
+    text = result.table().render()
+    assert "sim" in text and "asyncio+chaos" in text

@@ -12,7 +12,9 @@ from repro.net.engine import AsyncioEngine, NetEngineConfig
 from repro.net.observer_server import ObserverServer
 from repro.net.proxy import ObserverProxy
 
-_PORTS = itertools.count(42000)
+# Fixed ports live below the ephemeral range (32768+): a TIME_WAIT client
+# socket on the same port would otherwise block a later listener bind.
+_PORTS = itertools.count(25000)
 
 
 def next_addr() -> NodeId:

@@ -11,7 +11,9 @@ from repro.core.bandwidth import BandwidthSpec
 from repro.core.ids import NodeId
 from repro.net.engine import AsyncioEngine, NetEngineConfig
 
-_PORTS = itertools.count(44000)
+# Fixed ports live below the ephemeral range (32768+): a TIME_WAIT client
+# socket on the same port would otherwise block a later listener bind.
+_PORTS = itertools.count(27000)
 
 
 def next_addr():
