@@ -9,7 +9,7 @@ file to see the performance trajectory; CI reruns the suite and fails
 when a metric regresses by more than :data:`GUARD_TOLERANCE` against
 the committed baseline (set ``PERF_GUARD=1``).
 
-Four metrics, chosen to cover the layers of the fast path:
+The metrics, chosen to cover the layers of the fast path:
 
 - ``kernel_events_per_sec`` — raw event dispatch through the
   virtual-time kernel (a ``call_soon`` chain: the ready-queue path);
@@ -20,7 +20,10 @@ Four metrics, chosen to cover the layers of the fast path:
 - ``switch_passes_per_sec`` — switch bookkeeping per engine iteration
   (rotation + has_work + total_buffered over 16 ports);
 - ``fig5_sim_chain_msgs_per_sec`` — end-to-end: simulated messages
-  switched per wall-clock second on a fig5-style 8-node chain.
+  switched per wall-clock second on a fig5-style 8-node chain;
+- ``virtual_pack_msgs_per_sec`` — bench_virtual_pack: end-to-end
+  delivery rate on a 40-node virtual-hosted chain (many full engines
+  multiplexed on one event loop over zero-copy loopback links).
 
 Every metric is "higher is better".  Measurements use the best of
 several repetitions so a GC pause or scheduler blip cannot fail CI.
@@ -221,6 +224,49 @@ def test_fig5_sim_chain_rate():
     assert RESULTS["fig5_sim_chain_msgs_per_sec"] > 0
 
 
+def test_virtual_pack_rate():
+    """bench_virtual_pack: end-to-end messages per wall-clock second on a
+    40-node virtual-hosted chain — the cost of packing many full engines
+    (own switch, buffers, control loop each) onto one event loop with
+    zero-copy loopback links between them."""
+    import asyncio
+
+    from repro.algorithms.forwarding import CopyForwardAlgorithm, SinkAlgorithm
+    from repro.net.engine import NetEngineConfig
+    from repro.net.virtual import VirtualHost
+
+    n_nodes = 40
+    window = 1.0
+
+    async def packed_chain() -> float:
+        host = VirtualHost()
+        algorithms = [CopyForwardAlgorithm() for _ in range(n_nodes - 1)] + [SinkAlgorithm()]
+        config = NetEngineConfig(buffer_capacity=10)
+        engines = [host.add_node(alg, config=config) for alg in algorithms]
+        await host.start()
+        for alg, nxt in zip(algorithms, engines[1:]):
+            alg.set_downstreams([nxt.node_id])
+        await host.connect_chain()
+        sink = algorithms[-1]
+        engines[0].start_source(app=1, payload_size=5000)
+        await asyncio.sleep(window * 0.25)  # fill the pipeline first
+        start_count = sink.received
+        start = time.perf_counter()
+        await asyncio.sleep(window)
+        elapsed = time.perf_counter() - start
+        delivered = sink.received - start_count
+        assert host.resolver.dials == n_nodes - 1  # no socket fallback
+        await host.stop()
+        assert delivered > 0
+        return delivered / elapsed
+
+    def run() -> float:
+        return asyncio.run(packed_chain())
+
+    RESULTS["virtual_pack_msgs_per_sec"] = _best_of(run, repeats=2)
+    assert RESULTS["virtual_pack_msgs_per_sec"] > 0
+
+
 # ------------------------------------------------------------------- persist
 
 
@@ -232,7 +278,7 @@ def test_zz_write_bench_json_and_guard():
     committed* history entry and the test fails on a >25% drop in any
     metric; without it the file is just rewritten with the new entry.
     """
-    assert len(RESULTS) == 5, f"expected all metrics collected, got {sorted(RESULTS)}"
+    assert len(RESULTS) == 6, f"expected all metrics collected, got {sorted(RESULTS)}"
 
     history: list[dict] = []
     if BENCH_FILE.exists():

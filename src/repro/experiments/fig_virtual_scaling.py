@@ -1,0 +1,133 @@
+"""Virtual-node packing — how many full nodes fit in one process.
+
+The paper's engine "supports virtualized nodes, i.e., more than one
+iOverlay node per physical host"; Fig. 5's stress chains were run
+exactly that way.  This experiment measures the packing dimension the
+figure leaves implicit: hold the workload shape fixed (the fig5 chain —
+a source pushing back-to-back messages down a line of copy-forwarders
+into a sink) and grow the number of co-hosted nodes.
+
+Where :mod:`repro.experiments.fig5_chain` runs every hop over loopback
+TCP, here the chain runs on a :class:`~repro.net.virtual.VirtualHost`:
+co-hosted hops are zero-copy in-process channels, so the sweep isolates
+the engine/scheduling cost of packing nodes from the socket cost.  For
+each size we record end-to-end throughput at the sink, how many of the
+per-node status reports actually reached a live observer (the control
+plane must keep working at packing density), and the loopback dial
+count proving no chain hop silently fell back to sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.algorithms.forwarding import CopyForwardAlgorithm, SinkAlgorithm
+from repro.core.ids import NodeId
+from repro.experiments.common import Table
+from repro.net.engine import NetEngineConfig
+from repro.net.observer_server import ObserverServer
+from repro.net.virtual import VirtualHost
+
+#: chain sizes swept by default — up to well past the 100-node target
+DEFAULT_SIZES = [25, 50, 100, 150]
+
+
+@dataclass
+class PackPoint:
+    nodes: int
+    delivered: int  # messages that crossed the whole chain
+    end_to_end: float  # B/s at the sink over the measured window
+    statuses: int  # distinct nodes whose STATUS reached the observer
+    loopback_dials: int  # chain hops brokered in-process (== links)
+    startup_ms_per_node: float
+
+
+@dataclass
+class VirtualScalingResult:
+    points: list[PackPoint]
+
+    def table(self) -> Table:
+        table = Table(
+            "Virtual-node packing — fig5 chain workload on one VirtualHost",
+            ["nodes", "delivered", "end-to-end (KB/s)", "statuses seen",
+             "loopback dials", "startup (ms/node)"],
+        )
+        for p in self.points:
+            table.add_row(
+                p.nodes, p.delivered, f"{p.end_to_end / 1000:.1f}",
+                f"{p.statuses}/{p.nodes}", p.loopback_dials,
+                f"{p.startup_ms_per_node:.1f}",
+            )
+        table.note("co-hosted hops are zero-copy in-process channels; dials ="
+                   " links proves no hop fell back to sockets")
+        return table
+
+    def control_plane_held(self) -> bool:
+        """Every sweep point had all nodes report status to the observer."""
+        return all(p.statuses >= p.nodes for p in self.points)
+
+
+async def _run_packed_chain(
+    n_nodes: int, duration: float, payload_size: int, report_interval: float
+) -> PackPoint:
+    observer = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=report_interval)
+    await observer.start()
+    host = VirtualHost(observer_addr=observer.addr)
+    algorithms = [CopyForwardAlgorithm() for _ in range(n_nodes - 1)] + [SinkAlgorithm()]
+    config = NetEngineConfig(report_interval=report_interval)
+    engines = [host.add_node(alg, config=config) for alg in algorithms]
+
+    t0 = time.monotonic()
+    await host.start()
+    startup_ms_per_node = (time.monotonic() - t0) * 1000.0 / n_nodes
+
+    for alg, nxt in zip(algorithms, engines[1:]):
+        alg.set_downstreams([nxt.node_id])
+    await host.connect_chain()
+    sink = algorithms[-1]
+
+    engines[0].start_source(app=1, payload_size=payload_size)
+    await asyncio.sleep(duration * 0.25)  # warm-up: fill the pipeline
+    start_bytes = sink.received_bytes
+    await asyncio.sleep(duration)
+    end_to_end = (sink.received_bytes - start_bytes) / duration
+
+    # Give the slowest reporters one more interval, then count coverage.
+    await asyncio.sleep(report_interval)
+    statuses = len(observer.observer.statuses)
+    delivered = sink.received
+    dials = host.resolver.dials
+    await host.stop()
+    await observer.stop()
+    return PackPoint(
+        nodes=n_nodes, delivered=delivered, end_to_end=end_to_end,
+        statuses=statuses, loopback_dials=dials,
+        startup_ms_per_node=startup_ms_per_node,
+    )
+
+
+def run_virtual_scaling(
+    sizes: list[int] | None = None,
+    duration: float = 2.0,
+    payload_size: int = 5000,
+    report_interval: float = 0.5,
+) -> VirtualScalingResult:
+    sizes = sizes or DEFAULT_SIZES
+    points = [
+        asyncio.run(_run_packed_chain(n, duration, payload_size, report_interval))
+        for n in sizes
+    ]
+    return VirtualScalingResult(points=points)
+
+
+def main() -> None:
+    result = run_virtual_scaling()
+    result.table().print()
+    if not result.control_plane_held():
+        print("WARNING: some nodes never reported status to the observer")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,27 +1,28 @@
-"""The asyncio message switching engine: real sockets, same architecture.
+"""The asyncio engine backend: EngineCore over real (or loopback) transports.
 
-This is the live counterpart of :class:`repro.sim.engine.SimEngine` —
-one receiver task per inbound peer, one sender task per outbound peer,
-one engine task switching data in weighted round-robin order, a single
-``send`` entry point for algorithms, bounded buffers with back pressure,
-bandwidth emulation wrapped around the socket path, and passive failure
-detection through socket errors.
-
-On top of the passive core sits a resilience layer
+All switching semantics — control draining, the weighted-round-robin
+switch, pending-forward retries, probe/bandwidth/status handling, source
+pacing, telemetry — live in :class:`repro.core.engine_core.EngineCore`.
+This module supplies what is transport-specific: TCP server/dial
+machinery, one receiver task and one sender task per persistent
+full-duplex peer connection, and the resilience layer
 (:mod:`repro.net.resilience`): peer dials retry with bounded, jittered
 exponential backoff; a watchdog walks every peer link through the
 ``LIVE -> SUSPECT -> PROBING -> DEAD`` ladder so silently stalled links
 are confirmed dead and torn down through the very same ``_peer_failed``
 domino as loud socket errors; and the observer link is supervised — a
 bounded outbox buffers status/trace messages across observer reconnects
-(drop-oldest on overflow, every drop counted).  Fault injection for all
-of this lives in :mod:`repro.net.chaos`.
+(drop-oldest on overflow, every drop counted).  Fault injection lives in
+:mod:`repro.net.chaos`.
+
+Co-hosted peers (see :mod:`repro.net.virtual`) skip sockets entirely:
+when the config carries a loopback resolver, dials to nodes on the same
+host return in-process channel endpoints that move :class:`Message`
+objects by reference — the IO loops below never notice the difference
+because framing dispatches on the endpoint type.
 
 Because asyncio is single-threaded, the paper's headline guarantee holds
 natively: the algorithm runs without any thread-safe data structures.
-Connections are persistent and full-duplex: one TCP connection carries
-both directions of traffic between two nodes, whatever application the
-messages belong to.
 """
 
 from __future__ import annotations
@@ -30,15 +31,16 @@ import asyncio
 import random
 import time
 from dataclasses import dataclass, field as dataclass_field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Coroutine, Iterable
 
-from repro.core.algorithm import Algorithm, Disposition
-from repro.core.bandwidth import BandwidthSpec, NodeThrottle
-from repro.core.ids import CONTROL_APP, AppId, NodeId
+from repro.core.algorithm import Algorithm
+from repro.core.bandwidth import BandwidthSpec
+from repro.core.engine_core import EngineCore
+from repro.core.ids import CONTROL_APP, NodeId
 from repro.core.message import Message
-from repro.core.msgtypes import MsgType, is_engine_type
-from repro.core.stats import LinkStats, LinkStatsSnapshot
-from repro.core.switch import PendingForward, ReceiverPort, SwitchScheduler
+from repro.core.msgtypes import MsgType
+from repro.core.stats import LinkStats
+from repro.core.switch import ReceiverPort
 from repro.errors import BufferClosedError
 from repro.net.framing import (
     expect_hello,
@@ -58,6 +60,7 @@ from repro.telemetry.tracing import EventType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.chaos import ChaosController
+    from repro.net.virtual import LoopbackResolver
 
 
 @dataclass
@@ -79,15 +82,23 @@ class NetEngineConfig:
     #: opt-in fault injection; every peer connection is wrapped through
     #: the controller's policies (see :mod:`repro.net.chaos`).
     chaos: "ChaosController | None" = None
+    #: optional in-process dial shortcut for co-hosted virtual nodes
+    #: (see :class:`repro.net.virtual.VirtualHost`); ``None`` means every
+    #: peer is reached over a real socket.
+    loopback: "LoopbackResolver | None" = None
 
 
 @dataclass
 class _Peer:
-    """One persistent, full-duplex connection to another overlay node."""
+    """One persistent, full-duplex connection to another overlay node.
+
+    ``reader``/``writer`` are either asyncio streams or in-process
+    loopback endpoints with the same duck-typed surface.
+    """
 
     node: NodeId
-    reader: asyncio.StreamReader
-    writer: asyncio.StreamWriter
+    reader: Any
+    writer: Any
     send_queue: AsyncBoundedQueue
     port: ReceiverPort
     stats_out: LinkStats
@@ -106,7 +117,7 @@ class _Peer:
     epoch: int = 0
 
 
-class AsyncioEngine:
+class AsyncioEngine(EngineCore):
     """One live overlay node (engine + algorithm) on real TCP sockets."""
 
     def __init__(
@@ -116,24 +127,16 @@ class AsyncioEngine:
         observer_addr: NodeId | None = None,
         config: NetEngineConfig | None = None,
     ) -> None:
-        self._node_id = node_id
-        self.algorithm = algorithm
-        self.config = config or NetEngineConfig()
+        super().__init__(
+            node_id, algorithm, config or NetEngineConfig(),
+            control=AsyncBoundedQueue(),
+            wake=asyncio.Event(),
+            send_space=asyncio.Event(),
+        )
         self._observer_addr = observer_addr
-        self.throttle = NodeThrottle(self.config.bandwidth)
-
         self._peers: dict[NodeId, _Peer] = {}
-        self._scheduler = SwitchScheduler()
-        self._control: AsyncBoundedQueue[Message] = AsyncBoundedQueue()
-        self._wake = asyncio.Event()
-        self._send_space = asyncio.Event()
-        self._running = False
         self._server: asyncio.AbstractServer | None = None
         self._tasks: list[asyncio.Task] = []
-        self._sources: dict[AppId, asyncio.Task] = {}
-        self._local_apps: set[AppId] = set()
-        self._current_port: ReceiverPort | None = None
-        self._source_pending: list[PendingForward] | None = None
         self._observer_writer: asyncio.StreamWriter | None = None
 
         # resilience: coalesced in-flight dials, seeded backoff policies,
@@ -145,12 +148,8 @@ class AsyncioEngine:
         self._observer_backoff = BackoffPolicy.for_observer(res, rng)
         self._observer_outbox = ObserverOutbox(res.observer_outbox)
         self._outbox_event = asyncio.Event()
-
         # Instruments bind in start(): with port 0 the node's identity is
         # only final once the server socket is bound.
-        self._ins = None
-        self._peer_strs: dict[NodeId, str] = {}
-        self._data_sends = 0
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -168,8 +167,7 @@ class AsyncioEngine:
             # otherwise, the engine chooses one of the available ports."
             actual = self._server.sockets[0].getsockname()[1]
             self._node_id = NodeId(self._node_id.ip, actual)
-        if self.config.telemetry is not None:
-            self._ins = self.config.telemetry.instruments_for(self._node_id)
+        self._bind_instruments()
         if self._observer_addr is not None:
             await self._connect_observer()
         self._tasks.append(asyncio.ensure_future(self._engine_loop()))
@@ -205,56 +203,11 @@ class AsyncioEngine:
         self._tasks.clear()
         self._dialing.clear()
 
-    @property
-    def running(self) -> bool:
-        """True between start() and stop()."""
-        return self._running
-
-    # ------------------------------------------------------------- EngineServices
-
-    @property
-    def node_id(self) -> NodeId:
-        """This node's publicized identity (ip:port of its server)."""
-        return self._node_id
+    # ------------------------------------------------------ Clock / ObserverSink
 
     def now(self) -> float:
         """Wall-clock seconds (monotonic)."""
         return time.monotonic()
-
-    def send(self, msg: Message, dest: NodeId) -> None:
-        """The single engine call available to algorithms (non-blocking)."""
-        if not self._running:
-            return
-        if dest == self._node_id:
-            self._control.put_force(msg)
-            self._wake.set()
-            return
-        if self._ins is not None and msg.type == MsgType.DATA:
-            self._data_sends += 1
-        peer = self._peers.get(dest)
-        if peer is None:
-            # Connection establishment is asynchronous; buffer the message
-            # with the connect task so send() itself never blocks.
-            self._tasks.append(asyncio.ensure_future(self._connect_and_send(dest, msg)))
-            return
-        self._enqueue_to_peer(peer, msg)
-
-    def _enqueue_to_peer(self, peer: _Peer, msg: Message) -> None:
-        if peer.send_queue.closed:
-            return
-        if msg.type == MsgType.DATA:
-            if peer.send_queue.put_nowait(msg):
-                return
-            self._defer_data(msg, peer.node)
-        else:
-            peer.send_queue.put_force(msg)
-
-    async def _connect_and_send(self, dest: NodeId, msg: Message) -> None:
-        peer = await self._ensure_peer(dest)
-        if peer is None:
-            self._notify_broken_link(dest, direction="down")
-            return
-        self._enqueue_to_peer(peer, msg)
 
     def send_to_observer(self, msg: Message) -> None:
         """Queue a message for the observer via the reconnect outbox.
@@ -271,58 +224,115 @@ class AsyncioEngine:
             self._ins.n_observer_drops += 1
         self._outbox_event.set()
 
-    def upstreams(self) -> list[NodeId]:
-        """Peers with a receiver port on this node."""
-        return [port.peer for port in self._scheduler.ports]
+    # -------------------------------------------------------------- Transport port
+
+    def _dispatch(self, msg: Message, dest: NodeId) -> None:
+        if self._ins is not None and msg.type == MsgType.DATA:
+            self._data_sends += 1
+        peer = self._peers.get(dest)
+        if peer is None:
+            # Connection establishment is asynchronous; buffer the message
+            # with the connect task so send() itself never blocks.
+            self._tasks.append(asyncio.ensure_future(self._connect_and_send(dest, msg)))
+            return
+        self._enqueue_to_peer(peer, msg)
+
+    def _enqueue_to_peer(self, peer: _Peer, msg: Message) -> None:
+        if peer.send_queue.closed:
+            return
+        self._stage(msg, peer.node, peer.send_queue)
+
+    async def _connect_and_send(self, dest: NodeId, msg: Message) -> None:
+        peer = await self._ensure_peer(dest)
+        if peer is None:
+            self._notify_broken_link(dest, direction="down")
+            return
+        self._enqueue_to_peer(peer, msg)
+
+    def _outbound_queue(self, dest: NodeId) -> AsyncBoundedQueue | None:
+        peer = self._peers.get(dest)
+        return None if peer is None else peer.send_queue
 
     def downstreams(self) -> list[NodeId]:
         """Peers this node holds a persistent connection to."""
         return list(self._peers)
 
-    def link_stats(self, peer_id: NodeId) -> LinkStatsSnapshot | None:
-        """Outgoing QoS snapshot for the link to ``peer_id``."""
-        peer = self._peers.get(peer_id)
-        if peer is None:
-            return None
-        return peer.stats_out.snapshot(self.now())
+    def _request_connect(self, dest: NodeId) -> None:
+        self._tasks.append(asyncio.ensure_future(self.connect(dest)))
 
-    def start_source(self, app: AppId, payload_size: int) -> None:
-        """Deploy a back-to-back application data source here."""
-        if app in self._sources or not self._running:
-            return
-        self._local_apps.add(app)
-        self._sources[app] = asyncio.ensure_future(self._source_loop(app, payload_size))
+    def _request_shutdown(self) -> None:
+        asyncio.ensure_future(self.stop())
 
-    def stop_source(self, app: AppId) -> None:
-        """Terminate a deployed source."""
-        task = self._sources.pop(app, None)
-        self._local_apps.discard(app)
-        if task is not None:
-            task.cancel()
+    def _spawn(self, coro: Coroutine, name: str) -> asyncio.Task:
+        return asyncio.ensure_future(coro)
 
-    def set_timer(self, delay: float, token: int = 0) -> None:
-        """Deliver a TIMER message to the algorithm after ``delay``."""
-        msg = Message.with_fields(MsgType.TIMER, self._node_id, CONTROL_APP, token=token)
-        asyncio.get_running_loop().call_later(delay, self._enqueue_notification, msg)
+    async def _sleep(self, delay: float) -> None:
+        await asyncio.sleep(delay)
 
-    def set_port_weight(self, peer: NodeId, weight: int) -> None:
-        """Dynamically retune a receiver port's round-robin weight."""
-        self._scheduler.set_weight(peer, weight)
-        self._wake.set()
+    def _call_later(self, delay: float, callback: Any, *args: Any) -> None:
+        asyncio.get_running_loop().call_later(delay, callback, *args)
 
-    def measure(self, peer: NodeId) -> None:
-        """Probe RTT to ``peer``; the algorithm receives MEASURE_REPLY."""
-        probe = Message.with_fields(
-            MsgType.HEARTBEAT, self._node_id, CONTROL_APP,
-            probe="req", t0=self.now(), origin=str(self._node_id),
-        )
-        self.send(probe, peer)
+    async def _yield_control(self) -> None:
+        await asyncio.sleep(0)  # let IO tasks breathe under load
+
+    def _source_pacing(self) -> float:
+        return 0.0 if self._peers else 0.01  # nobody to talk to; do not spin
+
+    def _send_buffer_levels(self) -> dict[str, int]:
+        return {str(n): len(p.send_queue) for n, p in self._peers.items()}
+
+    def _recv_rates(self, now: float) -> dict[str, float]:
+        return {str(n): p.stats_in.throughput.rate(now) for n, p in self._peers.items()}
+
+    def _send_rates(self, now: float) -> dict[str, float]:
+        return {str(n): p.stats_out.throughput.rate(now) for n, p in self._peers.items()}
+
+    def _up_rate_reports(self, now: float) -> Iterable[tuple[str, float]]:
+        for node, peer in list(self._peers.items()):
+            yield str(node), peer.stats_in.throughput.rate(now)
+
+    def _down_rate_reports(self, now: float) -> Iterable[tuple[str, float]]:
+        for node, peer in list(self._peers.items()):
+            yield str(node), peer.stats_out.throughput.rate(now)
+
+    def _stats_in(self, peer: NodeId) -> LinkStats | None:
+        entry = self._peers.get(peer)
+        return None if entry is None else entry.stats_in
+
+    def _stats_out(self, peer: NodeId) -> LinkStats | None:
+        entry = self._peers.get(peer)
+        return None if entry is None else entry.stats_out
 
     # ----------------------------------------------------------------- connections
 
     async def connect(self, dest: NodeId) -> bool:
         """Ensure a persistent connection to ``dest`` exists."""
         return await self._ensure_peer(dest) is not None
+
+    def disconnect(self, dest: NodeId) -> None:
+        """Gracefully tear down the connection to ``dest`` (if any).
+
+        Unlike :meth:`_peer_failed`, this is a deliberate local action:
+        no BROKEN_LINK notification is raised here (the remote side still
+        observes the closed transport through its own failure path).
+        """
+        peer = self._peers.pop(dest, None)
+        if peer is None:
+            return
+        for msg in peer.send_queue.drain():
+            peer.stats_out.loss.record(msg.size)
+            self._record_loss(msg)
+        self._close_peer(peer)
+        self.throttle.drop_link(dest)
+        for port in self._scheduler.ports:
+            port.discard_dest(dest)
+        if self._source_pending is not None:
+            for forward in self._source_pending:
+                forward.remaining = [d for d in forward.remaining if d != dest]
+        for app in list(self._app_downstreams):
+            self._app_downstreams[app].discard(dest)
+        self._send_space.set()
+        self._wake.set()
 
     async def _ensure_peer(self, dest: NodeId) -> _Peer | None:
         peer = self._peers.get(dest)
@@ -376,9 +386,15 @@ class AsyncioEngine:
             if self._dialing.get(dest) is asyncio.current_task():
                 del self._dialing[dest]
 
-    async def _open_connection(
-        self, dest: NodeId
-    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    async def _open_connection(self, dest: NodeId) -> tuple[Any, Any]:
+        loopback = self.config.loopback
+        if loopback is not None:
+            # Co-hosted peers bypass sockets (and chaos wrapping, which
+            # targets the socket layer): the resolver hands both engines
+            # in-process channel endpoints in one synchronous step.
+            pair = loopback.dial(self._node_id, dest)
+            if pair is not None:
+                return pair
         chaos = self.config.chaos
         if chaos is not None:
             chaos.check_connect(self._node_id, dest)
@@ -403,11 +419,15 @@ class AsyncioEngine:
         except Exception:
             writer.close()
             return
+        if self.config.chaos is not None:
+            reader, writer = self.config.chaos.wrap(self._node_id, peer_id, reader, writer)
+        self.accept_transport(peer_id, reader, writer)
+
+    def accept_transport(self, peer_id: NodeId, reader: Any, writer: Any) -> None:
+        """Admit an identified inbound transport (socket or loopback)."""
         if not self._running:
             writer.close()
             return
-        if self.config.chaos is not None:
-            reader, writer = self.config.chaos.wrap(self._node_id, peer_id, reader, writer)
         existing = self._peers.get(peer_id)
         if existing is not None:
             # Simultaneous connect resolved deterministically: keep the
@@ -422,9 +442,7 @@ class AsyncioEngine:
             Message.with_fields(MsgType.NEW_UPSTREAM, self._node_id, CONTROL_APP, peer=str(peer_id))
         )
 
-    def _register_peer(
-        self, node: NodeId, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> _Peer:
+    def _register_peer(self, node: NodeId, reader: Any, writer: Any) -> _Peer:
         buffer: AsyncBoundedQueue[Message] = AsyncBoundedQueue(self.config.buffer_capacity)
         port = ReceiverPort(peer=node, buffer=buffer)  # type: ignore[arg-type]
         peer = _Peer(
@@ -444,9 +462,7 @@ class AsyncioEngine:
         self._tasks.extend([peer.sender_task, peer.receiver_task])
         return peer
 
-    def _adopt_connection(
-        self, peer: _Peer, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
+    def _adopt_connection(self, peer: _Peer, reader: Any, writer: Any) -> None:
         """Swap ``peer``'s transport for the canonical connection.
 
         Used by the simultaneous-connect tie-break: the losing socket is
@@ -483,14 +499,9 @@ class AsyncioEngine:
         if self._peers.get(peer.node) is not peer:
             return
         del self._peers[peer.node]
-        lost = peer.send_queue.drain()
-        for msg in lost:
+        for msg in peer.send_queue.drain():
             peer.stats_out.loss.record(msg.size)
-            if self._ins is not None:
-                self._ins.n_drops += 1
-                self._ins.n_dropped_bytes += msg.size
-                if self._ins.tracer.enabled:
-                    self._ins.trace_msg(self.now(), EventType.DROP, msg)
+            self._record_loss(msg)
         self._close_peer(peer)
         self.throttle.drop_link(peer.node)
         for port in self._scheduler.ports:
@@ -498,9 +509,16 @@ class AsyncioEngine:
         if self._source_pending is not None:
             for forward in self._source_pending:
                 forward.remaining = [d for d in forward.remaining if d != peer.node]
+        for app in list(self._app_downstreams):
+            self._app_downstreams[app].discard(peer.node)
         self._notify_broken_link(peer.node, direction="both")
+        # Domino effect: a full-duplex peer was also an upstream, so any
+        # application fed exclusively through it has lost its source.
+        self._domino_upstream_lost(peer.node)
         self._send_space.set()
         self._wake.set()
+
+    # ------------------------------------------------------------------- observer
 
     def _boot_message(self) -> Message:
         return Message.with_fields(
@@ -517,7 +535,7 @@ class AsyncioEngine:
         )
         self._observer_writer = writer
         self._tasks.append(asyncio.ensure_future(self._observer_reader(reader, writer)))
-        self.send_to_observer(self._boot_message())
+        self._send_boot()
         self._tasks.append(asyncio.ensure_future(self._observer_loop()))
 
     def _drop_observer_writer(self, writer: asyncio.StreamWriter) -> None:
@@ -605,277 +623,6 @@ class AsyncioEngine:
                 if not self._observer_outbox and self._running:
                     await self._outbox_event.wait()
 
-    # --------------------------------------------------------------------- engine
-
-    async def _engine_loop(self) -> None:
-        self.algorithm.on_start()
-        while self._running:
-            progressed = self._drain_control()
-            progressed = self._switch_round() or progressed
-            if progressed:
-                await asyncio.sleep(0)  # let IO tasks breathe under load
-            else:
-                self._wake.clear()
-                await self._wake.wait()
-
-    def _drain_control(self) -> bool:
-        progressed = False
-        while self._running and not self._control.is_empty:
-            msg = self._control.get_nowait()
-            progressed = True
-            if is_engine_type(msg.type):
-                self._engine_process(msg)
-            else:
-                self.algorithm.process(msg)
-        return progressed
-
-    def _engine_process(self, msg: Message) -> None:
-        if msg.type == MsgType.TERMINATE:
-            asyncio.ensure_future(self.stop())
-        elif msg.type == MsgType.SET_BANDWIDTH:
-            self._apply_bandwidth(msg)
-        elif msg.type == MsgType.CONNECT:
-            self._tasks.append(
-                asyncio.ensure_future(self.connect(NodeId.parse(msg.fields()["dest"])))
-            )
-        elif msg.type == MsgType.DISCONNECT:
-            peer = self._peers.get(NodeId.parse(msg.fields()["dest"]))
-            if peer is not None:
-                self._peer_failed(peer)
-        elif msg.type == MsgType.REQUEST:
-            self.send_to_observer(self._status_report())
-            self.algorithm.process(msg)
-        elif msg.type == MsgType.HEARTBEAT:
-            self._handle_probe(msg)
-
-    def _handle_probe(self, msg: Message) -> None:
-        fields = msg.fields()
-        origin = NodeId.parse(fields["origin"])
-        if fields.get("probe") == "req":
-            echo = Message.with_fields(
-                MsgType.HEARTBEAT, self._node_id, CONTROL_APP,
-                probe="resp", t0=fields["t0"], origin=fields["origin"],
-                liveness=fields.get("liveness", 0),
-            )
-            self.send(echo, origin)
-        elif fields.get("probe") == "resp":
-            if fields.get("liveness"):
-                # Watchdog traffic: receiving the frame already reset the
-                # peer's inactivity clock; the algorithm never sees it.
-                return
-            peer = msg.sender
-            rtt = self.now() - float(fields["t0"])
-            self._enqueue_notification(Message.with_fields(
-                MsgType.MEASURE_REPLY, self._node_id, CONTROL_APP,
-                peer=str(peer), rtt=rtt, send_rate=self.send_rate(peer),
-            ))
-
-    def _apply_bandwidth(self, msg: Message) -> None:
-        fields = msg.fields()
-        category, rate = fields["category"], fields["rate"]
-        if category == "total":
-            self.throttle.set_total(rate)
-        elif category == "up":
-            self.throttle.set_up(rate)
-        elif category == "down":
-            self.throttle.set_down(rate)
-        elif category == "link":
-            self.throttle.set_link(NodeId.parse(fields["peer"]), rate)
-
-    def _status_report(self) -> Message:
-        now = self.now()
-        fields = dict(
-            node=str(self._node_id),
-            upstreams=[str(p) for p in self.upstreams()],
-            downstreams=[str(d) for d in self.downstreams()],
-            recv_buffers={str(p.peer): len(p.buffer) for p in self._scheduler.ports},
-            send_buffers={str(n): len(p.send_queue) for n, p in self._peers.items()},
-            recv_rates={str(n): p.stats_in.throughput.rate(now) for n, p in self._peers.items()},
-            send_rates={str(n): p.stats_out.throughput.rate(now) for n, p in self._peers.items()},
-            apps=sorted(self._local_apps),
-        )
-        if self.config.telemetry is not None:
-            self._refresh_buffer_gauges()
-            fields["metrics"] = self.config.telemetry.snapshot(node=str(self._node_id))
-        return Message.with_fields(MsgType.STATUS, self._node_id, CONTROL_APP, **fields)
-
-    def _refresh_buffer_gauges(self) -> None:
-        if self._ins is None:
-            return
-        self._ins.set_buffer_gauges(
-            recv={str(p.peer): len(p.buffer) for p in self._scheduler.ports},
-            send={str(n): len(p.send_queue) for n, p in self._peers.items()},
-        )
-
-    def _switch_round(self) -> bool:
-        """Deficit weighted round robin (see SimEngine._switch_round)."""
-        progressed = False
-        ins = self._ins
-        moved = 0
-        for port in self._scheduler.rotation():
-            if not port.has_work():
-                continue
-            if port.credit <= 0:
-                if ins is not None:
-                    ins.credit_stalls[port.label] += 1
-                    epoch = self._scheduler.epochs
-                    if ins.tracer.enabled and port.stall_epoch != epoch:
-                        port.stall_epoch = epoch
-                        ins.trace_port(self.now(), EventType.CREDIT_EXHAUSTED, port.label)
-                continue
-            if port.pending:
-                before = len(port.pending)
-                self._retry_pending(port)
-                completed = before - len(port.pending)
-                if completed:
-                    port.credit -= completed
-                    progressed = True
-                if port.blocked or port.credit <= 0:
-                    continue
-            while port.credit > 0 and not port.blocked and not port.buffer.is_empty:
-                msg = port.buffer.get_nowait()  # type: ignore[attr-defined]
-                port.switched += 1
-                moved += 1
-                if ins is not None:
-                    self._record_pick(port, msg)
-                self._current_port = port
-                sends_before = self._data_sends
-                try:
-                    disposition = self.algorithm.process(msg)
-                finally:
-                    self._current_port = None
-                if disposition is Disposition.HOLD:
-                    port.held += 1
-                elif ins is not None and self._data_sends == sends_before:
-                    ins.n_delivers += 1
-                    if ins.tracer.enabled:
-                        ins.trace_msg(self.now(), EventType.DELIVER, msg)
-                progressed = True
-                if not port.blocked:
-                    port.credit -= 1
-        if ins is not None:
-            ins.n_switch_rounds += 1
-            if moved:
-                ins.observe_batch(float(moved))
-        # Epoch boundary; the backlog must be explicitly non-empty so a
-        # momentarily-stale O(1) has_work() cannot fire a vacuous epoch.
-        scheduler = self._scheduler
-        has_backlog = False
-        if scheduler.has_work():  # O(1) pre-filter; may be stale-positive
-            all_spent = True
-            for port in scheduler.ports_view():
-                if port.has_work():
-                    has_backlog = True
-                    if port.credit > 0:
-                        all_spent = False
-                        break
-            has_backlog = has_backlog and all_spent
-        if has_backlog:
-            scheduler.replenish_credits()
-            if ins is not None:
-                ins.n_credit_epochs += 1
-            progressed = True
-        return progressed
-
-    def _peer_str(self, node: NodeId) -> str:
-        """Cached ``str(node)`` for telemetry labels (NodeId.__str__ formats)."""
-        label = self._peer_strs.get(node)
-        if label is None:
-            label = self._peer_strs[node] = str(node)
-        return label
-
-    def _record_pick(self, port: ReceiverPort, msg: Message) -> None:
-        """Telemetry for one switched message (queue wait + pick event)."""
-        ins = self._ins
-        now = self.now()
-        ins.switched[port.label] += 1
-        times = port.wait_times
-        if times:
-            ins.observe_wait(now - times.popleft())
-        if ins.tracer.enabled:
-            ins.trace_msg(now, EventType.SWITCH_PICK, msg, port.label)
-
-    def _retry_pending(self, port: ReceiverPort) -> bool:
-        progressed = False
-        ins = self._ins
-        for forward in port.pending:
-            progressed = self._try_forward(forward) or progressed
-            if ins is not None:
-                ins.n_retries += 1
-                if forward.done:
-                    ins.n_retry_completions += 1
-                if ins.tracer.enabled:
-                    ins.trace_retry(self.now(), forward.msg, forward.done)
-        port.prune_pending()
-        return progressed
-
-    def _try_forward(self, forward: PendingForward) -> bool:
-        placed_any = False
-        still_remaining: list[NodeId] = []
-        for dest in forward.remaining:
-            peer = self._peers.get(dest)
-            if peer is None or peer.send_queue.closed:
-                placed_any = True
-                continue
-            if peer.send_queue.put_nowait(forward.msg):
-                placed_any = True
-            else:
-                still_remaining.append(dest)
-        forward.remaining = still_remaining
-        return placed_any
-
-    def _defer_data(self, msg: Message, dest: NodeId) -> None:
-        ins = self._ins
-        if ins is not None:
-            label = self._peer_str(dest)
-            ins.defers[label] += 1
-            if ins.tracer.enabled:
-                ins.trace_msg(self.now(), EventType.DEFER, msg, label)
-        if self._current_port is not None:
-            self._current_port.deferred += 1
-            pending = self._current_port.pending
-            if pending and pending[-1].msg is msg:
-                pending[-1].remaining.append(dest)
-            else:
-                self._current_port.add_pending(PendingForward(msg, [dest]))
-        elif self._source_pending is not None:
-            if self._source_pending and self._source_pending[-1].msg is msg:
-                self._source_pending[-1].remaining.append(dest)
-            else:
-                self._source_pending.append(PendingForward(msg, [dest]))
-        else:
-            peer = self._peers.get(dest)
-            if peer is not None and not peer.send_queue.closed:
-                peer.send_queue.put_force(msg)
-
-    # --------------------------------------------------------------------- source
-
-    async def _source_loop(self, app: AppId, payload_size: int) -> None:
-        seq = 0
-        while self._running and app in self._local_apps:
-            payload = self.algorithm.produce_payload(app, seq, payload_size)
-            msg = Message(MsgType.DATA, self._node_id, app, payload, seq=seq)
-            seq += 1
-            if self._ins is not None:
-                self._ins.n_source += 1
-                if self._ins.tracer.enabled:
-                    self._ins.trace_msg(self.now(), EventType.SOURCE_EMIT, msg)
-            self._source_pending = []
-            try:
-                self.algorithm.process(msg)
-                while any(f.remaining for f in self._source_pending) and self._running:
-                    self._send_space.clear()
-                    await self._send_space.wait()
-                    for forward in self._source_pending:
-                        self._try_forward(forward)
-                    self._source_pending = [f for f in self._source_pending if f.remaining]
-            finally:
-                self._source_pending = None
-            if self._peers:
-                await asyncio.sleep(0)
-            else:
-                await asyncio.sleep(0.01)  # nobody to talk to; do not spin
-
     # ------------------------------------------------------------------ I/O tasks
 
     async def _sender_loop(self, peer: _Peer, epoch: int = 0) -> None:
@@ -946,27 +693,12 @@ class AsyncioEngine:
                         if ins.tracer.enabled:
                             ins.trace_msg(now, EventType.ENQUEUE, msg, label)
                 else:
+                    if msg.type == MsgType.BROKEN_SOURCE:
+                        self._propagate_broken_source(msg, peer.node)
                     self._control.put_force(msg)
                 self._wake.set()
         except asyncio.CancelledError:
             raise
-
-    async def _report_loop(self) -> None:
-        while self._running:
-            await asyncio.sleep(self.config.report_interval)
-            if not self._running:
-                return
-            now = self.now()
-            self._refresh_buffer_gauges()
-            for node, peer in list(self._peers.items()):
-                self._enqueue_notification(Message.with_fields(
-                    MsgType.UP_THROUGHPUT, self._node_id, CONTROL_APP,
-                    peer=str(node), rate=peer.stats_in.throughput.rate(now),
-                ))
-                self._enqueue_notification(Message.with_fields(
-                    MsgType.DOWN_THROUGHPUT, self._node_id, CONTROL_APP,
-                    peer=str(node), rate=peer.stats_out.throughput.rate(now),
-                ))
 
     # ------------------------------------------------------------------ watchdog
 
@@ -1029,29 +761,3 @@ class AsyncioEngine:
             self._ins.n_probes += 1
             if self._ins.tracer.enabled:
                 self._ins.trace_port(now, EventType.LINK_PROBE, peer.port.label)
-
-    # --------------------------------------------------------------------- helpers
-
-    def _enqueue_notification(self, msg: Message) -> None:
-        if not self._running:
-            return
-        self._control.put_force(msg)
-        self._wake.set()
-
-    def _notify_broken_link(self, peer: NodeId, direction: str) -> None:
-        if self._ins is not None:
-            self._ins.on_broken_link(direction)
-        self._enqueue_notification(Message.with_fields(
-            MsgType.BROKEN_LINK, self._node_id, CONTROL_APP,
-            peer=str(peer), direction=direction,
-        ))
-
-    def recv_rate(self, peer_id: NodeId) -> float:
-        """Measured incoming throughput from ``peer_id`` (B/s)."""
-        peer = self._peers.get(peer_id)
-        return 0.0 if peer is None else peer.stats_in.throughput.rate(self.now())
-
-    def send_rate(self, peer_id: NodeId) -> float:
-        """Measured outgoing throughput to ``peer_id`` (B/s)."""
-        peer = self._peers.get(peer_id)
-        return 0.0 if peer is None else peer.stats_out.throughput.rate(self.now())

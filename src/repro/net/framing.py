@@ -26,7 +26,15 @@ MAX_FRAME_PAYLOAD = 64 * 1024 * 1024
 
 async def read_message(reader: asyncio.StreamReader) -> Message:
     """Read one message; raises ``IncompleteReadError`` on EOF mid-frame
-    and :class:`~repro.errors.CodecError` on malformed frames."""
+    and :class:`~repro.errors.CodecError` on malformed frames.
+
+    Dispatches on the endpoint type: in-process loopback endpoints
+    (:mod:`repro.net.virtual`) hand over the :class:`Message` object by
+    reference — no header is ever serialized for co-hosted peers.
+    """
+    recv = getattr(reader, "recv_message", None)
+    if recv is not None:
+        return await recv()
     header = await reader.readexactly(HEADER_SIZE)
     type_, ip_int, port, app, seq, payload_size = _HEADER_STRUCT.unpack(header)
     if payload_size > MAX_FRAME_PAYLOAD:
@@ -42,6 +50,10 @@ def write_message(writer: asyncio.StreamWriter, msg: Message) -> None:
     bytes object reaches the transport by reference instead of being
     copied into a concatenated frame first (zero-copy on the data path).
     """
+    send = getattr(writer, "send_message", None)
+    if send is not None:  # loopback endpoint: pass the object, zero-copy
+        send(msg)
+        return
     writer.write(msg.header_bytes())
     payload = msg.payload
     if payload:

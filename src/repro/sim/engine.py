@@ -1,17 +1,12 @@
-"""The simulated message switching engine (the paper's Fig. 4, in coroutines).
+"""The simulated engine backend: EngineCore over the discrete-event kernel.
 
-Each overlay node runs:
-
-- one **receiver task** per upstream connection, pulling messages off the
-  link, applying the incoming bandwidth emulation, and blocking when its
-  bounded receiver buffer is full (back pressure);
-- one **sender task** per downstream connection, draining its bounded
-  sender buffer through the outgoing bandwidth emulation onto the link;
-- one **engine task** that processes control messages from the node's
-  publicized port and switches data messages from receiver buffers to
-  sender buffers in weighted round-robin order, consulting the
-  application-specific :class:`~repro.core.algorithm.Algorithm` — which in
-  turn calls back through the single ``send`` entry point.
+All switching semantics — control draining, the weighted-round-robin
+switch, pending-forward retries, probe/bandwidth/status handling, source
+pacing, telemetry — live in :class:`repro.core.engine_core.EngineCore`.
+This module supplies only what is transport-specific: simulated links
+(one receiver task per upstream, one sender task per downstream),
+link construction through the :class:`Fabric`, inactivity detection
+tuned to virtual time, and graceful termination.
 
 The algorithm runs only inside the engine task (plus source tasks, which
 never interleave mid-``process``), preserving the paper's guarantee that
@@ -21,15 +16,16 @@ algorithms need no thread-safe data structures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Protocol
+from typing import Any, Coroutine, Iterable, Protocol
 
-from repro.core.algorithm import Algorithm, Disposition
-from repro.core.bandwidth import BandwidthSpec, NodeThrottle
-from repro.core.ids import CONTROL_APP, AppId, NodeId
+from repro.core.algorithm import Algorithm
+from repro.core.bandwidth import BandwidthSpec
+from repro.core.engine_core import EngineCore
+from repro.core.ids import CONTROL_APP, NodeId
 from repro.core.message import Message
-from repro.core.msgtypes import MsgType, is_engine_type
-from repro.core.stats import LinkStats, LinkStatsSnapshot
-from repro.core.switch import PendingForward, ReceiverPort, SwitchScheduler
+from repro.core.msgtypes import MsgType
+from repro.core.stats import LinkStats
+from repro.core.switch import ReceiverPort
 from repro.errors import BufferClosedError, LinkDownError
 from repro.sim.kernel import Kernel, Task
 from repro.sim.link import SimLink
@@ -100,7 +96,7 @@ class _SenderLink:
         self.label = str(self.dest)
 
 
-class SimEngine:
+class SimEngine(EngineCore):
     """One virtualized overlay node: engine + algorithm + connections."""
 
     def __init__(
@@ -112,46 +108,21 @@ class SimEngine:
         config: EngineConfig | None = None,
     ) -> None:
         self.kernel = kernel
-        self._node_id = node_id
-        self.algorithm = algorithm
-        self.config = config or EngineConfig()
         self._fabric = fabric
-        self.throttle = NodeThrottle(self.config.bandwidth)
-
-        self._scheduler = SwitchScheduler()
+        config = config or EngineConfig()
+        super().__init__(
+            node_id, algorithm, config,
+            control=SimQueue(kernel),  # the publicized port
+            wake=SimEvent(kernel),
+            send_space=SimEvent(kernel),
+        )
         self._senders: dict[NodeId, _SenderLink] = {}
         self._upstream_links: dict[NodeId, SimLink] = {}
         self._recv_stats: dict[NodeId, LinkStats] = {}
         self._last_recv_at: dict[NodeId, float] = {}
-
-        self._control: SimQueue[Message] = SimQueue(kernel)  # the publicized port
-        self._wake = SimEvent(kernel)
-        self._send_space = SimEvent(kernel)
-
-        self._running = False
         self._terminated = False
-        self._lost_messages = 0
-        self._lost_bytes = 0
         self._tasks: list[Task] = []
-        self._sources: dict[AppId, Task] = {}
-        self._local_apps: set[AppId] = set()
-        self._app_upstreams: dict[AppId, set[NodeId]] = {}
-        self._app_downstreams: dict[AppId, set[NodeId]] = {}
-
-        # switching context: which receiver port (or source) produced the
-        # message the algorithm is currently processing
-        self._current_port: ReceiverPort | None = None
-        self._source_pending: list[PendingForward] | None = None
-
-        # opt-in telemetry; when off, every hot-path hook is one `is None`
-        tel = self.config.telemetry
-        self._ins = tel.instruments_for(node_id) if tel is not None else None
-        #: cached str(NodeId) renderings for telemetry labels at sites
-        #: that have no port/sender structure in hand (e.g. defers)
-        self._peer_strs: dict[NodeId, str] = {}
-        #: data-message send() calls observed while the algorithm runs,
-        #: used to recognize local delivery (processed without re-sending)
-        self._data_sends = 0
+        self._bind_instruments()
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -167,10 +138,6 @@ class SimEngine:
             self._tasks.append(
                 self.kernel.spawn(self._watchdog_loop(), name=f"{self._node_id}/watchdog")
             )
-
-    @property
-    def running(self) -> bool:
-        return self._running
 
     def terminate(self) -> None:
         """Gracefully shut the node down (the observer's *terminate node*).
@@ -207,107 +174,84 @@ class SimEngine:
         self.algorithm.on_stop()
         self._fabric.node_terminated(self._node_id)
 
-    # ------------------------------------------------------------- EngineServices
-
-    @property
-    def node_id(self) -> NodeId:
-        return self._node_id
+    # ------------------------------------------------------ Clock / ObserverSink
 
     def now(self) -> float:
         return self.kernel.now
-
-    def send(self, msg: Message, dest: NodeId) -> None:
-        """The single engine entry point available to algorithms.
-
-        ``send`` never raises and never reports failure synchronously:
-        abnormal outcomes surface later as engine-produced messages
-        (Section 2.3).  Data messages respect sender-buffer bounds and
-        participate in back pressure; other (small protocol) messages are
-        never blocked, so control traffic cannot deadlock behind data.
-        """
-        if not self._running:
-            return
-        if dest == self._node_id:
-            self._control.put_force(msg)
-            self._wake.set()
-            return
-        sender = self._ensure_sender(dest)
-        if sender is None:
-            self._notify_broken_link(dest, direction="down")
-            return
-        if msg.type == MsgType.DATA:
-            if self._ins is not None:
-                self._data_sends += 1
-            self._track_downstream(msg.app, dest)
-            if sender.queue.put_nowait(msg):
-                return
-            self._defer_data(msg, dest)
-        else:
-            sender.queue.put_force(msg)
 
     def send_to_observer(self, msg: Message) -> None:
         if self._running:
             self._fabric.to_observer(msg)
 
-    def upstreams(self) -> list[NodeId]:
-        return [port.peer for port in self._scheduler.ports]
+    # -------------------------------------------------------------- Transport port
+
+    def _dispatch(self, msg: Message, dest: NodeId) -> None:
+        sender = self._ensure_sender(dest)
+        if sender is None:
+            self._notify_broken_link(dest, direction="down")
+            return
+        if self._ins is not None and msg.type == MsgType.DATA:
+            self._data_sends += 1
+        self._stage(msg, dest, sender.queue)
+
+    def _outbound_queue(self, dest: NodeId) -> SimQueue[Message] | None:
+        sender = self._senders.get(dest)
+        return None if sender is None else sender.queue
 
     def downstreams(self) -> list[NodeId]:
         return list(self._senders)
 
-    def link_stats(self, peer: NodeId) -> LinkStatsSnapshot | None:
+    def _request_connect(self, dest: NodeId) -> None:
+        self.connect(dest)
+
+    def _request_shutdown(self) -> None:
+        self.terminate()
+
+    def _spawn(self, coro: Coroutine, name: str) -> Task:
+        return self.kernel.spawn(coro, name=name)
+
+    async def _sleep(self, delay: float) -> None:
+        await self.kernel.sleep(delay)
+
+    def _call_later(self, delay: float, callback: Any, *args: Any) -> None:
+        self.kernel.call_later(delay, callback, *args)
+
+    def _on_engine_start(self) -> None:
+        # Table 1: start the TCP server, bootstrap from observer, then loop.
+        self._send_boot()
+        if self.config.bootstrap_refresh is not None:
+            self._tasks.append(
+                self.kernel.spawn(self._bootstrap_loop(), name=f"{self._node_id}/boot")
+            )
+
+    def _source_pacing(self) -> float:
+        return self.config.source_interval
+
+    def _send_buffer_levels(self) -> dict[str, int]:
+        return {s.label: len(s.queue) for s in self._senders.values()}
+
+    def _recv_rates(self, now: float) -> dict[str, float]:
+        return {str(p): st.throughput.rate(now) for p, st in self._recv_stats.items()}
+
+    def _send_rates(self, now: float) -> dict[str, float]:
+        return {s.label: s.stats.throughput.rate(now) for s in self._senders.values()}
+
+    def _up_rate_reports(self, now: float) -> Iterable[tuple[str, float]]:
+        for peer, stats in self._recv_stats.items():
+            if self._scheduler.get_port(peer) is None:
+                continue
+            yield str(peer), stats.throughput.rate(now)
+
+    def _down_rate_reports(self, now: float) -> Iterable[tuple[str, float]]:
+        for dest, sender in self._senders.items():
+            yield str(dest), sender.stats.throughput.rate(now)
+
+    def _stats_in(self, peer: NodeId) -> LinkStats | None:
+        return self._recv_stats.get(peer)
+
+    def _stats_out(self, peer: NodeId) -> LinkStats | None:
         sender = self._senders.get(peer)
-        if sender is not None:
-            return sender.stats.snapshot(self.kernel.now)
-        stats = self._recv_stats.get(peer)
-        if stats is not None:
-            return stats.snapshot(self.kernel.now)
-        return None
-
-    def start_source(self, app: AppId, payload_size: int) -> None:
-        """Deploy an application data source producing back-to-back traffic."""
-        if app in self._sources or not self._running:
-            return
-        self._local_apps.add(app)
-        task = self.kernel.spawn(
-            self._source_loop(app, payload_size), name=f"{self._node_id}/source-{app}"
-        )
-        self._sources[app] = task
-
-    def stop_source(self, app: AppId) -> None:
-        """Terminate a deployed source and tell downstreams it is gone."""
-        task = self._sources.pop(app, None)
-        self._local_apps.discard(app)
-        if task is not None:
-            task.cancel()
-        self._broadcast_broken_source(app)
-
-    def set_timer(self, delay: float, token: int = 0) -> None:
-        """Deliver a ``TIMER`` message to the algorithm after ``delay``."""
-        msg = Message.with_fields(MsgType.TIMER, self._node_id, CONTROL_APP, token=token)
-        self.kernel.call_later(delay, self._enqueue_notification, msg)
-
-    def measure(self, peer: NodeId) -> None:
-        """Probe RTT to ``peer``; the algorithm receives MEASURE_REPLY.
-
-        The probe is a tiny HEARTBEAT request/echo over the persistent
-        connection — used only on demand, never as a liveness heartbeat.
-        """
-        probe = Message.with_fields(
-            MsgType.HEARTBEAT, self._node_id, CONTROL_APP,
-            probe="req", t0=self.kernel.now, origin=str(self._node_id),
-        )
-        self.send(probe, peer)
-
-    def set_port_weight(self, peer: NodeId, weight: int) -> None:
-        """Dynamically retune a receiver port's round-robin weight.
-
-        The switch serves ``weight`` messages from this upstream per
-        rotation, so competing upstreams share the engine's switching
-        (and, under a bandwidth cap, the node's uplink) proportionally.
-        """
-        self._scheduler.set_weight(peer, weight)
-        self._wake.set()
+        return None if sender is None else sender.stats
 
     # ----------------------------------------------------------------- connections
 
@@ -358,30 +302,6 @@ class SimEngine:
         self._control.put_force(msg)
         self._wake.set()
 
-    # --------------------------------------------------------------------- engine
-
-    async def _engine_loop(self) -> None:
-        # Table 1: start the TCP server, bootstrap from observer, then loop.
-        self._send_boot()
-        if self.config.bootstrap_refresh is not None:
-            self._tasks.append(
-                self.kernel.spawn(self._bootstrap_loop(), name=f"{self._node_id}/boot")
-            )
-        self.algorithm.on_start()
-        while self._running:
-            progressed = self._drain_control()
-            progressed = self._switch_round() or progressed
-            if not progressed:
-                # No await happened since the last state change we saw, so
-                # clear-then-wait cannot lose a wake-up (cooperative tasks).
-                self._wake.clear()
-                await self._wake.wait()
-
-    def _send_boot(self) -> None:
-        self.send_to_observer(
-            Message.with_fields(MsgType.BOOT, self._node_id, CONTROL_APP, node=str(self._node_id))
-        )
-
     async def _bootstrap_loop(self) -> None:
         refresh = self.config.bootstrap_refresh
         assert refresh is not None
@@ -389,296 +309,6 @@ class SimEngine:
             await self.kernel.sleep(refresh)
             if self._running:
                 self._send_boot()
-
-    def _drain_control(self) -> bool:
-        progressed = False
-        while self._running and not self._control.is_empty:
-            try:
-                msg = self._control.get_nowait()
-            except IndexError:  # pragma: no cover - guarded by is_empty
-                break
-            progressed = True
-            if is_engine_type(msg.type):
-                self._engine_process(msg)
-            else:
-                self.algorithm.process(msg)
-        return progressed
-
-    def _engine_process(self, msg: Message) -> None:
-        """Handle engine-owned control types (``Engine::process`` in Table 1)."""
-        if msg.type == MsgType.TERMINATE:
-            self.terminate()
-        elif msg.type == MsgType.SET_BANDWIDTH:
-            self._apply_bandwidth(msg)
-        elif msg.type == MsgType.CONNECT:
-            self.connect(NodeId.parse(msg.fields()["dest"]))
-        elif msg.type == MsgType.DISCONNECT:
-            self.disconnect(NodeId.parse(msg.fields()["dest"]))
-        elif msg.type == MsgType.REQUEST:
-            self.send_to_observer(self._status_report())
-            self.algorithm.process(msg)  # let the algorithm add its own report
-        elif msg.type == MsgType.HEARTBEAT:
-            self._handle_probe(msg)
-
-    def _handle_probe(self, msg: Message) -> None:
-        fields = msg.fields()
-        origin = NodeId.parse(fields["origin"])
-        if fields.get("probe") == "req":
-            echo = Message.with_fields(
-                MsgType.HEARTBEAT, self._node_id, CONTROL_APP,
-                probe="resp", t0=fields["t0"], origin=fields["origin"],
-            )
-            self.send(echo, origin)
-        elif fields.get("probe") == "resp":
-            peer = msg.sender
-            rtt = self.kernel.now - float(fields["t0"])
-            self._enqueue_notification(Message.with_fields(
-                MsgType.MEASURE_REPLY, self._node_id, CONTROL_APP,
-                peer=str(peer), rtt=rtt, send_rate=self.send_rate(peer),
-            ))
-
-    def _apply_bandwidth(self, msg: Message) -> None:
-        fields = msg.fields()
-        category = fields["category"]
-        rate = fields["rate"]
-        if category == "total":
-            self.throttle.set_total(rate)
-        elif category == "up":
-            self.throttle.set_up(rate)
-        elif category == "down":
-            self.throttle.set_down(rate)
-        elif category == "link":
-            self.throttle.set_link(NodeId.parse(fields["peer"]), rate)
-        else:
-            raise ValueError(f"unknown bandwidth category: {category!r}")
-
-    def _status_report(self) -> Message:
-        now = self.kernel.now
-        fields = dict(
-            node=str(self._node_id),
-            upstreams=[str(p) for p in self.upstreams()],
-            downstreams=[str(d) for d in self.downstreams()],
-            recv_buffers={str(p.peer): len(p.buffer) for p in self._scheduler.ports},
-            send_buffers={str(d): len(s.queue) for d, s in self._senders.items()},
-            recv_rates={str(p): st.throughput.rate(now) for p, st in self._recv_stats.items()},
-            send_rates={str(d): s.stats.throughput.rate(now) for d, s in self._senders.items()},
-            lost_messages=self._lost_messages,
-            lost_bytes=self._lost_bytes,
-            apps=sorted(self._local_apps | set(self._app_upstreams)),
-        )
-        tel = self.config.telemetry
-        if tel is not None:
-            self._refresh_buffer_gauges()
-            fields["metrics"] = tel.snapshot(node=str(self._node_id))
-        return Message.with_fields(MsgType.STATUS, self._node_id, CONTROL_APP, **fields)
-
-    def _refresh_buffer_gauges(self) -> None:
-        assert self._ins is not None
-        self._ins.set_buffer_gauges(
-            {str(p.peer): len(p.buffer) for p in self._scheduler.ports},
-            {str(d): len(s.queue) for d, s in self._senders.items()},
-        )
-
-    # --------------------------------------------------------------------- switch
-
-    def _switch_round(self) -> bool:
-        """One weighted (deficit) round-robin pass over all receiver ports.
-
-        Credits are consumed as messages depart a port, so under output
-        congestion — where every message traverses the pending path —
-        competing upstreams still share the output in weight proportion.
-        When every port with work has exhausted its credit, a new credit
-        epoch starts and the pass reruns.
-        """
-        progressed = False
-        ins = self._ins
-        moved = 0
-        for port in self._scheduler.rotation():
-            if not port.has_work():
-                continue
-            if port.credit <= 0:
-                if ins is not None:
-                    ins.credit_stalls[port.label] += 1
-                    epoch = self._scheduler.epochs
-                    if ins.tracer.enabled and port.stall_epoch != epoch:
-                        port.stall_epoch = epoch
-                        ins.trace_port(self.kernel.now, EventType.CREDIT_EXHAUSTED, port.label)
-                continue
-            if port.pending:
-                before = len(port.pending)
-                self._retry_pending(port)
-                completed = before - len(port.pending)
-                if completed:
-                    port.credit -= completed
-                    progressed = True
-                if port.blocked or port.credit <= 0:
-                    continue
-            while port.credit > 0 and not port.blocked and not port.buffer.is_empty:
-                msg = port.buffer.get_nowait()  # type: ignore[attr-defined]
-                port.switched += 1
-                moved += 1
-                if ins is not None:
-                    self._record_pick(port, msg)
-                self._track_upstream(msg.app, port.peer)
-                self._current_port = port
-                sends_before = self._data_sends
-                try:
-                    disposition = self.algorithm.process(msg)
-                finally:
-                    self._current_port = None
-                if disposition is Disposition.HOLD:
-                    port.held += 1
-                elif ins is not None and self._data_sends == sends_before:
-                    ins.n_delivers += 1
-                    if ins.tracer.enabled:
-                        ins.trace_msg(self.kernel.now, EventType.DELIVER, msg)
-                progressed = True
-                if not port.blocked:
-                    port.credit -= 1
-        if ins is not None:
-            ins.n_switch_rounds += 1
-            if moved:
-                ins.observe_batch(float(moved))
-        # Epoch boundary: once every port that still has work has spent its
-        # credit, start a new epoch.  (Ports with credit left keep their
-        # claim on upcoming sender-buffer slots, which is exactly what makes
-        # the weight ratio hold under output congestion.)  The backlog must
-        # be explicitly non-empty: the scheduler's O(1) has_work() can read
-        # momentarily-stale counters, and a vacuous all() over zero backlog
-        # ports would fire a spurious epoch with progressed=True.
-        scheduler = self._scheduler
-        has_backlog = False
-        if scheduler.has_work():  # O(1) pre-filter; may be stale-positive
-            all_spent = True
-            for port in scheduler.ports_view():
-                if port.has_work():
-                    has_backlog = True
-                    if port.credit > 0:
-                        all_spent = False
-                        break
-            has_backlog = has_backlog and all_spent
-        if has_backlog:
-            scheduler.replenish_credits()
-            if ins is not None:
-                ins.n_credit_epochs += 1
-            progressed = True  # rerun the switch with fresh credits
-        return progressed
-
-    def _peer_str(self, node: NodeId) -> str:
-        """Cached ``str(node)`` for telemetry labels (NodeId.__str__ formats)."""
-        label = self._peer_strs.get(node)
-        if label is None:
-            label = self._peer_strs[node] = str(node)
-        return label
-
-    def _record_pick(self, port: ReceiverPort, msg: Message) -> None:
-        """Telemetry for one switched message (queue wait + pick event)."""
-        ins = self._ins
-        now = self.kernel.now
-        ins.switched[port.label] += 1
-        times = port.wait_times
-        if times:
-            ins.observe_wait(now - times.popleft())
-        if ins.tracer.enabled:
-            ins.trace_msg(now, EventType.SWITCH_PICK, msg, port.label)
-
-    def _retry_pending(self, port: ReceiverPort) -> bool:
-        progressed = False
-        ins = self._ins
-        for forward in port.pending:
-            progressed = self._try_forward(forward) or progressed
-            if ins is not None:
-                ins.n_retries += 1
-                if forward.done:
-                    ins.n_retry_completions += 1
-                if ins.tracer.enabled:
-                    ins.trace_retry(self.kernel.now, forward.msg, forward.done)
-        port.prune_pending()
-        return progressed
-
-    def _try_forward(self, forward: PendingForward) -> bool:
-        placed_any = False
-        still_remaining: list[NodeId] = []
-        for dest in forward.remaining:
-            sender = self._senders.get(dest)
-            if sender is None or sender.queue.closed:
-                placed_any = True  # destination vanished; drop the obligation
-                continue
-            if sender.queue.put_nowait(forward.msg):
-                placed_any = True
-            else:
-                still_remaining.append(dest)
-        forward.remaining = still_remaining
-        return placed_any
-
-    def _defer_data(self, msg: Message, dest: NodeId) -> None:
-        """A data send hit a full sender buffer: remember the remaining sender."""
-        ins = self._ins
-        if ins is not None:
-            label = self._peer_str(dest)
-            ins.defers[label] += 1
-            if ins.tracer.enabled:
-                ins.trace_msg(self.kernel.now, EventType.DEFER, msg, label)
-        if self._current_port is not None:
-            self._current_port.deferred += 1
-            pending = self._current_port.pending
-            if pending and pending[-1].msg is msg:
-                pending[-1].remaining.append(dest)
-            else:
-                self._current_port.add_pending(PendingForward(msg, [dest]))
-        elif self._source_pending is not None:
-            if self._source_pending and self._source_pending[-1].msg is msg:
-                self._source_pending[-1].remaining.append(dest)
-            else:
-                self._source_pending.append(PendingForward(msg, [dest]))
-        else:
-            # No switching context (e.g. algorithm reacting to a control
-            # message): queue unconditionally rather than drop.
-            sender = self._senders.get(dest)
-            if sender is not None:
-                sender.queue.put_force(msg)
-
-    # --------------------------------------------------------------------- source
-
-    async def _source_loop(self, app: AppId, payload_size: int) -> None:
-        """Produce back-to-back data messages, flow-controlled by send buffers."""
-        seq = 0
-        while self._running and app in self._local_apps:
-            payload = self.algorithm.produce_payload(app, seq, payload_size)
-            msg = Message(MsgType.DATA, self._node_id, app, payload, seq=seq)
-            seq += 1
-            if self._ins is not None:
-                self._ins.n_source += 1
-                if self._ins.tracer.enabled:
-                    self._ins.trace_msg(self.kernel.now, EventType.SOURCE_EMIT, msg)
-            self._source_pending = []
-            try:
-                self.algorithm.process(msg)
-                while any(f.remaining for f in self._source_pending) and self._running:
-                    self._send_space.clear()
-                    await self._send_space.wait()
-                    for forward in self._source_pending:
-                        self._try_forward(forward)
-                    self._source_pending = [
-                        f for f in self._source_pending if f.remaining
-                    ]
-            finally:
-                self._source_pending = None
-            # Pace the producer: bounds event volume when sends are never
-            # flow-controlled (see EngineConfig.source_interval).
-            await self.kernel.sleep(self.config.source_interval)
-
-    def _broadcast_broken_source(self, app: AppId) -> None:
-        downstreams = self._app_downstreams.pop(app, set())
-        if self._ins is not None and downstreams:
-            self._ins.n_domino += 1
-        notice = Message.with_fields(
-            MsgType.BROKEN_SOURCE, self._node_id, app, app=app, origin=str(self._node_id)
-        )
-        for dest in downstreams:
-            sender = self._senders.get(dest)
-            if sender is not None and not sender.queue.closed:
-                sender.queue.put_force(notice.clone())
 
     # ------------------------------------------------------------------- receivers
 
@@ -723,23 +353,6 @@ class SimEngine:
                 self._control.put_force(msg)
             self._wake.set()
 
-    def _propagate_broken_source(self, msg: Message, peer: NodeId) -> None:
-        """Domino effect: the path through ``peer`` lost its source.
-
-        Only when the *last* upstream feeding the application is gone
-        (and we are not the source ourselves) does the failure cascade
-        to our downstreams — multi-path topologies keep flowing.
-        """
-        app = AppId(msg.fields().get("app", msg.app))
-        upstreams = self._app_upstreams.get(app)
-        if upstreams is not None:
-            upstreams.discard(peer)
-            if upstreams:
-                return
-            del self._app_upstreams[app]
-        if app not in self._local_apps:
-            self._broadcast_broken_source(app)
-
     def _upstream_failed(self, peer: NodeId) -> None:
         """An incoming connection failed (broken pipe / closed socket)."""
         link = self._upstream_links.pop(peer, None)
@@ -760,11 +373,7 @@ class SimEngine:
         self._notify_broken_link(peer, direction="up")
         # Domino effect: any application fed exclusively by this upstream
         # has lost its source from our point of view.
-        for app, ups in list(self._app_upstreams.items()):
-            ups.discard(peer)
-            if not ups and app not in self._local_apps:
-                del self._app_upstreams[app]
-                self._broadcast_broken_source(app)
+        self._domino_upstream_lost(peer)
         self._wake.set()
 
     async def _watchdog_loop(self) -> None:
@@ -864,95 +473,6 @@ class SimEngine:
         self._notify_broken_link(sender.dest, direction="down")
         self._send_space.set()
         self._wake.set()
-
-    # --------------------------------------------------------------------- reports
-
-    async def _report_loop(self) -> None:
-        """Periodically report per-link throughput to the algorithm."""
-        while self._running:
-            await self.kernel.sleep(self.config.report_interval)
-            if not self._running:
-                return
-            if self._ins is not None:
-                self._refresh_buffer_gauges()
-            now = self.kernel.now
-            for peer, stats in self._recv_stats.items():
-                if self._scheduler.get_port(peer) is None:
-                    continue
-                self._enqueue_notification(
-                    Message.with_fields(
-                        MsgType.UP_THROUGHPUT,
-                        self._node_id,
-                        CONTROL_APP,
-                        peer=str(peer),
-                        rate=stats.throughput.rate(now),
-                    )
-                )
-            for dest, sender in self._senders.items():
-                self._enqueue_notification(
-                    Message.with_fields(
-                        MsgType.DOWN_THROUGHPUT,
-                        self._node_id,
-                        CONTROL_APP,
-                        peer=str(dest),
-                        rate=sender.stats.throughput.rate(now),
-                    )
-                )
-
-    # --------------------------------------------------------------------- helpers
-
-    def _enqueue_notification(self, msg: Message) -> None:
-        if not self._running:
-            return
-        self._control.put_force(msg)
-        self._wake.set()
-
-    def _notify_broken_link(self, peer: NodeId, direction: str) -> None:
-        if self._ins is not None:
-            self._ins.on_broken_link(direction)
-        self._enqueue_notification(
-            Message.with_fields(
-                MsgType.BROKEN_LINK,
-                self._node_id,
-                CONTROL_APP,
-                peer=str(peer),
-                direction=direction,
-            )
-        )
-
-    def _record_loss(self, msg: Message) -> None:
-        """Cumulative node-level loss accounting (survives link teardown)."""
-        self._lost_messages += 1
-        self._lost_bytes += msg.size
-        if self._ins is not None:
-            self._ins.n_drops += 1
-            self._ins.n_dropped_bytes += msg.size
-            if self._ins.tracer.enabled:
-                self._ins.trace_msg(self.kernel.now, EventType.DROP, msg)
-
-    def _track_downstream(self, app: AppId, dest: NodeId) -> None:
-        self._app_downstreams.setdefault(app, set()).add(dest)
-
-    def _track_upstream(self, app: AppId, peer: NodeId) -> None:
-        self._app_upstreams.setdefault(app, set()).add(peer)
-
-    # --------------------------------------------------------------- introspection
-
-    def send_rate(self, dest: NodeId) -> float:
-        """Current outgoing throughput to ``dest`` in bytes/second."""
-        sender = self._senders.get(dest)
-        return 0.0 if sender is None else sender.stats.throughput.rate(self.kernel.now)
-
-    def recv_rate(self, peer: NodeId) -> float:
-        """Current incoming throughput from ``peer`` in bytes/second."""
-        stats = self._recv_stats.get(peer)
-        return 0.0 if stats is None else stats.throughput.rate(self.kernel.now)
-
-    def buffer_levels(self) -> dict[str, int]:
-        """Receiver/sender buffer occupancy (for the observer's display)."""
-        levels = {f"recv:{port.peer}": len(port.buffer) for port in self._scheduler.ports}
-        levels.update({f"send:{dest}": len(s.queue) for dest, s in self._senders.items()})
-        return levels
 
     def __repr__(self) -> str:
         state = "running" if self._running else ("terminated" if self._terminated else "new")

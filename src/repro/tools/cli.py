@@ -6,6 +6,7 @@
     ioverlay experiment fig6                    # regenerate one paper figure
     ioverlay experiment --list                  # what can be regenerated
     ioverlay metrics --out telemetry/           # instrumented run + exports
+    ioverlay virtualhost --nodes 150            # pack N nodes in one process
 """
 
 from __future__ import annotations
@@ -34,6 +35,7 @@ EXPERIMENTS: dict[str, str] = {
     "fig19": "repro.experiments.fig19_bandwidth_vs_size",
     "underlay": "repro.experiments.ext_underlay_tree",
     "robustness": "repro.experiments.ext_robustness",
+    "virtual-scaling": "repro.experiments.fig_virtual_scaling",
 }
 
 
@@ -95,6 +97,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     metrics_parser.add_argument("--seed", type=int, default=0)
 
+    vhost_parser = subparsers.add_parser(
+        "virtualhost",
+        help="pack N full nodes into this process on one event loop",
+    )
+    vhost_parser.add_argument(
+        "--nodes", type=int, default=100,
+        help="how many co-hosted nodes to pack into the chain (default 100)",
+    )
+    vhost_parser.add_argument(
+        "--duration", type=float, default=3.0,
+        help="wall-clock seconds to run the source (default 3)",
+    )
+    vhost_parser.add_argument(
+        "--payload", type=int, default=1000,
+        help="data message payload size in bytes (default 1000)",
+    )
+    vhost_parser.add_argument(
+        "--window", type=int, default=64,
+        help="in-flight window per loopback direction, in messages (default 64)",
+    )
+    vhost_parser.add_argument(
+        "--json", action="store_true", help="emit the packing stats as JSON"
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "scenario":
@@ -133,6 +159,17 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
         )
         return 0
+
+    if args.command == "virtualhost":
+        from repro.tools.virtualhost_cmd import run_virtualhost
+
+        return run_virtualhost(
+            nodes=args.nodes,
+            duration=args.duration,
+            payload=args.payload,
+            window=args.window,
+            as_json=args.json,
+        )
 
     return 2  # pragma: no cover - argparse enforces the subcommands
 

@@ -1,0 +1,33 @@
+"""Parametrizes every test in this package over both engine backends.
+
+The CI backend-parity matrix sets ``IOVERLAY_BACKEND=sim`` or ``=net``
+to run one leg per job; locally (unset) each test runs against both.
+"""
+
+import os
+
+import pytest
+
+from tests.engine_suite.drivers import NetCluster, SimCluster
+
+BACKENDS = ("sim", "net")
+
+
+def pytest_generate_tests(metafunc):
+    if "backend_name" in metafunc.fixturenames:
+        only = os.environ.get("IOVERLAY_BACKEND", "")
+        selected = [b for b in BACKENDS if only in ("", b)]
+        if not selected:
+            raise pytest.UsageError(
+                f"IOVERLAY_BACKEND={only!r} matches no backend in {BACKENDS}"
+            )
+        metafunc.parametrize("backend_name", selected)
+
+
+@pytest.fixture
+def cluster(backend_name):
+    driver = SimCluster() if backend_name == "sim" else NetCluster()
+    try:
+        yield driver
+    finally:
+        driver.close()

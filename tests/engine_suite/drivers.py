@@ -1,0 +1,97 @@
+"""Backend drivers for the shared engine-semantics suite.
+
+Both drivers expose the same synchronous facade so one body of tests
+exercises :class:`~repro.core.engine_core.EngineCore` semantics through
+both backends:
+
+* :class:`SimCluster` — engines under the discrete-event kernel;
+  ``settle`` advances virtual time (instant in wall-clock terms).
+* :class:`NetCluster` — real :class:`AsyncioEngine` instances packed on
+  a :class:`~repro.net.virtual.VirtualHost` (zero-copy loopback links,
+  no sockets for co-hosted pairs); ``settle`` runs the event loop for
+  that many wall-clock seconds.
+
+Tests receive engine objects and talk to the shared EngineCore API
+(``start_source``, ``disconnect``, ``measure``, ``_status_report`` ...)
+— anything used here must exist identically on both backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.net.engine import NetEngineConfig
+from repro.net.virtual import VirtualHost
+from repro.sim.engine import EngineConfig
+from repro.sim.network import SimNetwork
+
+#: short enough that the net leg stays fast, long enough for reports
+REPORT_INTERVAL = 0.2
+
+
+class SimCluster:
+    """Shared-suite driver over the simulation backend."""
+
+    backend = "sim"
+
+    def __init__(self) -> None:
+        self.net = SimNetwork()
+        self._engines = []
+
+    def add_node(self, algorithm):
+        node_id = self.net.add_node(
+            algorithm, config=EngineConfig(report_interval=REPORT_INTERVAL)
+        )
+        engine = self.net.engine(node_id)
+        self._engines.append(engine)
+        return engine
+
+    def start(self) -> None:
+        self.net.start()
+
+    def connect(self, src, dst) -> None:
+        assert src.connect(dst.node_id)
+
+    def settle(self, seconds: float) -> None:
+        """Advance time until the cluster has processed its backlog."""
+        self.net.run(seconds)
+
+    def close(self) -> None:
+        for engine in self._engines:
+            if engine.running:
+                engine.terminate()
+
+
+class NetCluster:
+    """Shared-suite driver over the asyncio backend (virtual-hosted)."""
+
+    backend = "net"
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self.host = VirtualHost()
+        self._started = False
+
+    def add_node(self, algorithm):
+        return self.host.add_node(
+            algorithm, config=NetEngineConfig(report_interval=REPORT_INTERVAL)
+        )
+
+    def start(self) -> None:
+        self.loop.run_until_complete(self.host.start())
+        self._started = True
+
+    def connect(self, src, dst) -> None:
+        assert self.loop.run_until_complete(src.connect(dst.node_id))
+
+    def settle(self, seconds: float) -> None:
+        self.loop.run_until_complete(asyncio.sleep(seconds))
+
+    def close(self) -> None:
+        try:
+            if self._started:
+                self.loop.run_until_complete(self.host.stop())
+        finally:
+            self.loop.close()
+            asyncio.set_event_loop(None)

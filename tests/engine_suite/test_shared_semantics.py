@@ -1,0 +1,155 @@
+"""Engine semantics that must behave identically on both backends.
+
+These tests run twice — once against :class:`SimEngine`, once against
+:class:`AsyncioEngine` (see ``conftest.py``) — and only touch the API
+surface :class:`~repro.core.engine_core.EngineCore` defines.  Before
+the shared core existed, several of these behaviours (graceful
+``disconnect``, loss counters in status reports, broken-source
+broadcast) only worked on one backend.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.forwarding import CopyForwardAlgorithm, SinkAlgorithm
+from repro.core.algorithm import Disposition
+from repro.core.ids import NodeId
+
+APP = 7
+
+
+class RecordingSink(SinkAlgorithm):
+    """Sink that records engine notifications for assertions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.broken_links: list[dict] = []
+        self.broken_sources: list[int] = []
+        self.measure_replies: list[tuple[NodeId, float, float]] = []
+
+    def on_broken_link(self, msg):
+        self.broken_links.append(msg.fields())
+        return super().on_broken_link(msg)
+
+    def on_broken_source(self, msg):
+        self.broken_sources.append(msg.app)
+        return super().on_broken_source(msg)
+
+    def on_measure_reply(self, peer, rtt, send_rate):
+        self.measure_replies.append((peer, rtt, send_rate))
+        return Disposition.DONE
+
+
+class HoldingSink(SinkAlgorithm):
+    """Keeps every data message (coding-style HOLD disposition)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.held_msgs = []
+
+    def on_data(self, msg):
+        self.received += 1
+        self.held_msgs.append(msg)
+        return Disposition.HOLD
+
+
+def test_chain_delivery(cluster):
+    """Source -> relay -> sink moves data end to end."""
+    a_alg, b_alg, c_alg = CopyForwardAlgorithm(), CopyForwardAlgorithm(), SinkAlgorithm()
+    a, b, c = (cluster.add_node(alg) for alg in (a_alg, b_alg, c_alg))
+    cluster.start()
+    a_alg.set_downstreams([b.node_id])
+    b_alg.set_downstreams([c.node_id])
+    cluster.connect(a, b)
+    cluster.connect(b, c)
+    a.start_source(app=APP, payload_size=1000)
+    cluster.settle(0.6)
+    assert b_alg.received > 0
+    assert c_alg.received > 0
+
+
+def test_status_report_surface(cluster):
+    """Both backends report the same status fields to the observer."""
+    src_alg, sink_alg = CopyForwardAlgorithm(), SinkAlgorithm()
+    src, sink = cluster.add_node(src_alg), cluster.add_node(sink_alg)
+    cluster.start()
+    src_alg.set_downstreams([sink.node_id])
+    cluster.connect(src, sink)
+    src.start_source(app=APP, payload_size=500)
+    cluster.settle(0.4)
+    for engine in (src, sink):
+        fields = engine._status_report().fields()
+        assert set(fields) == {
+            "node", "upstreams", "downstreams", "recv_buffers", "send_buffers",
+            "recv_rates", "send_rates", "lost_messages", "lost_bytes", "apps",
+        }, f"status surface diverged on {cluster.backend}"
+    assert str(sink.node_id) in src._status_report().fields()["downstreams"]
+    assert APP in src._status_report().fields()["apps"]
+    # the relay learned the app from traffic, not from deployment
+    assert APP in sink._status_report().fields()["apps"]
+
+
+def test_graceful_disconnect_is_locally_silent(cluster):
+    """disconnect() removes the link without a local BROKEN_LINK.
+
+    Historically sim-only; now EngineCore guarantees it on both backends.
+    """
+    src_alg, sink_alg = RecordingSink(), SinkAlgorithm()
+    src, sink = cluster.add_node(src_alg), cluster.add_node(sink_alg)
+    cluster.start()
+    src_alg.set_downstreams([sink.node_id])
+    cluster.connect(src, sink)
+    src.start_source(app=APP, payload_size=500)
+    cluster.settle(0.3)
+    assert sink.node_id in src.downstreams()
+    src.stop_source(APP)
+    cluster.settle(0.1)
+    src.disconnect(sink.node_id)
+    cluster.settle(0.2)
+    assert sink.node_id not in src.downstreams()
+    assert src_alg.broken_links == [], (
+        f"{cluster.backend} raised BROKEN_LINK on graceful disconnect"
+    )
+
+
+def test_stop_source_broadcasts_broken_source(cluster):
+    src_alg, sink_alg = CopyForwardAlgorithm(), RecordingSink()
+    src, sink = cluster.add_node(src_alg), cluster.add_node(sink_alg)
+    cluster.start()
+    src_alg.set_downstreams([sink.node_id])
+    cluster.connect(src, sink)
+    src.start_source(app=APP, payload_size=500)
+    cluster.settle(0.3)
+    assert sink_alg.received > 0
+    src.stop_source(APP)
+    cluster.settle(0.3)
+    assert APP in sink_alg.broken_sources
+
+
+def test_hold_disposition_counts_on_the_port(cluster):
+    """HOLD keeps messages with the algorithm and is visible per-port."""
+    src_alg, hold_alg = CopyForwardAlgorithm(), HoldingSink()
+    src, holder = cluster.add_node(src_alg), cluster.add_node(hold_alg)
+    cluster.start()
+    src_alg.set_downstreams([holder.node_id])
+    cluster.connect(src, holder)
+    src.start_source(app=APP, payload_size=200)
+    cluster.settle(0.4)
+    assert hold_alg.received > 0
+    assert len(hold_alg.held_msgs) == hold_alg.received
+    held_total = sum(port.held for port in holder._scheduler.ports_view())
+    assert held_total == hold_alg.received
+
+
+def test_measure_round_trip(cluster):
+    """measure() produces MEASURE_REPLY with the probed peer and an RTT."""
+    probe_alg, echo_alg = RecordingSink(), SinkAlgorithm()
+    prober, echoer = cluster.add_node(probe_alg), cluster.add_node(echo_alg)
+    cluster.start()
+    cluster.connect(prober, echoer)
+    prober.measure(echoer.node_id)
+    cluster.settle(0.3)
+    assert len(probe_alg.measure_replies) == 1
+    peer, rtt, send_rate = probe_alg.measure_replies[0]
+    assert peer == echoer.node_id
+    assert rtt >= 0.0
+    assert send_rate >= 0.0

@@ -1,0 +1,102 @@
+"""Drift guard: backends must not reimplement EngineCore-owned methods.
+
+The two engines spent three PRs drifting apart before the shared core
+existed (``disconnect`` only on sim, loss counters only on sim, probe
+handling diverging).  This static check walks the AST of both backend
+modules and fails if either defines a method that :class:`EngineCore`
+owns concretely — the only legitimate overrides are the abstract
+Transport/Clock/ObserverSink port methods and the documented hooks.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+CORE_FILE = SRC / "core" / "engine_core.py"
+BACKENDS = {
+    "SimEngine": SRC / "sim" / "engine.py",
+    "AsyncioEngine": SRC / "net" / "engine.py",
+}
+
+#: overridable extension points, documented as such in EngineCore
+HOOKS = {"_yield_control", "_on_engine_start", "_source_pacing"}
+
+#: backends define their own constructor (it calls super().__init__)
+ALWAYS_ALLOWED = {"__init__"}
+
+
+def _class_def(tree: ast.Module, name: str) -> ast.ClassDef:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    raise AssertionError(f"class {name} not found")
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _is_abstract(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for deco in fn.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+        if name in ("abstractmethod", "abstractproperty"):
+            return True
+    return False
+
+
+def core_owned_methods() -> set[str]:
+    """Concrete (non-abstract, non-hook) methods EngineCore owns."""
+    tree = ast.parse(CORE_FILE.read_text())
+    core = _class_def(tree, "EngineCore")
+    owned = {
+        name
+        for name, fn in _methods(core).items()
+        if not _is_abstract(fn)
+    }
+    return owned - HOOKS - ALWAYS_ALLOWED
+
+
+def test_core_owns_the_switching_semantics():
+    """Sanity: the extraction actually moved the semantics into the core."""
+    owned = core_owned_methods()
+    for essential in (
+        "send", "_stage", "_engine_loop", "_drain_control", "_engine_process",
+        "_switch_round", "_retry_pending", "_try_forward", "_defer_data",
+        "_handle_probe", "_apply_bandwidth", "_status_report", "_source_loop",
+        "_report_loop", "_broadcast_broken_source", "_propagate_broken_source",
+        "start_source", "stop_source", "set_timer", "set_port_weight", "measure",
+    ):
+        assert essential in owned, f"EngineCore no longer owns {essential}"
+
+
+def test_backends_do_not_reimplement_core_methods():
+    owned = core_owned_methods()
+    offenders = {}
+    for cls_name, path in BACKENDS.items():
+        tree = ast.parse(path.read_text())
+        backend = _class_def(tree, cls_name)
+        overlap = sorted(set(_methods(backend)) & owned)
+        if overlap:
+            offenders[cls_name] = overlap
+    assert not offenders, (
+        "backends redefine EngineCore-owned methods (the drift the shared "
+        f"core exists to prevent): {offenders}"
+    )
+
+
+def test_backends_implement_every_abstract_port_method():
+    """The inverse direction: each backend supplies the full port protocol."""
+    tree = ast.parse(CORE_FILE.read_text())
+    core = _class_def(tree, "EngineCore")
+    abstract = {name for name, fn in _methods(core).items() if _is_abstract(fn)}
+    assert abstract, "EngineCore lost its abstract port protocol"
+    for cls_name, path in BACKENDS.items():
+        backend = _class_def(ast.parse(path.read_text()), cls_name)
+        missing = sorted(abstract - set(_methods(backend)))
+        assert not missing, f"{cls_name} does not implement {missing}"
