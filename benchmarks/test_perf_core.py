@@ -23,7 +23,10 @@ The metrics, chosen to cover the layers of the fast path:
   switched per wall-clock second on a fig5-style 8-node chain;
 - ``virtual_pack_msgs_per_sec`` — bench_virtual_pack: end-to-end
   delivery rate on a 40-node virtual-hosted chain (many full engines
-  multiplexed on one event loop over zero-copy loopback links).
+  multiplexed on one event loop over zero-copy loopback links);
+- ``cluster_pack_msgs_per_sec`` — bench_cluster_pack: the same chain
+  shape sharded over a 2-process worker fleet (controller placement,
+  per-worker observer proxies, cross-process hops on real sockets).
 
 Every metric is "higher is better".  Measurements use the best of
 several repetitions so a GC pause or scheduler blip cannot fail CI.
@@ -267,6 +270,56 @@ def test_virtual_pack_rate():
     assert RESULTS["virtual_pack_msgs_per_sec"] > 0
 
 
+def test_cluster_pack_rate():
+    """bench_cluster_pack: end-to-end messages per wall-clock second on a
+    16-node chain sharded across a 2-process worker fleet — what the
+    cluster fabric (subprocess workers, control channel, observer
+    proxies, cross-worker socket hops) costs relative to bench_virtual_pack's
+    single-process packing."""
+    import asyncio
+
+    from repro.cluster.controller import ClusterConfig, ClusterController
+    from repro.cluster.scenarios import chain_specs, wait_until
+    from repro.core.ids import NodeId
+    from repro.net.observer_server import ObserverServer
+
+    n_nodes = 16
+    window = 1.0
+
+    async def fleet_chain() -> float:
+        observer = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=0.5)
+        await observer.start()
+        controller = ClusterController(observer, ClusterConfig(workers=2))
+        await controller.start()
+        placed = await controller.deploy(chain_specs(n_nodes))
+        await wait_until(lambda: all(
+            p.node_id in observer.observer.alive for p in placed.values()
+        ))
+        sink = f"n{n_nodes - 1}"
+
+        async def received() -> int:
+            reply = await controller.node_info(sink)
+            return int(reply["info"].get("received", 0))
+
+        controller.deploy_source("n0", app=1, payload_size=5000)
+        await asyncio.sleep(window * 0.25)  # fill the pipeline first
+        start_count = await received()
+        start = time.perf_counter()
+        await asyncio.sleep(window)
+        delivered = await received() - start_count
+        elapsed = time.perf_counter() - start
+        await controller.stop()
+        await observer.stop()
+        assert delivered > 0
+        return delivered / elapsed
+
+    def run() -> float:
+        return asyncio.run(fleet_chain())
+
+    RESULTS["cluster_pack_msgs_per_sec"] = _best_of(run, repeats=2)
+    assert RESULTS["cluster_pack_msgs_per_sec"] > 0
+
+
 # ------------------------------------------------------------------- persist
 
 
@@ -278,7 +331,7 @@ def test_zz_write_bench_json_and_guard():
     committed* history entry and the test fails on a >25% drop in any
     metric; without it the file is just rewritten with the new entry.
     """
-    assert len(RESULTS) == 6, f"expected all metrics collected, got {sorted(RESULTS)}"
+    assert len(RESULTS) == 7, f"expected all metrics collected, got {sorted(RESULTS)}"
 
     history: list[dict] = []
     if BENCH_FILE.exists():

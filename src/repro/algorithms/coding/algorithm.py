@@ -213,11 +213,20 @@ class DecodingSinkAlgorithm(Algorithm):
         else:
             self.duplicate_payloads += 1
         if decoder.complete:
-            decoder.originals()  # exercises full decode; discard data
+            originals = decoder.originals()  # exercises the full decode
             del self._decoders[payload.generation]
             self._completed.add(payload.generation)
             self.decoded_generations += 1
+            self.on_generation_decoded(payload.generation, originals)
         return Disposition.DONE
+
+    def on_generation_decoded(self, generation: int, originals: list[bytes]) -> None:
+        """Hook: a full generation decoded to its original payloads.
+
+        The default discards the data (throughput studies only need the
+        counters); applications that consume the stream — e.g. the
+        cluster byte-identity scenarios — override this.
+        """
 
     def effective_rate(self) -> float:
         """Innovative bytes per second, measured over the sliding window."""

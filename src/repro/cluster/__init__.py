@@ -1,0 +1,65 @@
+"""Cluster scale-out: shard virtualized nodes across OS processes.
+
+:class:`~repro.net.virtual.VirtualHost` packs N full engines onto one
+asyncio loop, which makes a single GIL-bound process the scaling
+ceiling.  This package is the layer above it: a fleet of **worker
+processes** (each one event loop running a ``VirtualHost`` plus an
+:class:`~repro.net.proxy.ObserverProxy`) governed by a central
+:class:`ClusterController` that owns placement, deployment and
+supervision — the paper's observer-driven deployment of virtualized
+nodes across physical hosts (Sections 5-6), reproduced in miniature on
+one machine.
+
+- :mod:`repro.cluster.protocol` — the controller <-> worker control
+  channel (ordinary iOverlay frames, ``W_*`` verbs);
+- :mod:`repro.cluster.placement` — round-robin, bin-packing by declared
+  node weight, and explicit pinning;
+- :mod:`repro.cluster.worker` — the worker process (``python -m
+  repro.cluster.worker``): spawn/stop/inspect verbs, heartbeats with
+  process gauges, graceful signal handling;
+- :mod:`repro.cluster.controller` — spawn/supervise the fleet, place
+  nodes, drive them through the observer's DEPLOY/TERMINATE verbs,
+  re-run the failure domino bookkeeping when a worker dies, optionally
+  respawn-and-redeploy;
+- :mod:`repro.cluster.scenarios` — deterministic chain/butterfly
+  workloads used to prove cluster output is byte-identical to a
+  single-process run.
+
+Cross-worker overlay traffic uses the ordinary socket path; traffic
+between nodes on the same worker keeps the zero-copy loopback fast
+path.  The observer sees one connection per worker (the proxy), exactly
+as the paper's firewall relay intends.
+"""
+
+from repro.cluster.controller import ClusterConfig, ClusterController, WorkerState
+from repro.cluster.placement import (
+    BinPackPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.cluster.spec import NodeSpec, PlacedNode
+
+
+def __getattr__(name: str):
+    # WorkerHost is exported lazily: eagerly importing repro.cluster.worker
+    # here would shadow the `python -m repro.cluster.worker` entry point
+    # (runpy warns when the module is in sys.modules before execution).
+    if name == "WorkerHost":
+        from repro.cluster.worker import WorkerHost
+
+        return WorkerHost
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterController",
+    "WorkerState",
+    "NodeSpec",
+    "PlacedNode",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "BinPackPlacement",
+    "make_placement",
+    "WorkerHost",
+]

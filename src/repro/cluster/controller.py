@@ -1,0 +1,483 @@
+"""The placement controller: spawn, place, supervise a worker fleet.
+
+The :class:`ClusterController` is the cluster-level analog of the
+paper's observer control panel.  It
+
+- spawns ``config.workers`` worker processes (``python -m
+  repro.cluster.worker``) and serves their control channels,
+- owns **placement**: every :class:`~repro.cluster.spec.NodeSpec` lands
+  on a worker chosen by the configured policy (round-robin or
+  bin-packing by declared weight) or by an explicit per-spec pin,
+- drives application deployment through the existing observer verbs
+  (``deploy_source``/``send_control``/``connect`` reach nodes over
+  their per-worker :class:`~repro.net.proxy.ObserverProxy` funnel),
+- **supervises**: heartbeats carry per-worker gauges (peak RSS,
+  event-loop lag, node count); a missed-heartbeat window, a channel
+  EOF or a reaped process all confirm a worker dead.  Death marks every
+  hosted node down at the observer — the node-level failure domino at
+  surviving peers has already fired through their ordinary transport
+  teardown — and, with ``respawn=True``, relaunches the worker and
+  re-places its specs.
+
+Every cluster lifecycle step is observable: ``worker-spawn``,
+``worker-dead``, ``node-placed`` and ``node-redeployed`` each bump a
+labelled counter and append a trace event when telemetry is attached.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import sys
+import time
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.cluster.placement import make_placement
+from repro.cluster.protocol import ControlChannel
+from repro.cluster.spec import NodeSpec, PlacedNode, resolve_refs
+from repro.core.ids import AppId, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.errors import ClusterError
+from repro.net.observer_server import ObserverServer
+from repro.telemetry import Telemetry
+from repro.telemetry.tracing import EventType
+
+
+@dataclass
+class ClusterConfig:
+    """Tunables of one controller-led fleet."""
+
+    workers: int = 2
+    placement: str = "round-robin"
+    ip: str = "127.0.0.1"
+    heartbeat_interval: float = 0.5
+    #: heartbeat silence confirming a worker dead (also covers channel
+    #: stalls the EOF/reap paths cannot see)
+    heartbeat_timeout: float = 3.0
+    register_timeout: float = 20.0
+    request_timeout: float = 20.0
+    #: relaunch a dead worker and re-place its specs (new identities)
+    respawn: bool = False
+    telemetry: Telemetry | None = None
+
+
+@dataclass
+class WorkerState:
+    """Everything the controller knows about one fleet process."""
+
+    name: str
+    process: Any = None  # asyncio.subprocess.Process
+    chan: ControlChannel | None = None
+    pid: int = 0
+    alive: bool = False
+    shutting_down: bool = False
+    last_heartbeat: float = 0.0
+    rss_kb: float = 0.0
+    loop_lag_ms: float = 0.0
+    node_count: int = 0
+    #: spec name -> placement, in placement order (sinks-first order is
+    #: preserved, which is what makes redeploys resolvable)
+    placed: dict[str, PlacedNode] = dataclass_field(default_factory=dict)
+
+    @property
+    def load(self) -> float:
+        """Total declared weight placed here (bin-packing input)."""
+        return sum(p.spec.weight for p in self.placed.values())
+
+
+class ClusterController:
+    """Spawns worker processes, places nodes, supervises the fleet."""
+
+    def __init__(self, observer: ObserverServer, config: ClusterConfig | None = None) -> None:
+        self.observer = observer
+        self.config = config or ClusterConfig()
+        self.policy = make_placement(self.config.placement)
+        self.workers: dict[str, WorkerState] = {}
+        #: spec name -> current placement, across all workers
+        self.placed: dict[str, PlacedNode] = {}
+        self.addr: NodeId | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._seq = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._register_waiters: dict[str, asyncio.Future] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._running = False
+        self.worker_deaths = 0
+        self.nodes_redeployed = 0
+        tel = self.config.telemetry
+        if tel is not None:
+            reg = tel.registry
+            self._c_spawn = reg.counter(
+                "ioverlay_cluster_worker_spawn_total", "Worker processes launched", ("worker",))
+            self._c_dead = reg.counter(
+                "ioverlay_cluster_worker_dead_total", "Worker deaths confirmed", ("worker",))
+            self._c_placed = reg.counter(
+                "ioverlay_cluster_node_placed_total", "Nodes placed on workers", ("worker",))
+            self._c_redeployed = reg.counter(
+                "ioverlay_cluster_node_redeployed_total",
+                "Nodes re-placed after their worker died", ("worker",))
+            self._g_rss = reg.gauge(
+                "ioverlay_cluster_worker_rss_kb", "Worker peak RSS (KiB)", ("worker",))
+            self._g_lag = reg.gauge(
+                "ioverlay_cluster_worker_loop_lag_ms", "Worker event-loop lag (ms)", ("worker",))
+            self._g_nodes = reg.gauge(
+                "ioverlay_cluster_worker_nodes", "Nodes hosted per worker", ("worker",))
+        else:
+            self._c_spawn = self._c_dead = self._c_placed = self._c_redeployed = None
+            self._g_rss = self._g_lag = self._g_nodes = None
+
+    # ------------------------------------------------------------------ telemetry
+
+    def _trace(self, event: str, **detail: Any) -> None:
+        tel = self.config.telemetry
+        if tel is not None and tel.tracer.enabled:
+            tel.tracer.append_raw(time.monotonic(), "controller", event, "", 0, detail)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Bind the control server, then launch and await the fleet."""
+        if self._running:
+            raise RuntimeError("controller already started")
+        self._running = True
+        self._server = await asyncio.start_server(
+            self._accept, host=self.config.ip, port=0
+        )
+        self.addr = NodeId(self.config.ip, self._server.sockets[0].getsockname()[1])
+        await asyncio.gather(
+            *(self.spawn_worker(f"w{i}") for i in range(self.config.workers))
+        )
+        self._tasks.append(asyncio.ensure_future(self._sweep_loop()))
+
+    async def stop(self) -> None:
+        """Drain the fleet: W_SHUTDOWN everywhere, then reap with escalation."""
+        if not self._running:
+            return
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        self._tasks.clear()
+        for state in self.workers.values():
+            state.shutting_down = True
+            if state.alive and state.chan is not None and not state.chan.is_closing():
+                try:
+                    await state.chan.send(MsgType.W_SHUTDOWN)
+                except (ConnectionError, OSError):
+                    pass
+        for state in self.workers.values():
+            await self._reap_with_escalation(state)
+            state.alive = False
+            if state.chan is not None:
+                state.chan.close()
+                state.chan = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.cancel()
+        self._pending.clear()
+
+    async def _reap_with_escalation(self, state: WorkerState) -> None:
+        proc = state.process
+        if proc is None or proc.returncode is not None:
+            return
+        try:
+            await asyncio.wait_for(proc.wait(), 5.0)
+            return
+        except asyncio.TimeoutError:
+            proc.terminate()
+        try:
+            await asyncio.wait_for(proc.wait(), 2.0)
+        except asyncio.TimeoutError:
+            proc.kill()
+            await proc.wait()
+
+    # ------------------------------------------------------------------- spawning
+
+    async def spawn_worker(self, name: str) -> WorkerState:
+        """Launch one worker process and wait for its W_REGISTER."""
+        assert self.addr is not None, "start() first"
+        existing = self.workers.get(name)
+        if existing is not None and existing.alive:
+            raise ClusterError(f"worker {name!r} is already running")
+        state = WorkerState(name=name)
+        self.workers[name] = state
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._register_waiters[name] = waiter
+        env = os.environ.copy()
+        # The worker must import this very source tree, wherever the
+        # controller was launched from.
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing_path = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing_path if existing_path else src_root
+        )
+        state.process = await asyncio.create_subprocess_exec(
+            sys.executable, "-m", "repro.cluster.worker",
+            "--name", name,
+            "--controller", str(self.addr),
+            "--observer", str(self.observer.addr),
+            "--ip", self.config.ip,
+            "--heartbeat-interval", str(self.config.heartbeat_interval),
+            env=env,
+        )
+        try:
+            await asyncio.wait_for(waiter, self.config.register_timeout)
+        except asyncio.TimeoutError:
+            self._register_waiters.pop(name, None)
+            raise ClusterError(
+                f"worker {name!r} (pid {state.process.pid}) did not register "
+                f"within {self.config.register_timeout}s"
+            ) from None
+        state.alive = True
+        state.last_heartbeat = time.monotonic()
+        if self._c_spawn is not None:
+            self._c_spawn.labels(worker=name).inc()
+        self._trace(EventType.WORKER_SPAWN, worker=name, pid=state.pid)
+        self._tasks.append(asyncio.ensure_future(self._reap(state)))
+        return state
+
+    async def _reap(self, state: WorkerState) -> None:
+        """Fast crash detection: the OS tells us the moment a worker exits."""
+        proc = state.process
+        if proc is None:
+            return
+        returncode = await proc.wait()
+        await self._worker_dead(state, reason=f"exit={returncode}")
+
+    # ------------------------------------------------------------ control channels
+
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        chan = ControlChannel(reader, writer)
+        try:
+            first = await asyncio.wait_for(chan.recv(), self.config.register_timeout)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError, OSError):
+            chan.close()
+            return
+        if first.type != MsgType.W_REGISTER:
+            chan.close()
+            return
+        fields = first.fields()
+        name = str(fields.get("name", ""))
+        state = self.workers.get(name)
+        if state is None:
+            chan.close()  # not a worker we launched
+            return
+        state.chan = chan
+        state.pid = int(fields.get("pid", 0))
+        waiter = self._register_waiters.pop(name, None)
+        if waiter is not None and not waiter.done():
+            waiter.set_result(state)
+        while self._running:
+            try:
+                msg = await chan.recv()
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                break
+            except asyncio.CancelledError:
+                return
+            self._on_frame(state, msg)
+        await self._worker_dead(state, reason="channel-eof")
+
+    def _on_frame(self, state: WorkerState, msg: Message) -> None:
+        if msg.type == MsgType.W_HEARTBEAT:
+            fields = msg.fields()
+            state.last_heartbeat = time.monotonic()
+            state.rss_kb = float(fields.get("rss_kb", 0.0))
+            state.loop_lag_ms = float(fields.get("loop_lag_ms", 0.0))
+            state.node_count = int(fields.get("nodes", 0))
+            if self._g_rss is not None:
+                self._g_rss.labels(worker=state.name).set(state.rss_kb)
+                self._g_lag.labels(worker=state.name).set(state.loop_lag_ms)
+                self._g_nodes.labels(worker=state.name).set(state.node_count)
+        elif msg.type in (MsgType.W_SPAWNED, MsgType.W_NODE_INFO_REPLY):
+            future = self._pending.pop(msg.seq, None)
+            if future is not None and not future.done():
+                future.set_result(msg)
+
+    async def _request(self, state: WorkerState, type_: int, **fields: Any) -> dict:
+        """One correlated request/reply round trip on a worker's channel."""
+        if not state.alive or state.chan is None or state.chan.is_closing():
+            raise ClusterError(f"worker {state.name!r} is not live")
+        seq = next(self._seq)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[seq] = future
+        try:
+            await state.chan.send(type_, seq=seq, **fields)
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(seq, None)
+            raise ClusterError(f"worker {state.name!r} channel failed: {exc}") from exc
+        try:
+            reply = await asyncio.wait_for(future, self.config.request_timeout)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            self._pending.pop(seq, None)
+            raise ClusterError(
+                f"worker {state.name!r} did not answer request type {type_} "
+                f"within {self.config.request_timeout}s"
+            ) from None
+        result = reply.fields()
+        if "error" in result:
+            raise ClusterError(f"worker {state.name!r}: {result['error']}")
+        return result
+
+    # ------------------------------------------------------------------ placement
+
+    def _choose_worker(self, spec: NodeSpec) -> str:
+        live = {name: st.load for name, st in self.workers.items() if st.alive}
+        if spec.pin is not None:
+            if spec.pin not in live:
+                raise ClusterError(
+                    f"spec {spec.name!r} pins worker {spec.pin!r}, which is not live"
+                )
+            return spec.pin
+        return self.policy.choose(spec, live)
+
+    async def place(self, spec: NodeSpec, *, redeploy: bool = False) -> PlacedNode:
+        """Place one spec: choose a worker, spawn the node, record it."""
+        if spec.name in self.placed:
+            raise ClusterError(f"node {spec.name!r} is already placed")
+        worker = self._choose_worker(spec)
+        state = self.workers[worker]
+        wire_kwargs = resolve_refs(
+            spec.kwargs, lambda name: self.placed[name].node_id
+        )
+        reply = await self._request(
+            state, MsgType.W_SPAWN,
+            name=spec.name, algorithm=spec.algorithm, kwargs=wire_kwargs,
+        )
+        node_id = NodeId.parse(str(reply["node"]))
+        placed = PlacedNode(spec=spec, worker=worker, node_id=node_id)
+        state.placed[spec.name] = placed
+        self.placed[spec.name] = placed
+        if self._c_placed is not None:
+            self._c_placed.labels(worker=worker).inc()
+        self._trace(
+            EventType.NODE_PLACED, worker=worker, name=spec.name, node=str(node_id)
+        )
+        if redeploy:
+            self.nodes_redeployed += 1
+            if self._c_redeployed is not None:
+                self._c_redeployed.labels(worker=worker).inc()
+            self._trace(
+                EventType.NODE_REDEPLOYED, worker=worker, name=spec.name,
+                node=str(node_id),
+            )
+        return placed
+
+    async def deploy(self, specs: Iterable[NodeSpec]) -> dict[str, PlacedNode]:
+        """Place a whole topology (specs ordered sinks-first)."""
+        return {spec.name: await self.place(spec) for spec in specs}
+
+    async def stop_node(self, name: str) -> None:
+        """Gracefully stop one placed node and forget it everywhere."""
+        placed = self._lookup(name)
+        state = self.workers[placed.worker]
+        await self._request(state, MsgType.W_STOP_NODE, name=name)
+        state.placed.pop(name, None)
+        self.placed.pop(name, None)
+        self.observer.observer.mark_down(placed.node_id)
+
+    async def node_info(self, name: str) -> dict:
+        """Engine and algorithm facts for one placed node, live."""
+        placed = self._lookup(name)
+        return await self._request(
+            self.workers[placed.worker], MsgType.W_NODE_INFO, name=name
+        )
+
+    def _lookup(self, name: str) -> PlacedNode:
+        try:
+            return self.placed[name]
+        except KeyError:
+            raise ClusterError(f"no placed node named {name!r}") from None
+
+    def node_id(self, name: str) -> NodeId:
+        """The placed identity of spec ``name``."""
+        return self._lookup(name).node_id
+
+    # ---------------------------------------------- observer-driven deployment
+
+    def deploy_source(self, name: str, app: AppId, payload_size: int = 5120) -> None:
+        """Start a paced application source on a placed node (``sDeploy``)."""
+        self.observer.observer.deploy_source(self.node_id(name), app, payload_size)
+
+    def send_control(
+        self, name: str, type_: int, param1: int = 0, param2: int = 0, app: AppId = 0
+    ) -> None:
+        """Algorithm-specific control verb, routed via the worker's proxy."""
+        self.observer.observer.send_control(
+            self.node_id(name), type_, param1=param1, param2=param2, app=app
+        )
+
+    def terminate_node(self, name: str) -> None:
+        self.observer.observer.terminate_node(self.node_id(name))
+
+    # ---------------------------------------------------------------- supervision
+
+    async def _sweep_loop(self) -> None:
+        """Confirm silent worker deaths the EOF/reap paths cannot see."""
+        interval = max(0.05, self.config.heartbeat_interval / 2)
+        while self._running:
+            await asyncio.sleep(interval)
+            if not self._running:
+                return
+            now = time.monotonic()
+            for state in list(self.workers.values()):
+                if (
+                    state.alive
+                    and not state.shutting_down
+                    and now - state.last_heartbeat > self.config.heartbeat_timeout
+                ):
+                    await self._worker_dead(state, reason="heartbeat-timeout")
+
+    async def _worker_dead(self, state: WorkerState, reason: str) -> None:
+        """Confirm one worker dead (idempotent across detection paths)."""
+        if not self._running or not state.alive or state.shutting_down:
+            return
+        state.alive = False  # before any await: later detections no-op
+        self.worker_deaths += 1
+        if state.chan is not None:
+            state.chan.close()
+            state.chan = None
+        orphans = list(state.placed.values())
+        state.placed.clear()
+        for placed in orphans:
+            # The hosted nodes died with the process.  Surviving peers
+            # already ran the node-level failure domino through their own
+            # transports (EOF -> BROKEN_LINK -> BROKEN_SOURCE cascade);
+            # here the *observer's* view is reconciled.
+            self.placed.pop(placed.spec.name, None)
+            self.observer.observer.mark_down(placed.node_id)
+        if self._c_dead is not None:
+            self._c_dead.labels(worker=state.name).inc()
+        self._trace(
+            EventType.WORKER_DEAD, worker=state.name, reason=reason,
+            nodes=[str(p.node_id) for p in orphans],
+        )
+        if self.config.respawn:
+            await self._respawn(state.name, orphans)
+
+    async def _respawn(self, name: str, orphans: list[PlacedNode]) -> None:
+        """Relaunch a dead worker and re-place its specs.
+
+        Specs re-place in their original (sinks-first) order, so
+        references among the orphans resolve to the *new* identities
+        while references to surviving nodes keep the old ones.  The
+        redeployed nodes bind fresh ports: upstream nodes on other
+        workers are not rewired automatically — that is an algorithm
+        decision (rejoin via bootstrap), not a fabric one.
+        """
+        try:
+            await self.spawn_worker(name)
+        except ClusterError:
+            return  # respawn is best-effort; the death was already recorded
+        for placed in orphans:
+            try:
+                await self.place(placed.spec, redeploy=True)
+            except ClusterError:
+                continue

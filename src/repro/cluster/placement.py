@@ -1,0 +1,76 @@
+"""Placement policies: which worker gets the next node.
+
+The controller consults a policy for every spec without an explicit
+pin.  Policies see the fleet as an ordered mapping ``worker name ->
+total placed weight`` and return the chosen worker's name; they are
+deterministic so a deployment is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import ClusterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.spec import NodeSpec
+
+
+class PlacementPolicy(ABC):
+    """Chooses a worker for one spec given the fleet's current load."""
+
+    @abstractmethod
+    def choose(self, spec: "NodeSpec", load: Mapping[str, float]) -> str:
+        """Return the name of the worker ``spec`` should land on.
+
+        ``load`` maps every *live* worker to its total placed weight, in
+        spawn order.  Raises :class:`~repro.errors.ClusterError` when no
+        worker is available.
+        """
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Deal specs out evenly, one worker after the other, in spawn order."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, spec: "NodeSpec", load: Mapping[str, float]) -> str:
+        workers = list(load)
+        if not workers:
+            raise ClusterError("no live workers to place on")
+        chosen = workers[self._next % len(workers)]
+        self._next += 1
+        return chosen
+
+
+class BinPackPlacement(PlacementPolicy):
+    """Send each spec to the least-loaded worker by declared weight.
+
+    Ties break toward the earlier-spawned worker, keeping placements
+    deterministic.  With uniform weights this degenerates to balanced
+    counts; heterogeneous weights (a coding node heavier than a relay)
+    even out actual work instead of node counts.
+    """
+
+    def choose(self, spec: "NodeSpec", load: Mapping[str, float]) -> str:
+        if not load:
+            raise ClusterError("no live workers to place on")
+        return min(load, key=lambda name: (load[name], list(load).index(name)))
+
+
+_POLICIES = {
+    "round-robin": RoundRobinPlacement,
+    "bin-pack": BinPackPlacement,
+}
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Instantiate a policy by its CLI name (``round-robin``/``bin-pack``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ClusterError(
+            f"unknown placement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

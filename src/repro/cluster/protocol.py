@@ -1,0 +1,66 @@
+"""The controller <-> worker control channel.
+
+The channel is one ordinary TCP connection speaking iOverlay frames
+(:mod:`repro.net.framing`) with the ``W_*`` verbs of
+:mod:`repro.core.msgtypes`:
+
+========================  =============================================
+verb                      direction and meaning
+========================  =============================================
+``W_REGISTER``            worker -> controller, first frame: identity
+``W_SPAWN``               controller -> worker: place one node
+``W_SPAWNED``             worker -> controller: spawn outcome
+``W_HEARTBEAT``           worker -> controller: liveness + gauges
+``W_STOP_NODE``           controller -> worker: stop one node
+``W_NODE_INFO``           controller -> worker: inspect one node
+``W_NODE_INFO_REPLY``     worker -> controller: reply / generic ack
+``W_SHUTDOWN``            controller -> worker: drain and exit
+========================  =============================================
+
+Requests that expect an answer carry a controller-chosen token in the
+header ``seq`` field; the worker echoes it on the reply, so one channel
+multiplexes any number of outstanding requests.  Reusing the message
+codec means the control plane gets framing, JSON field payloads and
+codec validation for free — no second wire format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.core.ids import CONTROL_APP, NodeId
+from repro.core.message import Message
+from repro.net.framing import read_message, write_message
+
+#: identity stamped on control-channel frames; the channel is not an
+#: overlay link, so a reserved sentinel keeps it out of any node table
+#: (the observer's own sentinel is 0.0.0.0:1).
+CONTROL_SENDER = NodeId("0.0.0.0", 2)
+
+
+def control_frame(type_: int, seq: int = 0, **fields: Any) -> Message:
+    """One control-plane frame with a JSON field payload."""
+    return Message.with_fields(type_, CONTROL_SENDER, CONTROL_APP, seq=seq, **fields)
+
+
+class ControlChannel:
+    """Frame-level send/recv on one controller<->worker stream."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    async def recv(self) -> Message:
+        """Next frame; EOF and socket errors propagate to the caller."""
+        return await read_message(self._reader)
+
+    async def send(self, type_: int, seq: int = 0, **fields: Any) -> None:
+        write_message(self._writer, control_frame(type_, seq=seq, **fields))
+        await self._writer.drain()
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def is_closing(self) -> bool:
+        return self._writer.is_closing()

@@ -1,0 +1,268 @@
+"""The worker process: one event loop hosting a shard of the overlay.
+
+A :class:`WorkerHost` is what runs inside every fleet process (``python
+-m repro.cluster.worker``):
+
+- a :class:`~repro.net.virtual.VirtualHost` carrying this worker's
+  share of the nodes (co-hosted traffic stays on the zero-copy
+  loopback; cross-worker traffic uses ordinary sockets),
+- an :class:`~repro.net.proxy.ObserverProxy` funnelling every hosted
+  node's observer link into the *one* upstream connection the observer
+  sees per worker,
+- one control channel to the controller: ``W_REGISTER`` on connect,
+  then ``W_SPAWN``/``W_STOP_NODE``/``W_NODE_INFO``/``W_SHUTDOWN``
+  served in arrival order, plus periodic ``W_HEARTBEAT`` frames
+  carrying process gauges (peak RSS, event-loop lag, node count).
+
+Shutdown — whether by ``W_SHUTDOWN``, controller disappearance, SIGTERM
+or SIGINT — runs the engines' deliberate ``disconnect`` path for every
+live link before stopping, so surviving peers read a clean EOF instead
+of a mid-frame reset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import resource
+import sys
+
+from repro.cluster.protocol import ControlChannel
+from repro.cluster.spec import build_algorithm
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.errors import ClusterError
+from repro.net.proxy import ObserverProxy
+from repro.net.virtual import VirtualHost
+from repro.tools.signals import install_shutdown_handlers
+
+
+class WorkerHost:
+    """One fleet process: virtual host + observer funnel + control channel."""
+
+    def __init__(
+        self,
+        name: str,
+        controller_addr: NodeId,
+        observer_addr: NodeId,
+        ip: str = "127.0.0.1",
+        heartbeat_interval: float = 0.5,
+    ) -> None:
+        self.name = name
+        self.controller_addr = controller_addr
+        self.observer_addr = observer_addr
+        self.ip = ip
+        self.heartbeat_interval = heartbeat_interval
+        self.proxy: ObserverProxy | None = None
+        self.host: VirtualHost | None = None
+        self._chan: ControlChannel | None = None
+        self._engines: dict[str, object] = {}  # spec name -> AsyncioEngine
+        self._tasks: list[asyncio.Task] = []
+        self._running = False
+        #: set once the worker has fully stopped (main() waits on this)
+        self.stopped = asyncio.Event()
+        self.heartbeats_sent = 0
+
+    # ------------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        self._running = True
+        self.proxy = ObserverProxy(NodeId(self.ip, 0), self.observer_addr)
+        await self.proxy.start()
+        self.host = VirtualHost(observer_addr=self.proxy.addr, ip=self.ip)
+        reader, writer = await asyncio.open_connection(
+            self.controller_addr.ip, self.controller_addr.port
+        )
+        self._chan = ControlChannel(reader, writer)
+        await self._chan.send(MsgType.W_REGISTER, name=self.name, pid=os.getpid())
+        self._tasks.append(asyncio.ensure_future(self._serve()))
+        self._tasks.append(asyncio.ensure_future(self._heartbeat_loop()))
+
+    async def stop(self) -> None:
+        """Graceful drain: deliberate disconnects, then teardown."""
+        if not self._running:
+            return
+        self._running = False
+        host, proxy, chan = self.host, self.proxy, self._chan
+        if host is not None:
+            # The engines' graceful path: peers observe a clean close and
+            # run their own teardown; no BROKEN_LINK is raised locally.
+            for engine in host.nodes:
+                for dest in engine.downstreams():
+                    engine.disconnect(dest)
+            await host.stop()
+        if proxy is not None:
+            await proxy.stop()
+        if chan is not None:
+            chan.close()
+        current = asyncio.current_task()
+        for task in self._tasks:
+            if task is not current:
+                task.cancel()
+        self.stopped.set()
+
+    # ------------------------------------------------------------- control channel
+
+    async def _serve(self) -> None:
+        assert self._chan is not None
+        while self._running:
+            try:
+                msg = await self._chan.recv()
+            except asyncio.CancelledError:
+                raise
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                # The controller is gone; a headless worker is useless.
+                asyncio.ensure_future(self.stop())
+                return
+            await self._handle(msg)
+
+    async def _handle(self, msg: Message) -> None:
+        assert self._chan is not None
+        fields = msg.fields()
+        if msg.type == MsgType.W_SPAWN:
+            await self._spawn(msg.seq, fields)
+        elif msg.type == MsgType.W_STOP_NODE:
+            await self._stop_node(msg.seq, fields)
+        elif msg.type == MsgType.W_NODE_INFO:
+            await self._node_info(msg.seq, fields)
+        elif msg.type == MsgType.W_SHUTDOWN:
+            try:
+                await self._chan.send(MsgType.W_NODE_INFO_REPLY, seq=msg.seq, ok=True)
+            except (ConnectionError, OSError):
+                pass
+            asyncio.ensure_future(self.stop())
+        # unknown verbs are ignored, like the observer ignores unknown types
+
+    async def _spawn(self, seq: int, fields: dict) -> None:
+        assert self._chan is not None and self.host is not None
+        name = str(fields.get("name", ""))
+        try:
+            if name in self._engines:
+                raise ClusterError(f"node {name!r} already hosted here")
+            algorithm = build_algorithm(
+                str(fields["algorithm"]), dict(fields.get("kwargs", {}))
+            )
+            engine = self.host.add_node(algorithm)
+            await self.host.start_node(engine)
+            self._engines[name] = engine
+        except Exception as exc:  # reported, never fatal to the worker
+            await self._chan.send(
+                MsgType.W_SPAWNED, seq=seq, name=name,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return
+        await self._chan.send(
+            MsgType.W_SPAWNED, seq=seq, name=name, node=str(engine.node_id)
+        )
+
+    async def _stop_node(self, seq: int, fields: dict) -> None:
+        assert self._chan is not None and self.host is not None
+        name = str(fields.get("name", ""))
+        engine = self._engines.pop(name, None)
+        if engine is None:
+            await self._chan.send(
+                MsgType.W_NODE_INFO_REPLY, seq=seq, name=name,
+                error=f"no node {name!r} hosted here",
+            )
+            return
+        await self.host.stop_node(engine)
+        await self._chan.send(MsgType.W_NODE_INFO_REPLY, seq=seq, name=name, ok=True)
+
+    async def _node_info(self, seq: int, fields: dict) -> None:
+        assert self._chan is not None
+        name = str(fields.get("name", ""))
+        engine = self._engines.get(name)
+        if engine is None:
+            await self._chan.send(
+                MsgType.W_NODE_INFO_REPLY, seq=seq, name=name,
+                error=f"no node {name!r} hosted here",
+            )
+            return
+        algorithm = engine.algorithm
+        # Duck-typed scenario hook: algorithms may expose application
+        # facts (digests, counters) for cross-process verification.
+        info_hook = getattr(algorithm, "cluster_info", None)
+        await self._chan.send(
+            MsgType.W_NODE_INFO_REPLY, seq=seq, name=name,
+            node=str(engine.node_id),
+            running=engine.running,
+            algorithm=type(algorithm).__name__,
+            downstreams=[str(peer) for peer in engine.downstreams()],
+            info=info_hook() if callable(info_hook) else {},
+        )
+
+    # ---------------------------------------------------------------- heartbeats
+
+    async def _heartbeat_loop(self) -> None:
+        assert self._chan is not None
+        loop = asyncio.get_running_loop()
+        while self._running:
+            before = loop.time()
+            await asyncio.sleep(self.heartbeat_interval)
+            # How late the sleep woke up is a direct measure of event-loop
+            # saturation on this worker — the controller's gauges surface
+            # it so overload shows up before throughput collapses.
+            lag_ms = max(0.0, (loop.time() - before - self.heartbeat_interval) * 1000)
+            rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            try:
+                await self._chan.send(
+                    MsgType.W_HEARTBEAT, name=self.name,
+                    nodes=len(self._engines), rss_kb=rss_kb,
+                    loop_lag_ms=round(lag_ms, 3),
+                )
+            except (ConnectionError, OSError):
+                return
+            self.heartbeats_sent += 1
+
+
+# ----------------------------------------------------------------- entry point
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="One cluster worker process (spawned by the controller).",
+    )
+    parser.add_argument("--name", required=True, help="worker name in the fleet")
+    parser.add_argument("--controller", required=True, metavar="IP:PORT",
+                        help="controller control-channel endpoint")
+    parser.add_argument("--observer", required=True, metavar="IP:PORT",
+                        help="upstream observer endpoint")
+    parser.add_argument("--ip", default="127.0.0.1",
+                        help="bind address for hosted nodes and the proxy")
+    parser.add_argument("--heartbeat-interval", type=float, default=0.5)
+    return parser
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    worker = WorkerHost(
+        name=args.name,
+        controller_addr=NodeId.parse(args.controller),
+        observer_addr=NodeId.parse(args.observer),
+        ip=args.ip,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    stop = asyncio.Event()
+    install_shutdown_handlers(stop)
+    await worker.start()
+    signal_task = asyncio.ensure_future(stop.wait())
+    stopped_task = asyncio.ensure_future(worker.stopped.wait())
+    await asyncio.wait({signal_task, stopped_task}, return_when=asyncio.FIRST_COMPLETED)
+    await worker.stop()
+    for task in (signal_task, stopped_task):
+        task.cancel()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:  # signal raced the handler installation
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

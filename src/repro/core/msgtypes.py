@@ -72,6 +72,19 @@ class MsgType(IntEnum):
     # --- algorithm library (gossip) --------------------------------------------
     GOSSIP = 70              # probabilistically disseminated payload
 
+    # --- cluster control plane (controller <-> worker channel) ------------------
+    # The scale-out layer (repro.cluster) shards virtualized nodes across
+    # OS processes; each worker keeps one persistent control connection
+    # to the placement controller and speaks these verbs on it.
+    W_REGISTER = 80          # worker -> controller: first frame, worker identity
+    W_SPAWN = 81             # controller -> worker: instantiate + start one node
+    W_SPAWNED = 82           # worker -> controller: spawn outcome (node id / error)
+    W_HEARTBEAT = 83         # worker -> controller: liveness + process gauges
+    W_STOP_NODE = 84         # controller -> worker: gracefully stop one node
+    W_NODE_INFO = 85         # controller -> worker: request one node's state
+    W_NODE_INFO_REPLY = 86   # worker -> controller: engine + algorithm facts
+    W_SHUTDOWN = 87          # controller -> worker: drain and exit cleanly
+
 
 #: First type value available to user-defined algorithms.
 ALGORITHM_TYPE_BASE = 1000

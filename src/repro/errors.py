@@ -55,3 +55,7 @@ class DecodingError(IOverlayError):
 
 class FederationError(IOverlayError):
     """A service-federation session could not be completed."""
+
+
+class ClusterError(IOverlayError):
+    """A cluster control-plane operation (spawn, place, query) failed."""

@@ -37,15 +37,24 @@ class ObserverProxy:
 
     async def start(self) -> None:
         self._running = True
-        reader, writer = await open_identified(self.observer_addr, self.addr)
-        self._upstream_writer = writer
-        self._upstream_task = asyncio.ensure_future(self._upstream_reader(reader))
+        # Bind before dialing upstream: the HELLO identity and every
+        # envelope origin must carry the *final* address, which with
+        # port 0 is only known once the server socket exists.
         self._server = await asyncio.start_server(
             self._accept, host=self.addr.ip, port=self.addr.port
         )
         if self.addr.port == 0:
             actual = self._server.sockets[0].getsockname()[1]
             self.addr = NodeId(self.addr.ip, actual)
+        try:
+            reader, writer = await open_identified(self.observer_addr, self.addr)
+        except BaseException:
+            self._server.close()
+            self._server = None
+            self._running = False
+            raise
+        self._upstream_writer = writer
+        self._upstream_task = asyncio.ensure_future(self._upstream_reader(reader))
 
     async def stop(self) -> None:
         self._running = False

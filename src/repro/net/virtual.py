@@ -238,8 +238,26 @@ class VirtualHost:
     async def start(self) -> None:
         """Start every node and publish their final identities for loopback."""
         for engine in self._nodes:
-            await engine.start()
-            self.resolver.register(engine)
+            if not engine.running:
+                await engine.start()
+                self.resolver.register(engine)
+
+    async def start_node(self, engine: "AsyncioEngine") -> None:
+        """Start one previously added node (dynamic placement path).
+
+        The cluster worker places nodes one at a time while the host is
+        already live: the node's identity is final (port 0 resolved)
+        once this returns, and co-hosted dials to it go over loopback.
+        """
+        await engine.start()
+        self.resolver.register(engine)
+
+    async def stop_node(self, engine: "AsyncioEngine") -> None:
+        """Gracefully stop and unlist one co-hosted node."""
+        self.resolver.unregister(engine.node_id)
+        if engine in self._nodes:
+            self._nodes.remove(engine)
+        await engine.stop()
 
     async def stop(self) -> None:
         """Stop every node (reverse add order)."""

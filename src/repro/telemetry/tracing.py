@@ -49,9 +49,18 @@ class EventType:
     LINK_PROBE = "link-probe"            # reactive liveness probe dispatched
     LINK_DEAD = "link-dead"              # probe unanswered; teardown fires
 
+    # Cluster-level events recorded by the placement controller
+    # (repro.cluster.controller): process fleet lifecycle, not tied to
+    # one message or one node's engine.
+    WORKER_SPAWN = "worker-spawn"        # a worker process was launched
+    WORKER_DEAD = "worker-dead"          # crash/heartbeat-timeout confirmed
+    NODE_PLACED = "node-placed"          # a node was placed on a worker
+    NODE_REDEPLOYED = "node-redeployed"  # re-placed after its worker died
+
     ALL = (SOURCE_EMIT, ENQUEUE, SWITCH_PICK, CREDIT_EXHAUSTED,
            DEFER, RETRY, FORWARD, DROP, DELIVER,
-           LINK_SUSPECT, LINK_PROBE, LINK_DEAD)
+           LINK_SUSPECT, LINK_PROBE, LINK_DEAD,
+           WORKER_SPAWN, WORKER_DEAD, NODE_PLACED, NODE_REDEPLOYED)
 
 
 def trace_id(msg: Message) -> str:

@@ -36,6 +36,7 @@ EXPERIMENTS: dict[str, str] = {
     "underlay": "repro.experiments.ext_underlay_tree",
     "robustness": "repro.experiments.ext_robustness",
     "virtual-scaling": "repro.experiments.fig_virtual_scaling",
+    "cluster-scaling": "repro.experiments.fig_cluster_scaling",
 }
 
 
@@ -121,6 +122,60 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="emit the packing stats as JSON"
     )
 
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="shard N nodes over a fleet of worker processes",
+    )
+    cluster_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="how many worker processes to spawn (default 2)",
+    )
+    cluster_parser.add_argument(
+        "--nodes", type=int, default=20,
+        help="total chain nodes sharded across the fleet (default 20)",
+    )
+    cluster_parser.add_argument(
+        "--duration", type=float, default=3.0,
+        help="wall-clock seconds to run the source (default 3)",
+    )
+    cluster_parser.add_argument(
+        "--payload", type=int, default=1000,
+        help="data message payload size in bytes (default 1000)",
+    )
+    cluster_parser.add_argument(
+        "--placement", default="round-robin",
+        choices=("round-robin", "bin-pack"),
+        help="placement policy for unpinned nodes (default round-robin)",
+    )
+    cluster_parser.add_argument(
+        "--json", action="store_true", help="emit the cluster stats as JSON"
+    )
+
+    observe_parser = subparsers.add_parser(
+        "observe",
+        help="run a standalone observer daemon until SIGTERM/SIGINT",
+    )
+    observe_parser.add_argument("--ip", default="127.0.0.1")
+    observe_parser.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral, printed on startup)",
+    )
+    observe_parser.add_argument(
+        "--poll-interval", type=float, default=1.0,
+        help="seconds between status polls (default 1)",
+    )
+    observe_parser.add_argument(
+        "--lease-timeout", type=float, default=None,
+        help="expire nodes silent for this many seconds (default: disabled)",
+    )
+    observe_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="exit after this many seconds instead of waiting for a signal",
+    )
+    observe_parser.add_argument(
+        "--json", action="store_true", help="emit the final summary as JSON"
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "scenario":
@@ -168,6 +223,30 @@ def main(argv: list[str] | None = None) -> int:
             duration=args.duration,
             payload=args.payload,
             window=args.window,
+            as_json=args.json,
+        )
+
+    if args.command == "cluster":
+        from repro.tools.cluster_cmd import run_cluster
+
+        return run_cluster(
+            workers=args.workers,
+            nodes=args.nodes,
+            duration=args.duration,
+            payload=args.payload,
+            placement=args.placement,
+            as_json=args.json,
+        )
+
+    if args.command == "observe":
+        from repro.tools.observe_cmd import run_observe
+
+        return run_observe(
+            ip=args.ip,
+            port=args.port,
+            poll_interval=args.poll_interval,
+            lease_timeout=args.lease_timeout,
+            duration=args.duration,
             as_json=args.json,
         )
 

@@ -18,6 +18,7 @@ from repro.core.ids import NodeId
 from repro.net.engine import NetEngineConfig
 from repro.net.observer_server import ObserverServer
 from repro.net.virtual import VirtualHost
+from repro.tools.signals import install_shutdown_handlers
 
 
 async def _run(nodes: int, duration: float, payload: int,
@@ -37,8 +38,15 @@ async def _run(nodes: int, duration: float, payload: int,
     await host.connect_chain()
 
     sink = algorithms[-1]
+    # SIGTERM/SIGINT end the window early but still run the engines'
+    # graceful teardown below (clean EOFs at peers, observer notified).
+    stop = asyncio.Event()
+    install_shutdown_handlers(stop)
     engines[0].start_source(app=1, payload_size=payload)
-    await asyncio.sleep(duration)
+    try:
+        await asyncio.wait_for(stop.wait(), timeout=duration)
+    except asyncio.TimeoutError:
+        pass
     engines[0].stop_source(1)
     await asyncio.sleep(report_interval)  # let final reports land
 

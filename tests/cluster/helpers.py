@@ -1,0 +1,56 @@
+"""Shared plumbing for the cluster test suite: fleets, polling, teardown."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.cluster.controller import ClusterConfig, ClusterController
+from repro.cluster.scenarios import wait_until
+from repro.core.ids import NodeId
+from repro.net.observer_server import ObserverServer
+
+
+async def start_fleet(
+    workers: int = 2, poll_interval: float = 0.2, **config
+) -> tuple[ObserverServer, ClusterController]:
+    observer = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=poll_interval)
+    await observer.start()
+    controller = ClusterController(
+        observer, ClusterConfig(workers=workers, **config)
+    )
+    await controller.start()
+    return observer, controller
+
+
+async def stop_fleet(observer: ObserverServer, controller: ClusterController) -> None:
+    await controller.stop()
+    await observer.stop()
+
+
+async def wait_all_alive(observer, placed, timeout: float = 30.0) -> None:
+    """Block until every placed node's BOOT reached the observer.
+
+    Observer control verbs are best-effort (unroutable destinations are
+    silently dropped), so tests MUST wait for routes before sending any.
+    """
+    ok = await wait_until(
+        lambda: all(p.node_id in observer.observer.alive for p in placed.values()),
+        timeout=timeout,
+    )
+    assert ok, (
+        f"only {len(observer.observer.alive)}/{len(placed)} placed nodes "
+        f"booted at the observer within {timeout}s"
+    )
+
+
+async def poll_info(controller, name, predicate, timeout: float = 30.0) -> dict:
+    """Poll a node's ``cluster_info`` until ``predicate(info)`` holds."""
+    deadline = time.monotonic() + timeout
+    info: dict = {}
+    while time.monotonic() < deadline:
+        info = (await controller.node_info(name)).get("info", {})
+        if predicate(info):
+            return info
+        await asyncio.sleep(0.1)
+    raise AssertionError(f"node {name!r}: condition never met; last info {info}")

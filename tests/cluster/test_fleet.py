@@ -1,0 +1,173 @@
+"""Fleet integration: spawn real worker processes, place, observe, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.scenarios import (
+    BURST_CONTROL,
+    chain_specs,
+    wait_until,
+)
+from repro.core.ids import NodeId
+from repro.errors import ClusterError
+from repro.telemetry import Telemetry
+from repro.telemetry.tracing import EventType
+
+from tests.cluster.helpers import poll_info, start_fleet, stop_fleet, wait_all_alive
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestTwoWorkerSmoke:
+    def test_chain_delivers_across_processes(self):
+        async def scenario():
+            observer, controller = await start_fleet(workers=2)
+            placed = await controller.deploy(chain_specs(6))
+            assert len(placed) == 6
+            # round-robin over 2 workers: alternating placement
+            workers = [placed[f"n{i}"].worker for i in range(5, -1, -1)]
+            assert workers == ["w0", "w1", "w0", "w1", "w0", "w1"]
+            await wait_all_alive(observer, placed)
+
+            controller.send_control(
+                "n0", BURST_CONTROL, param1=25, param2=128, app=3
+            )
+            info = await poll_info(
+                controller, "n5", lambda i: i.get("received") == 25
+            )
+            assert info["received"] == 25
+            # the observer saw every node through the two worker proxies
+            assert len(observer.observer.alive) == 6
+            await stop_fleet(observer, controller)
+
+        run(scenario())
+
+    def test_workers_heartbeat_with_process_gauges(self):
+        async def scenario():
+            observer, controller = await start_fleet(
+                workers=2, heartbeat_interval=0.1
+            )
+            await controller.deploy(chain_specs(4))
+            ok = await wait_until(lambda: all(
+                state.rss_kb > 0 and state.node_count == 2
+                for state in controller.workers.values()
+            ), timeout=10.0)
+            assert ok, {
+                name: (state.rss_kb, state.node_count)
+                for name, state in controller.workers.items()
+            }
+            await stop_fleet(observer, controller)
+
+        run(scenario())
+
+    def test_stop_node_removes_it_everywhere(self):
+        async def scenario():
+            observer, controller = await start_fleet(workers=2)
+            placed = await controller.deploy(chain_specs(4))
+            await wait_all_alive(observer, placed)
+            victim = placed["n3"]
+
+            await controller.stop_node("n3")
+            assert "n3" not in controller.placed
+            assert "n3" not in controller.workers[victim.worker].placed
+            assert victim.node_id not in observer.observer.alive
+            with pytest.raises(ClusterError, match="no placed node"):
+                await controller.node_info("n3")
+            # the rest of the fleet is still serviceable
+            assert (await controller.node_info("n0"))["running"] is True
+            await stop_fleet(observer, controller)
+
+        run(scenario())
+
+    def test_duplicate_and_bad_spec_placement_errors(self):
+        async def scenario():
+            observer, controller = await start_fleet(workers=1)
+            specs = chain_specs(2)
+            await controller.deploy(specs)
+            with pytest.raises(ClusterError, match="already placed"):
+                await controller.place(specs[0])
+            from repro.cluster.spec import NodeSpec
+            with pytest.raises(ClusterError, match="pins worker"):
+                await controller.place(
+                    NodeSpec(name="pinned", algorithm="x:Y", pin="w9")
+                )
+            # a bad algorithm path is reported by the worker, not fatal
+            with pytest.raises(ClusterError, match="cannot import"):
+                await controller.place(NodeSpec(name="bad", algorithm="no.mod:X"))
+            assert controller.workers["w0"].alive
+            await stop_fleet(observer, controller)
+
+        run(scenario())
+
+
+class TestBinPackPlacementLive:
+    def test_weights_balance_across_the_fleet(self):
+        async def scenario():
+            from repro.cluster.scenarios import SINK
+            from repro.cluster.spec import NodeSpec
+
+            observer, controller = await start_fleet(
+                workers=2, placement="bin-pack"
+            )
+            # one heavy node and four light ones: weight-aware packing
+            # puts ALL the light nodes opposite the heavy one
+            specs = [NodeSpec(name="heavy", algorithm=SINK, weight=4.0)] + [
+                NodeSpec(name=f"light{i}", algorithm=SINK) for i in range(4)
+            ]
+            placed = await controller.deploy(specs)
+            loads = {
+                name: state.load for name, state in controller.workers.items()
+            }
+            assert loads == {"w0": 4.0, "w1": 4.0}
+            assert placed["heavy"].worker == "w0"
+            assert {placed[f"light{i}"].worker for i in range(4)} == {"w1"}
+            await stop_fleet(observer, controller)
+
+        run(scenario())
+
+
+class TestTelemetryAudit:
+    def test_every_cluster_event_has_metric_and_trace(self):
+        async def scenario():
+            telemetry = Telemetry()
+            observer, controller = await start_fleet(
+                workers=2, telemetry=telemetry, heartbeat_interval=0.1
+            )
+            placed = await controller.deploy(chain_specs(4))
+            await wait_all_alive(observer, placed)
+            ok = await wait_until(lambda: all(
+                state.node_count == 2 for state in controller.workers.values()
+            ), timeout=10.0)
+            assert ok
+
+            reg = telemetry.registry
+            spawns = {
+                labels["worker"]: child.value
+                for labels, child in reg.get("ioverlay_cluster_worker_spawn_total").series()
+            }
+            assert spawns == {"w0": 1.0, "w1": 1.0}
+            placed_counts = {
+                labels["worker"]: child.value
+                for labels, child in reg.get("ioverlay_cluster_node_placed_total").series()
+            }
+            assert placed_counts == {"w0": 2.0, "w1": 2.0}
+            gauge_nodes = {
+                labels["worker"]: child.value
+                for labels, child in reg.get("ioverlay_cluster_worker_nodes").series()
+            }
+            assert gauge_nodes == {"w0": 2.0, "w1": 2.0}
+
+            events = telemetry.tracer.events()
+            spawn_events = [e for e in events if e.event == EventType.WORKER_SPAWN]
+            placed_events = [e for e in events if e.event == EventType.NODE_PLACED]
+            assert {e.detail["worker"] for e in spawn_events} == {"w0", "w1"}
+            assert len(placed_events) == 4
+            assert {e.detail["name"] for e in placed_events} == {
+                "n0", "n1", "n2", "n3"
+            }
+            await stop_fleet(observer, controller)
+
+        run(scenario())

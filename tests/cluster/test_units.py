@@ -1,0 +1,126 @@
+"""Process-free unit tests: placement policies, specs, reference wiring."""
+
+import pytest
+
+from repro.cluster.placement import (
+    BinPackPlacement,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.cluster.scenarios import butterfly_specs, chain_specs
+from repro.cluster.spec import (
+    NodeSpec,
+    build_algorithm,
+    coerce_node_refs,
+    load_algorithm_class,
+    ref,
+    resolve_refs,
+)
+from repro.core.ids import NodeId
+from repro.errors import ClusterError
+
+
+def spec(name, weight=1.0, pin=None):
+    return NodeSpec(name=name, algorithm="x:Y", weight=weight, pin=pin)
+
+
+class TestPlacementPolicies:
+    def test_round_robin_cycles_the_live_workers(self):
+        policy = RoundRobinPlacement()
+        load = {"w0": 0.0, "w1": 0.0, "w2": 0.0}
+        picks = [policy.choose(spec(f"n{i}"), load) for i in range(7)]
+        assert picks == ["w0", "w1", "w2", "w0", "w1", "w2", "w0"]
+
+    def test_round_robin_adapts_when_the_fleet_shrinks(self):
+        policy = RoundRobinPlacement()
+        assert policy.choose(spec("a"), {"w0": 0.0, "w1": 0.0}) == "w0"
+        # w0 died: the rotation continues over whoever is live
+        picks = {policy.choose(spec(f"n{i}"), {"w1": 0.0}) for i in range(3)}
+        assert picks == {"w1"}
+
+    def test_bin_pack_picks_the_least_loaded(self):
+        policy = BinPackPlacement()
+        assert policy.choose(spec("a"), {"w0": 3.0, "w1": 1.0, "w2": 2.0}) == "w1"
+
+    def test_bin_pack_breaks_ties_by_worker_order(self):
+        policy = BinPackPlacement()
+        assert policy.choose(spec("a"), {"w0": 1.0, "w1": 1.0}) == "w0"
+
+    def test_bin_pack_respects_weights_over_counts(self):
+        # one heavy node on w0 outweighs two light ones on w1
+        policy = BinPackPlacement()
+        assert policy.choose(spec("a"), {"w0": 4.0, "w1": 2.0}) == "w1"
+
+    def test_make_placement(self):
+        assert isinstance(make_placement("round-robin"), RoundRobinPlacement)
+        assert isinstance(make_placement("bin-pack"), BinPackPlacement)
+        with pytest.raises(ClusterError):
+            make_placement("gravity")
+
+    def test_empty_fleet_raises(self):
+        with pytest.raises(ClusterError):
+            RoundRobinPlacement().choose(spec("a"), {})
+        with pytest.raises(ClusterError):
+            BinPackPlacement().choose(spec("a"), {})
+
+
+class TestSpecRefs:
+    def test_resolve_and_coerce_round_trip(self):
+        sink = NodeId("127.0.0.1", 9001)
+        wire = resolve_refs(
+            {"downstreams": [ref("sink")], "k": 2, "label": "plain"},
+            {"sink": sink}.__getitem__,
+        )
+        assert wire == {
+            "downstreams": ["noderef:127.0.0.1:9001"], "k": 2, "label": "plain"
+        }
+        coerced = {key: coerce_node_refs(value) for key, value in wire.items()}
+        assert coerced == {"downstreams": [sink], "k": 2, "label": "plain"}
+
+    def test_unplaced_reference_names_the_sinks_first_rule(self):
+        with pytest.raises(ClusterError, match="sinks-first"):
+            resolve_refs({"downstreams": [ref("ghost")]}, {}.__getitem__)
+
+    def test_load_algorithm_class_errors(self):
+        with pytest.raises(ClusterError, match="module:Class"):
+            load_algorithm_class("no.colon.here")
+        with pytest.raises(ClusterError, match="cannot import"):
+            load_algorithm_class("no.such.module:Thing")
+        with pytest.raises(ClusterError, match="no class"):
+            load_algorithm_class("repro.cluster.spec:Nonexistent")
+
+    def test_build_algorithm_reports_bad_kwargs(self):
+        with pytest.raises(ClusterError, match="cannot construct"):
+            build_algorithm(
+                "repro.cluster.scenarios:DigestSinkAlgorithm", {"bogus": 1}
+            )
+
+
+class TestTopologies:
+    def assert_sinks_first(self, specs):
+        """Every @ref must point at a spec earlier in the list."""
+        placed = set()
+        for node_spec in specs:
+            for value in node_spec.kwargs.values():
+                items = value if isinstance(value, list) else [value]
+                for item in items:
+                    if isinstance(item, str) and item.startswith("@"):
+                        assert item[1:] in placed, (
+                            f"{node_spec.name} references {item} before placement"
+                        )
+            placed.add(node_spec.name)
+
+    def test_chain_specs_are_sinks_first(self):
+        specs = chain_specs(10)
+        assert [s.name for s in specs] == [f"n{i}" for i in range(9, -1, -1)]
+        self.assert_sinks_first(specs)
+        assert specs[-1].name == "n0" and specs[-1].weight == 2.0
+
+    def test_chain_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            chain_specs(1)
+
+    def test_butterfly_specs_are_sinks_first(self):
+        specs = butterfly_specs()
+        self.assert_sinks_first(specs)
+        assert {s.name for s in specs} == set("ABCDEFG")

@@ -1,0 +1,18 @@
+"""Repo-wide pytest fixtures."""
+
+import pytest
+
+from tests.portalloc import next_addr as _next_addr
+from tests.portalloc import reserve_port as _reserve_port
+
+
+@pytest.fixture
+def port_alloc():
+    """Callable fixture: each call reserves a fresh ephemeral-safe port."""
+    return _reserve_port
+
+
+@pytest.fixture
+def addr_alloc():
+    """Callable fixture: each call yields a loopback NodeId on a free port."""
+    return _next_addr

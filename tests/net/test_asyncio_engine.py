@@ -1,7 +1,6 @@
 """Integration tests of the asyncio engine over real localhost sockets."""
 
 import asyncio
-import itertools
 
 import pytest
 
@@ -12,13 +11,7 @@ from repro.net.engine import AsyncioEngine, NetEngineConfig
 from repro.net.observer_server import ObserverServer
 from repro.net.proxy import ObserverProxy
 
-# Fixed ports live below the ephemeral range (32768+): a TIME_WAIT client
-# socket on the same port would otherwise block a later listener bind.
-_PORTS = itertools.count(25000)
-
-
-def next_addr() -> NodeId:
-    return NodeId("127.0.0.1", next(_PORTS))
+from tests.portalloc import next_addr
 
 
 def run(coro):

@@ -1,7 +1,6 @@
 """Parity tests: behaviours the asyncio engine must share with the sim one."""
 
 import asyncio
-import itertools
 
 import pytest
 
@@ -11,13 +10,7 @@ from repro.core.bandwidth import BandwidthSpec
 from repro.core.ids import NodeId
 from repro.net.engine import AsyncioEngine, NetEngineConfig
 
-# Fixed ports live below the ephemeral range (32768+): a TIME_WAIT client
-# socket on the same port would otherwise block a later listener bind.
-_PORTS = itertools.count(27000)
-
-
-def next_addr():
-    return NodeId("127.0.0.1", next(_PORTS))
+from tests.portalloc import next_addr
 
 
 def run(coro):

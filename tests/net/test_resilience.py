@@ -1,7 +1,6 @@
 """Tests of the connection supervisor: backoff, tie-break, observer outbox."""
 
 import asyncio
-import itertools
 import random
 
 import pytest
@@ -15,13 +14,7 @@ from repro.net.observer_server import ObserverServer
 from repro.net.resilience import BackoffPolicy, ObserverOutbox, ResilienceConfig
 from repro.telemetry import Telemetry
 
-# Fixed ports live below the ephemeral range (32768+): a TIME_WAIT client
-# socket on the same port would otherwise block a later listener bind.
-_PORTS = itertools.count(26000)
-
-
-def next_addr() -> NodeId:
-    return NodeId("127.0.0.1", next(_PORTS))
+from tests.portalloc import next_addr
 
 
 def run(coro):

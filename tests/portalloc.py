@@ -1,0 +1,34 @@
+"""Ephemeral-safe port allocation shared by every socket test.
+
+The net tests used to hand out fixed ports from per-file
+``itertools.count`` bases (25000/26000/27000) — collision-free only as
+long as no two test files, pytest workers or stray daemons ever touch
+the same range.  This helper asks the kernel instead: bind a throwaway
+``SO_REUSEADDR`` socket to port 0, record the port the kernel picked,
+and release it.  The subsequent real ``bind()`` is safe because the
+kernel does not re-issue the port to other port-0 binds while it sits
+in ``TIME_WAIT``, and ``SO_REUSEADDR`` (set by asyncio's
+``create_server``) lets the test's own listener claim it regardless.
+
+``reserve_port`` returns a bare port, ``next_addr`` the ``NodeId`` most
+tests actually want.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.core.ids import NodeId
+
+
+def reserve_port(ip: str = "127.0.0.1") -> int:
+    """Return a port the kernel just handed out and nobody is listening on."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((ip, 0))
+        return probe.getsockname()[1]
+
+
+def next_addr(ip: str = "127.0.0.1") -> NodeId:
+    """A fresh loopback ``NodeId`` on a kernel-allocated free port."""
+    return NodeId(ip, reserve_port(ip))
