@@ -26,7 +26,13 @@ The metrics, chosen to cover the layers of the fast path:
   multiplexed on one event loop over zero-copy loopback links);
 - ``cluster_pack_msgs_per_sec`` — bench_cluster_pack: the same chain
   shape sharded over a 2-process worker fleet (controller placement,
-  per-worker observer proxies, cross-process hops on real sockets).
+  per-worker observer proxies, cross-process hops on real sockets);
+- ``observer_rollup_events_per_sec`` — bench_observer_rollup: status
+  reports absorbed and folded through a 2-level observer aggregation
+  tree (leaf proxies -> mid proxy -> root observer) per second;
+- ``observer_rollup_byte_reduction`` — same bench: bytes of child
+  status traffic divided by root-observer ingress bytes, i.e. how many
+  bytes the aggregation tree absorbs per byte it forwards.
 
 Every metric is "higher is better".  Measurements use the best of
 several repetitions so a GC pause or scheduler blip cannot fail CI.
@@ -320,6 +326,114 @@ def test_cluster_pack_rate():
     assert RESULTS["cluster_pack_msgs_per_sec"] > 0
 
 
+def test_observer_rollup_rate():
+    """bench_observer_rollup: status events through a 2-level aggregation
+    tree per second, plus the root-ingress byte reduction the tree buys.
+
+    Two leaf proxies each hold 8 node connections; their roll-ups fold
+    into a mid proxy whose flushes are the ONLY thing the root observer
+    reads.  Flushes are driven manually (the periodic loop is parked) so
+    the frame count — and with it the byte-reduction ratio — is
+    deterministic rather than a function of machine speed.
+    """
+    import asyncio
+
+    from repro.core.ids import NodeId
+    from repro.core.message import Message
+    from repro.core.msgtypes import MsgType
+    from repro.net.framing import open_identified, write_message
+    from repro.net.observer_server import ObserverServer
+    from repro.net.proxy import ObserverProxy
+    from repro.telemetry.metrics import MetricsRegistry
+
+    children_per_leaf = 8
+    statuses_per_round = 5
+    rounds = 10
+
+    async def wait_for(predicate, timeout=10.0):
+        async with asyncio.timeout(timeout):
+            while not predicate():
+                await asyncio.sleep(0.001)
+
+    async def tree() -> tuple[float, float]:
+        root = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=1000.0)
+        await root.start()
+        # flush_interval parks the loop; every flush below is explicit.
+        mid = ObserverProxy(NodeId("127.0.0.1", 0), root.addr,
+                            flush_interval=1000.0)
+        await mid.start()
+        leaves = []
+        for _ in range(2):
+            leaf = ObserverProxy(NodeId("127.0.0.1", 0), mid.addr,
+                                 flush_interval=1000.0)
+            await leaf.start()
+            leaves.append(leaf)
+
+        writers = []
+        counters = []
+        for li, leaf in enumerate(leaves):
+            for ci in range(children_per_leaf):
+                node = NodeId("127.0.0.1", 40000 + li * 100 + ci)
+                _, writer = await open_identified(leaf.addr, node)
+                reg = MetricsRegistry()
+                counter = reg.counter(
+                    "bench_sent_total", "sent", ("node",)
+                ).labels(node=str(node))
+                writers.append((node, writer, reg, counter))
+                counters.append(counter)
+
+        child_bytes = 0
+        absorbed_target = 0
+        bytes0 = root.bytes_in
+        start = time.perf_counter()
+        for round_no in range(rounds):
+            for node, writer, reg, counter in writers:
+                for _ in range(statuses_per_round):
+                    counter.inc()
+                    status = Message.with_fields(
+                        MsgType.STATUS, node, 0,
+                        node=str(node), apps=[1], metrics=reg.snapshot(),
+                    )
+                    child_bytes += len(status.pack())
+                    write_message(writer, status)
+            absorbed_target += len(writers) * statuses_per_round
+            await wait_for(lambda: sum(l.agg_absorbed for l in leaves)
+                           >= absorbed_target)
+            mid_before = mid.agg_absorbed
+            for leaf in leaves:
+                assert await leaf.flush()
+            await wait_for(lambda: mid.agg_absorbed >= mid_before + 2)
+            root_before = root.observer.agg_frames
+            assert await mid.flush()
+            await wait_for(lambda: root.observer.agg_frames > root_before)
+        elapsed = time.perf_counter() - start
+        events = rounds * len(writers) * statuses_per_round
+        root_bytes = root.bytes_in - bytes0
+
+        for _, writer, _, _ in writers:
+            writer.close()
+        for leaf in leaves:
+            await leaf.stop()
+        await mid.stop()
+        await root.stop()
+        assert root_bytes > 0
+        return events / elapsed, child_bytes / root_bytes
+
+    def run() -> tuple[float, float]:
+        return asyncio.run(tree())
+
+    best_rate, reduction = 0.0, 0.0
+    for _ in range(2):
+        rate, red = run()
+        if rate > best_rate:
+            best_rate, reduction = rate, red
+    RESULTS["observer_rollup_events_per_sec"] = best_rate
+    RESULTS["observer_rollup_byte_reduction"] = reduction
+    assert best_rate > 0
+    # The tree must absorb far more status bytes than it forwards.
+    assert reduction > 1.0
+
+
 # ------------------------------------------------------------------- persist
 
 
@@ -331,7 +445,7 @@ def test_zz_write_bench_json_and_guard():
     committed* history entry and the test fails on a >25% drop in any
     metric; without it the file is just rewritten with the new entry.
     """
-    assert len(RESULTS) == 7, f"expected all metrics collected, got {sorted(RESULTS)}"
+    assert len(RESULTS) == 9, f"expected all metrics collected, got {sorted(RESULTS)}"
 
     history: list[dict] = []
     if BENCH_FILE.exists():

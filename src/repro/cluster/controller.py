@@ -63,6 +63,20 @@ class ClusterConfig:
     #: relaunch a dead worker and re-place its specs (new identities)
     respawn: bool = False
     telemetry: Telemetry | None = None
+    #: wire the workers' observer proxies into an aggregation tree with
+    #: this fan-out: the first ``observer_fanout`` workers attach to the
+    #: root observer, worker ``i`` thereafter to worker ``i//fanout - 1``'s
+    #: proxy.  ``0`` (the default) keeps the flat PR-5 funnel layout.
+    observer_fanout: int = 0
+    #: aggregation flush period for the workers' proxies; required when
+    #: ``observer_fanout`` is set (a tree of pure relays would loop every
+    #: frame through more hops for no reduction)
+    observer_flush_interval: float | None = None
+    #: enable metrics + lifecycle tracing inside each worker process so
+    #: the aggregation tree has telemetry to roll up
+    worker_telemetry: bool = False
+    #: head-sampling divisor forwarded to the workers' tracers
+    worker_trace_sample: int = 1
 
 
 @dataclass
@@ -79,6 +93,9 @@ class WorkerState:
     rss_kb: float = 0.0
     loop_lag_ms: float = 0.0
     node_count: int = 0
+    #: the worker's observer-proxy endpoint (from W_REGISTER); in tree
+    #: mode later workers dial this instead of the root observer
+    proxy_addr: str = ""
     #: spec name -> placement, in placement order (sinks-first order is
     #: preserved, which is what makes redeploys resolvable)
     placed: dict[str, PlacedNode] = dataclass_field(default_factory=dict)
@@ -104,6 +121,8 @@ class ClusterController:
         self._seq = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._register_waiters: dict[str, asyncio.Future] = {}
+        #: worker name -> observer endpoint its proxy dials (tree wiring)
+        self._upstreams: dict[str, str] = {}
         self._tasks: list[asyncio.Task] = []
         self._running = False
         self.worker_deaths = 0
@@ -148,9 +167,22 @@ class ClusterController:
             self._accept, host=self.config.ip, port=0
         )
         self.addr = NodeId(self.config.ip, self._server.sockets[0].getsockname()[1])
-        await asyncio.gather(
-            *(self.spawn_worker(f"w{i}") for i in range(self.config.workers))
-        )
+        fanout = self.config.observer_fanout
+        if fanout > 0:
+            # Tree mode must spawn sequentially: worker i's upstream is a
+            # parent worker's proxy port, which is only known once that
+            # parent has registered.
+            for i in range(self.config.workers):
+                if i < fanout:
+                    upstream = str(self.observer.addr)
+                else:
+                    parent = self.workers[f"w{i // fanout - 1}"]
+                    upstream = parent.proxy_addr or str(self.observer.addr)
+                await self.spawn_worker(f"w{i}", upstream=upstream)
+        else:
+            await asyncio.gather(
+                *(self.spawn_worker(f"w{i}") for i in range(self.config.workers))
+            )
         self._tasks.append(asyncio.ensure_future(self._sweep_loop()))
 
     async def stop(self) -> None:
@@ -200,12 +232,23 @@ class ClusterController:
 
     # ------------------------------------------------------------------- spawning
 
-    async def spawn_worker(self, name: str) -> WorkerState:
-        """Launch one worker process and wait for its W_REGISTER."""
+    async def spawn_worker(self, name: str, upstream: str | None = None) -> WorkerState:
+        """Launch one worker process and wait for its W_REGISTER.
+
+        ``upstream`` overrides the observer endpoint the worker's proxy
+        dials (tree mode points it at a parent worker's proxy).  The
+        choice is remembered per name so a respawn reattaches to the
+        same upstream — note a respawned *mid-tree* worker's own proxy
+        binds a fresh port, so its children must also be respawned to
+        rewire; ``respawn=True`` with tree mode is therefore best-effort.
+        """
         assert self.addr is not None, "start() first"
         existing = self.workers.get(name)
         if existing is not None and existing.alive:
             raise ClusterError(f"worker {name!r} is already running")
+        if upstream is not None:
+            self._upstreams[name] = upstream
+        upstream = self._upstreams.get(name, str(self.observer.addr))
         state = WorkerState(name=name)
         self.workers[name] = state
         waiter: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -218,15 +261,20 @@ class ClusterController:
         env["PYTHONPATH"] = (
             src_root + os.pathsep + existing_path if existing_path else src_root
         )
-        state.process = await asyncio.create_subprocess_exec(
+        argv = [
             sys.executable, "-m", "repro.cluster.worker",
             "--name", name,
             "--controller", str(self.addr),
-            "--observer", str(self.observer.addr),
+            "--observer", upstream,
             "--ip", self.config.ip,
             "--heartbeat-interval", str(self.config.heartbeat_interval),
-            env=env,
-        )
+        ]
+        if self.config.observer_flush_interval is not None:
+            argv += ["--flush-interval", str(self.config.observer_flush_interval)]
+        if self.config.worker_telemetry:
+            argv += ["--telemetry", "--trace-sample",
+                     str(self.config.worker_trace_sample)]
+        state.process = await asyncio.create_subprocess_exec(*argv, env=env)
         try:
             await asyncio.wait_for(waiter, self.config.register_timeout)
         except asyncio.TimeoutError:
@@ -272,6 +320,7 @@ class ClusterController:
             return
         state.chan = chan
         state.pid = int(fields.get("pid", 0))
+        state.proxy_addr = str(fields.get("proxy", ""))
         waiter = self._register_waiters.pop(name, None)
         if waiter is not None and not waiter.done():
             waiter.set_result(state)

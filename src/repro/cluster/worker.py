@@ -49,12 +49,22 @@ class WorkerHost:
         observer_addr: NodeId,
         ip: str = "127.0.0.1",
         heartbeat_interval: float = 0.5,
+        flush_interval: float | None = None,
+        telemetry_enabled: bool = False,
+        trace_sample: int = 1,
     ) -> None:
         self.name = name
         self.controller_addr = controller_addr
         self.observer_addr = observer_addr
         self.ip = ip
         self.heartbeat_interval = heartbeat_interval
+        #: with a flush interval the proxy runs in aggregation mode: it
+        #: absorbs and pre-reduces observer traffic, making this worker a
+        #: node of the observer tree instead of a transparent funnel
+        self.flush_interval = flush_interval
+        self.telemetry_enabled = telemetry_enabled
+        self.trace_sample = trace_sample
+        self.telemetry = None
         self.proxy: ObserverProxy | None = None
         self.host: VirtualHost | None = None
         self._chan: ControlChannel | None = None
@@ -69,14 +79,26 @@ class WorkerHost:
 
     async def start(self) -> None:
         self._running = True
-        self.proxy = ObserverProxy(NodeId(self.ip, 0), self.observer_addr)
+        if self.telemetry_enabled:
+            from repro.telemetry import Telemetry
+
+            self.telemetry = Telemetry(trace_sample=self.trace_sample)
+        self.proxy = ObserverProxy(
+            NodeId(self.ip, 0), self.observer_addr,
+            flush_interval=self.flush_interval, telemetry=self.telemetry,
+        )
         await self.proxy.start()
         self.host = VirtualHost(observer_addr=self.proxy.addr, ip=self.ip)
         reader, writer = await asyncio.open_connection(
             self.controller_addr.ip, self.controller_addr.port
         )
         self._chan = ControlChannel(reader, writer)
-        await self._chan.send(MsgType.W_REGISTER, name=self.name, pid=os.getpid())
+        # The proxy address rides the registration: in tree mode the
+        # controller points later workers' upstreams at it.
+        await self._chan.send(
+            MsgType.W_REGISTER, name=self.name, pid=os.getpid(),
+            proxy=str(self.proxy.addr),
+        )
         self._tasks.append(asyncio.ensure_future(self._serve()))
         self._tasks.append(asyncio.ensure_future(self._heartbeat_loop()))
 
@@ -144,7 +166,15 @@ class WorkerHost:
             algorithm = build_algorithm(
                 str(fields["algorithm"]), dict(fields.get("kwargs", {}))
             )
-            engine = self.host.add_node(algorithm)
+            config = None
+            if self.telemetry is not None:
+                from repro.net.engine import NetEngineConfig
+
+                # All co-hosted nodes share the worker's telemetry: one
+                # registry/tracer per process is what the aggregating
+                # proxy flushes upward.
+                config = NetEngineConfig(telemetry=self.telemetry)
+            engine = self.host.add_node(algorithm, config=config)
             await self.host.start_node(engine)
             self._engines[name] = engine
         except Exception as exc:  # reported, never fatal to the worker
@@ -233,6 +263,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ip", default="127.0.0.1",
                         help="bind address for hosted nodes and the proxy")
     parser.add_argument("--heartbeat-interval", type=float, default=0.5)
+    parser.add_argument("--flush-interval", type=float, default=None,
+                        help="run the observer proxy as an aggregating tree "
+                             "node flushing roll-ups at this interval")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable metrics + lifecycle tracing for hosted nodes")
+    parser.add_argument("--trace-sample", type=int, default=1,
+                        help="head-sample lifecycle traces: record messages "
+                             "with seq %% N == 0")
     return parser
 
 
@@ -243,6 +281,9 @@ async def _amain(args: argparse.Namespace) -> int:
         observer_addr=NodeId.parse(args.observer),
         ip=args.ip,
         heartbeat_interval=args.heartbeat_interval,
+        flush_interval=args.flush_interval,
+        telemetry_enabled=args.telemetry,
+        trace_sample=args.trace_sample,
     )
     stop = asyncio.Event()
     install_shutdown_handlers(stop)

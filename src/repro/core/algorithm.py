@@ -219,9 +219,23 @@ class Algorithm:
                 sent += 1
         return sent
 
-    def trace(self, text: str, app: AppId = 0) -> None:
-        """Log a trace record centrally at the observer."""
-        msg = Message(MsgType.TRACE, self.node_id, app, text.encode())
+    def trace(self, text: str, app: AppId = 0, about: Message | None = None) -> None:
+        """Log a trace record centrally at the observer.
+
+        With ``about`` the record is stamped with that message's
+        deterministic trace id (``sender/app#seq``) — derived from the
+        immutable wire header, so traces about the same logical message
+        carry the identical id on every backend and on every worker it
+        crossed, and the observer can stitch them into one causal view.
+        """
+        if about is None:
+            msg = Message(MsgType.TRACE, self.node_id, app, text.encode())
+        else:
+            from repro.telemetry.tracing import trace_id
+
+            msg = Message.with_fields(
+                MsgType.TRACE, self.node_id, app, text=text, trace_id=trace_id(about)
+            )
         self.engine.send_to_observer(msg)
 
     # --- default handlers (overridable) ----------------------------------------------

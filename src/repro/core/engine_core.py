@@ -601,6 +601,7 @@ class EngineCore(ABC):
             seq += 1
             if self._ins is not None:
                 self._ins.n_source += 1
+                msg._hop_t0 = self.now()  # first hop starts at the source
                 if self._ins.tracer.enabled:
                     self._ins.trace_msg(self.now(), EventType.SOURCE_EMIT, msg)
             self._source_pending = []

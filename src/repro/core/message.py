@@ -48,7 +48,8 @@ class Message:
     All header fields except ``seq`` are read-only after construction.
     """
 
-    __slots__ = ("_type", "_sender", "_app", "seq", "_payload", "_trace_id")
+    __slots__ = ("_type", "_sender", "_app", "seq", "_payload", "_trace_id",
+                 "_hop_t0")
 
     def __init__(
         self,
@@ -71,6 +72,12 @@ class Message:
         # id is derived from immutable header fields, so once built it
         # stays valid wherever the message travels.
         self._trace_id: str | None = None
+        # Telemetry-only arrival stamp for the current hop (set at
+        # enqueue, read at forward).  Not part of the wire format — the
+        # 24-byte header has no spare field — and advisory only: a
+        # by-reference multicast may restamp it, which can shorten but
+        # never corrupt the observed hop latency.
+        self._hop_t0: float | None = None
 
     # --- read-only header accessors -------------------------------------------
 
@@ -162,6 +169,7 @@ class Message:
         msg.seq = seq
         msg._payload = view[HEADER_SIZE:].tobytes() if payload_size else b""
         msg._trace_id = None
+        msg._hop_t0 = None
         return msg
 
     # --- copying ---------------------------------------------------------------
@@ -184,6 +192,7 @@ class Message:
         clone.seq = seq
         clone._payload = self._payload
         clone._trace_id = None
+        clone._hop_t0 = None
         return clone
 
     # --- structured payload helpers ---------------------------------------------

@@ -41,6 +41,8 @@ class MsgType(IntEnum):
     CONTROL = 19             # observer -> algorithm: generic command, two int params
     HELLO = 20               # first frame on a fresh TCP connection: sender identity
     PROXY = 21               # observer -> proxy envelope: {dest, inner message hex}
+    FLOW_QUERY = 22          # client -> observer: stitched causal path for a trace id
+    FLOW_REPLY = 23          # observer -> client: events, path and per-hop latencies
 
     # --- engine -> algorithm notifications ------------------------------------
     BROKEN_SOURCE = 30       # an upstream application source has failed
@@ -84,6 +86,10 @@ class MsgType(IntEnum):
     W_NODE_INFO = 85         # controller -> worker: request one node's state
     W_NODE_INFO_REPLY = 86   # worker -> controller: engine + algorithm facts
     W_SHUTDOWN = 87          # controller -> worker: drain and exit cleanly
+    W_AGG = 88               # aggregating proxy -> parent: subtree roll-up
+                             # (status digest, metric deltas, sampled traces,
+                             # member list) flushed once per interval instead
+                             # of relaying every child frame individually
 
 
 #: First type value available to user-defined algorithms.

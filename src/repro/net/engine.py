@@ -651,6 +651,9 @@ class AsyncioEngine(EngineCore):
                 if ins is not None and msg.type == MsgType.DATA:
                     label = peer.port.label
                     ins.forwarded[label] += 1
+                    t0 = msg._hop_t0
+                    if t0 is not None:
+                        ins.observe_hop(now - t0 if now > t0 else 0.0)
                     if ins.tracer.enabled:
                         ins.trace_msg(now, EventType.FORWARD, msg, label)
                 self._send_space.set()
@@ -690,6 +693,7 @@ class AsyncioEngine(EngineCore):
                         label = peer.port.label
                         ins.enqueued[label] += 1
                         peer.port.wait_times.append(now)
+                        msg._hop_t0 = now  # this hop's clock starts here
                         if ins.tracer.enabled:
                             ins.trace_msg(now, EventType.ENQUEUE, msg, label)
                 else:

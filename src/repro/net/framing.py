@@ -65,6 +65,45 @@ def hello_message(node: NodeId) -> Message:
     return Message.with_fields(MsgType.HELLO, node, 0, node=str(node))
 
 
+# --- proxy envelopes ----------------------------------------------------------
+#
+# Frames relayed across an observer-proxy hop travel inside a PROXY
+# envelope carrying the inner frame as hex.  The inner frame's header is
+# preserved byte for byte, which is what propagates trace ids across
+# worker boundaries: the id is a pure function of (sender, app, seq), so
+# re-decoding the hex yields a message with the *identical* trace id the
+# originating worker recorded.
+
+
+def wrap_proxy_up(proxy: NodeId, origin: NodeId, frame: Message) -> Message:
+    """Wrap a node's upward frame for the single upstream connection."""
+    return Message.with_fields(
+        MsgType.PROXY, proxy, 0, origin=str(origin), frame=frame.pack().hex()
+    )
+
+
+def wrap_proxy_down(sender: NodeId, dest: NodeId, frame: Message) -> Message:
+    """Wrap an observer's downward frame for a proxied node."""
+    return Message.with_fields(
+        MsgType.PROXY, sender, 0, dest=str(dest), frame=frame.pack().hex()
+    )
+
+
+def unwrap_proxy(fields: dict) -> Message:
+    """Decode the inner frame of a PROXY envelope's ``fields()``."""
+    return Message.unpack(bytes.fromhex(fields["frame"]))
+
+
+def peek_frame_type(fields: dict) -> int:
+    """The inner frame's message type without decoding the whole frame.
+
+    The type is the first 4 header bytes; aggregating proxies use this
+    to special-case BOOT frames passing through without paying a full
+    unpack per relayed envelope.
+    """
+    return int.from_bytes(bytes.fromhex(fields["frame"][:8]), "big")
+
+
 async def open_identified(
     dest: NodeId, identity: NodeId, timeout: float = 10.0
 ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:

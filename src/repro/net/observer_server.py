@@ -36,6 +36,11 @@ class ObserverServer:
         self._server: asyncio.AbstractServer | None = None
         self._poll_task: asyncio.Task | None = None
         self._running = False
+        #: total frames / wire bytes received on the root's sockets — the
+        #: quantity the aggregation tree exists to reduce (what the
+        #: fig_observer_scaling experiment measures).
+        self.frames_in = 0
+        self.bytes_in = 0
 
     # --------------------------------------------------------------- lifecycle
 
@@ -100,8 +105,14 @@ class ObserverServer:
                     break
                 except asyncio.CancelledError:
                     break
+                self.frames_in += 1
+                self.bytes_in += msg.size
                 if msg.type == MsgType.PROXY:
                     self._handle_proxied(node, msg)
+                elif msg.type == MsgType.W_AGG:
+                    self._handle_agg_frame(node, msg)
+                elif msg.type == MsgType.FLOW_QUERY:
+                    self._handle_flow_query(node, msg)
                 else:
                     self.observer.on_message(msg)
         finally:
@@ -121,6 +132,34 @@ class ObserverServer:
         origin = NodeId.parse(fields["origin"])
         self._routes[origin] = proxy
         self.observer.on_message(inner)
+
+    def _handle_agg_frame(self, aggregator: NodeId, msg: Message) -> None:
+        """An aggregation-tree flush: learn member routes, then fold it in.
+
+        Every member listed in the roll-up is reachable *through* the
+        aggregator's connection, so downward control messages to any of
+        them are wrapped for that single socket.
+        """
+        try:
+            for text in msg.fields().get("members", []):
+                self._routes[NodeId.parse(text)] = aggregator
+        except Exception:
+            return
+        self.observer.on_message(msg)
+
+    def _handle_flow_query(self, client: NodeId, msg: Message) -> None:
+        """Answer a causal-path query down the asking connection."""
+        writer = self._writers.get(client)
+        if writer is None or writer.is_closing():
+            return
+        try:
+            tid = str(msg.fields().get("trace_id", ""))
+        except Exception:
+            return
+        report = self.observer.flow_report(tid)
+        write_message(writer, Message.with_fields(
+            MsgType.FLOW_REPLY, self.addr, 0, **report
+        ))
 
     async def _poll_loop(self) -> None:
         assert self.poll_interval is not None

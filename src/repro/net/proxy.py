@@ -6,34 +6,139 @@ nodes are submitted to the proxy, who relays them with a single
 connection to the observer" (Section 2.2), letting the observer handle
 thousands of virtualized nodes.
 
-Upstream frames are wrapped in ``PROXY`` envelopes tagged with the
-originating node so the observer can route replies; downstream
-envelopes carry a destination and are unwrapped here.
+Two operating modes share one class:
+
+**Relay mode** (``flush_interval=None``, the default) is the byte
+funnel of the original paper: every upward frame is wrapped in a
+``PROXY`` envelope tagged with the originating node; downstream
+envelopes carry a destination and are unwrapped here.  Envelopes from a
+nested proxy are forwarded unchanged (only their member routes are
+learned), so funnels compose.
+
+**Aggregation mode** (``flush_interval`` set) turns the proxy into a
+*reducing* node of an observer tree.  Instead of relaying every child
+frame it:
+
+- absorbs ``STATUS`` frames, keeping only each child's latest report;
+- polls its direct node children itself (the upstream observer skips
+  aggregated members entirely);
+- merges the children's metric snapshots locally — counters summed,
+  gauges last-write, histogram buckets bucket-wise — and forwards only
+  the **delta since the last successful flush** upward;
+- forwards head-sampled lifecycle trace events from the co-located
+  worker telemetry (and from child aggregators) under a per-flush
+  budget;
+- rolls the subtree's membership and departures into the same ``W_AGG``
+  frame, which doubles as the subtree's lease-renewal heartbeat.
+
+Aggregating proxies compose into multi-level trees: a ``W_AGG`` frame
+arriving from a child aggregator is folded into this proxy's own state
+rather than forwarded, so the root observer reconstructs the fleet view
+from O(tree-depth) hops instead of O(nodes) connections.
+
+Aggregation mode also supervises its upstream link: on a drop it
+redials under bounded exponential backoff, replays the remembered
+``BOOT`` frames of every member, and resynchronizes the delta stream by
+flushing the *full* accumulated snapshot (``full=True``), so whatever
+state the upstream lost — or double-counts it would otherwise apply —
+is reconciled.
 """
 
 from __future__ import annotations
 
 import asyncio
+from typing import TYPE_CHECKING
 
-from repro.core.ids import NodeId
+from repro.core.ids import CONTROL_APP, NodeId
 from repro.core.message import Message
 from repro.core.msgtypes import MsgType
-from repro.net.framing import expect_hello, open_identified, read_message, write_message
+from repro.net.framing import (
+    expect_hello,
+    open_identified,
+    peek_frame_type,
+    read_message,
+    unwrap_proxy,
+    wrap_proxy_up,
+    write_message,
+)
+from repro.net.resilience import BackoffPolicy, ObserverOutbox
+from repro.telemetry.metrics import (
+    merge_snapshots,
+    snapshot_delta,
+    snapshot_regressed,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry import Telemetry
 
 
 class ObserverProxy:
-    """Relays node <-> observer traffic over a single upstream connection."""
+    """Relays or pre-reduces node <-> observer traffic over one upstream link."""
 
-    def __init__(self, addr: NodeId, observer_addr: NodeId) -> None:
+    def __init__(
+        self,
+        addr: NodeId,
+        observer_addr: NodeId,
+        *,
+        flush_interval: float | None = None,
+        telemetry: "Telemetry | None" = None,
+        trace_budget: int = 256,
+        outbox_capacity: int = 1024,
+        backoff: BackoffPolicy | None = None,
+    ) -> None:
         self.addr = addr
         self.observer_addr = observer_addr
+        #: seconds between roll-up flushes; ``None`` = pure relay mode
+        self.flush_interval = flush_interval
+        #: co-located worker telemetry whose tracer feeds forwarded events
+        self.telemetry = telemetry
+        #: max local trace events forwarded per flush (head-sampled already)
+        self.trace_budget = trace_budget
+        self._backoff = backoff or BackoffPolicy(base=0.05, maximum=2.0)
         self._server: asyncio.AbstractServer | None = None
         self._upstream_writer: asyncio.StreamWriter | None = None
         self._upstream_task: asyncio.Task | None = None
+        self._flush_task: asyncio.Task | None = None
         self._downstream: dict[NodeId, asyncio.StreamWriter] = {}
+        #: downstream connections known to be proxies (they sent PROXY/W_AGG)
+        self._child_proxies: set[NodeId] = set()
+        #: nested member origin -> direct child that owns the route down
+        self._routes: dict[NodeId, NodeId] = {}
         self._running = False
         self.relayed_up = 0
         self.relayed_down = 0
+
+        # ---- aggregation state (flush_interval set) -----------------------
+        #: origin str -> latest status fields (metrics stripped)
+        self._child_status: dict[str, dict] = {}
+        self._status_dirty: set[str] = set()
+        #: metrics key (origin str, or "subtree:<child>") -> cumulative snapshot
+        self._child_metrics: dict[str, dict] = {}
+        #: merged snapshot as of the last *successful* flush (delta baseline)
+        self._acked_merged: dict = {}
+        #: full-resync pending: first flush after (re)connect replaces, not merges
+        self._resync = True
+        #: origin str -> packed BOOT frame hex, replayed after a redial
+        self._boot_frames: dict[str, str] = {}
+        #: members that left since the last flush (reported once)
+        self._departed: set[str] = set()
+        self._pending_traces: list[dict] = []
+        self._trace_cursor = 0
+        self.trace_dropped = 0
+        #: relay-path frames awaiting the upstream while it is down
+        self._outbox = ObserverOutbox(outbox_capacity)
+        self.outbox_drops = 0
+        self.agg_flushes = 0
+        self.agg_absorbed = 0  # STATUS/W_AGG frames folded instead of relayed
+        self.boots_replayed = 0
+        self.upstream_reconnects = 0
+        self._connected = asyncio.Event()
+
+    @property
+    def aggregating(self) -> bool:
+        return self.flush_interval is not None
+
+    # ------------------------------------------------------------------ lifecycle
 
     async def start(self) -> None:
         self._running = True
@@ -54,19 +159,28 @@ class ObserverProxy:
             self._running = False
             raise
         self._upstream_writer = writer
-        self._upstream_task = asyncio.ensure_future(self._upstream_reader(reader))
+        self._connected.set()
+        if self.aggregating:
+            self._upstream_task = asyncio.ensure_future(self._upstream_supervisor(reader))
+            self._flush_task = asyncio.ensure_future(self._flush_loop())
+        else:
+            self._upstream_task = asyncio.ensure_future(self._upstream_reader(reader))
 
     async def stop(self) -> None:
         self._running = False
-        if self._upstream_task is not None:
-            self._upstream_task.cancel()
-            self._upstream_task = None
+        for task in (self._upstream_task, self._flush_task):
+            if task is not None:
+                task.cancel()
+        self._upstream_task = None
+        self._flush_task = None
         if self._upstream_writer is not None:
             self._upstream_writer.close()
             self._upstream_writer = None
         for writer in self._downstream.values():
             writer.close()
         self._downstream.clear()
+        self._child_proxies.clear()
+        self._routes.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -91,23 +205,133 @@ class ObserverProxy:
                 except (asyncio.IncompleteReadError, ConnectionError, OSError,
                         asyncio.CancelledError):
                     break
-                self._relay_up(node, msg)
+                self._on_child_frame(node, msg)
         finally:
             if self._downstream.get(node) is writer:
                 del self._downstream[node]
+                self._child_gone(node)
             writer.close()
 
-    def _relay_up(self, origin: NodeId, msg: Message) -> None:
-        upstream = self._upstream_writer
-        if upstream is None or upstream.is_closing():
+    def _child_gone(self, node: NodeId) -> None:
+        """A direct child dropped: purge its aggregation state.
+
+        Nothing of the child (or, for a child aggregator, of its whole
+        subtree) may linger in the status or metrics caches — a stale
+        series would otherwise keep merging into every future flush and
+        a restarted child would double-count against its own ghost.
+        """
+        self._child_proxies.discard(node)
+        origins = [str(node)]
+        origins.extend(str(o) for o, owner in self._routes.items() if owner == node)
+        for origin, owner in list(self._routes.items()):
+            if owner == node:
+                del self._routes[origin]
+        if not self.aggregating:
             return
-        envelope = Message.with_fields(
-            MsgType.PROXY, self.addr, 0, origin=str(origin), frame=msg.pack().hex()
-        )
-        write_message(upstream, envelope)
-        self.relayed_up += 1
+        for origin in origins:
+            removed = (
+                (self._child_status.pop(origin, None) is not None)
+                | (self._child_metrics.pop(origin, None) is not None)
+                | (self._boot_frames.pop(origin, None) is not None)
+            )
+            self._status_dirty.discard(origin)
+            if removed:
+                self._departed.add(origin)
+        self._child_metrics.pop(f"subtree:{node}", None)
+
+    def _on_child_frame(self, origin: NodeId, msg: Message) -> None:
+        """Route one upward frame: fold it into the roll-up or relay it."""
+        if msg.type == MsgType.PROXY:
+            # A nested relay proxy's envelope: learn the member route,
+            # remember BOOTs passing through, forward unchanged.
+            self._child_proxies.add(origin)
+            try:
+                fields = msg.fields()
+                member = NodeId.parse(fields["origin"])
+            except Exception:
+                return
+            self._routes[member] = origin
+            if self.aggregating and peek_frame_type(fields) == MsgType.BOOT:
+                self._boot_frames[str(member)] = fields["frame"]
+            self._send_up(msg)
+            return
+        if msg.type == MsgType.W_AGG:
+            self._child_proxies.add(origin)
+            if self.aggregating:
+                self._absorb_child_agg(origin, msg)
+            else:
+                # Relay mode still composes: learn routes, pass through.
+                try:
+                    for text in msg.fields().get("members", []):
+                        self._routes[NodeId.parse(text)] = origin
+                except Exception:
+                    pass
+                self._send_up(msg)
+            return
+        if self.aggregating:
+            if msg.type == MsgType.STATUS:
+                self._absorb_status(origin, msg)
+                return
+            if msg.type == MsgType.BOOT:
+                self._boot_frames[str(origin)] = msg.pack().hex()
+        self._send_up(wrap_proxy_up(self.addr, origin, msg))
+
+    def _absorb_status(self, origin: NodeId, msg: Message) -> None:
+        """Keep only the child's latest report; metrics ride the delta path."""
+        try:
+            fields = msg.fields()
+        except Exception:
+            return
+        key = str(origin)
+        metrics = fields.pop("metrics", None)
+        self._child_status[key] = fields
+        self._status_dirty.add(key)
+        if metrics:
+            self._child_metrics[key] = metrics
+        self.agg_absorbed += 1
+
+    def _absorb_child_agg(self, child: NodeId, msg: Message) -> None:
+        """Fold a child aggregator's flush into this proxy's own state."""
+        try:
+            fields = msg.fields()
+        except Exception:
+            return
+        for text in fields.get("members", []):
+            self._routes[NodeId.parse(text)] = child
+        for origin in fields.get("departed", []):
+            self._child_status.pop(origin, None)
+            self._child_metrics.pop(origin, None)
+            self._boot_frames.pop(origin, None)
+            self._status_dirty.discard(origin)
+            self._departed.add(origin)
+        for origin, status_fields in fields.get("statuses", {}).items():
+            self._child_status[origin] = status_fields
+            self._status_dirty.add(origin)
+        delta = fields.get("metrics") or {}
+        if delta:
+            key = f"subtree:{child}"
+            held = self._child_metrics.get(key)
+            if fields.get("full") or held is None:
+                self._child_metrics[key] = delta
+            else:
+                self._child_metrics[key] = merge_snapshots([held, delta])
+        self._boot_frames.update(fields.get("boots", {}))
+        self._pending_traces.extend(fields.get("traces", []))
+        self.trace_dropped += int(fields.get("trace_dropped", 0))
+        self.agg_absorbed += 1
 
     # --------------------------------------------------------------- upstream side
+
+    def _send_up(self, envelope: Message) -> None:
+        upstream = self._upstream_writer
+        if upstream is None or upstream.is_closing():
+            if self.aggregating:
+                # Queue relay-path frames for the redial; bounded, oldest out.
+                if self._outbox.push(envelope) is not None:
+                    self.outbox_drops += 1
+            return
+        write_message(upstream, envelope)
+        self.relayed_up += 1
 
     async def _upstream_reader(self, reader: asyncio.StreamReader) -> None:
         while self._running:
@@ -120,7 +344,163 @@ class ObserverProxy:
             fields = envelope.fields()
             dest = NodeId.parse(fields["dest"])
             writer = self._downstream.get(dest)
+            if writer is not None:
+                if writer.is_closing():
+                    continue
+                write_message(writer, unwrap_proxy(fields))
+                self.relayed_down += 1
+                continue
+            # Not a direct child: route the envelope one level down the
+            # tree unchanged — the owning child proxy unwraps it.
+            owner = self._routes.get(dest)
+            writer = self._downstream.get(owner) if owner is not None else None
             if writer is None or writer.is_closing():
                 continue
-            write_message(writer, Message.unpack(bytes.fromhex(fields["frame"])))
+            write_message(writer, envelope)
             self.relayed_down += 1
+
+    async def _upstream_supervisor(self, reader: asyncio.StreamReader) -> None:
+        """Keep the upstream link alive: read until it drops, then redial.
+
+        Every reconnect starts a fresh aggregation epoch: the delta
+        baseline resets (the next flush carries the full accumulated
+        snapshot with ``full=True``), every remembered BOOT frame is
+        replayed so the upstream's bootstrap/routing view is rebuilt,
+        and all cached statuses are re-marked dirty.
+        """
+        while self._running:
+            await self._upstream_reader(reader)
+            if not self._running:
+                return
+            self._connected.clear()
+            if self._upstream_writer is not None:
+                self._upstream_writer.close()
+                self._upstream_writer = None
+            attempt = 0
+            while self._running:
+                try:
+                    reader, writer = await open_identified(self.observer_addr, self.addr)
+                    break
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    await asyncio.sleep(self._backoff.delay(attempt))
+                    attempt += 1
+            if not self._running:
+                return
+            self._upstream_writer = writer
+            self.upstream_reconnects += 1
+            self._on_reconnected()
+            self._connected.set()
+
+    def _on_reconnected(self) -> None:
+        """Reset aggregator state for the new upstream epoch."""
+        self._resync = True
+        self._acked_merged = {}
+        self._status_dirty.update(self._child_status)
+        for origin, frame_hex in self._boot_frames.items():
+            envelope = Message.with_fields(
+                MsgType.PROXY, self.addr, 0, origin=origin, frame=frame_hex
+            )
+            self._send_up(envelope)
+            self.boots_replayed += 1
+        while self._outbox:
+            head = self._outbox.head()
+            upstream = self._upstream_writer
+            if upstream is None or upstream.is_closing():
+                break
+            write_message(upstream, head)
+            self.relayed_up += 1
+            self._outbox.pop_head(head)
+
+    # ------------------------------------------------------------------- flushing
+
+    async def _flush_loop(self) -> None:
+        assert self.flush_interval is not None
+        while self._running:
+            await asyncio.sleep(self.flush_interval)
+            if not self._running:
+                return
+            await self.flush()
+            self._poll_children()
+
+    def _poll_children(self) -> None:
+        """Request fresh statuses from direct *node* children.
+
+        Child proxies are never polled — they run their own flush loops.
+        Replies arrive before the next tick and are absorbed into the
+        roll-up, so the upstream observer needs no per-node fan-out.
+        """
+        request = Message.with_fields(
+            MsgType.REQUEST, self.addr, CONTROL_APP
+        )
+        for node, writer in list(self._downstream.items()):
+            if node in self._child_proxies or writer.is_closing():
+                continue
+            write_message(writer, request.clone())
+
+    def _collect_local_traces(self) -> None:
+        """Pull fresh head-sampled events from the co-located tracer."""
+        if self.telemetry is None:
+            return
+        events, self._trace_cursor = self.telemetry.tracer.events_since(
+            self._trace_cursor
+        )
+        self._pending_traces.extend(event.to_dict() for event in events)
+
+    async def flush(self) -> bool:
+        """Send one roll-up frame upstream; returns True when it left.
+
+        The delta baseline advances only after the frame is written *and
+        drained*: a flush lost to a dying connection keeps its changes
+        in the baseline difference, so the stream resynchronizes on the
+        next successful flush instead of silently losing a delta.
+        """
+        merged = merge_snapshots(
+            [snap for snap in self._child_metrics.values() if snap]
+        ) if self._child_metrics else {}
+        if not self._resync and snapshot_regressed(self._acked_merged, merged):
+            # A child died or restarted: series vanished or counters went
+            # backwards.  A delta can't express that — switch this flush
+            # to a full replacement so no stale series survives upstream
+            # and a restarted child is never double-counted.
+            self._resync = True
+            self._acked_merged = {}
+        delta = snapshot_delta(self._acked_merged, merged)
+        self._collect_local_traces()
+        if len(self._pending_traces) > self.trace_budget:
+            self.trace_dropped += len(self._pending_traces) - self.trace_budget
+            del self._pending_traces[self.trace_budget:]
+        statuses = {
+            origin: self._child_status[origin]
+            for origin in self._status_dirty if origin in self._child_status
+        }
+        members = sorted(set(self._child_status) | {str(o) for o in self._routes}
+                         | {str(n) for n in self._downstream
+                            if n not in self._child_proxies})
+        frame = Message.with_fields(
+            MsgType.W_AGG, self.addr, 0,
+            members=members,
+            departed=sorted(self._departed),
+            statuses=statuses,
+            metrics=delta,
+            traces=self._pending_traces,
+            trace_dropped=self.trace_dropped,
+            boots=self._boot_frames,
+            full=self._resync,
+        )
+        upstream = self._upstream_writer
+        if upstream is None or upstream.is_closing():
+            return False
+        try:
+            write_message(upstream, frame)
+            await upstream.drain()
+        except (ConnectionError, OSError):
+            return False
+        self._acked_merged = merged
+        self._resync = False
+        self._status_dirty.clear()
+        self._departed.clear()
+        self._pending_traces = []
+        self.trace_dropped = 0
+        self.agg_flushes += 1
+        self.relayed_up += 1
+        return True

@@ -84,25 +84,42 @@ def render_metrics(observer: Observer, limit: int | None = None) -> str:
     """The cluster-wide telemetry aggregate, one line per metric family.
 
     Counters and histograms show their sum across all label sets; gauges
-    show the sum of the freshest samples (total occupancy).  Empty when
-    no node reports metrics (telemetry disabled).
+    show the sum of the freshest samples (total occupancy).  Histogram
+    rows additionally estimate p50/p99 by linear interpolation over the
+    family's bucket-wise sum (the same estimator Prometheus's
+    ``histogram_quantile`` applies to the exported ``_bucket`` series).
+    Empty when no node reports metrics (telemetry disabled).
     """
+    from repro.telemetry.metrics import quantile_from_counts
+
     aggregate = observer.cluster_metrics()
     if not aggregate:
         return "(no metrics reported)"
-    lines = [f"{'metric':<48} {'kind':<10} {'series':>6} {'total':>14}"]
+    lines = [f"{'metric':<48} {'kind':<10} {'series':>6} {'total':>14} "
+             f"{'p50':>10} {'p99':>10}"]
     names = sorted(aggregate)
     if limit is not None:
         names = names[:limit]
     for name in names:
         metric = aggregate[name]
         series = metric.get("series", [])
+        p50 = p99 = "-"
         if metric.get("kind") == "histogram":
             total = sum(s.get("count", 0) for s in series)
+            if series and total:
+                bounds = series[0].get("buckets", [])
+                counts = [0] * (len(bounds) + 1)
+                for s in series:
+                    if s.get("buckets") == bounds:
+                        for i, c in enumerate(s.get("counts", [])):
+                            counts[i] += c
+                p50 = f"{quantile_from_counts(bounds, counts, 0.50):.4g}"
+                p99 = f"{quantile_from_counts(bounds, counts, 0.99):.4g}"
         else:
             total = sum(s.get("value", 0) for s in series)
         text = f"{total:.0f}" if float(total) == int(total) else f"{total:.3f}"
-        lines.append(f"{name:<48} {metric.get('kind', '?'):<10} {len(series):>6} {text:>14}")
+        lines.append(f"{name:<48} {metric.get('kind', '?'):<10} {len(series):>6} "
+                     f"{text:>14} {p50:>10} {p99:>10}")
     return "\n".join(lines)
 
 

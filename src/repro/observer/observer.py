@@ -28,6 +28,7 @@ from repro.core.msgtypes import MsgType
 from repro.observer.status import NodeStatus
 from repro.observer.topology import TopologySnapshot
 from repro.observer.trace import TraceLog
+from repro.telemetry.tracing import EventType, Tracer
 
 
 class ObserverTransport(Protocol):
@@ -67,6 +68,17 @@ class Observer:
         self.last_seen: dict[NodeId, float] = {}
         #: total leases ever expired by :meth:`expire_leases`
         self.lease_expiries = 0
+        #: nodes whose state arrives pre-reduced inside ``W_AGG`` frames
+        #: from an aggregating proxy subtree: the poll loop skips them
+        #: (their aggregator polls locally), which is what turns the
+        #: observer's fan-out from O(nodes) into O(direct children).
+        self.aggregated: set[NodeId] = set()
+        #: per-aggregator accumulated metric snapshots (deltas applied)
+        self._agg_metrics: dict[NodeId, dict] = {}
+        #: fleet-wide lifecycle tracer rebuilt from forwarded trace events
+        self.flow_tracer = Tracer(capacity=65536, enabled=True)
+        self.agg_frames = 0
+        self.agg_bytes = 0
 
     # ------------------------------------------------------------- incoming path
 
@@ -81,11 +93,73 @@ class Observer:
                 msg, received_at=self._transport.observer_now()
             )
         elif msg.type == MsgType.TRACE:
-            self.traces.record(
-                self._transport.observer_now(), msg.sender, msg.app, msg.payload.decode()
-            )
+            self._handle_trace(msg)
+        elif msg.type == MsgType.W_AGG:
+            self._handle_agg(msg)
         # Unknown types are ignored: the observer is never a single point
         # of failure for the data plane.
+
+    def _handle_trace(self, msg: Message) -> None:
+        """Record a TRACE frame; structured payloads carry a trace id."""
+        now = self._transport.observer_now()
+        text = msg.payload.decode()
+        tid = ""
+        if text.startswith("{"):
+            try:
+                fields = msg.fields()
+            except Exception:
+                fields = None
+            if fields is not None and "text" in fields:
+                text = str(fields["text"])
+                tid = str(fields.get("trace_id", ""))
+        self.traces.record(now, msg.sender, msg.app, text, trace_id=tid)
+
+    def _handle_agg(self, msg: Message) -> None:
+        """Fold one aggregation-tree flush into the fleet view.
+
+        The frame carries the subtree's membership, status roll-ups
+        (statuses were absorbed by the aggregator instead of being
+        relayed one by one), metric *deltas* since the aggregator's last
+        successful flush, and head-sampled lifecycle trace events.  Its
+        arrival renews the lease of every member — the subtree's
+        liveness signal is the flush itself.
+        """
+        now = self._transport.observer_now()
+        fields = msg.fields()
+        aggregator = msg.sender
+        self.agg_frames += 1
+        self.agg_bytes += msg.size
+        members = [NodeId.parse(text) for text in fields.get("members", [])]
+        for node in members:
+            self.alive.setdefault(node, None)
+            self.aggregated.add(node)
+            if self.lease_timeout is not None:
+                self.last_seen[node] = now
+        for text in fields.get("departed", []):
+            node = NodeId.parse(text)
+            self.aggregated.discard(node)
+            self.mark_down(node)
+        for node_text, status_fields in fields.get("statuses", {}).items():
+            try:
+                status = NodeStatus.from_fields(status_fields, received_at=now)
+            except Exception:
+                continue  # a malformed roll-up entry never kills the view
+            self.statuses[status.node] = status
+        delta = fields.get("metrics") or {}
+        if delta:
+            from repro.telemetry.metrics import merge_snapshots
+
+            held = self._agg_metrics.get(aggregator)
+            if fields.get("full") or held is None:
+                # First flush of a new upstream epoch carries the full
+                # accumulated snapshot: replace, never merge, or a
+                # proxy redial would double-count its whole subtree.
+                self._agg_metrics[aggregator] = delta
+            else:
+                self._agg_metrics[aggregator] = merge_snapshots([held, delta])
+        traces = fields.get("traces") or []
+        if traces:
+            self.flow_tracer.ingest(traces)
 
     def _handle_boot(self, msg: Message) -> None:
         """First level of bootstrap support: reply with random alive nodes."""
@@ -109,6 +183,7 @@ class Observer:
         self.alive.pop(node, None)
         self.statuses.pop(node, None)
         self.last_seen.pop(node, None)
+        self.aggregated.discard(node)
 
     # -------------------------------------------------------------------- leases
 
@@ -144,11 +219,22 @@ class Observer:
     # --------------------------------------------------------------- status polls
 
     def poll_all(self) -> int:
-        """Send a status ``request`` to every alive node; returns the count."""
+        """Send a status ``request`` to every *directly-attached* alive node.
+
+        Members of an aggregating subtree are skipped: their aggregator
+        polls them locally and flushes the roll-up upward, so the root's
+        request fan-out scales with its direct children (O(tree depth)
+        hops to any status), not with the fleet.  Returns the number of
+        requests sent.
+        """
         request = Message.with_fields(MsgType.REQUEST, self.OBSERVER_ID, CONTROL_APP)
+        polled = 0
         for node in list(self.alive):
+            if node in self.aggregated:
+                continue
             self._transport.observer_send(node, request.clone())
-        return len(self.alive)
+            polled += 1
+        return polled
 
     def topology(self) -> TopologySnapshot:
         """The overlay graph per the most recent status reports."""
@@ -169,6 +255,7 @@ class Observer:
         snapshots = [
             status.metrics for status in self.statuses.values() if status.metrics
         ]
+        snapshots.extend(self._agg_metrics.values())
         return merge_snapshots(snapshots) if snapshots else {}
 
     def prometheus(self) -> str:
@@ -176,6 +263,48 @@ class Observer:
         from repro.telemetry.exporters import to_prometheus
 
         return to_prometheus(self.cluster_metrics())
+
+    # ---------------------------------------------------------------- flow queries
+
+    def flow_events(self, trace_id: str) -> list:
+        """Forwarded lifecycle events of one message, time-ordered."""
+        return self.flow_tracer.events_for(trace_id)
+
+    def flow_path(self, trace_id: str) -> list[str]:
+        """The stitched node path one message took across the fleet."""
+        return self.flow_tracer.path(trace_id)
+
+    def flow_report(self, trace_id: str) -> dict:
+        """The stitched causal view of one message: path + per-hop dwell.
+
+        Works across worker boundaries because the trace id is a pure
+        function of the immutable wire header — every worker's tracer
+        assigns the identical id, and the aggregation tree forwards the
+        (head-sampled) events to this root.  Each hop reports when the
+        message was first and last seen on that node; the dwell is the
+        node's contribution to end-to-end latency.
+        """
+        events = self.flow_events(trace_id)
+        hops = []
+        for node in self.flow_path(trace_id):
+            times = [e.time for e in events if e.node == node]
+            hops.append({
+                "node": node,
+                "first_seen": min(times),
+                "last_seen": max(times),
+                "dwell": max(times) - min(times),
+                "events": [e.event for e in events if e.node == node],
+            })
+        forwards = [e for e in events if e.event == EventType.FORWARD]
+        return {
+            "trace_id": trace_id,
+            "path": [h["node"] for h in hops],
+            "hops": hops,
+            "events": [e.to_dict() for e in events],
+            "forwards": len(forwards),
+            "end_to_end": (max(e.time for e in events) - min(e.time for e in events))
+            if events else 0.0,
+        }
 
     # -------------------------------------------------------------- control panel
 

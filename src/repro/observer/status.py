@@ -37,7 +37,16 @@ class NodeStatus:
     @classmethod
     def from_message(cls, msg: Message, received_at: float) -> "NodeStatus":
         """Parse a ``STATUS`` message produced by an engine."""
-        fields = msg.fields()
+        return cls.from_fields(msg.fields(), received_at)
+
+    @classmethod
+    def from_fields(cls, fields: dict, received_at: float) -> "NodeStatus":
+        """Parse the dict form of a status report.
+
+        Aggregation frames (``W_AGG``) carry status roll-ups as plain
+        field dicts — the same shape a ``STATUS`` payload decodes to —
+        so proxied subtrees reconstruct through the identical parser.
+        """
         return cls(
             node=NodeId.parse(fields["node"]),
             received_at=received_at,

@@ -18,12 +18,22 @@ from repro.core.ids import NodeId
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One trace line: when, who, which application, what."""
+    """One trace line: when, who, which application, what.
+
+    ``trace_id`` is the wire-propagated message id (``sender/app#seq``)
+    when the traced text concerns one data message; empty otherwise.
+    The id is a pure function of the immutable message header, so the
+    same logical message yields the *same* id whether it was observed
+    under the virtual-time simulator or re-decoded from real sockets —
+    that identity is what lets dump comparisons (and the determinism
+    guard) cover traces that cross worker boundaries.
+    """
 
     time: float
     node: NodeId
     app: int
     text: str
+    trace_id: str = ""
 
 
 class TraceLog:
@@ -34,8 +44,13 @@ class TraceLog:
         #: per-path count of records already written by dump_jsonl
         self._dumped: dict[str, int] = {}
 
-    def record(self, time: float, node: NodeId, app: int, text: str) -> None:
-        self._records.append(TraceRecord(time, node, app, text))
+    def record(self, time: float, node: NodeId, app: int, text: str,
+               trace_id: str = "") -> None:
+        self._records.append(TraceRecord(time, node, app, text, trace_id))
+
+    def for_trace(self, trace_id: str) -> list[TraceRecord]:
+        """Records about one message, in arrival order."""
+        return [r for r in self._records if r.trace_id == trace_id]
 
     def __len__(self) -> int:
         return len(self._records)
@@ -78,7 +93,9 @@ class TraceLog:
         fresh = self._records[start:]
         lines = "".join(
             json.dumps(
-                {"time": r.time, "node": str(r.node), "app": r.app, "text": r.text}
+                {"time": r.time, "node": str(r.node), "app": r.app,
+                 "text": r.text, "trace_id": r.trace_id},
+                sort_keys=True,
             ) + "\n"
             for r in fresh
         )

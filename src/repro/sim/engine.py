@@ -345,6 +345,7 @@ class SimEngine(EngineCore):
                     label = port.label
                     ins.enqueued[label] += 1
                     port.wait_times.append(now)
+                    msg._hop_t0 = now  # this hop's clock starts here
                     if ins.tracer.enabled:
                         ins.trace_msg(now, EventType.ENQUEUE, msg, label)
             else:
@@ -446,8 +447,12 @@ class SimEngine(EngineCore):
             if ins is not None and msg.type == MsgType.DATA:
                 label = sender.label
                 ins.forwarded[label] += 1
+                now = self.kernel.now
+                t0 = msg._hop_t0
+                if t0 is not None:
+                    ins.observe_hop(now - t0 if now > t0 else 0.0)
                 if ins.tracer.enabled:
-                    ins.trace_msg(self.kernel.now, EventType.FORWARD, msg, label)
+                    ins.trace_msg(now, EventType.FORWARD, msg, label)
             self._send_space.set()
             self._wake.set()
 

@@ -223,6 +223,17 @@ class EngineInstruments:
             buckets=BATCH_BUCKETS,
         ).labels(node=node)
         self.observe_batch = self._batch.observe
+        # Per-hop node residence: enqueue (or source emit) to the forward
+        # write that put the message on the outgoing link.  Rolled up the
+        # observer tree, this is what gives the root true end-to-end
+        # p50/p99 flow latency without shipping every trace event.
+        self._hop = reg.histogram(
+            "ioverlay_hop_latency_seconds",
+            "Per-hop latency: arrival at a node to forward onto the next link",
+            ("node",),
+            buckets=QUEUE_WAIT_BUCKETS,
+        ).labels(node=node)
+        self.observe_hop = self._hop.observe
 
         # per-peer bound children, keyed by str(peer)
         self._by_peer: dict[tuple[str, str], CounterChild | GaugeChild] = {}

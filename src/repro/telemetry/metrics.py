@@ -28,6 +28,9 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "merge_snapshots",
+    "snapshot_delta",
+    "snapshot_regressed",
+    "quantile_from_counts",
 ]
 
 #: Default histogram bucket upper bounds, in seconds — tuned for queueing
@@ -94,6 +97,17 @@ class HistogramChild:
             running += n
             out.append(running)
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation.
+
+        Same estimator as PromQL's ``histogram_quantile``: find the
+        bucket whose cumulative count first reaches ``q * count`` and
+        interpolate linearly inside its ``(lower, upper]`` bound range.
+        Observations in the ``+Inf`` bucket clamp to the largest finite
+        bound.  Returns ``nan`` on an empty histogram.
+        """
+        return quantile_from_counts(self.bounds, self.counts, q)
 
 
 class _Metric:
@@ -342,6 +356,131 @@ def merge_snapshots(snapshots: Sequence[dict[str, Any]]) -> dict[str, Any]:
                 else:  # gauge: last writer wins
                     existing["value"] = entry["value"]
     return merged
+
+
+def snapshot_delta(prev: dict[str, Any], curr: dict[str, Any]) -> dict[str, Any]:
+    """What changed between two snapshots of the *same* source.
+
+    Returns a snapshot-form dict that, merged onto ``prev`` with
+    :func:`merge_snapshots`, reproduces ``curr``: counter series carry
+    ``curr - prev`` (dropped when zero), histogram series carry
+    bucket-wise count differences, gauges carry their current value only
+    when it changed.  This is the delta encoding the observer-proxy
+    aggregation tree forwards upward on every flush, so the root pays
+    for activity, not fleet size.
+
+    A series whose counter/histogram values *decreased* (the reporting
+    node restarted and its counters reset) is re-emitted in full, the
+    standard Prometheus counter-reset convention — the accumulated view
+    upstream stays monotone and the restarted node's fresh activity is
+    not silently discarded.
+    """
+    delta: dict[str, Any] = {}
+    for name, metric in curr.items():
+        prev_metric = prev.get(name)
+        prev_index = (
+            {_series_key(entry): entry for entry in prev_metric["series"]}
+            if prev_metric is not None else {}
+        )
+        series_out = []
+        for entry in metric["series"]:
+            before = prev_index.get(_series_key(entry))
+            kind = metric["kind"]
+            if kind == "counter":
+                base = before["value"] if before is not None else 0.0
+                diff = entry["value"] - base
+                if diff < 0:  # counter reset: re-emit in full
+                    diff = entry["value"]
+                if diff:
+                    series_out.append({"labels": dict(entry["labels"]), "value": diff})
+            elif kind == "histogram":
+                if before is not None and before["buckets"] == entry["buckets"]:
+                    counts = [a - b for a, b in zip(entry["counts"], before["counts"])]
+                    total = entry["count"] - before["count"]
+                    total_sum = entry["sum"] - before["sum"]
+                    if total < 0 or any(c < 0 for c in counts):  # reset
+                        counts = list(entry["counts"])
+                        total, total_sum = entry["count"], entry["sum"]
+                else:
+                    counts = list(entry["counts"])
+                    total, total_sum = entry["count"], entry["sum"]
+                if total:
+                    series_out.append({
+                        "labels": dict(entry["labels"]),
+                        "buckets": list(entry["buckets"]),
+                        "counts": counts, "sum": total_sum, "count": total,
+                    })
+            else:  # gauge: forward only when the value moved
+                if before is None or before["value"] != entry["value"]:
+                    series_out.append({"labels": dict(entry["labels"]), "value": entry["value"]})
+        if series_out:
+            delta[name] = {
+                "kind": metric["kind"],
+                "help": metric.get("help", ""),
+                "labelnames": list(metric.get("labelnames", [])),
+                "series": series_out,
+            }
+    return delta
+
+
+def snapshot_regressed(prev: dict[str, Any], curr: dict[str, Any]) -> bool:
+    """True when ``curr`` is not a pure accumulation of ``prev``.
+
+    A regression — a whole metric or series vanishing, a counter or
+    histogram going backwards, or bucket bounds changing — means the
+    measured population itself changed (a child died or restarted), so a
+    *delta* against ``prev`` can no longer represent the truth: vanished
+    series would silently persist upstream and reset counters would
+    double-count.  The aggregation tree answers a regression with a
+    full-resync flush (``full=True``), replacing upstream state outright.
+    """
+    for name, metric in prev.items():
+        curr_metric = curr.get(name)
+        if curr_metric is None:
+            return True
+        index = {_series_key(e): e for e in curr_metric.get("series", [])}
+        kind = metric.get("kind")
+        for entry in metric.get("series", []):
+            now = index.get(_series_key(entry))
+            if now is None:
+                return True
+            if kind == "counter" and now["value"] < entry["value"]:
+                return True
+            if kind == "histogram" and (
+                now["count"] < entry["count"] or now["buckets"] != entry["buckets"]
+            ):
+                return True
+    return False
+
+
+def quantile_from_counts(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Linear-interpolation quantile over per-bucket (non-cumulative) counts.
+
+    ``counts`` has one more slot than ``bounds`` (the trailing ``+Inf``
+    bucket), exactly the interchange form of snapshot histogram series —
+    dashboards and CLI tools estimate percentiles from scraped
+    snapshots without a live :class:`HistogramChild`.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return float("nan")
+    rank = q * total
+    running = 0.0
+    for i, n in enumerate(counts):
+        if n == 0:
+            continue
+        if running + n >= rank:
+            if i >= len(bounds):  # +Inf bucket: clamp to last finite bound
+                return float(bounds[-1])
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i]
+            return lower + (upper - lower) * max(0.0, rank - running) / n
+        running += n
+    return float(bounds[-1])
 
 
 def _series_key(entry: dict[str, Any]) -> tuple[tuple[str, str], ...]:

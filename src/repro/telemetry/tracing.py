@@ -22,7 +22,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.core.message import Message
 
@@ -215,6 +215,42 @@ class Tracer:
 
     def events(self) -> list[TraceEvent]:
         return [self._event_at(slot) for slot in self._slots()]
+
+    def events_since(self, cursor: int) -> tuple[list[TraceEvent], int]:
+        """Events recorded after position ``cursor`` (a prior ``recorded``
+        value) that the ring still holds, plus the new cursor.
+
+        This is the incremental-read primitive the aggregating observer
+        proxy flushes with: each flush forwards only fresh events and
+        remembers where it stopped.  Events that aged out of the ring
+        between reads are simply unavailable (the ring's ``dropped``
+        counter accounts for them).
+        """
+        start = max(min(cursor, self._recorded), self.dropped)
+        events = [self._event_at(slot)
+                  for slot in self._slots()[start - self.dropped:]]
+        return events, self._recorded
+
+    def ingest(self, events: Iterable[dict[str, Any]]) -> int:
+        """Append event dicts produced by :meth:`TraceEvent.to_dict`.
+
+        The root observer rebuilds its fleet-wide tracer from the event
+        batches that aggregation frames carry upward; ids forwarded from
+        worker tracers keep stitching because they are pure functions of
+        the immutable message header.  Returns how many were appended.
+        """
+        count = 0
+        for event in events:
+            self.append_raw(
+                float(event.get("time", 0.0)),
+                str(event.get("node", "")),
+                str(event.get("event", "")),
+                str(event.get("trace_id", "")),
+                int(event.get("app", 0)),
+                event.get("detail") or {},
+            )
+            count += 1
+        return count
 
     def events_for(self, trace_id: str) -> list[TraceEvent]:
         """All events of one message, in time order."""

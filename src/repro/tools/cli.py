@@ -37,6 +37,7 @@ EXPERIMENTS: dict[str, str] = {
     "robustness": "repro.experiments.ext_robustness",
     "virtual-scaling": "repro.experiments.fig_virtual_scaling",
     "cluster-scaling": "repro.experiments.fig_cluster_scaling",
+    "observer-scaling": "repro.experiments.fig_observer_scaling",
 }
 
 
@@ -148,7 +149,36 @@ def main(argv: list[str] | None = None) -> int:
         help="placement policy for unpinned nodes (default round-robin)",
     )
     cluster_parser.add_argument(
+        "--fanout", type=int, default=0,
+        help="wire worker observer proxies into an aggregation tree with "
+             "this fan-out (default 0 = flat funnel)",
+    )
+    cluster_parser.add_argument(
+        "--flush-interval", type=float, default=None,
+        help="aggregation flush period in seconds (tree mode; default 0.5 "
+             "when --fanout is set)",
+    )
+    cluster_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="enable worker telemetry so roll-ups carry metrics and traces",
+    )
+    cluster_parser.add_argument(
         "--json", action="store_true", help="emit the cluster stats as JSON"
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="query a live observer for one message's stitched causal path",
+    )
+    trace_parser.add_argument(
+        "trace_id", help="deterministic message id (sender/app#seq)"
+    )
+    trace_parser.add_argument(
+        "--observer", required=True, metavar="IP:PORT",
+        help="root observer endpoint to query",
+    )
+    trace_parser.add_argument(
+        "--json", action="store_true", help="emit the raw flow report as JSON"
     )
 
     observe_parser = subparsers.add_parser(
@@ -235,6 +265,18 @@ def main(argv: list[str] | None = None) -> int:
             duration=args.duration,
             payload=args.payload,
             placement=args.placement,
+            fanout=args.fanout,
+            flush_interval=args.flush_interval,
+            telemetry=args.telemetry,
+            as_json=args.json,
+        )
+
+    if args.command == "trace":
+        from repro.tools.trace_cmd import run_trace
+
+        return run_trace(
+            trace_id=args.trace_id,
+            observer=args.observer,
             as_json=args.json,
         )
 

@@ -23,11 +23,16 @@ from repro.tools.signals import install_shutdown_handlers
 
 
 async def _run(workers: int, nodes: int, duration: float, payload: int,
-               placement: str, report_interval: float) -> dict:
+               placement: str, report_interval: float,
+               fanout: int, flush_interval: float | None,
+               telemetry: bool) -> dict:
     observer = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=report_interval)
     await observer.start()
     controller = ClusterController(observer, ClusterConfig(
         workers=workers, placement=placement,
+        observer_fanout=fanout,
+        observer_flush_interval=flush_interval,
+        worker_telemetry=telemetry,
     ))
     await controller.start()
     specs = chain_specs(nodes)
@@ -68,6 +73,9 @@ async def _run(workers: int, nodes: int, duration: float, payload: int,
             for name, state in controller.workers.items()
         },
         "statuses_reported": len(observer.observer.statuses),
+        "observer_frames_in": observer.frames_in,
+        "observer_bytes_in": observer.bytes_in,
+        "aggregation_frames": observer.observer.agg_frames,
         "interrupted": stop.is_set(),
     }
     await controller.stop()
@@ -82,6 +90,9 @@ def run_cluster(
     payload: int = 1000,
     placement: str = "round-robin",
     report_interval: float = 0.5,
+    fanout: int = 0,
+    flush_interval: float | None = None,
+    telemetry: bool = False,
     as_json: bool = False,
 ) -> int:
     if workers < 1:
@@ -90,8 +101,11 @@ def run_cluster(
     if nodes < 2:
         print("need at least 2 nodes for a chain")
         return 2
+    if fanout > 0 and flush_interval is None:
+        flush_interval = 0.5  # a tree of pure relays would reduce nothing
     stats = asyncio.run(_run(workers, nodes, duration, payload,
-                             placement, report_interval))
+                             placement, report_interval,
+                             fanout, flush_interval, telemetry))
     if as_json:
         print(json_mod.dumps(stats, indent=2))
         return 0
@@ -103,6 +117,10 @@ def run_cluster(
           f"{stats['end_to_end_rate'] / 1000:.1f} KB/s end-to-end")
     print(f"  control plane  : {stats['statuses_reported']}/{stats['nodes']} "
           f"nodes reported status through their worker's proxy")
+    print(f"  root observer  : {stats['observer_frames_in']} frames / "
+          f"{stats['observer_bytes_in']} bytes in"
+          + (f", {stats['aggregation_frames']} aggregated roll-ups"
+             if stats["aggregation_frames"] else ""))
     if stats["interrupted"]:
         print("  (window ended early by signal; drained gracefully)")
     return 0

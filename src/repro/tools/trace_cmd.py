@@ -1,0 +1,78 @@
+"""``ioverlay trace``: query a live observer for one message's causal path.
+
+Opens one identified connection to the root observer, sends a
+``FLOW_QUERY`` for the given trace id and renders the ``FLOW_REPLY`` —
+the stitched node path with per-hop dwell times.  Works across worker
+boundaries because the id is a pure function of the immutable wire
+header: every worker's tracer stamps the identical id, the aggregation
+tree forwards the (head-sampled) events to the root, and the root's
+flow tracer reassembles them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.net.framing import open_identified, read_message, write_message
+
+#: identity the query connection introduces itself with (port 2 is never
+#: a real node; the observer only needs *an* identity to route the reply)
+QUERY_ID = NodeId("0.0.0.0", 2)
+
+
+async def fetch_flow_report(
+    observer_addr: NodeId, trace_id: str, timeout: float = 10.0
+) -> dict:
+    """One FLOW_QUERY/FLOW_REPLY round trip against a live observer."""
+    reader, writer = await open_identified(observer_addr, QUERY_ID)
+    try:
+        write_message(writer, Message.with_fields(
+            MsgType.FLOW_QUERY, QUERY_ID, 0, trace_id=trace_id
+        ))
+        await writer.drain()
+        while True:
+            reply = await asyncio.wait_for(read_message(reader), timeout)
+            if reply.type == MsgType.FLOW_REPLY:
+                return reply.fields()
+    finally:
+        writer.close()
+
+
+def render_flow_report(report: dict) -> str:
+    """The stitched path as text: one line per hop with dwell latency."""
+    trace_id = report.get("trace_id", "")
+    hops = report.get("hops", [])
+    if not hops:
+        return f"no events recorded for trace {trace_id!r}"
+    lines = [
+        f"trace {trace_id}: {len(hops)} hop(s), "
+        f"{len(report.get('events', []))} event(s), "
+        f"end-to-end {report.get('end_to_end', 0.0) * 1000:.3f} ms"
+    ]
+    for i, hop in enumerate(hops):
+        events = ",".join(hop.get("events", []))
+        arrow = "    " if i == 0 else " -> "
+        lines.append(
+            f"{arrow}{hop['node']:<22} dwell {hop.get('dwell', 0.0) * 1000:9.3f} ms"
+            f"  [{events}]"
+        )
+    return "\n".join(lines)
+
+
+def run_trace(trace_id: str, observer: str, as_json: bool = False) -> int:
+    """CLI entry: fetch and print one flow report."""
+    addr = NodeId.parse(observer)
+    try:
+        report = asyncio.run(fetch_flow_report(addr, trace_id))
+    except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+        print(f"cannot query observer at {observer}: {exc}")
+        return 1
+    if as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_flow_report(report))
+    return 0 if report.get("hops") else 1

@@ -1,0 +1,102 @@
+"""Hierarchical observability plane, live: tree roll-ups + causal tracing.
+
+The acceptance scenario for the observer tree: a butterfly workload
+sharded across two real worker processes, with the workers' observer
+proxies wired into an aggregation tree (fanout 1: w1 flushes through
+w0's proxy).  A data message that crosses the worker boundary must
+yield ONE stitched causal path at the root observer — the deterministic
+``sender/app#seq`` trace id survives wire re-decode, so both workers'
+tracers label the same message identically — and the fleet-wide metric
+roll-up must carry non-empty ``ioverlay_hop_latency_seconds``
+observations recorded at forward time.
+"""
+
+import asyncio
+
+from repro.cluster.scenarios import (
+    BURST_CONTROL,
+    butterfly_specs,
+    wait_until,
+)
+
+from tests.cluster.helpers import poll_info, start_fleet, stop_fleet, wait_all_alive
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCrossWorkerTracing:
+    def test_butterfly_message_stitches_one_path_at_the_root(self):
+        app, count, size = 5, 6, 128
+        generations = count // 2
+
+        async def scenario():
+            observer, controller = await start_fleet(
+                workers=2,
+                observer_fanout=1,
+                observer_flush_interval=0.2,
+                worker_telemetry=True,
+                worker_trace_sample=1,
+            )
+            placed = await controller.deploy(butterfly_specs())
+            node_worker = {
+                str(p.node_id): p.worker for p in placed.values()
+            }
+            # round-robin genuinely spreads the butterfly over both workers
+            assert len(set(node_worker.values())) == 2
+            await wait_all_alive(observer, placed)
+
+            controller.send_control(
+                "A", BURST_CONTROL, param1=count, param2=size, app=app
+            )
+            for name in ("F", "G"):
+                await poll_info(
+                    controller, name,
+                    lambda i: i.get("decoded", 0) >= generations,
+                )
+
+            # The trace id is a pure function of the immutable header, so
+            # we can name the source's first data message without ever
+            # having seen it on the wire.
+            tid = f"{placed['A'].node_id}/{app}#0"
+
+            def stitched_across_workers() -> bool:
+                path = observer.observer.flow_path(tid)
+                workers = {node_worker[n] for n in path if n in node_worker}
+                return len(workers) >= 2
+
+            ok = await wait_until(stitched_across_workers, timeout=30.0)
+            assert ok, (
+                f"flow_path({tid!r}) never spanned both workers; "
+                f"last path: {observer.observer.flow_path(tid)}"
+            )
+
+            report = observer.observer.flow_report(tid)
+            assert report["path"] == observer.observer.flow_path(tid)
+            assert report["hops"], "stitched path has no per-hop entries"
+            for hop in report["hops"]:
+                assert hop["events"], f"hop {hop['node']} has no events"
+                assert hop["last_seen"] >= hop["first_seen"]
+                assert hop["dwell"] >= 0.0
+            # The message entered at the source, on its worker.
+            assert report["path"][0] == str(placed["A"].node_id)
+
+            # Hop latencies recorded at forward time rolled up to the root
+            # through the aggregation tree.
+            def hop_observations() -> int:
+                family = observer.observer.cluster_metrics().get(
+                    "ioverlay_hop_latency_seconds"
+                )
+                if not family:
+                    return 0
+                return int(sum(s.get("count", 0) for s in family["series"]))
+
+            ok = await wait_until(lambda: hop_observations() > 0, timeout=30.0)
+            assert ok, "no ioverlay_hop_latency_seconds observations at root"
+
+            # The fleet view was built from roll-up frames, not raw relays.
+            assert observer.observer.agg_frames > 0
+            await stop_fleet(observer, controller)
+
+        run(scenario())

@@ -1,0 +1,120 @@
+"""FLOW_QUERY round trips: the ``ioverlay trace`` wire path and renderer."""
+
+import asyncio
+
+from repro.core.ids import NodeId
+from repro.net.observer_server import ObserverServer
+from repro.telemetry.tracing import EventType
+from repro.tools.trace_cmd import fetch_flow_report, render_flow_report, run_trace
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def seed_flow(observer, tid: str) -> None:
+    """Plant one cross-node lifecycle the way W_AGG frames would."""
+    observer.flow_tracer.ingest([
+        {"time": 1.0, "node": "10.0.0.1:7000", "event": EventType.SOURCE_EMIT,
+         "trace_id": tid, "app": 3},
+        {"time": 1.2, "node": "10.0.0.1:7000", "event": EventType.FORWARD,
+         "trace_id": tid, "app": 3},
+        {"time": 1.5, "node": "10.0.0.2:7000", "event": EventType.ENQUEUE,
+         "trace_id": tid, "app": 3},
+        {"time": 1.9, "node": "10.0.0.2:7000", "event": EventType.DELIVER,
+         "trace_id": tid, "app": 3},
+    ])
+
+
+class TestFlowQueryWire:
+    def test_query_returns_stitched_report(self):
+        async def scenario():
+            server = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=5.0)
+            await server.start()
+            tid = "10.0.0.1:7000/3#0"
+            seed_flow(server.observer, tid)
+            report = await fetch_flow_report(server.addr, tid)
+            await server.stop()
+            return report
+
+        report = run(scenario())
+        assert report["trace_id"] == "10.0.0.1:7000/3#0"
+        assert report["path"] == ["10.0.0.1:7000", "10.0.0.2:7000"]
+        assert report["forwards"] == 1
+        assert abs(report["end_to_end"] - 0.9) < 1e-9
+        dwells = {h["node"]: h["dwell"] for h in report["hops"]}
+        assert abs(dwells["10.0.0.1:7000"] - 0.2) < 1e-9
+        assert abs(dwells["10.0.0.2:7000"] - 0.4) < 1e-9
+
+    def test_unknown_trace_yields_empty_report(self):
+        async def scenario():
+            server = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=5.0)
+            await server.start()
+            report = await fetch_flow_report(server.addr, "nobody/0#0")
+            await server.stop()
+            return report
+
+        report = run(scenario())
+        assert report["hops"] == []
+        assert report["path"] == []
+
+
+class TestRenderAndCli:
+    def test_render_lists_each_hop_with_dwell(self):
+        report = {
+            "trace_id": "t1", "path": ["a", "b"],
+            "hops": [
+                {"node": "a", "dwell": 0.2, "events": ["source-emit", "forward"]},
+                {"node": "b", "dwell": 0.4, "events": ["enqueue", "deliver"]},
+            ],
+            "events": [{}] * 4, "end_to_end": 0.9,
+        }
+        text = render_flow_report(report)
+        lines = text.splitlines()
+        assert "trace t1: 2 hop(s), 4 event(s)" in lines[0]
+        assert "900.000 ms" in lines[0]
+        assert lines[1].startswith("    a")
+        assert lines[2].startswith(" -> b")
+        assert "200.000 ms" in lines[1] and "[source-emit,forward]" in lines[1]
+
+    def test_render_empty_report(self):
+        assert "no events recorded" in render_flow_report(
+            {"trace_id": "t9", "hops": []}
+        )
+
+    def test_run_trace_exit_codes(self, capsys):
+        async def server_up():
+            server = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=5.0)
+            await server.start()
+            return server
+
+        # The CLI opens its own event loop, so drive the server from a
+        # thread and call run_trace from the main thread like a real user.
+        import threading
+
+        started = threading.Event()
+        holder = {}
+
+        def serve():
+            async def body():
+                server = await server_up()
+                seed_flow(server.observer, "s/1#0")
+                holder["addr"] = server.addr
+                started.set()
+                await asyncio.sleep(5.0)
+
+            try:
+                asyncio.run(body())
+            except Exception:
+                pass
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert started.wait(10.0)
+        addr = str(holder["addr"])
+        assert run_trace("s/1#0", addr) == 0
+        assert "2 hop(s)" in capsys.readouterr().out
+        assert run_trace("missing/0#0", addr) == 1
+        assert "no events recorded" in capsys.readouterr().out
+        assert run_trace("s/1#0", addr, as_json=True) == 0
+        assert '"trace_id": "s/1#0"' in capsys.readouterr().out

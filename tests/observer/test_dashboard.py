@@ -123,7 +123,14 @@ def test_render_metrics_panel_totals():
     text = render_metrics(net.observer)
     header, *rows = text.splitlines()
     assert "metric" in header and "total" in header
+    assert "p50" in header and "p99" in header
     rounds = next(r for r in rows if "switch_rounds_total" in r)
-    assert int(rounds.split()[-1]) > 0
+    # counter rows: numeric total, dash percentiles
+    assert int(rounds.split()[-3]) > 0
+    assert rounds.split()[-2:] == ["-", "-"]
+    # histogram rows carry interpolated percentiles within bucket range
+    hist = next(r for r in rows if "queue_wait_seconds" in r)
+    p50, p99 = (float(v) for v in hist.split()[-2:])
+    assert 0.0 <= p50 <= p99
     # limit trims the table deterministically (sorted by name).
     assert len(render_metrics(net.observer, limit=2).splitlines()) == 3

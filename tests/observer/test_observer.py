@@ -144,3 +144,67 @@ def test_topology_snapshot_from_statuses(observer):
     topology = observer.topology()
     assert [(e.src, e.dst) for e in topology.edges] == [(N[0], N[1]), (N[1], N[2])]
     assert topology.edges[0].rate == 5000.0
+
+
+# ------------------------------------------------------ trace-id determinism
+
+def test_trace_log_ids_identical_across_backends(tmp_path):
+    """The determinism guard covers cross-worker traces (satellite fix).
+
+    The same logical data message traced about on the simulator backend
+    (message delivered by reference) and on the net backend (TRACE frame
+    re-decoded from wire bytes) must land in the TraceLog with the
+    identical wire-propagated trace id, and incremental dump_jsonl must
+    write byte-identical lines on both.
+    """
+    from repro.telemetry.tracing import trace_id
+
+    data = Message(MsgType.DATA, N[3], 4, b"x" * 16, seq=9)
+    traced = Message.with_fields(
+        MsgType.TRACE, N[0], 4, text="relayed", trace_id=trace_id(data)
+    )
+
+    sim_observer = Observer(StubTransport(), seed=0)
+    net_observer = Observer(StubTransport(), seed=0)
+    sim_observer._transport.clock = 5.0
+    net_observer._transport.clock = 5.0
+    sim_observer.on_message(traced)                              # by reference
+    net_observer.on_message(Message.unpack(traced.pack()))       # off the wire
+
+    tid = f"{N[3]}/4#9"
+    assert trace_id(data) == tid
+    for obs in (sim_observer, net_observer):
+        records = obs.traces.for_trace(tid)
+        assert len(records) == 1
+        assert records[0].text == "relayed"
+        assert records[0].node == N[0]
+
+    sim_path = tmp_path / "sim.jsonl"
+    net_path = tmp_path / "net.jsonl"
+    assert sim_observer.traces.dump_jsonl(sim_path) == 1
+    assert net_observer.traces.dump_jsonl(net_path) == 1
+    assert sim_path.read_text() == net_path.read_text()
+    # Incremental: a second dump writes only what arrived in between.
+    sim_observer._transport.clock = 6.0
+    net_observer._transport.clock = 6.0
+    follow_up = Message.with_fields(
+        MsgType.TRACE, N[1], 4, text="delivered", trace_id=trace_id(data)
+    )
+    sim_observer.on_message(follow_up)
+    net_observer.on_message(Message.unpack(follow_up.pack()))
+    assert sim_observer.traces.dump_jsonl(sim_path) == 1
+    assert net_observer.traces.dump_jsonl(net_path) == 1
+    assert sim_path.read_text() == net_path.read_text()
+    import json
+
+    ids = [json.loads(line)["trace_id"]
+           for line in sim_path.read_text().splitlines()]
+    assert ids == [tid, tid]
+
+
+def test_plain_text_trace_has_no_trace_id(observer):
+    observer.on_message(Message(MsgType.TRACE, N[0], 1, b"free-form note"))
+    assert len(observer.traces) == 1
+    record = next(iter(observer.traces))
+    assert record.text == "free-form note"
+    assert record.trace_id == ""

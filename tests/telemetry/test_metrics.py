@@ -203,3 +203,118 @@ def test_merge_kind_mismatch_is_error():
     reg_b.gauge("m").labels().set(1)
     with pytest.raises(ValueError):
         merge_snapshots([reg_a.snapshot(), reg_b.snapshot()])
+
+
+# ----------------------------------------------------------------------- delta
+
+def test_delta_roundtrip_merge_reproduces_current():
+    from repro.telemetry.metrics import snapshot_delta
+
+    reg = build_registry()
+    prev = reg.snapshot()
+    reg.counter("msgs_total", "messages", ("node",)).labels(node="a").inc(2)
+    reg.gauge("depth", "buffer depth", ("node",)).labels(node="a").set(11)
+    reg.histogram("wait", "queue wait", ("node",), buckets=(0.1, 1.0)).labels(
+        node="a"
+    ).observe(0.5)
+    curr = reg.snapshot()
+
+    delta = snapshot_delta(prev, curr)
+    # Only what moved is carried: node=b's counter stayed put.
+    nodes = {s["labels"]["node"] for s in delta["msgs_total"]["series"]}
+    assert nodes == {"a"}
+    assert delta["msgs_total"]["series"][0]["value"] == 2
+    assert merge_snapshots([prev, delta]) == curr
+
+
+def test_delta_of_identical_snapshots_is_empty():
+    from repro.telemetry.metrics import snapshot_delta
+
+    snap = build_registry().snapshot()
+    assert snapshot_delta(snap, snap) == {}
+
+
+def test_delta_counter_reset_reemits_in_full():
+    from repro.telemetry.metrics import snapshot_delta
+
+    prev = build_registry().snapshot()
+    fresh = MetricsRegistry()
+    fresh.counter("msgs_total", "messages", ("node",)).labels(node="a").inc(1)
+    delta = snapshot_delta(prev, fresh.snapshot())
+    # The restarted node's counter went 3 -> 1: Prometheus reset
+    # convention re-emits the current value, never a negative delta.
+    assert delta["msgs_total"]["series"][0]["value"] == 1
+
+
+# ------------------------------------------------------------------ regression
+
+def test_regressed_false_on_pure_accumulation():
+    from repro.telemetry.metrics import snapshot_regressed
+
+    reg = build_registry()
+    prev = reg.snapshot()
+    assert not snapshot_regressed(prev, prev)
+    reg.counter("msgs_total", "messages", ("node",)).labels(node="a").inc()
+    assert not snapshot_regressed(prev, reg.snapshot())
+    assert not snapshot_regressed({}, prev)  # growth from nothing
+
+
+def test_regressed_on_vanished_series_and_metric():
+    from repro.telemetry.metrics import snapshot_regressed
+
+    prev = build_registry().snapshot()
+    # Whole metric gone.
+    curr = {k: v for k, v in prev.items() if k != "msgs_total"}
+    assert snapshot_regressed(prev, curr)
+    # One series gone (a child died).
+    import copy
+
+    curr = copy.deepcopy(prev)
+    curr["msgs_total"]["series"] = [
+        s for s in curr["msgs_total"]["series"] if s["labels"]["node"] != "b"
+    ]
+    assert snapshot_regressed(prev, curr)
+
+
+def test_regressed_on_backwards_counter_and_histogram():
+    import copy
+
+    from repro.telemetry.metrics import snapshot_regressed
+
+    prev = build_registry().snapshot()
+    curr = copy.deepcopy(prev)
+    curr["msgs_total"]["series"][0]["value"] -= 1
+    assert snapshot_regressed(prev, curr)
+
+    curr = copy.deepcopy(prev)
+    curr["wait"]["series"][0]["count"] = 0
+    curr["wait"]["series"][0]["counts"] = [0, 0, 0]
+    assert snapshot_regressed(prev, curr)
+
+
+# ------------------------------------------------------------------- quantiles
+
+def test_quantile_from_counts_interpolates():
+    from math import isnan
+
+    from repro.telemetry.metrics import quantile_from_counts
+
+    bounds = [1.0, 2.0, 4.0]
+    # 10 observations uniformly inside (1, 2].
+    assert quantile_from_counts(bounds, [0, 10, 0, 0], 0.5) == 1.5
+    # Rank past the finite buckets clamps to the largest finite bound.
+    assert quantile_from_counts(bounds, [0, 0, 0, 5], 0.99) == 4.0
+    assert isnan(quantile_from_counts(bounds, [0, 0, 0, 0], 0.5))
+    with pytest.raises(ValueError):
+        quantile_from_counts(bounds, [1, 0, 0, 0], 1.5)
+
+
+def test_histogram_child_quantile_matches_observations():
+    hist = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+    child = hist.labels()
+    for value in (0.05, 0.05, 0.5, 0.5, 0.5, 0.5, 5.0, 5.0, 5.0, 5.0):
+        child.observe(value)
+    # p50 falls in the (0.1, 1.0] bucket, p99 in (1.0, 10.0].
+    assert 0.1 <= child.quantile(0.50) <= 1.0
+    assert 1.0 <= child.quantile(0.99) <= 10.0
+    assert child.quantile(0.0) <= child.quantile(1.0)

@@ -106,3 +106,45 @@ def test_dump_jsonl_full_rewrite_is_atomic(tmp_path):
     assert tracer.dump_jsonl(path, append=False) == 2  # idempotent rewrite
     assert len(path.read_text().splitlines()) == 2
     assert not (tmp_path / "events.jsonl.tmp").exists()
+
+
+def test_events_since_is_an_incremental_cursor():
+    tracer = Tracer()
+    tracer.record(1.0, "a", EventType.SOURCE_EMIT, "m1")
+    events, cursor = tracer.events_since(0)
+    assert [e.trace_id for e in events] == ["m1"]
+    # Nothing new: empty batch, cursor stable.
+    events, cursor = tracer.events_since(cursor)
+    assert events == [] and cursor == 1
+    tracer.record(2.0, "a", EventType.FORWARD, "m1")
+    tracer.record(3.0, "b", EventType.ENQUEUE, "m1")
+    events, cursor = tracer.events_since(cursor)
+    assert [e.event for e in events] == [EventType.FORWARD, EventType.ENQUEUE]
+    assert cursor == 3
+
+
+def test_events_since_skips_ring_dropped_events():
+    tracer = Tracer(capacity=2)
+    _, cursor = tracer.events_since(0)
+    for i in range(5):
+        tracer.record(float(i), "a", EventType.ENQUEUE, f"m{i}")
+    events, cursor = tracer.events_since(cursor)
+    # m0..m2 aged out of the 2-slot ring between reads.
+    assert [e.trace_id for e in events] == ["m3", "m4"]
+    assert tracer.dropped == 3
+
+
+def test_ingest_rebuilds_events_and_stitches_paths():
+    worker = Tracer()
+    worker.record(1.0, "n1", EventType.SOURCE_EMIT, "m1", app=2)
+    worker.record(2.0, "n1", EventType.FORWARD, "m1", app=2, peer="n2")
+    events, _ = worker.events_since(0)
+
+    root = Tracer()
+    # A second worker saw the same message (identical wire-derived id).
+    root.record(3.0, "n2", EventType.DELIVER, "m1", app=2)
+    assert root.ingest(e.to_dict() for e in events) == 2
+    assert root.path("m1") == ["n1", "n2"]
+    restored = root.events_for("m1")[1]
+    assert restored.detail == {"peer": "n2"}
+    assert restored.app == 2
