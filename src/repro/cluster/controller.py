@@ -77,6 +77,15 @@ class ClusterConfig:
     worker_telemetry: bool = False
     #: head-sampling divisor forwarded to the workers' tracers
     worker_trace_sample: int = 1
+    #: per-direction shared-memory ring capacity for cross-worker links
+    #: (:mod:`repro.net.shm`).  On by default: a fleet under one
+    #: controller is co-machine by construction, and the HELLO-time boot
+    #: cookie check falls back to TCP whenever that stops being true.
+    #: ``0`` forces plain TCP everywhere.
+    shm_ring_bytes: int = 1 << 20
+    #: run worker processes on uvloop when importable (opt-in; silently
+    #: falls back to stock asyncio, and W_REGISTER reports which one ran)
+    uvloop: bool = False
 
 
 @dataclass
@@ -96,6 +105,8 @@ class WorkerState:
     #: the worker's observer-proxy endpoint (from W_REGISTER); in tree
     #: mode later workers dial this instead of the root observer
     proxy_addr: str = ""
+    #: event-loop implementation the worker reported ("asyncio"/"uvloop")
+    loop_impl: str = ""
     #: spec name -> placement, in placement order (sinks-first order is
     #: preserved, which is what makes redeploys resolvable)
     placed: dict[str, PlacedNode] = dataclass_field(default_factory=dict)
@@ -274,6 +285,10 @@ class ClusterController:
         if self.config.worker_telemetry:
             argv += ["--telemetry", "--trace-sample",
                      str(self.config.worker_trace_sample)]
+        if self.config.shm_ring_bytes > 0:
+            argv += ["--shm-ring-bytes", str(self.config.shm_ring_bytes)]
+        if self.config.uvloop:
+            argv += ["--uvloop"]
         state.process = await asyncio.create_subprocess_exec(*argv, env=env)
         try:
             await asyncio.wait_for(waiter, self.config.register_timeout)
@@ -321,6 +336,7 @@ class ClusterController:
         state.chan = chan
         state.pid = int(fields.get("pid", 0))
         state.proxy_addr = str(fields.get("proxy", ""))
+        state.loop_impl = str(fields.get("loop", ""))
         waiter = self._register_waiters.pop(name, None)
         if waiter is not None and not waiter.done():
             waiter.set_result(state)

@@ -52,6 +52,8 @@ class WorkerHost:
         flush_interval: float | None = None,
         telemetry_enabled: bool = False,
         trace_sample: int = 1,
+        shm_ring_bytes: int = 0,
+        loop_impl: str = "asyncio",
     ) -> None:
         self.name = name
         self.controller_addr = controller_addr
@@ -64,6 +66,12 @@ class WorkerHost:
         self.flush_interval = flush_interval
         self.telemetry_enabled = telemetry_enabled
         self.trace_sample = trace_sample
+        #: ring capacity for the shared-memory fast path between co-machine
+        #: workers (0 = plain TCP); see :mod:`repro.net.shm`
+        self.shm_ring_bytes = shm_ring_bytes
+        #: event-loop implementation this process runs ("asyncio"/"uvloop"),
+        #: reported in the registration so benchmarks can attribute results
+        self.loop_impl = loop_impl
         self.telemetry = None
         self.proxy: ObserverProxy | None = None
         self.host: VirtualHost | None = None
@@ -97,7 +105,7 @@ class WorkerHost:
         # controller points later workers' upstreams at it.
         await self._chan.send(
             MsgType.W_REGISTER, name=self.name, pid=os.getpid(),
-            proxy=str(self.proxy.addr),
+            proxy=str(self.proxy.addr), loop=self.loop_impl,
         )
         self._tasks.append(asyncio.ensure_future(self._serve()))
         self._tasks.append(asyncio.ensure_future(self._heartbeat_loop()))
@@ -166,14 +174,16 @@ class WorkerHost:
             algorithm = build_algorithm(
                 str(fields["algorithm"]), dict(fields.get("kwargs", {}))
             )
-            config = None
-            if self.telemetry is not None:
-                from repro.net.engine import NetEngineConfig
+            from repro.net.engine import NetEngineConfig
 
-                # All co-hosted nodes share the worker's telemetry: one
-                # registry/tracer per process is what the aggregating
-                # proxy flushes upward.
-                config = NetEngineConfig(telemetry=self.telemetry)
+            # All co-hosted nodes share the worker's telemetry (one
+            # registry/tracer per process is what the aggregating proxy
+            # flushes upward) and the worker's shm-ring policy: dials to
+            # nodes on sibling co-machine workers negotiate shared-memory
+            # channels, dials landing co-hosted stay on loopback.
+            config = NetEngineConfig(
+                telemetry=self.telemetry, shm_ring_bytes=self.shm_ring_bytes
+            )
             engine = self.host.add_node(algorithm, config=config)
             await self.host.start_node(engine)
             self._engines[name] = engine
@@ -220,6 +230,7 @@ class WorkerHost:
             running=engine.running,
             algorithm=type(algorithm).__name__,
             downstreams=[str(peer) for peer in engine.downstreams()],
+            transports=engine.transport_mix(),
             info=info_hook() if callable(info_hook) else {},
         )
 
@@ -271,10 +282,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-sample", type=int, default=1,
                         help="head-sample lifecycle traces: record messages "
                              "with seq %% N == 0")
+    parser.add_argument("--shm-ring-bytes", type=int, default=0,
+                        help="per-direction shared-memory ring capacity for "
+                             "links to co-machine peers (0 disables)")
+    parser.add_argument("--uvloop", action="store_true",
+                        help="run on uvloop when importable (falls back to "
+                             "stock asyncio otherwise)")
     return parser
 
 
-async def _amain(args: argparse.Namespace) -> int:
+async def _amain(args: argparse.Namespace, loop_impl: str) -> int:
     worker = WorkerHost(
         name=args.name,
         controller_addr=NodeId.parse(args.controller),
@@ -284,6 +301,8 @@ async def _amain(args: argparse.Namespace) -> int:
         flush_interval=args.flush_interval,
         telemetry_enabled=args.telemetry,
         trace_sample=args.trace_sample,
+        shm_ring_bytes=args.shm_ring_bytes,
+        loop_impl=loop_impl,
     )
     stop = asyncio.Event()
     install_shutdown_handlers(stop)
@@ -299,8 +318,11 @@ async def _amain(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    from repro.net.loops import install_uvloop
+
+    loop_impl = install_uvloop(args.uvloop)
     try:
-        return asyncio.run(_amain(args))
+        return asyncio.run(_amain(args, loop_impl))
     except KeyboardInterrupt:  # signal raced the handler installation
         return 0
 

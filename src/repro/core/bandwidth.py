@@ -112,17 +112,31 @@ class NodeThrottle:
         self._links: dict[object, RateLimiter] = {
             dest: RateLimiter(rate) for dest, rate in spec.links.items()
         }
+        self._refresh_active()
+
+    def _refresh_active(self) -> None:
+        # Most nodes run fully unconstrained; one boolean lets the
+        # per-message reserve calls bail out before touching a limiter.
+        self.active = (
+            self._total.rate is not None
+            or self._up.rate is not None
+            or self._down.rate is not None
+            or any(l.rate is not None for l in self._links.values())
+        )
 
     # --- runtime updates (observer SET_BANDWIDTH) --------------------------------
 
     def set_total(self, rate: float | None) -> None:
         self._total.set_rate(rate)
+        self._refresh_active()
 
     def set_up(self, rate: float | None) -> None:
         self._up.set_rate(rate)
+        self._refresh_active()
 
     def set_down(self, rate: float | None) -> None:
         self._down.set_rate(rate)
+        self._refresh_active()
 
     def set_link(self, dest: object, rate: float | None) -> None:
         limiter = self._links.get(dest)
@@ -130,15 +144,19 @@ class NodeThrottle:
             self._links[dest] = RateLimiter(rate)
         else:
             limiter.set_rate(rate)
+        self._refresh_active()
 
     def drop_link(self, dest: object) -> None:
         """Forget per-link state when a link is torn down."""
         self._links.pop(dest, None)
+        self._refresh_active()
 
     # --- reservations -------------------------------------------------------------
 
     def reserve_send(self, dest: object, nbytes: int, now: float) -> float:
         """Book an outgoing message; returns the emulation delay in seconds."""
+        if not self.active:
+            return 0.0
         delay = self._up.reserve(nbytes, now)
         delay = max(delay, self._total.reserve(nbytes, now))
         link = self._links.get(dest)
@@ -148,6 +166,8 @@ class NodeThrottle:
 
     def reserve_recv(self, nbytes: int, now: float) -> float:
         """Book an incoming message; returns the emulation delay in seconds."""
+        if not self.active:
+            return 0.0
         delay = self._down.reserve(nbytes, now)
         return max(delay, self._total.reserve(nbytes, now))
 

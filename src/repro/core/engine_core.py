@@ -181,9 +181,64 @@ class EngineCore(ABC):
     def _on_engine_start(self) -> None:
         """Backend hook run when the engine loop begins (boot handshakes)."""
 
+    def _flush_round(self) -> None:
+        """Backend hook run once after every switch round that made progress.
+
+        The batching contract is *one flush per destination per round*,
+        not one per message.  The default is a no-op because both
+        shipped backends already satisfy the contract without work here:
+        the sim kernel has no flush concept, and the asyncio backend's
+        per-peer sender tasks wake at ``_yield_control`` and drain the
+        whole send queue into a single ``writer.drain()``.  A backend
+        whose transport needs an explicit end-of-round flush (e.g. one
+        buffering frames in the engine task itself) overrides this.
+        """
+
     def _source_pacing(self) -> float:
         """Delay between source emissions once flow control is satisfied."""
         return 0.0
+
+    def _credit_scale(self) -> int:
+        """Multiplier applied to port weights at each credit epoch.
+
+        Fairness between upstreams is a ratio of weights, so scaling
+        every allowance equally leaves it intact; what changes is the
+        granularity — one epoch moves ``weight * scale`` messages per
+        port.  The asyncio backend scales epochs up to batch size; the
+        simulator keeps per-message granularity (default 1) because its
+        figures observe the fine-grained interleaving.
+        """
+        return 1
+
+    def _rounds_per_wakeup(self) -> int:
+        """How many switch rounds one engine wakeup may run (default 1).
+
+        A credit epoch moves only ``weight`` messages per port, so with
+        one round per wakeup a relay forwards a single message per
+        scheduler pass no matter how many are buffered.  The asyncio
+        backend raises this so one wakeup sweeps the whole backlog into
+        the send queues and the per-peer sender flushes it as one
+        batch.  The simulator keeps the default: its figures depend on
+        the one-round-per-step interleaving, and virtual-clock wakeups
+        cost nothing anyway.  Weighted fairness is unaffected — rounds
+        replenish credits by weight, so the *ratio* between competing
+        upstreams holds regardless of how many rounds run back to back.
+        """
+        return 1
+
+    def _source_burst(self) -> int:
+        """How many messages the source emits per wakeup (default 1).
+
+        A backend whose scheduler round-robins many tasks (asyncio) can
+        raise this so each source wakeup emits a *wave*: downstream
+        sweeps, sender drains, and ring batches then carry the whole
+        wave per cycle, amortizing the fixed per-wakeup costs that
+        otherwise dominate when exactly one message trickles through the
+        pipeline per event-loop pass.  The simulator keeps the default —
+        its virtual clock makes wakeups free, and figure determinism
+        depends on the one-emission-per-step cadence.
+        """
+        return 1
 
     @abstractmethod
     def _send_buffer_levels(self) -> dict[str, int]:
@@ -330,8 +385,23 @@ class EngineCore(ABC):
         self.algorithm.on_start()
         while self._running:
             progressed = self._drain_control()
-            progressed = self._switch_round() or progressed
+            if self._switch_round():
+                progressed = True
             if progressed:
+                # Backend policy: keep switching while buffered work
+                # remains before flushing and yielding.  Bounded even
+                # with a large budget — the inner rounds consume the
+                # (bounded) receive buffers and cannot refill them,
+                # since IO tasks only run after the yield below.
+                extra = self._rounds_per_wakeup() - 1
+                while extra > 0:
+                    more = self._drain_control()
+                    if self._switch_round():
+                        more = True
+                    if not more:
+                        break
+                    extra -= 1
+                self._flush_round()
                 await self._yield_control()
             else:
                 # No await happened since the last state change we saw, so
@@ -510,7 +580,7 @@ class EngineCore(ABC):
                         break
             has_backlog = has_backlog and all_spent
         if has_backlog:
-            scheduler.replenish_credits()
+            scheduler.replenish_credits(self._credit_scale())
             if ins is not None:
                 ins.n_credit_epochs += 1
             progressed = True  # rerun the switch with fresh credits
@@ -596,25 +666,31 @@ class EngineCore(ABC):
         """Produce back-to-back data messages, flow-controlled by send buffers."""
         seq = 0
         while self._running and app in self._local_apps:
-            payload = self.algorithm.produce_payload(app, seq, payload_size)
-            msg = Message(MsgType.DATA, self._node_id, app, payload, seq=seq)
-            seq += 1
-            if self._ins is not None:
-                self._ins.n_source += 1
-                msg._hop_t0 = self.now()  # first hop starts at the source
-                if self._ins.tracer.enabled:
-                    self._ins.trace_msg(self.now(), EventType.SOURCE_EMIT, msg)
-            self._source_pending = []
-            try:
-                self.algorithm.process(msg)
-                while any(f.remaining for f in self._source_pending) and self._running:
-                    self._send_space.clear()
-                    await self._send_space.wait()
-                    for forward in self._source_pending:
-                        self._try_forward(forward)
-                    self._source_pending = [f for f in self._source_pending if f.remaining]
-            finally:
-                self._source_pending = None
+            # Emit a burst per wakeup (backend policy, default 1); flow
+            # control still applies per message, so a full send buffer
+            # parks the whole wave until space frees up.
+            for _ in range(self._source_burst()):
+                if not (self._running and app in self._local_apps):
+                    break
+                payload = self.algorithm.produce_payload(app, seq, payload_size)
+                msg = Message(MsgType.DATA, self._node_id, app, payload, seq=seq)
+                seq += 1
+                if self._ins is not None:
+                    self._ins.n_source += 1
+                    msg._hop_t0 = self.now()  # first hop starts at the source
+                    if self._ins.tracer.enabled:
+                        self._ins.trace_msg(self.now(), EventType.SOURCE_EMIT, msg)
+                self._source_pending = []
+                try:
+                    self.algorithm.process(msg)
+                    while any(f.remaining for f in self._source_pending) and self._running:
+                        self._send_space.clear()
+                        await self._send_space.wait()
+                        for forward in self._source_pending:
+                            self._try_forward(forward)
+                        self._source_pending = [f for f in self._source_pending if f.remaining]
+                finally:
+                    self._source_pending = None
             # Pace the producer: bounds event volume when sends are never
             # flow-controlled (see the backend's pacing policy).
             await self._sleep(self._source_pacing())
@@ -709,7 +785,14 @@ class EngineCore(ABC):
                 self._ins.trace_msg(self.now(), EventType.DROP, msg)
 
     def _track_downstream(self, app: AppId, dest: NodeId) -> None:
-        self._app_downstreams.setdefault(app, set()).add(dest)
+        # get-then-add: setdefault would allocate a throwaway set per call
+        peers = self._app_downstreams.get(app)
+        if peers is None:
+            peers = self._app_downstreams[app] = set()
+        peers.add(dest)
 
     def _track_upstream(self, app: AppId, peer: NodeId) -> None:
-        self._app_upstreams.setdefault(app, set()).add(peer)
+        peers = self._app_upstreams.get(app)
+        if peers is None:
+            peers = self._app_upstreams[app] = set()
+        peers.add(peer)

@@ -40,6 +40,13 @@ _HEADER_STRUCT = struct.Struct("!IIIIiI")
 #: "a maximum (but not necessarily fixed) length" — Section 2.2).
 MAX_PAYLOAD = 16 * 1024 * 1024
 
+# Interned sender ids, keyed by the header's (ip_int, port) pair.  An
+# engine receives frames from a handful of distinct senders, so the
+# NodeId (with its dataclass construction and validation) is built once
+# per peer instead of once per frame.  Bounded like the ids caches.
+_NODE_CACHE: dict[tuple[int, int], NodeId] = {}
+_NODE_CACHE_LIMIT = 16384
+
 
 class Message:
     """An application-layer message: 24-byte header plus payload.
@@ -49,7 +56,7 @@ class Message:
     """
 
     __slots__ = ("_type", "_sender", "_app", "seq", "_payload", "_trace_id",
-                 "_hop_t0")
+                 "_hop_t0", "_raw", "_raw_seq")
 
     def __init__(
         self,
@@ -78,6 +85,13 @@ class Message:
         # by-reference multicast may restamp it, which can shorten but
         # never corrupt the observed hop latency.
         self._hop_t0: float | None = None
+        # Wire-frame cache: messages that arrived off the wire keep
+        # their frame bytes, so a relay re-sends the identical buffer
+        # without re-packing (and byte identity across hops is literal).
+        # ``_raw_seq`` guards the one mutable header field: the cache is
+        # only valid while ``seq`` still matches it.
+        self._raw: bytes | None = None
+        self._raw_seq = seq
 
     # --- read-only header accessors -------------------------------------------
 
@@ -99,26 +113,56 @@ class Message:
     @property
     def payload(self) -> bytes:
         """The application data carried by this message."""
-        return self._payload
+        payload = self._payload
+        if payload is None:
+            # Materialized on first touch: pure relays forward the raw
+            # frame without ever slicing the payload out of it.
+            payload = self._payload = self._raw[HEADER_SIZE:]  # type: ignore[index]
+        return payload
 
     @property
     def size(self) -> int:
         """Total wire size: header plus payload, in bytes."""
+        if self._payload is None:
+            return len(self._raw)  # type: ignore[arg-type]
         return HEADER_SIZE + len(self._payload)
 
     # --- codec -----------------------------------------------------------------
 
     def pack(self) -> bytes:
-        """Serialize to wire bytes (header then payload)."""
-        header = _HEADER_STRUCT.pack(
+        """Serialize to wire bytes (header then payload).
+
+        Messages unpacked off the wire (or packed once already) return
+        their cached frame as long as ``seq`` has not been rewritten —
+        the relay fast path sends the identical bytes it received.
+        """
+        raw = self._raw
+        if raw is not None and self._raw_seq == self.seq:
+            return raw
+        payload = self.payload
+        raw = _HEADER_STRUCT.pack(
             self._type,
             ip_to_int(self._sender.ip),
             self._sender.port,
             self._app,
             self.seq,
-            len(self._payload),
-        )
-        return header + self._payload
+            len(payload),
+        ) + payload
+        self._raw = raw
+        self._raw_seq = self.seq
+        return raw
+
+    def cached_frame(self) -> bytes | None:
+        """The wire frame, if one is already materialized and current.
+
+        Writers use this to emit a single pre-built buffer instead of
+        header + payload; ``None`` means the caller should pack (or
+        write the two buffers zero-copy).
+        """
+        raw = self._raw
+        if raw is not None and self._raw_seq == self.seq:
+            return raw
+        return None
 
     def header_bytes(self) -> bytes:
         """The packed 24-byte header alone.
@@ -134,7 +178,7 @@ class Message:
             self._sender.port,
             self._app,
             self.seq,
-            len(self._payload),
+            len(self.payload),
         )
 
     @classmethod
@@ -159,17 +203,25 @@ class Message:
                 f"payload length mismatch: header declares {payload_size}, "
                 f"buffer carries {total - HEADER_SIZE}"
             )
-        sender = NodeId(int_to_ip(ip_int), port)
+        sender = _NODE_CACHE.get((ip_int, port))
+        if sender is None:
+            sender = NodeId(int_to_ip(ip_int), port)
+            if len(_NODE_CACHE) < _NODE_CACHE_LIMIT:
+                _NODE_CACHE[(ip_int, port)] = sender
         # Fast path past __init__'s re-validation: every field was either
         # range-checked above or is structurally valid by construction.
+        # The payload stays unmaterialized (sliced lazily from the cached
+        # frame) so a pure relay never copies it out.
         msg = cls.__new__(cls)
         msg._type = type_
         msg._sender = sender
         msg._app = app
         msg.seq = seq
-        msg._payload = view[HEADER_SIZE:].tobytes() if payload_size else b""
+        msg._payload = None if payload_size else b""
         msg._trace_id = None
         msg._hop_t0 = None
+        msg._raw = data if type(data) is bytes else view.tobytes()
+        msg._raw_seq = seq
         return msg
 
     # --- copying ---------------------------------------------------------------
@@ -181,7 +233,7 @@ class Message:
         received must clone it first (Section 2.3); data messages may be
         forwarded by reference.
         """
-        return Message(self._type, self._sender, self._app, self._payload, seq=self.seq)
+        return Message(self._type, self._sender, self._app, self.payload, seq=self.seq)
 
     def with_seq(self, seq: int) -> "Message":
         """A copy sharing the payload but carrying a different sequence number."""
@@ -190,9 +242,11 @@ class Message:
         clone._sender = self._sender
         clone._app = self._app
         clone.seq = seq
-        clone._payload = self._payload
+        clone._payload = self.payload
         clone._trace_id = None
         clone._hop_t0 = None
+        clone._raw = None
+        clone._raw_seq = seq
         return clone
 
     # --- structured payload helpers ---------------------------------------------
@@ -219,7 +273,7 @@ class Message:
     def fields(self) -> dict[str, Any]:
         """Decode a JSON-object payload produced by :meth:`with_fields`."""
         try:
-            decoded = json.loads(self._payload.decode())
+            decoded = json.loads(self.payload.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise CodecError(f"payload is not a JSON object: {exc}") from exc
         if not isinstance(decoded, dict):
@@ -231,7 +285,7 @@ class Message:
     def __repr__(self) -> str:
         return (
             f"Message({type_name(self._type)}, sender={self._sender}, "
-            f"app={self._app}, seq={self.seq}, payload={len(self._payload)}B)"
+            f"app={self._app}, seq={self.seq}, payload={self.size - HEADER_SIZE}B)"
         )
 
     def __eq__(self, other: object) -> bool:
@@ -242,8 +296,8 @@ class Message:
             and self._sender == other._sender
             and self._app == other._app
             and self.seq == other.seq
-            and self._payload == other._payload
+            and self.payload == other.payload
         )
 
     def __hash__(self) -> int:
-        return hash((self._type, self._sender, self._app, self.seq, self._payload))
+        return hash((self._type, self._sender, self._app, self.seq, self.payload))

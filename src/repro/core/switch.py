@@ -98,6 +98,8 @@ class ReceiverPort:
     @property
     def blocked(self) -> bool:
         """True while a partially-forwarded message occupies this port."""
+        if not self.pending:  # the common case: skip the genexpr
+            return False
         return any(not forward.done for forward in self.pending)
 
     def add_pending(self, forward: PendingForward) -> None:
@@ -252,11 +254,18 @@ class SwitchScheduler:
         port.weight = weight
         port.credit = min(port.credit, weight)
 
-    def replenish_credits(self) -> None:
-        """Start a new deficit-round-robin epoch: credit = weight."""
+    def replenish_credits(self, scale: int = 1) -> None:
+        """Start a new deficit-round-robin epoch: credit = weight * scale.
+
+        ``scale`` coarsens the epoch without touching fairness: every
+        port's allowance grows by the same factor, so the *ratio*
+        between competing upstreams is preserved while each round moves
+        a batch instead of a single message (the asyncio backend uses
+        this to amortize per-round scheduler overhead).
+        """
         self.epochs += 1
         for port in self._seq:
-            port.credit = port.weight
+            port.credit = port.weight * scale
 
     @property
     def ports(self) -> list[ReceiverPort]:

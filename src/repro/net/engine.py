@@ -43,7 +43,8 @@ from repro.core.stats import LinkStats
 from repro.core.switch import ReceiverPort
 from repro.errors import BufferClosedError
 from repro.net.framing import (
-    expect_hello,
+    MAX_FRAME_PAYLOAD,
+    expect_hello_fields,
     open_identified,
     read_message,
     write_message,
@@ -86,6 +87,21 @@ class NetEngineConfig:
     #: (see :class:`repro.net.virtual.VirtualHost`); ``None`` means every
     #: peer is reached over a real socket.
     loopback: "LoopbackResolver | None" = None
+    #: shared-memory ring capacity per link direction, in bytes; ``0``
+    #: (the default) disables the co-machine fast path entirely.  When
+    #: set, peer dials offer ring channels in the HELLO (accepted only
+    #: when both sides carry the same boot cookie and have this enabled)
+    #: and fall back to plain TCP otherwise; the cluster layer enables
+    #: it for cross-worker links.  Ignored while chaos is installed —
+    #: fault injection targets the socket layer.
+    shm_ring_bytes: int = 0
+    #: messages the source emits per wakeup.  asyncio round-robins every
+    #: runnable task once per loop cycle, so a burst of K turns each
+    #: cycle's switch sweeps, sender drains, and ring batches into
+    #: K-frame waves instead of single-message trickles — the fixed
+    #: per-wakeup costs amortize across the wave.  Flow control still
+    #: bounds the in-flight total via the send buffers.
+    source_burst: int = 32
 
 
 @dataclass
@@ -257,6 +273,18 @@ class AsyncioEngine(EngineCore):
         """Peers this node holds a persistent connection to."""
         return list(self._peers)
 
+    def transport_mix(self) -> dict[str, int]:
+        """Live peer links counted by transport kind.
+
+        ``{"shm": 2, "tcp": 1}`` — the cluster benchmarks use this to
+        attribute throughput to the transport actually carrying it.
+        """
+        mix: dict[str, int] = {}
+        for peer in self._peers.values():
+            kind = getattr(peer.writer, "transport_kind", "tcp")
+            mix[kind] = mix.get(kind, 0) + 1
+        return mix
+
     def _request_connect(self, dest: NodeId) -> None:
         self._tasks.append(asyncio.ensure_future(self.connect(dest)))
 
@@ -277,6 +305,23 @@ class AsyncioEngine(EngineCore):
 
     def _source_pacing(self) -> float:
         return 0.0 if self._peers else 0.01  # nobody to talk to; do not spin
+
+    def _source_burst(self) -> int:
+        return self.config.source_burst if self._peers else 1
+
+    def _rounds_per_wakeup(self) -> int:
+        # Effectively "sweep the whole backlog, then flush + yield once":
+        # the inner rounds drain the bounded receive buffers and stop as
+        # soon as a round makes no progress, so a generous budget costs
+        # nothing when idle yet turns each wakeup into a full-batch sweep
+        # under load.
+        return 256
+
+    def _credit_scale(self) -> int:
+        # One credit epoch covers a whole batch instead of one message;
+        # DRR fairness ratios are preserved (every weight scales alike),
+        # only the interleaving granularity coarsens.
+        return 64
 
     def _send_buffer_levels(self) -> dict[str, int]:
         return {str(n): len(p.send_queue) for n, p in self._peers.items()}
@@ -398,6 +443,16 @@ class AsyncioEngine(EngineCore):
         chaos = self.config.chaos
         if chaos is not None:
             chaos.check_connect(self._node_id, dest)
+        elif self.config.shm_ring_bytes > 0:
+            # Offer shared-memory ring channels in the HELLO; the dial
+            # degrades to the plain-TCP connection it already opened
+            # when the peer is off-machine or has shm disabled.
+            from repro.net.shm import dial_shm
+
+            return await dial_shm(
+                dest, self._node_id, self.config.shm_ring_bytes,
+                self.config.connect_timeout, MAX_FRAME_PAYLOAD,
+            )
         reader, writer = await open_identified(
             dest, self._node_id, timeout=self.config.connect_timeout
         )
@@ -412,7 +467,25 @@ class AsyncioEngine(EngineCore):
                 delay = chaos.accept_delay_for(self._node_id)
                 if delay > 0:
                     await asyncio.sleep(delay)
-            peer_id = await expect_hello(reader)
+            peer_id, hello_fields = await expect_hello_fields(reader)
+            offer = hello_fields.get("shm")
+            if offer is not None:
+                # Answer the ring offer before the link goes live: the
+                # dialer blocks on our SHM_ACK verdict either way.
+                from repro.net.shm import accept_shm
+
+                endpoint = await accept_shm(
+                    offer, self._node_id, reader, writer,
+                    enabled=(
+                        self.config.shm_ring_bytes > 0
+                        and self.config.chaos is None
+                        and self._running
+                    ),
+                    max_payload=MAX_FRAME_PAYLOAD,
+                )
+                if endpoint is not None:
+                    self.accept_transport(peer_id, endpoint, endpoint)
+                    return
         except asyncio.CancelledError:
             writer.close()
             return
@@ -609,14 +682,21 @@ class AsyncioEngine(EngineCore):
                 writer = self._observer_writer
                 if writer is None or writer.is_closing():
                     break
-                msg = self._observer_outbox.head()
+                # Coalesced flush: write everything queued, then drain
+                # once.  Heads are popped only after the flush succeeds
+                # (at-least-once across reconnects, order preserved);
+                # pop_head's identity check skips any message the
+                # bounded outbox evicted while we were draining.
+                batch = self._observer_outbox.snapshot()
                 try:
-                    write_message(writer, msg)
+                    for msg in batch:
+                        write_message(writer, msg)
                     await writer.drain()
                 except (ConnectionError, OSError):
                     self._drop_observer_writer(writer)
                     break
-                self._observer_outbox.pop_head(msg)
+                for msg in batch:
+                    self._observer_outbox.pop_head(msg)
             writer = self._observer_writer
             if writer is not None and not writer.is_closing():
                 self._outbox_event.clear()
@@ -626,80 +706,156 @@ class AsyncioEngine(EngineCore):
     # ------------------------------------------------------------------ I/O tasks
 
     async def _sender_loop(self, peer: _Peer, epoch: int = 0) -> None:
+        """One writer per peer link, flushing whole batches per wakeup.
+
+        Every wakeup drains the entire ``send_queue`` and writes the
+        batch through one ``drain()`` — a writev-style flush that turns
+        N per-frame syscalls (or ring publishes) into one.  The switch
+        stages a round's worth of frames before this task runs again,
+        so a round's output to one destination leaves in a single
+        flush.  The rate limiter still paces per message: when a
+        reservation asks for a delay, everything already written is
+        flushed before the sleep so pacing never holds released bytes
+        hostage.
+        """
+        queue = peer.send_queue
+        throttle = self.throttle
+        writer = peer.writer
+        batch: list[Message] = []
         try:
             while self._running:
                 try:
-                    msg = await peer.send_queue.get()
+                    batch.append(await queue.get())
                 except BufferClosedError:
                     return
-                delay = self.throttle.reserve_send(peer.node, msg.size, self.now())
-                if delay > 0:
-                    if self._ins is not None:
-                        self._ins.on_throttle_stall("up", delay)
-                    await asyncio.sleep(delay)
+                if not queue.is_empty:
+                    batch.extend(queue.drain())
+                flushed = 0  # messages safely handed to the transport
                 try:
-                    write_message(peer.writer, msg)
-                    await peer.writer.drain()
+                    if throttle.active:
+                        for written, msg in enumerate(batch):
+                            delay = throttle.reserve_send(peer.node, msg.size, self.now())
+                            if delay > 0:
+                                if written > flushed:
+                                    await writer.drain()
+                                    flushed = written
+                                if self._ins is not None:
+                                    self._ins.on_throttle_stall("up", delay)
+                                await asyncio.sleep(delay)
+                            write_message(writer, msg)
+                    else:  # unconstrained: stage the whole batch back to back
+                        for msg in batch:
+                            write_message(writer, msg)
+                    await writer.drain()
+                    flushed = len(batch)
                 except (ConnectionError, OSError):
                     if self._running and peer.epoch == epoch:
-                        peer.stats_out.loss.record(msg.size)
+                        for msg in batch[flushed:]:
+                            peer.stats_out.loss.record(msg.size)
                         self._peer_failed(peer)
                     return
                 now = self.now()
-                peer.stats_out.throughput.record(msg.size, now)
                 ins = self._ins
-                if ins is not None and msg.type == MsgType.DATA:
-                    label = peer.port.label
-                    ins.forwarded[label] += 1
-                    t0 = msg._hop_t0
-                    if t0 is not None:
-                        ins.observe_hop(now - t0 if now > t0 else 0.0)
-                    if ins.tracer.enabled:
-                        ins.trace_msg(now, EventType.FORWARD, msg, label)
+                nbytes = 0
+                for msg in batch:
+                    nbytes += msg.size
+                peer.stats_out.throughput.record_bulk(nbytes, len(batch), now)
+                if ins is not None:
+                    for msg in batch:
+                        if msg.type == MsgType.DATA:
+                            label = peer.port.label
+                            ins.forwarded[label] += 1
+                            t0 = msg._hop_t0
+                            if t0 is not None:
+                                ins.observe_hop(now - t0 if now > t0 else 0.0)
+                            if ins.tracer.enabled:
+                                ins.trace_msg(now, EventType.FORWARD, msg, label)
+                batch.clear()
                 self._send_space.set()
                 self._wake.set()
         except asyncio.CancelledError:
             raise
 
     async def _receiver_loop(self, peer: _Peer, epoch: int = 0) -> None:
+        reader = peer.reader
+        throttle = self.throttle
+        buffer = peer.port.buffer
+        meter = peer.stats_in.throughput
+        # Batch surface (shm endpoints): after one awaited frame, every
+        # other frame of the same burst is handed over synchronously.
+        drain_frames = getattr(reader, "drain_frames", None)
+        data_type = MsgType.DATA
+        batch: list[Message] = []
         try:
             while self._running:
                 try:
-                    msg = await read_message(peer.reader)
+                    batch.append(await read_message(reader))
                 except (asyncio.IncompleteReadError, ConnectionError, OSError):
                     if self._running and peer.epoch == epoch:
                         self._peer_failed(peer)
                     return
+                if drain_frames is not None:
+                    more = drain_frames()
+                    if more:
+                        batch.extend(more)
+                now = self.now()
                 # Any inbound frame proves the link alive: reset the
                 # failure-detection ladder before anything can block.
-                peer.last_recv_at = self.now()
+                peer.last_recv_at = now
                 if peer.health != LinkHealth.LIVE:
                     peer.health = LinkHealth.LIVE
                     peer.probe_deadline = None
-                delay = self.throttle.reserve_recv(msg.size, self.now())
-                if delay > 0:
-                    if self._ins is not None:
-                        self._ins.on_throttle_stall("down", delay)
-                    await asyncio.sleep(delay)
-                peer.stats_in.throughput.record(msg.size, self.now())
-                if msg.type == MsgType.DATA:
+                nbytes = 0
+                data_only = True
+                for msg in batch:
+                    nbytes += msg.size
+                    if msg._type != data_type:
+                        data_only = False
+                if throttle.active:
+                    for msg in batch:
+                        delay = throttle.reserve_recv(msg.size, self.now())
+                        if delay > 0:
+                            if self._ins is not None:
+                                self._ins.on_throttle_stall("down", delay)
+                            await asyncio.sleep(delay)
+                meter.record_bulk(nbytes, len(batch), now)
+                ins = self._ins
+                if data_only and ins is None:
+                    # Pure data burst: one bulk append per buffer-space
+                    # window instead of per-message queue bookkeeping.
                     try:
-                        await peer.port.buffer.put(msg)  # type: ignore[attr-defined]
+                        placed = buffer.put_many_nowait(batch)
+                        while placed < len(batch):
+                            # Wake the engine *before* parking for space:
+                            # it is the one that frees the buffer.
+                            self._wake.set()
+                            await buffer.put(batch[placed])  # type: ignore[attr-defined]
+                            placed += 1
+                            placed += buffer.put_many_nowait(batch, placed)
                     except BufferClosedError:
                         return
-                    ins = self._ins
-                    if ins is not None:
-                        now = self.now()
-                        label = peer.port.label
-                        ins.enqueued[label] += 1
-                        peer.port.wait_times.append(now)
-                        msg._hop_t0 = now  # this hop's clock starts here
-                        if ins.tracer.enabled:
-                            ins.trace_msg(now, EventType.ENQUEUE, msg, label)
                 else:
-                    if msg.type == MsgType.BROKEN_SOURCE:
-                        self._propagate_broken_source(msg, peer.node)
-                    self._control.put_force(msg)
+                    for msg in batch:
+                        if msg._type == data_type:
+                            try:
+                                if not buffer.put_nowait(msg):
+                                    self._wake.set()  # engine frees the space
+                                    await buffer.put(msg)  # type: ignore[attr-defined]
+                            except BufferClosedError:
+                                return
+                            if ins is not None:
+                                now = self.now()
+                                label = peer.port.label
+                                ins.enqueued[label] += 1
+                                peer.port.wait_times.append(now)
+                                msg._hop_t0 = now  # this hop's clock starts here
+                                if ins.tracer.enabled:
+                                    ins.trace_msg(now, EventType.ENQUEUE, msg, label)
+                        else:
+                            if msg.type == MsgType.BROKEN_SOURCE:
+                                self._propagate_broken_source(msg, peer.node)
+                            self._control.put_force(msg)
+                batch.clear()
                 self._wake.set()
         except asyncio.CancelledError:
             raise

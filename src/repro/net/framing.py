@@ -11,14 +11,16 @@ the overlay node behind it.
 from __future__ import annotations
 
 import asyncio
+import json
 import struct
 
-from repro.core.ids import NodeId, int_to_ip
+from repro.core.ids import NodeId
 from repro.core.message import HEADER_SIZE, Message
 from repro.core.msgtypes import MsgType
 from repro.errors import CodecError
 
 _HEADER_STRUCT = struct.Struct("!IIIIiI")
+_META_LEN = struct.Struct("!I")
 
 #: refuse frames whose declared payload exceeds this (protects the reader)
 MAX_FRAME_PAYLOAD = 64 * 1024 * 1024
@@ -36,11 +38,13 @@ async def read_message(reader: asyncio.StreamReader) -> Message:
     if recv is not None:
         return await recv()
     header = await reader.readexactly(HEADER_SIZE)
-    type_, ip_int, port, app, seq, payload_size = _HEADER_STRUCT.unpack(header)
+    payload_size = _HEADER_STRUCT.unpack(header)[5]
     if payload_size > MAX_FRAME_PAYLOAD:
         raise CodecError(f"frame declares {payload_size} payload bytes; refusing")
     payload = await reader.readexactly(payload_size) if payload_size else b""
-    return Message(type_, NodeId(int_to_ip(ip_int), port), app, payload, seq=seq)
+    # Decoding through ``unpack`` keeps the received frame cached on the
+    # message, so relaying it re-sends the identical bytes unpacked here.
+    return Message.unpack(header + payload, max_payload=MAX_FRAME_PAYLOAD)
 
 
 def write_message(writer: asyncio.StreamWriter, msg: Message) -> None:
@@ -54,54 +58,91 @@ def write_message(writer: asyncio.StreamWriter, msg: Message) -> None:
     if send is not None:  # loopback endpoint: pass the object, zero-copy
         send(msg)
         return
+    frame = msg.cached_frame()
+    if frame is not None:  # relay fast path: one pre-built buffer
+        writer.write(frame)
+        return
     writer.write(msg.header_bytes())
     payload = msg.payload
     if payload:
         writer.write(payload)
 
 
-def hello_message(node: NodeId) -> Message:
-    """The identification frame opening every persistent connection."""
-    return Message.with_fields(MsgType.HELLO, node, 0, node=str(node))
+def hello_message(node: NodeId, **extra: object) -> Message:
+    """The identification frame opening every persistent connection.
+
+    ``extra`` carries capability fields (``None`` values are dropped) —
+    today only ``shm``, a shared-memory ring offer for co-machine peers
+    (see :mod:`repro.net.shm`).
+    """
+    fields = {key: value for key, value in extra.items() if value is not None}
+    return Message.with_fields(MsgType.HELLO, node, 0, node=str(node), **fields)
 
 
 # --- proxy envelopes ----------------------------------------------------------
 #
 # Frames relayed across an observer-proxy hop travel inside a PROXY
-# envelope carrying the inner frame as hex.  The inner frame's header is
-# preserved byte for byte, which is what propagates trace ids across
-# worker boundaries: the id is a pure function of (sender, app, seq), so
-# re-decoding the hex yields a message with the *identical* trace id the
-# originating worker recorded.
+# envelope: a 4-byte length, the JSON routing metadata (origin/dest),
+# then the inner frame's **raw bytes** — hex would double every proxied
+# byte on the observer plane.  The inner frame's header is preserved
+# byte for byte, which is what propagates trace ids across worker
+# boundaries: the id is a pure function of (sender, app, seq), so
+# re-decoding the suffix yields a message with the *identical* trace id
+# the originating worker recorded.
+
+
+def _proxy_envelope(sender: NodeId, meta: dict, frame_bytes: bytes) -> Message:
+    meta_bytes = json.dumps(meta, separators=(",", ":")).encode()
+    payload = b"".join((_META_LEN.pack(len(meta_bytes)), meta_bytes, frame_bytes))
+    return Message(MsgType.PROXY, sender, 0, payload)
 
 
 def wrap_proxy_up(proxy: NodeId, origin: NodeId, frame: Message) -> Message:
     """Wrap a node's upward frame for the single upstream connection."""
-    return Message.with_fields(
-        MsgType.PROXY, proxy, 0, origin=str(origin), frame=frame.pack().hex()
-    )
+    return _proxy_envelope(proxy, {"origin": str(origin)}, frame.pack())
+
+
+def wrap_proxy_up_bytes(proxy: NodeId, origin: str, frame_bytes: bytes) -> Message:
+    """Re-wrap an already-serialized inner frame (BOOT replay on redial)."""
+    return _proxy_envelope(proxy, {"origin": origin}, frame_bytes)
 
 
 def wrap_proxy_down(sender: NodeId, dest: NodeId, frame: Message) -> Message:
     """Wrap an observer's downward frame for a proxied node."""
-    return Message.with_fields(
-        MsgType.PROXY, sender, 0, dest=str(dest), frame=frame.pack().hex()
-    )
+    return _proxy_envelope(sender, {"dest": str(dest)}, frame.pack())
 
 
-def unwrap_proxy(fields: dict) -> Message:
-    """Decode the inner frame of a PROXY envelope's ``fields()``."""
-    return Message.unpack(bytes.fromhex(fields["frame"]))
+def proxy_meta(envelope: Message) -> dict:
+    """The envelope's routing metadata ({'origin': ...} or {'dest': ...})."""
+    payload = envelope.payload
+    (meta_len,) = _META_LEN.unpack_from(payload)
+    return json.loads(payload[4 : 4 + meta_len])
 
 
-def peek_frame_type(fields: dict) -> int:
+def proxy_frame_bytes(envelope: Message) -> bytes:
+    """The inner frame's raw wire bytes, without decoding them."""
+    payload = envelope.payload
+    (meta_len,) = _META_LEN.unpack_from(payload)
+    return payload[4 + meta_len :]
+
+
+def unwrap_proxy(envelope: Message) -> Message:
+    """Decode the inner frame of a PROXY envelope."""
+    return Message.unpack(proxy_frame_bytes(envelope))
+
+
+def peek_frame_type(envelope: Message) -> int:
     """The inner frame's message type without decoding the whole frame.
 
-    The type is the first 4 header bytes; aggregating proxies use this
-    to special-case BOOT frames passing through without paying a full
-    unpack per relayed envelope.
+    The type is the first 4 bytes after the metadata — one struct read
+    and one 4-byte slice, O(1) in the frame size; aggregating proxies
+    use this to special-case BOOT frames passing through without paying
+    a full unpack per relayed envelope.
     """
-    return int.from_bytes(bytes.fromhex(fields["frame"][:8]), "big")
+    payload = envelope.payload
+    (meta_len,) = _META_LEN.unpack_from(payload)
+    start = 4 + meta_len
+    return int.from_bytes(payload[start : start + 4], "big")
 
 
 async def open_identified(
@@ -118,7 +159,17 @@ async def open_identified(
 
 async def expect_hello(reader: asyncio.StreamReader, timeout: float = 10.0) -> NodeId:
     """Read the HELLO frame that must open an inbound connection."""
+    node, _ = await expect_hello_fields(reader, timeout)
+    return node
+
+
+async def expect_hello_fields(
+    reader: asyncio.StreamReader, timeout: float = 10.0
+) -> tuple[NodeId, dict]:
+    """Read an inbound HELLO; returns the identity plus capability fields
+    (the engine inspects ``fields["shm"]`` for a ring-channel offer)."""
     msg = await asyncio.wait_for(read_message(reader), timeout)
     if msg.type != MsgType.HELLO:
         raise CodecError(f"expected HELLO, got type {msg.type}")
-    return NodeId.parse(msg.fields()["node"])
+    fields = msg.fields()
+    return NodeId.parse(fields["node"]), fields

@@ -1,0 +1,30 @@
+"""Event-loop policy selection for the asyncio backend.
+
+The engine is loop-agnostic; the only policy decision is whether to
+install `uvloop <https://github.com/MagicStack/uvloop>`_ when the
+deployment opted in (``--uvloop`` on the worker / cluster CLIs, or
+``ClusterConfig.uvloop``).  uvloop is an optional accelerator, never a
+dependency: when the import fails the stock asyncio loop is used and
+the chosen implementation is reported through telemetry (worker
+registration carries a ``loop`` field) so a benchmark run can always
+tell which loop it actually measured.
+"""
+
+from __future__ import annotations
+
+
+def install_uvloop(enabled: bool) -> str:
+    """Install uvloop's event-loop policy if ``enabled`` and importable.
+
+    Returns the name of the loop implementation that will actually run
+    (``"uvloop"`` or ``"asyncio"``).  Must be called before the first
+    ``asyncio.run`` of the process — a running loop is never replaced.
+    """
+    if not enabled:
+        return "asyncio"
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        return "asyncio"
+    uvloop.install()
+    return "uvloop"

@@ -13,7 +13,14 @@ import time
 from repro.core.ids import NodeId
 from repro.core.message import Message
 from repro.core.msgtypes import MsgType
-from repro.net.framing import expect_hello, read_message, write_message
+from repro.net.framing import (
+    expect_hello,
+    proxy_meta,
+    read_message,
+    unwrap_proxy,
+    wrap_proxy_down,
+    write_message,
+)
 from repro.observer.observer import Observer
 
 
@@ -77,9 +84,7 @@ class ObserverServer:
             return
         if owner != node:
             # Wrap for the proxy, which routes to the right node downstream.
-            msg = Message.with_fields(
-                MsgType.PROXY, self.addr, 0, dest=str(node), frame=msg.pack().hex()
-            )
+            msg = wrap_proxy_down(self.addr, node, msg)
         write_message(writer, msg)
 
     def observer_now(self) -> float:
@@ -127,9 +132,8 @@ class ObserverServer:
 
     def _handle_proxied(self, proxy: NodeId, envelope: Message) -> None:
         """Unwrap a frame relayed on a proxy's single upstream connection."""
-        fields = envelope.fields()
-        inner = Message.unpack(bytes.fromhex(fields["frame"]))
-        origin = NodeId.parse(fields["origin"])
+        inner = unwrap_proxy(envelope)
+        origin = NodeId.parse(proxy_meta(envelope)["origin"])
         self._routes[origin] = proxy
         self.observer.on_message(inner)
 

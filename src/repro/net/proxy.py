@@ -56,9 +56,12 @@ from repro.net.framing import (
     expect_hello,
     open_identified,
     peek_frame_type,
+    proxy_frame_bytes,
+    proxy_meta,
     read_message,
     unwrap_proxy,
     wrap_proxy_up,
+    wrap_proxy_up_bytes,
     write_message,
 )
 from repro.net.resilience import BackoffPolicy, ObserverOutbox
@@ -118,8 +121,9 @@ class ObserverProxy:
         self._acked_merged: dict = {}
         #: full-resync pending: first flush after (re)connect replaces, not merges
         self._resync = True
-        #: origin str -> packed BOOT frame hex, replayed after a redial
-        self._boot_frames: dict[str, str] = {}
+        #: origin str -> packed BOOT frame bytes, replayed after a redial
+        #: (hex-encoded only when riding inside a W_AGG JSON ``boots`` map)
+        self._boot_frames: dict[str, bytes] = {}
         #: members that left since the last flush (reported once)
         self._departed: set[str] = set()
         self._pending_traces: list[dict] = []
@@ -246,13 +250,12 @@ class ObserverProxy:
             # remember BOOTs passing through, forward unchanged.
             self._child_proxies.add(origin)
             try:
-                fields = msg.fields()
-                member = NodeId.parse(fields["origin"])
+                member = NodeId.parse(proxy_meta(msg)["origin"])
             except Exception:
                 return
             self._routes[member] = origin
-            if self.aggregating and peek_frame_type(fields) == MsgType.BOOT:
-                self._boot_frames[str(member)] = fields["frame"]
+            if self.aggregating and peek_frame_type(msg) == MsgType.BOOT:
+                self._boot_frames[str(member)] = proxy_frame_bytes(msg)
             self._send_up(msg)
             return
         if msg.type == MsgType.W_AGG:
@@ -273,7 +276,7 @@ class ObserverProxy:
                 self._absorb_status(origin, msg)
                 return
             if msg.type == MsgType.BOOT:
-                self._boot_frames[str(origin)] = msg.pack().hex()
+                self._boot_frames[str(origin)] = msg.pack()
         self._send_up(wrap_proxy_up(self.addr, origin, msg))
 
     def _absorb_status(self, origin: NodeId, msg: Message) -> None:
@@ -304,6 +307,8 @@ class ObserverProxy:
             self._boot_frames.pop(origin, None)
             self._status_dirty.discard(origin)
             self._departed.add(origin)
+        for origin, frame_hex in fields.get("boots", {}).items():
+            self._boot_frames[origin] = bytes.fromhex(frame_hex)
         for origin, status_fields in fields.get("statuses", {}).items():
             self._child_status[origin] = status_fields
             self._status_dirty.add(origin)
@@ -315,7 +320,6 @@ class ObserverProxy:
                 self._child_metrics[key] = delta
             else:
                 self._child_metrics[key] = merge_snapshots([held, delta])
-        self._boot_frames.update(fields.get("boots", {}))
         self._pending_traces.extend(fields.get("traces", []))
         self.trace_dropped += int(fields.get("trace_dropped", 0))
         self.agg_absorbed += 1
@@ -341,13 +345,12 @@ class ObserverProxy:
                 return
             if envelope.type != MsgType.PROXY:
                 continue
-            fields = envelope.fields()
-            dest = NodeId.parse(fields["dest"])
+            dest = NodeId.parse(proxy_meta(envelope)["dest"])
             writer = self._downstream.get(dest)
             if writer is not None:
                 if writer.is_closing():
                     continue
-                write_message(writer, unwrap_proxy(fields))
+                write_message(writer, unwrap_proxy(envelope))
                 self.relayed_down += 1
                 continue
             # Not a direct child: route the envelope one level down the
@@ -396,17 +399,15 @@ class ObserverProxy:
         self._resync = True
         self._acked_merged = {}
         self._status_dirty.update(self._child_status)
-        for origin, frame_hex in self._boot_frames.items():
-            envelope = Message.with_fields(
-                MsgType.PROXY, self.addr, 0, origin=origin, frame=frame_hex
-            )
-            self._send_up(envelope)
+        for origin, frame_bytes in self._boot_frames.items():
+            self._send_up(wrap_proxy_up_bytes(self.addr, origin, frame_bytes))
             self.boots_replayed += 1
-        while self._outbox:
-            head = self._outbox.head()
-            upstream = self._upstream_writer
-            if upstream is None or upstream.is_closing():
-                break
+        # Coalesced replay: write every queued frame, popping each only
+        # after its write was accepted — the transport flushes the batch.
+        upstream = self._upstream_writer
+        if upstream is None or upstream.is_closing():
+            return
+        for head in self._outbox.snapshot():
             write_message(upstream, head)
             self.relayed_up += 1
             self._outbox.pop_head(head)
@@ -484,7 +485,9 @@ class ObserverProxy:
             metrics=delta,
             traces=self._pending_traces,
             trace_dropped=self.trace_dropped,
-            boots=self._boot_frames,
+            # JSON payload: raw frame bytes must be hex-armoured here (and
+            # only here — the relay path ships them raw).
+            boots={origin: frame.hex() for origin, frame in self._boot_frames.items()},
             full=self._resync,
         )
         upstream = self._upstream_writer

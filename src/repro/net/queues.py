@@ -91,6 +91,29 @@ class AsyncBoundedQueue(Generic[T]):
         self._wake(self._getters)
         return True
 
+    def put_many_nowait(self, items: list[T], start: int = 0) -> int:
+        """Append ``items[start:]`` up to capacity; returns how many fit.
+
+        One bulk append plus one waiter wake for a whole batch — the
+        batched receiver path uses this so a burst of frames does not
+        pay per-message queue bookkeeping.
+        """
+        if self._closed:
+            raise BufferClosedError("put on closed queue")
+        n = len(items) - start
+        if self._capacity is not None:
+            n = min(n, self._capacity - len(self._items))
+        if n <= 0:
+            return 0
+        if start == 0 and n == len(items):
+            self._items.extend(items)
+        else:
+            self._items.extend(items[start : start + n])
+        if self.on_size_change is not None:
+            self.on_size_change(n)
+        self._wake(self._getters)
+        return n
+
     def put_force(self, item: T) -> None:
         """Append past the capacity bound (small control traffic only)."""
         if self._closed:

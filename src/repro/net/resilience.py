@@ -20,6 +20,13 @@ small, deterministic policies on top of that passive core:
 Everything here is pure policy (no IO): the engine owns the sockets and
 asks these objects what to do next, which keeps the layer unit-testable
 and the injected randomness reproducible under a fixed seed.
+
+These policies are transport-agnostic on purpose.  A shared-memory ring
+link (:mod:`repro.net.shm`) keeps its TCP socket open as the liveness
+channel, so socket EOF still signals peer death instantly, and reactive
+``HEARTBEAT`` probes ride the ring like any other frame — the
+``LIVE -> SUSPECT -> PROBING -> DEAD`` ladder needs no shm-specific
+branch.
 """
 
 from __future__ import annotations
@@ -152,6 +159,16 @@ class ObserverOutbox:
     def head(self) -> Message:
         """The oldest queued message (kept queued until :meth:`pop_head`)."""
         return self._items[0]
+
+    def snapshot(self) -> list[Message]:
+        """All queued messages, oldest first, without removing them.
+
+        The engine's coalesced flush writes the whole snapshot, drains
+        the stream once, and only then pops each entry — preserving the
+        at-least-once contract: a failed flush leaves every message
+        queued for the next connection.
+        """
+        return list(self._items)
 
     def pop_head(self, msg: Message) -> None:
         """Drop ``msg`` if it is still the head (sent successfully)."""

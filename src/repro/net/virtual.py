@@ -99,6 +99,9 @@ class LoopbackEndpoint:
 
     __slots__ = ("_rx", "_tx")
 
+    #: transport label surfaced by the engine's ``transport_mix()``
+    transport_kind = "loopback"
+
     def __init__(self, rx: _LoopbackPipe, tx: _LoopbackPipe) -> None:
         self._rx = rx
         self._tx = tx

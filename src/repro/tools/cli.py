@@ -163,6 +163,20 @@ def main(argv: list[str] | None = None) -> int:
         help="enable worker telemetry so roll-ups carry metrics and traces",
     )
     cluster_parser.add_argument(
+        "--shm-ring-bytes", type=int, default=1 << 20, metavar="BYTES",
+        help="per-direction shared-memory ring size for cross-worker "
+             "links (default 1 MiB)",
+    )
+    cluster_parser.add_argument(
+        "--no-shm", action="store_true",
+        help="force plain TCP between workers (disable shm ring dialing)",
+    )
+    cluster_parser.add_argument(
+        "--uvloop", action="store_true",
+        help="run worker event loops on uvloop when it is installed "
+             "(silently falls back to stock asyncio otherwise)",
+    )
+    cluster_parser.add_argument(
         "--json", action="store_true", help="emit the cluster stats as JSON"
     )
 
@@ -268,6 +282,8 @@ def main(argv: list[str] | None = None) -> int:
             fanout=args.fanout,
             flush_interval=args.flush_interval,
             telemetry=args.telemetry,
+            shm_ring_bytes=0 if args.no_shm else args.shm_ring_bytes,
+            uvloop=args.uvloop,
             as_json=args.json,
         )
 

@@ -25,7 +25,7 @@ from repro.tools.signals import install_shutdown_handlers
 async def _run(workers: int, nodes: int, duration: float, payload: int,
                placement: str, report_interval: float,
                fanout: int, flush_interval: float | None,
-               telemetry: bool) -> dict:
+               telemetry: bool, shm_ring_bytes: int, uvloop: bool) -> dict:
     observer = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=report_interval)
     await observer.start()
     controller = ClusterController(observer, ClusterConfig(
@@ -33,6 +33,8 @@ async def _run(workers: int, nodes: int, duration: float, payload: int,
         observer_fanout=fanout,
         observer_flush_interval=flush_interval,
         worker_telemetry=telemetry,
+        shm_ring_bytes=shm_ring_bytes,
+        uvloop=uvloop,
     ))
     await controller.start()
     specs = chain_specs(nodes)
@@ -53,7 +55,15 @@ async def _run(workers: int, nodes: int, duration: float, payload: int,
     observer.observer.terminate_source(controller.node_id(source), app)
     await asyncio.sleep(report_interval)  # let the pipeline drain
 
-    sink_info = (await controller.node_info(sink))["info"]
+    sink_reply = await controller.node_info(sink)
+    sink_info = sink_reply["info"]
+    # The fleet's data plane is attributable: sum per-transport link
+    # counts over every node so the report says what carried the bytes.
+    transports: dict[str, int] = {}
+    for name in placed:
+        for kind, links in (await controller.node_info(name)).get(
+                "transports", {}).items():
+            transports[kind] = transports.get(kind, 0) + links
     stats = {
         "workers": workers,
         "nodes": nodes,
@@ -67,6 +77,10 @@ async def _run(workers: int, nodes: int, duration: float, payload: int,
         },
         "delivered_messages": int(sink_info.get("received", 0)),
         "end_to_end_rate": sink_info.get("received", 0) * payload / duration,
+        "transport_links": transports,
+        "worker_loops": {
+            name: state.loop_impl for name, state in controller.workers.items()
+        },
         "worker_gauges": {
             name: {"rss_kb": state.rss_kb, "loop_lag_ms": state.loop_lag_ms,
                    "nodes": state.node_count}
@@ -93,6 +107,8 @@ def run_cluster(
     fanout: int = 0,
     flush_interval: float | None = None,
     telemetry: bool = False,
+    shm_ring_bytes: int = 1 << 20,
+    uvloop: bool = False,
     as_json: bool = False,
 ) -> int:
     if workers < 1:
@@ -105,7 +121,8 @@ def run_cluster(
         flush_interval = 0.5  # a tree of pure relays would reduce nothing
     stats = asyncio.run(_run(workers, nodes, duration, payload,
                              placement, report_interval,
-                             fanout, flush_interval, telemetry))
+                             fanout, flush_interval, telemetry,
+                             shm_ring_bytes, uvloop))
     if as_json:
         print(json_mod.dumps(stats, indent=2))
         return 0
@@ -115,6 +132,11 @@ def run_cluster(
         f"{name}={count}" for name, count in sorted(stats["nodes_per_worker"].items())))
     print(f"  chain delivery : {stats['delivered_messages']} messages, "
           f"{stats['end_to_end_rate'] / 1000:.1f} KB/s end-to-end")
+    loops = sorted(set(stats["worker_loops"].values()))
+    print(f"  data plane     : " + (", ".join(
+        f"{links} {kind} link{'s' if links != 1 else ''}"
+        for kind, links in sorted(stats["transport_links"].items()))
+        or "no live links") + f"; event loop: {', '.join(loops)}")
     print(f"  control plane  : {stats['statuses_reported']}/{stats['nodes']} "
           f"nodes reported status through their worker's proxy")
     print(f"  root observer  : {stats['observer_frames_in']} frames / "

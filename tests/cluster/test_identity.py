@@ -78,6 +78,11 @@ class TestChainIdentity:
                 lambda i: i.get("received", 0) >= count, timeout=60.0,
             )
             digest = info["digests"][str(app)]
+            # Round-robin placement makes every chain hop cross-worker, so
+            # this digest really did travel the shared-memory rings (the
+            # fleet default), not TCP.
+            mid = await controller.node_info("n1")
+            assert set(mid["transports"]) == {"shm"}, mid["transports"]
             await stop_fleet(observer, controller)
             return digest
 

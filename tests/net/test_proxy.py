@@ -18,7 +18,15 @@ import pytest
 from repro.core.ids import NodeId
 from repro.core.message import Message
 from repro.core.msgtypes import MsgType
-from repro.net.framing import expect_hello, open_identified, read_message, write_message
+from repro.net.framing import (
+    expect_hello,
+    open_identified,
+    proxy_meta,
+    read_message,
+    unwrap_proxy,
+    wrap_proxy_down,
+    write_message,
+)
 from repro.net.proxy import ObserverProxy
 
 from tests.portalloc import next_addr
@@ -59,10 +67,7 @@ class FakeObserver:
         await asyncio.wait_for(self._connected.wait(), 5.0)
 
     def send_down(self, dest: NodeId, frame: Message):
-        envelope = Message.with_fields(
-            MsgType.PROXY, self.addr, 0, dest=str(dest), frame=frame.pack().hex()
-        )
-        write_message(self.writer, envelope)
+        write_message(self.writer, wrap_proxy_down(self.addr, dest, frame))
 
     async def stop(self):
         if self.writer is not None:
@@ -110,9 +115,8 @@ class TestRelayUp:
             for envelope in observer.envelopes:
                 assert envelope.type == MsgType.PROXY
                 assert envelope.sender == proxy.addr
-                fields = envelope.fields()
-                inner = Message.unpack(bytes.fromhex(fields["frame"]))
-                by_origin.setdefault(fields["origin"], []).append(
+                inner = unwrap_proxy(envelope)
+                by_origin.setdefault(proxy_meta(envelope)["origin"], []).append(
                     inner.fields()["text"]
                 )
             # per-origin FIFO order survives the relay, labels match

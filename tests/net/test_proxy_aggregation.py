@@ -15,7 +15,14 @@ import struct
 from repro.core.ids import NodeId
 from repro.core.message import Message
 from repro.core.msgtypes import MsgType
-from repro.net.framing import expect_hello, open_identified, read_message, write_message
+from repro.net.framing import (
+    expect_hello,
+    open_identified,
+    proxy_frame_bytes,
+    read_message,
+    unwrap_proxy,
+    write_message,
+)
 from repro.net.proxy import ObserverProxy
 from repro.net.resilience import BackoffPolicy
 from repro.telemetry import Telemetry
@@ -261,7 +268,7 @@ class TestUpstreamRedial:
 
             # The replayed BOOT is byte-identical to the original.
             replays = parent.envelopes[1:]
-            assert any(e.fields()["frame"] == boot.pack().hex() for e in replays)
+            assert any(proxy_frame_bytes(e) == boot.pack() for e in replays)
             # The resync flush re-carries the full accumulated snapshot
             # even though nothing changed since the last ack.
             resync = next(
@@ -313,7 +320,7 @@ class TestUpstreamRedial:
             # redial, in order ...
             texts = []
             for envelope in parent.envelopes:
-                inner = Message.unpack(bytes.fromhex(envelope.fields()["frame"]))
+                inner = unwrap_proxy(envelope)
                 if inner.type == MsgType.TRACE:
                     texts.append(inner.fields()["text"])
             assert texts == ["t3", "t4"]

@@ -8,7 +8,18 @@ from repro.core.ids import NodeId
 from repro.core.message import Message
 from repro.core.msgtypes import MsgType
 from repro.errors import BufferClosedError, CodecError
-from repro.net.framing import hello_message, read_message, write_message
+from repro.net.framing import (
+    expect_hello,
+    hello_message,
+    peek_frame_type,
+    proxy_frame_bytes,
+    proxy_meta,
+    read_message,
+    unwrap_proxy,
+    wrap_proxy_down,
+    wrap_proxy_up,
+    write_message,
+)
 from repro.net.queues import AsyncBoundedQueue
 
 SENDER = NodeId("127.0.0.1", 9999)
@@ -190,3 +201,143 @@ def test_hello_message_identifies_node():
     hello = hello_message(SENDER)
     assert hello.type == MsgType.HELLO
     assert hello.fields()["node"] == str(SENDER)
+
+
+def test_hello_capability_fields_drop_none():
+    hello = hello_message(SENDER, shm=None)
+    assert "shm" not in hello.fields()
+    offer = {"cookie": "boot", "c2s": "a", "s2c": "b", "size": 4096}
+    hello = hello_message(SENDER, shm=offer)
+    assert hello.fields()["shm"] == offer
+
+
+async def _serve_one_frame(raw: bytes):
+    """Write ``raw`` to a server-side reader, close, and read one message."""
+    outcome = {}
+    done = asyncio.Event()
+
+    async def handler(reader, writer):
+        try:
+            outcome["msg"] = await read_message(reader)
+        except Exception as exc:
+            outcome["error"] = exc
+        writer.close()
+        done.set()
+
+    server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+    port = server.sockets[0].getsockname()[1]
+    _, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    writer.close()  # EOF lands mid-frame for truncated inputs
+    await done.wait()
+    server.close()
+    await server.wait_closed()
+    return outcome
+
+
+def test_truncated_header_raises_incomplete_read():
+    raw = Message(MsgType.DATA, SENDER, 1, b"abcdef").pack()[:10]
+    outcome = run(_serve_one_frame(raw))
+    assert isinstance(outcome["error"], asyncio.IncompleteReadError)
+
+
+def test_truncated_payload_raises_incomplete_read():
+    raw = Message(MsgType.DATA, SENDER, 1, b"abcdef").pack()[:-3]
+    outcome = run(_serve_one_frame(raw))
+    assert isinstance(outcome["error"], asyncio.IncompleteReadError)
+
+
+def test_expect_hello_rejects_wrong_first_frame():
+    async def scenario():
+        outcome = {}
+        done = asyncio.Event()
+
+        async def handler(reader, writer):
+            try:
+                await expect_hello(reader, timeout=2.0)
+            except CodecError as exc:
+                outcome["error"] = str(exc)
+            writer.close()
+            done.set()
+
+        server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+        port = server.sockets[0].getsockname()[1]
+        _, writer = await asyncio.open_connection("127.0.0.1", port)
+        write_message(writer, Message(MsgType.DATA, SENDER, 1, b"not a hello"))
+        await writer.drain()
+        await done.wait()
+        writer.close()
+        server.close()
+        await server.wait_closed()
+        return outcome
+
+    outcome = run(scenario())
+    assert "expected HELLO" in outcome["error"]
+
+
+def test_batched_writes_do_not_interleave_frames():
+    """Many frames written before a single drain arrive intact and ordered.
+
+    ``write_message`` queues header and payload as two separate buffers;
+    this pins down that the writev-style batched flush (N frames, one
+    ``drain()``) never interleaves or reorders those buffers on the wire.
+    """
+    async def scenario():
+        received = []
+        done = asyncio.Event()
+        count = 50
+
+        async def handler(reader, writer):
+            for _ in range(count):
+                received.append(await read_message(reader))
+            writer.close()
+            done.set()
+
+        server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+        port = server.sockets[0].getsockname()[1]
+        _, writer = await asyncio.open_connection("127.0.0.1", port)
+        sent = [
+            Message(MsgType.DATA, SENDER, 1, bytes([i % 256]) * (i * 13 % 700), seq=i)
+            for i in range(count)
+        ]
+        for msg in sent:  # the whole batch rides one flush
+            write_message(writer, msg)
+        await writer.drain()
+        await done.wait()
+        writer.close()
+        server.close()
+        await server.wait_closed()
+        return received, sent
+
+    received, sent = run(scenario())
+    assert received == sent
+
+
+# --- proxy envelopes ----------------------------------------------------------
+
+
+def test_proxy_envelope_roundtrip_is_raw_bytes():
+    origin = NodeId("10.0.0.1", 4242)
+    inner = Message(MsgType.TRACE, origin, 3, b"\x00\xff binary \x01 payload", seq=9)
+    envelope = wrap_proxy_up(SENDER, origin, inner)
+    # No hex blow-up: the inner frame rides verbatim in the suffix.
+    assert proxy_frame_bytes(envelope) == inner.pack()
+    assert inner.pack() in envelope.payload
+    assert proxy_meta(envelope) == {"origin": str(origin)}
+    assert unwrap_proxy(envelope) == inner
+
+    down = wrap_proxy_down(SENDER, origin, inner)
+    assert proxy_meta(down) == {"dest": str(origin)}
+    assert unwrap_proxy(down) == inner
+
+
+def test_peek_frame_type_reads_only_the_type():
+    origin = NodeId("10.0.0.1", 4242)
+    big = Message(MsgType.BOOT, origin, 0, b"p" * 100_000)
+    envelope = wrap_proxy_up(SENDER, origin, big)
+    assert peek_frame_type(envelope) == MsgType.BOOT
+    # O(1) contract: peeking a corrupt suffix must not decode the frame.
+    corrupt = Message(MsgType.PROXY, SENDER, 0,
+                      envelope.payload[:30])  # truncated mid-frame
+    assert isinstance(peek_frame_type(corrupt), int)

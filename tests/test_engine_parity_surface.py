@@ -20,7 +20,8 @@ BACKENDS = {
 }
 
 #: overridable extension points, documented as such in EngineCore
-HOOKS = {"_yield_control", "_on_engine_start", "_source_pacing"}
+HOOKS = {"_yield_control", "_on_engine_start", "_source_pacing", "_source_burst",
+         "_rounds_per_wakeup", "_credit_scale", "_flush_round"}
 
 #: backends define their own constructor (it calls super().__init__)
 ALWAYS_ALLOWED = {"__init__"}
