@@ -36,7 +36,13 @@ The metrics, chosen to cover the layers of the fast path:
   tree (leaf proxies -> mid proxy -> root observer) per second;
 - ``observer_rollup_byte_reduction`` — same bench: bytes of child
   status traffic divided by root-observer ingress bytes, i.e. how many
-  bytes the aggregation tree absorbs per byte it forwards.
+  bytes the aggregation tree absorbs per byte it forwards;
+- ``churn_convergence_speed`` — bench_churn_convergence: 1000 divided
+  by the round at which a 300-node slotted run converges to the legal
+  ring after an adversarial start plus a churn window (deterministic;
+  guards repair latency in protocol rounds);
+- ``churn_slotted_node_rounds_per_sec`` — same bench: node-ticks the
+  slotted membership simulator executes per wall-clock second.
 
 Every metric is "higher is better".  Measurements use the best of
 several repetitions so a GC pause or scheduler blip cannot fail CI.
@@ -458,6 +464,40 @@ def test_observer_rollup_rate():
     assert reduction > 1.0
 
 
+def test_churn_convergence_rate():
+    """bench_churn_convergence: the self-stabilization repair path.
+
+    One seeded slotted run — 300 nodes starting from an adversarial
+    line topology, a 20-second Poisson churn window with a flash crowd —
+    yields two numbers:
+
+    - ``churn_convergence_speed``: 1000 / convergence-round, i.e. how
+      fast the SWIM view + ring corrector reach the sustained legal
+      ring after the churn window closes.  The DES is deterministic, so
+      this is an exact protocol property: a drop means a protocol
+      change made repair *slower in rounds*, not that the machine was
+      busy.
+    - ``churn_slotted_node_rounds_per_sec``: node-ticks the slotted
+      simulator executes per wall-clock second — the throughput that
+      bounds how large a population the 10^4–10^5-node experiments can
+      sweep.
+    """
+    from repro.experiments.fig_churn_convergence import run_slotted_point
+
+    point = run_slotted_point(
+        n_nodes=300, topology="line", seed=0,
+        churn=True, churn_duration=20.0, max_rounds=400,
+    )
+    assert point.convergence_round is not None, (
+        "slotted churn run never converged — repair is broken, not slow"
+    )
+    RESULTS["churn_convergence_speed"] = 1000.0 / point.convergence_round
+    RESULTS["churn_slotted_node_rounds_per_sec"] = (
+        point.stats.node_rounds / point.wall_seconds
+    )
+    assert RESULTS["churn_slotted_node_rounds_per_sec"] > 0
+
+
 # ------------------------------------------------------------------- persist
 
 
@@ -469,7 +509,7 @@ def test_zz_write_bench_json_and_guard():
     committed* history entry and the test fails on a >25% drop in any
     metric; without it the file is just rewritten with the new entry.
     """
-    assert len(RESULTS) == 10, f"expected all metrics collected, got {sorted(RESULTS)}"
+    assert len(RESULTS) == 12, f"expected all metrics collected, got {sorted(RESULTS)}"
 
     history: list[dict] = []
     if BENCH_FILE.exists():

@@ -16,21 +16,43 @@ from repro.core.msgtypes import MsgType
 
 
 class GossipAlgorithm(Algorithm):
-    """Relay each gossip message to known hosts with probability ``p``."""
+    """Relay each gossip message to known hosts with probability ``p``.
 
-    def __init__(self, probability: float = 0.5, seed: int | None = None) -> None:
+    The duplicate-suppression memory ``heard`` is bounded: entries
+    older than ``heard_ttl`` engine-clock seconds are pruned, and the
+    oldest entries are evicted once ``heard_capacity`` is exceeded, so
+    a long-lived node under a sustained rumour stream holds O(capacity)
+    state instead of growing forever.  Eviction trades perfect
+    suppression for boundedness — a rumour re-heard after falling out
+    of the window is treated as new, the standard bounded-dedup-cache
+    tradeoff.  Both policies read only the engine clock, so pruning is
+    deterministic under the virtual-time simulator.
+    """
+
+    def __init__(
+        self,
+        probability: float = 0.5,
+        seed: int | None = None,
+        heard_ttl: float = 120.0,
+        heard_capacity: int = 4096,
+    ) -> None:
         super().__init__(seed=seed)
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
+        if heard_ttl <= 0 or heard_capacity < 1:
+            raise ValueError("heard_ttl and heard_capacity must be positive")
         self.probability = probability
+        self.heard_ttl = heard_ttl
+        self.heard_capacity = heard_capacity
         self.heard: dict[bytes, float] = {}  # payload -> first-heard time
         self.relayed = 0
         self.duplicates = 0
+        self.evicted = 0
         self.register(MsgType.GOSSIP, self._on_gossip)
 
     def rumour(self, payload: bytes, app: AppId = 0) -> int:
         """Inject a new rumour originating at this node."""
-        self.heard[payload] = self.engine.now()
+        self._record(payload)
         msg = Message(MsgType.GOSSIP, self.node_id, app, payload)
         sent = self.disseminate(msg, self.known_hosts, p=1.0)
         self.relayed += sent
@@ -40,7 +62,23 @@ class GossipAlgorithm(Algorithm):
         if msg.payload in self.heard:
             self.duplicates += 1
             return Disposition.DONE
-        self.heard[msg.payload] = self.engine.now()
+        self._record(msg.payload)
         relay = Message(MsgType.GOSSIP, self.node_id, msg.app, msg.payload)
         self.relayed += self.disseminate(relay, self.known_hosts, p=self.probability)
         return Disposition.DONE
+
+    def _record(self, payload: bytes) -> None:
+        now = self.engine.now()
+        # ``heard`` is insertion-ordered and first-heard times are
+        # monotone, so expired entries are exactly a front prefix.
+        horizon = now - self.heard_ttl
+        while self.heard:
+            oldest = next(iter(self.heard))
+            if self.heard[oldest] > horizon:
+                break
+            del self.heard[oldest]
+            self.evicted += 1
+        while len(self.heard) >= self.heard_capacity:
+            del self.heard[next(iter(self.heard))]
+            self.evicted += 1
+        self.heard[payload] = now

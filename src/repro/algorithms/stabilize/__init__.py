@@ -1,0 +1,30 @@
+"""Self-stabilizing overlay maintenance (detector/corrector split).
+
+Berns' general framework ("Applications and Implications of a General
+Framework for Self-Stabilizing Overlay Networks") decomposes overlay
+self-stabilization into a *detector* — each node locally evaluates a
+predicate over its own adjacency — and a *corrector* — local link
+additions/removals that provably move any weakly-connected configuration
+toward the legal target topology.  This package implements that split
+for a ring target (the base of Chord-style overlays, and the hardest
+part of Götte/Scheideler's underlay-aware construction): pure invariant
+arithmetic in :mod:`repro.algorithms.stabilize.ring`, and the corrector
+as an :class:`~repro.core.algorithm.Algorithm` layered on SWIM
+membership in :mod:`repro.algorithms.stabilize.algorithm`.
+"""
+
+from repro.algorithms.stabilize.ring import (
+    RingPlan,
+    ideal_successors,
+    plan_repair,
+    ring_targets,
+)
+from repro.algorithms.stabilize.algorithm import SelfStabilizingRingAlgorithm
+
+__all__ = [
+    "RingPlan",
+    "ideal_successors",
+    "plan_repair",
+    "ring_targets",
+    "SelfStabilizingRingAlgorithm",
+]

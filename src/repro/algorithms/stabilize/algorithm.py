@@ -1,0 +1,171 @@
+"""The self-stabilizing ring corrector as an iOverlay algorithm.
+
+Layered directly on :class:`~repro.membership.swim.SwimMembershipAlgorithm`:
+SWIM supplies the believed-alive set, and every ``repair_interval`` the
+corrector evaluates the ring invariant against it
+(:func:`~repro.algorithms.stabilize.ring.plan_repair`) and issues
+corrective link requests.  Corrections use the engine-owned ``CONNECT``
+and ``DISCONNECT`` control types sent to *this* node — the same verbs
+the observer uses — so the engine performs the actual dial/teardown on
+either backend and the algorithm stays within its single ``send`` entry
+point.  The loop never terminates: after any fault (or any adversarial
+starting topology) the detector simply starts failing again and the
+corrector resumes, which is the self-stabilization property.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.stabilize.ring import plan_repair, ring_targets
+from repro.core.algorithm import Disposition
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.membership.protocol import SwimConfig
+from repro.membership.swim import SwimMembershipAlgorithm
+
+__all__ = ["SelfStabilizingRingAlgorithm"]
+
+_REPAIR_TOKEN = 41
+
+
+class SelfStabilizingRingAlgorithm(SwimMembershipAlgorithm):
+    """Converge outgoing links to the sorted-ring target, forever."""
+
+    def __init__(
+        self,
+        config: SwimConfig | None = None,
+        seed: int | None = None,
+        repair_interval: float | None = None,
+        n_successors: int = 1,
+    ) -> None:
+        super().__init__(config=config, seed=seed)
+        self.repair_interval = (
+            repair_interval if repair_interval is not None
+            else self.swim_config.period
+        )
+        self.n_successors = n_successors
+        #: links this corrector created and still owns
+        self._ring_links: set[NodeId] = set()
+        self.repairs = 0
+        self._repair_counter = None
+        self._legal_gauge = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def view_embedding(self):
+        """Bounded views and anti-entropy samples follow the Chord ring.
+
+        T-Man-style proximity selection on the ring embedding: the
+        bounded view converges to the node's surrounding arc (so its
+        successor is always in view), directed samples carry each peer
+        the entries nearest to *it*, and a newcomer is retained by its
+        successors, whose samples then reach the predecessors that must
+        repair toward it.
+        """
+        from repro.algorithms.dht.ring import CIRCLE, node_to_id
+
+        return node_to_id, CIRCLE
+
+    def on_start(self) -> None:
+        super().on_start()
+        self._bind_ring_telemetry()
+        self.engine.set_timer(self.repair_interval, _REPAIR_TOKEN)
+
+    def on_timer(self, token: int) -> Disposition | None:
+        if token != _REPAIR_TOKEN:
+            return super().on_timer(token)
+        self._repair()
+        self.engine.set_timer(self.repair_interval, _REPAIR_TOKEN)
+        return Disposition.DONE
+
+    def on_broken_link(self, msg: Message) -> Disposition | None:
+        result = super().on_broken_link(msg)
+        peer = NodeId.parse(msg.fields()["peer"])
+        # The engine already tore the link down; forget our claim on it
+        # so the next repair pass recreates it (or picks a new target).
+        self._ring_links.discard(peer)
+        return result
+
+    # ------------------------------------------------------------ inspection
+
+    def successor(self) -> NodeId | None:
+        """The node this corrector currently believes is its successor."""
+        if self.core is None:
+            return None
+        targets = ring_targets(
+            self.node_id, self.core.alive_members(), self.n_successors
+        )
+        return targets[0] if targets else None
+
+    def ring_legal(self) -> bool:
+        """Detector verdict: ideal targets linked, no stale ring links."""
+        if self.core is None:
+            return False
+        plan = plan_repair(
+            self.node_id, self.core.alive_members(),
+            self._ring_links, self.n_successors,
+        )
+        if not plan.legal:
+            return False
+        established = set(self.engine.downstreams())
+        return all(t in established for t in plan.targets)
+
+    # ------------------------------------------------------------- corrector
+
+    def _repair(self) -> None:
+        if self.core is None:
+            return
+        # Reclaim only links that actually exist: a CONNECT may still be
+        # dialing, and claiming it twice is harmless, but a link that
+        # died loudly must not linger in the owned set.
+        plan = plan_repair(
+            self.node_id, self.core.alive_members(),
+            self._ring_links, self.n_successors,
+        )
+        if plan.legal:
+            if self._legal_gauge is not None:
+                established = set(self.engine.downstreams())
+                self._legal_gauge.set(
+                    1.0 if all(t in established for t in plan.targets) else 0.0
+                )
+            return
+        if self._legal_gauge is not None:
+            self._legal_gauge.set(0.0)
+        for target in plan.connect:
+            self._ring_links.add(target)
+            self.repairs += 1
+            self.send(
+                Message.with_fields(
+                    MsgType.CONNECT, self.node_id, 0, dest=str(target)
+                ),
+                self.node_id,
+            )
+        for target in plan.disconnect:
+            self._ring_links.discard(target)
+            self.repairs += 1
+            self.send(
+                Message.with_fields(
+                    MsgType.DISCONNECT, self.node_id, 0, dest=str(target)
+                ),
+                self.node_id,
+            )
+        if self._repair_counter is not None:
+            self._repair_counter.inc(len(plan.connect) + len(plan.disconnect))
+
+    # -------------------------------------------------------------- telemetry
+
+    def _bind_ring_telemetry(self) -> None:
+        tel = getattr(getattr(self.engine, "config", None), "telemetry", None)
+        if tel is None:
+            return
+        reg = tel.registry
+        self._repair_counter = reg.counter(
+            "ioverlay_stabilize_repairs_total",
+            "Corrective link requests issued by the ring corrector",
+            ("node",),
+        ).labels(node=str(self.node_id))
+        self._legal_gauge = reg.gauge(
+            "ioverlay_stabilize_legal",
+            "Detector verdict: 1 when the local ring invariant holds",
+            ("node",),
+        ).labels(node=str(self.node_id))

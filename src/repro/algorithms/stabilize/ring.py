@@ -1,0 +1,84 @@
+"""Pure ring-invariant arithmetic for the self-stabilizing corrector.
+
+The target topology is the sorted ring over Chord identifiers
+(:func:`repro.algorithms.dht.ring.node_to_id`): in a *legal*
+configuration every node holds outgoing links to exactly its ``r``
+nearest clockwise successors among the alive nodes.  The detector is a
+pure predicate over (my id, my believed-alive set, my current ring
+links); the corrector is the connect/disconnect delta that makes the
+predicate true.  Keeping this module free of engines lets the same
+functions drive the full :class:`~repro.core.algorithm.Algorithm`
+corrector, the slotted 10^4-node simulator, and the experiment oracles
+that judge both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.dht.ring import distance, node_to_id
+from repro.core.ids import NodeId
+
+__all__ = ["RingPlan", "ring_targets", "plan_repair", "ideal_successors"]
+
+
+@dataclass(frozen=True)
+class RingPlan:
+    """The corrector's verdict for one node at one instant."""
+
+    targets: tuple[NodeId, ...]      # the r ideal clockwise successors
+    connect: tuple[NodeId, ...]      # links to create
+    disconnect: tuple[NodeId, ...]   # stale ring links to drop
+    legal: bool                      # detector: adjacency already ideal
+
+
+def ring_targets(node: NodeId, alive: list[NodeId], r: int = 1) -> list[NodeId]:
+    """The ``r`` nearest clockwise successors of ``node`` among ``alive``.
+
+    ``alive`` must not contain ``node`` itself.  With fewer than ``r``
+    candidates every alive node is a target (a tiny ring is a clique).
+    """
+    if not alive:
+        return []
+    me = node_to_id(node)
+    if len(alive) <= r:
+        return sorted(alive, key=lambda n: distance(me, node_to_id(n)))
+    return sorted(alive, key=lambda n: distance(me, node_to_id(n)))[:r]
+
+
+def plan_repair(
+    node: NodeId,
+    alive: list[NodeId],
+    ring_links: set[NodeId],
+    r: int = 1,
+) -> RingPlan:
+    """Detector + corrector in one pass.
+
+    ``ring_links`` is the set of links *this corrector* created and still
+    owns — the corrector never touches links other algorithms hold, so a
+    data tree and the repair ring can share a node without fighting.
+    """
+    targets = ring_targets(node, alive, r)
+    target_set = set(targets)
+    connect = tuple(t for t in targets if t not in ring_links)
+    disconnect = tuple(t for t in ring_links if t not in target_set)
+    return RingPlan(
+        targets=tuple(targets),
+        connect=connect,
+        disconnect=disconnect,
+        legal=not connect and not disconnect,
+    )
+
+
+def ideal_successors(nodes: list[NodeId]) -> dict[NodeId, NodeId]:
+    """Oracle: the true successor of every node in a ground-truth set.
+
+    Sorts once by ring id; node i's successor is node i+1 (mod n).  Used
+    by experiments and tests to judge convergence — never by the
+    protocol itself, which only ever sees local views.
+    """
+    if len(nodes) < 2:
+        return {}
+    ordered = sorted(nodes, key=node_to_id)
+    n = len(ordered)
+    return {ordered[i]: ordered[(i + 1) % n] for i in range(n)}

@@ -41,7 +41,7 @@ from repro.cluster.spec import NodeSpec, PlacedNode, resolve_refs
 from repro.core.ids import AppId, NodeId
 from repro.core.message import Message
 from repro.core.msgtypes import MsgType
-from repro.errors import ClusterError
+from repro.errors import ClusterError, CodecError
 from repro.net.observer_server import ObserverServer
 from repro.telemetry import Telemetry
 from repro.telemetry.tracing import EventType
@@ -134,6 +134,10 @@ class ClusterController:
         self._register_waiters: dict[str, asyncio.Future] = {}
         #: worker name -> observer endpoint its proxy dials (tree wiring)
         self._upstreams: dict[str, str] = {}
+        #: worker name -> the proxy port its first incarnation bound; a
+        #: respawn re-binds it so downstream proxies redial the same
+        #: endpoint instead of needing their own restart
+        self._proxy_ports: dict[str, int] = {}
         self._tasks: list[asyncio.Task] = []
         self._running = False
         self.worker_deaths = 0
@@ -247,11 +251,13 @@ class ClusterController:
         """Launch one worker process and wait for its W_REGISTER.
 
         ``upstream`` overrides the observer endpoint the worker's proxy
-        dials (tree mode points it at a parent worker's proxy).  The
-        choice is remembered per name so a respawn reattaches to the
-        same upstream — note a respawned *mid-tree* worker's own proxy
-        binds a fresh port, so its children must also be respawned to
-        rewire; ``respawn=True`` with tree mode is therefore best-effort.
+        dials (tree mode points it at a parent worker's proxy).  Both
+        the upstream choice and the proxy port the first incarnation
+        bound are remembered per name: a respawned *mid-tree* worker
+        re-binds its predecessor's proxy port, so surviving children —
+        whose proxies already redial a lost upstream under backoff and
+        replay their BOOT frames — reattach to the same endpoint
+        without being restarted themselves.
         """
         assert self.addr is not None, "start() first"
         existing = self.workers.get(name)
@@ -289,6 +295,9 @@ class ClusterController:
             argv += ["--shm-ring-bytes", str(self.config.shm_ring_bytes)]
         if self.config.uvloop:
             argv += ["--uvloop"]
+        pinned_port = self._proxy_ports.get(name, 0)
+        if pinned_port:
+            argv += ["--proxy-port", str(pinned_port)]
         state.process = await asyncio.create_subprocess_exec(*argv, env=env)
         try:
             await asyncio.wait_for(waiter, self.config.register_timeout)
@@ -337,6 +346,13 @@ class ClusterController:
         state.pid = int(fields.get("pid", 0))
         state.proxy_addr = str(fields.get("proxy", ""))
         state.loop_impl = str(fields.get("loop", ""))
+        if state.proxy_addr:
+            try:
+                self._proxy_ports.setdefault(
+                    name, NodeId.parse(state.proxy_addr).port
+                )
+            except CodecError:
+                pass
         waiter = self._register_waiters.pop(name, None)
         if waiter is not None and not waiter.done():
             waiter.set_result(state)

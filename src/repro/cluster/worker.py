@@ -54,6 +54,7 @@ class WorkerHost:
         trace_sample: int = 1,
         shm_ring_bytes: int = 0,
         loop_impl: str = "asyncio",
+        proxy_port: int = 0,
     ) -> None:
         self.name = name
         self.controller_addr = controller_addr
@@ -72,6 +73,11 @@ class WorkerHost:
         #: event-loop implementation this process runs ("asyncio"/"uvloop"),
         #: reported in the registration so benchmarks can attribute results
         self.loop_impl = loop_impl
+        #: bind the observer proxy to this exact port (0 = ephemeral).  A
+        #: respawned worker is handed its predecessor's port so children
+        #: of a mid-tree aggregator redial the same endpoint instead of
+        #: needing a cascading restart.
+        self.proxy_port = proxy_port
         self.telemetry = None
         self.proxy: ObserverProxy | None = None
         self.host: VirtualHost | None = None
@@ -92,7 +98,7 @@ class WorkerHost:
 
             self.telemetry = Telemetry(trace_sample=self.trace_sample)
         self.proxy = ObserverProxy(
-            NodeId(self.ip, 0), self.observer_addr,
+            NodeId(self.ip, self.proxy_port), self.observer_addr,
             flush_interval=self.flush_interval, telemetry=self.telemetry,
         )
         await self.proxy.start()
@@ -288,6 +294,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--uvloop", action="store_true",
                         help="run on uvloop when importable (falls back to "
                              "stock asyncio otherwise)")
+    parser.add_argument("--proxy-port", type=int, default=0,
+                        help="bind the observer proxy to this exact port "
+                             "(a respawn reuses its predecessor's port so "
+                             "downstream proxies can redial)")
     return parser
 
 
@@ -303,6 +313,7 @@ async def _amain(args: argparse.Namespace, loop_impl: str) -> int:
         trace_sample=args.trace_sample,
         shm_ring_bytes=args.shm_ring_bytes,
         loop_impl=loop_impl,
+        proxy_port=args.proxy_port,
     )
     stop = asyncio.Event()
     install_shutdown_handlers(stop)

@@ -1,0 +1,48 @@
+"""Churn-hardened membership: SWIM-style gossip dissemination.
+
+The paper's observer hands every node a one-shot bootstrap sample; under
+sustained churn that snapshot rots immediately.  This package keeps
+``known_hosts`` alive instead: a SWIM-style epidemic membership protocol
+(:mod:`repro.membership.protocol`) runs as an ordinary
+:class:`~repro.core.algorithm.Algorithm`
+(:mod:`repro.membership.swim`), a deterministic churn driver generates
+Poisson arrival/departure schedules and adversarial initial topologies
+(:mod:`repro.membership.churn`), and a slotted round-based simulator
+(:mod:`repro.membership.slotted`) runs the identical protocol core at
+10^4-10^5 nodes where full engines would not fit.
+"""
+
+from repro.membership.churn import (
+    ChurnConfig,
+    ChurnEvent,
+    ChurnSchedule,
+    FlashCrowd,
+    adversarial_edges,
+)
+from repro.membership.protocol import (
+    ALIVE,
+    DEAD,
+    LEFT,
+    SUSPECT,
+    Member,
+    SwimConfig,
+    SwimCore,
+)
+from repro.membership.swim import MEMBER_MSG, SwimMembershipAlgorithm
+
+__all__ = [
+    "ALIVE",
+    "SUSPECT",
+    "DEAD",
+    "LEFT",
+    "Member",
+    "SwimConfig",
+    "SwimCore",
+    "MEMBER_MSG",
+    "SwimMembershipAlgorithm",
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "FlashCrowd",
+    "adversarial_edges",
+]

@@ -1,0 +1,210 @@
+"""SWIM membership as an ordinary iOverlay :class:`Algorithm`.
+
+The adapter owns everything the pure protocol core refuses to know
+about: message framing (one algorithm type, JSON fields), the engine
+timer that drives protocol periods, feeding discoveries and deaths into
+``known_hosts`` (so every gossip/dissemination primitive sees a *live*
+host set instead of the observer's one-shot bootstrap sample), the
+``ioverlay_membership_*`` telemetry counters and the membership trace
+events.  Loud link failures reported by the engine (``BROKEN_LINK``)
+short-circuit the probe cycle via :meth:`SwimCore.fail_fast`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.algorithm import Algorithm, Disposition
+from repro.core.ids import NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import ALGORITHM_TYPE_BASE, MsgType
+from repro.membership.protocol import DEAD, LEFT, SwimConfig, SwimCore
+from repro.telemetry.tracing import EventType
+
+__all__ = ["MEMBER_MSG", "SwimMembershipAlgorithm"]
+
+#: the single wire type all SWIM packets travel under
+MEMBER_MSG = ALGORITHM_TYPE_BASE + 40
+
+#: timer token driving protocol periods (two ticks per period)
+_TICK_TOKEN = 40
+
+_EVENT_TRACE = {
+    "join": EventType.MEMBER_JOIN,
+    "alive": EventType.MEMBER_REFUTE,
+    "refute": EventType.MEMBER_REFUTE,
+    "suspect": EventType.MEMBER_SUSPECT,
+    "dead": EventType.MEMBER_DEAD,
+    "left": EventType.MEMBER_LEFT,
+}
+
+_EVENT_COUNTER = {
+    "join": "joins",
+    "alive": "refutes",
+    "refute": "refutes",
+    "suspect": "suspects",
+    "dead": "deaths",
+    "left": "leaves",
+}
+
+
+class SwimMembershipAlgorithm(Algorithm):
+    """Keep ``known_hosts`` converged with the live overlay under churn."""
+
+    def __init__(
+        self,
+        config: SwimConfig | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.swim_config = config if config is not None else SwimConfig()
+        self.core: SwimCore | None = None
+        self._boot_hosts: set[NodeId] = set()
+        self._counters = None
+        self._proto_counter = None
+        self._proto_seen: dict[str, int] = {}
+        self._view_gauge = None
+        self._tracer = None
+        self.register(MEMBER_MSG, self._on_member_msg)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def view_embedding(self):
+        """Optional ``(embed, circle)`` ring embedding for bounded-view
+        retention and directed anti-entropy samples (``SwimCore.embed``)."""
+        return None
+
+    def on_start(self) -> None:
+        embedding = self.view_embedding()
+        embed, circle = embedding if embedding is not None else (None, 0)
+        self.core = SwimCore(
+            self.node_id,
+            self.swim_config,
+            rng=random.Random(self.rng.random()),
+            now=self.engine.now(),
+            embed=embed,
+            circle=circle,
+        )
+        self._boot_hosts = set(self.known_hosts)
+        for host in self.known_hosts:
+            self.core.note_member(host)
+        self.core.announce_join()
+        self._bind_telemetry()
+        self.engine.set_timer(self.swim_config.period / 2, _TICK_TOKEN)
+
+    def on_bootstrapped(self) -> None:
+        if self.core is None:
+            return
+        for host in list(self.known_hosts):
+            if self.core.state_of(host) in (DEAD, LEFT):
+                # Bootstrap replies are hints from an observer whose
+                # liveness view can lag (a BOOT in flight at the moment
+                # of death resurrects the sender there).  SWIM's verdict
+                # on a buried member outranks the hint.
+                self.known_hosts.discard(host)
+            else:
+                self._boot_hosts.add(host)
+                self.core.note_member(host)
+
+    def on_timer(self, token: int) -> Disposition | None:
+        if token != _TICK_TOKEN or self.core is None:
+            return Disposition.DONE
+        now = self.engine.now()
+        self._transmit(self.core.tick(now))
+        if not self.core.n_alive() and self._boot_hosts:
+            # Isolated: every member we knew is buried.  Re-contact the
+            # bootstrap seeds and re-announce under a bumped incarnation
+            # so a cluster that falsely buried us reopens the grave.
+            for host in self._boot_hosts:
+                self.core.note_member(host, force=True)
+            self.core.rejoin()
+        self._drain(now)
+        self.engine.set_timer(self.swim_config.period / 2, _TICK_TOKEN)
+        return Disposition.DONE
+
+    def on_broken_link(self, msg: Message) -> Disposition | None:
+        fields = msg.fields()
+        peer = NodeId.parse(fields["peer"])
+        # Only an outbound failure ("down": our dial or send toward the
+        # peer failed) is crash evidence.  An upstream teardown ("up" on
+        # sim, "both" on the net backend) is ambiguous — the peer may
+        # simply have disconnected deliberately (e.g. the ring corrector
+        # reshaping its links) — and suspecting it would start a
+        # suspicion/refutation flap; the probe cycle decides instead.
+        if self.core is not None and fields.get("direction") == "down":
+            self.core.fail_fast(peer, self.engine.now())
+            self._drain(self.engine.now())
+        # Do NOT drop the peer from known_hosts here (the base class
+        # default): suspicion + refutation decide, not one torn link.
+        return Disposition.DONE
+
+    def announce_leave(self) -> None:
+        """Gossip a graceful departure before the host stops this node."""
+        if self.core is not None:
+            self._transmit(self.core.announce_leave(self.engine.now()))
+
+    # ------------------------------------------------------------------ wire
+
+    def _on_member_msg(self, msg: Message) -> Disposition:
+        if self.core is not None and msg.sender != self.node_id:
+            now = self.engine.now()
+            self._transmit(self.core.handle(msg.sender, msg.fields(), now))
+            self._drain(now)
+        return Disposition.DONE
+
+    def _transmit(self, out: list[tuple[NodeId, dict]]) -> None:
+        for dest, packet in out:
+            self.send(
+                Message.with_fields(MEMBER_MSG, self.node_id, 0, **packet), dest
+            )
+
+    # ----------------------------------------------------------- view -> host
+
+    def _drain(self, now: float) -> None:
+        core = self.core
+        assert core is not None
+        for what, node, inc in core.drain_events():
+            if what in ("join", "alive"):
+                self.known_hosts.add(node)
+            elif what in ("dead", "left"):
+                self.known_hosts.discard(node)
+            if self._counters is not None:
+                self._counters.labels(kind=_EVENT_COUNTER[what]).inc()
+            if self._tracer is not None and self._tracer.enabled:
+                self._tracer.append_raw(
+                    now, str(self.node_id), _EVENT_TRACE[what],
+                    "", 0, {"peer": str(node), "incarnation": inc},
+                )
+        if self._view_gauge is not None:
+            self._view_gauge.set(core.n_alive())
+        if self._proto_counter is not None:
+            for kind in ("pings", "acks", "ping_reqs", "rumors_rx"):
+                value = core.counters[kind]
+                delta = value - self._proto_seen.get(kind, 0)
+                if delta:
+                    self._proto_seen[kind] = value
+                    self._proto_counter.labels(kind=kind).inc(delta)
+
+    # -------------------------------------------------------------- telemetry
+
+    def _bind_telemetry(self) -> None:
+        tel = getattr(getattr(self.engine, "config", None), "telemetry", None)
+        if tel is None:
+            return
+        reg = tel.registry
+        self._counters = reg.counter(
+            "ioverlay_membership_events_total",
+            "Membership conclusions reached by the SWIM protocol",
+            ("kind",),
+        )
+        self._proto_counter = reg.counter(
+            "ioverlay_membership_packets_total",
+            "SWIM probe/dissemination packet counts by kind",
+            ("kind",),
+        )
+        self._view_gauge = reg.gauge(
+            "ioverlay_membership_view_size",
+            "Members currently believed alive",
+            ("node",),
+        ).labels(node=str(self.node_id))
+        self._tracer = tel.tracer

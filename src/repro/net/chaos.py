@@ -293,6 +293,7 @@ class ChaosCluster:
         self._names: dict[NodeId, str] = {}
         self._handles: list[asyncio.TimerHandle] = []
         self._t0: float | None = None
+        self._node_factory = None
 
     # ---------------------------------------------------------------- topology
 
@@ -339,14 +340,26 @@ class ChaosCluster:
 
     # --------------------------------------------------------------- schedules
 
-    def arm(self, schedule: FailureSchedule) -> None:
+    def arm(self, schedule: FailureSchedule, node_factory=None) -> None:
         """Fire the schedule's events at wall-clock offsets from *now*.
 
         The same :class:`FailureSchedule` object arms against a
         :class:`~repro.sim.network.SimNetwork` (virtual time) or against
         this cluster (wall time): event semantics map one to one, with
         the chaos controller standing in for direct link handles.
+
+        ``node_factory`` (required when the schedule contains
+        ``join_node`` events) is an async callable ``(cluster, name)``
+        that creates and starts the arriving node — typically a wrapper
+        around :meth:`add_node` that also seeds a membership contact.
         """
+        if node_factory is None and any(
+            e.kind == "join_node" for e in schedule.events
+        ):
+            raise ValueError(
+                "schedule contains join_node events: arm(schedule, node_factory=...)"
+            )
+        self._node_factory = node_factory
         loop = asyncio.get_running_loop()
         self._t0 = loop.time()
         for event in sorted(schedule.events, key=lambda e: e.at):
@@ -356,6 +369,13 @@ class ChaosCluster:
         try:
             if event.kind == "kill_node":
                 asyncio.ensure_future(self.engine(event.node).stop())
+            elif event.kind == "join_node":
+                assert self._node_factory is not None
+                asyncio.ensure_future(
+                    self._node_factory(self, str(event.node))
+                )
+            elif event.kind == "leave_node":
+                asyncio.ensure_future(self._graceful_leave(event.node))
             elif event.kind == "cut_link":
                 assert event.peer is not None
                 self.chaos.cut_link(self[event.node], self[event.peer])
@@ -369,3 +389,15 @@ class ChaosCluster:
             # The target already failed or was torn down first; an
             # injected fault racing a real one is not an experiment error.
             pass
+
+    async def _graceful_leave(self, node: NodeId | str) -> None:
+        """Announce departure (when the algorithm can), then stop."""
+        try:
+            engine = self.engine(node)
+        except UnknownNodeError:
+            return
+        announce = getattr(engine.algorithm, "announce_leave", None)
+        if callable(announce):
+            announce()
+            await asyncio.sleep(0.05)  # let the final gossip blast drain
+        await engine.stop()

@@ -6,23 +6,52 @@ algorithm" (Section 3.1).  This module is the experiment-side toolkit:
 immediate or scheduled node kills, link cuts (loud) and link stalls
 (silent — only traffic-inactivity detection catches them), plus a
 declarative schedule runner.
+
+Churn support: schedules may also *grow* the deployment.  A
+``join_node`` event asks a caller-supplied ``node_factory(net, name)``
+to create and start a new node at fire time, and ``leave_node`` performs
+a graceful departure — the algorithm gets a chance to announce it (via
+an ``announce_leave()`` method, e.g. SWIM's gossip blast) before the
+engine terminates.  Together with the Poisson generators in
+:mod:`repro.membership.churn` this turns the one-shot fault schedule
+into a sustained-churn driver.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Callable, Literal
 
 from repro.core.ids import NodeId
-from repro.errors import UnknownNodeError
+from repro.errors import ConfigurationError, UnknownNodeError
 from repro.sim.network import SimNetwork
 
-FailureKind = Literal["kill_node", "cut_link", "stall_link", "kill_source"]
+FailureKind = Literal[
+    "kill_node", "cut_link", "stall_link", "kill_source", "join_node", "leave_node"
+]
+
+#: virtual seconds between a leave announcement and the engine teardown,
+#: so the departing node's final gossip blast drains its send queues
+LEAVE_GRACE = 0.05
+
+#: a join event's factory: create + start one node named ``name``
+NodeFactory = Callable[[SimNetwork, str], None]
 
 
 def kill_node(net: SimNetwork, node: NodeId | str) -> None:
     """Terminate a node abruptly; neighbours detect via socket errors."""
     net.engine(node).terminate()
+
+
+def leave_node(net: SimNetwork, node: NodeId | str) -> None:
+    """Gracefully depart: announce (if the algorithm can), then terminate."""
+    engine = net.engine(node)
+    announce = getattr(engine.algorithm, "announce_leave", None)
+    if callable(announce):
+        announce()
+        net.kernel.call_later(LEAVE_GRACE, engine.terminate)
+    else:
+        engine.terminate()
 
 
 def cut_link(net: SimNetwork, src: NodeId | str, dst: NodeId | str) -> None:
@@ -64,6 +93,13 @@ class FailureEvent:
     app: int | None = None
 
 
+_CHURN_TRACE = {
+    "kill_node": "churn-crash",
+    "join_node": "churn-join",
+    "leave_node": "churn-leave",
+}
+
+
 @dataclass
 class FailureSchedule:
     """A declarative list of faults applied at virtual times.
@@ -78,6 +114,15 @@ class FailureSchedule:
         self.events.append(FailureEvent(at, "kill_node", node))
         return self
 
+    def join_node(self, at: float, name: str) -> "FailureSchedule":
+        """Create + start a new node at ``at`` via the armed node factory."""
+        self.events.append(FailureEvent(at, "join_node", name))
+        return self
+
+    def leave_node(self, at: float, node: NodeId | str) -> "FailureSchedule":
+        self.events.append(FailureEvent(at, "leave_node", node))
+        return self
+
     def cut_link(self, at: float, src: NodeId | str, dst: NodeId | str) -> "FailureSchedule":
         self.events.append(FailureEvent(at, "cut_link", src, peer=dst))
         return self
@@ -90,15 +135,26 @@ class FailureSchedule:
         self.events.append(FailureEvent(at, "kill_source", node, app=app))
         return self
 
-    def arm(self, net: SimNetwork) -> None:
+    def arm(self, net: SimNetwork, node_factory: NodeFactory | None = None) -> None:
+        if node_factory is None and any(e.kind == "join_node" for e in self.events):
+            raise ConfigurationError(
+                "schedule contains join_node events: arm(net, node_factory=...)"
+            )
         for event in sorted(self.events, key=lambda e: e.at):
-            net.kernel.call_at(event.at, self._fire, net, event)
+            net.kernel.call_at(event.at, self._fire, net, event, node_factory)
 
     @staticmethod
-    def _fire(net: SimNetwork, event: FailureEvent) -> None:
+    def _fire(
+        net: SimNetwork, event: FailureEvent, node_factory: NodeFactory | None = None
+    ) -> None:
         try:
             if event.kind == "kill_node":
                 kill_node(net, event.node)
+            elif event.kind == "join_node":
+                assert node_factory is not None
+                node_factory(net, str(event.node))
+            elif event.kind == "leave_node":
+                leave_node(net, event.node)
             elif event.kind == "cut_link":
                 assert event.peer is not None
                 cut_link(net, event.node, event.peer)
@@ -111,4 +167,10 @@ class FailureSchedule:
         except UnknownNodeError:
             # The target already failed or was torn down first; an injected
             # fault racing a real one is not an experiment error.
-            pass
+            return
+        trace_event = _CHURN_TRACE.get(event.kind)
+        tel = net.config.telemetry
+        if trace_event is not None and tel is not None and tel.tracer.enabled:
+            tel.tracer.append_raw(
+                net.kernel.now, str(event.node), trace_event, "", 0, {}
+            )

@@ -57,10 +57,27 @@ class EventType:
     NODE_PLACED = "node-placed"          # a node was placed on a worker
     NODE_REDEPLOYED = "node-redeployed"  # re-placed after its worker died
 
+    # Membership-plane events (repro.membership): what the SWIM protocol
+    # concluded about a peer, recorded at the node that concluded it.
+    MEMBER_JOIN = "member-join"          # a new member entered the view
+    MEMBER_SUSPECT = "member-suspect"    # probe silence raised suspicion
+    MEMBER_REFUTE = "member-refute"      # a suspicion was refuted (alive)
+    MEMBER_DEAD = "member-dead"          # suspicion expired unrefuted
+    MEMBER_LEFT = "member-left"          # a graceful departure was gossiped
+
+    # Churn-driver events (repro.membership.churn): ground-truth faults
+    # the schedule injected, so traces separate injected churn from the
+    # protocol's (possibly wrong) conclusions about it.
+    CHURN_JOIN = "churn-join"            # schedule started a new node
+    CHURN_CRASH = "churn-crash"          # schedule killed a node abruptly
+    CHURN_LEAVE = "churn-leave"          # schedule stopped a node gracefully
+
     ALL = (SOURCE_EMIT, ENQUEUE, SWITCH_PICK, CREDIT_EXHAUSTED,
            DEFER, RETRY, FORWARD, DROP, DELIVER,
            LINK_SUSPECT, LINK_PROBE, LINK_DEAD,
-           WORKER_SPAWN, WORKER_DEAD, NODE_PLACED, NODE_REDEPLOYED)
+           WORKER_SPAWN, WORKER_DEAD, NODE_PLACED, NODE_REDEPLOYED,
+           MEMBER_JOIN, MEMBER_SUSPECT, MEMBER_REFUTE, MEMBER_DEAD,
+           MEMBER_LEFT, CHURN_JOIN, CHURN_CRASH, CHURN_LEAVE)
 
 
 def trace_id(msg: Message) -> str:

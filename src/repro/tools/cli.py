@@ -38,6 +38,7 @@ EXPERIMENTS: dict[str, str] = {
     "virtual-scaling": "repro.experiments.fig_virtual_scaling",
     "cluster-scaling": "repro.experiments.fig_cluster_scaling",
     "observer-scaling": "repro.experiments.fig_observer_scaling",
+    "churn-convergence": "repro.experiments.fig_churn_convergence",
 }
 
 

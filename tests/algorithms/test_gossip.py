@@ -56,3 +56,68 @@ def test_multiple_rumours_tracked_independently():
 def test_invalid_probability_rejected():
     with pytest.raises(ValueError):
         GossipAlgorithm(probability=1.5)
+
+
+def test_invalid_heard_bounds_rejected():
+    with pytest.raises(ValueError):
+        GossipAlgorithm(heard_ttl=0.0)
+    with pytest.raises(ValueError):
+        GossipAlgorithm(heard_capacity=0)
+
+
+def test_long_rumour_stream_keeps_heard_bounded():
+    net = SimNetwork()
+    algorithms = [
+        GossipAlgorithm(probability=1.0, seed=i, heard_capacity=50)
+        for i in range(4)
+    ]
+    for i, algorithm in enumerate(algorithms):
+        net.add_node(algorithm, name=f"g{i}")
+    net.start()
+    net.run(12)
+    for batch in range(8):
+        for i in range(40):
+            algorithms[batch % 4].rumour(f"r-{batch}-{i}".encode())
+        net.run(2)
+    for alg in algorithms:
+        assert len(alg.heard) <= 50
+        assert alg.evicted > 0
+
+
+def test_heard_entries_expire_by_engine_clock():
+    net = SimNetwork()
+    algorithms = [
+        GossipAlgorithm(probability=1.0, seed=i, heard_ttl=5.0)
+        for i in range(3)
+    ]
+    for i, algorithm in enumerate(algorithms):
+        net.add_node(algorithm, name=f"g{i}")
+    net.start()
+    net.run(12)
+    algorithms[0].rumour(b"ephemeral")
+    net.run(2)
+    assert all(b"ephemeral" in alg.heard for alg in algorithms)
+    net.run(10)  # past the TTL; the next record prunes the front
+    algorithms[0].rumour(b"fresh")
+    net.run(2)
+    assert b"ephemeral" not in algorithms[0].heard
+    assert all(b"fresh" in alg.heard for alg in algorithms)
+
+
+def test_determinism_same_seeds_same_eviction_order():
+    def run():
+        net = SimNetwork()
+        algorithms = [
+            GossipAlgorithm(probability=1.0, seed=i, heard_capacity=20)
+            for i in range(3)
+        ]
+        for i, algorithm in enumerate(algorithms):
+            net.add_node(algorithm, name=f"g{i}")
+        net.start()
+        net.run(12)
+        for i in range(60):
+            algorithms[i % 3].rumour(f"r{i}".encode())
+            net.run(0.5)
+        return [(list(alg.heard), alg.evicted) for alg in algorithms]
+
+    assert run() == run()

@@ -56,6 +56,19 @@ class SimCluster:
         """Advance time until the cluster has processed its backlog."""
         self.net.run(seconds)
 
+    def kill(self, engine) -> None:
+        """Crash one node; peers observe BROKEN_LINK on their next send."""
+        engine.terminate()
+
+    def add_late_node(self, algorithm):
+        """Add (and start) a node while the cluster is already running."""
+        node_id = self.net.add_node(
+            algorithm, config=EngineConfig(report_interval=REPORT_INTERVAL)
+        )
+        engine = self.net.engine(node_id)
+        self._engines.append(engine)
+        return engine
+
     def close(self) -> None:
         for engine in self._engines:
             if engine.running:
@@ -87,6 +100,19 @@ class NetCluster:
 
     def settle(self, seconds: float) -> None:
         self.loop.run_until_complete(asyncio.sleep(seconds))
+
+    def kill(self, engine) -> None:
+        """Take one node down mid-run; its links tear and peers see
+        BROKEN_LINK, the same signal a process crash produces."""
+        self.loop.run_until_complete(self.host.stop_node(engine))
+
+    def add_late_node(self, algorithm):
+        """Add (and start) a node while the cluster is already running."""
+        engine = self.host.add_node(
+            algorithm, config=NetEngineConfig(report_interval=REPORT_INTERVAL)
+        )
+        self.loop.run_until_complete(self.host.start_node(engine))
+        return engine
 
     def close(self) -> None:
         try:

@@ -1,0 +1,273 @@
+"""Unit tests for the transport-agnostic SWIM core."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ids import NodeId
+from repro.membership.protocol import (
+    ALIVE,
+    DEAD,
+    LEFT,
+    SUSPECT,
+    SwimConfig,
+    SwimCore,
+    _overrides,
+)
+
+
+def nid(i: int) -> NodeId:
+    return NodeId(f"10.0.0.{i}", 9000)
+
+
+def make_core(i: int = 1, **cfg) -> SwimCore:
+    return SwimCore(nid(i), SwimConfig(**cfg), rng=random.Random(i), now=0.0)
+
+
+# ----------------------------------------------------------- override rules
+
+
+class TestOverrides:
+    def test_alive_needs_strictly_newer_incarnation(self):
+        assert not _overrides(ALIVE, 0, ALIVE, 0)
+        assert not _overrides(ALIVE, 1, SUSPECT, 1)
+        assert _overrides(ALIVE, 2, SUSPECT, 1)
+
+    def test_suspect_beats_alive_at_same_incarnation(self):
+        assert _overrides(SUSPECT, 0, ALIVE, 0)
+        assert not _overrides(SUSPECT, 0, ALIVE, 1)
+        assert not _overrides(SUSPECT, 0, SUSPECT, 0)
+        assert _overrides(SUSPECT, 1, SUSPECT, 0)
+
+    def test_dead_is_final_but_rejoin_overrides(self):
+        assert _overrides(DEAD, 0, ALIVE, 0)
+        assert _overrides(DEAD, 0, SUSPECT, 0)
+        assert not _overrides(DEAD, 5, DEAD, 0)
+        assert not _overrides(SUSPECT, 9, DEAD, 0)
+        # rejoin: alive with a *newer* incarnation resurrects a tombstone
+        assert _overrides(ALIVE, 1, DEAD, 0)
+        assert not _overrides(ALIVE, 0, DEAD, 0)
+        assert not _overrides(DEAD, 0, ALIVE, 1)
+
+    def test_left_behaves_like_dead(self):
+        assert _overrides(LEFT, 0, ALIVE, 0)
+        assert not _overrides(LEFT, 0, LEFT, 0)
+        assert _overrides(ALIVE, 1, LEFT, 0)
+
+
+# --------------------------------------------------------------- probe cycle
+
+
+class TestProbeCycle:
+    def test_ping_is_acked_and_probe_cleared(self):
+        a, b = make_core(1), make_core(2)
+        a.note_member(b.node_id)
+        out = a.tick(0.0)
+        assert len(out) == 1
+        dest, ping = out[0]
+        assert dest == b.node_id and ping["k"] == "p"
+        replies = b.handle(a.node_id, ping, 0.01)
+        assert len(replies) == 1
+        rdest, ack = replies[0]
+        assert rdest == a.node_id and ack["k"] == "a"
+        a.handle(b.node_id, ack, 0.02)
+        assert not a._pending
+        # sender learning: b now knows a
+        assert b.is_alive(a.node_id)
+
+    def test_unacked_probe_escalates_to_suspicion_then_death(self):
+        a = make_core(1, period=1.0, ping_timeout=0.3, suspicion_mult=3.0)
+        a.note_member(nid(2))
+        a.tick(0.0)  # sends the ping
+        a.tick(2.0)  # final deadline passed, no relays available -> suspect
+        assert a.state_of(nid(2)) == SUSPECT
+        assert not a.is_alive(nid(2))
+        a.tick(2.0 + 3.0)  # suspicion window expires
+        assert a.state_of(nid(2)) == DEAD
+        assert ("dead", nid(2), 0) in a.events
+
+    def test_indirect_probe_relays_verdict_home(self):
+        cfg = dict(period=1.0, ping_timeout=0.3, indirect_probes=1)
+        a = make_core(1, **cfg)
+        relay = make_core(2, **cfg)
+        target = make_core(3, **cfg)
+        a.note_member(relay.node_id)
+        a.note_member(target.node_id)
+        out = a.tick(0.0)
+        probed = out[0][0]
+        other = relay.node_id if probed == target.node_id else target.node_id
+        probed_core = target if probed == target.node_id else relay
+        relay_core = relay if probed == target.node_id else target
+        # The direct ping is "lost"; the direct deadline passes.
+        out = a.tick(0.5)
+        reqs = [(d, p) for d, p in out if p["k"] == "q"]
+        assert reqs and reqs[0][0] == other
+        # The relay pings the target on a's behalf...
+        pings = relay_core.handle(a.node_id, reqs[0][1], 0.6)
+        assert pings and pings[0][0] == probed and pings[0][1]["k"] == "p"
+        acks = probed_core.handle(relay_core.node_id, pings[0][1], 0.7)
+        # ...and forwards the ack home with the target annotated.
+        home = relay_core.handle(probed_core.node_id, acks[0][1], 0.8)
+        assert home and home[0][0] == a.node_id
+        assert home[0][1]["k"] == "a" and home[0][1]["t"] == str(probed)
+        a.handle(relay_core.node_id, home[0][1], 0.9)
+        a.tick(1.0)
+        assert a.state_of(probed) == ALIVE
+
+    def test_fail_fast_suspects_immediately(self):
+        a = make_core(1)
+        a.note_member(nid(2))
+        a.fail_fast(nid(2), 0.0)
+        assert a.state_of(nid(2)) == SUSPECT
+
+
+# ----------------------------------------------------------------- rumours
+
+
+class TestRumours:
+    def test_refutation_bumps_incarnation(self):
+        a = make_core(1)
+        a.note_member(nid(2))
+        # Someone claims WE are suspect at our current incarnation.
+        a.handle(nid(2), {"k": "g", "r": [[str(a.node_id), SUSPECT, 0]]}, 0.0)
+        assert a.incarnation == 1
+        assert ("refute", a.node_id, 1) in a.events
+        # The refutation rumour rides the next packet out.
+        pkt = a._packet("p", 99)
+        assert [str(a.node_id), ALIVE, 1] in pkt["r"]
+
+    def test_stale_alive_does_not_resurrect(self):
+        a = make_core(1)
+        a.note_member(nid(2))
+        a.handle(nid(3), {"k": "g", "r": [[str(nid(2)), DEAD, 0]]}, 0.0)
+        assert a.state_of(nid(2)) == DEAD
+        a.handle(nid(4), {"k": "g", "r": [[str(nid(2)), ALIVE, 0]]}, 0.1)
+        assert a.state_of(nid(2)) == DEAD
+        # ...but a rejoin with a newer incarnation does resurrect.
+        a.handle(nid(4), {"k": "g", "r": [[str(nid(2)), ALIVE, 1]]}, 0.2)
+        assert a.state_of(nid(2)) == ALIVE
+
+    def test_rumor_budget_decrements_and_expires(self):
+        a = make_core(1, piggyback=4)
+        for i in range(2, 6):
+            a.note_member(nid(i))
+        a.announce_join()
+        budget = a._rumors._rumors[a.node_id][2]
+        assert budget >= 3
+        for _ in range(budget):
+            assert any(r[0] == str(a.node_id) for r in a._rumors.take(4))
+        assert a.node_id not in a._rumors._rumors
+
+    def test_piggyback_prefers_freshest_rumors(self):
+        a = make_core(1, piggyback=1)
+        a._rumors.put(nid(2), ALIVE, 0, 1)   # nearly spent
+        a._rumors.put(nid(3), ALIVE, 0, 5)   # fresh
+        taken = a._rumors.take(1)
+        assert taken == [[str(nid(3)), ALIVE, 0, ][:3]]
+
+    def test_samples_spread_knowledge_without_rumors(self):
+        a, b = make_core(1, sample_size=4), make_core(2, sample_size=4)
+        a.note_member(nid(7))
+        a.note_member(b.node_id)
+        pkt = a._packet("p", 1)
+        assert str(nid(7)) in pkt["m"]
+        b.handle(a.node_id, pkt, 0.0)
+        assert b.is_alive(nid(7))
+
+
+# ------------------------------------------------------------- bounded view
+
+
+class TestBoundedView:
+    def test_unranked_full_view_refuses_newcomers(self):
+        a = make_core(1, max_view=3)
+        for i in range(2, 5):
+            a.note_member(nid(i))
+        a.note_member(nid(9))
+        assert not a.is_alive(nid(9))
+        assert a.counters["view_overflow"] == 1
+
+    def test_ranked_view_evicts_worst_for_better_newcomer(self):
+        ranks = {nid(i): float(i) for i in range(2, 10)}
+        core = SwimCore(
+            nid(1), SwimConfig(max_view=3), rng=random.Random(1),
+            rank=lambda n: ranks[n],
+        )
+        for i in (5, 6, 7):
+            core.note_member(nid(i))
+        core.note_member(nid(2))  # rank 2 beats worst rank 7
+        assert core.is_alive(nid(2))
+        assert not core.is_alive(nid(7))
+        assert core.n_alive() == 3
+        core.note_member(nid(9))  # rank 9 is worse than everyone
+        assert not core.is_alive(nid(9))
+
+    def test_graves_do_not_occupy_view_slots(self):
+        a = make_core(1, max_view=3, dead_retention=1000.0)
+        for i in range(2, 5):
+            a.note_member(nid(i))
+        a.handle(nid(2), {"k": "g", "r": [[str(nid(3)), DEAD, 0]]}, 0.0)
+        # The grave remembers the death but frees the view slot.
+        assert a.state_of(nid(3)) == DEAD
+        a.note_member(nid(9))
+        assert a.is_alive(nid(9))
+
+    def test_grave_blocks_stale_sample(self):
+        a = make_core(1, sample_size=4)
+        a.note_member(nid(2))
+        a.handle(nid(4), {"k": "g", "r": [[str(nid(3)), DEAD, 0]]}, 0.0)
+        # A stale anti-entropy sample naming the dead node is ignored.
+        a.handle(nid(2), {"k": "p", "s": 1, "m": [str(nid(3))]}, 0.1)
+        assert not a.is_alive(nid(3))
+        assert a.state_of(nid(3)) == DEAD
+
+    def test_unknown_dead_rumor_not_regossiped(self):
+        a = make_core(1)
+        a.note_member(nid(2))
+        a.handle(nid(2), {"k": "g", "r": [[str(nid(7)), DEAD, 0]]}, 0.0)
+        assert a.state_of(nid(7)) == DEAD
+        # Never believed alive -> nothing to tell peers: no re-rumour.
+        assert nid(7) not in a._rumors._rumors
+
+
+# ------------------------------------------------------------------- leave
+
+
+class TestLeave:
+    def test_announce_leave_blasts_left_rumor(self):
+        a = make_core(1)
+        for i in range(2, 8):
+            a.note_member(nid(i))
+        out = a.announce_leave(0.0)
+        assert out
+        for _dest, pkt in out:
+            assert pkt["k"] == "g"
+            assert [str(a.node_id), LEFT, 1] in pkt["r"]
+
+    def test_left_rumor_removes_member(self):
+        a = make_core(1)
+        a.note_member(nid(2))
+        a.handle(nid(3), {"k": "g", "r": [[str(nid(2)), LEFT, 1]]}, 0.0)
+        assert not a.is_alive(nid(2))
+        assert ("left", nid(2), 1) in a.events
+
+
+# ------------------------------------------------------------- determinism
+
+
+class TestDeterminism:
+    def test_same_seed_same_packets(self):
+        def run():
+            core = SwimCore(
+                nid(1), SwimConfig(), rng=random.Random(42), now=0.0
+            )
+            for i in range(2, 30):
+                core.note_member(nid(i))
+            trace = []
+            for r in range(20):
+                trace.append(core.tick(float(r)))
+            return trace
+
+        assert run() == run()

@@ -1,0 +1,93 @@
+"""The slotted round-based simulator: convergence, churn replay, determinism."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.membership.churn import ChurnConfig, ChurnSchedule, adversarial_edges
+from repro.membership.slotted import SlottedChurnSim, slot_node_id
+
+
+def make_sim(n: int, topology: str = "line", seed: int = 7, **kwargs):
+    edges = adversarial_edges(topology, n, random.Random(seed))
+    return SlottedChurnSim(n, edges, seed=seed, **kwargs)
+
+
+def test_converges_from_adversarial_line():
+    sim = make_sim(64, "line")
+    stats = sim.run(max_rounds=120)
+    assert stats.convergence_round is not None
+    last = stats.samples[-1]
+    assert last.disrupted == 0
+    assert last.alive == 64
+
+
+@pytest.mark.parametrize("topology", ["star", "clusters", "random"])
+def test_converges_from_every_adversarial_topology(topology):
+    sim = make_sim(48, topology)
+    stats = sim.run(max_rounds=120)
+    assert stats.convergence_round is not None, f"{topology} did not converge"
+
+
+def test_identical_seeds_identical_runs():
+    a = make_sim(40, "random", seed=11).run(max_rounds=80)
+    b = make_sim(40, "random", seed=11).run(max_rounds=80)
+    assert a.convergence_round == b.convergence_round
+    assert a.packets == b.packets
+    assert a.samples == b.samples
+
+
+def test_different_seeds_differ():
+    a = make_sim(40, "random", seed=11).run(max_rounds=80)
+    b = make_sim(40, "random", seed=12).run(max_rounds=80)
+    # Different topology draws + probe orders: the per-round trajectories
+    # must diverge even if totals happen to coincide.
+    assert a.samples != b.samples
+
+
+def test_churn_replay_tracks_ground_truth_population():
+    n = 60
+    churn = ChurnSchedule.generate(
+        ChurnConfig(seed=3, duration=20.0, arrival_rate=1.0,
+                    departure_rate=1.0, leave_fraction=0.5),
+        initial=[f"n{i}" for i in range(n)],
+    )
+    sim = make_sim(n, "random", churn=churn)
+    stats = sim.run(max_rounds=200)
+    assert len(sim.nodes) == len(churn.final_alive())
+    assert stats.convergence_round is not None
+    assert stats.samples[-1].disrupted == 0
+    # Residual disruption during the churn window is a real measurement.
+    assert 0.0 <= stats.residual_disruption <= 1.0
+
+
+def test_graceful_leaves_beat_crashes():
+    """A 100%-leave run spends less time disrupted than a 100%-crash run."""
+    n = 60
+
+    def run(leave_fraction):
+        churn = ChurnSchedule.generate(
+            ChurnConfig(seed=5, duration=15.0, arrival_rate=0.0,
+                        departure_rate=1.5, leave_fraction=leave_fraction),
+            initial=[f"n{i}" for i in range(n)],
+        )
+        sim = make_sim(n, "random", churn=churn)
+        return sim.run(max_rounds=200, stop_on_convergence=False)
+
+    leave, crash = run(1.0), run(0.0)
+    disruption = lambda s: sum(x.disrupted for x in s.samples)
+    assert disruption(leave) < disruption(crash)
+
+
+def test_slot_node_ids_unique_and_interned():
+    ids = [slot_node_id(i) for i in range(300)]
+    assert len(set(ids)) == 300
+    assert slot_node_id(5) is ids[5]
+
+
+def test_rejects_trivial_population():
+    with pytest.raises(ConfigurationError):
+        SlottedChurnSim(1, [])
