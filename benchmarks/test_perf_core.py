@@ -19,6 +19,9 @@ The metrics, chosen to cover the layers of the fast path:
   (``combine`` + ``GenerationDecoder`` over full generations);
 - ``switch_passes_per_sec`` — switch bookkeeping per engine iteration
   (rotation + has_work + total_buffered over 16 ports);
+- ``codec_headers_per_sec`` — wire headers emitted per second through
+  the vectorized batch codec (``pack_headers`` over sender-drain-sized
+  bursts: one precompiled ``struct`` call per burst);
 - ``fig5_sim_chain_msgs_per_sec`` — end-to-end: simulated messages
   switched per wall-clock second on a fig5-style 8-node chain;
 - ``virtual_pack_msgs_per_sec`` — bench_virtual_pack: end-to-end
@@ -209,6 +212,39 @@ def test_switch_pass_rate():
 
     RESULTS["switch_passes_per_sec"] = _best_of(run)
     assert RESULTS["switch_passes_per_sec"] > 0
+
+
+def test_codec_batch_header_rate():
+    """Wire headers/sec through the vectorized batch codec.
+
+    Bursts are sized like a sender-drain (32 frames): the whole burst's
+    headers go through ONE precompiled ``struct.Struct`` call instead of
+    one pack per frame, which is where the Python-level call overhead of
+    the per-message codec goes.
+    """
+    from repro.core.ids import NodeId
+    from repro.core.message import Message
+    from repro.core.msgtypes import MsgType
+    from repro.net.framing import pack_headers
+
+    burst_size = 32
+    sender = NodeId("10.1.2.3", 7001)
+    burst = [
+        Message(MsgType.DATA, sender, 1, b"x" * 64, seq=i)
+        for i in range(burst_size)
+    ]
+    bursts = 5_000
+
+    def run() -> float:
+        start = time.perf_counter()
+        for _ in range(bursts):
+            view = pack_headers(burst)
+        elapsed = time.perf_counter() - start
+        assert len(view) == burst_size * 24
+        return bursts * burst_size / elapsed
+
+    RESULTS["codec_headers_per_sec"] = _best_of(run)
+    assert RESULTS["codec_headers_per_sec"] > 0
 
 
 # ----------------------------------------------------------------- end-to-end
@@ -509,7 +545,7 @@ def test_zz_write_bench_json_and_guard():
     committed* history entry and the test fails on a >25% drop in any
     metric; without it the file is just rewritten with the new entry.
     """
-    assert len(RESULTS) == 12, f"expected all metrics collected, got {sorted(RESULTS)}"
+    assert len(RESULTS) == 13, f"expected all metrics collected, got {sorted(RESULTS)}"
 
     history: list[dict] = []
     if BENCH_FILE.exists():

@@ -23,7 +23,16 @@ one machine.
   respawn-and-redeploy;
 - :mod:`repro.cluster.scenarios` — deterministic chain/butterfly
   workloads used to prove cluster output is byte-identical to a
-  single-process run.
+  single-process run;
+- :mod:`repro.cluster.supervise` — the shared supervision core both
+  tiers run on: spawn/reap/heartbeat/death-ladder/respawn over an
+  abstract child handle, with a consecutive-respawn budget and
+  idempotent teardown;
+- :mod:`repro.cluster.federation` / :mod:`repro.cluster.child` — the
+  controller-of-controllers tier: a :class:`RootController` places
+  specs across child controllers (two-stage placement, ``C_*`` verbs,
+  O(children) observer ingress), each child running a full
+  :class:`ClusterController` over its own worker fleet.
 
 Cross-worker overlay traffic uses the ordinary socket path; traffic
 between nodes on the same worker keeps the zero-copy loopback fast
@@ -32,34 +41,58 @@ as the paper's firewall relay intends.
 """
 
 from repro.cluster.controller import ClusterConfig, ClusterController, WorkerState
+from repro.cluster.federation import ControllerState, RootConfig, RootController
 from repro.cluster.placement import (
     BinPackPlacement,
+    CapacityPlacement,
+    ControllerLoad,
+    ControllerPlacementPolicy,
     PlacementPolicy,
     RoundRobinPlacement,
+    WeightedControllerPlacement,
+    make_controller_placement,
     make_placement,
 )
-from repro.cluster.spec import NodeSpec, PlacedNode
+from repro.cluster.spec import ControllerSpec, NodeSpec, PlacedNode
+from repro.cluster.supervise import RespawnPolicy, SupervisorCore
 
 
 def __getattr__(name: str):
-    # WorkerHost is exported lazily: eagerly importing repro.cluster.worker
-    # here would shadow the `python -m repro.cluster.worker` entry point
-    # (runpy warns when the module is in sys.modules before execution).
+    # The process entry points are exported lazily: eagerly importing
+    # repro.cluster.worker / repro.cluster.child here would shadow their
+    # `python -m` execution (runpy warns when the module is in
+    # sys.modules before execution).
     if name == "WorkerHost":
         from repro.cluster.worker import WorkerHost
 
         return WorkerHost
+    if name == "ChildControllerHost":
+        from repro.cluster.child import ChildControllerHost
+
+        return ChildControllerHost
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ClusterConfig",
     "ClusterController",
     "WorkerState",
+    "RootConfig",
+    "RootController",
+    "ControllerState",
     "NodeSpec",
     "PlacedNode",
+    "ControllerSpec",
     "PlacementPolicy",
     "RoundRobinPlacement",
     "BinPackPlacement",
+    "ControllerPlacementPolicy",
+    "CapacityPlacement",
+    "WeightedControllerPlacement",
+    "ControllerLoad",
     "make_placement",
+    "make_controller_placement",
+    "RespawnPolicy",
+    "SupervisorCore",
     "WorkerHost",
+    "ChildControllerHost",
 ]

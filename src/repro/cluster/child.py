@@ -1,0 +1,345 @@
+"""The child-controller process: one fleet shard of a federated cluster.
+
+``python -m repro.cluster.child --join IP:PORT`` runs a full
+:class:`~repro.cluster.controller.ClusterController` — worker fleet,
+placement, supervision, respawn — that answers to a federation root
+instead of owning the observer:
+
+- **bootstrap**: dial the root, send ``C_JOIN`` (name, pid, declared
+  worker count / capacity / weight), wait for ``C_WELCOME`` — it names
+  the root observer endpoint this shard aggregates into and, on a
+  respawn, the proxy port to re-bind — then boot the shard's
+  aggregation proxy and worker fleet and report ``C_EVENT ready``;
+- **serving**: ``C_PLACE`` / ``C_STOP_NODE`` / ``C_NODE_INFO`` /
+  ``C_SHUTDOWN`` map onto the local controller's place/stop/info/stop
+  verbs; each request is served in its own task so a slow worker spawn
+  never stalls the heartbeat stream;
+- **reporting**: periodic ``C_HEARTBEAT`` frames carry shard gauges
+  (placed nodes, live workers, peak RSS); internal worker respawns
+  surface as ``C_EVENT node-replaced`` so the root's global map tracks
+  the new identities, and node losses as ``C_EVENT node-down``;
+- **observer relay**: the local controller's observer surface is a
+  :class:`RootRelayObserver` — its ``addr`` is the shard's aggregation
+  proxy (workers attach there, the proxy attaches to the root observer)
+  and its ``mark_down`` reports upward instead of acting locally, so
+  the root observer stays the single source of liveness truth.
+
+Root disappearance stops the shard: a headless child controller would
+keep placing nobody's specs against nobody's observer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import resource
+import sys
+
+from repro.cluster.controller import ClusterConfig, ClusterController
+from repro.cluster.protocol import ControlChannel
+from repro.cluster.spec import NodeSpec, PlacedNode
+from repro.core.ids import AppId, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.errors import ClusterError
+from repro.net.proxy import ObserverProxy
+from repro.tools.signals import install_shutdown_handlers
+
+
+class RootRelayObserver:
+    """The observer surface a federated shard hands its controller.
+
+    ``addr`` points worker proxies at the shard's aggregation proxy;
+    liveness changes relay upward as ``C_EVENT`` frames.  The control
+    verbs (deploy/control/terminate) are root-driven in a federation —
+    reaching them here means a scenario bypassed the root, so they fail
+    loudly instead of acting on half the picture.
+    """
+
+    def __init__(self, host: "ChildControllerHost") -> None:
+        self._host = host
+
+    @property
+    def addr(self) -> NodeId:
+        assert self._host.proxy is not None, "proxy not started"
+        return self._host.proxy.addr
+
+    def mark_down(self, node: NodeId) -> None:
+        self._host.send_event("node-down", node=str(node))
+
+    def deploy_source(self, node: NodeId, app: AppId, payload_size: int) -> None:
+        raise ClusterError("deploy_source is root-driven in a federation")
+
+    def send_control(self, node: NodeId, type_: int, *, param1: int,
+                     param2: int, app: AppId) -> None:
+        raise ClusterError("send_control is root-driven in a federation")
+
+    def terminate_node(self, node: NodeId) -> None:
+        raise ClusterError("terminate_node is root-driven in a federation")
+
+
+class ChildControllerHost:
+    """One federated shard: aggregation proxy + controller + root channel."""
+
+    def __init__(
+        self,
+        name: str,
+        root_addr: NodeId,
+        config: ClusterConfig,
+        capacity: float = 0.0,
+        weight: float = 1.0,
+        flush_interval: float = 0.2,
+    ) -> None:
+        self.name = name
+        self.root_addr = root_addr
+        self.config = config
+        self.capacity = capacity
+        self.weight = weight
+        #: the shard proxy always aggregates: it is a mid-tree node of
+        #: the root's observer tree (one ingress per child controller)
+        self.flush_interval = flush_interval
+        self.proxy: ObserverProxy | None = None
+        self.controller: ClusterController | None = None
+        self._chan: ControlChannel | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._running = False
+        self.stopped = asyncio.Event()
+        self.heartbeats_sent = 0
+
+    # ------------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Join the root, boot the shard, report ready."""
+        self._running = True
+        reader, writer = await asyncio.open_connection(
+            self.root_addr.ip, self.root_addr.port
+        )
+        self._chan = ControlChannel(reader, writer)
+        await self._chan.send(
+            MsgType.C_JOIN, name=self.name, pid=os.getpid(),
+            workers=self.config.workers, capacity=self.capacity,
+            weight=self.weight,
+        )
+        welcome = await asyncio.wait_for(self._chan.recv(), 30.0)
+        if welcome.type != MsgType.C_WELCOME:
+            raise ClusterError(
+                f"expected C_WELCOME from root, got type {welcome.type}"
+            )
+        fields = welcome.fields()
+        root_observer = NodeId.parse(str(fields["observer"]))
+        pinned_port = int(fields.get("proxy_port", 0))
+        self.proxy = ObserverProxy(
+            NodeId(self.config.ip, pinned_port), root_observer,
+            flush_interval=self.flush_interval, telemetry=self.config.telemetry,
+        )
+        await self.proxy.start()
+        self.config.controller_name = self.name
+        self.controller = ClusterController(RootRelayObserver(self), self.config)
+        self.controller.redeploy_listener = self._on_local_redeploy
+        await self.controller.start()
+        self._tasks.append(asyncio.ensure_future(self._serve()))
+        self._tasks.append(asyncio.ensure_future(self._heartbeat_loop()))
+        self.send_event("ready", proxy=str(self.proxy.addr))
+
+    async def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        controller, proxy, chan = self.controller, self.proxy, self._chan
+        if controller is not None:
+            await controller.stop()
+        if proxy is not None:
+            await proxy.stop()
+        if chan is not None:
+            chan.close()
+        current = asyncio.current_task()
+        for task in self._tasks:
+            if task is not current:
+                task.cancel()
+        self.stopped.set()
+
+    # ---------------------------------------------------------------- reporting
+
+    def send_event(self, event: str, **fields: object) -> None:
+        """Best-effort upward C_EVENT (ready / node-down / node-replaced)."""
+        chan = self._chan
+        if chan is None or chan.is_closing():
+            return
+
+        async def _send() -> None:
+            try:
+                await chan.send(MsgType.C_EVENT, event=event, **fields)
+            except (ConnectionError, OSError):
+                pass
+
+        asyncio.ensure_future(_send())
+
+    def _on_local_redeploy(self, name: str, placed: PlacedNode) -> None:
+        self.send_event(
+            "node-replaced", name=name, node=str(placed.node_id),
+            worker=placed.worker,
+        )
+
+    # ------------------------------------------------------------- root channel
+
+    async def _serve(self) -> None:
+        assert self._chan is not None
+        while self._running:
+            try:
+                msg = await self._chan.recv()
+            except asyncio.CancelledError:
+                raise
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                # The root is gone; a headless shard is useless.
+                asyncio.ensure_future(self.stop())
+                return
+            # Served concurrently: a C_PLACE spans a worker-side spawn
+            # round trip, and heartbeats must keep flowing meanwhile.
+            self._tasks.append(asyncio.ensure_future(self._handle(msg)))
+
+    async def _handle(self, msg: Message) -> None:
+        assert self._chan is not None and self.controller is not None
+        fields = msg.fields()
+        try:
+            if msg.type == MsgType.C_PLACE:
+                spec = NodeSpec(
+                    name=str(fields["name"]),
+                    algorithm=str(fields["algorithm"]),
+                    kwargs=dict(fields.get("kwargs", {})),
+                    weight=float(fields.get("weight", 1.0)),
+                    pin=fields.get("pin") or None,
+                )
+                placed = await self.controller.place(spec)
+                await self._chan.send(
+                    MsgType.C_PLACED, seq=msg.seq, name=spec.name,
+                    node=str(placed.node_id), worker=placed.worker,
+                )
+            elif msg.type == MsgType.C_STOP_NODE:
+                await self.controller.stop_node(str(fields["name"]))
+                await self._chan.send(MsgType.C_INFO_REPLY, seq=msg.seq, ok=True)
+            elif msg.type == MsgType.C_NODE_INFO:
+                info = await self.controller.node_info(str(fields["name"]))
+                await self._chan.send(MsgType.C_INFO_REPLY, seq=msg.seq, **info)
+            elif msg.type == MsgType.C_SHUTDOWN:
+                try:
+                    await self._chan.send(MsgType.C_INFO_REPLY, seq=msg.seq, ok=True)
+                except (ConnectionError, OSError):
+                    pass
+                asyncio.ensure_future(self.stop())
+            # unknown verbs are ignored, matching the worker's dispatcher
+        except (ClusterError, KeyError, ValueError) as exc:
+            reply = (
+                MsgType.C_PLACED if msg.type == MsgType.C_PLACE
+                else MsgType.C_INFO_REPLY
+            )
+            try:
+                await self._chan.send(
+                    reply, seq=msg.seq, error=f"{type(exc).__name__}: {exc}"
+                )
+            except (ConnectionError, OSError):
+                pass
+
+    # ---------------------------------------------------------------- heartbeats
+
+    async def _heartbeat_loop(self) -> None:
+        assert self._chan is not None
+        while self._running:
+            await asyncio.sleep(self.config.heartbeat_interval)
+            controller = self.controller
+            if controller is None:
+                continue
+            workers_alive = sum(
+                1 for st in controller.workers.values() if st.alive
+            )
+            rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            try:
+                await self._chan.send(
+                    MsgType.C_HEARTBEAT, name=self.name,
+                    nodes=len(controller.placed), workers_alive=workers_alive,
+                    rss_kb=rss_kb,
+                )
+            except (ConnectionError, OSError):
+                return
+            self.heartbeats_sent += 1
+
+
+# ----------------------------------------------------------------- entry point
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.child",
+        description="One federated child controller (joins a root).",
+    )
+    parser.add_argument("--name", required=True, help="controller name in the tree")
+    parser.add_argument("--join", required=True, metavar="IP:PORT",
+                        help="root controller bootstrap endpoint")
+    parser.add_argument("--ip", default="127.0.0.1")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker fleet size of this shard")
+    parser.add_argument("--placement", default="round-robin",
+                        help="stage-two policy across this shard's workers")
+    parser.add_argument("--capacity", type=float, default=0.0,
+                        help="declared fleet capacity (total spec weight; "
+                             "0 = unbounded) for root-side placement")
+    parser.add_argument("--weight", type=float, default=1.0,
+                        help="share scaling under the root's weighted policy")
+    parser.add_argument("--heartbeat-interval", type=float, default=0.5)
+    parser.add_argument("--flush-interval", type=float, default=0.2,
+                        help="aggregation flush period for this shard's proxy "
+                             "and its workers' proxies")
+    parser.add_argument("--respawn", action="store_true",
+                        help="respawn this shard's workers when they die")
+    parser.add_argument("--worker-telemetry", action="store_true",
+                        help="enable metrics + tracing inside the workers")
+    parser.add_argument("--shm-ring-bytes", type=int, default=1 << 20,
+                        help="shared-memory ring capacity for co-machine "
+                             "worker links (0 disables)")
+    parser.add_argument("--uvloop", action="store_true")
+    return parser
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    config = ClusterConfig(
+        workers=args.workers,
+        placement=args.placement,
+        ip=args.ip,
+        heartbeat_interval=args.heartbeat_interval,
+        respawn=args.respawn,
+        observer_flush_interval=args.flush_interval,
+        worker_telemetry=args.worker_telemetry,
+        shm_ring_bytes=args.shm_ring_bytes,
+        uvloop=args.uvloop,
+        controller_name=args.name,
+    )
+    host = ChildControllerHost(
+        name=args.name,
+        root_addr=NodeId.parse(args.join),
+        config=config,
+        capacity=args.capacity,
+        weight=args.weight,
+        flush_interval=args.flush_interval,
+    )
+    stop = asyncio.Event()
+    install_shutdown_handlers(stop)
+    await host.start()
+    signal_task = asyncio.ensure_future(stop.wait())
+    stopped_task = asyncio.ensure_future(host.stopped.wait())
+    await asyncio.wait({signal_task, stopped_task}, return_when=asyncio.FIRST_COMPLETED)
+    await host.stop()
+    for task in (signal_task, stopped_task):
+        task.cancel()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,13 +11,23 @@ paper's observer control panel.  It
 - drives application deployment through the existing observer verbs
   (``deploy_source``/``send_control``/``connect`` reach nodes over
   their per-worker :class:`~repro.net.proxy.ObserverProxy` funnel),
-- **supervises**: heartbeats carry per-worker gauges (peak RSS,
-  event-loop lag, node count); a missed-heartbeat window, a channel
-  EOF or a reaped process all confirm a worker dead.  Death marks every
-  hosted node down at the observer — the node-level failure domino at
-  surviving peers has already fired through their ordinary transport
-  teardown — and, with ``respawn=True``, relaunches the worker and
-  re-places its specs.
+- **supervises** through the shared supervision core
+  (:mod:`repro.cluster.supervise`): heartbeats carry per-worker gauges
+  (peak RSS, event-loop lag, node count); a missed-heartbeat window, a
+  channel EOF or a reaped process all confirm a worker dead.  Death
+  marks every hosted node down at the observer — the node-level failure
+  domino at surviving peers has already fired through their ordinary
+  transport teardown — and, with ``respawn=True``, relaunches the
+  worker under the core's consecutive-respawn budget and re-places its
+  specs.
+
+The :class:`WorkerSupervisor` is the process-level frontend of the
+supervision core; the federation tier (:mod:`repro.cluster.federation`)
+runs a second frontend over whole child controllers.  In a federated
+deployment the controller answers to a root instead of owning the
+observer: the ``observer`` argument then is a relay shim rather than an
+:class:`~repro.net.observer_server.ObserverServer` (see
+:class:`ObserverControl`).
 
 Every cluster lifecycle step is observable: ``worker-spawn``,
 ``worker-dead``, ``node-placed`` and ``node-redeployed`` each bump a
@@ -27,22 +37,24 @@ labelled counter and append a trace event when telemetry is attached.
 from __future__ import annotations
 
 import asyncio
-import itertools
 import os
 import sys
 import time
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.cluster.placement import make_placement
-from repro.cluster.protocol import ControlChannel
 from repro.cluster.spec import NodeSpec, PlacedNode, resolve_refs
+from repro.cluster.supervise import (
+    WORKER_FAMILY,
+    ChildState,
+    RespawnPolicy,
+    SupervisorCore,
+)
 from repro.core.ids import AppId, NodeId
-from repro.core.message import Message
 from repro.core.msgtypes import MsgType
 from repro.errors import ClusterError, CodecError
-from repro.net.observer_server import ObserverServer
 from repro.telemetry import Telemetry
 from repro.telemetry.tracing import EventType
 
@@ -62,6 +74,13 @@ class ClusterConfig:
     request_timeout: float = 20.0
     #: relaunch a dead worker and re-place its specs (new identities)
     respawn: bool = False
+    #: consecutive early-death respawns tolerated before abandoning the
+    #: worker (exponential backoff between attempts; see RespawnPolicy)
+    respawn_max: int = 5
+    respawn_backoff: float = 0.25
+    respawn_backoff_max: float = 5.0
+    #: surviving this long resets a worker's respawn streak
+    respawn_min_uptime: float = 5.0
     telemetry: Telemetry | None = None
     #: wire the workers' observer proxies into an aggregation tree with
     #: this fan-out: the first ``observer_fanout`` workers attach to the
@@ -86,19 +105,16 @@ class ClusterConfig:
     #: run worker processes on uvloop when importable (opt-in; silently
     #: falls back to stock asyncio, and W_REGISTER reports which one ran)
     uvloop: bool = False
+    #: identity of the controller this fleet answers to; workers stamp it
+    #: on their registrations and heartbeats so a federated deployment
+    #: can attribute every process gauge to its controller shard
+    controller_name: str = ""
 
 
 @dataclass
-class WorkerState:
+class WorkerState(ChildState):
     """Everything the controller knows about one fleet process."""
 
-    name: str
-    process: Any = None  # asyncio.subprocess.Process
-    chan: ControlChannel | None = None
-    pid: int = 0
-    alive: bool = False
-    shutting_down: bool = False
-    last_heartbeat: float = 0.0
     rss_kb: float = 0.0
     loop_lag_ms: float = 0.0
     node_count: int = 0
@@ -117,30 +133,149 @@ class WorkerState:
         return sum(p.spec.weight for p in self.placed.values())
 
 
+class ObserverControl:
+    """The observer surface the controller drives, over a local server.
+
+    A standalone fleet wraps its own
+    :class:`~repro.net.observer_server.ObserverServer` in this adapter;
+    a federated child controller substitutes a relay shim with the same
+    four methods (``addr`` then points at the child's aggregation proxy
+    and ``mark_down`` reports to the root instead of acting locally).
+    """
+
+    def __init__(self, server: Any) -> None:
+        self._server = server
+
+    @property
+    def addr(self) -> NodeId:
+        return self._server.addr
+
+    def mark_down(self, node: NodeId) -> None:
+        self._server.observer.mark_down(node)
+
+    def deploy_source(self, node: NodeId, app: AppId, payload_size: int) -> None:
+        self._server.observer.deploy_source(node, app, payload_size)
+
+    def send_control(self, node: NodeId, type_: int, *, param1: int,
+                     param2: int, app: AppId) -> None:
+        self._server.observer.send_control(
+            node, type_, param1=param1, param2=param2, app=app
+        )
+
+    def terminate_node(self, node: NodeId) -> None:
+        self._server.observer.terminate_node(node)
+
+
+class WorkerSupervisor(SupervisorCore):
+    """Process-level frontend of the supervision core.
+
+    Children are ``repro.cluster.worker`` subprocesses; registration
+    carries the worker's observer-proxy endpoint (pinned across
+    respawns so mid-tree children reattach on their own redial), and
+    death hands the hosted specs back to the controller for
+    re-placement.
+    """
+
+    state_class = WorkerState
+
+    def __init__(self, controller: "ClusterController") -> None:
+        config = controller.config
+        super().__init__(
+            WORKER_FAMILY,
+            ip=config.ip,
+            heartbeat_interval=config.heartbeat_interval,
+            heartbeat_timeout=config.heartbeat_timeout,
+            register_timeout=config.register_timeout,
+            request_timeout=config.request_timeout,
+            respawn=config.respawn,
+            respawn_policy=RespawnPolicy(
+                max_consecutive=config.respawn_max,
+                backoff_base=config.respawn_backoff,
+                backoff_max=config.respawn_backoff_max,
+                min_uptime=config.respawn_min_uptime,
+            ),
+        )
+        self.controller = controller
+
+    # ------------------------------------------------------------------- hooks
+
+    def child_argv(self, state: ChildState) -> list[str]:
+        return self.controller._worker_argv(state.name)
+
+    def child_env(self, state: ChildState) -> dict[str, str]:
+        env = os.environ.copy()
+        # The worker must import this very source tree, wherever the
+        # controller was launched from.
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing_path = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing_path if existing_path else src_root
+        )
+        return env
+
+    def on_registered(self, state: ChildState, fields: dict) -> None:
+        assert isinstance(state, WorkerState)
+        state.proxy_addr = str(fields.get("proxy", ""))
+        state.loop_impl = str(fields.get("loop", ""))
+        if state.proxy_addr:
+            try:
+                self.controller._proxy_ports.setdefault(
+                    state.name, NodeId.parse(state.proxy_addr).port
+                )
+            except CodecError:
+                pass
+
+    def on_heartbeat(self, state: ChildState, fields: dict) -> None:
+        assert isinstance(state, WorkerState)
+        state.rss_kb = float(fields.get("rss_kb", 0.0))
+        state.loop_lag_ms = float(fields.get("loop_lag_ms", 0.0))
+        state.node_count = int(fields.get("nodes", 0))
+        ctl = self.controller
+        if ctl._g_rss is not None:
+            ctl._g_rss.labels(worker=state.name).set(state.rss_kb)
+            ctl._g_lag.labels(worker=state.name).set(state.loop_lag_ms)
+            ctl._g_nodes.labels(worker=state.name).set(state.node_count)
+
+    async def on_child_dead(self, state: ChildState, reason: str) -> list[PlacedNode]:
+        assert isinstance(state, WorkerState)
+        return self.controller._note_worker_dead(state, reason)
+
+    async def replace_orphans(self, state: ChildState, orphans: list[PlacedNode]) -> None:
+        for placed in orphans:
+            try:
+                await self.controller.place(placed.spec, redeploy=True)
+            except ClusterError:
+                continue
+
+    def trace(self, event: str, **detail: Any) -> None:
+        self.controller._trace(event, **detail)
+
+
 class ClusterController:
     """Spawns worker processes, places nodes, supervises the fleet."""
 
-    def __init__(self, observer: ObserverServer, config: ClusterConfig | None = None) -> None:
+    def __init__(self, observer: Any, config: ClusterConfig | None = None) -> None:
         self.observer = observer
+        #: the observer control surface (adapter over a local server, or
+        #: a federation relay shim already exposing the four methods)
+        self._obs: Any = (
+            observer if hasattr(observer, "mark_down") else ObserverControl(observer)
+        )
         self.config = config or ClusterConfig()
         self.policy = make_placement(self.config.placement)
-        self.workers: dict[str, WorkerState] = {}
+        self.supervisor = WorkerSupervisor(self)
         #: spec name -> current placement, across all workers
         self.placed: dict[str, PlacedNode] = {}
         self.addr: NodeId | None = None
-        self._server: asyncio.AbstractServer | None = None
-        self._seq = itertools.count(1)
-        self._pending: dict[int, asyncio.Future] = {}
-        self._register_waiters: dict[str, asyncio.Future] = {}
+        #: called as (spec_name, placed) after every redeploy — a
+        #: federated child uses this to report replacements to its root
+        self.redeploy_listener: Callable[[str, PlacedNode], None] | None = None
         #: worker name -> observer endpoint its proxy dials (tree wiring)
         self._upstreams: dict[str, str] = {}
         #: worker name -> the proxy port its first incarnation bound; a
         #: respawn re-binds it so downstream proxies redial the same
         #: endpoint instead of needing their own restart
         self._proxy_ports: dict[str, int] = {}
-        self._tasks: list[asyncio.Task] = []
-        self._running = False
-        self.worker_deaths = 0
         self.nodes_redeployed = 0
         tel = self.config.telemetry
         if tel is not None:
@@ -164,6 +299,17 @@ class ClusterController:
             self._c_spawn = self._c_dead = self._c_placed = self._c_redeployed = None
             self._g_rss = self._g_lag = self._g_nodes = None
 
+    # ----------------------------------------------------- supervision facade
+
+    @property
+    def workers(self) -> dict[str, WorkerState]:
+        """The fleet as the supervision core tracks it."""
+        return self.supervisor.children  # type: ignore[return-value]
+
+    @property
+    def worker_deaths(self) -> int:
+        return self.supervisor.deaths
+
     # ------------------------------------------------------------------ telemetry
 
     def _trace(self, event: str, **detail: Any) -> None:
@@ -175,13 +321,8 @@ class ClusterController:
 
     async def start(self) -> None:
         """Bind the control server, then launch and await the fleet."""
-        if self._running:
-            raise RuntimeError("controller already started")
-        self._running = True
-        self._server = await asyncio.start_server(
-            self._accept, host=self.config.ip, port=0
-        )
-        self.addr = NodeId(self.config.ip, self._server.sockets[0].getsockname()[1])
+        await self.supervisor.start_server()
+        self.addr = NodeId(self.config.ip, self.supervisor.port)
         fanout = self.config.observer_fanout
         if fanout > 0:
             # Tree mode must spawn sequentially: worker i's upstream is a
@@ -189,63 +330,53 @@ class ClusterController:
             # parent has registered.
             for i in range(self.config.workers):
                 if i < fanout:
-                    upstream = str(self.observer.addr)
+                    upstream = str(self._obs.addr)
                 else:
                     parent = self.workers[f"w{i // fanout - 1}"]
-                    upstream = parent.proxy_addr or str(self.observer.addr)
+                    upstream = parent.proxy_addr or str(self._obs.addr)
                 await self.spawn_worker(f"w{i}", upstream=upstream)
         else:
             await asyncio.gather(
                 *(self.spawn_worker(f"w{i}") for i in range(self.config.workers))
             )
-        self._tasks.append(asyncio.ensure_future(self._sweep_loop()))
 
     async def stop(self) -> None:
-        """Drain the fleet: W_SHUTDOWN everywhere, then reap with escalation."""
-        if not self._running:
-            return
-        self._running = False
-        for task in self._tasks:
-            task.cancel()
-        self._tasks.clear()
-        for state in self.workers.values():
-            state.shutting_down = True
-            if state.alive and state.chan is not None and not state.chan.is_closing():
-                try:
-                    await state.chan.send(MsgType.W_SHUTDOWN)
-                except (ConnectionError, OSError):
-                    pass
-        for state in self.workers.values():
-            await self._reap_with_escalation(state)
-            state.alive = False
-            if state.chan is not None:
-                state.chan.close()
-                state.chan = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        for fut in self._pending.values():
-            if not fut.done():
-                fut.cancel()
-        self._pending.clear()
+        """Drain the fleet: W_SHUTDOWN everywhere, then reap with escalation.
 
-    async def _reap_with_escalation(self, state: WorkerState) -> None:
-        proc = state.process
-        if proc is None or proc.returncode is not None:
-            return
-        try:
-            await asyncio.wait_for(proc.wait(), 5.0)
-            return
-        except asyncio.TimeoutError:
-            proc.terminate()
-        try:
-            await asyncio.wait_for(proc.wait(), 2.0)
-        except asyncio.TimeoutError:
-            proc.kill()
-            await proc.wait()
+        Idempotent: nested or concurrent calls (a signal racing a normal
+        teardown, a stop during an in-flight respawn) all resolve to one
+        teardown — see :meth:`SupervisorCore.stop`.
+        """
+        await self.supervisor.stop()
 
     # ------------------------------------------------------------------- spawning
+
+    def _worker_argv(self, name: str) -> list[str]:
+        assert self.addr is not None, "start() first"
+        upstream = self._upstreams.get(name, str(self._obs.addr))
+        argv = [
+            sys.executable, "-m", "repro.cluster.worker",
+            "--name", name,
+            "--controller", str(self.addr),
+            "--observer", upstream,
+            "--ip", self.config.ip,
+            "--heartbeat-interval", str(self.config.heartbeat_interval),
+        ]
+        if self.config.controller_name:
+            argv += ["--controller-name", self.config.controller_name]
+        if self.config.observer_flush_interval is not None:
+            argv += ["--flush-interval", str(self.config.observer_flush_interval)]
+        if self.config.worker_telemetry:
+            argv += ["--telemetry", "--trace-sample",
+                     str(self.config.worker_trace_sample)]
+        if self.config.shm_ring_bytes > 0:
+            argv += ["--shm-ring-bytes", str(self.config.shm_ring_bytes)]
+        if self.config.uvloop:
+            argv += ["--uvloop"]
+        pinned_port = self._proxy_ports.get(name, 0)
+        if pinned_port:
+            argv += ["--proxy-port", str(pinned_port)]
+        return argv
 
     async def spawn_worker(self, name: str, upstream: str | None = None) -> WorkerState:
         """Launch one worker process and wait for its W_REGISTER.
@@ -259,153 +390,33 @@ class ClusterController:
         replay their BOOT frames — reattach to the same endpoint
         without being restarted themselves.
         """
-        assert self.addr is not None, "start() first"
-        existing = self.workers.get(name)
-        if existing is not None and existing.alive:
-            raise ClusterError(f"worker {name!r} is already running")
         if upstream is not None:
             self._upstreams[name] = upstream
-        upstream = self._upstreams.get(name, str(self.observer.addr))
-        state = WorkerState(name=name)
-        self.workers[name] = state
-        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._register_waiters[name] = waiter
-        env = os.environ.copy()
-        # The worker must import this very source tree, wherever the
-        # controller was launched from.
-        src_root = str(Path(__file__).resolve().parents[2])
-        existing_path = env.get("PYTHONPATH", "")
-        env["PYTHONPATH"] = (
-            src_root + os.pathsep + existing_path if existing_path else src_root
-        )
-        argv = [
-            sys.executable, "-m", "repro.cluster.worker",
-            "--name", name,
-            "--controller", str(self.addr),
-            "--observer", upstream,
-            "--ip", self.config.ip,
-            "--heartbeat-interval", str(self.config.heartbeat_interval),
-        ]
-        if self.config.observer_flush_interval is not None:
-            argv += ["--flush-interval", str(self.config.observer_flush_interval)]
-        if self.config.worker_telemetry:
-            argv += ["--telemetry", "--trace-sample",
-                     str(self.config.worker_trace_sample)]
-        if self.config.shm_ring_bytes > 0:
-            argv += ["--shm-ring-bytes", str(self.config.shm_ring_bytes)]
-        if self.config.uvloop:
-            argv += ["--uvloop"]
-        pinned_port = self._proxy_ports.get(name, 0)
-        if pinned_port:
-            argv += ["--proxy-port", str(pinned_port)]
-        state.process = await asyncio.create_subprocess_exec(*argv, env=env)
-        try:
-            await asyncio.wait_for(waiter, self.config.register_timeout)
-        except asyncio.TimeoutError:
-            self._register_waiters.pop(name, None)
-            raise ClusterError(
-                f"worker {name!r} (pid {state.process.pid}) did not register "
-                f"within {self.config.register_timeout}s"
-            ) from None
-        state.alive = True
-        state.last_heartbeat = time.monotonic()
+        state = await self.supervisor.spawn_child(name)
+        assert isinstance(state, WorkerState)
         if self._c_spawn is not None:
             self._c_spawn.labels(worker=name).inc()
         self._trace(EventType.WORKER_SPAWN, worker=name, pid=state.pid)
-        self._tasks.append(asyncio.ensure_future(self._reap(state)))
         return state
 
-    async def _reap(self, state: WorkerState) -> None:
-        """Fast crash detection: the OS tells us the moment a worker exits."""
-        proc = state.process
-        if proc is None:
-            return
-        returncode = await proc.wait()
-        await self._worker_dead(state, reason=f"exit={returncode}")
-
-    # ------------------------------------------------------------ control channels
-
-    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-        chan = ControlChannel(reader, writer)
-        try:
-            first = await asyncio.wait_for(chan.recv(), self.config.register_timeout)
-        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
-                ConnectionError, OSError):
-            chan.close()
-            return
-        if first.type != MsgType.W_REGISTER:
-            chan.close()
-            return
-        fields = first.fields()
-        name = str(fields.get("name", ""))
-        state = self.workers.get(name)
-        if state is None:
-            chan.close()  # not a worker we launched
-            return
-        state.chan = chan
-        state.pid = int(fields.get("pid", 0))
-        state.proxy_addr = str(fields.get("proxy", ""))
-        state.loop_impl = str(fields.get("loop", ""))
-        if state.proxy_addr:
-            try:
-                self._proxy_ports.setdefault(
-                    name, NodeId.parse(state.proxy_addr).port
-                )
-            except CodecError:
-                pass
-        waiter = self._register_waiters.pop(name, None)
-        if waiter is not None and not waiter.done():
-            waiter.set_result(state)
-        while self._running:
-            try:
-                msg = await chan.recv()
-            except (asyncio.IncompleteReadError, ConnectionError, OSError):
-                break
-            except asyncio.CancelledError:
-                return
-            self._on_frame(state, msg)
-        await self._worker_dead(state, reason="channel-eof")
-
-    def _on_frame(self, state: WorkerState, msg: Message) -> None:
-        if msg.type == MsgType.W_HEARTBEAT:
-            fields = msg.fields()
-            state.last_heartbeat = time.monotonic()
-            state.rss_kb = float(fields.get("rss_kb", 0.0))
-            state.loop_lag_ms = float(fields.get("loop_lag_ms", 0.0))
-            state.node_count = int(fields.get("nodes", 0))
-            if self._g_rss is not None:
-                self._g_rss.labels(worker=state.name).set(state.rss_kb)
-                self._g_lag.labels(worker=state.name).set(state.loop_lag_ms)
-                self._g_nodes.labels(worker=state.name).set(state.node_count)
-        elif msg.type in (MsgType.W_SPAWNED, MsgType.W_NODE_INFO_REPLY):
-            future = self._pending.pop(msg.seq, None)
-            if future is not None and not future.done():
-                future.set_result(msg)
-
-    async def _request(self, state: WorkerState, type_: int, **fields: Any) -> dict:
-        """One correlated request/reply round trip on a worker's channel."""
-        if not state.alive or state.chan is None or state.chan.is_closing():
-            raise ClusterError(f"worker {state.name!r} is not live")
-        seq = next(self._seq)
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending[seq] = future
-        try:
-            await state.chan.send(type_, seq=seq, **fields)
-        except (ConnectionError, OSError) as exc:
-            self._pending.pop(seq, None)
-            raise ClusterError(f"worker {state.name!r} channel failed: {exc}") from exc
-        try:
-            reply = await asyncio.wait_for(future, self.config.request_timeout)
-        except (asyncio.TimeoutError, asyncio.CancelledError):
-            self._pending.pop(seq, None)
-            raise ClusterError(
-                f"worker {state.name!r} did not answer request type {type_} "
-                f"within {self.config.request_timeout}s"
-            ) from None
-        result = reply.fields()
-        if "error" in result:
-            raise ClusterError(f"worker {state.name!r}: {result['error']}")
-        return result
+    def _note_worker_dead(self, state: WorkerState, reason: str) -> list[PlacedNode]:
+        """Death bookkeeping: reconcile the observer, free the shard."""
+        orphans = list(state.placed.values())
+        state.placed.clear()
+        for placed in orphans:
+            # The hosted nodes died with the process.  Surviving peers
+            # already ran the node-level failure domino through their own
+            # transports (EOF -> BROKEN_LINK -> BROKEN_SOURCE cascade);
+            # here the *observer's* view is reconciled.
+            self.placed.pop(placed.spec.name, None)
+            self._obs.mark_down(placed.node_id)
+        if self._c_dead is not None:
+            self._c_dead.labels(worker=state.name).inc()
+        self._trace(
+            EventType.WORKER_DEAD, worker=state.name, reason=reason,
+            nodes=[str(p.node_id) for p in orphans],
+        )
+        return orphans
 
     # ------------------------------------------------------------------ placement
 
@@ -428,12 +439,15 @@ class ClusterController:
         wire_kwargs = resolve_refs(
             spec.kwargs, lambda name: self.placed[name].node_id
         )
-        reply = await self._request(
+        reply = await self.supervisor.request(
             state, MsgType.W_SPAWN,
             name=spec.name, algorithm=spec.algorithm, kwargs=wire_kwargs,
         )
         node_id = NodeId.parse(str(reply["node"]))
-        placed = PlacedNode(spec=spec, worker=worker, node_id=node_id)
+        placed = PlacedNode(
+            spec=spec, worker=worker, node_id=node_id,
+            controller=self.config.controller_name,
+        )
         state.placed[spec.name] = placed
         self.placed[spec.name] = placed
         if self._c_placed is not None:
@@ -449,6 +463,8 @@ class ClusterController:
                 EventType.NODE_REDEPLOYED, worker=worker, name=spec.name,
                 node=str(node_id),
             )
+            if self.redeploy_listener is not None:
+                self.redeploy_listener(spec.name, placed)
         return placed
 
     async def deploy(self, specs: Iterable[NodeSpec]) -> dict[str, PlacedNode]:
@@ -459,15 +475,15 @@ class ClusterController:
         """Gracefully stop one placed node and forget it everywhere."""
         placed = self._lookup(name)
         state = self.workers[placed.worker]
-        await self._request(state, MsgType.W_STOP_NODE, name=name)
+        await self.supervisor.request(state, MsgType.W_STOP_NODE, name=name)
         state.placed.pop(name, None)
         self.placed.pop(name, None)
-        self.observer.observer.mark_down(placed.node_id)
+        self._obs.mark_down(placed.node_id)
 
     async def node_info(self, name: str) -> dict:
         """Engine and algorithm facts for one placed node, live."""
         placed = self._lookup(name)
-        return await self._request(
+        return await self.supervisor.request(
             self.workers[placed.worker], MsgType.W_NODE_INFO, name=name
         )
 
@@ -485,80 +501,15 @@ class ClusterController:
 
     def deploy_source(self, name: str, app: AppId, payload_size: int = 5120) -> None:
         """Start a paced application source on a placed node (``sDeploy``)."""
-        self.observer.observer.deploy_source(self.node_id(name), app, payload_size)
+        self._obs.deploy_source(self.node_id(name), app, payload_size)
 
     def send_control(
         self, name: str, type_: int, param1: int = 0, param2: int = 0, app: AppId = 0
     ) -> None:
         """Algorithm-specific control verb, routed via the worker's proxy."""
-        self.observer.observer.send_control(
+        self._obs.send_control(
             self.node_id(name), type_, param1=param1, param2=param2, app=app
         )
 
     def terminate_node(self, name: str) -> None:
-        self.observer.observer.terminate_node(self.node_id(name))
-
-    # ---------------------------------------------------------------- supervision
-
-    async def _sweep_loop(self) -> None:
-        """Confirm silent worker deaths the EOF/reap paths cannot see."""
-        interval = max(0.05, self.config.heartbeat_interval / 2)
-        while self._running:
-            await asyncio.sleep(interval)
-            if not self._running:
-                return
-            now = time.monotonic()
-            for state in list(self.workers.values()):
-                if (
-                    state.alive
-                    and not state.shutting_down
-                    and now - state.last_heartbeat > self.config.heartbeat_timeout
-                ):
-                    await self._worker_dead(state, reason="heartbeat-timeout")
-
-    async def _worker_dead(self, state: WorkerState, reason: str) -> None:
-        """Confirm one worker dead (idempotent across detection paths)."""
-        if not self._running or not state.alive or state.shutting_down:
-            return
-        state.alive = False  # before any await: later detections no-op
-        self.worker_deaths += 1
-        if state.chan is not None:
-            state.chan.close()
-            state.chan = None
-        orphans = list(state.placed.values())
-        state.placed.clear()
-        for placed in orphans:
-            # The hosted nodes died with the process.  Surviving peers
-            # already ran the node-level failure domino through their own
-            # transports (EOF -> BROKEN_LINK -> BROKEN_SOURCE cascade);
-            # here the *observer's* view is reconciled.
-            self.placed.pop(placed.spec.name, None)
-            self.observer.observer.mark_down(placed.node_id)
-        if self._c_dead is not None:
-            self._c_dead.labels(worker=state.name).inc()
-        self._trace(
-            EventType.WORKER_DEAD, worker=state.name, reason=reason,
-            nodes=[str(p.node_id) for p in orphans],
-        )
-        if self.config.respawn:
-            await self._respawn(state.name, orphans)
-
-    async def _respawn(self, name: str, orphans: list[PlacedNode]) -> None:
-        """Relaunch a dead worker and re-place its specs.
-
-        Specs re-place in their original (sinks-first) order, so
-        references among the orphans resolve to the *new* identities
-        while references to surviving nodes keep the old ones.  The
-        redeployed nodes bind fresh ports: upstream nodes on other
-        workers are not rewired automatically — that is an algorithm
-        decision (rejoin via bootstrap), not a fabric one.
-        """
-        try:
-            await self.spawn_worker(name)
-        except ClusterError:
-            return  # respawn is best-effort; the death was already recorded
-        for placed in orphans:
-            try:
-                await self.place(placed.spec, redeploy=True)
-            except ClusterError:
-                continue
+        self._obs.terminate_node(self.node_id(name))

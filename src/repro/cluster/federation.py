@@ -1,0 +1,567 @@
+"""The federation root: a controller of controllers.
+
+One :class:`RootController` supervises a set of **child controllers**
+— each a full :class:`~repro.cluster.controller.ClusterController`
+running its own worker fleet in its own process
+(:mod:`repro.cluster.child`) — through the same supervision core that
+watches worker processes, just one tier up:
+
+- children either get **spawned** locally (``python -m
+  repro.cluster.child``) or **join** over plain TCP from anywhere
+  (``ioverlay cluster --join``); a joiner is *adopted* — same state
+  machine, nothing to reap or respawn;
+- the bootstrap handshake is two-phase: ``C_JOIN`` (identity, declared
+  worker count/capacity/weight) is answered with ``C_WELCOME`` (the
+  root observer endpoint to aggregate into, plus a pinned proxy port on
+  respawn), the child boots its proxy and fleet, then reports
+  ``C_EVENT {event: "ready"}`` — placement only ever targets ready
+  children;
+- **placement is two-stage**: the root resolves every ``"@name"``
+  reference against its *global* placed map (so edges cross controller
+  boundaries transparently), picks a child by capacity or weighted
+  policy (or the spec's ``controller`` pin), and ships the wire-form
+  spec via ``C_PLACE``; the child then places it across its own workers
+  with the ordinary single-stage policies;
+- the **observer tree** roots one aggregation proxy per child
+  controller: a node's telemetry travels node → worker proxy → child
+  controller proxy → root observer, so root ingress is
+  O(children), not O(workers) — and downward control frames ride the
+  same learned routes back;
+- **death detection gains a third tier**: losing a child controller
+  marks its *entire shard* down and re-places every orphaned spec
+  through the root policy across the surviving (or respawned) children,
+  in the original sinks-first order — the controller-level analog of
+  the worker-death redeploy.
+
+Everything is observable: ``ioverlay_cluster_controllers`` gauges the
+ready population, controller deaths and shard redeploys bump counters,
+and ``controller-join``/``controller-dead``/``shard-redeployed`` trace
+events bracket every reconfiguration.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import time
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.cluster.controller import ObserverControl
+from repro.cluster.placement import ControllerLoad, make_controller_placement
+from repro.cluster.spec import NodeSpec, PlacedNode, resolve_refs
+from repro.cluster.supervise import (
+    CONTROLLER_FAMILY,
+    ChildState,
+    RespawnPolicy,
+    SupervisorCore,
+)
+from repro.core.ids import AppId, NodeId
+from repro.core.msgtypes import MsgType
+from repro.errors import ClusterError, CodecError
+from repro.telemetry import Telemetry
+from repro.telemetry.tracing import EventType
+
+
+@dataclass
+class RootConfig:
+    """Tunables of one federation root."""
+
+    ip: str = "127.0.0.1"
+    #: stage-one policy: ``capacity`` (most free declared capacity) or
+    #: ``weighted`` (least load per declared weight)
+    placement: str = "capacity"
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 3.0
+    #: a child registers (C_JOIN) quickly, but is only *ready* once its
+    #: whole fleet booted — both waits share this budget
+    register_timeout: float = 30.0
+    request_timeout: float = 30.0
+    #: relaunch locally-spawned children that die (joiners never respawn
+    #: from here — their machine owns their lifecycle)
+    respawn: bool = False
+    respawn_max: int = 5
+    respawn_backoff: float = 0.25
+    respawn_backoff_max: float = 5.0
+    respawn_min_uptime: float = 5.0
+    telemetry: Telemetry | None = None
+    #: defaults for locally-spawned children (a join declares its own)
+    workers_per_child: int = 2
+    child_placement: str = "round-robin"
+    #: aggregation flush period for the child-controller proxies *and*
+    #: their worker proxies — the federation tree always aggregates
+    #: (pure relays would multiply hops for no reduction)
+    observer_flush_interval: float = 0.2
+    #: worker-process passthrough for spawned children
+    worker_telemetry: bool = False
+    shm_ring_bytes: int = 1 << 20
+    uvloop: bool = False
+
+
+@dataclass
+class ControllerState(ChildState):
+    """Everything the root knows about one child controller."""
+
+    #: declared fleet size / capacity / weight (from C_JOIN)
+    workers: int = 0
+    capacity: float = 0.0
+    weight: float = 1.0
+    #: fleet booted, aggregation proxy attached — placement may target it
+    ready: bool = False
+    #: the child's aggregation-proxy endpoint (from the ready event)
+    proxy_addr: str = ""
+    #: live gauges from C_HEARTBEAT
+    node_count: int = 0
+    workers_alive: int = 0
+    rss_kb: float = 0.0
+    #: spec name -> placement, in placement order (the shard this child
+    #: hosts; sinks-first order is what makes a shard redeploy resolvable)
+    placed: dict[str, PlacedNode] = dataclass_field(default_factory=dict)
+
+    @property
+    def load(self) -> float:
+        """Total declared weight placed under this controller."""
+        return sum(p.spec.weight for p in self.placed.values())
+
+
+class ChildControllerSupervisor(SupervisorCore):
+    """Controller-tier frontend of the supervision core.
+
+    Children are ``repro.cluster.child`` processes — or remote joiners
+    adopted on their C_JOIN.  The C_* frame family extends the W_* range
+    one tier up; see :mod:`repro.cluster.protocol` for the verb table.
+    """
+
+    state_class = ControllerState
+
+    def __init__(self, root: "RootController") -> None:
+        config = root.config
+        super().__init__(
+            CONTROLLER_FAMILY,
+            ip=config.ip,
+            heartbeat_interval=config.heartbeat_interval,
+            heartbeat_timeout=config.heartbeat_timeout,
+            register_timeout=config.register_timeout,
+            request_timeout=config.request_timeout,
+            respawn=config.respawn,
+            respawn_policy=RespawnPolicy(
+                max_consecutive=config.respawn_max,
+                backoff_base=config.respawn_backoff,
+                backoff_max=config.respawn_backoff_max,
+                min_uptime=config.respawn_min_uptime,
+            ),
+            adopt_unknown=True,
+        )
+        self.root = root
+
+    # ------------------------------------------------------------------- hooks
+
+    def child_argv(self, state: ChildState) -> list[str]:
+        return self.root._child_argv(state.name)
+
+    def child_env(self, state: ChildState) -> dict[str, str]:
+        env = os.environ.copy()
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing_path = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing_path if existing_path else src_root
+        )
+        return env
+
+    def on_registered(self, state: ChildState, fields: dict) -> None:
+        assert isinstance(state, ControllerState)
+        self.root._on_join(state, fields)
+
+    def on_heartbeat(self, state: ChildState, fields: dict) -> None:
+        assert isinstance(state, ControllerState)
+        state.node_count = int(fields.get("nodes", 0))
+        state.workers_alive = int(fields.get("workers_alive", 0))
+        state.rss_kb = float(fields.get("rss_kb", 0.0))
+        self.root._refresh_gauges(state)
+
+    def on_frame(self, state: ChildState, msg: Any) -> None:
+        assert isinstance(state, ControllerState)
+        if msg.type == MsgType.C_EVENT:
+            self.root._on_event(state, msg.fields())
+
+    async def on_child_dead(self, state: ChildState, reason: str) -> list:
+        assert isinstance(state, ControllerState)
+        self.root._note_controller_dead(state, reason)
+        # The shard redeploy is scheduled by the root itself (it must run
+        # for adopted children too, which the core never respawns), so
+        # nothing is handed to replace_orphans here.
+        return []
+
+    def trace(self, event: str, **detail: Any) -> None:
+        self.root._trace(event, **detail)
+
+
+class RootController:
+    """Places specs across child controllers, supervises the tree."""
+
+    def __init__(self, observer: Any, config: RootConfig | None = None) -> None:
+        self.observer = observer
+        self._obs: Any = (
+            observer if hasattr(observer, "mark_down") else ObserverControl(observer)
+        )
+        self.config = config or RootConfig()
+        self.policy = make_controller_placement(self.config.placement)
+        self.supervisor = ChildControllerSupervisor(self)
+        #: spec name -> current placement, across the whole federation
+        self.placed: dict[str, PlacedNode] = {}
+        self.addr: NodeId | None = None
+        #: child name -> declared worker count for local spawns
+        self._spawn_workers: dict[str, int] = {}
+        #: child name -> the aggregation-proxy port its first incarnation
+        #: bound; a respawn is handed it via C_WELCOME so worker proxies
+        #: already dialing it reattach instead of restarting
+        self._proxy_ports: dict[str, int] = {}
+        #: child name -> futures resolved when its ready event arrives
+        self._ready_waiters: dict[str, list[asyncio.Future]] = {}
+        self._redeploy_tasks: list[asyncio.Task] = []
+        self.controller_deaths = 0
+        self.shards_redeployed = 0
+        self.nodes_redeployed = 0
+        tel = self.config.telemetry
+        if tel is not None:
+            reg = tel.registry
+            self._g_controllers = reg.gauge(
+                "ioverlay_cluster_controllers",
+                "Child controllers ready for placement")
+            self._g_ctl_nodes = reg.gauge(
+                "ioverlay_cluster_controller_nodes",
+                "Nodes hosted per child controller", ("controller",))
+            self._g_ctl_workers = reg.gauge(
+                "ioverlay_cluster_controller_workers_alive",
+                "Live workers per child controller", ("controller",))
+            self._c_join = reg.counter(
+                "ioverlay_cluster_controller_join_total",
+                "Child controllers joined", ("controller",))
+            self._c_dead = reg.counter(
+                "ioverlay_cluster_controller_dead_total",
+                "Child controller deaths confirmed", ("controller",))
+            self._c_shard = reg.counter(
+                "ioverlay_cluster_shard_redeployed_total",
+                "Whole-shard redeploys after a controller death", ("controller",))
+            self._c_redeployed = reg.counter(
+                "ioverlay_cluster_node_redeployed_total",
+                "Nodes re-placed after a failure", ("worker",))
+        else:
+            self._g_controllers = self._g_ctl_nodes = self._g_ctl_workers = None
+            self._c_join = self._c_dead = self._c_shard = self._c_redeployed = None
+
+    # ----------------------------------------------------- supervision facade
+
+    @property
+    def controllers(self) -> dict[str, ControllerState]:
+        """The child-controller tree as the supervision core tracks it."""
+        return self.supervisor.children  # type: ignore[return-value]
+
+    @property
+    def controller_count(self) -> int:
+        return sum(1 for st in self.controllers.values() if st.alive and st.ready)
+
+    def _trace(self, event: str, **detail: Any) -> None:
+        tel = self.config.telemetry
+        if tel is not None and tel.tracer.enabled:
+            tel.tracer.append_raw(time.monotonic(), "root", event, "", 0, detail)
+
+    def _refresh_gauges(self, state: ControllerState | None = None) -> None:
+        if self._g_controllers is not None:
+            self._g_controllers.set(self.controller_count)
+            if state is not None:
+                self._g_ctl_nodes.labels(controller=state.name).set(state.node_count)
+                self._g_ctl_workers.labels(controller=state.name).set(
+                    state.workers_alive
+                )
+
+    # ------------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Bind the controller-to-controller bootstrap server."""
+        await self.supervisor.start_server()
+        self.addr = NodeId(self.config.ip, self.supervisor.port)
+
+    async def stop(self) -> None:
+        """Drain the tree: C_SHUTDOWN every child, then reap/escalate."""
+        for task in self._redeploy_tasks:
+            task.cancel()
+        self._redeploy_tasks.clear()
+        await self.supervisor.stop()
+
+    # ------------------------------------------------------------------- children
+
+    def _child_argv(self, name: str) -> list[str]:
+        assert self.addr is not None, "start() first"
+        config = self.config
+        argv = [
+            sys.executable, "-m", "repro.cluster.child",
+            "--name", name,
+            "--join", str(self.addr),
+            "--ip", config.ip,
+            "--workers", str(self._spawn_workers.get(name, config.workers_per_child)),
+            "--placement", config.child_placement,
+            "--heartbeat-interval", str(config.heartbeat_interval),
+            "--flush-interval", str(config.observer_flush_interval),
+        ]
+        if config.worker_telemetry:
+            argv += ["--worker-telemetry"]
+        if config.shm_ring_bytes > 0:
+            argv += ["--shm-ring-bytes", str(config.shm_ring_bytes)]
+        if config.uvloop:
+            argv += ["--uvloop"]
+        return argv
+
+    async def spawn_child(self, name: str, workers: int | None = None) -> ControllerState:
+        """Launch one child controller locally and wait until it is ready."""
+        if workers is not None:
+            self._spawn_workers[name] = workers
+        state = await self.supervisor.spawn_child(name)
+        assert isinstance(state, ControllerState)
+        await self.wait_ready(name)
+        return state
+
+    async def wait_ready(
+        self, name: str, timeout: float | None = None
+    ) -> ControllerState:
+        """Wait for ``name``'s fleet to finish booting (ready event)."""
+        state = self.controllers.get(name)
+        if state is not None and state.ready and state.alive:
+            return state
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._ready_waiters.setdefault(name, []).append(future)
+        try:
+            await asyncio.wait_for(future, timeout or self.config.register_timeout)
+        except asyncio.TimeoutError:
+            raise ClusterError(
+                f"child controller {name!r} did not become ready"
+            ) from None
+        state = self.controllers[name]
+        assert isinstance(state, ControllerState)
+        return state
+
+    async def wait_joined(self, count: int, timeout: float = 60.0) -> None:
+        """Wait until ``count`` child controllers are ready (remote joins)."""
+        deadline = time.monotonic() + timeout
+        while self.controller_count < count:
+            if time.monotonic() > deadline:
+                raise ClusterError(
+                    f"only {self.controller_count}/{count} controllers ready "
+                    f"after {timeout}s"
+                )
+            await asyncio.sleep(0.05)
+
+    # ------------------------------------------------- bootstrap handshake
+
+    def _on_join(self, state: ControllerState, fields: dict) -> None:
+        """A C_JOIN arrived: record declarations, answer with C_WELCOME."""
+        state.workers = int(fields.get("workers", 0))
+        state.capacity = float(fields.get("capacity", 0.0))
+        state.weight = float(fields.get("weight", 1.0))
+        state.ready = False
+        if self._c_join is not None:
+            self._c_join.labels(controller=state.name).inc()
+        self._trace(
+            EventType.CONTROLLER_JOIN, controller=state.name, pid=state.pid,
+            workers=state.workers, capacity=state.capacity, weight=state.weight,
+        )
+        welcome = {
+            "observer": str(self._obs.addr),
+            "proxy_port": self._proxy_ports.get(state.name, 0),
+        }
+        chan = state.chan
+        if chan is not None:
+            asyncio.ensure_future(chan.send(MsgType.C_WELCOME, **welcome))
+
+    def _on_event(self, state: ControllerState, fields: dict) -> None:
+        """An upward C_EVENT: ready / node-down / node-replaced."""
+        event = str(fields.get("event", ""))
+        if event == "ready":
+            state.ready = True
+            state.proxy_addr = str(fields.get("proxy", ""))
+            if state.proxy_addr:
+                try:
+                    self._proxy_ports.setdefault(
+                        state.name, NodeId.parse(state.proxy_addr).port
+                    )
+                except CodecError:
+                    pass
+            self._refresh_gauges(state)
+            for future in self._ready_waiters.pop(state.name, []):
+                if not future.done():
+                    future.set_result(state)
+        elif event == "node-down":
+            name = str(fields.get("name", ""))
+            placed = self.placed.pop(name, None)
+            state.placed.pop(name, None)
+            if placed is not None:
+                self._obs.mark_down(placed.node_id)
+        elif event == "node-replaced":
+            # The child respawned a worker internally and re-placed the
+            # spec: refresh the root's map so refs and control verbs
+            # target the new identity.
+            name = str(fields.get("name", ""))
+            stale = self.placed.get(name)
+            if stale is None:
+                return
+            try:
+                node_id = NodeId.parse(str(fields.get("node", "")))
+            except CodecError:
+                return
+            fresh = PlacedNode(
+                spec=stale.spec, worker=str(fields.get("worker", "")),
+                node_id=node_id, controller=state.name,
+            )
+            self.placed[name] = fresh
+            state.placed[name] = fresh
+            self.nodes_redeployed += 1
+            if self._c_redeployed is not None:
+                self._c_redeployed.labels(worker=fresh.worker).inc()
+
+    # ------------------------------------------------------------------ placement
+
+    def _choose_controller(self, spec: NodeSpec, *, relax_pin: bool = False) -> str:
+        fleet = {
+            name: ControllerLoad(load=st.load, capacity=st.capacity, weight=st.weight)
+            for name, st in self.controllers.items()
+            if st.alive and st.ready
+        }
+        if spec.controller is not None:
+            if spec.controller in fleet:
+                return spec.controller
+            if not relax_pin:
+                raise ClusterError(
+                    f"spec {spec.name!r} pins controller {spec.controller!r}, "
+                    "which is not ready"
+                )
+        return self.policy.choose(spec, fleet)
+
+    async def place(self, spec: NodeSpec, *, redeploy: bool = False) -> PlacedNode:
+        """Two-stage placement: pick a child controller, ship the spec.
+
+        References are resolved here against the *global* placed map, so
+        an edge may point at a node under any other controller; the
+        already-resolved wire form passes through the child's own
+        reference resolution untouched.
+        """
+        if spec.name in self.placed:
+            raise ClusterError(f"node {spec.name!r} is already placed")
+        controller = self._choose_controller(spec, relax_pin=redeploy)
+        state = self.controllers[controller]
+        wire_kwargs = resolve_refs(
+            spec.kwargs, lambda name: self.placed[name].node_id
+        )
+        reply = await self.supervisor.request(
+            state, MsgType.C_PLACE,
+            name=spec.name, algorithm=spec.algorithm, kwargs=wire_kwargs,
+            weight=spec.weight, pin=spec.pin,
+        )
+        node_id = NodeId.parse(str(reply["node"]))
+        placed = PlacedNode(
+            spec=spec, worker=str(reply.get("worker", "")),
+            node_id=node_id, controller=controller,
+        )
+        state.placed[spec.name] = placed
+        self.placed[spec.name] = placed
+        if redeploy:
+            self.nodes_redeployed += 1
+            if self._c_redeployed is not None:
+                self._c_redeployed.labels(worker=placed.worker).inc()
+        return placed
+
+    async def deploy(self, specs: Iterable[NodeSpec]) -> dict[str, PlacedNode]:
+        """Place a whole topology (specs ordered sinks-first)."""
+        return {spec.name: await self.place(spec) for spec in specs}
+
+    async def stop_node(self, name: str) -> None:
+        placed = self._lookup(name)
+        state = self.controllers[placed.controller]
+        await self.supervisor.request(state, MsgType.C_STOP_NODE, name=name)
+        state.placed.pop(name, None)
+        self.placed.pop(name, None)
+        self._obs.mark_down(placed.node_id)
+
+    async def node_info(self, name: str) -> dict:
+        placed = self._lookup(name)
+        return await self.supervisor.request(
+            self.controllers[placed.controller], MsgType.C_NODE_INFO, name=name
+        )
+
+    def _lookup(self, name: str) -> PlacedNode:
+        try:
+            return self.placed[name]
+        except KeyError:
+            raise ClusterError(f"no placed node named {name!r}") from None
+
+    def node_id(self, name: str) -> NodeId:
+        return self._lookup(name).node_id
+
+    # ---------------------------------------------- observer-driven deployment
+
+    def deploy_source(self, name: str, app: AppId, payload_size: int = 5120) -> None:
+        """Start a paced source on a placed node, wherever it lives."""
+        self._obs.deploy_source(self.node_id(name), app, payload_size)
+
+    def send_control(
+        self, name: str, type_: int, param1: int = 0, param2: int = 0, app: AppId = 0
+    ) -> None:
+        self._obs.send_control(
+            self.node_id(name), type_, param1=param1, param2=param2, app=app
+        )
+
+    def terminate_node(self, name: str) -> None:
+        self._obs.terminate_node(self.node_id(name))
+
+    # --------------------------------------------------------- the third tier
+
+    def _note_controller_dead(self, state: ControllerState, reason: str) -> None:
+        """A whole child controller died: down its shard, then re-place it."""
+        state.ready = False
+        orphans = list(state.placed.values())
+        state.placed.clear()
+        for placed in orphans:
+            self.placed.pop(placed.spec.name, None)
+            self._obs.mark_down(placed.node_id)
+        self.controller_deaths += 1
+        if self._c_dead is not None:
+            self._c_dead.labels(controller=state.name).inc()
+        self._refresh_gauges()
+        self._trace(
+            EventType.CONTROLLER_DEAD, controller=state.name, reason=reason,
+            shard=[p.spec.name for p in orphans],
+        )
+        if orphans and self.supervisor.running:
+            self._redeploy_tasks.append(
+                asyncio.ensure_future(self._redeploy_shard(state.name, orphans))
+            )
+
+    async def _redeploy_shard(self, dead: str, orphans: list[PlacedNode]) -> None:
+        """Re-place a dead controller's whole shard through the root policy.
+
+        Orphans are replayed in their original (sinks-first) placement
+        order, so every reference a spec carries is already re-placed by
+        the time the spec itself is.  A pin to the dead controller is
+        relaxed — landing the node elsewhere beats failing the redeploy.
+        """
+        try:
+            await self.wait_joined(1, timeout=self.config.register_timeout)
+        except ClusterError:
+            return
+        redeployed = []
+        for orphan in orphans:
+            # Refs must resolve against *new* identities, so strip the
+            # stale wire form by re-placing from the original spec.
+            try:
+                placed = await self.place(orphan.spec, redeploy=True)
+            except ClusterError:
+                continue
+            redeployed.append(placed.spec.name)
+        self.shards_redeployed += 1
+        if self._c_shard is not None:
+            self._c_shard.labels(controller=dead).inc()
+        self._trace(
+            EventType.SHARD_REDEPLOYED, controller=dead,
+            nodes=redeployed, lost=[p.spec.name for p in orphans],
+        )

@@ -1,15 +1,22 @@
-"""Placement policies: which worker gets the next node.
+"""Placement policies: which worker — and which controller — gets a node.
 
 The controller consults a policy for every spec without an explicit
 pin.  Policies see the fleet as an ordered mapping ``worker name ->
 total placed weight`` and return the chosen worker's name; they are
 deterministic so a deployment is reproducible run to run.
+
+In a federated deployment placement is **two-stage**: the root first
+picks a *child controller* through a :class:`ControllerPlacementPolicy`
+(capacity- or weight-aware, over :class:`ControllerLoad` summaries),
+then that controller places the spec across its own workers with the
+ordinary single-stage policies above.  A spec's ``controller`` pin
+short-circuits stage one exactly like ``pin`` short-circuits stage two.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, NamedTuple
 
 from repro.errors import ClusterError
 
@@ -73,4 +80,91 @@ def make_placement(name: str) -> PlacementPolicy:
     except KeyError:
         raise ClusterError(
             f"unknown placement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+
+
+# --- stage one: root -> child controller --------------------------------------
+
+
+class ControllerLoad(NamedTuple):
+    """One child controller's placement-relevant state, as the root sees it."""
+
+    #: total declared weight of specs placed under this controller
+    load: float
+    #: declared fleet capacity (0 = undeclared, treated as unbounded)
+    capacity: float
+    #: share scaling under weighted placement
+    weight: float
+
+
+class ControllerPlacementPolicy(ABC):
+    """Chooses a child controller for one spec (federation stage one)."""
+
+    @abstractmethod
+    def choose(self, spec: "NodeSpec", fleet: Mapping[str, ControllerLoad]) -> str:
+        """Return the name of the controller ``spec`` should land under.
+
+        ``fleet`` maps every *ready* child controller to its load
+        summary, in join order.  Raises
+        :class:`~repro.errors.ClusterError` when no controller fits.
+        """
+
+
+class CapacityPlacement(ControllerPlacementPolicy):
+    """Send each spec to the controller with the most free capacity.
+
+    Free capacity is ``capacity - load``; undeclared capacity counts as
+    unbounded, so among unbounded (or tied) controllers the least loaded
+    wins, then join order.  A controller without room for the spec's
+    weight is skipped; if every controller is full the spec overflows
+    onto the least loaded one rather than failing the deployment.
+    """
+
+    def choose(self, spec: "NodeSpec", fleet: Mapping[str, ControllerLoad]) -> str:
+        if not fleet:
+            raise ClusterError("no ready child controllers to place on")
+        order = {name: i for i, name in enumerate(fleet)}
+
+        def free(entry: ControllerLoad) -> float:
+            if entry.capacity <= 0:
+                return float("inf")
+            return entry.capacity - entry.load
+
+        candidates = [n for n, e in fleet.items() if free(e) >= spec.weight]
+        pool = candidates or list(fleet)
+        return min(pool, key=lambda n: (-free(fleet[n]), fleet[n].load, order[n]))
+
+
+class WeightedControllerPlacement(ControllerPlacementPolicy):
+    """Send each spec to the controller with the least load per weight.
+
+    A controller declared twice as heavy takes twice the load before
+    the policy moves on — the controller-level analog of bin-packing.
+    Ties break toward join order.
+    """
+
+    def choose(self, spec: "NodeSpec", fleet: Mapping[str, ControllerLoad]) -> str:
+        if not fleet:
+            raise ClusterError("no ready child controllers to place on")
+        order = {name: i for i, name in enumerate(fleet)}
+        return min(
+            fleet,
+            key=lambda n: (fleet[n].load / max(fleet[n].weight, 1e-9), order[n]),
+        )
+
+
+_CONTROLLER_POLICIES = {
+    "capacity": CapacityPlacement,
+    "weighted": WeightedControllerPlacement,
+}
+
+
+def make_controller_placement(name: str) -> ControllerPlacementPolicy:
+    """Instantiate a stage-one policy by CLI name (``capacity``/``weighted``)."""
+    try:
+        return _CONTROLLER_POLICIES[name]()
+    except KeyError:
+        raise ClusterError(
+            f"unknown controller placement policy {name!r}; "
+            f"choose from {sorted(_CONTROLLER_POLICIES)}"
         ) from None

@@ -1,8 +1,8 @@
-"""The controller <-> worker control channel.
+"""The control channels: controller <-> worker, root <-> controller.
 
-The channel is one ordinary TCP connection speaking iOverlay frames
-(:mod:`repro.net.framing`) with the ``W_*`` verbs of
-:mod:`repro.core.msgtypes`:
+Both supervision tiers speak iOverlay frames (:mod:`repro.net.framing`)
+on one ordinary TCP connection.  The process tier uses the ``W_*``
+verbs of :mod:`repro.core.msgtypes`:
 
 ========================  =============================================
 verb                      direction and meaning
@@ -17,8 +17,28 @@ verb                      direction and meaning
 ``W_SHUTDOWN``            controller -> worker: drain and exit
 ========================  =============================================
 
-Requests that expect an answer carry a controller-chosen token in the
-header ``seq`` field; the worker echoes it on the reply, so one channel
+The federation tier (:mod:`repro.cluster.federation`) extends the range
+with the ``C_*`` controller-to-controller family — the same shapes one
+tier up, plus the bootstrap handshake:
+
+========================  =============================================
+``C_JOIN``                child -> root, first frame: identity +
+                          declared workers/capacity/weight
+``C_WELCOME``             root -> child: root observer endpoint, pinned
+                          proxy port on respawn
+``C_PLACE``               root -> child: place one spec on your fleet
+``C_PLACED``              child -> root: placement outcome
+``C_HEARTBEAT``           child -> root: shard liveness + gauges
+``C_STOP_NODE``           root -> child: stop one placed node
+``C_NODE_INFO``           root -> child: inspect one placed node
+``C_INFO_REPLY``          child -> root: reply / generic ack
+``C_SHUTDOWN``            root -> child: drain the shard and exit
+``C_EVENT``               child -> root: ready / node-down /
+                          node-replaced notifications
+========================  =============================================
+
+Requests that expect an answer carry a supervisor-chosen token in the
+header ``seq`` field; the child echoes it on the reply, so one channel
 multiplexes any number of outstanding requests.  Reusing the message
 codec means the control plane gets framing, JSON field payloads and
 codec validation for free — no second wire format.

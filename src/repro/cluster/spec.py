@@ -48,6 +48,25 @@ class NodeSpec:
     weight: float = 1.0
     #: worker name this node must land on (overrides the policy)
     pin: str | None = None
+    #: in a federated deployment: child-controller name this node must
+    #: land under (first placement stage; ``pin`` then still applies to
+    #: that controller's own worker choice)
+    controller: str | None = None
+
+
+@dataclass
+class ControllerSpec:
+    """One child controller of a federated deployment, as the root sees it.
+
+    ``capacity`` declares how much total spec weight the controller's
+    fleet is sized for, ``weight`` scales its share under weighted
+    placement (a beefier machine takes proportionally more load).
+    """
+
+    name: str
+    workers: int = 2
+    capacity: float = 0.0
+    weight: float = 1.0
 
 
 @dataclass
@@ -57,6 +76,8 @@ class PlacedNode:
     spec: NodeSpec
     worker: str
     node_id: NodeId
+    #: child controller hosting the worker ("" outside federation)
+    controller: str = ""
 
 
 def resolve_refs(kwargs: dict[str, Any], lookup: Callable[[str], NodeId]) -> dict[str, Any]:

@@ -1,0 +1,508 @@
+"""The supervision core: spawn, reap, heartbeat, death ladder, respawn.
+
+Both tiers of the control plane supervise a set of *children* the same
+way — the :class:`~repro.cluster.controller.ClusterController` watches
+worker processes, the federated root controller watches whole child
+controllers — so the mechanics live here once, over an abstract child
+handle (:class:`ChildState`):
+
+- **spawn**: launch a subprocess from a frontend-built argv and await
+  its registration frame on the control server (children that *join*
+  over plain TCP instead of being launched are *adopted*: same state
+  machine, no process to reap or respawn);
+- **death ladder**: a reaped process, a channel EOF and a heartbeat
+  silence window all confirm the same death exactly once;
+- **respawn**: a dead spawned child relaunches under a
+  *consecutive-respawn budget* with exponential backoff
+  (:class:`RespawnPolicy`) — a child that crash-loops on boot burns its
+  budget and is abandoned with a ``respawn-exhausted`` trace instead of
+  spinning the fleet forever; surviving longer than ``min_uptime``
+  resets the streak;
+- **teardown**: :meth:`SupervisorCore.stop` is idempotent and safe
+  against in-flight respawns — a subprocess created while stop() runs
+  is killed, never orphaned.
+
+Frontends parameterize the wire dialect with a :class:`FrameFamily`
+(the ``W_*`` worker verbs or the ``C_*`` controller-to-controller
+verbs) and override the template hooks for registration, heartbeats,
+death bookkeeping and orphan re-placement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any
+
+from repro.cluster.protocol import ControlChannel
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+from repro.errors import ClusterError
+from repro.telemetry.tracing import EventType
+
+
+@dataclass(frozen=True)
+class FrameFamily:
+    """The wire verbs one supervision tier speaks on its channels."""
+
+    #: child -> supervisor, first frame: identity
+    register: int
+    #: child -> supervisor: periodic liveness + gauges
+    heartbeat: int
+    #: supervisor -> child: drain and exit
+    shutdown: int
+    #: child -> supervisor frames correlated to a request by ``seq``
+    replies: frozenset[int]
+
+
+#: controller <-> worker (process tier, PR 5)
+WORKER_FAMILY = FrameFamily(
+    register=MsgType.W_REGISTER,
+    heartbeat=MsgType.W_HEARTBEAT,
+    shutdown=MsgType.W_SHUTDOWN,
+    replies=frozenset({MsgType.W_SPAWNED, MsgType.W_NODE_INFO_REPLY}),
+)
+
+#: root <-> child controller (federation tier)
+CONTROLLER_FAMILY = FrameFamily(
+    register=MsgType.C_JOIN,
+    heartbeat=MsgType.C_HEARTBEAT,
+    shutdown=MsgType.C_SHUTDOWN,
+    replies=frozenset({MsgType.C_PLACED, MsgType.C_INFO_REPLY}),
+)
+
+
+@dataclass
+class RespawnPolicy:
+    """Budgeted exponential backoff for crash-looping children."""
+
+    #: consecutive early deaths tolerated before giving up on the child
+    max_consecutive: int = 5
+    #: backoff before the 2nd consecutive respawn; doubles per streak step
+    backoff_base: float = 0.25
+    #: backoff ceiling
+    backoff_max: float = 5.0
+    #: surviving this long after registration resets the streak to zero
+    min_uptime: float = 5.0
+
+    def delay(self, streak: int) -> float:
+        """Backoff before respawn attempt number ``streak`` (1-based)."""
+        if streak <= 1:
+            return 0.0
+        return min(self.backoff_max, self.backoff_base * 2 ** (streak - 2))
+
+
+@dataclass
+class ChildState:
+    """The abstract child handle: everything the core supervises."""
+
+    name: str
+    process: Any = None  # asyncio.subprocess.Process (None when adopted)
+    chan: ControlChannel | None = None
+    pid: int = 0
+    alive: bool = False
+    shutting_down: bool = False
+    #: joined over TCP instead of being launched here: nothing to reap,
+    #: nothing to respawn — death bookkeeping is all that applies
+    adopted: bool = False
+    last_heartbeat: float = 0.0
+    #: when registration completed (uptime feeds the respawn streak)
+    spawned_at: float = 0.0
+
+
+class SupervisorCore:
+    """Supervises a set of children over one control server.
+
+    Frontends subclass and override the template hooks:
+
+    ``child_argv(state)``
+        argv for (re)launching the child; ``None`` marks the child
+        non-respawnable (adopted children never consult it).
+    ``child_env(state)``
+        environment for the subprocess (``None`` inherits).
+    ``on_registered(state, fields)``
+        the child's registration fields arrived (identity facts).
+    ``on_heartbeat(state, fields)``
+        a heartbeat's gauge fields arrived.
+    ``on_frame(state, msg)``
+        any other non-reply upward frame.
+    ``on_child_dead(state, reason)``
+        death bookkeeping; returns the *orphans* to hand to
+        ``replace_orphans`` after a successful respawn.
+    ``replace_orphans(state, orphans)``
+        re-place what the dead incarnation hosted.
+    ``trace(event, **detail)``
+        bridge to the frontend's telemetry (default: drop).
+    """
+
+    #: state dataclass instantiated per child (frontends override)
+    state_class: type[ChildState] = ChildState
+
+    def __init__(
+        self,
+        family: FrameFamily,
+        *,
+        ip: str = "127.0.0.1",
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 3.0,
+        register_timeout: float = 20.0,
+        request_timeout: float = 20.0,
+        respawn: bool = False,
+        respawn_policy: RespawnPolicy | None = None,
+        adopt_unknown: bool = False,
+    ) -> None:
+        self.family = family
+        self.ip = ip
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.register_timeout = register_timeout
+        self.request_timeout = request_timeout
+        self.respawn = respawn
+        self.respawn_policy = respawn_policy or RespawnPolicy()
+        #: accept registrations from children this supervisor did not
+        #: launch (the federation root adopts remote ``--join`` daemons)
+        self.adopt_unknown = adopt_unknown
+        self.children: dict[str, ChildState] = {}
+        self.port = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._seq = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._register_waiters: dict[str, asyncio.Future] = {}
+        self._respawn_streak: dict[str, int] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._running = False
+        #: set once stop() has fully torn down; a second stop() awaits it
+        self._stopped: asyncio.Event | None = None
+        self.deaths = 0
+        self.respawns_abandoned = 0
+
+    # ----------------------------------------------------------- template hooks
+
+    def child_argv(self, state: ChildState) -> list[str] | None:
+        raise NotImplementedError
+
+    def child_env(self, state: ChildState) -> dict[str, str] | None:
+        return None
+
+    def on_registered(self, state: ChildState, fields: dict) -> None:
+        pass
+
+    def on_heartbeat(self, state: ChildState, fields: dict) -> None:
+        pass
+
+    def on_frame(self, state: ChildState, msg: Message) -> None:
+        pass
+
+    async def on_child_dead(self, state: ChildState, reason: str) -> list:
+        return []
+
+    async def replace_orphans(self, state: ChildState, orphans: list) -> None:
+        pass
+
+    def trace(self, event: str, **detail: Any) -> None:
+        pass
+
+    # ---------------------------------------------------------------- lifecycle
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    async def start_server(self) -> None:
+        """Bind the control server children register against."""
+        if self._running:
+            raise RuntimeError("supervisor already started")
+        self._running = True
+        self._stopped = None
+        self._server = await asyncio.start_server(self._accept, host=self.ip, port=0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._tasks.append(asyncio.ensure_future(self._sweep_loop()))
+
+    async def stop(self) -> None:
+        """Drain every child, then reap with escalation.
+
+        Idempotent and re-entrant: a concurrent or nested call awaits
+        the first one instead of racing it, and a respawn in flight
+        cannot leak a half-spawned process — its creation future is
+        tracked, and whatever it produces after cancellation is killed.
+        """
+        if self._stopped is not None:
+            await self._stopped.wait()
+            return
+        if not self._running:
+            return
+        self._stopped = asyncio.Event()
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        self._tasks.clear()
+        for state in self.children.values():
+            state.shutting_down = True
+            if state.alive and state.chan is not None and not state.chan.is_closing():
+                try:
+                    await state.chan.send(self.family.shutdown)
+                except (ConnectionError, OSError):
+                    pass
+        for state in self.children.values():
+            await self._reap_with_escalation(state)
+            state.alive = False
+            if state.chan is not None:
+                state.chan.close()
+                state.chan = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.cancel()
+        self._pending.clear()
+        for fut in self._register_waiters.values():
+            if not fut.done():
+                fut.cancel()
+        self._register_waiters.clear()
+        self._stopped.set()
+
+    async def _reap_with_escalation(self, state: ChildState) -> None:
+        proc = state.process
+        if proc is None or proc.returncode is not None:
+            return
+        try:
+            await asyncio.wait_for(proc.wait(), 5.0)
+            return
+        except asyncio.TimeoutError:
+            proc.terminate()
+        try:
+            await asyncio.wait_for(proc.wait(), 2.0)
+        except asyncio.TimeoutError:
+            proc.kill()
+            await proc.wait()
+
+    # ----------------------------------------------------------------- spawning
+
+    async def spawn_child(self, name: str) -> ChildState:
+        """Launch one child process and wait for its registration."""
+        if not self._running:
+            raise ClusterError(f"cannot spawn {name!r}: supervisor is stopped")
+        existing = self.children.get(name)
+        if existing is not None and existing.alive:
+            raise ClusterError(f"child {name!r} is already running")
+        state = self.state_class(name=name)
+        self.children[name] = state
+        argv = self.child_argv(state)
+        if argv is None:
+            raise ClusterError(f"child {name!r} is not launchable from here")
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._register_waiters[name] = waiter
+        # The creation future outlives a cancellation of this coroutine:
+        # whatever process it produces after we are gone is killed, so a
+        # stop() racing a respawn can never orphan a half-spawned child.
+        creation = asyncio.ensure_future(
+            asyncio.create_subprocess_exec(*argv, env=self.child_env(state))
+        )
+        try:
+            state.process = await asyncio.shield(creation)
+        except asyncio.CancelledError:
+            creation.add_done_callback(_kill_stray)
+            self._register_waiters.pop(name, None)
+            raise
+        except OSError as exc:
+            self._register_waiters.pop(name, None)
+            raise ClusterError(f"cannot launch child {name!r}: {exc}") from exc
+        if not self._running:
+            # stop() ran while the exec was in flight: the teardown loop
+            # may already have passed this state — reap here instead.
+            state.process.kill()
+            await state.process.wait()
+            self._register_waiters.pop(name, None)
+            raise ClusterError(f"child {name!r} spawned during shutdown")
+        try:
+            await asyncio.wait_for(waiter, self.register_timeout)
+        except asyncio.TimeoutError:
+            self._register_waiters.pop(name, None)
+            raise ClusterError(
+                f"child {name!r} (pid {state.process.pid}) did not register "
+                f"within {self.register_timeout}s"
+            ) from None
+        state.alive = True
+        now = time.monotonic()
+        state.last_heartbeat = now
+        state.spawned_at = now
+        self._tasks.append(asyncio.ensure_future(self._reap(state)))
+        return state
+
+    async def _reap(self, state: ChildState) -> None:
+        """Fast crash detection: the OS tells us the moment a child exits."""
+        proc = state.process
+        if proc is None:
+            return
+        returncode = await proc.wait()
+        await self._child_dead(state, reason=f"exit={returncode}")
+
+    # ----------------------------------------------------------- control channel
+
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        chan = ControlChannel(reader, writer)
+        try:
+            first = await asyncio.wait_for(chan.recv(), self.register_timeout)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError, OSError):
+            chan.close()
+            return
+        if first.type != self.family.register:
+            chan.close()
+            return
+        fields = first.fields()
+        name = str(fields.get("name", ""))
+        state = self.children.get(name)
+        if state is None:
+            if not self.adopt_unknown or not name:
+                chan.close()  # not a child of ours
+                return
+            state = self.state_class(name=name)
+            state.adopted = True
+            self.children[name] = state
+        elif state.alive and state.chan is not None and not state.chan.is_closing():
+            chan.close()  # a live child already owns this name
+            return
+        state.chan = chan
+        state.pid = int(fields.get("pid", 0))
+        self.on_registered(state, fields)
+        if state.adopted:
+            now = time.monotonic()
+            state.alive = True
+            state.shutting_down = False
+            state.last_heartbeat = now
+            state.spawned_at = now
+        waiter = self._register_waiters.pop(name, None)
+        if waiter is not None and not waiter.done():
+            waiter.set_result(state)
+        while self._running:
+            try:
+                msg = await chan.recv()
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                break
+            except asyncio.CancelledError:
+                return
+            self._dispatch(state, msg)
+        await self._child_dead(state, reason="channel-eof")
+
+    def _dispatch(self, state: ChildState, msg: Message) -> None:
+        if msg.type == self.family.heartbeat:
+            state.last_heartbeat = time.monotonic()
+            self.on_heartbeat(state, msg.fields())
+        elif msg.type in self.family.replies:
+            future = self._pending.pop(msg.seq, None)
+            if future is not None and not future.done():
+                future.set_result(msg)
+        else:
+            self.on_frame(state, msg)
+
+    async def request(self, state: ChildState, type_: int, **fields: Any) -> dict:
+        """One correlated request/reply round trip on a child's channel."""
+        if not state.alive or state.chan is None or state.chan.is_closing():
+            raise ClusterError(f"child {state.name!r} is not live")
+        seq = next(self._seq)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[seq] = future
+        try:
+            await state.chan.send(type_, seq=seq, **fields)
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(seq, None)
+            raise ClusterError(f"child {state.name!r} channel failed: {exc}") from exc
+        try:
+            reply = await asyncio.wait_for(future, self.request_timeout)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            self._pending.pop(seq, None)
+            raise ClusterError(
+                f"child {state.name!r} did not answer request type {type_} "
+                f"within {self.request_timeout}s"
+            ) from None
+        result = reply.fields()
+        if "error" in result:
+            raise ClusterError(f"child {state.name!r}: {result['error']}")
+        return result
+
+    async def send(self, state: ChildState, type_: int, **fields: Any) -> None:
+        """One uncorrelated downward frame (best-effort)."""
+        if state.chan is None or state.chan.is_closing():
+            raise ClusterError(f"child {state.name!r} has no live channel")
+        await state.chan.send(type_, **fields)
+
+    # --------------------------------------------------------------- supervision
+
+    async def _sweep_loop(self) -> None:
+        """Confirm silent deaths the EOF/reap paths cannot see."""
+        interval = max(0.05, self.heartbeat_interval / 2)
+        while self._running:
+            await asyncio.sleep(interval)
+            if not self._running:
+                return
+            now = time.monotonic()
+            for state in list(self.children.values()):
+                if (
+                    state.alive
+                    and not state.shutting_down
+                    and now - state.last_heartbeat > self.heartbeat_timeout
+                ):
+                    await self._child_dead(state, reason="heartbeat-timeout")
+
+    async def _child_dead(self, state: ChildState, reason: str) -> None:
+        """Confirm one death (idempotent across the three detection paths)."""
+        if not self._running or not state.alive or state.shutting_down:
+            return
+        state.alive = False  # before any await: later detections no-op
+        self.deaths += 1
+        if state.chan is not None:
+            state.chan.close()
+            state.chan = None
+        orphans = await self.on_child_dead(state, reason)
+        if self.respawn and not state.adopted and self._running:
+            self._tasks.append(
+                asyncio.ensure_future(self._respawn(state.name, orphans))
+            )
+
+    async def _respawn(self, name: str, orphans: list) -> None:
+        """Relaunch a dead child under the consecutive-respawn budget."""
+        state = self.children.get(name)
+        if state is None or not self._running:
+            return
+        policy = self.respawn_policy
+        if state.spawned_at and time.monotonic() - state.spawned_at >= policy.min_uptime:
+            self._respawn_streak[name] = 0  # it had a healthy run
+        streak = self._respawn_streak.get(name, 0) + 1
+        self._respawn_streak[name] = streak
+        if streak > policy.max_consecutive:
+            self.respawns_abandoned += 1
+            self.trace(EventType.RESPAWN_EXHAUSTED, child=name, attempts=streak - 1)
+            return
+        delay = policy.delay(streak)
+        if delay > 0:
+            self.trace(
+                EventType.RESPAWN_BACKOFF, child=name,
+                attempt=streak, delay=round(delay, 3),
+            )
+            await asyncio.sleep(delay)
+            if not self._running:
+                return
+        try:
+            fresh = await self.spawn_child(name)
+        except ClusterError:
+            # A boot failure (register timeout, exec error) burns budget
+            # exactly like an early death: try again until exhausted.
+            if self._running:
+                self._tasks.append(asyncio.ensure_future(self._respawn(name, orphans)))
+            return
+        await self.replace_orphans(fresh, orphans)
+
+
+def _kill_stray(creation: asyncio.Future) -> None:
+    """Reap a process whose spawner was cancelled mid-``exec``."""
+    if creation.cancelled() or creation.exception() is not None:
+        return
+    try:
+        creation.result().kill()
+    except ProcessLookupError:
+        pass

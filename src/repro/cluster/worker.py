@@ -55,8 +55,18 @@ class WorkerHost:
         shm_ring_bytes: int = 0,
         loop_impl: str = "asyncio",
         proxy_port: int = 0,
+        controller_name: str = "",
+        exit_after_register: bool = False,
     ) -> None:
         self.name = name
+        #: identity of the controller shard this worker belongs to; rides
+        #: every registration and heartbeat so federated telemetry can
+        #: attribute process gauges to their child controller
+        self.controller_name = controller_name
+        #: test hook: die immediately after a successful W_REGISTER (the
+        #: respawn-budget regression needs a worker that crash-loops on
+        #: boot while still passing the registration handshake)
+        self.exit_after_register = exit_after_register
         self.controller_addr = controller_addr
         self.observer_addr = observer_addr
         self.ip = ip
@@ -112,7 +122,11 @@ class WorkerHost:
         await self._chan.send(
             MsgType.W_REGISTER, name=self.name, pid=os.getpid(),
             proxy=str(self.proxy.addr), loop=self.loop_impl,
+            controller=self.controller_name,
         )
+        if self.exit_after_register:
+            # Crash-on-boot test hook: vanish without a graceful drain.
+            os._exit(17)
         self._tasks.append(asyncio.ensure_future(self._serve()))
         self._tasks.append(asyncio.ensure_future(self._heartbeat_loop()))
 
@@ -258,6 +272,7 @@ class WorkerHost:
                     MsgType.W_HEARTBEAT, name=self.name,
                     nodes=len(self._engines), rss_kb=rss_kb,
                     loop_lag_ms=round(lag_ms, 3),
+                    controller=self.controller_name,
                 )
             except (ConnectionError, OSError):
                 return
@@ -298,6 +313,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="bind the observer proxy to this exact port "
                              "(a respawn reuses its predecessor's port so "
                              "downstream proxies can redial)")
+    parser.add_argument("--controller-name", default="",
+                        help="federated controller shard this worker belongs "
+                             "to (stamped on registrations and heartbeats)")
+    parser.add_argument("--exit-after-register", action="store_true",
+                        help=argparse.SUPPRESS)  # crash-on-boot test hook
     return parser
 
 
@@ -314,6 +334,8 @@ async def _amain(args: argparse.Namespace, loop_impl: str) -> int:
         shm_ring_bytes=args.shm_ring_bytes,
         loop_impl=loop_impl,
         proxy_port=args.proxy_port,
+        controller_name=args.controller_name,
+        exit_after_register=args.exit_after_register,
     )
     stop = asyncio.Event()
     install_shutdown_handlers(stop)

@@ -181,6 +181,22 @@ class Message:
             len(self.payload),
         )
 
+    def header_values(self) -> tuple[int, int, int, int, int, int]:
+        """The six header fields in wire order, ready for ``struct`` packing.
+
+        Batch writers (:func:`repro.net.framing.write_batch`) splice the
+        tuples of a whole sender-drain burst into ONE vectorized
+        ``struct.Struct`` call instead of packing 24 bytes per message.
+        """
+        return (
+            self._type,
+            ip_to_int(self._sender.ip),
+            self._sender.port,
+            self._app,
+            self.seq,
+            len(self.payload),
+        )
+
     @classmethod
     def unpack(cls, data: bytes | bytearray | memoryview, max_payload: int = MAX_PAYLOAD) -> "Message":
         """Deserialize a message from wire bytes.

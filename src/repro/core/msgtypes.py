@@ -93,6 +93,26 @@ class MsgType(IntEnum):
                              # member list) flushed once per interval instead
                              # of relaying every child frame individually
 
+    # --- federated control plane (root <-> child controller channel) ------------
+    # The control plane composes as a tree: a root controller places
+    # NodeSpecs across child controllers (each supervising its own
+    # worker fleet) over a plain TCP bootstrap.  The C_* family mirrors
+    # the W_* verbs one level up — same framing, same correlated
+    # request/reply convention on the header ``seq`` field.
+    C_JOIN = 90              # child -> root: first frame, identity + capacity/weight
+    C_WELCOME = 91           # root -> child: bootstrap facts (observer endpoint,
+                             # pinned proxy port for a respawned child)
+    C_PLACE = 92             # root -> child: place one spec on this child's fleet
+    C_PLACED = 93            # child -> root: placement outcome (node id + worker)
+    C_HEARTBEAT = 94         # child -> root: liveness + aggregate fleet gauges
+    C_STOP_NODE = 95         # root -> child: gracefully stop one placed node
+    C_NODE_INFO = 96         # root -> child: request one node's state
+    C_INFO_REPLY = 97        # child -> root: node facts / generic ack
+    C_SHUTDOWN = 98          # root -> child: drain the whole fleet and exit
+    C_EVENT = 99             # child -> root: unsolicited shard events (ready,
+                             # node-down, node-replaced) keeping the root's
+                             # placement map and observer view current
+
 
 #: First type value available to user-defined algorithms.
 ALGORITHM_TYPE_BASE = 1000

@@ -47,6 +47,7 @@ from repro.net.framing import (
     expect_hello_fields,
     open_identified,
     read_message,
+    write_batch,
     write_message,
 )
 from repro.net.queues import AsyncBoundedQueue
@@ -743,9 +744,8 @@ class AsyncioEngine(EngineCore):
                                     self._ins.on_throttle_stall("up", delay)
                                 await asyncio.sleep(delay)
                             write_message(writer, msg)
-                    else:  # unconstrained: stage the whole batch back to back
-                        for msg in batch:
-                            write_message(writer, msg)
+                    else:  # unconstrained: one vectorized stage for the burst
+                        write_batch(writer, batch)
                     await writer.drain()
                     flushed = len(batch)
                 except (ConnectionError, OSError):

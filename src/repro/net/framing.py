@@ -68,6 +68,72 @@ def write_message(writer: asyncio.StreamWriter, msg: Message) -> None:
         writer.write(payload)
 
 
+# --- vectorized batch writes --------------------------------------------------
+#
+# The sender loop drains its whole queue per wakeup, so header packing
+# is naturally batchable: splice every message's six header fields into
+# ONE precompiled ``struct.Struct`` call covering the burst, then slice
+# the 24-byte views back out.  Python-level call overhead is paid once
+# per burst instead of once per frame.
+
+#: batch size -> precompiled N-header struct (bounded: sender bursts
+#: cluster around the switch's rounds-per-wakeup, so a few dozen
+#: distinct sizes cover steady state; odd sizes fall back per-message)
+_BATCH_STRUCTS: dict[int, struct.Struct] = {}
+_BATCH_STRUCTS_LIMIT = 512
+_HEADER_FMT = "IIIIiI"
+
+
+def pack_headers(msgs: list[Message]) -> memoryview:
+    """Pack every message's 24-byte header with one ``struct`` call.
+
+    Returns a ``len(msgs) * 24``-byte buffer; caller slices per-frame
+    views out of it (no per-header bytes objects are materialized).
+    """
+    n = len(msgs)
+    packer = _BATCH_STRUCTS.get(n)
+    if packer is None:
+        packer = struct.Struct("!" + _HEADER_FMT * n)
+        if len(_BATCH_STRUCTS) < _BATCH_STRUCTS_LIMIT:
+            _BATCH_STRUCTS[n] = packer
+    values: list[int] = []
+    for msg in msgs:
+        values += msg.header_values()
+    return memoryview(packer.pack(*values))
+
+
+def write_batch(writer: asyncio.StreamWriter, msgs: list[Message]) -> None:
+    """Queue a whole sender-drain burst (caller awaits ``writer.drain()``).
+
+    Messages with a cached wire frame go out as that single buffer (the
+    relay fast path); everything else has its header batch-packed in one
+    vectorized call and its payload handed over by reference.
+    """
+    send = getattr(writer, "send_message", None)
+    if send is not None:  # loopback/shm endpoint: per-object handoff
+        for msg in msgs:
+            send(msg)
+        return
+    fresh = [msg for msg in msgs if msg.cached_frame() is None]
+    if len(fresh) < 2:
+        for msg in msgs:
+            write_message(writer, msg)
+        return
+    headers = pack_headers(fresh)
+    index = 0
+    for msg in msgs:
+        frame = msg.cached_frame()
+        if frame is not None:
+            writer.write(frame)
+            continue
+        offset = index * HEADER_SIZE
+        writer.write(headers[offset : offset + HEADER_SIZE])
+        index += 1
+        payload = msg.payload
+        if payload:
+            writer.write(payload)
+
+
 def hello_message(node: NodeId, **extra: object) -> Message:
     """The identification frame opening every persistent connection.
 

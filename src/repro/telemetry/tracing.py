@@ -56,6 +56,15 @@ class EventType:
     WORKER_DEAD = "worker-dead"          # crash/heartbeat-timeout confirmed
     NODE_PLACED = "node-placed"          # a node was placed on a worker
     NODE_REDEPLOYED = "node-redeployed"  # re-placed after its worker died
+    RESPAWN_BACKOFF = "respawn-backoff"  # a crash-looping child delayed
+    RESPAWN_EXHAUSTED = "respawn-exhausted"  # respawn budget spent; gave up
+
+    # Federation events recorded by the root controller
+    # (repro.cluster.federation): the controller-of-controllers tier.
+    CONTROLLER_JOIN = "controller-join"  # a child controller registered
+    CONTROLLER_DEAD = "controller-dead"  # child-controller loss confirmed
+    SHARD_REDEPLOYED = "shard-redeployed"  # a dead child's whole shard
+                                           # re-placed through the root policy
 
     # Membership-plane events (repro.membership): what the SWIM protocol
     # concluded about a peer, recorded at the node that concluded it.
@@ -76,6 +85,8 @@ class EventType:
            DEFER, RETRY, FORWARD, DROP, DELIVER,
            LINK_SUSPECT, LINK_PROBE, LINK_DEAD,
            WORKER_SPAWN, WORKER_DEAD, NODE_PLACED, NODE_REDEPLOYED,
+           RESPAWN_BACKOFF, RESPAWN_EXHAUSTED,
+           CONTROLLER_JOIN, CONTROLLER_DEAD, SHARD_REDEPLOYED,
            MEMBER_JOIN, MEMBER_SUSPECT, MEMBER_REFUTE, MEMBER_DEAD,
            MEMBER_LEFT, CHURN_JOIN, CHURN_CRASH, CHURN_LEAVE)
 

@@ -37,6 +37,7 @@ EXPERIMENTS: dict[str, str] = {
     "robustness": "repro.experiments.ext_robustness",
     "virtual-scaling": "repro.experiments.fig_virtual_scaling",
     "cluster-scaling": "repro.experiments.fig_cluster_scaling",
+    "federation-scaling": "repro.experiments.fig_federation_scaling",
     "observer-scaling": "repro.experiments.fig_observer_scaling",
     "churn-convergence": "repro.experiments.fig_churn_convergence",
 }
@@ -72,6 +73,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     experiment_parser.add_argument(
         "--list", action="store_true", help="list available experiments"
+    )
+    experiment_parser.add_argument(
+        "extra", nargs=argparse.REMAINDER,
+        help="arguments after -- go to the experiment's own parser "
+             "(e.g. ioverlay experiment federation-scaling -- --smoke)",
     )
 
     metrics_parser = subparsers.add_parser(
@@ -180,6 +186,47 @@ def main(argv: list[str] | None = None) -> int:
     cluster_parser.add_argument(
         "--json", action="store_true", help="emit the cluster stats as JSON"
     )
+    federation = cluster_parser.add_argument_group(
+        "federation",
+        "run a root/child controller tree instead of a flat fleet",
+    )
+    federation.add_argument(
+        "--root", action="store_true",
+        help="federate: run a root controller that places nodes across "
+             "child controllers (--workers becomes workers per child)",
+    )
+    federation.add_argument(
+        "--children", type=int, default=2,
+        help="child controllers the root spawns locally (default 2)",
+    )
+    federation.add_argument(
+        "--expect", type=int, default=0, metavar="N",
+        help="additionally wait for N external --join controllers "
+             "before deploying (root mode)",
+    )
+    federation.add_argument(
+        "--controller-placement", default="capacity",
+        choices=("capacity", "weighted"),
+        help="stage-one policy: root -> child controller (default capacity)",
+    )
+    federation.add_argument(
+        "--join", metavar="IP:PORT", default=None,
+        help="run as a child controller daemon joining a remote root's "
+             "bootstrap endpoint (serves placements until signalled)",
+    )
+    federation.add_argument(
+        "--name", default="c0",
+        help="this controller's name in the tree (join mode; default c0)",
+    )
+    federation.add_argument(
+        "--capacity", type=float, default=0.0,
+        help="declared node-weight capacity for stage-one placement "
+             "(join mode; 0 = unbounded)",
+    )
+    federation.add_argument(
+        "--weight", type=float, default=1.0,
+        help="declared share for weighted stage-one placement (join mode)",
+    )
 
     trace_parser = subparsers.add_parser(
         "trace",
@@ -244,7 +291,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.name not in EXPERIMENTS:
             print(f"unknown experiment {args.name!r}; try --list", file=sys.stderr)
             return 2
-        _experiment_main(args.name)()
+        extra = [arg for arg in args.extra if arg != "--"]
+        if extra:
+            _experiment_main(args.name)(extra)
+        else:
+            _experiment_main(args.name)()
         return 0
 
     if args.command == "metrics":
@@ -272,6 +323,39 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     if args.command == "cluster":
+        if args.join:
+            from repro.tools.federation_cmd import run_federation_join
+
+            return run_federation_join(
+                join=args.join,
+                name=args.name,
+                workers=args.workers,
+                placement=args.placement,
+                capacity=args.capacity,
+                weight=args.weight,
+                flush_interval=args.flush_interval,
+                telemetry=args.telemetry,
+                shm_ring_bytes=0 if args.no_shm else args.shm_ring_bytes,
+                uvloop=args.uvloop,
+            )
+        if args.root:
+            from repro.tools.federation_cmd import run_federation_root
+
+            return run_federation_root(
+                children=args.children,
+                workers_per_child=args.workers,
+                expect=args.expect,
+                nodes=args.nodes,
+                duration=args.duration,
+                payload=args.payload,
+                placement=args.controller_placement,
+                child_placement=args.placement,
+                flush_interval=args.flush_interval,
+                telemetry=args.telemetry,
+                shm_ring_bytes=0 if args.no_shm else args.shm_ring_bytes,
+                uvloop=args.uvloop,
+                as_json=args.json,
+            )
         from repro.tools.cluster_cmd import run_cluster
 
         return run_cluster(

@@ -1,0 +1,315 @@
+"""The federated control plane: two-stage placement, identity, recovery.
+
+The acceptance bar matches the flat cluster's: a topology sharded
+across a root and multiple child controllers (each with its own worker
+fleet) must deliver byte-identical digests to a single-process run —
+and losing a whole child controller must re-place exactly its shard
+through the root policy while the survivors keep their identities.
+"""
+
+import asyncio
+import signal
+
+import pytest
+
+from repro.cluster.federation import RootConfig, RootController
+from repro.cluster.scenarios import (
+    BURST_CONTROL,
+    build_local,
+    burst_control_message,
+    chain_specs,
+    wait_until,
+)
+from repro.cluster.spec import NodeSpec
+from repro.core.ids import NodeId
+from repro.errors import ClusterError
+from repro.net.observer_server import ObserverServer
+from repro.telemetry import Telemetry
+from repro.telemetry.tracing import EventType
+
+RELAY = "repro.cluster.scenarios:ClusterRelayAlgorithm"
+SINK = "repro.cluster.scenarios:DigestSinkAlgorithm"
+SOURCE = "repro.cluster.scenarios:BurstSourceAlgorithm"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start_tree(children=2, workers_per_child=2, **config):
+    """One root observer + root controller + N spawned child controllers."""
+    observer = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=0.2)
+    await observer.start()
+    root = RootController(
+        observer, RootConfig(workers_per_child=workers_per_child, **config)
+    )
+    await root.start()
+    await asyncio.gather(
+        *(root.spawn_child(f"c{i}") for i in range(children))
+    )
+    return observer, root
+
+
+async def stop_tree(observer, root):
+    await root.stop()
+    await observer.stop()
+
+
+async def wait_all_alive(observer, placed, timeout=60.0):
+    ok = await wait_until(
+        lambda: all(p.node_id in observer.observer.alive for p in placed.values()),
+        timeout=timeout,
+    )
+    assert ok, (
+        f"only {len(observer.observer.alive)}/{len(placed)} placed nodes "
+        "booted at the root observer"
+    )
+
+
+async def poll_info(root, name, predicate, timeout=60.0):
+    import time
+    deadline = time.monotonic() + timeout
+    info = {}
+    while time.monotonic() < deadline:
+        info = (await root.node_info(name)).get("info", {})
+        if predicate(info):
+            return info
+        await asyncio.sleep(0.1)
+    raise AssertionError(f"node {name!r}: condition never met; last info {info}")
+
+
+class TestTwoStagePlacement:
+    def test_chain_spreads_across_controllers_and_their_workers(self):
+        async def scenario():
+            observer, root = await start_tree(children=2, workers_per_child=2)
+            try:
+                placed = await root.deploy(chain_specs(12))
+                by_controller = {}
+                for p in placed.values():
+                    by_controller.setdefault(p.controller, set()).add(p.worker)
+                # both controllers host a share, on both of their workers
+                assert set(by_controller) == {"c0", "c1"}
+                for workers in by_controller.values():
+                    assert workers == {"w0", "w1"}
+            finally:
+                await stop_tree(observer, root)
+
+        run(scenario())
+
+    def test_controller_pin_and_worker_pin_compose(self):
+        """A spec can pin its controller, its worker within it, or both —
+        and its '@name' refs resolve across controller boundaries."""
+
+        async def scenario():
+            observer, root = await start_tree(children=2)
+            try:
+                placed = await root.deploy([
+                    NodeSpec("sink", SINK, controller="c1", pin="w1"),
+                    NodeSpec(
+                        "src", SOURCE,
+                        {"downstreams": ["@sink"]}, controller="c0", pin="w0",
+                    ),
+                ])
+                assert placed["sink"].controller == "c1"
+                assert placed["sink"].worker == "w1"
+                assert placed["src"].controller == "c0"
+                assert placed["src"].worker == "w0"
+                await wait_all_alive(observer, placed)
+                # the source's '@sink' ref crossed the controller boundary:
+                # a burst sent on c0 lands on c1's sink, byte for byte
+                root.send_control(
+                    "src", BURST_CONTROL, param1=5, param2=64, app=3
+                )
+                info = await poll_info(
+                    root, "sink", lambda i: i.get("received", 0) >= 5
+                )
+                assert info["received"] == 5
+                relay_info = await root.node_info("src")
+                assert str(placed["sink"].node_id) in relay_info["downstreams"]
+            finally:
+                await stop_tree(observer, root)
+
+        run(scenario())
+
+    def test_pin_to_unknown_controller_fails_loudly(self):
+        async def scenario():
+            observer, root = await start_tree(children=1)
+            try:
+                with pytest.raises(ClusterError):
+                    await root.place(NodeSpec("x", SINK, controller="nope"))
+            finally:
+                await stop_tree(observer, root)
+
+        run(scenario())
+
+    def test_capacity_policy_respects_declared_headroom(self):
+        """Heterogeneous capacities: the bigger shard takes more weight."""
+
+        async def scenario():
+            observer = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=0.2)
+            await observer.start()
+            root = RootController(observer, RootConfig(placement="capacity"))
+            await root.start()
+            try:
+                # capacity comes from the child's own declaration, so
+                # spawn via explicit argv-level knobs: one small, one big
+                root._spawn_workers["small"] = 1
+                root._spawn_workers["big"] = 1
+                argv = root._child_argv
+
+                def patched(name):
+                    built = argv(name)
+                    built += ["--capacity", "2" if name == "small" else "8"]
+                    return built
+
+                root._child_argv = patched
+                await asyncio.gather(
+                    root.spawn_child("small"), root.spawn_child("big")
+                )
+                assert root.controllers["small"].capacity == 2.0
+                assert root.controllers["big"].capacity == 8.0
+
+                specs = [
+                    NodeSpec(f"s{i}", SINK, weight=1.0) for i in range(9)
+                ]
+                placed = await root.deploy(specs)
+                counts = {}
+                for p in placed.values():
+                    counts[p.controller] = counts.get(p.controller, 0) + 1
+                # most-free-capacity placement: big absorbs the surplus,
+                # small fills to its declared ceiling and no further
+                assert counts == {"big": 7, "small": 2}
+                assert root.controllers["small"].load <= 2.0
+            finally:
+                await stop_tree(observer, root)
+
+        run(scenario())
+
+
+class TestFederatedIdentity:
+    def test_chain_across_two_controllers_matches_one_process(self):
+        app, count, size, length = 7, 30, 256, 12
+
+        async def federated_digest() -> str:
+            observer, root = await start_tree(children=2, workers_per_child=2)
+            try:
+                placed = await root.deploy(chain_specs(length))
+                assert len({p.controller for p in placed.values()}) == 2
+                await wait_all_alive(observer, placed)
+                root.send_control(
+                    "n0", BURST_CONTROL, param1=count, param2=size, app=app
+                )
+                info = await poll_info(
+                    root, f"n{length - 1}",
+                    lambda i: i.get("received", 0) >= count,
+                )
+                return info["digests"][str(app)]
+            finally:
+                await stop_tree(observer, root)
+
+        async def local_digest() -> str:
+            host, engines = await build_local(chain_specs(length))
+            engines["n0"].algorithm.on_control(
+                burst_control_message(app, count, size)
+            )
+            sink = engines[f"n{length - 1}"].algorithm
+            ok = await wait_until(lambda: sink.received >= count, timeout=30.0)
+            assert ok
+            digest = sink.digest(app)
+            await host.stop()
+            return digest
+
+        assert run(federated_digest()) == run(local_digest())
+
+
+class TestControllerDeath:
+    def test_sigkill_redeploys_exactly_the_dead_shard(self):
+        async def scenario():
+            telemetry = Telemetry()
+            observer, root = await start_tree(
+                children=2, telemetry=telemetry, heartbeat_timeout=2.0,
+            )
+            try:
+                placed = await root.deploy(chain_specs(8))
+                dead_shard = {
+                    n for n, p in placed.items() if p.controller == "c1"
+                }
+                survivors = {
+                    n: p.node_id for n, p in placed.items()
+                    if p.controller == "c0"
+                }
+                assert dead_shard and survivors
+                await wait_all_alive(observer, placed)
+
+                root.controllers["c1"].process.send_signal(signal.SIGKILL)
+
+                ok = await wait_until(
+                    lambda: root.shards_redeployed >= 1, timeout=30.0
+                )
+                assert ok, "shard redeploy never completed"
+                assert root.controller_deaths == 1
+
+                # exactly the dead shard moved, onto the survivor
+                for name in dead_shard:
+                    fresh = root.placed[name]
+                    assert fresh.controller == "c0"
+                    assert fresh.node_id != placed[name].node_id
+                    info = await root.node_info(name)
+                    assert info["running"] is True
+                # survivors kept their identities
+                for name, node_id in survivors.items():
+                    assert root.placed[name].node_id == node_id
+                assert root.nodes_redeployed == len(dead_shard)
+
+                # telemetry audit: gauge, counters, trace events
+                controllers_gauge = telemetry.registry.get(
+                    "ioverlay_cluster_controllers").labels().value
+                assert controllers_gauge == 1.0
+                dead_counts = {
+                    labels["controller"]: child.value
+                    for labels, child in telemetry.registry.get(
+                        "ioverlay_cluster_controller_dead_total").series()
+                }
+                assert dead_counts == {"c1": 1.0}
+                shard_counts = {
+                    labels["controller"]: child.value
+                    for labels, child in telemetry.registry.get(
+                        "ioverlay_cluster_shard_redeployed_total").series()
+                }
+                assert shard_counts == {"c1": 1.0}
+                events = [e for e in telemetry.tracer.events()]
+                dead_events = [
+                    e for e in events if e.event == EventType.CONTROLLER_DEAD
+                ]
+                assert len(dead_events) == 1
+                assert set(dead_events[0].detail["shard"]) == dead_shard
+                shard_events = [
+                    e for e in events if e.event == EventType.SHARD_REDEPLOYED
+                ]
+                assert len(shard_events) == 1
+                assert set(shard_events[0].detail["nodes"]) == dead_shard
+            finally:
+                await stop_tree(observer, root)
+
+        run(scenario())
+
+
+class TestHeartbeatsCarryControllerIdentity:
+    def test_worker_gauges_attribute_to_their_controller_shard(self):
+        async def scenario():
+            observer, root = await start_tree(children=1, workers_per_child=1)
+            try:
+                await root.deploy(chain_specs(2))
+                ok = await wait_until(
+                    lambda: root.controllers["c0"].node_count == 2
+                    and root.controllers["c0"].workers_alive == 1,
+                    timeout=15.0,
+                )
+                assert ok, (
+                    root.controllers["c0"].node_count,
+                    root.controllers["c0"].workers_alive,
+                )
+            finally:
+                await stop_tree(observer, root)
+
+        run(scenario())

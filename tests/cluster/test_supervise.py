@@ -1,0 +1,187 @@
+"""The supervision core: respawn budget, backoff, idempotent teardown."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.supervise import RespawnPolicy
+from repro.errors import ClusterError
+from repro.telemetry import Telemetry
+from repro.telemetry.tracing import EventType
+
+from tests.cluster.helpers import start_fleet, stop_fleet
+from repro.cluster.scenarios import wait_until
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def crash_on_boot(controller, name: str) -> None:
+    """Make ``name``'s worker die right after a successful W_REGISTER."""
+    original = controller._worker_argv
+
+    def argv(worker_name: str) -> list[str]:
+        built = original(worker_name)
+        if worker_name == name:
+            built.append("--exit-after-register")
+        return built
+
+    controller._worker_argv = argv
+
+
+class TestRespawnPolicy:
+    def test_backoff_doubles_from_the_second_attempt(self):
+        policy = RespawnPolicy(backoff_base=0.25, backoff_max=5.0)
+        assert policy.delay(1) == 0.0
+        assert policy.delay(2) == 0.25
+        assert policy.delay(3) == 0.5
+        assert policy.delay(4) == 1.0
+
+    def test_backoff_is_capped(self):
+        policy = RespawnPolicy(backoff_base=0.25, backoff_max=1.0)
+        assert policy.delay(10) == 1.0
+
+
+class TestRespawnBudget:
+    def test_crash_looping_worker_is_abandoned_not_spun_forever(self):
+        """A worker that dies on boot burns its budget, then stops respawning.
+
+        Without the budget the controller would relaunch a doomed
+        process at full speed forever; with it, each consecutive early
+        death backs off exponentially and the streak is capped.
+        """
+
+        async def scenario():
+            telemetry = Telemetry()
+            observer, controller = await start_fleet(
+                workers=1, respawn=True, telemetry=telemetry,
+                respawn_max=2, respawn_backoff=0.05, respawn_backoff_max=0.2,
+                respawn_min_uptime=60.0,
+            )
+            try:
+                # Flip w0 to crash-on-boot, then kill the healthy
+                # incarnation: every respawn from here dies immediately.
+                crash_on_boot(controller, "w0")
+                controller.workers["w0"].process.kill()
+
+                ok = await wait_until(
+                    lambda: controller.supervisor.respawns_abandoned == 1,
+                    timeout=30.0,
+                )
+                assert ok, "budget never exhausted"
+                # initial kill + 2 budgeted respawns, then abandonment
+                assert controller.worker_deaths == 3
+                assert not controller.workers["w0"].alive
+
+                # give any stray respawn a moment to (wrongly) fire
+                await asyncio.sleep(0.5)
+                assert controller.supervisor.respawns_abandoned == 1
+                assert controller.worker_deaths == 3
+
+                events = [e.event for e in telemetry.tracer.events()]
+                assert EventType.RESPAWN_BACKOFF in events
+                assert EventType.RESPAWN_EXHAUSTED in events
+                backoffs = [
+                    e.detail for e in telemetry.tracer.events()
+                    if e.event == EventType.RESPAWN_BACKOFF
+                ]
+                # the second attempt is the first delayed one
+                assert backoffs[0]["attempt"] == 2
+            finally:
+                await stop_fleet(observer, controller)
+
+        run(scenario())
+
+    def test_healthy_uptime_resets_the_streak(self):
+        async def scenario():
+            observer, controller = await start_fleet(
+                workers=1, respawn=True,
+                respawn_max=1, respawn_backoff=0.01,
+                respawn_min_uptime=0.0,  # any uptime counts as healthy
+            )
+            try:
+                for _ in range(3):  # would exhaust a max=1 budget if streaks
+                    state = controller.workers["w0"]  # accumulated
+                    state.process.kill()
+                    ok = await wait_until(
+                        lambda: controller.workers["w0"].alive
+                        and controller.workers["w0"].process.returncode is None,
+                        timeout=30.0,
+                    )
+                    assert ok, "respawn never completed"
+                assert controller.supervisor.respawns_abandoned == 0
+            finally:
+                await stop_fleet(observer, controller)
+
+        run(scenario())
+
+
+class TestStopIdempotence:
+    def test_nested_and_concurrent_stops_resolve_to_one_teardown(self):
+        async def scenario():
+            observer, controller = await start_fleet(workers=2)
+            await asyncio.gather(controller.stop(), controller.stop())
+            await controller.stop()  # and once more, after completion
+            for state in controller.workers.values():
+                assert state.process.returncode is not None
+            await observer.stop()
+
+        run(scenario())
+
+    def test_stop_during_pending_respawn_reaps_everything(self):
+        """stop() racing the respawn path must not orphan any process."""
+
+        async def scenario():
+            observer, controller = await start_fleet(
+                workers=1, respawn=True,
+                # long backoff: the stop lands while the respawn waits
+                respawn_backoff=30.0, respawn_min_uptime=60.0,
+            )
+            # The first respawn fires immediately (streak 1 has no
+            # backoff) and dies on boot; the second is the one that
+            # sits in its 30s backoff when stop() arrives.
+            crash_on_boot(controller, "w0")
+            controller.workers["w0"].process.kill()
+            ok = await wait_until(
+                lambda: controller.worker_deaths >= 2, timeout=30.0
+            )
+            assert ok
+            await controller.stop()
+            await controller.stop()  # idempotent after the race too
+            for state in controller.workers.values():
+                if state.process is not None:
+                    assert state.process.returncode is not None
+            await observer.stop()
+
+        run(scenario())
+
+    def test_stop_racing_an_inflight_spawn_never_orphans_it(self):
+        async def scenario():
+            observer, controller = await start_fleet(workers=1)
+            spawn = asyncio.ensure_future(controller.spawn_worker("w9"))
+            await asyncio.sleep(0)  # let the exec get underway
+            await controller.stop()
+            # Either the spawn lost the race (refused / killed) or it
+            # registered just before the teardown swept it — both end
+            # with no live process.
+            try:
+                await spawn
+            except ClusterError:
+                pass
+            state = controller.workers.get("w9")
+            if state is not None and state.process is not None:
+                await asyncio.wait_for(state.process.wait(), 10.0)
+                assert state.process.returncode is not None
+            await observer.stop()
+
+        run(scenario())
+
+    def test_spawn_after_stop_is_refused(self):
+        async def scenario():
+            observer, controller = await start_fleet(workers=1)
+            await stop_fleet(observer, controller)
+            with pytest.raises(ClusterError):
+                await controller.spawn_worker("w1")
+
+        run(scenario())

@@ -4,7 +4,11 @@ import pytest
 
 from repro.cluster.placement import (
     BinPackPlacement,
+    CapacityPlacement,
+    ControllerLoad,
     RoundRobinPlacement,
+    WeightedControllerPlacement,
+    make_controller_placement,
     make_placement,
 )
 from repro.cluster.scenarios import butterfly_specs, chain_specs
@@ -124,3 +128,75 @@ class TestTopologies:
         specs = butterfly_specs()
         self.assert_sinks_first(specs)
         assert {s.name for s in specs} == set("ABCDEFG")
+
+
+def ctl(load=0.0, capacity=0.0, weight=1.0):
+    return ControllerLoad(load=load, capacity=capacity, weight=weight)
+
+
+class TestControllerPlacement:
+    """Stage one of two-stage placement: root -> child controller."""
+
+    def test_capacity_picks_most_free_headroom(self):
+        policy = CapacityPlacement()
+        fleet = {"a": ctl(load=1.0, capacity=4.0), "b": ctl(load=1.0, capacity=8.0)}
+        assert policy.choose(spec("x"), fleet) == "b"
+
+    def test_capacity_skips_full_controllers(self):
+        policy = CapacityPlacement()
+        fleet = {"a": ctl(load=4.0, capacity=4.0), "b": ctl(load=3.5, capacity=4.0)}
+        # only b has room for a unit-weight spec
+        assert policy.choose(spec("x", weight=0.5), fleet) == "b"
+
+    def test_capacity_overflows_least_loaded_when_everyone_is_full(self):
+        policy = CapacityPlacement()
+        fleet = {"a": ctl(load=5.0, capacity=4.0), "b": ctl(load=4.0, capacity=4.0)}
+        assert policy.choose(spec("x"), fleet) == "b"
+
+    def test_undeclared_capacity_is_unbounded_and_balances_by_load(self):
+        policy = CapacityPlacement()
+        fleet = {"a": ctl(load=3.0), "b": ctl(load=1.0)}
+        assert policy.choose(spec("x"), fleet) == "b"
+
+    def test_capacity_ties_break_by_join_order(self):
+        policy = CapacityPlacement()
+        fleet = {"a": ctl(), "b": ctl()}
+        assert policy.choose(spec("x"), fleet) == "a"
+
+    def test_weighted_evens_out_load_per_declared_weight(self):
+        policy = WeightedControllerPlacement()
+        # a carries 4 at weight 2 (ratio 2); b carries 3 at weight 1
+        # (ratio 3): a is effectively less loaded despite more specs
+        fleet = {"a": ctl(load=4.0, weight=2.0), "b": ctl(load=3.0, weight=1.0)}
+        assert policy.choose(spec("x"), fleet) == "a"
+
+    def test_weighted_heterogeneous_spec_weights_accumulate(self):
+        policy = WeightedControllerPlacement()
+        fleet = {"a": ctl(load=0.0, weight=1.0), "b": ctl(load=0.0, weight=3.0)}
+        # simulate a sinks-first deploy of heterogeneous specs: the
+        # heavy controller should absorb ~3x the total weight
+        loads = {"a": 0.0, "b": 0.0}
+        for weight in (2.0, 1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 1.0, 1.0):
+            fleet = {
+                name: ctl(load=loads[name], weight=3.0 if name == "b" else 1.0)
+                for name in ("a", "b")
+            }
+            chosen = policy.choose(spec("x", weight=weight), fleet)
+            loads[chosen] += weight
+        # ideal split is 3:9; greedy ratio-balancing lands within one
+        # spec of it — the heavy controller carries at least 2x
+        assert loads["b"] >= 2 * loads["a"]
+
+    def test_empty_fleet_raises(self):
+        with pytest.raises(ClusterError):
+            CapacityPlacement().choose(spec("x"), {})
+        with pytest.raises(ClusterError):
+            WeightedControllerPlacement().choose(spec("x"), {})
+
+    def test_make_controller_placement(self):
+        assert isinstance(make_controller_placement("capacity"), CapacityPlacement)
+        assert isinstance(
+            make_controller_placement("weighted"), WeightedControllerPlacement
+        )
+        with pytest.raises(ClusterError):
+            make_controller_placement("gravity")
