@@ -66,7 +66,12 @@ class RootRelayObserver:
         return self._host.proxy.addr
 
     def mark_down(self, node: NodeId) -> None:
-        self._host.send_event("node-down", node=str(node))
+        # The root keys its global placed map by spec name; resolve it
+        # here (the local controller has already popped its own map by
+        # the time mark_down fires) and carry the identity alongside.
+        self._host.send_event(
+            "node-down", name=self._host.node_name(node), node=str(node)
+        )
 
     def deploy_source(self, node: NodeId, app: AppId, payload_size: int) -> None:
         raise ClusterError("deploy_source is root-driven in a federation")
@@ -103,6 +108,12 @@ class ChildControllerHost:
         self.controller: ClusterController | None = None
         self._chan: ControlChannel | None = None
         self._tasks: list[asyncio.Task] = []
+        #: in-flight root-frame handlers; done handlers drop out, so a
+        #: long-lived shard does not accumulate one task per C_PLACE
+        self._handlers: set[asyncio.Task] = set()
+        #: node identity (ip:port) -> spec name, for upward node-down
+        #: reports after the controller has forgotten the placement
+        self._node_names: dict[str, str] = {}
         self._running = False
         self.stopped = asyncio.Event()
         self.heartbeats_sent = 0
@@ -154,7 +165,7 @@ class ChildControllerHost:
         if chan is not None:
             chan.close()
         current = asyncio.current_task()
-        for task in self._tasks:
+        for task in [*self._tasks, *self._handlers]:
             if task is not current:
                 task.cancel()
         self.stopped.set()
@@ -176,10 +187,15 @@ class ChildControllerHost:
         asyncio.ensure_future(_send())
 
     def _on_local_redeploy(self, name: str, placed: PlacedNode) -> None:
+        self._node_names[str(placed.node_id)] = name
         self.send_event(
             "node-replaced", name=name, node=str(placed.node_id),
             worker=placed.worker,
         )
+
+    def node_name(self, node: NodeId) -> str:
+        """The spec name placed at ``node`` (empty if unknown here)."""
+        return self._node_names.get(str(node), "")
 
     # ------------------------------------------------------------- root channel
 
@@ -196,7 +212,9 @@ class ChildControllerHost:
                 return
             # Served concurrently: a C_PLACE spans a worker-side spawn
             # round trip, and heartbeats must keep flowing meanwhile.
-            self._tasks.append(asyncio.ensure_future(self._handle(msg)))
+            task = asyncio.ensure_future(self._handle(msg))
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
 
     async def _handle(self, msg: Message) -> None:
         assert self._chan is not None and self.controller is not None
@@ -211,12 +229,17 @@ class ChildControllerHost:
                     pin=fields.get("pin") or None,
                 )
                 placed = await self.controller.place(spec)
+                self._node_names[str(placed.node_id)] = spec.name
                 await self._chan.send(
                     MsgType.C_PLACED, seq=msg.seq, name=spec.name,
                     node=str(placed.node_id), worker=placed.worker,
                 )
             elif msg.type == MsgType.C_STOP_NODE:
-                await self.controller.stop_node(str(fields["name"]))
+                name = str(fields["name"])
+                stopped = self.controller.placed.get(name)
+                await self.controller.stop_node(name)
+                if stopped is not None:
+                    self._node_names.pop(str(stopped.node_id), None)
                 await self._chan.send(MsgType.C_INFO_REPLY, seq=msg.seq, ok=True)
             elif msg.type == MsgType.C_NODE_INFO:
                 info = await self.controller.node_info(str(fields["name"]))

@@ -394,6 +394,15 @@ class RootController:
                     future.set_result(state)
         elif event == "node-down":
             name = str(fields.get("name", ""))
+            if not name:
+                # A report carrying only the identity: match it against
+                # the shard map so the loss still reconciles.
+                node = str(fields.get("node", ""))
+                name = next(
+                    (n for n, p in state.placed.items()
+                     if str(p.node_id) == node),
+                    "",
+                )
             placed = self.placed.pop(name, None)
             state.placed.pop(name, None)
             if placed is not None:

@@ -234,36 +234,41 @@ class SupervisorCore:
         if not self._running:
             return
         self._stopped = asyncio.Event()
-        self._running = False
-        for task in self._tasks:
-            task.cancel()
-        self._tasks.clear()
-        for state in self.children.values():
-            state.shutting_down = True
-            if state.alive and state.chan is not None and not state.chan.is_closing():
-                try:
-                    await state.chan.send(self.family.shutdown)
-                except (ConnectionError, OSError):
-                    pass
-        for state in self.children.values():
-            await self._reap_with_escalation(state)
-            state.alive = False
-            if state.chan is not None:
-                state.chan.close()
-                state.chan = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        for fut in self._pending.values():
-            if not fut.done():
-                fut.cancel()
-        self._pending.clear()
-        for fut in self._register_waiters.values():
-            if not fut.done():
-                fut.cancel()
-        self._register_waiters.clear()
-        self._stopped.set()
+        try:
+            self._running = False
+            # Stop accepting first: with adopt_unknown a C_JOIN landing
+            # mid-teardown would otherwise grow self.children under us.
+            if self._server is not None:
+                self._server.close()
+            for task in self._tasks:
+                task.cancel()
+            self._tasks.clear()
+            for state in list(self.children.values()):
+                state.shutting_down = True
+                if state.alive and state.chan is not None and not state.chan.is_closing():
+                    try:
+                        await state.chan.send(self.family.shutdown)
+                    except (ConnectionError, OSError):
+                        pass
+            for state in list(self.children.values()):
+                await self._reap_with_escalation(state)
+                state.alive = False
+                if state.chan is not None:
+                    state.chan.close()
+                    state.chan = None
+            if self._server is not None:
+                await self._server.wait_closed()
+                self._server = None
+            for fut in self._pending.values():
+                if not fut.done():
+                    fut.cancel()
+            self._pending.clear()
+            for fut in self._register_waiters.values():
+                if not fut.done():
+                    fut.cancel()
+            self._register_waiters.clear()
+        finally:
+            self._stopped.set()
 
     async def _reap_with_escalation(self, state: ChildState) -> None:
         proc = state.process
@@ -322,8 +327,15 @@ class SupervisorCore:
             await asyncio.wait_for(waiter, self.register_timeout)
         except asyncio.TimeoutError:
             self._register_waiters.pop(name, None)
+            # Kill and reap the straggler: left alive it would leak, and
+            # a late registration from it could attach a stale process's
+            # channel to a newer respawn incarnation of this name.
+            pid = state.process.pid
+            if state.process.returncode is None:
+                state.process.kill()
+                await state.process.wait()
             raise ClusterError(
-                f"child {name!r} (pid {state.process.pid}) did not register "
+                f"child {name!r} (pid {pid}) did not register "
                 f"within {self.register_timeout}s"
             ) from None
         state.alive = True
@@ -366,6 +378,11 @@ class SupervisorCore:
             self.children[name] = state
         elif state.alive and state.chan is not None and not state.chan.is_closing():
             chan.close()  # a live child already owns this name
+            return
+        elif state.process is not None and int(fields.get("pid", 0)) != state.process.pid:
+            # A stale incarnation (e.g. one that outlived its register
+            # timeout) must not satisfy a newer respawn's registration.
+            chan.close()
             return
         state.chan = chan
         state.pid = int(fields.get("pid", 0))
@@ -414,11 +431,21 @@ class SupervisorCore:
             raise ClusterError(f"child {state.name!r} channel failed: {exc}") from exc
         try:
             reply = await asyncio.wait_for(future, self.request_timeout)
-        except (asyncio.TimeoutError, asyncio.CancelledError):
+        except asyncio.TimeoutError:
             self._pending.pop(seq, None)
             raise ClusterError(
                 f"child {state.name!r} did not answer request type {type_} "
                 f"within {self.request_timeout}s"
+            ) from None
+        except asyncio.CancelledError:
+            self._pending.pop(seq, None)
+            task = asyncio.current_task()
+            if task is not None and task.cancelling():
+                raise  # the caller itself is being cancelled
+            # Only the pending future was cancelled (teardown dropped it).
+            raise ClusterError(
+                f"child {state.name!r} request type {type_} was dropped "
+                "during teardown"
             ) from None
         result = reply.fields()
         if "error" in result:

@@ -12,7 +12,12 @@ import signal
 
 import pytest
 
-from repro.cluster.federation import RootConfig, RootController
+from repro.cluster.child import ChildControllerHost
+from repro.cluster.controller import ClusterConfig
+from repro.cluster.federation import ControllerState, RootConfig, RootController
+from repro.cluster.protocol import ControlChannel
+from repro.cluster.spec import PlacedNode
+from repro.core.msgtypes import MsgType
 from repro.cluster.scenarios import (
     BURST_CONTROL,
     build_local,
@@ -292,6 +297,116 @@ class TestControllerDeath:
                 await stop_tree(observer, root)
 
         run(scenario())
+
+
+class TestNodeDownReporting:
+    """Losing a node inside a shard must reconcile the root's global map."""
+
+    def test_worker_death_without_respawn_reports_the_spec_name(self):
+        """End-to-end child side: a worker dying (respawn off) surfaces
+        as a C_EVENT node-down carrying the spec *name* the root keys
+        its placed map by, alongside the node identity."""
+
+        async def scenario():
+            from repro.net.observer_server import ObserverServer
+
+            observer = ObserverServer(NodeId("127.0.0.1", 0), poll_interval=0.2)
+            await observer.start()
+            loop = asyncio.get_running_loop()
+            events, replies, chans = [], {}, []
+
+            async def accept(reader, writer):
+                # A minimal federation root: welcome the joiner, record
+                # its events, correlate its replies.
+                chan = ControlChannel(reader, writer)
+                chans.append(chan)
+                while True:
+                    try:
+                        msg = await chan.recv()
+                    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                        return
+                    fields = msg.fields()
+                    if msg.type == MsgType.C_JOIN:
+                        await chan.send(
+                            MsgType.C_WELCOME,
+                            observer=str(observer.addr), proxy_port=0,
+                        )
+                    elif msg.type == MsgType.C_EVENT:
+                        events.append(fields)
+                    else:
+                        fut = replies.pop(msg.seq, None)
+                        if fut is not None and not fut.done():
+                            fut.set_result(fields)
+
+            server = await asyncio.start_server(accept, host="127.0.0.1", port=0)
+            root_addr = NodeId("127.0.0.1", server.sockets[0].getsockname()[1])
+            host = ChildControllerHost("c0", root_addr, ClusterConfig(workers=1))
+            try:
+                await host.start()
+
+                async def rpc(seq, type_, **fields):
+                    fut = loop.create_future()
+                    replies[seq] = fut
+                    await chans[0].send(type_, seq=seq, **fields)
+                    return await asyncio.wait_for(fut, 30.0)
+
+                placed = await rpc(1, MsgType.C_PLACE, name="sink", algorithm=SINK)
+                assert "error" not in placed
+
+                # in-flight handler bookkeeping drains once served
+                ok = await wait_until(lambda: not host._handlers, timeout=10.0)
+                assert ok, "completed root-frame handlers were not pruned"
+
+                host.controller.workers["w0"].process.kill()
+                ok = await wait_until(
+                    lambda: any(e.get("event") == "node-down" for e in events),
+                    timeout=30.0,
+                )
+                assert ok, f"no node-down event; saw {events}"
+                down = next(e for e in events if e.get("event") == "node-down")
+                assert down["name"] == "sink"
+                assert down["node"] == placed["node"]
+            finally:
+                await host.stop()
+                server.close()
+                await server.wait_closed()
+                await observer.stop()
+
+        run(scenario())
+
+    def test_root_reconciles_by_name_or_identity(self):
+        """Root side: a node-down report removes the placement from the
+        global and shard maps and marks the identity down — whether it
+        carries the spec name or only the ip:port identity."""
+
+        class _Recorder:
+            addr = NodeId("127.0.0.1", 1)
+
+            def __init__(self):
+                self.down = []
+
+            def mark_down(self, node):
+                self.down.append(node)
+
+        obs = _Recorder()
+        root = RootController(obs)
+        state = ControllerState(name="c0")
+        root.supervisor.children["c0"] = state
+        node = NodeId("127.0.0.1", 5001)
+        placed = PlacedNode(
+            spec=NodeSpec("sink", SINK), worker="w0",
+            node_id=node, controller="c0",
+        )
+        for report in (
+            {"event": "node-down", "name": "sink", "node": str(node)},
+            {"event": "node-down", "node": str(node)},
+        ):
+            root.placed["sink"] = placed
+            state.placed["sink"] = placed
+            root._on_event(state, report)
+            assert "sink" not in root.placed
+            assert "sink" not in state.placed
+        assert obs.down == [node, node]
 
 
 class TestHeartbeatsCarryControllerIdentity:

@@ -1,10 +1,13 @@
 """The supervision core: respawn budget, backoff, idempotent teardown."""
 
 import asyncio
+import sys
 
 import pytest
 
-from repro.cluster.supervise import RespawnPolicy
+from repro.cluster.protocol import ControlChannel
+from repro.cluster.supervise import WORKER_FAMILY, RespawnPolicy, SupervisorCore
+from repro.core.msgtypes import MsgType
 from repro.errors import ClusterError
 from repro.telemetry import Telemetry
 from repro.telemetry.tracing import EventType
@@ -183,5 +186,163 @@ class TestStopIdempotence:
             await stop_fleet(observer, controller)
             with pytest.raises(ClusterError):
                 await controller.spawn_worker("w1")
+
+        run(scenario())
+
+
+class SleeperCore(SupervisorCore):
+    """A bare frontend whose children boot but never register."""
+
+    def __init__(self, **kwargs):
+        super().__init__(WORKER_FAMILY, **kwargs)
+
+    def child_argv(self, state):
+        return [sys.executable, "-c", "import time; time.sleep(60)"]
+
+
+class _FakeProc:
+    """A stand-in subprocess handle (already exited, nothing to reap)."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.returncode = 0
+
+    async def wait(self) -> int:
+        return self.returncode
+
+
+class _NullChan:
+    """A channel that accepts sends and never answers."""
+
+    def is_closing(self) -> bool:
+        return False
+
+    async def send(self, type_, seq=0, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class _MutatingChan(_NullChan):
+    """A channel whose send adopts a new child (a C_JOIN mid-stop)."""
+
+    def __init__(self, core: SupervisorCore) -> None:
+        self._core = core
+
+    async def send(self, type_, seq=0, **fields) -> None:
+        name = f"late{len(self._core.children)}"
+        adopted = self._core.state_class(name=name)
+        adopted.adopted = True
+        self._core.children[name] = adopted
+
+
+class TestRegisterTimeout:
+    def test_timed_out_child_is_killed_and_reaped(self):
+        """A child that never registers must not keep running after the
+        ClusterError — left alive it could register later and satisfy a
+        newer incarnation's waiter."""
+
+        async def scenario():
+            core = SleeperCore(register_timeout=0.3)
+            await core.start_server()
+            try:
+                with pytest.raises(ClusterError):
+                    await core.spawn_child("x")
+                proc = core.children["x"].process
+                assert proc is not None
+                assert proc.returncode is not None
+            finally:
+                await core.stop()
+
+        run(scenario())
+
+    def test_stale_incarnation_cannot_register_for_a_newer_one(self):
+        """A registration whose pid is not the supervised process's pid
+        is refused instead of attaching its channel to the fresh state."""
+
+        async def scenario():
+            core = SleeperCore(register_timeout=5.0)
+            await core.start_server()
+            try:
+                state = core.state_class(name="x")
+                state.process = _FakeProc(pid=4242)
+                core.children["x"] = state
+                waiter = asyncio.get_running_loop().create_future()
+                core._register_waiters["x"] = waiter
+
+                reader, writer = await asyncio.open_connection("127.0.0.1", core.port)
+                stale = ControlChannel(reader, writer)
+                await stale.send(MsgType.W_REGISTER, name="x", pid=999)
+                with pytest.raises((asyncio.IncompleteReadError, ConnectionError)):
+                    await asyncio.wait_for(stale.recv(), 10.0)
+                assert not waiter.done()
+                stale.close()
+
+                reader, writer = await asyncio.open_connection("127.0.0.1", core.port)
+                fresh = ControlChannel(reader, writer)
+                await fresh.send(MsgType.W_REGISTER, name="x", pid=4242)
+                await asyncio.wait_for(waiter, 10.0)
+                assert core.children["x"].pid == 4242
+                fresh.close()
+            finally:
+                await core.stop()
+
+        run(scenario())
+
+
+class TestStopUnderAdoption:
+    def test_children_adopted_mid_stop_do_not_abort_teardown(self):
+        """A child dict growing between stop()'s await points (a joiner
+        adopted mid-teardown) must not abort the drain — and the second
+        stop() must still return instead of waiting forever."""
+
+        async def scenario():
+            core = SleeperCore(adopt_unknown=True)
+            await core.start_server()
+            for i in range(2):
+                state = core.state_class(name=f"a{i}")
+                state.adopted = True
+                state.alive = True
+                state.chan = _MutatingChan(core)
+                core.children[state.name] = state
+            await asyncio.wait_for(core.stop(), 10.0)
+            await asyncio.wait_for(core.stop(), 10.0)
+
+        run(scenario())
+
+
+class TestRequestCancellation:
+    def test_cancelling_the_caller_is_not_swallowed(self):
+        """Cancellation of the requesting task itself must propagate —
+        mapping it to ClusterError would let a shutdown-cancelled
+        redeploy loop keep running."""
+
+        async def scenario():
+            core = SleeperCore(request_timeout=30.0)
+            state = core.state_class(name="x")
+            state.alive = True
+            state.chan = _NullChan()
+            task = asyncio.ensure_future(core.request(state, MsgType.W_NODE_INFO))
+            await asyncio.sleep(0.05)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert not core._pending
+
+        run(scenario())
+
+    def test_teardown_dropping_the_pending_future_maps_to_cluster_error(self):
+        async def scenario():
+            core = SleeperCore(request_timeout=30.0)
+            state = core.state_class(name="x")
+            state.alive = True
+            state.chan = _NullChan()
+            task = asyncio.ensure_future(core.request(state, MsgType.W_NODE_INFO))
+            await asyncio.sleep(0.05)
+            for fut in list(core._pending.values()):
+                fut.cancel()
+            with pytest.raises(ClusterError):
+                await task
 
         run(scenario())
