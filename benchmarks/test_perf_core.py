@@ -45,7 +45,11 @@ The metrics, chosen to cover the layers of the fast path:
   ring after an adversarial start plus a churn window (deterministic;
   guards repair latency in protocol rounds);
 - ``churn_slotted_node_rounds_per_sec`` — same bench: node-ticks the
-  slotted membership simulator executes per wall-clock second.
+  slotted membership simulator executes per wall-clock second;
+- ``routing_rounds_per_sec`` — bench_routing_rounds: full backpressure
+  decision rounds (enqueue + max-weight ``decide`` + ``take``) per
+  second through ``RoutingCore`` — the per-tick cost every
+  backpressure-routed node pays, measured without engine overhead.
 
 Every metric is "higher is better".  Measurements use the best of
 several repetitions so a GC pause or scheduler blip cannot fail CI.
@@ -500,6 +504,50 @@ def test_observer_rollup_rate():
     assert reduction > 1.0
 
 
+def test_routing_round_rate():
+    """bench_routing_rounds: backpressure decision rounds per second.
+
+    One round is what a routed node does per dispatch tick: enqueue a
+    burst across 4 commodities, score every (neighbor, commodity) pair
+    under the max-weight rule over 4 neighbors with distance bias and
+    tunnel occupancy, then drain the granted counts with ``take``.
+    Pure-core — no engine, no timers — so the number isolates the
+    bookkeeping the routing subsystem adds to the fast path.
+    """
+    from repro.algorithms.routing.core import BackpressurePolicy, RoutingCore
+
+    neighbors = [f"10.0.0.{i}:7000" for i in range(1, 5)]
+    commodities = [1, 2, 3, 4]
+    payload = b"x" * 64
+    rounds = 5_000
+
+    def run() -> float:
+        core = RoutingCore(BackpressurePolicy(), quantum=8)
+        for i, label in enumerate(neighbors):
+            core.note_neighbor(
+                label,
+                {c: (i + c) % 3 for c in commodities},
+                dists={c: 1 for c in commodities},
+            )
+        moved = 0
+        start = time.perf_counter()
+        for round_no in range(rounds):
+            for commodity in commodities:
+                for _ in range(2):
+                    core.enqueue(commodity, payload)
+            tunnels = {label: round_no % 4 for label in neighbors}
+            for decision in core.decide(
+                tunnels, dists={c: 2 for c in commodities}
+            ):
+                moved += len(core.take(decision.commodity, decision.count))
+        elapsed = time.perf_counter() - start
+        assert moved > 0
+        return rounds / elapsed
+
+    RESULTS["routing_rounds_per_sec"] = _best_of(run)
+    assert RESULTS["routing_rounds_per_sec"] > 0
+
+
 def test_churn_convergence_rate():
     """bench_churn_convergence: the self-stabilization repair path.
 
@@ -545,7 +593,7 @@ def test_zz_write_bench_json_and_guard():
     committed* history entry and the test fails on a >25% drop in any
     metric; without it the file is just rewritten with the new entry.
     """
-    assert len(RESULTS) == 13, f"expected all metrics collected, got {sorted(RESULTS)}"
+    assert len(RESULTS) == 14, f"expected all metrics collected, got {sorted(RESULTS)}"
 
     history: list[dict] = []
     if BENCH_FILE.exists():

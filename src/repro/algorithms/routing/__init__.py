@@ -1,0 +1,28 @@
+"""Backpressure routing family: throughput-optimal and delay-aware.
+
+See :mod:`repro.algorithms.routing.algorithm` for the engine-facing
+classes and :mod:`repro.algorithms.routing.core` for the pure decision
+rule (OORP weights, thresholded/deficit variant).
+"""
+
+from repro.algorithms.routing.algorithm import (
+    BackpressureRoutingAlgorithm,
+    StaticPathRoutingAlgorithm,
+    routing_payload,
+)
+from repro.algorithms.routing.core import (
+    BackpressurePolicy,
+    DelayAwarePolicy,
+    RouteDecision,
+    RoutingCore,
+)
+
+__all__ = [
+    "BackpressurePolicy",
+    "BackpressureRoutingAlgorithm",
+    "DelayAwarePolicy",
+    "RouteDecision",
+    "RoutingCore",
+    "StaticPathRoutingAlgorithm",
+    "routing_payload",
+]

@@ -1,0 +1,516 @@
+"""Backpressure routing on the iOverlay ``Algorithm`` interface.
+
+Two stateful routing algorithms plus a shared base:
+
+- :class:`BackpressureRoutingAlgorithm` — the Optimal Overlay Routing
+  Policy (OORP) of Rai/Singh/Modiano, and (``variant="delay"``) the
+  delay-sensitive thresholded variant of Singh/Modiano.  Data messages
+  are HELD in per-commodity queues and pushed toward the neighbor with
+  the largest positive queue differential each tick.
+- :class:`StaticPathRoutingAlgorithm` — the baseline: each commodity
+  follows one fixed next hop, which is exactly what any of the paper's
+  tree heuristics induces for a unicast commodity (a tree embeds a
+  single path from each source to each sink).
+
+Engine plumbing the routing family leans on:
+
+- commodities ride :attr:`Message.commodity` (the ``app`` header field),
+- backlog reports ride a new algorithm-range type ``S_BACKLOG`` sent
+  *against* the data direction each tick,
+- tunnel occupancy is read from :meth:`EngineServices.queue_snapshot`
+  (the O(1) switch gauges) — the outbound buffer toward a neighbor is
+  the un-drained in-flight window of that overlay hop's underlay tunnel,
+- links are engine-owned: routing nodes establish their configured
+  neighbor links (and the reverse link of any new upstream, so backlog
+  reports can flow against data) by sending the engine's CONNECT verb
+  to themselves, the same idiom the ring stabilizer uses.
+
+Everything configurable is JSON-able, so the same class deploys on the
+DES, on a VirtualHost, and across a multi-worker cluster via
+``NodeSpec`` (sinks/neighbors accept ``"@name"`` references).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.algorithms.routing.core import (
+    BackpressurePolicy,
+    DelayAwarePolicy,
+    RoutingCore,
+)
+from repro.algorithms.routing.telemetry import RoutingInstruments
+from repro.core.algorithm import Algorithm, Disposition
+from repro.core.ids import AppId, NodeId
+from repro.core.message import Message
+from repro.core.msgtypes import MsgType
+
+#: timer tokens (must not collide within one algorithm instance)
+TICK_TOKEN = 1
+INJECT_TOKEN = 2
+
+#: observer CONTROL verb: enqueue param1 messages of param2 bytes for
+#: the commodity carried in the control message's ``app`` field
+INJECT_CONTROL = 2
+
+
+def routing_payload(commodity: int, seq: int, size: int) -> bytes:
+    """Deterministic, content-distinct payload for injected message ``seq``.
+
+    A pure function of ``(commodity, seq, size)``, so independently
+    injected runs on different backends (or different workers) produce
+    byte-identical messages and the sink digests can be compared.
+    """
+    step = (seq * 37 + commodity * 13 + 11) % 251 + 1
+    start = (seq * 101 + commodity * 7) % 256
+    return bytes((start + i * step) % 256 for i in range(size))
+
+
+def _parse_node(value) -> NodeId:
+    """Accept NodeId, ``"ip:port"`` and wire-form ``"noderef:ip:port"``."""
+    if isinstance(value, NodeId):
+        return value
+    text = str(value)
+    if text.startswith("noderef:"):
+        text = text[len("noderef:"):]
+    return NodeId.parse(text)
+
+
+def _combined(parts: dict[str, str]) -> str:
+    """Fold per-message digests into one order-independent hex digest."""
+    whole = hashlib.sha256()
+    for key in sorted(parts):
+        whole.update(f"{key}:{parts[key]};".encode())
+    return whole.hexdigest()
+
+
+class _RoutingBase(Algorithm):
+    """Shared surface: sinks, deterministic injection, neighbor links.
+
+    ``sinks`` maps commodity -> the node that consumes it; a node that
+    is the sink of a commodity counts/digests its messages instead of
+    relaying.  ``neighbors`` lists the outgoing overlay links this node
+    establishes on start (engine CONNECT verb).  ``inject`` arms a
+    deterministic source: ``{commodity: {"count": k, "size": s,
+    "total": n}}`` enqueues ``k`` messages of ``s`` bytes every
+    ``inject_tick`` seconds until ``n`` have been produced (``total``
+    omitted = unbounded) — injection rate is exactly
+    ``k / inject_tick`` msg/s, virtual-time exact on the DES.
+    """
+
+    def __init__(
+        self,
+        sinks: dict | None = None,
+        sink_self: list | None = None,
+        neighbors: list | None = None,
+        inject: dict | None = None,
+        inject_tick: float = 0.05,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        self._sinks: dict[int, NodeId] = {
+            int(c): _parse_node(node) for c, node in (sinks or {}).items()
+        }
+        #: commodities THIS node consumes — bound to our own (possibly
+        #: not-yet-assigned) identity at on_start; a deployment spec
+        #: cannot reference its own placed identity, so "@self" rides
+        #: this kwarg instead of ``sinks``
+        self._sink_self: list[int] = [int(c) for c in (sink_self or [])]
+        self._neighbors: list[NodeId] = [_parse_node(n) for n in (neighbors or [])]
+        self._inject: dict[int, dict] = {
+            int(c): dict(spec) for c, spec in (inject or {}).items()
+        }
+        self.inject_tick = inject_tick
+        self._inject_seq: dict[int, int] = {}
+        self.injected: dict[int, int] = {}
+        self.delivered: dict[int, int] = {}
+        self.delivered_bytes: dict[int, int] = {}
+        #: commodity -> "commodity#seq" -> payload digest.  Keyed without
+        #: the sender so the same scenario on two backends (which assign
+        #: different node identities) digests identically; injected
+        #: payloads are pure functions of (commodity, seq, size), so a
+        #: duplicate delivery can only ever re-write the same value.
+        self._digests: dict[int, dict[str, str]] = {}
+        self._connect_requested: set[NodeId] = set()
+        self._ins: RoutingInstruments | None = None
+
+    # --- lifecycle -----------------------------------------------------------------
+
+    def on_start(self) -> None:
+        for commodity in self._sink_self:
+            self._sinks[commodity] = self.node_id
+        self._bind_telemetry()
+        for peer in self._neighbors:
+            self._request_link(peer)
+        if self._inject:
+            self.engine.set_timer(self.inject_tick, INJECT_TOKEN)
+
+    def _bind_telemetry(self) -> None:
+        tel = getattr(getattr(self.engine, "config", None), "telemetry", None)
+        if tel is not None:
+            self._ins = RoutingInstruments(tel, str(self.node_id))
+
+    def _request_link(self, peer: NodeId) -> None:
+        """Ask our own engine to open a persistent link to ``peer``."""
+        if peer == self.node_id or peer in self._connect_requested:
+            return
+        self._connect_requested.add(peer)
+        self.send(
+            Message.with_fields(MsgType.CONNECT, self.node_id, 0, dest=str(peer)),
+            self.node_id,
+        )
+
+    # --- sinks -----------------------------------------------------------------------
+
+    def set_sink(self, commodity: int, node) -> None:
+        """(Re)declare a commodity's sink; usable before or at runtime
+        (tests configure after backend-assigned node identities exist)."""
+        self._sinks[int(commodity)] = _parse_node(node)
+
+    def set_injection(self, commodity: int, count: int, size: int, total: int | None = None) -> None:
+        """(Re)declare a deterministic injector (before ``on_start``)."""
+        spec: dict = {"count": count, "size": size}
+        if total is not None:
+            spec["total"] = total
+        self._inject[int(commodity)] = spec
+
+    def is_sink(self, commodity: int) -> bool:
+        return self._sinks.get(commodity) == self.node_id
+
+    def _deliver(self, msg: Message) -> Disposition:
+        commodity = msg.commodity
+        self.delivered[commodity] = self.delivered.get(commodity, 0) + 1
+        self.delivered_bytes[commodity] = (
+            self.delivered_bytes.get(commodity, 0) + msg.size
+        )
+        per = self._digests.setdefault(commodity, {})
+        per[f"{commodity}#{msg.seq}"] = hashlib.sha256(msg.payload).hexdigest()
+        if self._ins is not None:
+            self._ins.on_deliver(commodity, msg.size)
+        return Disposition.DONE
+
+    def digest(self, commodity: AppId) -> str:
+        return _combined(self._digests.get(commodity, {}))
+
+    # --- deterministic injection --------------------------------------------------------
+
+    def _inject_round(self) -> None:
+        again = False
+        for commodity in sorted(self._inject):
+            spec = self._inject[commodity]
+            count = int(spec.get("count", 1))
+            size = int(spec.get("size", 512))
+            total = spec.get("total")
+            seq = self._inject_seq.get(commodity, 0)
+            if total is not None:
+                count = min(count, int(total) - seq)
+                if count <= 0:
+                    continue
+            for _ in range(count):
+                msg = Message(
+                    MsgType.DATA, self.node_id, commodity,
+                    routing_payload(commodity, seq, size), seq=seq,
+                )
+                seq += 1
+                self._accept(msg)
+            self._inject_seq[commodity] = seq
+            self.injected[commodity] = seq
+            if total is None or seq < int(total):
+                again = True
+        if again:
+            self.engine.set_timer(self.inject_tick, INJECT_TOKEN)
+
+    def _accept(self, msg: Message) -> Disposition:
+        """Take ownership of a data message (local injection or on_data)."""
+        raise NotImplementedError
+
+    def on_control(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        if int(fields.get("type", 0)) != INJECT_CONTROL:
+            return Disposition.DONE
+        count = int(fields.get("param1", 0))
+        size = int(fields.get("param2", 512))
+        commodity = msg.app
+        seq = self._inject_seq.get(commodity, 0)
+        for _ in range(count):
+            data = Message(
+                MsgType.DATA, self.node_id, commodity,
+                routing_payload(commodity, seq, size), seq=seq,
+            )
+            seq += 1
+            self._accept(data)
+        self._inject_seq[commodity] = seq
+        self.injected[commodity] = seq
+        return Disposition.DONE
+
+    def on_timer(self, token: int) -> Disposition:
+        if token == INJECT_TOKEN:
+            self._inject_round()
+        return Disposition.DONE
+
+    # --- observability --------------------------------------------------------------------
+
+    def cluster_info(self) -> dict:
+        """Duck-typed state hook the cluster layer snapshots on demand."""
+        return {
+            "injected": {str(c): n for c, n in sorted(self.injected.items())},
+            "delivered": {str(c): n for c, n in sorted(self.delivered.items())},
+            "digests": {str(c): self.digest(c) for c in sorted(self._digests)},
+        }
+
+
+class BackpressureRoutingAlgorithm(_RoutingBase):
+    """Throughput-optimal (and delay-aware) backpressure routing.
+
+    Every ``tick`` seconds the node (1) reports its per-commodity
+    backlogs to every established neighbor (``S_BACKLOG``, consumed by
+    peers that route *toward* us), and (2) runs the decision rule over
+    the neighbors that have reported: the commodity with the largest
+    positive weight is dispatched (up to ``quantum`` messages) to each
+    neighbor, where weight = queue differential − β·tunnel occupancy
+    (+ threshold/deficit terms in the ``"delay"`` variant).
+
+    ``tunnel_limit`` is a hard gate below the soft β penalty: a
+    neighbor whose outbound buffer already holds that many messages is
+    not a candidate this tick, so a stalled underlay tunnel (or a dead
+    peer not yet detected) cannot swallow unbounded backlog — sends
+    from timer context bypass engine flow control, so the algorithm
+    must bound its own in-flight window.
+    """
+
+    def __init__(
+        self,
+        sinks: dict | None = None,
+        sink_self: list | None = None,
+        neighbors: list | None = None,
+        inject: dict | None = None,
+        inject_tick: float = 0.05,
+        variant: str = "backpressure",
+        beta: float = 0.25,
+        threshold: int = 4,
+        gamma: float = 0.5,
+        tick: float = 0.02,
+        quantum: int = 8,
+        tunnel_limit: int = 32,
+        report_every: int = 5,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(
+            sinks=sinks, sink_self=sink_self, neighbors=neighbors,
+            inject=inject, inject_tick=inject_tick, seed=seed,
+        )
+        if variant == "backpressure":
+            policy: BackpressurePolicy = BackpressurePolicy(beta=beta)
+        elif variant == "delay":
+            policy = DelayAwarePolicy(beta=beta, threshold=threshold, gamma=gamma)
+        else:
+            raise ValueError(f"unknown routing variant: {variant!r}")
+        self.variant = variant
+        self.core = RoutingCore(policy, quantum=quantum)
+        self.tick = tick
+        self.tunnel_limit = tunnel_limit
+        #: dispatch ticks between backlog reports — reports ride the same
+        #: (possibly bandwidth-capped) links as data, so per-tick reporting
+        #: would burn a large slice of a capped uplink on control traffic
+        self.report_every = max(1, int(report_every))
+        self._ticks = 0
+        #: upstream peers we owe a reverse link to (reports flow there)
+        self._report_to: set[NodeId] = set()
+        self.register(MsgType.S_BACKLOG, self._on_backlog)
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.engine.set_timer(self.tick, TICK_TOKEN)
+
+    # --- data plane -----------------------------------------------------------------
+
+    def on_data(self, msg: Message) -> Disposition:
+        if self.is_sink(msg.commodity):
+            return self._deliver(msg)
+        self._hold(msg)
+        return Disposition.HOLD
+
+    def _accept(self, msg: Message) -> Disposition:
+        if self.is_sink(msg.commodity):
+            return self._deliver(msg)
+        self._hold(msg)
+        return Disposition.DONE  # locally injected: nothing owed to a port
+
+    def _hold(self, msg: Message) -> None:
+        depth = self.core.enqueue(msg.commodity, msg)
+        if self._ins is not None:
+            self._ins.set_backlog(msg.commodity, depth)
+
+    # --- control plane ----------------------------------------------------------------
+
+    def _on_backlog(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        backlogs = {
+            int(c): int(depth)
+            for c, depth in fields.get("backlogs", {}).items()
+        }
+        dists = {
+            int(c): int(d) for c, d in fields.get("dists", {}).items()
+        }
+        self.core.note_neighbor(str(msg.sender), backlogs, dists)
+        return Disposition.DONE
+
+    def on_new_upstream(self, msg: Message) -> Disposition:
+        peer = NodeId.parse(msg.fields()["peer"])
+        self._report_to.add(peer)
+        # Reverse link: backlog reports flow against the data direction.
+        self._request_link(peer)
+        return Disposition.DONE
+
+    def on_broken_link(self, msg: Message) -> Disposition:
+        fields = msg.fields()
+        peer = NodeId.parse(fields["peer"])
+        self.core.forget_neighbor(str(peer))
+        self._report_to.discard(peer)
+        # Allow a later re-connect if the peer resurfaces.
+        self._connect_requested.discard(peer)
+        self.known_hosts.discard(peer)
+        return Disposition.DONE
+
+    # --- the tick ------------------------------------------------------------------------
+
+    def on_timer(self, token: int) -> Disposition:
+        if token != TICK_TOKEN:
+            return super().on_timer(token)
+        if self._ticks % self.report_every == 0:
+            self._report_backlogs()
+        self._ticks += 1
+        self._dispatch()
+        self.engine.set_timer(self.tick, TICK_TOKEN)
+        return Disposition.DONE
+
+    def _own_sinks(self) -> list[int]:
+        return [c for c, node in self._sinks.items() if node == self.node_id]
+
+    def _report_backlogs(self) -> None:
+        downstreams = self.engine.downstreams()
+        if not downstreams:
+            return
+        backlogs = self.core.backlogs()
+        report = Message.with_fields(
+            MsgType.S_BACKLOG, self.node_id, 0,
+            backlogs={str(c): depth for c, depth in backlogs.items()},
+            dists={
+                str(c): d
+                for c, d in self.core.advertised_dists(self._own_sinks()).items()
+            },
+        )
+        # Sorted for determinism; every established link carries the
+        # report — peers that never route toward us just ignore it.  A
+        # tunnel already at the hard limit is skipped: a report queued
+        # behind a full buffer arrives seconds stale, and on a capped
+        # uplink it competes with the very data it describes.
+        tunnels = self.engine.queue_snapshot()["send"]
+        sent = 0
+        for peer in sorted(downstreams, key=str):
+            if tunnels.get(str(peer), 0) >= self.tunnel_limit:
+                continue
+            self.send(report, peer)
+            sent += 1
+        if self._ins is not None and sent:
+            self._ins.on_backlog_report(self.engine.now(), sent, backlogs)
+
+    def _dispatch(self) -> None:
+        if not self.core.total_backlog():
+            return
+        snapshot = self.engine.queue_snapshot()
+        tunnels = {
+            str(dest): int(depth) for dest, depth in snapshot["send"].items()
+        }
+        established = {str(d): d for d in self.engine.downstreams()}
+        candidates = [
+            label for label in established
+            if tunnels.get(label, 0) < self.tunnel_limit
+        ]
+        decisions = self.core.decide(
+            tunnels, candidates, dists=self.core.advertised_dists(self._own_sinks()),
+        )
+        ins = self._ins
+        now = self.engine.now()
+        for decision in decisions:
+            dest = established[decision.neighbor]
+            for msg in self.core.take(decision.commodity, decision.count):
+                self.send(msg, dest)
+            if ins is not None:
+                ins.on_decision(
+                    now, decision.neighbor, decision.commodity,
+                    decision.count, decision.weight,
+                )
+                ins.on_forward(decision.commodity, decision.count)
+                ins.set_backlog(decision.commodity, self.core.backlog(decision.commodity))
+        if ins is not None:
+            for label in candidates:
+                view = self.core.neighbor_view(label)
+                if view is None:
+                    continue
+                for commodity in self.core.backlogs():
+                    diff = self.core.differential(label, commodity)
+                    if diff is not None:
+                        ins.set_differential(label, commodity, diff)
+
+    # --- observability --------------------------------------------------------------------
+
+    def cluster_info(self) -> dict:
+        info = super().cluster_info()
+        info["backlog"] = {str(c): d for c, d in self.core.backlogs().items()}
+        info["variant"] = self.variant
+        return info
+
+
+class StaticPathRoutingAlgorithm(_RoutingBase):
+    """Fixed next-hop per commodity: the tree-heuristic baseline.
+
+    Any of the paper's tree heuristics induces exactly one path per
+    unicast commodity, so the best static path assignment is the best
+    a tree-based policy can do on a multi-commodity matrix — that is
+    the baseline ``fig_routing_throughput`` sweeps against.
+    """
+
+    def __init__(
+        self,
+        routes: dict | None = None,
+        sinks: dict | None = None,
+        sink_self: list | None = None,
+        neighbors: list | None = None,
+        inject: dict | None = None,
+        inject_tick: float = 0.05,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(
+            sinks=sinks, sink_self=sink_self, neighbors=neighbors,
+            inject=inject, inject_tick=inject_tick, seed=seed,
+        )
+        self._routes: dict[int, NodeId] = {
+            int(c): _parse_node(node) for c, node in (routes or {}).items()
+        }
+        self.forwarded: dict[int, int] = {}
+
+    def set_route(self, commodity: int, next_hop) -> None:
+        """(Re)pin a commodity's next hop (tests configure post-placement)."""
+        self._routes[int(commodity)] = _parse_node(next_hop)
+
+    def on_data(self, msg: Message) -> Disposition:
+        return self._accept(msg)
+
+    def _accept(self, msg: Message) -> Disposition:
+        commodity = msg.commodity
+        if self.is_sink(commodity):
+            return self._deliver(msg)
+        next_hop = self._routes.get(commodity)
+        if next_hop is None:
+            return Disposition.DONE  # no route: drop (counted nowhere, like a null tree)
+        self.send(msg, next_hop)
+        self.forwarded[commodity] = self.forwarded.get(commodity, 0) + 1
+        if self._ins is not None:
+            self._ins.on_forward(commodity, 1)
+        return Disposition.DONE
+
+    def cluster_info(self) -> dict:
+        info = super().cluster_info()
+        info["forwarded"] = {str(c): n for c, n in sorted(self.forwarded.items())}
+        return info

@@ -1,0 +1,360 @@
+"""Pure backpressure bookkeeping: commodity queues, neighbor views, weights.
+
+This module is engine-free — no messages, no timers, no NodeIds — so the
+throughput-optimal decision rule can be unit-tested exhaustively and
+reused by both routing variants:
+
+- :class:`BackpressurePolicy` implements the Optimal Overlay Routing
+  Policy of Rai/Singh/Modiano ("A Distributed Algorithm for Throughput
+  Optimal Routing in Overlay Networks"): the weight of pushing commodity
+  ``c`` toward overlay neighbor ``m`` is the queue differential
+  ``Q_n^c - Q~_m^c`` minus an occupancy penalty for the underlay tunnel
+  to ``m``.  Overlay nodes only see tunnel *entry points*; the penalty
+  term (``beta * tunnel occupancy``) keeps a node from dumping backlog
+  into a tunnel whose underlay path is already loaded — in this repo the
+  tunnel state is the engine's outbound buffer toward ``m``, which is
+  exactly the un-drained in-flight window of that overlay hop.
+
+- :class:`DelayAwarePolicy` is the delay-sensitive variant
+  (Singh/Modiano, "Optimal Routing for Delay-Sensitive Traffic in
+  Overlay Networks"): backlogs only count *above* a per-commodity
+  threshold ``M`` (small standing queues stop generating pressure, so
+  short paths win at low load), and a per-commodity deficit counter
+  accrues while a backlogged commodity goes unserved, biasing later
+  rounds toward it so thresholding cannot starve a low-rate commodity.
+
+:class:`RoutingCore` owns the per-commodity FIFO queues of held items
+(the hosting algorithm stores engine ``Message`` objects; tests store
+ints) and turns one tick's state into a deterministic list of
+:class:`RouteDecision`.  Determinism matters: the DES runs the same
+scenario across seeds and the figures assert byte-identical outcomes,
+so every iteration below is in sorted order and ties break lexically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """One tick's verdict: move ``count`` messages of ``commodity`` to ``neighbor``."""
+
+    neighbor: str
+    commodity: int
+    count: int
+    weight: float
+
+
+#: hop distance assumed for a neighbor that has not advertised a route
+#: to a commodity's sink — far enough that any advertised route wins,
+#: finite so an all-unknown network still drains by pure differentials
+DIST_CAP = 16
+
+
+@dataclass
+class BackpressurePolicy:
+    """OORP weights: queue differential minus a tunnel-occupancy penalty.
+
+    ``eta`` adds the standard shortest-path bias: without it, pure
+    per-hop backpressure ping-pongs a terminating burst between nodes
+    with tied differentials forever (each hop *carries* the backlog, so
+    every direction looks downhill).  The bias is *relative* —
+    ``eta * (local_dist - 1 - remote_dist)`` — so a hop along a
+    shortest path costs nothing (a single message still flows at any
+    distance from its sink), a sideways hop pays ``eta`` and a backward
+    hop ``2*eta``, while genuine queue gradients stay in charge under
+    load: one full message of differential outweighs ``1/eta`` hops.
+    """
+
+    #: penalty per message already sitting in the underlay tunnel
+    #: (outbound buffer) toward the candidate neighbor
+    beta: float = 1.0
+    #: penalty per hop of detour relative to the shortest advertised
+    #: path to the commodity's sink
+    eta: float = 0.2
+
+    def weight(
+        self,
+        commodity: int,
+        local: int,
+        remote: int,
+        tunnel: int,
+        deficit: float,
+        local_dist: int = 1,
+        remote_dist: int = 0,
+    ) -> float:
+        bias = self.eta * (local_dist - 1 - remote_dist)
+        return float(local - remote) - self.beta * tunnel + bias
+
+
+@dataclass
+class DelayAwarePolicy(BackpressurePolicy):
+    """Thresholded backlogs + deficit counters (delay-sensitive variant)."""
+
+    #: backlog below this threshold exerts no pressure; the standing
+    #: queue a commodity may keep without attracting service
+    threshold: int = 4
+    #: weight bonus per unit of accumulated deficit
+    gamma: float = 0.5
+
+    def weight(
+        self,
+        commodity: int,
+        local: int,
+        remote: int,
+        tunnel: int,
+        deficit: float,
+        local_dist: int = 1,
+        remote_dist: int = 0,
+    ) -> float:
+        eff_local = max(local - self.threshold, 0)
+        eff_remote = max(remote - self.threshold, 0)
+        bias = self.eta * (local_dist - 1 - remote_dist)
+        return (
+            float(eff_local - eff_remote)
+            - self.beta * tunnel
+            + self.gamma * deficit
+            + bias
+        )
+
+
+class RoutingCore:
+    """Per-commodity queues + neighbor backlog views + the decision rule.
+
+    The hosting algorithm enqueues held messages, feeds neighbor backlog
+    reports and tunnel occupancies in, and executes the returned
+    decisions; everything in between is pure state.
+    """
+
+    def __init__(self, policy: BackpressurePolicy, quantum: int = 8) -> None:
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        self.policy = policy
+        #: messages a single decision may move (per neighbor per tick)
+        self.quantum = quantum
+        self._queues: dict[int, deque] = {}
+        #: neighbor key -> {commodity -> reported backlog}
+        self._neighbors: dict[str, dict[int, int]] = {}
+        #: neighbor key -> {commodity -> advertised hop distance to sink}
+        self._neighbor_dists: dict[str, dict[int, int]] = {}
+        #: per-commodity deficit: rounds spent backlogged but unserved
+        self._deficits: dict[int, float] = {}
+        # cumulative counters (telemetry reads these)
+        self.enqueued = 0
+        self.dispatched = 0
+        self.decisions = 0
+
+    # --- local queues -----------------------------------------------------------------
+
+    def enqueue(self, commodity: int, item: Any) -> int:
+        """Hold one message of ``commodity``; returns the new backlog."""
+        queue = self._queues.get(commodity)
+        if queue is None:
+            queue = self._queues[commodity] = deque()
+        queue.append(item)
+        self.enqueued += 1
+        return len(queue)
+
+    def backlog(self, commodity: int) -> int:
+        queue = self._queues.get(commodity)
+        return 0 if queue is None else len(queue)
+
+    def backlogs(self) -> dict[int, int]:
+        """Current ``{commodity: depth}`` over non-empty queues (sorted)."""
+        return {
+            c: len(q) for c, q in sorted(self._queues.items()) if q
+        }
+
+    def total_backlog(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def take(self, commodity: int, count: int) -> list:
+        """Pop up to ``count`` held items of ``commodity``, FIFO order."""
+        queue = self._queues.get(commodity)
+        if queue is None:
+            return []
+        out = []
+        while queue and len(out) < count:
+            out.append(queue.popleft())
+        self.dispatched += len(out)
+        return out
+
+    def drop_commodity(self, commodity: int) -> list:
+        """Discard a commodity's queue entirely (e.g. its sink is gone)."""
+        queue = self._queues.pop(commodity, None)
+        self._deficits.pop(commodity, None)
+        return list(queue) if queue else []
+
+    # --- neighbor views ---------------------------------------------------------------
+
+    def note_neighbor(
+        self,
+        neighbor: str,
+        backlogs: dict[int, int],
+        dists: dict[int, int] | None = None,
+    ) -> None:
+        """Record a neighbor's reported backlogs (and sink distances).
+
+        A report *replaces* the previous view — absent commodities mean
+        an empty queue over there (and, for ``dists``, no known route),
+        not missing data.
+        """
+        self._neighbors[neighbor] = dict(backlogs)
+        self._neighbor_dists[neighbor] = dict(dists or {})
+
+    def forget_neighbor(self, neighbor: str) -> None:
+        """Drop a dead neighbor; it is no longer a routing candidate."""
+        self._neighbors.pop(neighbor, None)
+        self._neighbor_dists.pop(neighbor, None)
+
+    def neighbor_view(self, neighbor: str) -> dict[int, int] | None:
+        return self._neighbors.get(neighbor)
+
+    def neighbors(self) -> list[str]:
+        return sorted(self._neighbors)
+
+    def differential(self, neighbor: str, commodity: int) -> int | None:
+        """``Q_local - Q~_neighbor`` for one (neighbor, commodity) pair."""
+        view = self._neighbors.get(neighbor)
+        if view is None:
+            return None
+        return self.backlog(commodity) - view.get(commodity, 0)
+
+    def deficit(self, commodity: int) -> float:
+        return self._deficits.get(commodity, 0.0)
+
+    def advertised_dists(self, sink_commodities: Iterable[int] = ()) -> dict[int, int]:
+        """This node's hop distance to each reachable commodity sink.
+
+        Distance-vector over the backlog exchange: a sink advertises 0
+        for its own commodity, everyone else advertises the best
+        neighbor's distance plus one (dropped at :data:`DIST_CAP`).
+        Feeds both the outgoing report and the local shortest-path bias.
+        """
+        dists = {int(c): 0 for c in sink_commodities}
+        known: set[int] = set()
+        for nd in self._neighbor_dists.values():
+            known.update(nd)
+        for commodity in sorted(known):
+            if commodity in dists:
+                continue
+            best = min(
+                (
+                    nd[commodity]
+                    for nd in self._neighbor_dists.values()
+                    if commodity in nd
+                ),
+                default=None,
+            )
+            if best is not None and best + 1 < DIST_CAP:
+                dists[commodity] = best + 1
+        return dists
+
+    # --- the decision rule --------------------------------------------------------------
+
+    def decide(
+        self,
+        tunnels: dict[str, int],
+        candidates: Iterable[str] | None = None,
+        dists: dict[int, int] | None = None,
+    ) -> list[RouteDecision]:
+        """One tick: pick (commodity, count) per candidate neighbor.
+
+        ``tunnels`` maps neighbor keys to tunnel occupancy (outbound
+        buffer depth); ``candidates`` restricts which reported neighbors
+        are currently reachable (default: all reported); ``dists`` is
+        this node's own per-commodity sink distance (for the relative
+        shortest-path bias — default :meth:`advertised_dists` with no
+        local sinks).
+
+        Allocation follows the max-weight rule: every positive
+        (neighbor, commodity) weight is scored first, then backlog is
+        claimed in descending-weight order (at most one commodity per
+        neighbor per tick), each claim debiting a working copy of the
+        local backlogs.  Ties break lexically, so two neighbors never
+        claim the same message and the outcome is a pure function of
+        the inputs.  Visiting neighbors one at a time instead would
+        let whichever neighbor sorts first drain the queue before a
+        higher-weight neighbor is even considered.
+
+        Deficit accounting happens here: commodities left backlogged
+        and unserved by this tick accrue one unit; a served commodity
+        pays its deficit down by the amount moved.
+        """
+        available = {c: len(q) for c, q in self._queues.items() if q}
+        if candidates is None:
+            pool = self.neighbors()
+        else:
+            wanted = set(candidates)
+            pool = [n for n in self.neighbors() if n in wanted]
+        if dists is None:
+            dists = self.advertised_dists()
+        policy = self.policy
+        scored: list[tuple[float, str, int]] = []
+        for neighbor in pool:
+            view = self._neighbors[neighbor]
+            ndists = self._neighbor_dists.get(neighbor, {})
+            tunnel = tunnels.get(neighbor, 0)
+            for commodity in sorted(available):
+                local_dist = dists.get(commodity, DIST_CAP)
+                remote_dist = ndists.get(commodity, DIST_CAP)
+                if local_dist >= DIST_CAP and remote_dist >= DIST_CAP:
+                    # no routing information anywhere: fall back to pure
+                    # queue-differential backpressure (zero bias)
+                    local_dist, remote_dist = 1, 0
+                elif remote_dist > local_dist:
+                    # distance-constrained backpressure: never hand a
+                    # commodity to a neighbor strictly farther from its
+                    # sink.  Under overload the raw differential grows
+                    # without bound and would eventually overwhelm any
+                    # fixed bias, spilling data backward over (possibly
+                    # bandwidth-capped) links it just traversed.
+                    continue
+                w = policy.weight(
+                    commodity,
+                    available[commodity],
+                    view.get(commodity, 0),
+                    tunnel,
+                    self._deficits.get(commodity, 0.0),
+                    local_dist=local_dist,
+                    remote_dist=remote_dist,
+                )
+                if w > 0.0:
+                    scored.append((w, neighbor, commodity))
+        scored.sort(key=lambda s: (-s[0], s[1], s[2]))
+        out: list[RouteDecision] = []
+        served: dict[int, int] = {}
+        claimed: set[str] = set()
+        for w, neighbor, commodity in scored:
+            if neighbor in claimed:
+                continue
+            left = available.get(commodity, 0)
+            if left <= 0:
+                continue
+            count = min(self.quantum, left)
+            out.append(RouteDecision(neighbor, commodity, count, w))
+            claimed.add(neighbor)
+            served[commodity] = served.get(commodity, 0) + count
+            if left - count:
+                available[commodity] = left - count
+            else:
+                del available[commodity]
+        self.decisions += len(out)
+        # Deficit bookkeeping: unserved backlogged commodities accrue,
+        # served ones pay down (never below zero).
+        for commodity, queue in self._queues.items():
+            if not queue:
+                continue
+            moved = served.get(commodity, 0)
+            if moved:
+                new = self._deficits.get(commodity, 0.0) - moved
+                if new > 0:
+                    self._deficits[commodity] = new
+                else:
+                    self._deficits.pop(commodity, None)
+            else:
+                self._deficits[commodity] = self._deficits.get(commodity, 0.0) + 1.0
+        return out

@@ -1,0 +1,100 @@
+"""Per-commodity routing telemetry (the ``ioverlay_routing_*`` family).
+
+Bound lazily from the hosting engine's ``config.telemetry`` (the same
+pattern as the membership and stabilize families): when the node runs
+uninstrumented every hook below is a no-op attribute check, so the
+routing hot path pays nothing.  Metric snapshots ride the periodic
+STATUS report to the observer (and, on a cluster, through the
+aggregation proxies to the root), which is how the experiment asserts
+per-commodity visibility at the root.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.tracing import EventType
+
+
+class RoutingInstruments:
+    """Counters/gauges/trace hooks for one routing node.
+
+    ``None``-safe by construction: callers hold ``RoutingInstruments |
+    None`` and guard with ``if ins is not None`` exactly like the
+    engines do with :class:`~repro.telemetry.instruments.EngineInstruments`.
+    """
+
+    __slots__ = (
+        "node", "tracer",
+        "_queue_gauge", "_diff_gauge",
+        "_forwarded", "_delivered", "_delivered_bytes", "_decisions",
+    )
+
+    def __init__(self, telemetry: Any, node: str) -> None:
+        self.node = node
+        self.tracer = telemetry.tracer
+        reg = telemetry.registry
+        self._queue_gauge = reg.gauge(
+            "ioverlay_routing_queue_messages",
+            "Per-commodity backpressure backlog held by the routing algorithm",
+            ("node", "commodity"),
+        )
+        self._diff_gauge = reg.gauge(
+            "ioverlay_routing_queue_differential",
+            "Last computed queue differential toward a neighbor (per commodity)",
+            ("node", "peer", "commodity"),
+        )
+        self._forwarded = reg.counter(
+            "ioverlay_routing_forwarded_total",
+            "Messages a routing decision pushed to a neighbor, per commodity",
+            ("node", "commodity"),
+        )
+        self._delivered = reg.counter(
+            "ioverlay_routing_delivered_total",
+            "Messages consumed at their commodity sink",
+            ("node", "commodity"),
+        )
+        self._delivered_bytes = reg.counter(
+            "ioverlay_routing_delivered_bytes_total",
+            "Bytes consumed at their commodity sink",
+            ("node", "commodity"),
+        )
+        self._decisions = reg.counter(
+            "ioverlay_routing_decisions_total",
+            "Routing decisions executed (one per neighbor-commodity pick)",
+            ("node",),
+        ).labels(node=node)
+
+    # --- hooks -----------------------------------------------------------------
+
+    def set_backlog(self, commodity: int, depth: int) -> None:
+        self._queue_gauge.labels(node=self.node, commodity=commodity).set(depth)
+
+    def set_differential(self, peer: str, commodity: int, diff: float) -> None:
+        self._diff_gauge.labels(
+            node=self.node, peer=peer, commodity=commodity
+        ).set(diff)
+
+    def on_forward(self, commodity: int, count: int) -> None:
+        self._forwarded.labels(node=self.node, commodity=commodity).inc(count)
+
+    def on_deliver(self, commodity: int, nbytes: int) -> None:
+        self._delivered.labels(node=self.node, commodity=commodity).inc()
+        self._delivered_bytes.labels(node=self.node, commodity=commodity).inc(nbytes)
+
+    def on_decision(
+        self, now: float, neighbor: str, commodity: int, count: int, weight: float
+    ) -> None:
+        self._decisions.inc()
+        if self.tracer.enabled:
+            self.tracer.record(
+                now, self.node, EventType.ROUTE_DECISION,
+                app=commodity, peer=neighbor, count=count, weight=round(weight, 3),
+            )
+
+    def on_backlog_report(self, now: float, peers: int, backlogs: dict) -> None:
+        if self.tracer.enabled:
+            self.tracer.record(
+                now, self.node, EventType.BACKLOG_REPORT,
+                peers=peers, backlogs={str(k): v for k, v in backlogs.items()},
+            )

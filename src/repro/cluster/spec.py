@@ -101,6 +101,10 @@ def resolve_refs(kwargs: dict[str, Any], lookup: Callable[[str], NodeId]) -> dic
             return f"{NODE_REF_PREFIX}{node}"
         if isinstance(value, list):
             return [resolve(item) for item in value]
+        if isinstance(value, dict):
+            # Keys stay verbatim (they are commodity ids / plain names);
+            # only values may reference placed nodes.
+            return {key: resolve(item) for key, item in value.items()}
         return value
 
     return {key: resolve(value) for key, value in kwargs.items()}
@@ -112,6 +116,8 @@ def coerce_node_refs(value: Any) -> Any:
         return NodeId.parse(value[len(NODE_REF_PREFIX):])
     if isinstance(value, list):
         return [coerce_node_refs(item) for item in value]
+    if isinstance(value, dict):
+        return {key: coerce_node_refs(item) for key, item in value.items()}
     return value
 
 

@@ -86,6 +86,13 @@ class EngineServices(Protocol):
         """Probe round-trip latency (and report the current link rate) to
         ``peer``; the result arrives as a ``MEASURE_REPLY`` message."""
 
+    def queue_snapshot(self) -> dict:
+        """O(1)-per-port queue depths/bytes (``recv``/``send``/totals).
+
+        The switch maintains these gauges incrementally, so stateful
+        routing algorithms may poll every tick; the same snapshot rides
+        the periodic STATUS report as the ``queues`` field."""
+
 
 Handler = Callable[[Message], "Disposition | None"]
 

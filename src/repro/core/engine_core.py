@@ -378,6 +378,27 @@ class EngineCore(ABC):
             levels[f"send:{dest}"] = depth
         return levels
 
+    def queue_snapshot(self) -> dict[str, dict]:
+        """O(1)-per-port queue depths and buffered bytes.
+
+        ``recv`` maps each upstream label to ``[depth, bytes]`` (the
+        switch's incrementally maintained gauges — no buffer is
+        scanned); ``send`` maps each downstream label to its outbound
+        buffer depth.  Routing algorithms poll this every tick to feed
+        tunnel-occupancy penalties, and both backends embed it in the
+        periodic STATUS report as the ``queues`` field.
+        """
+        recv = {
+            label: [depth, nbytes]
+            for label, (depth, nbytes) in self._scheduler.queue_snapshot().items()
+        }
+        return {
+            "recv": recv,
+            "send": self._send_buffer_levels(),
+            "total_messages": self._scheduler.total_buffered(),
+            "total_bytes": self._scheduler.total_buffered_bytes(),
+        }
+
     # --------------------------------------------------------------------- engine
 
     async def _engine_loop(self) -> None:
@@ -487,6 +508,7 @@ class EngineCore(ABC):
             lost_messages=self._lost_messages,
             lost_bytes=self._lost_bytes,
             apps=sorted(self._local_apps | set(self._app_upstreams)),
+            queues=self.queue_snapshot(),
         )
         if self.config.telemetry is not None:
             self._refresh_buffer_gauges()
@@ -537,6 +559,7 @@ class EngineCore(ABC):
                     continue
             while port.credit > 0 and not port.blocked and not port.buffer.is_empty:
                 msg = port.buffer.get_nowait()  # type: ignore[attr-defined]
+                port.note_bytes(-msg.size)
                 port.switched += 1
                 moved += 1
                 if ins is not None:

@@ -111,6 +111,19 @@ class Message:
         return self._app
 
     @property
+    def commodity(self) -> AppId:
+        """The multi-commodity flow this message belongs to.
+
+        Commodities ride the ``app`` header field: the 24-byte wire
+        header has no spare slot, and the paper already keys sessions by
+        application id, so a commodity *is* an app whose messages share
+        a sink.  The alias exists so routing code reads as the
+        backpressure literature writes (per-commodity queues, Q_n^c)
+        while sinks and telemetry keep attributing by app unchanged.
+        """
+        return self._app
+
+    @property
     def payload(self) -> bytes:
         """The application data carried by this message."""
         payload = self._payload

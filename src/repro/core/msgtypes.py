@@ -76,6 +76,10 @@ class MsgType(IntEnum):
     # --- algorithm library (gossip) --------------------------------------------
     GOSSIP = 70              # probabilistically disseminated payload
 
+    # --- algorithm library (backpressure routing) -------------------------------
+    S_BACKLOG = 71           # per-commodity queue backlogs, node -> its upstreams
+                             # (reverse of data flow: feeds queue differentials)
+
     # --- cluster control plane (controller <-> worker channel) ------------------
     # The scale-out layer (repro.cluster) shards virtualized nodes across
     # OS processes; each worker keeps one persistent control connection

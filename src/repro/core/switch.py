@@ -91,9 +91,21 @@ class ReceiverPort:
     #: emitted — the trace carries one event per port per epoch (the
     #: metric still counts every skipped visit)
     stall_epoch: int = field(init=False, default=-1)
+    #: payload+header bytes currently sitting in ``buffer``.  The size
+    #: listener only reports message *counts*, so the engines charge and
+    #: refund bytes explicitly at their enqueue/dequeue sites via
+    #: :meth:`note_bytes` — which keeps the per-port and scheduler-wide
+    #: byte gauges O(1) to read (no buffer scan).
+    buffered_bytes: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         self.label = str(self.peer)
+
+    def note_bytes(self, delta: int) -> None:
+        """Charge (or refund, negative ``delta``) buffered bytes."""
+        self.buffered_bytes += delta
+        if self.scheduler is not None:
+            self.scheduler._buffered_bytes += delta
 
     @property
     def blocked(self) -> bool:
@@ -170,6 +182,7 @@ class SwitchScheduler:
         # in receiver buffers (fed by buffer size listeners) and number
         # of ports with a non-empty pending list (fed by ReceiverPort).
         self._buffered = 0
+        self._buffered_bytes = 0
         self._pending_ports = 0
         #: ports whose buffer lacks the size-listener hook; while > 0 the
         #: aggregate queries fall back to scanning
@@ -211,6 +224,10 @@ class SwitchScheduler:
             self._buffered += len(port.buffer)
         else:
             self._unhooked += 1
+        # Byte accounting is explicit (note_bytes at the engine enqueue
+        # and dequeue sites), so a port arriving with charged bytes just
+        # folds them into the scheduler-wide gauge.
+        self._buffered_bytes += port.buffered_bytes
 
     def remove_port(self, peer: NodeId) -> ReceiverPort | None:
         port = self._ports.pop(peer, None)
@@ -230,6 +247,7 @@ class SwitchScheduler:
                 self._buffered -= len(port.buffer)
             elif not hasattr(port.buffer, "on_size_change"):
                 self._unhooked -= 1
+            self._buffered_bytes -= port.buffered_bytes
             # Drop the reused rotation list's references to the removed
             # port so a caller-held pass cannot see it after removal.
             self._pass.clear()
@@ -322,3 +340,19 @@ class SwitchScheduler:
         if self._unhooked:
             return sum(len(port.buffer) for port in self._seq)
         return self._buffered
+
+    def total_buffered_bytes(self) -> int:
+        """Total bytes waiting across all receiver buffers (O(1))."""
+        return self._buffered_bytes
+
+    def queue_snapshot(self) -> dict[str, tuple[int, int]]:
+        """Per-port ``label -> (depth, buffered_bytes)``, O(ports).
+
+        Depth reads each buffer's maintained ``__len__`` and bytes read
+        the :meth:`ReceiverPort.note_bytes` gauge — no message is
+        touched, so routing algorithms may call this every tick.
+        """
+        return {
+            port.label: (len(port.buffer), port.buffered_bytes)
+            for port in self._seq
+        }

@@ -21,7 +21,8 @@ them, with and without GF(2^8) coding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 
 from repro.algorithms.coding import (
     CodedSourceAlgorithm,
@@ -29,6 +30,10 @@ from repro.algorithms.coding import (
     DecodingSinkAlgorithm,
 )
 from repro.algorithms.forwarding import CopyForwardAlgorithm
+from repro.algorithms.routing import (
+    BackpressureRoutingAlgorithm,
+    StaticPathRoutingAlgorithm,
+)
 from repro.core.algorithm import Algorithm
 from repro.core.bandwidth import BandwidthSpec
 from repro.core.ids import NodeId
@@ -172,3 +177,170 @@ def build_butterfly(
         net=net, nodes=nodes, source=source,
         node_d=node_d, node_e=node_e, node_f=node_f, node_g=node_g,
     )
+
+
+# ------------------------------------------------------ routing capacity grid
+
+#: The shared-relay grid the routing-throughput experiment sweeps.  Two
+#: unicast commodities, three bandwidth-capped relays, one relay (r2)
+#: usable by both commodities::
+#:
+#:     s1 --> r1 --> t1
+#:       \          /
+#:        --> r2 -->        (r2 reaches BOTH sinks)
+#:       /          \
+#:     s2 --> r3 --> t2
+#:
+#: Any tree heuristic embeds ONE path per commodity, so the best static
+#: assignment gives each commodity a single relay (capacity C each,
+#: r2 idle or double-booked).  Backpressure splits every commodity over
+#: both of its relays, so the shared grid sustains 1.5 C per commodity.
+ROUTING_GRID_EDGES: list[tuple[str, str]] = [
+    ("s1", "r1"), ("s1", "r2"),
+    ("s2", "r2"), ("s2", "r3"),
+    ("r1", "t1"),
+    ("r2", "t1"), ("r2", "t2"),
+    ("r3", "t2"),
+]
+
+
+@dataclass
+class RoutingMatrix:
+    """A multi-commodity traffic matrix over a named overlay graph.
+
+    ``commodities`` maps a commodity id to its ``(source, sink)`` pair;
+    ``relay_up`` caps the named relays' uplinks (bytes/s) — the capacity
+    region of the experiment lives entirely in those caps.
+    """
+
+    edges: list[tuple[str, str]]
+    commodities: dict[int, tuple[str, str]]
+    relay_up: dict[str, float] = field(default_factory=dict)
+
+    def node_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for src, dst in self.edges:
+            seen.setdefault(src)
+            seen.setdefault(dst)
+        return list(seen)
+
+    def out_neighbors(self, name: str) -> list[str]:
+        return [dst for src, dst in self.edges if src == name]
+
+    def relays_for(self, commodity: int) -> list[str]:
+        """Relays that connect a commodity's source to its sink in one hop."""
+        source, sink = self.commodities[commodity]
+        return [
+            mid for mid in self.out_neighbors(source)
+            if sink in self.out_neighbors(mid)
+        ]
+
+    def static_assignments(self) -> list[dict[int, str]]:
+        """Every single-path (tree-heuristic) relay assignment.
+
+        A tree embeds exactly one source->sink path per unicast
+        commodity, so the *best* static assignment over this enumeration
+        is the best any of the paper's tree heuristics can induce.
+        """
+        commodities = sorted(self.commodities)
+        choices = [self.relays_for(c) for c in commodities]
+        return [
+            dict(zip(commodities, picks))
+            for picks in itertools.product(*choices)
+        ]
+
+
+def routing_grid(relay_up: float = 50 * KB) -> RoutingMatrix:
+    """The shared-relay grid with every relay uplink capped at ``relay_up``."""
+    return RoutingMatrix(
+        edges=list(ROUTING_GRID_EDGES),
+        commodities={7: ("s1", "t1"), 8: ("s2", "t2")},
+        relay_up={"r1": relay_up, "r2": relay_up, "r3": relay_up},
+    )
+
+
+@dataclass
+class RoutingNet:
+    """A built routing deployment plus the handles the sweep reads."""
+
+    net: SimNetwork
+    nodes: dict[str, NodeId]
+    algorithms: dict[str, Algorithm]
+    matrix: RoutingMatrix
+
+    def delivered(self) -> dict[int, int]:
+        """Per-commodity delivered count, summed over the sinks."""
+        totals: dict[int, int] = {}
+        for algorithm in self.algorithms.values():
+            for commodity, count in algorithm.delivered.items():  # type: ignore[attr-defined]
+                totals[commodity] = totals.get(commodity, 0) + count
+        return totals
+
+    def total_backlog(self) -> int:
+        return sum(
+            alg.core.total_backlog()
+            for alg in self.algorithms.values()
+            if hasattr(alg, "core")
+        )
+
+
+def build_routing_sim(
+    matrix: RoutingMatrix,
+    inject: dict[int, dict],
+    policy: str = "backpressure",
+    assignment: dict[int, str] | None = None,
+    inject_tick: float = 0.05,
+    seed: int = 0,
+    latency: float = 0.005,
+    telemetry: "Telemetry | None" = None,
+) -> RoutingNet:
+    """Deploy a traffic matrix on the DES under one routing policy.
+
+    ``policy`` is ``"backpressure"`` / ``"delay"`` (both run
+    :class:`BackpressureRoutingAlgorithm`) or ``"static"`` — which
+    requires ``assignment`` mapping each commodity to its relay, the
+    single path a tree heuristic would embed.  ``inject`` is the
+    per-commodity injection spec applied at that commodity's source
+    (see :class:`~repro.algorithms.routing.algorithm._RoutingBase`).
+    """
+    net = SimNetwork(NetworkConfig(
+        default_latency=latency, seed=seed, telemetry=telemetry,
+    ))
+    names = matrix.node_names()
+    algorithms: dict[str, Algorithm] = {}
+    if policy == "static":
+        if assignment is None:
+            raise ValueError("static policy needs a relay assignment")
+        for name in names:
+            algorithms[name] = StaticPathRoutingAlgorithm()
+    elif policy in ("backpressure", "delay"):
+        for name in names:
+            algorithms[name] = BackpressureRoutingAlgorithm(variant=policy)
+    else:
+        raise ValueError(f"unknown routing policy: {policy!r}")
+
+    nodes: dict[str, NodeId] = {}
+    for name in names:
+        cap = matrix.relay_up.get(name)
+        bandwidth = BandwidthSpec(up=cap) if cap else None
+        nodes[name] = net.add_node(algorithms[name], name=name, bandwidth=bandwidth)
+
+    for commodity, (source, sink) in matrix.commodities.items():
+        for name in names:
+            algorithms[name].set_sink(commodity, nodes[sink])  # type: ignore[attr-defined]
+        spec = inject.get(commodity)
+        if spec:
+            algorithms[source].set_injection(  # type: ignore[attr-defined]
+                commodity, spec["count"], spec["size"], spec.get("total"),
+            )
+            algorithms[source].inject_tick = inject_tick  # type: ignore[attr-defined]
+    if policy == "static":
+        for commodity, relay in (assignment or {}).items():
+            source, sink = matrix.commodities[commodity]
+            algorithms[source].set_route(commodity, nodes[relay])  # type: ignore[attr-defined]
+            algorithms[relay].set_route(commodity, nodes[sink])  # type: ignore[attr-defined]
+
+    net.start()
+    for src, dst in matrix.edges:
+        net.engines[nodes[src]].connect(nodes[dst])
+    return RoutingNet(net=net, nodes=nodes, algorithms=algorithms, matrix=matrix)

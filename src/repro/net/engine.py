@@ -825,13 +825,19 @@ class AsyncioEngine(EngineCore):
                     # window instead of per-message queue bookkeeping.
                     try:
                         placed = buffer.put_many_nowait(batch)
+                        peer.port.note_bytes(sum(m.size for m in batch[:placed]))
                         while placed < len(batch):
                             # Wake the engine *before* parking for space:
                             # it is the one that frees the buffer.
                             self._wake.set()
                             await buffer.put(batch[placed])  # type: ignore[attr-defined]
+                            peer.port.note_bytes(batch[placed].size)
                             placed += 1
-                            placed += buffer.put_many_nowait(batch, placed)
+                            more = buffer.put_many_nowait(batch, placed)
+                            peer.port.note_bytes(
+                                sum(m.size for m in batch[placed:placed + more])
+                            )
+                            placed += more
                     except BufferClosedError:
                         return
                 else:
@@ -843,6 +849,7 @@ class AsyncioEngine(EngineCore):
                                     await buffer.put(msg)  # type: ignore[attr-defined]
                             except BufferClosedError:
                                 return
+                            peer.port.note_bytes(msg.size)
                             if ins is not None:
                                 now = self.now()
                                 label = peer.port.label

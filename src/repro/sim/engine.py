@@ -339,6 +339,7 @@ class SimEngine(EngineCore):
                     await port.buffer.put(msg)  # type: ignore[attr-defined]
                 except BufferClosedError:
                     return
+                port.note_bytes(msg.size)
                 ins = self._ins
                 if ins is not None:
                     now = self.kernel.now

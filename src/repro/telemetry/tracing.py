@@ -81,6 +81,12 @@ class EventType:
     CHURN_CRASH = "churn-crash"          # schedule killed a node abruptly
     CHURN_LEAVE = "churn-leave"          # schedule stopped a node gracefully
 
+    # Backpressure-routing events (repro.algorithms.routing): per-tick
+    # forwarding decisions and backlog exchanges, recorded at the node
+    # that made them.
+    ROUTE_DECISION = "route-decision"    # a tick picked (commodity, next hop)
+    BACKLOG_REPORT = "backlog-report"    # per-commodity backlogs sent upstream
+
     ALL = (SOURCE_EMIT, ENQUEUE, SWITCH_PICK, CREDIT_EXHAUSTED,
            DEFER, RETRY, FORWARD, DROP, DELIVER,
            LINK_SUSPECT, LINK_PROBE, LINK_DEAD,
@@ -88,7 +94,8 @@ class EventType:
            RESPAWN_BACKOFF, RESPAWN_EXHAUSTED,
            CONTROLLER_JOIN, CONTROLLER_DEAD, SHARD_REDEPLOYED,
            MEMBER_JOIN, MEMBER_SUSPECT, MEMBER_REFUTE, MEMBER_DEAD,
-           MEMBER_LEFT, CHURN_JOIN, CHURN_CRASH, CHURN_LEAVE)
+           MEMBER_LEFT, CHURN_JOIN, CHURN_CRASH, CHURN_LEAVE,
+           ROUTE_DECISION, BACKLOG_REPORT)
 
 
 def trace_id(msg: Message) -> str:

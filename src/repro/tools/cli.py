@@ -40,6 +40,7 @@ EXPERIMENTS: dict[str, str] = {
     "federation-scaling": "repro.experiments.fig_federation_scaling",
     "observer-scaling": "repro.experiments.fig_observer_scaling",
     "churn-convergence": "repro.experiments.fig_churn_convergence",
+    "routing-throughput": "repro.experiments.fig_routing_throughput",
 }
 
 

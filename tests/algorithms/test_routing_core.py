@@ -1,0 +1,177 @@
+"""Unit tests for the pure backpressure core (no engine, no messages)."""
+
+import pytest
+
+from repro.algorithms.routing.core import (
+    BackpressurePolicy,
+    DelayAwarePolicy,
+    RouteDecision,
+    RoutingCore,
+)
+
+
+def make_core(policy=None, quantum=4):
+    return RoutingCore(policy or BackpressurePolicy(beta=1.0), quantum=quantum)
+
+
+def fill(core, commodity, count):
+    for i in range(count):
+        core.enqueue(commodity, (commodity, i))
+
+
+# --------------------------------------------------------------------- queues
+
+def test_enqueue_take_fifo_per_commodity():
+    core = make_core()
+    fill(core, 1, 3)
+    fill(core, 2, 2)
+    assert core.backlogs() == {1: 3, 2: 2}
+    assert core.take(1, 2) == [(1, 0), (1, 1)]
+    assert core.backlog(1) == 1
+    assert core.take(2, 10) == [(2, 0), (2, 1)]
+    assert core.take(3, 5) == []
+    assert core.total_backlog() == 1
+
+
+def test_quantum_validation():
+    with pytest.raises(ValueError):
+        RoutingCore(BackpressurePolicy(), quantum=0)
+
+
+# --------------------------------------------------------------------- weights
+
+def test_backpressure_weight_is_differential_minus_tunnel_penalty():
+    policy = BackpressurePolicy(beta=0.5)
+    assert policy.weight(1, local=10, remote=4, tunnel=4, deficit=0.0) == 4.0
+    assert policy.weight(1, local=3, remote=5, tunnel=0, deficit=9.0) == -2.0
+
+
+def test_delay_aware_thresholds_and_deficit():
+    policy = DelayAwarePolicy(beta=0.0, threshold=4, gamma=0.5)
+    # backlogs at/below the threshold exert no pressure
+    assert policy.weight(1, local=4, remote=0, tunnel=0, deficit=0.0) == 0.0
+    # above the threshold only the excess counts
+    assert policy.weight(1, local=10, remote=6, tunnel=0, deficit=0.0) == 4.0
+    # deficit biases an otherwise pressureless commodity
+    assert policy.weight(1, local=4, remote=0, tunnel=0, deficit=6.0) == 3.0
+
+
+# --------------------------------------------------------------------- decide
+
+def test_decide_picks_largest_positive_differential():
+    core = make_core()
+    fill(core, 1, 6)
+    fill(core, 2, 3)
+    core.note_neighbor("n1", {1: 1, 2: 5})
+    decisions = core.decide({"n1": 0})
+    assert decisions == [RouteDecision("n1", 1, 4, 5.0)]  # quantum-capped
+
+
+def test_decide_requires_strictly_positive_weight():
+    core = make_core()
+    fill(core, 1, 2)
+    core.note_neighbor("n1", {1: 2})   # zero differential
+    core.note_neighbor("n2", {1: 5})   # negative differential
+    assert core.decide({}) == []
+
+
+def test_decide_never_double_allocates_across_neighbors():
+    core = make_core(quantum=8)
+    fill(core, 1, 5)
+    core.note_neighbor("a", {})
+    core.note_neighbor("b", {})
+    decisions = core.decide({})
+    assert [d.neighbor for d in decisions] == ["a"]  # b sees nothing left
+    assert decisions[0].count == 5
+
+
+def test_decide_spills_to_second_neighbor_when_quantum_binds():
+    core = make_core(quantum=3)
+    fill(core, 1, 5)
+    core.note_neighbor("a", {})
+    core.note_neighbor("b", {})
+    decisions = core.decide({})
+    assert [(d.neighbor, d.count) for d in decisions] == [("a", 3), ("b", 2)]
+
+
+def test_decide_tunnel_penalty_steers_away_from_loaded_tunnel():
+    core = make_core(BackpressurePolicy(beta=1.0), quantum=2)
+    fill(core, 1, 4)
+    core.note_neighbor("near", {1: 0})
+    core.note_neighbor("far", {1: 0})
+    # "near" has 10 in-flight messages: its weight goes negative, so
+    # only "far" is served this tick.
+    decisions = core.decide({"near": 10, "far": 0})
+    assert [d.neighbor for d in decisions] == ["far"]
+
+
+def test_decide_candidates_filter():
+    core = make_core()
+    fill(core, 1, 4)
+    core.note_neighbor("a", {})
+    core.note_neighbor("b", {})
+    decisions = core.decide({}, candidates=["b"])
+    assert [d.neighbor for d in decisions] == ["b"]
+
+
+def test_decide_is_deterministic():
+    def build():
+        core = make_core(quantum=2)
+        fill(core, 2, 4)
+        fill(core, 7, 4)
+        core.note_neighbor("x", {2: 1})
+        core.note_neighbor("y", {7: 1})
+        return core
+
+    runs = [build().decide({"x": 1, "y": 0}) for _ in range(3)]
+    assert runs[0] == runs[1] == runs[2]
+
+
+# --------------------------------------------------------------------- deficits
+
+def test_unserved_backlogged_commodity_accrues_deficit():
+    core = make_core(DelayAwarePolicy(beta=0.0, threshold=4, gamma=1.0), quantum=4)
+    fill(core, 1, 3)
+    # the neighbor is *more* backlogged: raw differential is negative,
+    # so only the accruing deficit can ever push the weight positive
+    core.note_neighbor("n", {1: 10})
+    for _ in range(4):
+        assert core.decide({}) == []
+    assert core.deficit(1) == pytest.approx(4.0)
+    # accumulated deficit eventually out-weighs the negative differential
+    decisions = []
+    for _ in range(10):
+        decisions = core.decide({})
+        if decisions:
+            break
+    assert decisions and decisions[0].commodity == 1
+
+
+def test_served_commodity_pays_deficit_down():
+    core = make_core(DelayAwarePolicy(beta=0.0, threshold=0, gamma=1.0), quantum=8)
+    fill(core, 1, 6)
+    core.note_neighbor("n", {})
+    core.decide({})  # serves 6 (deficit 0 -> stays 0)
+    assert core.deficit(1) == 0.0
+
+
+# --------------------------------------------------------------------- neighbors
+
+def test_neighbor_reports_replace_and_forget():
+    core = make_core()
+    core.note_neighbor("n", {1: 5, 2: 2})
+    core.note_neighbor("n", {1: 1})
+    fill(core, 2, 3)
+    assert core.differential("n", 2) == 3  # absent commodity = empty
+    assert core.differential("missing", 2) is None
+    core.forget_neighbor("n")
+    assert core.neighbors() == []
+    assert core.decide({}) == []
+
+
+def test_drop_commodity_returns_held_items():
+    core = make_core()
+    fill(core, 9, 3)
+    dropped = core.drop_commodity(9)
+    assert dropped == [(9, 0), (9, 1), (9, 2)]
+    assert core.backlog(9) == 0

@@ -283,3 +283,50 @@ def test_remove_port_clears_stale_rotation_aliases():
     # a stale alias, and the next pass rebuilds from live ports only.
     assert all(port.peer != B for port in held)
     assert {port.peer for port in scheduler.rotation()} == {A, C}
+
+
+def test_queue_snapshot_tracks_depth_and_bytes():
+    scheduler = SwitchScheduler()
+    port_a, port_b = make_port(A), make_port(B)
+    scheduler.add_port(port_a)
+    scheduler.add_port(port_b)
+    port_a.buffer.put("x")
+    port_a.note_bytes(100)
+    port_a.buffer.put("y")
+    port_a.note_bytes(50)
+    port_b.buffer.put("z")
+    port_b.note_bytes(7)
+    assert scheduler.queue_snapshot() == {str(A): (2, 150), str(B): (1, 7)}
+    assert scheduler.total_buffered() == 3
+    assert scheduler.total_buffered_bytes() == 157
+    port_a.buffer.get()
+    port_a.note_bytes(-100)
+    assert scheduler.queue_snapshot()[str(A)] == (1, 50)
+    assert scheduler.total_buffered_bytes() == 57
+
+
+def test_note_bytes_before_registration_folds_into_scheduler():
+    port = make_port(A)
+    port.buffer.put("x")
+    port.note_bytes(64)  # no scheduler yet: charged on the port only
+    assert port.buffered_bytes == 64
+    scheduler = SwitchScheduler()
+    scheduler.add_port(port)
+    assert scheduler.total_buffered_bytes() == 64
+    removed = scheduler.remove_port(A)
+    assert removed is port
+    assert scheduler.total_buffered_bytes() == 0
+    # the removed port keeps its own gauge; the scheduler forgot it
+    assert port.buffered_bytes == 64
+
+
+def test_remove_port_refunds_buffered_bytes():
+    scheduler = SwitchScheduler()
+    port_a, port_b = make_port(A), make_port(B)
+    scheduler.add_port(port_a)
+    scheduler.add_port(port_b)
+    port_a.note_bytes(30)
+    port_b.note_bytes(12)
+    scheduler.remove_port(A)
+    assert scheduler.total_buffered_bytes() == 12
+    assert scheduler.queue_snapshot() == {str(B): (0, 12)}

@@ -81,7 +81,13 @@ def test_status_report_surface(cluster):
         assert set(fields) == {
             "node", "upstreams", "downstreams", "recv_buffers", "send_buffers",
             "recv_rates", "send_rates", "lost_messages", "lost_bytes", "apps",
+            "queues",
         }, f"status surface diverged on {cluster.backend}"
+        queues = fields["queues"]
+        assert set(queues) == {"recv", "send", "total_messages", "total_bytes"}
+        for depth_bytes in queues["recv"].values():
+            depth, nbytes = depth_bytes
+            assert depth >= 0 and nbytes >= 0
     assert str(sink.node_id) in src._status_report().fields()["downstreams"]
     assert APP in src._status_report().fields()["apps"]
     # the relay learned the app from traffic, not from deployment
